@@ -1,0 +1,140 @@
+// Microbenchmarks of the analysis pipeline itself (google-benchmark): the
+// paper's method must keep up with production trace volumes, so measure the
+// per-record cost of load integration, throughput normalization, N*
+// estimation, and the full detector.
+#include <benchmark/benchmark.h>
+
+#include "core/detector.h"
+#include "trace/reconstructor.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace tbd;
+using namespace tbd::literals;
+
+// Synthetic request log: `n` requests with exponential service around 500us
+// and Poisson-ish arrivals over `horizon_s` seconds.
+std::vector<trace::RequestRecord> synth_log(std::size_t n, double horizon_s,
+                                            std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<trace::RequestRecord> log;
+  log.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double at = rng.uniform(0.0, horizon_s * 1e6);
+    const double service = rng.exponential(500.0);
+    trace::RequestRecord r;
+    r.server = 0;
+    r.class_id = static_cast<trace::ClassId>(rng.uniform_index(8));
+    r.arrival = TimePoint::from_micros(static_cast<std::int64_t>(at));
+    r.departure =
+        TimePoint::from_micros(static_cast<std::int64_t>(at + service));
+    log.push_back(r);
+  }
+  return log;
+}
+
+core::ServiceTimeTable synth_table() {
+  std::vector<double> us;
+  for (int c = 0; c < 8; ++c) us.push_back(200.0 + 100.0 * c);
+  return core::ServiceTimeTable{us};
+}
+
+void BM_LoadCalculation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto log = synth_log(n, 60.0, 1);
+  const auto spec = core::IntervalSpec::over(
+      TimePoint::origin(), TimePoint::origin() + 60_s, 50_ms);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_load(log, spec));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LoadCalculation)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_ThroughputNormalization(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto log = synth_log(n, 60.0, 2);
+  const auto table = synth_table();
+  const auto spec = core::IntervalSpec::over(
+      TimePoint::origin(), TimePoint::origin() + 60_s, 50_ms);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::compute_throughput(log, spec, table, core::ThroughputOptions{}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ThroughputNormalization)->Arg(100'000)->Arg(1'000'000);
+
+void BM_CongestionPointEstimation(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  Rng rng{3};
+  std::vector<double> load, tput;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double l = rng.uniform(0.0, 40.0);
+    load.push_back(l);
+    tput.push_back(std::min(l, 10.0) * 100.0 * rng.gamma(25.0, 0.04));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::estimate_congestion_point(load, tput));
+  }
+}
+BENCHMARK(BM_CongestionPointEstimation)->Arg(3600)->Arg(36'000);
+
+void BM_FullDetector(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto log = synth_log(n, 60.0, 4);
+  const auto table = synth_table();
+  const auto spec = core::IntervalSpec::over(
+      TimePoint::origin(), TimePoint::origin() + 60_s, 50_ms);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::detect_bottlenecks(log, spec, table));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FullDetector)->Arg(100'000)->Arg(1'000'000);
+
+void BM_ServiceTimeEstimation(benchmark::State& state) {
+  const auto log = synth_log(static_cast<std::size_t>(state.range(0)), 60.0, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::estimate_service_times(log));
+  }
+}
+BENCHMARK(BM_ServiceTimeEstimation)->Arg(100'000);
+
+void BM_TraceReconstruction(benchmark::State& state) {
+  // Synthetic two-hop transactions: client->A->B, sequential, pooled conns.
+  const auto txns = static_cast<std::size_t>(state.range(0));
+  std::vector<trace::Message> msgs;
+  std::uint64_t visit = 1;
+  for (std::size_t i = 0; i < txns; ++i) {
+    const auto base = static_cast<std::int64_t>(i * 1000);
+    const std::uint32_t conn_a = 100 + static_cast<std::uint32_t>(i % 64);
+    const std::uint32_t conn_b = 200 + static_cast<std::uint32_t>(i % 64);
+    const std::uint64_t va = visit++;
+    const std::uint64_t vb = visit++;
+    msgs.push_back({TimePoint::from_micros(base), 0, 1, conn_a,
+                    trace::MessageKind::kRequest, 0, 0, i + 1, va, 0});
+    msgs.push_back({TimePoint::from_micros(base + 100), 1, 2, conn_b,
+                    trace::MessageKind::kRequest, 0, 0, i + 1, vb, va});
+    msgs.push_back({TimePoint::from_micros(base + 300), 2, 1, conn_b,
+                    trace::MessageKind::kResponse, 0, 0, i + 1, vb, va});
+    msgs.push_back({TimePoint::from_micros(base + 400), 1, 0, conn_a,
+                    trace::MessageKind::kResponse, 0, 0, i + 1, va, 0});
+  }
+  for (auto _ : state) {
+    trace::TraceReconstructor rec;
+    rec.process(msgs);
+    benchmark::DoNotOptimize(rec.visits().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(msgs.size()));
+}
+BENCHMARK(BM_TraceReconstruction)->Arg(10'000)->Arg(100'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

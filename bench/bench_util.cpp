@@ -1,0 +1,39 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/csv.h"
+
+namespace tbd::benchx {
+
+BenchArgs BenchArgs::parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) args.full = true;
+  }
+  return args;
+}
+
+std::string out_dir() {
+  static const std::string dir = [] {
+    const std::string d = "bench_out";
+    ensure_directory(d);
+    return d;
+  }();
+  return dir;
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("  %s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+void print_expectation(const std::string& what, const std::string& paper,
+                       const std::string& measured) {
+  std::printf("  %-46s paper: %-22s measured: %s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+}  // namespace tbd::benchx

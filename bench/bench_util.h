@@ -1,0 +1,34 @@
+// Shared plumbing for the figure-reproduction binaries: output directory,
+// section headers, and the --full flag that switches from quick (CI-sized)
+// runs to the paper's full 3-minute runs.
+#pragma once
+
+#include <string>
+
+#include "util/time.h"
+
+namespace tbd::benchx {
+
+struct BenchArgs {
+  /// Paper-length runs (3 min measurement) instead of the quick default.
+  bool full = false;
+
+  static BenchArgs parse(int argc, char** argv);
+
+  /// Measurement duration: paper length when --full, else `quick`.
+  [[nodiscard]] Duration run_duration(Duration quick) const {
+    return full ? Duration::seconds(180) : quick;
+  }
+};
+
+/// Directory for CSV dumps (created on first use), "bench_out".
+[[nodiscard]] std::string out_dir();
+
+/// Prints a boxed section header.
+void print_header(const std::string& title);
+
+/// Prints a "paper vs measured" line for EXPERIMENTS.md cross-checking.
+void print_expectation(const std::string& what, const std::string& paper,
+                       const std::string& measured);
+
+}  // namespace tbd::benchx

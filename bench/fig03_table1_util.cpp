@@ -1,0 +1,101 @@
+// Figure 3 + Table I: coarse-grained resource monitoring at WL 8,000.
+//
+//  Figure 3 — Tomcat and MySQL CPU utilization timelines at 1 s granularity;
+//  the paper measures averages of 79.9% (Tomcat) and 78.1% (MySQL) with no
+//  resource saturated, which is exactly why second-level monitoring cannot
+//  explain the response-time variation.
+//  Table I  — per-tier CPU %, disk I/O %, network receive/send MB/s.
+//
+// Run with SpeedStep enabled on MySQL (the Figure 2 configuration): note
+// that sysstat reports busy fraction at the *current* clock, so MySQL reads
+// ~78% while spending most of its time in a low P-state.
+#include <cstdio>
+
+#include "app/experiment.h"
+#include "bench_util.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+using namespace tbd;
+using namespace tbd::literals;
+
+int main(int argc, char** argv) {
+  const auto args = benchx::BenchArgs::parse(argc, argv);
+
+  app::ExperimentConfig cfg;
+  cfg.workload = 8000;
+  cfg.warmup = 10_s;
+  cfg.duration = args.run_duration(60_s);
+  cfg.seed = 20130613;
+  cfg.speedstep_on_db = true;
+
+  benchx::print_header("Figure 3 / Table I: resource utilization at WL 8,000");
+  const auto result = app::run_experiment(cfg);
+  const double window_s = (result.window_end - result.window_start).seconds_f();
+
+  // ---- Table I ---------------------------------------------------------------
+  std::printf("  %-8s %-10s %-10s %-22s\n", "server", "CPU[%]", "disk[%]",
+              "net recv/send [MB/s]");
+  struct Row {
+    const char* name;
+    ntier::TierKind tier;
+    double paper_cpu;
+  };
+  const Row rows[] = {{"Apache", ntier::TierKind::kWeb, 34.6},
+                      {"Tomcat", ntier::TierKind::kApp, 79.9},
+                      {"CJDBC", ntier::TierKind::kMw, 26.7},
+                      {"MySQL", ntier::TierKind::kDb, 78.1}};
+  for (const auto& row : rows) {
+    // Tier averages over replicas (the paper reports one number per tier).
+    double cpu = 0.0, disk = 0.0, rx = 0.0, tx = 0.0;
+    int count = 0;
+    for (std::size_t s = 0; s < result.servers.size(); ++s) {
+      if (result.servers[s].tier != row.tier) continue;
+      ++count;
+      cpu += result.mean_util(static_cast<int>(s));
+      disk += result.disk_busy_us[s] /
+              (window_s * 1e6 * result.servers[s].cores);
+      rx += static_cast<double>(result.net[s].bytes_received) / window_s / 1e6;
+      tx += static_cast<double>(result.net[s].bytes_sent) / window_s / 1e6;
+    }
+    cpu /= count;
+    disk /= count;
+    rx /= count;
+    tx /= count;
+    std::printf("  %-8s %-10.1f %-10.2f %.1f / %.1f\n", row.name, cpu * 100.0,
+                disk * 100.0, rx, tx);
+    char measured[64];
+    std::snprintf(measured, sizeof measured, "%.1f%%", cpu * 100.0);
+    char paper[64];
+    std::snprintf(paper, sizeof paper, "%.1f%% CPU", row.paper_cpu);
+    benchx::print_expectation(std::string{row.name} + " CPU", paper, measured);
+  }
+
+  // ---- Figure 3 timelines ----------------------------------------------------
+  const int app1 = result.server_index_of(ntier::TierKind::kApp, 0);
+  const int db1 = result.server_index_of(ntier::TierKind::kDb, 0);
+  std::vector<double> t_col, app_col, db_col;
+  const auto& app_series = result.util[static_cast<std::size_t>(app1)];
+  const auto& db_series = result.util[static_cast<std::size_t>(db1)];
+  for (std::size_t i = 0; i < app_series.size() && i < db_series.size(); ++i) {
+    t_col.push_back(static_cast<double>(i + 1));
+    app_col.push_back(app_series[i] * 100.0);
+    db_col.push_back(db_series[i] * 100.0);
+  }
+  CsvWriter::write_columns(benchx::out_dir() + "/fig03_cpu_timeline.csv",
+                           {"t_s", "tomcat_cpu_pct", "mysql_cpu_pct"},
+                           {t_col, app_col, db_col});
+
+  // The paper's point: coarse sampling shows no sustained saturation, so
+  // nothing explains the response-time tail. Momentary 100% seconds can
+  // occur under bursts; what matters is that the bulk of samples sit well
+  // below 100% on both hot tiers.
+  const double app_p90 = quantile(app_col, 0.90);
+  const double db_p90 = quantile(db_col, 0.90);
+  std::printf("\n  Tomcat CPU p90 over 1s samples: %.1f%%\n", app_p90);
+  std::printf("  MySQL  CPU p90 over 1s samples: %.1f%%\n", db_p90);
+  benchx::print_expectation("1s samples show sustained saturation?",
+                            "no (that is the problem)",
+                            (app_p90 < 99.0 && db_p90 < 99.0) ? "no" : "yes");
+  return 0;
+}

@@ -1,0 +1,219 @@
+// Figures 12-13 + Table II: transient bottlenecks caused by Intel SpeedStep
+// on the MySQL hosts (Section IV-C) and their resolution by pinning P0
+// (Section IV-D).
+//
+//  Table II  — the P-state table (printed for reference).
+//  Fig 12(a) — WL 8,000, SpeedStep on: ONE throughput trend among congested
+//              intervals (MySQL prefers P8 at low average load).
+//  Fig 12(b) — WL 10,000: THREE trends (P8, P4/P5 band, P0) as the governor
+//              chases bursts; labeled points 5/6/7 sit on the three bands.
+//  Fig 12(c) — 10 s timeline showing the clock lag.
+//  Fig 13    — SpeedStep disabled: single trend, far fewer congested
+//              intervals at both workloads.
+#include <algorithm>
+#include <cstdio>
+
+#include "app/experiment.h"
+#include "bench_util.h"
+#include "core/detector.h"
+#include "core/report.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+using namespace tbd;
+using namespace tbd::literals;
+
+namespace {
+
+app::ExperimentConfig ss_config(int workload, bool speedstep,
+                                Duration duration) {
+  app::ExperimentConfig cfg;
+  cfg.workload = workload;
+  cfg.warmup = 10_s;
+  cfg.duration = duration;
+  cfg.seed = 1213;
+  cfg.speedstep_on_db = speedstep;
+  return cfg;
+}
+
+struct DbAnalysis {
+  app::ExperimentResult result;
+  core::DetectionResult detection;
+  int db1 = 0;
+};
+
+DbAnalysis analyze_db(const app::ExperimentConfig& cfg,
+                      const std::vector<core::ServiceTimeTable>& tables) {
+  DbAnalysis a{app::run_experiment(cfg), {}, 0};
+  a.db1 = a.result.server_index_of(ntier::TierKind::kDb, 0);
+  const auto spec = core::IntervalSpec::over(a.result.window_start,
+                                             a.result.window_end, 50_ms);
+  a.detection = core::detect_bottlenecks(
+      a.result.logs[static_cast<std::size_t>(a.db1)], spec,
+      tables[static_cast<std::size_t>(a.db1)]);
+  return a;
+}
+
+// Clusters the throughput of congested intervals around the P-state
+// capacity levels (P0/P1 and P4/P5 merged, as the paper reads them) and
+// reports each band's share of the congested mass. A band is a "trend" in
+// the paper's sense when it carries a dominant share (>= 25%) — the paper's
+// Figure 12(a) has one trend plus "many points above the main throughput
+// trend" that it does not count as trends.
+struct BandShares {
+  double p01 = 0.0;
+  double p45 = 0.0;
+  double p8 = 0.0;
+  [[nodiscard]] int trends() const {
+    return (p01 >= 0.25 ? 1 : 0) + (p45 >= 0.25 ? 1 : 0) + (p8 >= 0.25 ? 1 : 0);
+  }
+};
+
+BandShares throughput_bands(const core::DetectionResult& d, double p0_capacity,
+                            const std::vector<transient::PState>& states) {
+  std::vector<int> hits(states.size(), 0);
+  int congested = 0;
+  for (std::size_t i = 0; i < d.states.size(); ++i) {
+    if (d.states[i] != core::IntervalState::kCongested &&
+        d.states[i] != core::IntervalState::kFrozen) {
+      continue;
+    }
+    ++congested;
+    int best = 0;
+    double best_err = 1e300;
+    for (std::size_t s = 0; s < states.size(); ++s) {
+      const double level = p0_capacity * states[s].mhz / states[0].mhz;
+      const double err = std::abs(d.throughput[i] - level);
+      if (err < best_err) {
+        best_err = err;
+        best = static_cast<int>(s);
+      }
+    }
+    ++hits[static_cast<std::size_t>(best)];
+  }
+  BandShares shares;
+  if (congested == 0) return shares;
+  shares.p01 = static_cast<double>(hits[0] + hits[1]) / congested;
+  shares.p45 = static_cast<double>(hits[2] + hits[3]) / congested;
+  shares.p8 = static_cast<double>(hits[4]) / congested;
+  return shares;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchx::BenchArgs::parse(argc, argv);
+  const Duration duration = args.run_duration(60_s);
+
+  benchx::print_header(
+      "Figures 12-13 / Table II: SpeedStep transient bottlenecks in MySQL");
+
+  // ---- Table II ---------------------------------------------------------------
+  std::printf("  Table II (P-states):");
+  for (const auto& p : transient::xeon_pstates()) {
+    std::printf("  %s=%.0fMHz", p.name.c_str(), p.mhz);
+  }
+  std::printf("\n");
+
+  const auto tables = app::calibrate_service_times(ss_config(8000, false, duration));
+  const auto states = transient::xeon_pstates();
+
+  // Cross-configuration comparisons need ONE yardstick: N* and TPmax are
+  // properties of the server at its reference clock, so both come from the
+  // SpeedStep-off run of each workload and the enabled run is classified
+  // against them. (A per-run N* on the enabled run's multi-band curve lands
+  // on the P0 band and under-counts the P8-bound congestion.)
+  double congested_on[2] = {0, 0};
+  double congested_off[2] = {0, 0};
+  int trends_on[2] = {0, 0};
+  std::printf("\n  %-8s %-10s %-8s %-12s %-9s %-22s %-14s\n", "WL",
+              "SpeedStep", "N*", "congested%", "trends",
+              "band shares P01/P45/P8", "P8 residency");
+  for (const int wl : {8000, 10000}) {
+    const int idx = wl == 8000 ? 0 : 1;
+    const auto off = analyze_db(ss_config(wl, false, duration), tables);
+    const auto on = analyze_db(ss_config(wl, true, duration), tables);
+
+    // Re-classify the enabled run against the off-run's N*/TPmax.
+    core::DetectionResult on_shared = on.detection;
+    on_shared.nstar = off.detection.nstar;
+    on_shared.states = core::classify_intervals(
+        on_shared.load, on_shared.throughput, on_shared.nstar);
+    on_shared.episodes = core::extract_episodes(on_shared.states,
+                                                on_shared.load, on_shared.spec);
+
+    congested_off[idx] = off.detection.congested_fraction();
+    congested_on[idx] = on_shared.congested_fraction();
+    // P0 capacity anchor from the pinned-P0 run: its top-percentile interval
+    // throughput. (Anchoring on the enabled run is circular — when the
+    // governor parks in P8, that run's own maximum IS the P8 ceiling.)
+    const double p0_capacity = quantile(off.detection.throughput, 0.995);
+    const BandShares bands = throughput_bands(on_shared, p0_capacity, states);
+    trends_on[idx] = bands.trends();
+
+    double p8_res = 0.0;
+    if (!on.result.pstate_residency.empty()) {
+      p8_res = on.result.pstate_residency[0].back();
+    }
+    char share_buf[32];
+    std::snprintf(share_buf, sizeof share_buf, "%.2f/%.2f/%.2f", bands.p01,
+                  bands.p45, bands.p8);
+    std::printf("  %-8d %-10s %-8.1f %-12.1f %-9d %-22s %-14.2f\n", wl, "on",
+                on_shared.nstar.n_star, 100.0 * congested_on[idx],
+                trends_on[idx], share_buf, p8_res);
+    std::printf("  %-8d %-10s %-8.1f %-12.1f %-9s %-22s %-14s\n", wl, "off",
+                off.detection.nstar.n_star, 100.0 * congested_off[idx], "1",
+                "-", "-");
+    CsvWriter::write_columns(
+        benchx::out_dir() + std::string{wl == 8000 ? "/fig12a" : "/fig12b"} +
+            "_scatter.csv",
+        {"load", "norm_tput_per_s"}, {on.detection.load, on.detection.throughput});
+    CsvWriter::write_columns(
+        benchx::out_dir() + std::string{wl == 8000 ? "/fig13a" : "/fig13b"} +
+            "_scatter.csv",
+        {"load", "norm_tput_per_s"},
+        {off.detection.load, off.detection.throughput});
+
+    // Figure 12(c)/13(c): 10s timelines for the WL 10,000 cells.
+    if (wl == 10000) {
+      for (const auto* a : {&on, &off}) {
+        const auto slice = core::IntervalSpec::over(
+            a->result.window_start, a->result.window_start + 10_s, 50_ms);
+        const auto& log = a->result.logs[static_cast<std::size_t>(a->db1)];
+        const auto load10 = core::compute_load(log, slice);
+        const auto tput10 = core::compute_throughput(
+            log, slice, tables[static_cast<std::size_t>(a->db1)],
+            core::ThroughputOptions{});
+        CsvWriter::write_columns(
+            benchx::out_dir() +
+                (a == &on ? "/fig12c_timeline.csv" : "/fig13c_timeline.csv"),
+            {"t_s", "load", "norm_tput_per_s"},
+            {slice.midpoints_seconds(), load10, tput10});
+      }
+      std::printf("%s\n",
+                  core::ascii_scatter(on.detection.load,
+                                      on.detection.throughput,
+                                      off.detection.nstar.n_star)
+                      .c_str());
+    }
+  }
+
+  // ---- paper-vs-measured -------------------------------------------------------
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%d trend(s)", trends_on[0]);
+  benchx::print_expectation("WL 8,000 + SpeedStep congested bands",
+                            "one trend (P8)", buf);
+  std::snprintf(buf, sizeof buf, "%d trend(s) (%s than WL 8,000)",
+                trends_on[1], trends_on[1] > trends_on[0] ? "more" : "not more");
+  benchx::print_expectation("WL 10,000 + SpeedStep congested bands",
+                            "three trends (P8, P4/P5, P0)", buf);
+  std::snprintf(buf, sizeof buf, "%.1f%% -> %.1f%%", 100.0 * congested_on[0],
+                100.0 * congested_off[0]);
+  benchx::print_expectation("WL 8,000 congestion after disabling",
+                            "much less frequent", buf);
+  std::snprintf(buf, sizeof buf, "%.1f%% -> %.1f%%", 100.0 * congested_on[1],
+                100.0 * congested_off[1]);
+  benchx::print_expectation("WL 10,000 congestion after disabling",
+                            "much less frequent", buf);
+  return 0;
+}

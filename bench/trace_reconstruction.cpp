@@ -1,0 +1,69 @@
+// Section II-C claim: black-box transaction trace reconstruction (SysViz)
+// achieves >99% accuracy for a 4-tier application even under high
+// concurrent workload.
+//
+// We capture the full wire-level message stream (no ground-truth ids used by
+// the algorithm), reconstruct every transaction tree with the per-connection
+// FIFO + time-containment + LIFO-readiness algorithm, and score parent
+// attribution against the simulator's ground truth across workloads.
+#include <cstdio>
+
+#include "app/experiment.h"
+#include "bench_util.h"
+#include "trace/reconstructor.h"
+#include "util/csv.h"
+
+using namespace tbd;
+using namespace tbd::literals;
+
+int main(int argc, char** argv) {
+  const auto args = benchx::BenchArgs::parse(argc, argv);
+  const Duration duration = args.run_duration(20_s);
+
+  benchx::print_header(
+      "SysViz substitute: black-box trace reconstruction accuracy");
+
+  std::printf("  %-8s %-12s %-12s %-12s %-10s %-10s\n", "WL", "messages",
+              "visits", "edge-acc", "txn-acc", "orphans");
+  std::vector<double> wl_col, edge_col, txn_col;
+  double moderate_edge = 1.0;  // accuracy up to WL 4,000
+  double worst_edge = 1.0;
+  for (int wl : {1000, 2000, 4000, 8000, 12000}) {
+    app::ExperimentConfig cfg;
+    cfg.workload = wl;
+    cfg.warmup = 5_s;
+    cfg.duration = duration;
+    cfg.seed = 7777;
+    cfg.record_messages = true;
+    const auto result = app::run_experiment(cfg);
+
+    trace::TraceReconstructor rec;
+    rec.process(result.messages);
+    const auto acc = rec.score_against_truth();
+    std::printf("  %-8d %-12zu %-12llu %-12.4f %-12.4f %-10llu\n", wl,
+                result.messages.size(),
+                static_cast<unsigned long long>(rec.stats().visits),
+                acc.edge_accuracy(), acc.transaction_accuracy(),
+                static_cast<unsigned long long>(rec.stats().orphan_children));
+    wl_col.push_back(wl);
+    edge_col.push_back(acc.edge_accuracy());
+    txn_col.push_back(acc.transaction_accuracy());
+    if (wl <= 4000) moderate_edge = std::min(moderate_edge, acc.edge_accuracy());
+    worst_edge = std::min(worst_edge, acc.edge_accuracy());
+  }
+  CsvWriter::write_columns(benchx::out_dir() + "/trace_reconstruction.csv",
+                           {"workload", "edge_accuracy", "txn_accuracy"},
+                           {wl_col, edge_col, txn_col});
+
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.2f%% at WL<=4,000; %.2f%% worst overall",
+                100.0 * moderate_edge, 100.0 * worst_edge);
+  benchx::print_expectation("reconstruction accuracy",
+                            ">99% (4-tier, high concurrency)", buf);
+  std::printf(
+      "\n  note: greedy black-box matching degrades near saturation when\n"
+      "  per-segment service jitter (CV 1/3 here) exceeds inter-ready gaps;\n"
+      "  see bench_ablations for the policy comparison and EXPERIMENTS.md\n"
+      "  for the discussion of this gap vs the paper's SysViz claim.\n");
+  return 0;
+}

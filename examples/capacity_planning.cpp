@@ -1,0 +1,81 @@
+// Capacity planning with the library: sweep workload, find the knee, and
+// compare what three lenses report —
+//   * MVA (queueing model): where the mean saturates,
+//   * coarse utilization: which tier looks hot at 1s granularity,
+//   * fine-grained detection: which tier actually congests first, and how
+//     far below the knee transient bottlenecks start hurting the tail.
+//
+// The punchline mirrors the paper: the SLA is violated by transient
+// bottlenecks well before any tier's average utilization says "saturated".
+#include <cstdio>
+#include <vector>
+
+#include "app/experiment.h"
+#include "baseline/mva.h"
+#include "core/detector.h"
+#include "workload/browse_mix.h"
+
+using namespace tbd;
+using namespace tbd::literals;
+
+int main() {
+  std::printf("=== Capacity planning for 1L/2S/1L/2S, browse-only mix ===\n");
+
+  // MVA knee prediction from the calibrated demands.
+  const auto classes = workload::rubbos_browse_mix();
+  baseline::MvaModel model;
+  model.stations = {
+      {"web", workload::mean_web_demand(classes) / 1e6 / 2.0},
+      {"app", workload::mean_app_demand(classes) / 1e6 / 2.0},
+      {"mw", workload::mean_mw_demand_per_page(classes) / 1e6 / 2.0},
+      {"db", workload::mean_db_demand_per_page(classes) / 1e6 / 2.0},
+  };
+  model.delay_s =
+      (4.0 + 4.0 * workload::mean_queries_per_page(classes)) * 150e-6;
+  model.think_s = 7.0;
+  double x_max = 0.0;
+  for (const auto& s : model.stations) {
+    x_max = std::max(x_max, s.demand_s);
+  }
+  x_max = 1.0 / x_max;
+  std::printf("MVA bottleneck rate: %.0f pages/s => knee near WL %.0f\n",
+              x_max, x_max * model.think_s);
+
+  const auto tables = app::calibrate_service_times([] {
+    app::ExperimentConfig cfg;
+    cfg.seed = 31337;
+    return cfg;
+  }());
+
+  std::printf("\n%-8s %-10s %-10s %-12s %-14s %-16s\n", "WL", "X[p/s]",
+              ">2s[%]", "app util[%]", "app cong[%]", "db cong[%]");
+  for (int wl = 4000; wl <= 14000; wl += 2000) {
+    app::ExperimentConfig cfg;
+    cfg.workload = wl;
+    cfg.warmup = 8_s;
+    cfg.duration = 25_s;
+    cfg.seed = 31337;
+    cfg.speedstep_on_db = true;  // production default before the audit
+    const auto r = app::run_experiment(cfg);
+    const int app1 = r.server_index_of(ntier::TierKind::kApp, 0);
+    const int db1 = r.server_index_of(ntier::TierKind::kDb, 0);
+    const auto spec = core::IntervalSpec::over(r.window_start, r.window_end, 50_ms);
+    const auto app_d = core::detect_bottlenecks(
+        r.logs[static_cast<std::size_t>(app1)], spec,
+        tables[static_cast<std::size_t>(app1)]);
+    const auto db_d = core::detect_bottlenecks(
+        r.logs[static_cast<std::size_t>(db1)], spec,
+        tables[static_cast<std::size_t>(db1)]);
+    std::printf("%-8d %-10.0f %-10.2f %-12.1f %-14.1f %-16.1f\n", wl,
+                r.goodput(), 100.0 * r.fraction_rt_above(2_s),
+                100.0 * r.mean_util(app1),
+                100.0 * app_d.congested_fraction(),
+                100.0 * db_d.congested_fraction());
+  }
+
+  std::printf(
+      "\nreading: the db tier congests transiently long before the app tier's\n"
+      "average utilization reaches saturation; the >2s column (the SLA) tracks\n"
+      "the congested%% columns, not the utilization column.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Case study, Section IV-C/D: diagnose SpeedStep-induced transient
+// bottlenecks in the database tier and validate pinning P0.
+//
+// The signature that distinguishes this root cause from GC: congested
+// intervals land on SEVERAL distinct throughput plateaus — one per CPU
+// P-state — because the ceiling the server hits depends on the clock the
+// governor happened to leave it at.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "app/experiment.h"
+#include "core/detector.h"
+#include "core/report.h"
+
+using namespace tbd;
+using namespace tbd::literals;
+
+namespace {
+
+app::ExperimentConfig scenario(bool speedstep) {
+  app::ExperimentConfig cfg;
+  cfg.workload = 10000;
+  cfg.warmup = 10_s;
+  cfg.duration = 40_s;
+  cfg.seed = 1213;
+  cfg.speedstep_on_db = speedstep;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Case study: Intel SpeedStep mismatch (Sec. IV-C/D) ===\n");
+  const auto tables = app::calibrate_service_times(scenario(false));
+
+  // --- diagnose with SpeedStep enabled ---------------------------------------
+  const auto on = app::run_experiment(scenario(true));
+  const int db1 = on.server_index_of(ntier::TierKind::kDb, 0);
+  const auto spec = core::IntervalSpec::over(on.window_start, on.window_end, 50_ms);
+  const auto diag = core::detect_bottlenecks(
+      on.logs[static_cast<std::size_t>(db1)], spec,
+      tables[static_cast<std::size_t>(db1)]);
+  std::printf("\nSpeedStep ON:\n%s", core::summarize(diag, "db1").c_str());
+
+  // Where did the governor leave the clock?
+  std::printf("\nP-state residency (db1): ");
+  const auto states = transient::xeon_pstates();
+  for (std::size_t s = 0; s < states.size(); ++s) {
+    std::printf("%s=%.0f%% ", states[s].name.c_str(),
+                100.0 * on.pstate_residency[0][s]);
+  }
+  std::printf("\n%zu P-state transitions during the run\n",
+              on.pstate_logs[0].size());
+
+  // Throughput plateaus among congested intervals.
+  std::vector<double> congested_tput;
+  for (std::size_t i = 0; i < diag.states.size(); ++i) {
+    if (diag.states[i] == core::IntervalState::kCongested) {
+      congested_tput.push_back(diag.throughput[i]);
+    }
+  }
+  std::sort(congested_tput.begin(), congested_tput.end());
+  if (!congested_tput.empty()) {
+    std::printf("congested-interval throughput range: %.0f .. %.0f units/s\n"
+                "=> multiple ceilings = multiple clock speeds (Fig 12b)\n",
+                congested_tput.front(), congested_tput.back());
+  }
+
+  // --- fix: disable SpeedStep (pin P0) ----------------------------------------
+  const auto off = app::run_experiment(scenario(false));
+  const auto spec_off =
+      core::IntervalSpec::over(off.window_start, off.window_end, 50_ms);
+  const auto fixed = core::detect_bottlenecks(
+      off.logs[static_cast<std::size_t>(db1)], spec_off,
+      tables[static_cast<std::size_t>(db1)]);
+  std::printf("\nSpeedStep OFF (P0 pinned):\n%s",
+              core::summarize(fixed, "db1").c_str());
+  std::printf("\ncongested fraction: %.1f%% -> %.1f%%\n",
+              100.0 * diag.congested_fraction(),
+              100.0 * fixed.congested_fraction());
+  std::printf(">2s pages: %.2f%% -> %.2f%%\n",
+              100.0 * on.fraction_rt_above(2_s),
+              100.0 * off.fraction_rt_above(2_s));
+  return 0;
+}

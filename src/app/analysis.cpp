@@ -1,0 +1,37 @@
+#include "app/analysis.h"
+
+#include <cassert>
+
+#include "core/report.h"
+
+namespace tbd::app {
+
+SystemAnalysis analyze_system(const ExperimentResult& result,
+                              const std::vector<core::ServiceTimeTable>& tables,
+                              Duration width,
+                              const core::DetectorConfig& config) {
+  assert(tables.size() == result.logs.size());
+  SystemAnalysis analysis;
+  analysis.spec =
+      core::IntervalSpec::over(result.window_start, result.window_end, width);
+  for (std::size_t s = 0; s < result.logs.size(); ++s) {
+    analysis.detections.push_back(core::detect_bottlenecks(
+        result.logs[s], analysis.spec, tables[s], config));
+    analysis.names.push_back(result.servers[s].name);
+  }
+  analysis.report =
+      core::rank_bottlenecks(analysis.detections, analysis.names);
+  return analysis;
+}
+
+std::string to_string(const SystemAnalysis& analysis) {
+  std::string out;
+  for (std::size_t s = 0; s < analysis.detections.size(); ++s) {
+    out += core::summarize(analysis.detections[s], analysis.names[s]);
+  }
+  out += '\n';
+  out += core::to_string(analysis.report);
+  return out;
+}
+
+}  // namespace tbd::app

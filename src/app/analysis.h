@@ -1,0 +1,33 @@
+// Whole-system analysis convenience: run the Section III pipeline over every
+// server of an experiment (or any set of request logs) and produce the
+// per-server detections plus the ranked system report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "app/experiment.h"
+#include "core/detector.h"
+#include "core/system_report.h"
+
+namespace tbd::app {
+
+struct SystemAnalysis {
+  core::IntervalSpec spec;
+  std::vector<core::DetectionResult> detections;  // per dense server index
+  std::vector<std::string> names;
+  core::SystemReport report;
+};
+
+/// Analyzes every server of `result` at `width` granularity using the given
+/// calibration tables (one per server, as from calibrate_service_times).
+[[nodiscard]] SystemAnalysis analyze_system(
+    const ExperimentResult& result,
+    const std::vector<core::ServiceTimeTable>& tables,
+    Duration width = Duration::millis(50),
+    const core::DetectorConfig& config = {});
+
+/// Renders the full multi-server analysis (summary per server + ranking).
+[[nodiscard]] std::string to_string(const SystemAnalysis& analysis);
+
+}  // namespace tbd::app

@@ -1,0 +1,179 @@
+#include "app/experiment.h"
+
+#include <cassert>
+#include <memory>
+
+#include "metrics/utilization_sampler.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace tbd::app {
+
+int ExperimentResult::server_index_of(ntier::TierKind tier, int i) const {
+  int seen = 0;
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    if (servers[s].tier == tier) {
+      if (seen == i) return static_cast<int>(s);
+      ++seen;
+    }
+  }
+  return -1;
+}
+
+double ExperimentResult::goodput() const {
+  std::size_t n = 0;
+  for (const auto& p : pages) {
+    if (p.completed >= window_start && p.completed < window_end) ++n;
+  }
+  const double span = (window_end - window_start).seconds_f();
+  return span > 0.0 ? static_cast<double>(n) / span : 0.0;
+}
+
+double ExperimentResult::mean_rt_s() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : pages) {
+    if (p.completed >= window_start && p.completed < window_end) {
+      sum += p.response_time.seconds_f();
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double ExperimentResult::fraction_rt_above(Duration threshold) const {
+  std::size_t n = 0;
+  std::size_t above = 0;
+  for (const auto& p : pages) {
+    if (p.completed >= window_start && p.completed < window_end) {
+      ++n;
+      if (p.response_time > threshold) ++above;
+    }
+  }
+  return n ? static_cast<double>(above) / static_cast<double>(n) : 0.0;
+}
+
+double ExperimentResult::mean_util(int server_index) const {
+  const auto& series = util[static_cast<std::size_t>(server_index)];
+  const auto first =
+      static_cast<std::size_t>(window_start.micros() / util_period.micros());
+  const auto last =
+      static_cast<std::size_t>(window_end.micros() / util_period.micros());
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = first; i < last && i < series.size(); ++i) {
+    sum += series[i];
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  sim::Engine engine;
+  Rng root{config.seed};
+
+  ntier::Topology topology{engine, config.topology};
+  trace::TraceSink sink{topology.total_servers(), config.record_messages};
+  ntier::TxnDriver driver{engine,       topology, config.classes,
+                          sink,         root.fork(1), config.driver};
+
+  metrics::ResponseCollector responses;
+  workload::ClientConfig client_cfg = config.clients;
+  client_cfg.num_clients = config.workload;
+  workload::ClientPopulation clients{
+      engine, driver, client_cfg, root.fork(2),
+      [&responses](const ntier::TxnDriver::PageResult& r) {
+        responses.record(metrics::PageSample{
+            .completed = r.started + r.response_time,
+            .response_time = r.response_time,
+            .class_id = r.class_id,
+            .retransmissions = r.retransmissions,
+        });
+      }};
+
+  // Transient injectors.
+  std::vector<std::unique_ptr<transient::GcModel>> gc_models;
+  if (config.gc_on_app) {
+    for (int i = 0; i < topology.tier_size(ntier::TierKind::kApp); ++i) {
+      gc_models.push_back(std::make_unique<transient::GcModel>(
+          engine, topology.server(ntier::TierKind::kApp, i), config.gc,
+          root.fork(100 + static_cast<std::uint64_t>(i))));
+      driver.set_app_alloc_hook(
+          i, [gc = gc_models.back().get()](double bytes) { gc->on_alloc(bytes); });
+    }
+  }
+  std::vector<std::unique_ptr<transient::SpeedStepModel>> governors;
+  if (config.speedstep_on_db) {
+    for (int i = 0; i < topology.tier_size(ntier::TierKind::kDb); ++i) {
+      governors.push_back(std::make_unique<transient::SpeedStepModel>(
+          engine, topology.server(ntier::TierKind::kDb, i), config.speedstep));
+    }
+  }
+
+  metrics::UtilizationSampler sampler{engine, topology,
+                                      config.util_sample_period};
+
+  clients.start();
+  const TimePoint end_at =
+      TimePoint::origin() + config.warmup + config.duration;
+  engine.run_until(end_at);
+
+  // ---- extract --------------------------------------------------------------
+  ExperimentResult result;
+  result.window_start = TimePoint::origin() + config.warmup;
+  result.window_end = end_at;
+  result.util_period = config.util_sample_period;
+
+  const ntier::TierKind tiers[] = {ntier::TierKind::kWeb, ntier::TierKind::kApp,
+                                   ntier::TierKind::kMw, ntier::TierKind::kDb};
+  for (const auto tier : tiers) {
+    for (int i = 0; i < topology.tier_size(tier); ++i) {
+      const auto& server = topology.server(tier, i);
+      result.servers.push_back(
+          ServerInfo{server.name(), tier, server.cores()});
+    }
+  }
+  for (trace::ServerIndex s = 0; s < topology.total_servers(); ++s) {
+    result.logs.push_back(sink.server_log(s));
+    result.util.push_back(sampler.series(s));
+    result.net.push_back(sink.net_counters(s));
+    result.disk_busy_us.push_back(
+        topology.server_by_index(s).disk_busy_micros());
+  }
+  result.messages = sink.messages();
+  result.pages = responses.samples();
+
+  for (const auto& gc : gc_models) result.gc_logs.push_back(gc->log());
+  for (const auto& gov : governors) {
+    result.pstate_logs.push_back(gov->log());
+    result.pstate_residency.push_back(
+        gov->state_residency(result.window_start, result.window_end));
+  }
+
+  result.pages_started = driver.transactions_started();
+  result.pages_completed = driver.transactions_completed();
+  result.retransmissions = driver.retransmissions();
+  result.engine_events = engine.events_executed();
+  return result;
+}
+
+std::vector<core::ServiceTimeTable> calibrate_service_times(
+    ExperimentConfig config, int calibration_workload) {
+  config.workload = calibration_workload;
+  config.warmup = Duration::seconds(5);
+  config.duration = Duration::seconds(20);
+  config.clients.bursts_enabled = false;
+  config.gc_on_app = false;        // no freezes polluting intra-node delays
+  config.speedstep_on_db = false;  // calibrate at the reference clock
+  config.record_messages = false;
+
+  const ExperimentResult result = run_experiment(config);
+  std::vector<core::ServiceTimeTable> tables;
+  tables.reserve(result.logs.size());
+  for (const auto& log : result.logs) {
+    tables.push_back(core::estimate_service_times(log));
+  }
+  return tables;
+}
+
+}  // namespace tbd::app

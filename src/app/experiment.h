@@ -1,0 +1,110 @@
+// One-call experiment runner: topology + workload + transient injectors ->
+// run -> traces, metrics, logs. Shared by the examples and every benchmark
+// binary; each of the paper's figures is "configure, run, analyze".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/throughput_calculator.h"
+#include "metrics/response_collector.h"
+#include "ntier/request_class.h"
+#include "ntier/topology.h"
+#include "ntier/txn_driver.h"
+#include "trace/records.h"
+#include "trace/sink.h"
+#include "transient/gc_model.h"
+#include "transient/speedstep.h"
+#include "workload/browse_mix.h"
+#include "workload/client_population.h"
+
+namespace tbd::app {
+
+struct ExperimentConfig {
+  ntier::TopologyConfig topology = ntier::paper_topology();
+  ntier::RequestClassList classes = workload::rubbos_browse_mix();
+  ntier::TxnDriver::Config driver;
+  workload::ClientConfig clients;  // num_clients is overridden by `workload`
+
+  /// Concurrent users (the paper's WL axis).
+  int workload = 1000;
+  Duration warmup = Duration::seconds(10);
+  Duration duration = Duration::seconds(60);
+  std::uint64_t seed = 42;
+
+  /// JVM GC on every app-tier server (Section IV-A). Defaults to the JDK 1.6
+  /// parallel collector — the benign configuration.
+  bool gc_on_app = true;
+  transient::GcConfig gc = transient::jdk16_config();
+
+  /// SpeedStep on every db-tier server (Section IV-C); disabled = P0 pinned.
+  bool speedstep_on_db = false;
+  transient::SpeedStepConfig speedstep = transient::dell_bios_config();
+
+  /// Keep the raw message stream (needed for trace reconstruction).
+  bool record_messages = false;
+  Duration util_sample_period = Duration::seconds(1);
+};
+
+struct ServerInfo {
+  std::string name;
+  ntier::TierKind tier;
+  int cores = 1;
+};
+
+struct ExperimentResult {
+  // Measurement window (after warmup).
+  TimePoint window_start;
+  TimePoint window_end;
+
+  std::vector<ServerInfo> servers;
+  /// Per-server request logs from passive tracing (dense server index).
+  std::vector<trace::RequestLog> logs;
+  /// Raw message stream (empty unless record_messages).
+  std::vector<trace::Message> messages;
+
+  /// Client-side samples.
+  std::vector<metrics::PageSample> pages;
+
+  /// Utilization series (one sample per util_sample_period, from t=0).
+  std::vector<std::vector<double>> util;
+  Duration util_period;
+  std::vector<trace::NetCounters> net;
+  std::vector<double> disk_busy_us;
+
+  /// Stop-the-world GC log per app server (empty when GC disabled).
+  std::vector<std::vector<transient::GcEvent>> gc_logs;
+  /// P-state transition log / residency per db server.
+  std::vector<std::vector<transient::PStateTransition>> pstate_logs;
+  std::vector<std::vector<double>> pstate_residency;
+
+  std::uint64_t pages_started = 0;
+  std::uint64_t pages_completed = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t engine_events = 0;
+
+  // ---- convenience ---------------------------------------------------------
+
+  [[nodiscard]] int server_index_of(ntier::TierKind tier, int i) const;
+  /// Pages per second completed inside the measurement window.
+  [[nodiscard]] double goodput() const;
+  /// Mean end-to-end response time (seconds) in the window.
+  [[nodiscard]] double mean_rt_s() const;
+  /// Fraction of in-window pages above the threshold.
+  [[nodiscard]] double fraction_rt_above(Duration threshold) const;
+  /// Mean CPU utilization of one server across the window.
+  [[nodiscard]] double mean_util(int server_index) const;
+};
+
+/// Builds the world, runs warmup + duration, extracts all observables.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Runs a low-workload calibration pass (same topology/classes/seed) and
+/// returns the per-server service-time tables the throughput normalization
+/// needs (Section III-B "service time approximation ... when the production
+/// system is under low workload").
+[[nodiscard]] std::vector<core::ServiceTimeTable> calibrate_service_times(
+    ExperimentConfig config, int calibration_workload = 400);
+
+}  // namespace tbd::app

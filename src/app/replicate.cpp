@@ -1,0 +1,28 @@
+#include "app/replicate.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tbd::app {
+
+Replicated replicate(ExperimentConfig config, int replicas,
+                     const std::function<double(const ExperimentResult&)>& metric,
+                     std::uint64_t seed_base, double confidence) {
+  assert(replicas >= 2);
+  Replicated out;
+  RunningStats stats;
+  for (int r = 0; r < replicas; ++r) {
+    config.seed = seed_base + static_cast<std::uint64_t>(r);
+    const double value = metric(run_experiment(config));
+    out.samples.push_back(value);
+    stats.add(value);
+  }
+  out.mean = stats.mean();
+  // Two-sided t interval: quantile at 1 - (1-confidence)/2.
+  const double p = 1.0 - (1.0 - confidence) / 2.0;
+  const double t = student_t_quantile(p, replicas - 1);
+  out.half_width = t * stats.stddev() / std::sqrt(static_cast<double>(replicas));
+  return out;
+}
+
+}  // namespace tbd::app

@@ -1,0 +1,37 @@
+// Replication: run the same experiment across independent seeds and report
+// mean +- a Student-t confidence half-width for any scalar metric. The
+// figure benches are single-seed (deterministic regeneration is the
+// priority); this harness is for answering "is that difference real?"
+// before trusting a comparison.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "app/experiment.h"
+#include "util/stats.h"
+
+namespace tbd::app {
+
+struct Replicated {
+  double mean = 0.0;
+  /// Half-width of the two-sided confidence interval at the requested level.
+  double half_width = 0.0;
+  std::vector<double> samples;
+
+  [[nodiscard]] double lo() const { return mean - half_width; }
+  [[nodiscard]] double hi() const { return mean + half_width; }
+  /// True when this interval does not overlap `other`'s.
+  [[nodiscard]] bool clearly_above(const Replicated& other) const {
+    return lo() > other.hi();
+  }
+};
+
+/// Runs `config` with seeds seed_base..seed_base+replicas-1 and evaluates
+/// `metric` on each result. confidence is two-sided (default 95%).
+[[nodiscard]] Replicated replicate(
+    ExperimentConfig config, int replicas,
+    const std::function<double(const ExperimentResult&)>& metric,
+    std::uint64_t seed_base = 1000, double confidence = 0.95);
+
+}  // namespace tbd::app

@@ -1,0 +1,76 @@
+#include "baseline/coarse_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tbd::baseline {
+
+DetectorOutput detect_from_utilization(std::span<const double> util_series,
+                                       TimePoint first_sample_start,
+                                       Duration period, double threshold) {
+  DetectorOutput out;
+  out.spec.start = first_sample_start;
+  out.spec.width = period;
+  out.spec.count = util_series.size();
+  out.flagged.reserve(util_series.size());
+  for (double u : util_series) out.flagged.push_back(u >= threshold);
+  return out;
+}
+
+DetectorOutput detect_from_fine_grained(const core::DetectionResult& result) {
+  DetectorOutput out;
+  out.spec = result.spec;
+  out.flagged.reserve(result.states.size());
+  for (const auto s : result.states) {
+    out.flagged.push_back(s == core::IntervalState::kCongested ||
+                          s == core::IntervalState::kFrozen);
+  }
+  return out;
+}
+
+RecallReport score_detector(const DetectorOutput& output,
+                            std::span<const core::TimeWindow> truth,
+                            Duration slack) {
+  RecallReport report;
+  report.truth_episodes = truth.size();
+
+  auto overlaps_flag = [&](const core::TimeWindow& w) {
+    for (std::size_t i = 0; i < output.flagged.size(); ++i) {
+      if (!output.flagged[i]) continue;
+      const TimePoint cell_start = output.spec.interval_start(i);
+      const TimePoint cell_end = cell_start + output.spec.width;
+      if (cell_start < w.end + slack && cell_end > w.start - slack) return true;
+    }
+    return false;
+  };
+  for (const auto& w : truth) {
+    if (overlaps_flag(w)) ++report.detected_episodes;
+  }
+
+  for (std::size_t i = 0; i < output.flagged.size(); ++i) {
+    if (!output.flagged[i]) continue;
+    ++report.flagged_intervals;
+    const TimePoint cell_start = output.spec.interval_start(i);
+    const TimePoint cell_end = cell_start + output.spec.width;
+    bool any = false;
+    for (const auto& w : truth) {
+      if (cell_start < w.end + slack && cell_end > w.start - slack) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) ++report.false_positive_intervals;
+  }
+  return report;
+}
+
+double sampling_overhead_fraction(Duration sample_interval) {
+  // Power-law fit through (20 ms, 12%) and (100 ms, 6%):
+  // overhead = k * T^-a with a = ln2/ln5, k chosen to hit both points.
+  const double t_ms = std::max(1.0, sample_interval.millis_f());
+  const double a = std::log(2.0) / std::log(5.0);
+  const double k = 0.12 * std::pow(20.0, a);
+  return std::min(0.5, k * std::pow(t_ms, -a));
+}
+
+}  // namespace tbd::baseline

@@ -1,0 +1,49 @@
+#include "baseline/mva.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tbd::baseline {
+
+std::vector<MvaPoint> solve_mva_sweep(const MvaModel& model,
+                                      const std::vector<int>& populations) {
+  std::vector<MvaPoint> out;
+  if (populations.empty()) return out;
+  const int n_max = *std::max_element(populations.begin(), populations.end());
+  const std::size_t s = model.stations.size();
+
+  std::vector<double> queue(s, 0.0);  // Q_k(N-1) carried through recursion
+  for (int n = 1; n <= n_max; ++n) {
+    // R_k(N) = D_k * (1 + Q_k(N-1)) for queueing stations.
+    double total_r = model.delay_s;
+    std::vector<double> resid(s, 0.0);
+    for (std::size_t k = 0; k < s; ++k) {
+      resid[k] = model.stations[k].demand_s * (1.0 + queue[k]);
+      total_r += resid[k];
+    }
+    const double x = n / (model.think_s + total_r);
+    for (std::size_t k = 0; k < s; ++k) queue[k] = x * resid[k];
+
+    if (std::find(populations.begin(), populations.end(), n) !=
+        populations.end()) {
+      MvaPoint p;
+      p.population = n;
+      p.throughput = x;
+      p.response_time_s = total_r;
+      p.queue_len = queue;
+      p.utilization.reserve(s);
+      for (std::size_t k = 0; k < s; ++k) {
+        p.utilization.push_back(x * model.stations[k].demand_s);
+      }
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+MvaPoint solve_mva(const MvaModel& model, int population) {
+  assert(population >= 1);
+  return solve_mva_sweep(model, {population}).front();
+}
+
+}  // namespace tbd::baseline

@@ -1,0 +1,48 @@
+// Mean Value Analysis baseline (related work, Section V).
+//
+// Urgaonkar et al. model an n-tier application as a closed product-form
+// queueing network and size tiers with exact MVA. The paper's critique: MVA
+// predicts averages well but "has difficulties dealing with wide-range
+// response time variations caused by bursty workloads and transient
+// bottlenecks". We implement exact single-class MVA over the topology's
+// service demands so the benchmark harness can show precisely that: MVA
+// tracks the simulated throughput curve (Fig 2a's shape) while being blind
+// to the tail (Fig 2b/c).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tbd::baseline {
+
+struct MvaStation {
+  std::string name;
+  /// Aggregate service demand per transaction at this station, seconds,
+  /// already divided by the tier's total cores (multi-server approximation).
+  double demand_s = 0.0;
+};
+
+struct MvaModel {
+  std::vector<MvaStation> stations;
+  /// Pure delay per transaction (network latencies), seconds.
+  double delay_s = 0.0;
+  /// Client think time, seconds.
+  double think_s = 7.0;
+};
+
+struct MvaPoint {
+  int population = 0;
+  double throughput = 0.0;        // transactions per second
+  double response_time_s = 0.0;   // mean residence across stations + delay
+  std::vector<double> utilization;  // per station, X * demand
+  std::vector<double> queue_len;    // per station
+};
+
+/// Exact MVA evaluated at population N (recursion from 1..N).
+[[nodiscard]] MvaPoint solve_mva(const MvaModel& model, int population);
+
+/// Evaluates a set of populations in one recursion sweep.
+[[nodiscard]] std::vector<MvaPoint> solve_mva_sweep(
+    const MvaModel& model, const std::vector<int>& populations);
+
+}  // namespace tbd::baseline

@@ -1,0 +1,230 @@
+#include "core/congestion_point.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace tbd::core {
+
+namespace {
+
+/// Mean of the slopes d[from..end); 0 when empty.
+double suffix_slope_mean(const std::vector<double>& d, std::size_t from) {
+  if (from >= d.size()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = from; i < d.size(); ++i) s += d[i];
+  return s / static_cast<double>(d.size() - from);
+}
+
+/// Secant slope of the rising region: bin 0 to the first bin reaching 50%
+/// of tp_max (at least delta0_window bins ahead when available). Falls back
+/// to the mean of the leading slope sequence when degenerate.
+double estimate_delta0(const std::vector<LoadBin>& bins,
+                       const std::vector<double>& d, double tp_max,
+                       const NStarConfig& config) {
+  std::size_t half = 1;
+  while (half + 1 < bins.size() && bins[half].mean_tput < 0.5 * tp_max) {
+    ++half;
+  }
+  half = std::min(bins.size() - 1,
+                  std::max<std::size_t>(
+                      half, static_cast<std::size_t>(config.delta0_window)));
+  double delta0 = (bins[half].mean_tput - bins[0].mean_tput) /
+                  std::max(1e-12, bins[half].load - bins[0].load);
+  if (delta0 <= 0.0) {
+    const int w = std::min<int>(config.delta0_window, static_cast<int>(d.size()));
+    delta0 = 0.0;
+    for (int i = 0; i < w; ++i) delta0 += d[static_cast<std::size_t>(i)];
+    delta0 /= w;
+  }
+  return delta0;
+}
+
+void robust_knee(NStarResult& result, const NStarConfig& config) {
+  const auto& bins = result.bins;
+  const auto& d = result.slopes;
+
+  // 3-bin smoothed throughput.
+  std::vector<double> smooth(bins.size());
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    double s = bins[i].mean_tput;
+    int n = 1;
+    if (i > 0) {
+      s += bins[i - 1].mean_tput;
+      ++n;
+    }
+    if (i + 1 < bins.size()) {
+      s += bins[i + 1].mean_tput;
+      ++n;
+    }
+    smooth[i] = s / n;
+  }
+
+  // First crossing of the knee threshold.
+  const double threshold = config.knee_tput_fraction * result.tp_max;
+  std::size_t knee = bins.size() - 1;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if (smooth[i] >= threshold) {
+      knee = i;
+      break;
+    }
+  }
+
+  // Validation: beyond the knee the curve must actually be flat (slope
+  // small relative to the rising-region slope). Otherwise the server never
+  // saturated in this data.
+  const double delta0 = estimate_delta0(bins, d, result.tp_max, config);
+  const double tail = suffix_slope_mean(d, knee + 1);
+  const bool flat = knee + 1 >= d.size()  // knee at the very top: no tail
+                        ? false
+                        : tail < config.tol_factor * delta0;
+  if (flat && knee + 1 < bins.size()) {
+    result.n_star = bins[knee].load;
+    result.converged = true;
+  } else {
+    result.n_star = bins.back().load;
+    result.converged = false;
+  }
+}
+
+void intervention_walk(NStarResult& result, const NStarConfig& config) {
+  const auto& bins = result.bins;
+  const auto& d = result.slopes;
+  const double delta0 = estimate_delta0(bins, d, result.tp_max, config);
+  const double tol = config.tol_factor * delta0;
+
+  // Both the local window after the trip point AND the remaining suffix
+  // must average below the flat threshold: the local check rejects trips
+  // diluted by a long flat tail that begins much later; the suffix check
+  // rejects one-off noise dips on a curve that keeps climbing.
+  const double flat_threshold = config.flat_factor * delta0;
+  auto locally_flat = [&](std::size_t from) {
+    const std::size_t to =
+        std::min(d.size(), from + static_cast<std::size_t>(
+                                      std::max(1, config.flat_window)));
+    double s = 0.0;
+    for (std::size_t i = from; i < to; ++i) s += d[i];
+    return s / static_cast<double>(to - from) < flat_threshold &&
+           suffix_slope_mean(d, from) < flat_threshold;
+  };
+
+  // Running mean / sd over the prefix {delta_1..delta_n0} (Equation 2).
+  double mean = d[0];
+  double m2 = 0.0;
+  for (std::size_t n0 = 2; n0 <= d.size(); ++n0) {
+    const double x = d[n0 - 1];
+    const double prev_mean = mean;
+    mean += (x - mean) / static_cast<double>(n0);
+    m2 += (x - prev_mean) * (x - mean);
+    const double sd = std::sqrt(m2 / static_cast<double>(n0 - 1));
+    const double t = student_t_quantile(config.confidence,
+                                        static_cast<int>(n0) - 1);
+    if (mean - t * sd < tol && locally_flat(n0 - 1)) {
+      // The prefix bound confirms instability a few bins late (it needs
+      // enough flat slopes to drag the confidence interval down). Back-scan
+      // to where the flat region actually begins.
+      std::size_t b = n0 - 1;
+      while (b > 0 && d[b] < flat_threshold) --b;
+      result.n_star = bins[b].load;
+      result.converged = true;
+      return;
+    }
+  }
+
+  // Slopes stayed stable across the whole range: never saturated here.
+  result.n_star = bins.back().load;
+  result.converged = false;
+}
+
+}  // namespace
+
+NStarResult estimate_congestion_point(std::span<const double> load,
+                                      std::span<const double> throughput,
+                                      const NStarConfig& config) {
+  assert(load.size() == throughput.size());
+  NStarResult result;
+  if (load.empty()) return result;
+
+  // ---- 1. bin the load range and average throughput per bin -------------
+  double n_min = load[0];
+  double n_max = load[0];
+  for (double v : load) {
+    n_min = std::min(n_min, v);
+    n_max = std::max(n_max, v);
+  }
+  if (n_max <= n_min) {
+    result.n_star = n_max;
+    return result;
+  }
+
+  const int k = std::max(2, config.bins);
+  const double bin_width = (n_max - n_min) / k;
+  std::vector<double> sum(static_cast<std::size_t>(k), 0.0);
+  std::vector<int> cnt(static_cast<std::size_t>(k), 0);
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    auto b = static_cast<int>((load[i] - n_min) / bin_width);
+    b = std::clamp(b, 0, k - 1);
+    sum[static_cast<std::size_t>(b)] += throughput[i];
+    ++cnt[static_cast<std::size_t>(b)];
+  }
+
+  // Collect sufficiently-populated bins in load order; sparse bins merge
+  // into the next populated one.
+  double carry_sum = 0.0;
+  int carry_cnt = 0;
+  for (int b = 0; b < k; ++b) {
+    carry_sum += sum[static_cast<std::size_t>(b)];
+    carry_cnt += cnt[static_cast<std::size_t>(b)];
+    if (carry_cnt >= config.min_samples_per_bin) {
+      LoadBin bin;
+      bin.load = n_min + (b + 0.5) * bin_width;
+      bin.mean_tput = carry_sum / carry_cnt;
+      bin.samples = carry_cnt;
+      result.bins.push_back(bin);
+      carry_sum = 0.0;
+      carry_cnt = 0;
+    }
+  }
+  if (result.bins.size() < 4) {
+    result.n_star = n_max;
+    for (const auto& bin : result.bins) {
+      result.tp_max = std::max(result.tp_max, bin.mean_tput);
+    }
+    return result;
+  }
+
+  // Robust TPmax: mean of the top-quintile bin throughputs.
+  {
+    std::vector<double> tputs;
+    tputs.reserve(result.bins.size());
+    for (const auto& bin : result.bins) tputs.push_back(bin.mean_tput);
+    std::sort(tputs.begin(), tputs.end());
+    const std::size_t top = std::max<std::size_t>(1, tputs.size() / 5);
+    double s = 0.0;
+    for (std::size_t i = tputs.size() - top; i < tputs.size(); ++i) s += tputs[i];
+    result.tp_max = s / static_cast<double>(top);
+  }
+
+  // ---- 2. slopes (Equation 1) --------------------------------------------
+  const auto& bins = result.bins;
+  result.slopes.reserve(bins.size());
+  result.slopes.push_back(bins[0].load > 0.0 ? bins[0].mean_tput / bins[0].load
+                                             : 0.0);
+  for (std::size_t i = 1; i < bins.size(); ++i) {
+    const double dl = bins[i].load - bins[i - 1].load;
+    result.slopes.push_back(
+        dl > 0.0 ? (bins[i].mean_tput - bins[i - 1].mean_tput) / dl : 0.0);
+  }
+
+  // ---- 3. place N* ---------------------------------------------------------
+  if (config.method == NStarMethod::kRobustKnee) {
+    robust_knee(result, config);
+  } else {
+    intervention_walk(result, config);
+  }
+  return result;
+}
+
+}  // namespace tbd::core

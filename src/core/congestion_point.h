@@ -1,0 +1,87 @@
+// Congestion point N* determination (Section III-C).
+//
+// Given the (load, throughput) samples of a server — one pair per fine
+// interval — the main sequence curve rises and flattens at the maximum
+// throughput; N* is the minimum load beyond which additional load stops
+// buying throughput.
+//
+// Two estimators are provided:
+//
+//  * kRobustKnee (default): bin the curve, take TPmax as the mean of the
+//    top-quintile bins, and place N* where the (3-bin smoothed) throughput
+//    first reaches knee_tput_fraction * TPmax. The estimate is validated
+//    with the paper's slope-stability idea: the mean slope beyond N* must
+//    be below tol_factor * delta_0, where delta_0 is the secant slope of
+//    the rising region; otherwise the server never saturated in this data
+//    (converged = false) and N* parks at the top of the observed range.
+//    This variant is well-conditioned on the gradually-flattening curves
+//    real servers produce.
+//
+//  * kInterventionWalk: the paper's Equations 1-2 verbatim — inter-bin
+//    slopes delta_i, walking n0 until the one-sided Student-t lower
+//    confidence bound of {delta_1..delta_n0} falls below tol — plus a
+//    flat-tail validation and a back-scan to the start of the flat region
+//    (without which fine-bin slope noise trips the walk arbitrarily
+//    early). Kept for fidelity and ablation; fragile when the curve has no
+//    sharp knee.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tbd::core {
+
+enum class NStarMethod {
+  kRobustKnee,
+  kInterventionWalk,
+};
+
+struct NStarConfig {
+  NStarMethod method = NStarMethod::kRobustKnee;
+  int bins = 100;
+  /// tol = tol_factor * delta_0 in the slope-stability validation
+  /// (Equation 2's threshold).
+  double tol_factor = 0.2;
+  /// Robust knee: N* sits where smoothed throughput reaches this fraction
+  /// of TPmax.
+  double knee_tput_fraction = 0.92;
+  /// One-sided confidence level of the t bound (paper: 0.95 coefficient).
+  double confidence = 0.95;
+  /// Bins with fewer samples are merged forward (fine intervals at extreme
+  /// loads are rare and noisy).
+  int min_samples_per_bin = 5;
+  /// Number of leading slopes averaged into delta_0 when the secant
+  /// estimate degenerates.
+  int delta0_window = 3;
+  /// Intervention walk: slopes after the trip point must average below
+  /// flat_factor * delta_0 over this window for the trip to count.
+  int flat_window = 5;
+  double flat_factor = 0.5;
+};
+
+struct LoadBin {
+  double load = 0.0;        // bin midpoint load
+  double mean_tput = 0.0;   // average throughput of samples in the bin
+  int samples = 0;
+};
+
+struct NStarResult {
+  /// The congestion point; 0 if estimation failed (see converged).
+  double n_star = 0.0;
+  /// Robust maximum throughput (top-quintile bin mean; the Utilization Law
+  /// cap TPmax).
+  double tp_max = 0.0;
+  /// True when the curve demonstrably flattens within the observed range;
+  /// false means the server never saturated in this data and n_star is set
+  /// to the largest observed bin load (nothing classifies as congested).
+  bool converged = false;
+  std::vector<LoadBin> bins;    // non-empty bins in load order
+  std::vector<double> slopes;   // delta_i per Equation 1
+};
+
+/// Estimates N* from per-interval load/throughput pairs (equal length).
+[[nodiscard]] NStarResult estimate_congestion_point(
+    std::span<const double> load, std::span<const double> throughput,
+    const NStarConfig& config = {});
+
+}  // namespace tbd::core

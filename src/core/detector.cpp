@@ -1,0 +1,109 @@
+#include "core/detector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tbd::core {
+
+std::size_t DetectionResult::congested_intervals() const {
+  return static_cast<std::size_t>(
+      std::count_if(states.begin(), states.end(), [](IntervalState s) {
+        return s == IntervalState::kCongested || s == IntervalState::kFrozen;
+      }));
+}
+
+std::size_t DetectionResult::frozen_intervals() const {
+  return static_cast<std::size_t>(std::count(
+      states.begin(), states.end(), IntervalState::kFrozen));
+}
+
+double DetectionResult::congested_fraction() const {
+  return states.empty() ? 0.0
+                        : static_cast<double>(congested_intervals()) /
+                              static_cast<double>(states.size());
+}
+
+Duration DetectionResult::total_congested_time() const {
+  return spec.width * static_cast<std::int64_t>(congested_intervals());
+}
+
+Duration DetectionResult::longest_episode() const {
+  Duration longest;
+  for (const auto& e : episodes) longest = std::max(longest, e.duration);
+  return longest;
+}
+
+std::vector<IntervalState> classify_intervals(std::span<const double> load,
+                                              std::span<const double> throughput,
+                                              const NStarResult& nstar,
+                                              const DetectorConfig& config) {
+  assert(load.size() == throughput.size());
+  std::vector<IntervalState> states(load.size(), IntervalState::kNormal);
+  const double freeze_tput = config.poi_tput_frac * nstar.tp_max;
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    if (load[i] <= config.idle_load) {
+      states[i] = IntervalState::kIdle;
+    } else if (load[i] > nstar.n_star) {
+      states[i] = throughput[i] <= freeze_tput ? IntervalState::kFrozen
+                                               : IntervalState::kCongested;
+    }
+  }
+  return states;
+}
+
+std::vector<Episode> extract_episodes(std::span<const IntervalState> states,
+                                      std::span<const double> load,
+                                      const IntervalSpec& spec) {
+  assert(states.size() == load.size());
+  std::vector<Episode> episodes;
+  std::size_t i = 0;
+  while (i < states.size()) {
+    if (states[i] != IntervalState::kCongested &&
+        states[i] != IntervalState::kFrozen) {
+      ++i;
+      continue;
+    }
+    Episode e;
+    e.start = spec.interval_start(i);
+    std::size_t j = i;
+    while (j < states.size() && (states[j] == IntervalState::kCongested ||
+                                 states[j] == IntervalState::kFrozen)) {
+      e.peak_load = std::max(e.peak_load, load[j]);
+      e.contains_freeze |= states[j] == IntervalState::kFrozen;
+      ++j;
+    }
+    e.duration = spec.width * static_cast<std::int64_t>(j - i);
+    episodes.push_back(e);
+    i = j;
+  }
+  return episodes;
+}
+
+DetectionResult detect_bottlenecks(std::span<const trace::RequestRecord> records,
+                                   const IntervalSpec& spec,
+                                   const ServiceTimeTable& service_times,
+                                   const DetectorConfig& config) {
+  DetectionResult result;
+  result.spec = spec;
+  result.load = compute_load(records, spec);
+  result.throughput =
+      compute_throughput(records, spec, service_times, config.throughput);
+  result.nstar =
+      estimate_congestion_point(result.load, result.throughput, config.nstar);
+  result.states =
+      classify_intervals(result.load, result.throughput, result.nstar, config);
+  result.episodes = extract_episodes(result.states, result.load, spec);
+  return result;
+}
+
+const char* to_string(IntervalState s) {
+  switch (s) {
+    case IntervalState::kIdle: return "idle";
+    case IntervalState::kNormal: return "normal";
+    case IntervalState::kCongested: return "congested";
+    case IntervalState::kFrozen: return "frozen";
+  }
+  return "?";
+}
+
+}  // namespace tbd::core

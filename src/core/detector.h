@@ -1,0 +1,84 @@
+// Transient-bottleneck detection (Section III, applied in Section IV).
+//
+// Combines the pieces: per-interval load (III-A), normalized throughput
+// (III-B), and the congestion point N* (III-C) classify each fine interval
+// of each server:
+//
+//   kIdle       load ~ 0 (nothing to do; point 3 in Figure 5(c))
+//   kNormal     load <= N* (below congestion; point 1)
+//   kCongested  load  > N* (requests queue; point 2)
+//   kFrozen     load  > N* with near-zero throughput — the POIs of
+//               Figure 9(b): the server holds many requests but emits no
+//               responses (stop-the-world GC)
+//
+// Maximal runs of congested/frozen intervals form transient-bottleneck
+// episodes; their frequency and duration distribution quantify "frequent
+// transient bottlenecks" and drive the case-study conclusions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/congestion_point.h"
+#include "core/intervals.h"
+#include "core/load_calculator.h"
+#include "core/throughput_calculator.h"
+#include "trace/records.h"
+
+namespace tbd::core {
+
+enum class IntervalState : std::uint8_t { kIdle, kNormal, kCongested, kFrozen };
+
+struct DetectorConfig {
+  NStarConfig nstar;
+  ThroughputOptions throughput;
+  /// Load below this is idle.
+  double idle_load = 0.05;
+  /// Frozen (POI): load > N* and throughput <= poi_tput_frac * TPmax.
+  double poi_tput_frac = 0.05;
+};
+
+struct Episode {
+  TimePoint start;
+  Duration duration;
+  double peak_load = 0.0;
+  bool contains_freeze = false;
+};
+
+struct DetectionResult {
+  IntervalSpec spec;
+  std::vector<double> load;
+  std::vector<double> throughput;
+  NStarResult nstar;
+  std::vector<IntervalState> states;
+  std::vector<Episode> episodes;
+
+  [[nodiscard]] std::size_t congested_intervals() const;
+  [[nodiscard]] std::size_t frozen_intervals() const;
+  /// Fraction of intervals congested or frozen.
+  [[nodiscard]] double congested_fraction() const;
+  [[nodiscard]] Duration total_congested_time() const;
+  [[nodiscard]] Duration longest_episode() const;
+};
+
+/// Full pipeline for one server's request log over one interval grid.
+[[nodiscard]] DetectionResult detect_bottlenecks(
+    std::span<const trace::RequestRecord> records, const IntervalSpec& spec,
+    const ServiceTimeTable& service_times, const DetectorConfig& config = {});
+
+/// Classification only, given precomputed series and N* (useful when N* is
+/// carried over from a calibration window).
+[[nodiscard]] std::vector<IntervalState> classify_intervals(
+    std::span<const double> load, std::span<const double> throughput,
+    const NStarResult& nstar, const DetectorConfig& config = {});
+
+/// Extracts maximal congested/frozen runs.
+[[nodiscard]] std::vector<Episode> extract_episodes(
+    std::span<const IntervalState> states, std::span<const double> load,
+    const IntervalSpec& spec);
+
+[[nodiscard]] const char* to_string(IntervalState s);
+
+}  // namespace tbd::core

@@ -1,0 +1,79 @@
+#include "core/interval_selection.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/load_calculator.h"
+#include "util/stats.h"
+
+namespace tbd::core {
+
+double main_sequence_blur(std::span<const double> load,
+                          std::span<const double> tput, int bins) {
+  assert(load.size() == tput.size());
+  double lmax = 0.0;
+  for (double l : load) lmax = std::max(lmax, l);
+  if (lmax <= 0.0 || bins < 2) return 0.0;
+  std::vector<RunningStats> stats(static_cast<std::size_t>(bins));
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    auto b = static_cast<int>(load[i] / lmax * (bins - 1));
+    stats[static_cast<std::size_t>(std::clamp(b, 0, bins - 1))].add(tput[i]);
+  }
+  RunningStats cv;
+  for (const auto& s : stats) {
+    if (s.count() >= 5 && s.mean() > 0.0) cv.add(s.stddev() / s.mean());
+  }
+  return cv.mean();
+}
+
+IntervalSelection choose_interval_length(
+    std::span<const trace::RequestRecord> records, TimePoint t0, TimePoint t1,
+    const ServiceTimeTable& service_times,
+    std::span<const Duration> candidates,
+    const IntervalSelectionConfig& config) {
+  IntervalSelection selection;
+  assert(!candidates.empty());
+
+  for (const Duration width : candidates) {
+    const auto spec = IntervalSpec::over(t0, t1, width);
+    IntervalCandidate c;
+    c.width = width;
+    c.intervals = spec.count;
+    if (spec.count == 0) {
+      selection.candidates.push_back(c);
+      continue;
+    }
+    const auto load = compute_load(records, spec);
+    const auto tput =
+        compute_throughput(records, spec, service_times, ThroughputOptions{});
+    c.blur = main_sequence_blur(load, tput, config.bins);
+    for (double l : load) c.load_range = std::max(c.load_range, l);
+
+    std::size_t departures = 0;
+    for (const auto& r : records) {
+      if (spec.contains(r.departure)) ++departures;
+    }
+    c.mean_completions =
+        static_cast<double>(departures) / static_cast<double>(spec.count);
+    selection.candidates.push_back(c);
+  }
+
+  const double finest_range =
+      std::max(1e-12, selection.candidates.front().load_range);
+  for (auto& c : selection.candidates) c.retention = c.load_range / finest_range;
+
+  // Finest width that is not too blurry and has enough completions per
+  // interval; fall back to the coarsest candidate.
+  selection.chosen = selection.candidates.back().width;
+  for (const auto& c : selection.candidates) {
+    if (c.intervals == 0) continue;
+    if (c.blur <= config.max_blur &&
+        c.mean_completions >= config.min_mean_completions) {
+      selection.chosen = c.width;
+      break;
+    }
+  }
+  return selection;
+}
+
+}  // namespace tbd::core

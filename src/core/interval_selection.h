@@ -1,0 +1,70 @@
+// Automatic interval-length selection — the paper's stated future work
+// (Section III-D: "An automatic way to choose a proper time interval length
+// is part of our future research").
+//
+// Section III-D identifies the trade-off:
+//  * too SHORT an interval blurs the main sequence because per-interval
+//    normalized throughput becomes noisy (few completions per interval,
+//    boundary-crossing requests, service-time jitter);
+//  * too LONG averages out the load peaks and hides short congestion.
+//
+// We operationalize both sides:
+//  * blur(w)      = mean within-load-bin coefficient of variation of
+//                   throughput (residual scatter around the main sequence);
+//  * retention(w) = dynamic range of the measured load at width w relative
+//                   to the range at the finest candidate (peak visibility).
+//
+// choose_interval_length() walks candidates from fine to coarse and picks
+// the FINEST width whose blur is acceptable; the retention column lets the
+// caller see what each coarser width would have cost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/throughput_calculator.h"
+#include "trace/records.h"
+#include "util/time.h"
+
+namespace tbd::core {
+
+struct IntervalCandidate {
+  Duration width;
+  double blur = 0.0;          // residual CV around the binned curve
+  double load_range = 0.0;    // max observed load
+  double retention = 0.0;     // load_range / finest load_range
+  std::size_t intervals = 0;
+  double mean_completions = 0.0;  // departures per interval (noise driver)
+};
+
+struct IntervalSelection {
+  Duration chosen;                 // recommended width
+  std::vector<IntervalCandidate> candidates;  // fine -> coarse, all scored
+};
+
+struct IntervalSelectionConfig {
+  /// Acceptable residual CV; widths with more blur are rejected.
+  double max_blur = 0.35;
+  /// Load bins used when computing residual scatter.
+  int bins = 25;
+  /// Require at least this many completions per interval on average
+  /// (Section III-B's "too few requests completed in a small time
+  /// interval").
+  double min_mean_completions = 8.0;
+};
+
+/// Scores each candidate width over the records and picks the finest
+/// acceptable one. `candidates` must be sorted fine -> coarse; if none is
+/// acceptable the coarsest is chosen.
+[[nodiscard]] IntervalSelection choose_interval_length(
+    std::span<const trace::RequestRecord> records, TimePoint t0, TimePoint t1,
+    const ServiceTimeTable& service_times,
+    std::span<const Duration> candidates,
+    const IntervalSelectionConfig& config = {});
+
+/// The residual-CV blur metric, exposed for diagnostics and tests.
+[[nodiscard]] double main_sequence_blur(std::span<const double> load,
+                                        std::span<const double> tput,
+                                        int bins);
+
+}  // namespace tbd::core

@@ -1,0 +1,52 @@
+#include "core/intervals.h"
+
+#include <algorithm>
+
+namespace tbd::core {
+
+std::vector<double> IntervalSpec::midpoints_seconds() const {
+  std::vector<double> xs(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    xs[i] = (interval_start(i) + width / 2).seconds_f();
+  }
+  return xs;
+}
+
+std::vector<double> interval_coverage(std::span<const TimeWindow> windows,
+                                      const IntervalSpec& spec) {
+  std::vector<double> covered_us(spec.count, 0.0);
+  if (spec.count == 0) return covered_us;
+
+  // Merge overlapping windows first so unions are not double counted.
+  std::vector<TimeWindow> sorted(windows.begin(), windows.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TimeWindow& a, const TimeWindow& b) { return a.start < b.start; });
+  std::vector<TimeWindow> merged;
+  for (const auto& w : sorted) {
+    if (w.end <= w.start) continue;
+    if (!merged.empty() && w.start <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, w.end);
+    } else {
+      merged.push_back(w);
+    }
+  }
+
+  const TimePoint grid_end = spec.end();
+  for (const auto& w : merged) {
+    TimePoint lo = std::max(w.start, spec.start);
+    const TimePoint hi = std::min(w.end, grid_end);
+    while (lo < hi) {
+      const std::size_t idx = spec.index_of(lo);
+      const TimePoint cell_end = spec.interval_start(idx) + spec.width;
+      const TimePoint seg_end = std::min(hi, cell_end);
+      covered_us[idx] += static_cast<double>((seg_end - lo).micros());
+      lo = seg_end;
+    }
+  }
+
+  const auto width_us = static_cast<double>(spec.width.micros());
+  for (double& c : covered_us) c /= width_us;
+  return covered_us;
+}
+
+}  // namespace tbd::core

@@ -1,0 +1,61 @@
+// Interval grids for fine-grained analysis.
+//
+// Everything in Section III is computed over a contiguous grid of
+// fixed-width time intervals (20 ms / 50 ms / 1 s in the paper). IntervalSpec
+// names such a grid; helpers map timestamps to interval indices and compute
+// per-interval coverage of event windows (used for the GC running ratio of
+// Figure 10(a) and for ground-truth overlap scoring).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/time.h"
+
+namespace tbd::core {
+
+struct IntervalSpec {
+  TimePoint start;
+  Duration width = Duration::millis(50);
+  std::size_t count = 0;
+
+  [[nodiscard]] static IntervalSpec over(TimePoint t0, TimePoint t1,
+                                         Duration width) {
+    IntervalSpec spec;
+    spec.start = t0;
+    spec.width = width;
+    spec.count = static_cast<std::size_t>((t1 - t0).micros() / width.micros());
+    return spec;
+  }
+
+  [[nodiscard]] TimePoint end() const {
+    return start + width * static_cast<std::int64_t>(count);
+  }
+  [[nodiscard]] TimePoint interval_start(std::size_t i) const {
+    return start + width * static_cast<std::int64_t>(i);
+  }
+  /// Index of the interval containing `t`; valid only if contains(t).
+  [[nodiscard]] std::size_t index_of(TimePoint t) const {
+    return static_cast<std::size_t>((t - start).micros() / width.micros());
+  }
+  [[nodiscard]] bool contains(TimePoint t) const {
+    return t >= start && t < end();
+  }
+  /// Midpoints in seconds (plot x-axis).
+  [[nodiscard]] std::vector<double> midpoints_seconds() const;
+};
+
+/// A closed event window [start, end] on the timeline.
+struct TimeWindow {
+  TimePoint start;
+  TimePoint end;
+};
+
+/// Fraction of each interval covered by the union of the (possibly
+/// overlapping) windows; values in [0, 1]. This is the paper's "GC running
+/// ratio" when the windows are stop-the-world GC events.
+[[nodiscard]] std::vector<double> interval_coverage(
+    std::span<const TimeWindow> windows, const IntervalSpec& spec);
+
+}  // namespace tbd::core

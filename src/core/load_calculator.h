@@ -1,0 +1,27 @@
+// Load calculation (Section III-A, Figure 6).
+//
+// A server's load over an interval is the time-weighted average number of
+// concurrent requests — requests whose request message has arrived but whose
+// response has not yet departed. Computed exactly from the per-request
+// arrival/departure timestamp pairs of passive tracing by sweeping the +1/-1
+// concurrency edges and integrating concurrency over each interval.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/intervals.h"
+#include "trace/records.h"
+
+namespace tbd::core {
+
+/// Per-interval average concurrency. Requests overlapping the grid edges are
+/// clipped; a request spanning a whole interval contributes exactly 1 there.
+[[nodiscard]] std::vector<double> compute_load(
+    std::span<const trace::RequestRecord> records, const IntervalSpec& spec);
+
+/// Instantaneous concurrency immediately before time `t` (diagnostics).
+[[nodiscard]] int concurrency_at(std::span<const trace::RequestRecord> records,
+                                 TimePoint t);
+
+}  // namespace tbd::core

@@ -1,0 +1,71 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tbd::core {
+
+std::string summarize(const DetectionResult& result,
+                      const std::string& server_name) {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "%s: N*=%.1f  TPmax=%.0f/s%s  intervals=%zu  congested=%zu "
+                "(%.1f%%)  frozen=%zu\n",
+                server_name.c_str(), result.nstar.n_star, result.nstar.tp_max,
+                result.nstar.converged ? "" : " (unsaturated)",
+                result.states.size(), result.congested_intervals(),
+                100.0 * result.congested_fraction(), result.frozen_intervals());
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "  episodes=%zu  longest=%s  total-congested=%s\n",
+                result.episodes.size(),
+                result.longest_episode().to_string().c_str(),
+                result.total_congested_time().to_string().c_str());
+  out += buf;
+  return out;
+}
+
+std::string ascii_scatter(std::span<const double> load,
+                          std::span<const double> tput, double n_star,
+                          int width, int height) {
+  if (load.empty() || width < 8 || height < 4) return "";
+  double lmax = 0.0;
+  double tmax = 0.0;
+  for (double v : load) lmax = std::max(lmax, v);
+  for (double v : tput) tmax = std::max(tmax, v);
+  if (lmax <= 0.0 || tmax <= 0.0) return "";
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  auto put = [&](double x, double y, char c) {
+    const int col = std::min(width - 1, static_cast<int>(x / lmax * (width - 1)));
+    const int row =
+        height - 1 - std::min(height - 1, static_cast<int>(y / tmax * (height - 1)));
+    char& cell = grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+    if (cell == ' ' || c == '|') cell = c;
+    else if (cell == '.') cell = ':';
+    else if (cell == ':') cell = '#';
+  };
+  for (std::size_t i = 0; i < load.size(); ++i) put(load[i], tput[i], '.');
+  if (n_star > 0.0 && n_star <= lmax) {
+    for (int r = 0; r < height; ++r) {
+      put(n_star, tmax * (height - 1 - r) / (height - 1), '|');
+    }
+  }
+
+  char head[160];
+  std::snprintf(head, sizeof head,
+                "  tput (max %.0f) vs load (max %.1f); '|' marks N*=%.1f\n",
+                tmax, lmax, n_star);
+  std::string out = head;
+  for (const auto& row : grid) {
+    out += "  ";
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tbd::core

@@ -1,0 +1,25 @@
+// Human-readable rendering of detection results (what an operator of the
+// tool would read) and small scatter/ASCII helpers used by the bench
+// binaries to echo the paper's figures into the terminal.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/detector.h"
+
+namespace tbd::core {
+
+/// Multi-line summary: N*, TPmax, congested fraction, episode stats.
+[[nodiscard]] std::string summarize(const DetectionResult& result,
+                                    const std::string& server_name);
+
+/// Fixed-size character raster of a load-vs-throughput scatter (the main
+/// sequence plot, Figure 5(c)); marks N* with a vertical bar. Purely for
+/// terminal inspection — CSV output carries the real data.
+[[nodiscard]] std::string ascii_scatter(std::span<const double> load,
+                                        std::span<const double> tput,
+                                        double n_star, int width = 72,
+                                        int height = 20);
+
+}  // namespace tbd::core

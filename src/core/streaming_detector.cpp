@@ -1,0 +1,135 @@
+#include "core/streaming_detector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tbd::core {
+
+StreamingDetector::StreamingDetector(TimePoint start, Config config,
+                                     NStarResult nstar,
+                                     ServiceTimeTable service_times)
+    : config_{config},
+      nstar_{nstar},
+      service_times_{std::move(service_times)},
+      start_{start},
+      high_water_{start} {
+  assert(config_.width.is_positive());
+  work_unit_us_ = config_.detector.throughput.work_unit_us > 0.0
+                      ? config_.detector.throughput.work_unit_us
+                      : service_times_.min_service_us();
+  assert(work_unit_us_ > 0.0);
+}
+
+std::size_t StreamingDetector::cell_index(TimePoint t) const {
+  return static_cast<std::size_t>((t - start_).micros() / config_.width.micros());
+}
+
+StreamingDetector::Cell& StreamingDetector::cell_at(std::size_t index) {
+  assert(index >= first_open_);
+  const std::size_t offset = index - first_open_;
+  if (offset >= open_cells_.size()) open_cells_.resize(offset + 1);
+  return open_cells_[offset];
+}
+
+void StreamingDetector::push(const trace::RequestRecord& record) {
+  if (record.departure < start_ || record.departure < record.arrival) {
+    ++dropped_;
+    return;
+  }
+  // Too old to land in an unsealed interval?
+  if (cell_index(record.departure) < first_open_) {
+    ++dropped_;
+    return;
+  }
+
+  // Residence contribution: spread [arrival, departure) over cells.
+  TimePoint lo = std::max(record.arrival, start_);
+  const TimePoint hi = record.departure;
+  while (lo < hi) {
+    const std::size_t idx = cell_index(lo);
+    const TimePoint cell_end =
+        start_ + config_.width * static_cast<std::int64_t>(idx + 1);
+    const TimePoint seg_end = std::min(hi, cell_end);
+    if (idx >= first_open_) {
+      cell_at(idx).residence_us += static_cast<double>((seg_end - lo).micros());
+    }
+    lo = seg_end;
+  }
+
+  // Work units land in the departure cell.
+  const double service = service_times_.service_us(record.class_id);
+  cell_at(cell_index(record.departure)).work_units +=
+      std::max(1.0, std::round(service / work_unit_us_));
+
+  // Advance the high-water mark and seal intervals that can no longer
+  // change (every record with arrival before them has departed by now,
+  // assuming residence <= lag).
+  high_water_ = std::max(high_water_, record.departure);
+  const TimePoint sealed_until = high_water_ - config_.lag;
+  if (sealed_until > start_) {
+    const std::size_t sealable = cell_index(sealed_until);
+    if (sealable > first_open_) seal_up_to(sealable);
+  }
+}
+
+void StreamingDetector::seal_up_to(std::size_t index) {
+  const double width_us = static_cast<double>(config_.width.micros());
+  const double width_s = config_.width.seconds_f();
+  while (first_open_ < index) {
+    Cell cell;
+    if (!open_cells_.empty()) {
+      cell = open_cells_.front();
+      open_cells_.pop_front();
+    }
+    const std::size_t idx = first_open_++;
+    const double load = cell.residence_us / width_us;
+    const double tput = config_.detector.throughput.per_second
+                            ? cell.work_units / width_s
+                            : cell.work_units;
+
+    IntervalState state = IntervalState::kNormal;
+    if (load <= config_.detector.idle_load) {
+      state = IntervalState::kIdle;
+    } else if (load > nstar_.n_star) {
+      state = tput <= config_.detector.poi_tput_frac * nstar_.tp_max
+                  ? IntervalState::kFrozen
+                  : IntervalState::kCongested;
+    }
+    ++emitted_;
+    const bool hot =
+        state == IntervalState::kCongested || state == IntervalState::kFrozen;
+    if (hot) ++congested_;
+    if (interval_cb_) interval_cb_(idx, load, tput, state);
+
+    // Episode tracking.
+    if (hot) {
+      if (!current_episode_) {
+        current_episode_ = Episode{};
+        current_episode_->start =
+            start_ + config_.width * static_cast<std::int64_t>(idx);
+      }
+      current_episode_->duration += config_.width;
+      current_episode_->peak_load =
+          std::max(current_episode_->peak_load, load);
+      current_episode_->contains_freeze |= state == IntervalState::kFrozen;
+    } else if (current_episode_) {
+      episodes_.push_back(*current_episode_);
+      if (episode_cb_) episode_cb_(episodes_.back());
+      current_episode_.reset();
+    }
+  }
+}
+
+void StreamingDetector::finish() {
+  if (high_water_ > start_) {
+    seal_up_to(cell_index(high_water_) + 1);
+  }
+  if (current_episode_) {
+    episodes_.push_back(*current_episode_);
+    if (episode_cb_) episode_cb_(episodes_.back());
+    current_episode_.reset();
+  }
+}
+
+}  // namespace tbd::core

@@ -1,0 +1,91 @@
+// Online (streaming) transient-bottleneck detection.
+//
+// The batch pipeline in detector.h re-derives N* from the full run; a
+// production monitor instead (a) freezes N* and TPmax from a calibration
+// window, then (b) classifies each fine interval as its records complete,
+// emitting congestion episodes in real time. Records may arrive in
+// departure order (the natural order of a passive tap); an interval is
+// sealed once a departure lands `lag` past its end, guaranteeing every
+// straggler that could still affect its load has been seen.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/congestion_point.h"
+#include "core/detector.h"
+#include "core/throughput_calculator.h"
+#include "trace/records.h"
+
+namespace tbd::core {
+
+class StreamingDetector {
+ public:
+  struct Config {
+    Duration width = Duration::millis(50);
+    /// Intervals are sealed once progress passes end-of-interval + lag.
+    /// Must exceed the longest plausible request residence.
+    Duration lag = Duration::seconds(5);
+    DetectorConfig detector;
+  };
+
+  /// Fires for every sealed interval.
+  using IntervalCallback =
+      std::function<void(std::size_t index, double load, double tput,
+                         IntervalState state)>;
+  /// Fires when a congested run closes.
+  using EpisodeCallback = std::function<void(const Episode&)>;
+
+  /// `nstar` and `service_times` come from a calibration pass (batch
+  /// detect_bottlenecks on a representative window).
+  StreamingDetector(TimePoint start, Config config, NStarResult nstar,
+                    ServiceTimeTable service_times);
+
+  void on_interval(IntervalCallback cb) { interval_cb_ = std::move(cb); }
+  void on_episode(EpisodeCallback cb) { episode_cb_ = std::move(cb); }
+
+  /// Feeds one completed request (arrival/departure pair). Departures must
+  /// be non-decreasing; out-of-order records within `lag` are fine,
+  /// anything older is dropped and counted.
+  void push(const trace::RequestRecord& record);
+
+  /// Seals everything up to the high-water mark (end of stream).
+  void finish();
+
+  [[nodiscard]] std::size_t intervals_emitted() const { return emitted_; }
+  [[nodiscard]] std::size_t congested_intervals() const { return congested_; }
+  [[nodiscard]] std::size_t dropped_records() const { return dropped_; }
+  [[nodiscard]] const std::vector<Episode>& episodes() const { return episodes_; }
+
+ private:
+  struct Cell {
+    double residence_us = 0.0;  // concurrency integral contribution
+    double work_units = 0.0;
+  };
+
+  [[nodiscard]] std::size_t cell_index(TimePoint t) const;
+  Cell& cell_at(std::size_t index);
+  void seal_up_to(std::size_t index);
+
+  Config config_;
+  NStarResult nstar_;
+  ServiceTimeTable service_times_;
+  double work_unit_us_;
+  TimePoint start_;
+  std::size_t first_open_ = 0;     // lowest unsealed interval index
+  std::deque<Cell> open_cells_;    // cells [first_open_, ...)
+  TimePoint high_water_;           // latest departure seen
+
+  IntervalCallback interval_cb_;
+  EpisodeCallback episode_cb_;
+  std::optional<Episode> current_episode_;
+  std::vector<Episode> episodes_;
+  std::size_t emitted_ = 0;
+  std::size_t congested_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace tbd::core

@@ -1,0 +1,62 @@
+#include "core/system_report.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace tbd::core {
+
+SystemReport rank_bottlenecks(std::span<const DetectionResult> results,
+                              std::span<const std::string> names,
+                              double min_congested_fraction) {
+  assert(results.size() == names.size());
+  SystemReport report;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ServerVerdict v;
+    v.server = names[i];
+    v.congested_fraction = results[i].congested_fraction();
+    v.episodes = results[i].episodes.size();
+    v.frozen_intervals = results[i].frozen_intervals();
+    v.longest_episode = results[i].longest_episode();
+    v.n_star = results[i].nstar.n_star;
+    v.saturated = results[i].nstar.converged;
+    report.verdicts.push_back(std::move(v));
+  }
+  std::sort(report.verdicts.begin(), report.verdicts.end(),
+            [](const ServerVerdict& a, const ServerVerdict& b) {
+              if (a.congested_fraction != b.congested_fraction) {
+                return a.congested_fraction > b.congested_fraction;
+              }
+              return a.server < b.server;
+            });
+  if (!report.verdicts.empty() &&
+      report.verdicts.front().congested_fraction >= min_congested_fraction) {
+    report.primary_suspect = 0;
+  }
+  return report;
+}
+
+std::string to_string(const SystemReport& report) {
+  std::string out = "transient-bottleneck ranking (most congested first):\n";
+  char buf[256];
+  for (std::size_t i = 0; i < report.verdicts.size(); ++i) {
+    const auto& v = report.verdicts[i];
+    std::snprintf(buf, sizeof buf,
+                  "  %zu. %-8s congested=%5.1f%%  episodes=%-4zu frozen=%-4zu "
+                  "longest=%-8s N*=%.1f%s%s\n",
+                  i + 1, v.server.c_str(), 100.0 * v.congested_fraction,
+                  v.episodes, v.frozen_intervals,
+                  v.longest_episode.to_string().c_str(), v.n_star,
+                  v.saturated ? "" : " (unsaturated)",
+                  static_cast<int>(i) == report.primary_suspect
+                      ? "   <= primary suspect"
+                      : "");
+    out += buf;
+  }
+  if (report.primary_suspect < 0) {
+    out += "  no server shows noteworthy transient congestion\n";
+  }
+  return out;
+}
+
+}  // namespace tbd::core

@@ -1,0 +1,44 @@
+// System-level diagnosis: "After we apply the above analysis to each
+// component server of an n-tier system, we can detect which servers have
+// encountered frequent transient bottlenecks and cause the wide-range
+// response time variations of the system." (end of Section III)
+//
+// Ranks servers by how much transient congestion they exhibit and renders
+// the operator-facing verdict.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+
+namespace tbd::core {
+
+struct ServerVerdict {
+  std::string server;
+  double congested_fraction = 0.0;
+  std::size_t episodes = 0;
+  std::size_t frozen_intervals = 0;
+  Duration longest_episode;
+  double n_star = 0.0;
+  bool saturated = false;  // N* converged within the observed range
+};
+
+struct SystemReport {
+  /// Sorted most-congested first.
+  std::vector<ServerVerdict> verdicts;
+  /// Index of the primary suspect in `verdicts` (-1 when nothing congests).
+  int primary_suspect = -1;
+};
+
+/// Builds the ranking from per-server detection results (parallel arrays).
+[[nodiscard]] SystemReport rank_bottlenecks(
+    std::span<const DetectionResult> results,
+    std::span<const std::string> names,
+    double min_congested_fraction = 0.01);
+
+/// Multi-line rendering of the ranking.
+[[nodiscard]] std::string to_string(const SystemReport& report);
+
+}  // namespace tbd::core

@@ -1,0 +1,74 @@
+#include "core/throughput_calculator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace tbd::core {
+
+double ServiceTimeTable::min_service_us() const {
+  double best = 0.0;
+  for (double us : us_by_class_) {
+    if (us > 0.0 && (best == 0.0 || us < best)) best = us;
+  }
+  return best;
+}
+
+void ServiceTimeTable::set(trace::ClassId c, double us) {
+  if (c >= us_by_class_.size()) us_by_class_.resize(c + 1, 0.0);
+  us_by_class_[c] = us;
+}
+
+ServiceTimeTable estimate_service_times(
+    std::span<const trace::RequestRecord> records, double mask_quantile) {
+  // Gather intra-node delays per class.
+  std::vector<std::vector<double>> delays;
+  for (const auto& r : records) {
+    if (r.class_id >= delays.size()) delays.resize(r.class_id + 1);
+    delays[r.class_id].push_back(
+        static_cast<double>((r.departure - r.arrival).micros()));
+  }
+  std::vector<double> by_class(delays.size(), 0.0);
+  for (std::size_t c = 0; c < delays.size(); ++c) {
+    if (!delays[c].empty()) {
+      by_class[c] = quantile(delays[c], mask_quantile);
+    }
+  }
+  return ServiceTimeTable{std::move(by_class)};
+}
+
+std::vector<double> compute_throughput(
+    std::span<const trace::RequestRecord> records, const IntervalSpec& spec,
+    const ServiceTimeTable& table, const ThroughputOptions& options) {
+  std::vector<double> tput(spec.count, 0.0);
+  if (spec.count == 0) return tput;
+
+  double unit_us = options.work_unit_us;
+  if (options.mode == ThroughputMode::kNormalizedWorkUnits && unit_us <= 0.0) {
+    unit_us = table.min_service_us();
+    assert(unit_us > 0.0 && "service-time table is empty");
+  }
+
+  for (const auto& r : records) {
+    if (!spec.contains(r.departure)) continue;
+    const std::size_t idx = spec.index_of(r.departure);
+    if (options.mode == ThroughputMode::kRequestsCompleted) {
+      tput[idx] += 1.0;
+    } else {
+      // A request transforms into round(service/unit) work units, at least 1.
+      const double service = table.service_us(r.class_id);
+      const double units = std::max(1.0, std::round(service / unit_us));
+      tput[idx] += units;
+    }
+  }
+
+  if (options.per_second) {
+    const double width_s = spec.width.seconds_f();
+    for (double& v : tput) v /= width_s;
+  }
+  return tput;
+}
+
+}  // namespace tbd::core

@@ -1,0 +1,77 @@
+// Throughput calculation with work-unit normalization
+// (Section III-B, Figure 7).
+//
+// Straightforward throughput — completed requests per interval — is only
+// comparable across intervals when all requests cost the same. Under a
+// mixed-class workload at 50 ms granularity, the class mix differs from
+// interval to interval, so the paper normalizes: each completed request of
+// class c contributes service_time(c) / work_unit "work units" to the
+// interval containing its departure. The work unit is a common quantum
+// across classes (the paper uses the GCD-like greatest common divisor of
+// class service times; we default to the smallest class service time).
+//
+// Class service times are approximated from passive tracing itself: the
+// intra-node delay of each request equals its service time when there is no
+// queueing, so the estimate is taken from a low-workload period (and can be
+// refreshed online as data selectivity drifts).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/intervals.h"
+#include "trace/records.h"
+
+namespace tbd::core {
+
+/// Per-class service-time table for one server (microseconds, indexed by
+/// class id; 0 = class unseen).
+class ServiceTimeTable {
+ public:
+  ServiceTimeTable() = default;
+  explicit ServiceTimeTable(std::vector<double> by_class)
+      : us_by_class_{std::move(by_class)} {}
+
+  [[nodiscard]] double service_us(trace::ClassId c) const {
+    return c < us_by_class_.size() ? us_by_class_[c] : 0.0;
+  }
+  [[nodiscard]] std::size_t classes() const { return us_by_class_.size(); }
+
+  /// Smallest positive class service time — the default work unit.
+  [[nodiscard]] double min_service_us() const;
+
+  void set(trace::ClassId c, double us);
+
+ private:
+  std::vector<double> us_by_class_;
+};
+
+/// Builds a ServiceTimeTable from records of a (presumed) low-load period:
+/// the per-class estimate is the `mask_quantile` quantile of intra-node
+/// delays (a low quantile masks residual queueing; the paper's "mask out the
+/// queueing effects"). mask_quantile = 0.5 gives the median; 0 gives the
+/// minimum.
+[[nodiscard]] ServiceTimeTable estimate_service_times(
+    std::span<const trace::RequestRecord> records, double mask_quantile = 0.2);
+
+enum class ThroughputMode {
+  kRequestsCompleted,   // straightforward count
+  kNormalizedWorkUnits  // Section III-B normalization
+};
+
+struct ThroughputOptions {
+  ThroughputMode mode = ThroughputMode::kNormalizedWorkUnits;
+  /// Work-unit size in microseconds; <= 0 selects table.min_service_us().
+  double work_unit_us = 0.0;
+  /// Report rates per second instead of raw per-interval counts.
+  bool per_second = true;
+};
+
+/// Per-interval throughput; a request counts in the interval containing its
+/// departure timestamp.
+[[nodiscard]] std::vector<double> compute_throughput(
+    std::span<const trace::RequestRecord> records, const IntervalSpec& spec,
+    const ServiceTimeTable& table, const ThroughputOptions& options = {});
+
+}  // namespace tbd::core

@@ -1,0 +1,56 @@
+#include "metrics/burstiness.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace tbd::metrics {
+
+double index_of_dispersion(std::span<const TimePoint> arrivals, TimePoint t0,
+                           TimePoint t1, Duration window) {
+  if (!window.is_positive() || t1 <= t0) return 0.0;
+  const auto n_windows =
+      static_cast<std::size_t>((t1 - t0).micros() / window.micros());
+  if (n_windows < 2) return 0.0;
+
+  std::vector<double> counts(n_windows, 0.0);
+  const TimePoint grid_end = t0 + window * static_cast<std::int64_t>(n_windows);
+  for (const TimePoint a : arrivals) {
+    if (a < t0 || a >= grid_end) continue;
+    const auto idx =
+        static_cast<std::size_t>((a - t0).micros() / window.micros());
+    counts[idx] += 1.0;
+  }
+  RunningStats stats;
+  for (double c : counts) stats.add(c);
+  return stats.mean() > 0.0 ? stats.variance() / stats.mean() : 0.0;
+}
+
+std::vector<DispersionPoint> dispersion_curve(
+    std::span<const TimePoint> arrivals, TimePoint t0, TimePoint t1,
+    std::span<const Duration> windows) {
+  std::vector<DispersionPoint> curve;
+  curve.reserve(windows.size());
+  for (const Duration w : windows) {
+    curve.push_back({w, index_of_dispersion(arrivals, t0, t1, w)});
+  }
+  return curve;
+}
+
+double interarrival_scv(std::span<const TimePoint> arrivals, TimePoint t0,
+                        TimePoint t1) {
+  std::vector<std::int64_t> in_range;
+  for (const TimePoint a : arrivals) {
+    if (a >= t0 && a < t1) in_range.push_back(a.micros());
+  }
+  if (in_range.size() < 3) return 0.0;
+  std::sort(in_range.begin(), in_range.end());
+  RunningStats gaps;
+  for (std::size_t i = 1; i < in_range.size(); ++i) {
+    gaps.add(static_cast<double>(in_range[i] - in_range[i - 1]));
+  }
+  const double mean = gaps.mean();
+  return mean > 0.0 ? gaps.variance() / (mean * mean) : 0.0;
+}
+
+}  // namespace tbd::metrics

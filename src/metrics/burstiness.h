@@ -1,0 +1,45 @@
+// Burstiness quantification: index of dispersion for counts (IDC).
+//
+// The paper grounds its workload premise in Mi et al.'s burstiness work
+// (reference [14]): transient bottlenecks arise when transient events meet
+// "normal bursty workloads". The standard burstiness yardstick there is the
+// index of dispersion for counts,
+//
+//     I(t) = Var[N(t)] / E[N(t)],
+//
+// where N(t) counts arrivals in windows of length t: a Poisson process has
+// I(t) = 1 at every scale; bursty traffic has I(t) >> 1 that grows with the
+// window until the burst time-scale is covered. bench_burst_sensitivity uses
+// this to show the micro-burst modulator produces the multi-scale dispersion
+// signature of real traces rather than just inflating the rate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/time.h"
+
+namespace tbd::metrics {
+
+/// Index of dispersion of the point process `arrivals` (any order) over
+/// windows of length `window` spanning [t0, t1). Returns 0 when fewer than
+/// two full windows fit or no arrivals land in range.
+[[nodiscard]] double index_of_dispersion(std::span<const TimePoint> arrivals,
+                                         TimePoint t0, TimePoint t1,
+                                         Duration window);
+
+/// I(t) evaluated at several window lengths (the dispersion curve).
+struct DispersionPoint {
+  Duration window;
+  double idc = 0.0;
+};
+[[nodiscard]] std::vector<DispersionPoint> dispersion_curve(
+    std::span<const TimePoint> arrivals, TimePoint t0, TimePoint t1,
+    std::span<const Duration> windows);
+
+/// Squared coefficient of variation of the inter-arrival times in [t0, t1);
+/// 1 for exponential gaps, > 1 for bursty processes.
+[[nodiscard]] double interarrival_scv(std::span<const TimePoint> arrivals,
+                                      TimePoint t0, TimePoint t1);
+
+}  // namespace tbd::metrics

@@ -1,0 +1,90 @@
+#include "metrics/response_collector.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace tbd::metrics {
+
+std::vector<PageSample> ResponseCollector::window(TimePoint t0, TimePoint t1) const {
+  std::vector<PageSample> out;
+  for (const auto& s : samples_) {
+    if (s.completed >= t0 && s.completed < t1) out.push_back(s);
+  }
+  return out;
+}
+
+double ResponseCollector::mean_rt_seconds(TimePoint t0, TimePoint t1) const {
+  RunningStats stats;
+  for (const auto& s : samples_) {
+    if (s.completed >= t0 && s.completed < t1) {
+      stats.add(s.response_time.seconds_f());
+    }
+  }
+  return stats.mean();
+}
+
+double ResponseCollector::throughput(TimePoint t0, TimePoint t1) const {
+  if (t1 <= t0) return 0.0;
+  std::size_t n = 0;
+  for (const auto& s : samples_) {
+    if (s.completed >= t0 && s.completed < t1) ++n;
+  }
+  return static_cast<double>(n) / (t1 - t0).seconds_f();
+}
+
+double ResponseCollector::fraction_above(TimePoint t0, TimePoint t1,
+                                         Duration threshold) const {
+  std::size_t total = 0;
+  std::size_t above = 0;
+  for (const auto& s : samples_) {
+    if (s.completed >= t0 && s.completed < t1) {
+      ++total;
+      if (s.response_time > threshold) ++above;
+    }
+  }
+  return total ? static_cast<double>(above) / static_cast<double>(total) : 0.0;
+}
+
+double ResponseCollector::rt_quantile(TimePoint t0, TimePoint t1, double q) const {
+  std::vector<double> rts;
+  for (const auto& s : samples_) {
+    if (s.completed >= t0 && s.completed < t1) {
+      rts.push_back(s.response_time.seconds_f());
+    }
+  }
+  return quantile(rts, q);
+}
+
+std::vector<double> ResponseCollector::interval_mean_rt(TimePoint t0,
+                                                        TimePoint t1,
+                                                        Duration width) const {
+  const auto n = static_cast<std::size_t>((t1 - t0).micros() / width.micros());
+  std::vector<double> sums(n, 0.0);
+  std::vector<std::size_t> counts(n, 0);
+  for (const auto& s : samples_) {
+    if (s.completed < t0 || s.completed >= t1) continue;
+    const auto idx =
+        static_cast<std::size_t>((s.completed - t0).micros() / width.micros());
+    if (idx >= n) continue;
+    sums[idx] += s.response_time.seconds_f();
+    ++counts[idx];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    sums[i] = counts[i] ? sums[i] / static_cast<double>(counts[i]) : 0.0;
+  }
+  return sums;
+}
+
+std::vector<std::size_t> ResponseCollector::rt_histogram(
+    TimePoint t0, TimePoint t1, std::span<const double> edges_seconds) const {
+  std::vector<double> rts;
+  for (const auto& s : samples_) {
+    if (s.completed >= t0 && s.completed < t1) {
+      rts.push_back(s.response_time.seconds_f());
+    }
+  }
+  return bin_counts(rts, edges_seconds);
+}
+
+}  // namespace tbd::metrics

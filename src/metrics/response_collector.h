@@ -1,0 +1,61 @@
+// End-to-end response-time collection (the client-side observable).
+//
+// Stores one sample per completed page with its completion timestamp, which
+// supports every client-side figure in the paper: mean response time per
+// workload (Fig 2a), SLA-violation percentage (Fig 2b), the long-tail
+// bi-modal distribution (Fig 2c), and 50 ms-averaged response-time timelines
+// (Fig 10b, 11b/c).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/time.h"
+
+namespace tbd::metrics {
+
+struct PageSample {
+  TimePoint completed;
+  Duration response_time;
+  std::uint32_t class_id = 0;
+  int retransmissions = 0;
+};
+
+class ResponseCollector {
+ public:
+  void record(const PageSample& sample) { samples_.push_back(sample); }
+
+  [[nodiscard]] const std::vector<PageSample>& samples() const { return samples_; }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  /// Samples completing within [t0, t1).
+  [[nodiscard]] std::vector<PageSample> window(TimePoint t0, TimePoint t1) const;
+
+  /// Mean response time (seconds) of pages completing in [t0, t1).
+  [[nodiscard]] double mean_rt_seconds(TimePoint t0, TimePoint t1) const;
+
+  /// Completed pages per second over [t0, t1).
+  [[nodiscard]] double throughput(TimePoint t0, TimePoint t1) const;
+
+  /// Fraction of pages in [t0, t1) with response time above `threshold`.
+  [[nodiscard]] double fraction_above(TimePoint t0, TimePoint t1,
+                                      Duration threshold) const;
+
+  /// Response-time quantile (seconds) over [t0, t1); q in [0,1].
+  [[nodiscard]] double rt_quantile(TimePoint t0, TimePoint t1, double q) const;
+
+  /// Mean response time (seconds) of pages completing in each `width`-long
+  /// interval of [t0, t1); intervals with no completions report 0.
+  [[nodiscard]] std::vector<double> interval_mean_rt(TimePoint t0, TimePoint t1,
+                                                     Duration width) const;
+
+  /// Histogram counts of response times (seconds) over explicit bin edges.
+  [[nodiscard]] std::vector<std::size_t> rt_histogram(
+      TimePoint t0, TimePoint t1, std::span<const double> edges_seconds) const;
+
+ private:
+  std::vector<PageSample> samples_;
+};
+
+}  // namespace tbd::metrics

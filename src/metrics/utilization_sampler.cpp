@@ -1,0 +1,52 @@
+#include "metrics/utilization_sampler.h"
+
+#include <cassert>
+
+namespace tbd::metrics {
+
+UtilizationSampler::UtilizationSampler(sim::Engine& engine,
+                                       ntier::Topology& topology,
+                                       Duration period)
+    : engine_{engine},
+      topology_{topology},
+      period_{period},
+      start_{engine.now()},
+      series_(topology.total_servers()),
+      last_busy_(topology.total_servers(), 0.0),
+      ticker_{engine, engine.now() + period, period,
+              [this](TimePoint) { on_tick(); }} {
+  assert(period.is_positive());
+  for (trace::ServerIndex s = 0; s < topology_.total_servers(); ++s) {
+    last_busy_[s] = topology_.server_by_index(s).busy_core_micros();
+  }
+}
+
+void UtilizationSampler::on_tick() {
+  const double interval_us = static_cast<double>(period_.micros());
+  for (trace::ServerIndex s = 0; s < topology_.total_servers(); ++s) {
+    auto& server = topology_.server_by_index(s);
+    const double busy = server.busy_core_micros();
+    series_[s].push_back((busy - last_busy_[s]) /
+                         (interval_us * server.cores()));
+    last_busy_[s] = busy;
+  }
+}
+
+double UtilizationSampler::mean_util(trace::ServerIndex s, TimePoint t0,
+                                     TimePoint t1) const {
+  const auto& samples = series_[s];
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    // Sample i covers [start + i*period, start + (i+1)*period).
+    const TimePoint cover_start = start_ + period_ * static_cast<std::int64_t>(i);
+    const TimePoint cover_end = cover_start + period_;
+    if (cover_start >= t0 && cover_end <= t1) {
+      sum += samples[i];
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace tbd::metrics

@@ -1,0 +1,50 @@
+// Coarse-grained resource monitoring: the sysstat / esxtop substitute.
+//
+// Samples every server's cumulative busy-core time on a fixed period
+// (1 s for sysstat, 2 s for esxtop in the paper) and stores per-interval
+// utilization. This is the monitoring the paper argues is insufficient:
+// Figure 3 and Table I come from it, and the baseline detector consumes it.
+#pragma once
+
+#include <vector>
+
+#include "ntier/topology.h"
+#include "sim/engine.h"
+#include "util/time.h"
+
+namespace tbd::metrics {
+
+class UtilizationSampler {
+ public:
+  /// Starts sampling all servers of `topology` at `period`, first sample at
+  /// now + period.
+  UtilizationSampler(sim::Engine& engine, ntier::Topology& topology,
+                     Duration period);
+  UtilizationSampler(const UtilizationSampler&) = delete;
+  UtilizationSampler& operator=(const UtilizationSampler&) = delete;
+
+  [[nodiscard]] Duration period() const { return period_; }
+
+  /// Per-interval CPU utilization (0..1) of one server; sample i covers
+  /// [i*period, (i+1)*period) from construction time.
+  [[nodiscard]] const std::vector<double>& series(trace::ServerIndex s) const {
+    return series_[s];
+  }
+
+  /// Mean utilization of one server over samples in [t0, t1).
+  [[nodiscard]] double mean_util(trace::ServerIndex s, TimePoint t0,
+                                 TimePoint t1) const;
+
+ private:
+  void on_tick();
+
+  sim::Engine& engine_;
+  ntier::Topology& topology_;
+  Duration period_;
+  TimePoint start_;
+  std::vector<std::vector<double>> series_;
+  std::vector<double> last_busy_;
+  sim::PeriodicTask ticker_;
+};
+
+}  // namespace tbd::metrics

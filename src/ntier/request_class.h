@@ -1,0 +1,59 @@
+// Request classes: the interaction types of the n-tier workload.
+//
+// RUBBoS's browse-only mode mixes 24 interaction types; each type exercises
+// the tiers differently (number of queries, per-tier CPU demand). The mix
+// matters to the paper's method because fine-grained throughput must be
+// normalized across classes with different service demands (Section III-B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tbd::ntier {
+
+struct RequestClass {
+  std::string name;
+  /// Relative frequency in the workload mix.
+  double weight = 1.0;
+  /// Web tier (Apache) CPU per page, reference-clock microseconds.
+  double web_demand_us = 600.0;
+  /// Application tier (Tomcat) CPU per page, split across the segments
+  /// between successive queries.
+  double app_demand_us = 1400.0;
+  /// Number of sequential read queries issued by the app tier; each is
+  /// load-balanced to ONE database replica.
+  int db_queries = 3;
+  /// Number of sequential write queries; the clustering middleware
+  /// broadcasts each write to EVERY database replica (C-JDBC full
+  /// replication), which is what makes writes expensive to scale out.
+  int db_write_queries = 0;
+  /// Clustering-middleware (C-JDBC) CPU per query.
+  double mw_demand_us = 180.0;
+  /// Database (MySQL) CPU per read query at the highest P-state.
+  double db_demand_us = 280.0;
+  /// Database CPU per write query (per replica).
+  double db_write_demand_us = 450.0;
+  /// Synchronous disk time per write query per replica (log flush).
+  double db_write_disk_us = 120.0;
+  /// Heap allocated in the app tier per page (drives JVM GC pressure).
+  double app_alloc_bytes = 400.0 * 1024;
+};
+
+/// Wire sizes of the inter-tier messages (bytes), used for the Table I
+/// network-rate counters. Defaults calibrated to reproduce the paper's
+/// per-tier receive/send MB/s at WL 8,000.
+struct MessageSizes {
+  std::uint32_t client_web_req = 500;
+  std::uint32_t web_client_resp = 20'800;
+  std::uint32_t web_app_req = 400;
+  std::uint32_t app_web_resp = 11'900;
+  std::uint32_t app_mw_req = 300;
+  std::uint32_t mw_app_resp = 2'000;
+  std::uint32_t mw_db_req = 250;
+  std::uint32_t db_mw_resp = 1'550;
+};
+
+using RequestClassList = std::vector<RequestClass>;
+
+}  // namespace tbd::ntier

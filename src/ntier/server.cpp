@@ -1,0 +1,144 @@
+#include "ntier/server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace tbd::ntier {
+
+namespace {
+// Slack when popping finished jobs: completion times are rounded up to whole
+// microseconds, so V_ can overshoot finish_v by up to one event's worth of
+// rate; anything within this epsilon of done is done.
+constexpr double kFinishEps = 1e-6;
+}  // namespace
+
+Server::Server(sim::Engine& engine, Config config)
+    : engine_{engine},
+      config_{std::move(config)},
+      threads_{engine, config_.name + ".threads", config_.worker_threads,
+               config_.accept_backlog},
+      last_advance_{engine.now()} {
+  assert(config_.cores >= 1);
+  assert(config_.worker_threads >= 1);
+}
+
+bool Server::admit(std::function<void()> on_thread) {
+  // Threads are fungible; stash the granted token so release_thread() can
+  // return a valid id without threading it through every caller.
+  return threads_.acquire([this, cb = std::move(on_thread)](int token) {
+    held_tokens_.push_back(token);
+    cb();
+  });
+}
+
+void Server::release_thread() {
+  assert(!held_tokens_.empty());
+  const int token = held_tokens_.back();
+  held_tokens_.pop_back();
+  threads_.release(token);
+}
+
+double Server::effective_cores() const {
+  return std::max(0.05, static_cast<double>(config_.cores) - background_cores_);
+}
+
+double Server::per_job_rate() const {
+  const auto n = static_cast<double>(jobs_.size());
+  assert(n > 0.0);
+  return clock_ratio_ * std::min(effective_cores(), n) / n;
+}
+
+void Server::advance() {
+  const TimePoint now = engine_.now();
+  const double dt = static_cast<double>((now - last_advance_).micros());
+  if (dt <= 0.0) return;
+  last_advance_ = now;
+
+  const auto n = static_cast<double>(jobs_.size());
+  if (paused_) {
+    busy_core_us_ +=
+        dt * std::min(static_cast<double>(config_.cores), config_.pause_busy_cores);
+    return;
+  }
+  double busy_cores = std::min(static_cast<double>(config_.cores), background_cores_);
+  if (n > 0.0) {
+    v_ += dt * per_job_rate();
+    busy_cores = std::min(static_cast<double>(config_.cores),
+                          busy_cores + std::min(effective_cores(), n));
+  }
+  busy_core_us_ += dt * busy_cores;
+}
+
+void Server::reschedule_completion() {
+  engine_.cancel(completion_event_);
+  completion_event_.invalidate();
+  if (paused_ || jobs_.empty()) return;
+  const double remaining = std::max(0.0, jobs_.top().finish_v - v_);
+  // Round up to a whole microsecond so that when the event fires, advance()
+  // has pushed V_ past finish_v and the job really pops.
+  const auto dt = static_cast<std::int64_t>(std::ceil(remaining / per_job_rate()));
+  completion_event_ = engine_.schedule_after(Duration::micros(dt),
+                                             [this] { on_completion_event(); });
+}
+
+void Server::on_completion_event() {
+  completion_event_.invalidate();
+  advance();
+  // Collect everything that has finished; callbacks run after the server's
+  // state (heap + next completion) is consistent, because a callback may
+  // re-enter compute() immediately.
+  std::vector<std::function<void()>> done;
+  while (!jobs_.empty() && jobs_.top().finish_v <= v_ + kFinishEps) {
+    done.push_back(std::move(const_cast<Job&>(jobs_.top()).on_done));
+    jobs_.pop();
+    ++jobs_completed_;
+  }
+  reschedule_completion();
+  for (auto& cb : done) cb();
+}
+
+void Server::compute(double demand_us, std::function<void()> on_done) {
+  assert(demand_us >= 0.0);
+  advance();
+  jobs_.push(Job{v_ + demand_us, next_job_seq_++, std::move(on_done)});
+  reschedule_completion();
+}
+
+void Server::pause() {
+  if (paused_) return;
+  advance();
+  paused_ = true;
+  reschedule_completion();  // cancels: nothing completes while frozen
+}
+
+void Server::resume() {
+  if (!paused_) return;
+  advance();
+  paused_ = false;
+  reschedule_completion();
+}
+
+void Server::set_clock_ratio(double ratio) {
+  assert(ratio > 0.0);
+  if (ratio == clock_ratio_) return;
+  advance();
+  clock_ratio_ = ratio;
+  reschedule_completion();
+}
+
+void Server::set_background_cores(double cores) {
+  assert(cores >= 0.0);
+  if (cores == background_cores_) return;
+  advance();
+  background_cores_ = cores;
+  reschedule_completion();
+}
+
+double Server::busy_core_micros() {
+  advance();
+  return busy_core_us_;
+}
+
+}  // namespace tbd::ntier

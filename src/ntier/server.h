@@ -1,0 +1,154 @@
+// Component-server model: a multi-core machine running a thread-per-request
+// server (Apache / Tomcat / C-JDBC / MySQL all instantiate this with
+// different sizing, mirroring the paper's "L" and "S" VM types).
+//
+// CPU is modelled as egalitarian processor sharing across the jobs currently
+// in service: with n runnable jobs on c cores each job progresses at
+// clock_ratio * min(c, n) / n reference-microseconds of work per wall
+// microsecond. This uses the classic virtual-time formulation: a global
+// accumulator V advances at the common per-job rate, a job entering service
+// at V0 with demand d completes when V reaches V0 + d, so the completion
+// order within the service set is a static min-heap key and every state
+// change (arrival, completion, clock change, pause) is O(log n).
+//
+// Three hooks expose the transient-bottleneck factors from the paper:
+//  * pause()/resume()        — stop-the-world JVM GC (Section IV-A)
+//  * set_clock_ratio()       — SpeedStep P-state transitions (Section IV-C)
+//  * set_background_cores()  — concurrent GC worker overhead (JDK 1.6)
+//
+// Worker threads bound concurrency: a request must be admitted to a thread
+// before it can compute, and it holds the thread across downstream calls
+// (synchronous RPC, Figure 4). When the thread pool and the accept backlog
+// are both full, admission fails — the "thread limit in the web tier" whose
+// TCP retransmissions produce >3s response times (footnote 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/semaphore.h"
+#include "util/time.h"
+
+namespace tbd::ntier {
+
+class Server {
+ public:
+  struct Config {
+    std::string name = "server";
+    int cores = 1;
+    /// Worker thread limit (requests processed concurrently, including those
+    /// blocked on downstream calls).
+    int worker_threads = 150;
+    /// Admission queue bound beyond the thread pool; -1 = unbounded.
+    int accept_backlog = -1;
+    /// CPU cores counted busy during a stop-the-world pause (the collector
+    /// itself burns CPU; a serial collector saturates one core).
+    double pause_busy_cores = 1.0;
+  };
+
+  Server(sim::Engine& engine, Config config);
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // ---- request lifecycle -------------------------------------------------
+
+  /// Admits a request to a worker thread; `on_thread` runs (via an engine
+  /// event at the current time) once a thread is available. Returns false —
+  /// dropping the callback — when both the pool and the backlog are full.
+  bool admit(std::function<void()> on_thread);
+
+  /// Returns the calling request's worker thread to the pool.
+  void release_thread();
+
+  /// Executes `demand_us` microseconds of reference-clock CPU work for the
+  /// calling request, then invokes `on_done`. A request may compute several
+  /// segments (between downstream calls) while holding its thread.
+  void compute(double demand_us, std::function<void()> on_done);
+
+  /// Accounts synchronous disk time (utilization bookkeeping only; browse
+  /// workloads are CPU-bound so disk never gates progress, Table I).
+  void add_disk_micros(double us) { disk_busy_us_ += us; }
+
+  // ---- transient-event hooks ----------------------------------------------
+
+  /// Stop-the-world: all jobs freeze; arrivals still queue (and are counted
+  /// in load by passive tracing, which is the point).
+  void pause();
+  void resume();
+  [[nodiscard]] bool paused() const { return paused_; }
+
+  /// Clock-frequency ratio relative to the highest P-state (P0 = 1.0).
+  void set_clock_ratio(double ratio);
+  [[nodiscard]] double clock_ratio() const { return clock_ratio_; }
+
+  /// Cores consumed by background work (concurrent GC threads); reduces the
+  /// cores available to requests.
+  void set_background_cores(double cores);
+
+  // ---- monitoring ----------------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] int cores() const { return config_.cores; }
+  /// Jobs currently consuming CPU (excludes threads blocked downstream).
+  [[nodiscard]] int running_jobs() const { return static_cast<int>(jobs_.size()); }
+  [[nodiscard]] int threads_in_use() const { return threads_.in_use(); }
+  [[nodiscard]] int admission_queue() const { return threads_.waiting(); }
+  [[nodiscard]] std::uint64_t jobs_completed() const { return jobs_completed_; }
+  [[nodiscard]] std::uint64_t admissions_rejected() const { return threads_.rejected(); }
+
+  /// Cumulative busy core-microseconds (the sysstat/esxtop observable).
+  /// Includes GC pause burn and background cores.
+  [[nodiscard]] double busy_core_micros();
+  [[nodiscard]] double disk_busy_micros() const { return disk_busy_us_; }
+
+ private:
+  struct Job {
+    double finish_v;
+    std::uint64_t seq;  // FIFO tie-break => deterministic completion order
+    std::function<void()> on_done;
+  };
+  struct LaterFinish {
+    bool operator()(const Job& a, const Job& b) const {
+      if (a.finish_v != b.finish_v) return a.finish_v > b.finish_v;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Cores available to request processing right now.
+  [[nodiscard]] double effective_cores() const;
+  /// Work rate per running job (reference-us per wall-us); jobs_ non-empty.
+  [[nodiscard]] double per_job_rate() const;
+  /// Brings V_ and the busy-time accumulator up to the engine clock.
+  void advance();
+  /// (Re)schedules the completion event for the earliest-finishing job.
+  void reschedule_completion();
+  void on_completion_event();
+
+  sim::Engine& engine_;
+  Config config_;
+  sim::FifoSemaphore threads_;
+
+  // Processor-sharing state.
+  double v_ = 0.0;  // cumulative per-job virtual service (reference us)
+  TimePoint last_advance_;
+  double clock_ratio_ = 1.0;
+  double background_cores_ = 0.0;
+  bool paused_ = false;
+  std::priority_queue<Job, std::vector<Job>, LaterFinish> jobs_;
+  std::uint64_t next_job_seq_ = 1;
+  sim::EventHandle completion_event_;
+
+  // Tokens granted by the thread pool, returned LIFO by release_thread().
+  std::vector<int> held_tokens_;
+
+  // Monitoring accumulators.
+  double busy_core_us_ = 0.0;
+  double disk_busy_us_ = 0.0;
+  std::uint64_t jobs_completed_ = 0;
+};
+
+}  // namespace tbd::ntier

@@ -1,0 +1,142 @@
+#include "ntier/topology.h"
+
+#include <cassert>
+
+namespace tbd::ntier {
+
+namespace {
+// Connection ids: 0..kClientConnRegion-1 are ephemeral client connections;
+// pool connections are allocated in blocks above it.
+constexpr std::uint32_t kClientConnRegion = 1u << 16;
+constexpr std::uint32_t kPoolConnBlock = 1u << 12;
+}  // namespace
+
+TopologyConfig paper_topology() {
+  TopologyConfig cfg;
+
+  // Web tier: 1 "L" VM (2 cores). Thread pool sized like a stock Apache
+  // MaxClients; with the bounded accept backlog this is the concurrency
+  // limit whose overflow produces TCP retransmissions (footnote 1).
+  cfg.web.count = 1;
+  cfg.web.server.name = "web";
+  cfg.web.server.cores = 2;
+  cfg.web.server.worker_threads = 250;
+  cfg.web.server.accept_backlog = 150;
+
+  // App tier: 2 "S" VMs (1 core each). Apache keeps more backend
+  // connections than Tomcat has worker threads, so during a Tomcat freeze
+  // the queue (and hence the load visible to passive tracing) builds at
+  // Tomcat rather than stalling upstream.
+  cfg.app.count = 2;
+  cfg.app.server.name = "app";
+  cfg.app.server.cores = 1;
+  cfg.app.server.worker_threads = 150;
+  cfg.app.inbound_connections = 300;
+
+  // Clustering middleware: 1 "L" VM.
+  cfg.mw.count = 1;
+  cfg.mw.server.name = "mw";
+  cfg.mw.server.cores = 2;
+  cfg.mw.server.worker_threads = 300;
+  cfg.mw.inbound_connections = 300;
+
+  // DB tier: 2 "S" VMs.
+  cfg.db.count = 2;
+  cfg.db.server.name = "db";
+  cfg.db.server.cores = 1;
+  cfg.db.server.worker_threads = 200;
+  cfg.db.inbound_connections = 200;
+
+  return cfg;
+}
+
+Topology::Topology(sim::Engine& engine, TopologyConfig config)
+    : config_{std::move(config)} {
+  const TierConfig* tier_cfgs[4] = {&config_.web, &config_.app, &config_.mw,
+                                    &config_.db};
+  std::uint32_t next_conn_base = kClientConnRegion;
+  for (int t = 0; t < 4; ++t) {
+    const TierConfig& tc = *tier_cfgs[t];
+    assert(tc.count >= 1);
+    tiers_[t].first_server = static_cast<int>(servers_.size());
+    tiers_[t].count = tc.count;
+    for (int i = 0; i < tc.count; ++i) {
+      Server::Config sc = tc.server;
+      if (tc.count > 1) sc.name += std::to_string(i + 1);
+      servers_.push_back(std::make_unique<Server>(engine, sc));
+      if (t == 0) {
+        // Web tier: clients connect over ephemeral connections, no pool.
+        pools_.push_back(nullptr);
+        pool_conn_base_.push_back(0);
+      } else {
+        pools_.push_back(std::make_unique<sim::FifoSemaphore>(
+            engine, servers_.back()->name() + ".conns", tc.inbound_connections));
+        pool_conn_base_.push_back(next_conn_base);
+        next_conn_base += kPoolConnBlock;
+        assert(tc.inbound_connections <= static_cast<int>(kPoolConnBlock));
+      }
+    }
+  }
+}
+
+int Topology::tier_size(TierKind t) const {
+  return tiers_[static_cast<int>(t)].count;
+}
+
+Server& Topology::server(TierKind t, int index) {
+  const TierState& ts = tiers_[static_cast<int>(t)];
+  assert(index >= 0 && index < ts.count);
+  return *servers_[static_cast<std::size_t>(ts.first_server + index)];
+}
+
+const Server& Topology::server(TierKind t, int index) const {
+  const TierState& ts = tiers_[static_cast<int>(t)];
+  assert(index >= 0 && index < ts.count);
+  return *servers_[static_cast<std::size_t>(ts.first_server + index)];
+}
+
+trace::ServerIndex Topology::server_index(TierKind t, int index) const {
+  const TierState& ts = tiers_[static_cast<int>(t)];
+  assert(index >= 0 && index < ts.count);
+  return static_cast<trace::ServerIndex>(ts.first_server + index);
+}
+
+trace::NodeId Topology::node_id(TierKind t, int index) const {
+  return server_index(t, index) + 1;
+}
+
+sim::FifoSemaphore& Topology::inbound_pool(TierKind t, int index) {
+  const trace::ServerIndex s = server_index(t, index);
+  assert(pools_[s] != nullptr && "web tier has no inbound pool");
+  return *pools_[s];
+}
+
+std::uint32_t Topology::pool_conn_id(TierKind t, int index, int token) const {
+  const trace::ServerIndex s = server_index(t, index);
+  return pool_conn_base_[s] + static_cast<std::uint32_t>(token);
+}
+
+int Topology::pick_round_robin(TierKind t) {
+  TierState& ts = tiers_[static_cast<int>(t)];
+  const int pick = ts.rr_next;
+  ts.rr_next = (ts.rr_next + 1) % ts.count;
+  return pick;
+}
+
+int Topology::pick_least_connections(TierKind t) {
+  const TierState& ts = tiers_[static_cast<int>(t)];
+  int best = 0;
+  int best_busy = -1;
+  for (int i = 0; i < ts.count; ++i) {
+    const auto s = static_cast<std::size_t>(ts.first_server + i);
+    assert(pools_[s] != nullptr);
+    const int busy = pools_[s]->in_use() + pools_[s]->waiting();
+    if (best_busy < 0 || busy < best_busy) {
+      best_busy = busy;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace tbd::ntier

@@ -1,0 +1,110 @@
+// Topology: the #W/#A/#C/#D arrangement of component servers.
+//
+// Mirrors the paper's four-digit notation (Figure 1): e.g. 1L/2S/1L/2S is
+// one large web server, two small application servers, one large clustering
+// middleware, two small database servers. "L" and "S" map to core counts.
+// The topology also owns the inter-tier connection pools, whose token ids
+// become the connection ids visible to passive tracing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ntier/server.h"
+#include "sim/engine.h"
+#include "sim/semaphore.h"
+#include "trace/records.h"
+
+namespace tbd::ntier {
+
+enum class TierKind : std::uint8_t { kWeb = 0, kApp = 1, kMw = 2, kDb = 3 };
+
+[[nodiscard]] constexpr const char* tier_name(TierKind t) {
+  switch (t) {
+    case TierKind::kWeb: return "web";
+    case TierKind::kApp: return "app";
+    case TierKind::kMw: return "mw";
+    case TierKind::kDb: return "db";
+  }
+  return "?";
+}
+
+struct TierConfig {
+  int count = 1;
+  Server::Config server;
+  /// Capacity of the inbound connection pool of EACH server in this tier
+  /// (connections checked out by the upstream tier). Ignored for the web
+  /// tier, which clients reach over ephemeral connections.
+  int inbound_connections = 150;
+};
+
+struct TopologyConfig {
+  TierConfig web;
+  TierConfig app;
+  TierConfig mw;
+  TierConfig db;
+  /// One-way wire latency per message.
+  Duration net_latency = Duration::micros(150);
+  /// Balance DB queries to the least-loaded replica (C-JDBC style) instead
+  /// of round-robin.
+  bool db_least_connections = true;
+};
+
+/// The paper's experimental deployment: 1L/2S/1L/2S with L = 2 cores and
+/// S = 1 core, calibrated so that per-tier utilization at WL 8,000 matches
+/// Table I (web 34.6%, app 79.9%, mw 26.7%, db 78.1%-at-P8).
+[[nodiscard]] TopologyConfig paper_topology();
+
+class Topology {
+ public:
+  Topology(sim::Engine& engine, TopologyConfig config);
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  [[nodiscard]] const TopologyConfig& config() const { return config_; }
+
+  [[nodiscard]] int tier_size(TierKind t) const;
+  [[nodiscard]] Server& server(TierKind t, int index);
+  [[nodiscard]] const Server& server(TierKind t, int index) const;
+
+  /// Dense 0-based index across all servers (web first, then app, mw, db) —
+  /// the index used by trace::TraceSink request logs.
+  [[nodiscard]] trace::ServerIndex server_index(TierKind t, int index) const;
+  /// Network node id (clients are node 0; servers are server_index + 1).
+  [[nodiscard]] trace::NodeId node_id(TierKind t, int index) const;
+  [[nodiscard]] std::uint32_t total_servers() const {
+    return static_cast<std::uint32_t>(servers_.size());
+  }
+  [[nodiscard]] Server& server_by_index(trace::ServerIndex s) { return *servers_[s]; }
+  [[nodiscard]] const std::string& server_name(trace::ServerIndex s) const {
+    return servers_[s]->name();
+  }
+
+  /// Inbound connection pool of a (non-web) server.
+  [[nodiscard]] sim::FifoSemaphore& inbound_pool(TierKind t, int index);
+  /// Globally unique connection id for a token of that pool.
+  [[nodiscard]] std::uint32_t pool_conn_id(TierKind t, int index, int token) const;
+
+  /// Round-robin pick of a server index within a tier.
+  [[nodiscard]] int pick_round_robin(TierKind t);
+  /// Server in the tier whose inbound pool has the most free connections
+  /// (ties: lowest index).
+  [[nodiscard]] int pick_least_connections(TierKind t);
+
+ private:
+  struct TierState {
+    int first_server = 0;  // dense index of the tier's first server
+    int count = 0;
+    int rr_next = 0;
+  };
+
+  TopologyConfig config_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<std::unique_ptr<sim::FifoSemaphore>> pools_;  // by dense index
+  std::vector<std::uint32_t> pool_conn_base_;               // by dense index
+  TierState tiers_[4];
+};
+
+}  // namespace tbd::ntier

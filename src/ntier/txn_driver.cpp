@@ -1,0 +1,443 @@
+#include "ntier/txn_driver.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tbd::ntier {
+
+using trace::MessageKind;
+
+// Per-transaction state threaded through the continuation chain.
+struct TxnDriver::Txn {
+  trace::TxnId id = 0;
+  trace::ClassId class_id = 0;
+  const RequestClass* cls = nullptr;
+  CompletionFn done;
+
+  TimePoint first_attempt;
+  int retransmissions = 0;
+
+  // Chosen servers.
+  int web_i = 0;
+  int app_i = 0;
+  int mw_i = 0;
+  int db_i = 0;
+
+  // Ground-truth visit ids and arrival timestamps per tier.
+  std::uint64_t web_visit = 0, app_visit = 0, mw_visit = 0, db_visit = 0;
+  TimePoint web_arr, app_arr, mw_arr, db_arr;
+
+  // Connection ids / pool tokens currently held.
+  std::uint32_t client_conn = 0;
+  std::uint32_t app_conn = 0, mw_conn = 0, db_conn = 0;
+  int app_token = -1, mw_token = -1, db_token = -1;
+
+  int query_i = 0;
+  int write_i = 0;    // write queries issued so far
+  int replica_i = 0;  // replica cursor within the current write broadcast
+  double app_segment_mean_us = 0.0;  // app demand divided across segments
+  double app_alloc_per_segment = 0.0;
+};
+
+TxnDriver::TxnDriver(sim::Engine& engine, Topology& topology,
+                     RequestClassList classes, trace::TraceSink& sink, Rng rng,
+                     Config config)
+    : engine_{engine},
+      topology_{topology},
+      classes_{std::move(classes)},
+      sink_{sink},
+      rng_{rng},
+      config_{std::move(config)},
+      gamma_shape_{1.0 / (config_.demand_cv * config_.demand_cv)},
+      app_alloc_hooks_(static_cast<std::size_t>(topology.tier_size(TierKind::kApp))) {
+  assert(!classes_.empty());
+}
+
+void TxnDriver::set_app_alloc_hook(int app_index, std::function<void(double)> hook) {
+  app_alloc_hooks_.at(static_cast<std::size_t>(app_index)) = std::move(hook);
+}
+
+double TxnDriver::jitter(double mean_us) {
+  if (mean_us <= 0.0) return 0.0;
+  if (config_.demand_cv <= 0.0) return mean_us;
+  return rng_.gamma(gamma_shape_, mean_us / gamma_shape_);
+}
+
+void TxnDriver::send(trace::NodeId src, trace::NodeId dst, std::uint32_t conn,
+                     MessageKind kind, trace::ClassId cls, std::uint32_t bytes,
+                     trace::TxnId txn, std::uint64_t visit, std::uint64_t parent,
+                     std::function<void()> at_delivery) {
+  engine_.schedule_after(
+      topology_.config().net_latency,
+      [this, src, dst, conn, kind, cls, bytes, txn, visit, parent,
+       cb = std::move(at_delivery)] {
+        sink_.capture(trace::Message{
+            .at = engine_.now(),
+            .src = src,
+            .dst = dst,
+            .conn = conn,
+            .kind = kind,
+            .class_id = cls,
+            .bytes = bytes,
+            .txn = txn,
+            .visit = visit,
+            .parent_visit = parent,
+        });
+        cb();
+      });
+}
+
+void TxnDriver::start(trace::ClassId class_id, CompletionFn on_complete) {
+  assert(class_id < classes_.size());
+  auto t = std::make_shared<Txn>();
+  t->id = next_txn_++;
+  t->class_id = class_id;
+  t->cls = &classes_[class_id];
+  t->done = std::move(on_complete);
+  t->first_attempt = engine_.now();
+  t->web_i = topology_.pick_round_robin(TierKind::kWeb);
+  t->client_conn = next_client_conn_++ & 0xFFFFu;  // ephemeral-port reuse
+  const int segments = t->cls->db_queries + t->cls->db_write_queries + 1;
+  t->app_segment_mean_us = t->cls->app_demand_us / segments;
+  t->app_alloc_per_segment = t->cls->app_alloc_bytes / segments;
+  ++started_;
+  attempt_connect(t);
+}
+
+void TxnDriver::attempt_connect(const TxnPtr& t) {
+  // The SYN reaches the web tier after one wire latency; if the accept
+  // backlog is full it is dropped there (invisible to passive tracing) and
+  // the client retransmits after the TCP timeout.
+  engine_.schedule_after(topology_.config().net_latency, [this, t] {
+    Server& web = topology_.server(TierKind::kWeb, t->web_i);
+    const bool admitted = web.admit([this, t] { on_web_thread(t); });
+    if (!admitted) {
+      ++retransmissions_;
+      ++t->retransmissions;
+      engine_.schedule_after(config_.retrans_delay,
+                             [this, t] { attempt_connect(t); });
+      return;
+    }
+    t->web_visit = new_visit();
+    t->web_arr = engine_.now();
+    sink_.capture(trace::Message{
+        .at = engine_.now(),
+        .src = 0,
+        .dst = topology_.node_id(TierKind::kWeb, t->web_i),
+        .conn = t->client_conn,
+        .kind = MessageKind::kRequest,
+        .class_id = t->class_id,
+        .bytes = config_.sizes.client_web_req,
+        .txn = t->id,
+        .visit = t->web_visit,
+        .parent_visit = 0,
+    });
+  });
+}
+
+void TxnDriver::on_web_thread(const TxnPtr& t) {
+  Server& web = topology_.server(TierKind::kWeb, t->web_i);
+  web.add_disk_micros(config_.web_disk_us_per_page);
+  web.compute(jitter(t->cls->web_demand_us * 0.5), [this, t] { call_app(t); });
+}
+
+void TxnDriver::call_app(const TxnPtr& t) {
+  t->app_i = topology_.pick_round_robin(TierKind::kApp);
+  auto& pool = topology_.inbound_pool(TierKind::kApp, t->app_i);
+  const bool ok = pool.acquire([this, t](int token) {
+    t->app_token = token;
+    t->app_conn = topology_.pool_conn_id(TierKind::kApp, t->app_i, token);
+    t->app_visit = new_visit();
+    send(topology_.node_id(TierKind::kWeb, t->web_i),
+         topology_.node_id(TierKind::kApp, t->app_i), t->app_conn,
+         MessageKind::kRequest, t->class_id, config_.sizes.web_app_req, t->id,
+         t->app_visit, t->web_visit, [this, t] {
+           t->app_arr = engine_.now();
+           Server& app = topology_.server(TierKind::kApp, t->app_i);
+           [[maybe_unused]] const bool admitted =
+               app.admit([this, t] { on_app_thread(t); });
+           assert(admitted);  // internal tiers have unbounded backlogs
+         });
+  });
+  assert(ok);  // inbound pools have unbounded waiting lines
+  (void)ok;
+}
+
+void TxnDriver::on_app_thread(const TxnPtr& t) {
+  Server& app = topology_.server(TierKind::kApp, t->app_i);
+  app.add_disk_micros(config_.app_disk_us_per_page);
+  t->query_i = 0;
+  app_segment(t);
+}
+
+void TxnDriver::app_segment(const TxnPtr& t) {
+  Server& app = topology_.server(TierKind::kApp, t->app_i);
+  app.compute(jitter(t->app_segment_mean_us),
+              [this, t] { after_app_segment(t); });
+}
+
+void TxnDriver::after_app_segment(const TxnPtr& t) {
+  if (auto& hook = app_alloc_hooks_[static_cast<std::size_t>(t->app_i)]; hook) {
+    hook(t->app_alloc_per_segment);
+  }
+  if (t->query_i < t->cls->db_queries) {
+    issue_query(t);
+  } else if (t->write_i < t->cls->db_write_queries) {
+    issue_write_query(t);
+  } else {
+    app_respond(t);
+  }
+}
+
+void TxnDriver::issue_query(const TxnPtr& t) {
+  t->mw_i = topology_.pick_round_robin(TierKind::kMw);
+  auto& pool = topology_.inbound_pool(TierKind::kMw, t->mw_i);
+  pool.acquire([this, t](int token) {
+    t->mw_token = token;
+    t->mw_conn = topology_.pool_conn_id(TierKind::kMw, t->mw_i, token);
+    t->mw_visit = new_visit();
+    send(topology_.node_id(TierKind::kApp, t->app_i),
+         topology_.node_id(TierKind::kMw, t->mw_i), t->mw_conn,
+         MessageKind::kRequest, t->class_id, config_.sizes.app_mw_req, t->id,
+         t->mw_visit, t->app_visit, [this, t] {
+           t->mw_arr = engine_.now();
+           Server& mw = topology_.server(TierKind::kMw, t->mw_i);
+           [[maybe_unused]] const bool admitted =
+               mw.admit([this, t] { on_mw_thread(t); });
+           assert(admitted);
+         });
+  });
+}
+
+void TxnDriver::on_mw_thread(const TxnPtr& t) {
+  Server& mw = topology_.server(TierKind::kMw, t->mw_i);
+  mw.add_disk_micros(config_.mw_disk_us_per_query);
+  // Routing + parsing happen before the replica call; response forwarding
+  // costs a small tail.
+  mw.compute(jitter(t->cls->mw_demand_us * 0.8), [this, t] { call_db(t); });
+}
+
+void TxnDriver::call_db(const TxnPtr& t) {
+  t->db_i = topology_.config().db_least_connections
+                ? topology_.pick_least_connections(TierKind::kDb)
+                : topology_.pick_round_robin(TierKind::kDb);
+  auto& pool = topology_.inbound_pool(TierKind::kDb, t->db_i);
+  pool.acquire([this, t](int token) {
+    t->db_token = token;
+    t->db_conn = topology_.pool_conn_id(TierKind::kDb, t->db_i, token);
+    t->db_visit = new_visit();
+    send(topology_.node_id(TierKind::kMw, t->mw_i),
+         topology_.node_id(TierKind::kDb, t->db_i), t->db_conn,
+         MessageKind::kRequest, t->class_id, config_.sizes.mw_db_req, t->id,
+         t->db_visit, t->mw_visit, [this, t] {
+           t->db_arr = engine_.now();
+           Server& db = topology_.server(TierKind::kDb, t->db_i);
+           [[maybe_unused]] const bool admitted =
+               db.admit([this, t] { on_db_thread(t); });
+           assert(admitted);
+         });
+  });
+}
+
+void TxnDriver::on_db_thread(const TxnPtr& t) {
+  Server& db = topology_.server(TierKind::kDb, t->db_i);
+  db.add_disk_micros(config_.db_disk_us_per_query);
+  db.compute(jitter(t->cls->db_demand_us), [this, t] { db_respond(t); });
+}
+
+void TxnDriver::db_respond(const TxnPtr& t) {
+  Server& db = topology_.server(TierKind::kDb, t->db_i);
+  db.release_thread();
+  send(topology_.node_id(TierKind::kDb, t->db_i),
+       topology_.node_id(TierKind::kMw, t->mw_i), t->db_conn,
+       MessageKind::kResponse, t->class_id, config_.sizes.db_mw_resp, t->id,
+       t->db_visit, t->mw_visit, [this, t] {
+         // Response observed at the tap: the DB visit closes.
+         sink_.record_visit(trace::RequestRecord{
+             .server = topology_.server_index(TierKind::kDb, t->db_i),
+             .class_id = t->class_id,
+             .arrival = t->db_arr,
+             .departure = engine_.now(),
+             .txn = t->id,
+         });
+         topology_.inbound_pool(TierKind::kDb, t->db_i).release(t->db_token);
+         t->db_token = -1;
+         Server& mw = topology_.server(TierKind::kMw, t->mw_i);
+         mw.compute(jitter(t->cls->mw_demand_us * 0.2),
+                    [this, t] { mw_respond(t); });
+       });
+}
+
+void TxnDriver::mw_respond(const TxnPtr& t) {
+  Server& mw = topology_.server(TierKind::kMw, t->mw_i);
+  mw.release_thread();
+  send(topology_.node_id(TierKind::kMw, t->mw_i),
+       topology_.node_id(TierKind::kApp, t->app_i), t->mw_conn,
+       MessageKind::kResponse, t->class_id, config_.sizes.mw_app_resp, t->id,
+       t->mw_visit, t->app_visit, [this, t] {
+         sink_.record_visit(trace::RequestRecord{
+             .server = topology_.server_index(TierKind::kMw, t->mw_i),
+             .class_id = t->class_id,
+             .arrival = t->mw_arr,
+             .departure = engine_.now(),
+             .txn = t->id,
+         });
+         topology_.inbound_pool(TierKind::kMw, t->mw_i).release(t->mw_token);
+         t->mw_token = -1;
+         ++t->query_i;
+         app_segment(t);
+       });
+}
+
+void TxnDriver::issue_write_query(const TxnPtr& t) {
+  t->mw_i = topology_.pick_round_robin(TierKind::kMw);
+  auto& pool = topology_.inbound_pool(TierKind::kMw, t->mw_i);
+  pool.acquire([this, t](int token) {
+    t->mw_token = token;
+    t->mw_conn = topology_.pool_conn_id(TierKind::kMw, t->mw_i, token);
+    t->mw_visit = new_visit();
+    send(topology_.node_id(TierKind::kApp, t->app_i),
+         topology_.node_id(TierKind::kMw, t->mw_i), t->mw_conn,
+         MessageKind::kRequest, t->class_id, config_.sizes.app_mw_req, t->id,
+         t->mw_visit, t->app_visit, [this, t] {
+           t->mw_arr = engine_.now();
+           Server& mw = topology_.server(TierKind::kMw, t->mw_i);
+           [[maybe_unused]] const bool admitted =
+               mw.admit([this, t] { on_mw_thread_write(t); });
+           assert(admitted);
+         });
+  });
+}
+
+void TxnDriver::on_mw_thread_write(const TxnPtr& t) {
+  Server& mw = topology_.server(TierKind::kMw, t->mw_i);
+  mw.add_disk_micros(config_.mw_disk_us_per_query);
+  t->replica_i = 0;
+  mw.compute(jitter(t->cls->mw_demand_us * 0.8),
+             [this, t] { write_next_replica(t); });
+}
+
+void TxnDriver::write_next_replica(const TxnPtr& t) {
+  if (t->replica_i >= topology_.tier_size(TierKind::kDb)) {
+    // Broadcast complete: forward the acknowledgement upstream.
+    Server& mw = topology_.server(TierKind::kMw, t->mw_i);
+    mw.compute(jitter(t->cls->mw_demand_us * 0.2),
+               [this, t] { mw_write_respond(t); });
+    return;
+  }
+  t->db_i = t->replica_i;  // writes hit every replica, in order
+  auto& pool = topology_.inbound_pool(TierKind::kDb, t->db_i);
+  pool.acquire([this, t](int token) {
+    t->db_token = token;
+    t->db_conn = topology_.pool_conn_id(TierKind::kDb, t->db_i, token);
+    t->db_visit = new_visit();
+    send(topology_.node_id(TierKind::kMw, t->mw_i),
+         topology_.node_id(TierKind::kDb, t->db_i), t->db_conn,
+         MessageKind::kRequest, t->class_id, config_.sizes.mw_db_req, t->id,
+         t->db_visit, t->mw_visit, [this, t] {
+           t->db_arr = engine_.now();
+           Server& db = topology_.server(TierKind::kDb, t->db_i);
+           [[maybe_unused]] const bool admitted =
+               db.admit([this, t] { on_db_thread_write(t); });
+           assert(admitted);
+         });
+  });
+}
+
+void TxnDriver::on_db_thread_write(const TxnPtr& t) {
+  Server& db = topology_.server(TierKind::kDb, t->db_i);
+  db.add_disk_micros(t->cls->db_write_disk_us);
+  db.compute(jitter(t->cls->db_write_demand_us),
+             [this, t] { db_write_respond(t); });
+}
+
+void TxnDriver::db_write_respond(const TxnPtr& t) {
+  Server& db = topology_.server(TierKind::kDb, t->db_i);
+  db.release_thread();
+  send(topology_.node_id(TierKind::kDb, t->db_i),
+       topology_.node_id(TierKind::kMw, t->mw_i), t->db_conn,
+       MessageKind::kResponse, t->class_id, config_.sizes.db_mw_resp, t->id,
+       t->db_visit, t->mw_visit, [this, t] {
+         sink_.record_visit(trace::RequestRecord{
+             .server = topology_.server_index(TierKind::kDb, t->db_i),
+             .class_id = t->class_id,
+             .arrival = t->db_arr,
+             .departure = engine_.now(),
+             .txn = t->id,
+         });
+         topology_.inbound_pool(TierKind::kDb, t->db_i).release(t->db_token);
+         t->db_token = -1;
+         ++t->replica_i;
+         write_next_replica(t);
+       });
+}
+
+void TxnDriver::mw_write_respond(const TxnPtr& t) {
+  Server& mw = topology_.server(TierKind::kMw, t->mw_i);
+  mw.release_thread();
+  send(topology_.node_id(TierKind::kMw, t->mw_i),
+       topology_.node_id(TierKind::kApp, t->app_i), t->mw_conn,
+       MessageKind::kResponse, t->class_id, config_.sizes.mw_app_resp, t->id,
+       t->mw_visit, t->app_visit, [this, t] {
+         sink_.record_visit(trace::RequestRecord{
+             .server = topology_.server_index(TierKind::kMw, t->mw_i),
+             .class_id = t->class_id,
+             .arrival = t->mw_arr,
+             .departure = engine_.now(),
+             .txn = t->id,
+         });
+         topology_.inbound_pool(TierKind::kMw, t->mw_i).release(t->mw_token);
+         t->mw_token = -1;
+         ++t->write_i;
+         app_segment(t);
+       });
+}
+
+void TxnDriver::app_respond(const TxnPtr& t) {
+  Server& app = topology_.server(TierKind::kApp, t->app_i);
+  app.release_thread();
+  send(topology_.node_id(TierKind::kApp, t->app_i),
+       topology_.node_id(TierKind::kWeb, t->web_i), t->app_conn,
+       MessageKind::kResponse, t->class_id, config_.sizes.app_web_resp, t->id,
+       t->app_visit, t->web_visit, [this, t] {
+         sink_.record_visit(trace::RequestRecord{
+             .server = topology_.server_index(TierKind::kApp, t->app_i),
+             .class_id = t->class_id,
+             .arrival = t->app_arr,
+             .departure = engine_.now(),
+             .txn = t->id,
+         });
+         topology_.inbound_pool(TierKind::kApp, t->app_i).release(t->app_token);
+         t->app_token = -1;
+         Server& web = topology_.server(TierKind::kWeb, t->web_i);
+         web.compute(jitter(t->cls->web_demand_us * 0.5),
+                     [this, t] { web_respond(t); });
+       });
+}
+
+void TxnDriver::web_respond(const TxnPtr& t) {
+  Server& web = topology_.server(TierKind::kWeb, t->web_i);
+  web.release_thread();
+  send(topology_.node_id(TierKind::kWeb, t->web_i), 0, t->client_conn,
+       MessageKind::kResponse, t->class_id, config_.sizes.web_client_resp,
+       t->id, t->web_visit, 0, [this, t] {
+         sink_.record_visit(trace::RequestRecord{
+             .server = topology_.server_index(TierKind::kWeb, t->web_i),
+             .class_id = t->class_id,
+             .arrival = t->web_arr,
+             .departure = engine_.now(),
+             .txn = t->id,
+         });
+         ++completed_;
+         if (t->done) {
+           t->done(PageResult{
+               .started = t->first_attempt,
+               .response_time = engine_.now() - t->first_attempt,
+               .class_id = t->class_id,
+               .retransmissions = t->retransmissions,
+           });
+         }
+       });
+}
+
+}  // namespace tbd::ntier

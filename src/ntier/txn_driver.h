@@ -1,0 +1,131 @@
+// Transaction driver: executes client transactions against the topology.
+//
+// One transaction is an entire web page (Figure 4): the client request hits
+// the web tier; the web tier calls the app tier; the app tier issues a
+// per-class number of sequential queries, each routed through the clustering
+// middleware to a database replica; responses propagate back synchronously.
+// A worker thread is held at each tier for the duration of that tier's
+// involvement, including time blocked on downstream calls.
+//
+// Every message placed on the wire is offered to the TraceSink (the passive
+// tracing tap), and each server visit produces a RequestRecord from the
+// captured request-arrival and response timestamps — exactly the observables
+// the paper's analysis consumes.
+//
+// Overload behaviour reproduces footnote 1: when the web tier's thread pool
+// and accept backlog are both full, the client's connection attempt is
+// dropped and retried after a TCP retransmission timeout (3 s), producing
+// the >3 s mode of the response-time distribution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ntier/request_class.h"
+#include "ntier/topology.h"
+#include "sim/engine.h"
+#include "trace/sink.h"
+#include "util/rng.h"
+
+namespace tbd::ntier {
+
+class TxnDriver {
+ public:
+  struct Config {
+    MessageSizes sizes;
+    /// TCP retransmission timeout applied when the web tier drops a
+    /// connection attempt.
+    Duration retrans_delay = Duration::seconds(3);
+    /// Coefficient of variation of per-segment CPU demand (gamma jitter).
+    double demand_cv = 1.0 / 3.0;
+    /// Synchronous disk accounting (Table I bookkeeping only).
+    double web_disk_us_per_page = 1.2;
+    double app_disk_us_per_page = 0.3;
+    double mw_disk_us_per_query = 0.35;
+    double db_disk_us_per_query = 0.4;
+  };
+
+  /// Outcome delivered to the workload generator when a page completes.
+  struct PageResult {
+    TimePoint started;        // first connection attempt
+    Duration response_time;   // end-to-end, including retransmissions
+    std::uint32_t class_id = 0;
+    int retransmissions = 0;
+  };
+  using CompletionFn = std::function<void(const PageResult&)>;
+
+  TxnDriver(sim::Engine& engine, Topology& topology, RequestClassList classes,
+            trace::TraceSink& sink, Rng rng, Config config);
+
+  /// Launches one transaction of the given class.
+  void start(trace::ClassId class_id, CompletionFn on_complete);
+
+  [[nodiscard]] const RequestClassList& classes() const { return classes_; }
+
+  /// Installs a heap-allocation observer on one app-tier server; called with
+  /// the bytes allocated after each app-tier compute segment (feeds GcModel).
+  void set_app_alloc_hook(int app_index, std::function<void(double)> hook);
+
+  [[nodiscard]] std::uint64_t transactions_started() const { return started_; }
+  [[nodiscard]] std::uint64_t transactions_completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  struct Txn;
+  using TxnPtr = std::shared_ptr<Txn>;
+
+  /// Samples a demand with the configured CV around `mean_us`.
+  double jitter(double mean_us);
+  std::uint64_t new_visit() { return next_visit_++; }
+
+  void attempt_connect(const TxnPtr& t);
+  void on_web_thread(const TxnPtr& t);
+  void call_app(const TxnPtr& t);
+  void on_app_thread(const TxnPtr& t);
+  void app_segment(const TxnPtr& t);
+  void after_app_segment(const TxnPtr& t);
+  void issue_query(const TxnPtr& t);
+  void on_mw_thread(const TxnPtr& t);
+  void call_db(const TxnPtr& t);
+  void on_db_thread(const TxnPtr& t);
+  void db_respond(const TxnPtr& t);
+  void mw_respond(const TxnPtr& t);
+  // Write path: the middleware broadcasts each write to every DB replica
+  // sequentially (C-JDBC full replication).
+  void issue_write_query(const TxnPtr& t);
+  void on_mw_thread_write(const TxnPtr& t);
+  void write_next_replica(const TxnPtr& t);
+  void on_db_thread_write(const TxnPtr& t);
+  void db_write_respond(const TxnPtr& t);
+  void mw_write_respond(const TxnPtr& t);
+  void app_respond(const TxnPtr& t);
+  void web_respond(const TxnPtr& t);
+
+  /// Captures a message (timestamped at delivery, i.e. at the tap) and then
+  /// runs the continuation.
+  void send(trace::NodeId src, trace::NodeId dst, std::uint32_t conn,
+            trace::MessageKind kind, trace::ClassId cls, std::uint32_t bytes,
+            trace::TxnId txn, std::uint64_t visit, std::uint64_t parent,
+            std::function<void()> at_delivery);
+
+  sim::Engine& engine_;
+  Topology& topology_;
+  RequestClassList classes_;
+  trace::TraceSink& sink_;
+  Rng rng_;
+  Config config_;
+  double gamma_shape_;
+
+  std::vector<std::function<void(double)>> app_alloc_hooks_;
+  trace::TxnId next_txn_ = 1;
+  std::uint64_t next_visit_ = 1;
+  std::uint32_t next_client_conn_ = 0;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t retransmissions_ = 0;
+};
+
+}  // namespace tbd::ntier

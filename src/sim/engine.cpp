@@ -1,0 +1,86 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace tbd::sim {
+
+EventHandle Engine::schedule_at(TimePoint at, std::function<void()> fn) {
+  assert(at >= now_);
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  return EventHandle{id};
+}
+
+EventHandle Engine::schedule_after(Duration delay, std::function<void()> fn) {
+  assert(delay >= Duration{});
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  // Lazy deletion: record the id; the entry is discarded when popped.
+  cancelled_.insert(h.id_);
+  return true;
+}
+
+bool Engine::pop_and_run_next(TimePoint limit) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.at > limit) return false;
+    // Purge if cancelled.
+    if (const auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    // Move the callback out before popping (top() is const; const_cast is
+    // safe because we pop immediately and never compare by fn).
+    Entry entry = std::move(const_cast<Entry&>(top));
+    queue_.pop();
+    now_ = entry.at;
+    ++executed_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(TimePoint until) {
+  assert(until >= now_);
+  while (pop_and_run_next(until)) {
+  }
+  now_ = until;
+}
+
+void Engine::run_all() {
+  while (pop_and_run_next(TimePoint::max())) {
+  }
+}
+
+PeriodicTask::PeriodicTask(Engine& engine, TimePoint first, Duration period,
+                           std::function<void(TimePoint)> fn)
+    : engine_{engine}, period_{period}, fn_{std::move(fn)} {
+  assert(period.is_positive());
+  arm(first);
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  engine_.cancel(pending_);
+  pending_.invalidate();
+}
+
+void PeriodicTask::arm(TimePoint at) {
+  pending_ = engine_.schedule_at(at, [this, at] {
+    if (stopped_) return;
+    fn_(at);
+    if (!stopped_) arm(at + period_);
+  });
+}
+
+}  // namespace tbd::sim

@@ -1,0 +1,118 @@
+// Single-threaded discrete-event simulation engine.
+//
+// The engine owns the virtual clock. Work is scheduled as closures at
+// absolute times; ties break in schedule order so runs are deterministic.
+// Events can be cancelled via the handle returned by schedule(), which is how
+// the processor-sharing servers reschedule their "next completion" event
+// whenever arrivals, departures, clock-frequency changes, or GC pauses alter
+// the service rate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+namespace tbd::sim {
+
+/// Opaque identifier for a scheduled event; value-semantic, cheap to copy.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  [[nodiscard]] bool valid() const { return id_ != 0; }
+  void invalidate() { id_ = 0; }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::uint64_t id) : id_{id} {}
+  std::uint64_t id_ = 0;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (must be >= now()).
+  EventHandle schedule_at(TimePoint at, std::function<void()> fn);
+
+  /// Schedules `fn` to run after `delay` (must be >= 0).
+  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if the event already ran, was
+  /// already cancelled, or the handle is empty. Safe to call with a stale
+  /// handle.
+  bool cancel(EventHandle h);
+
+  /// Runs events until the queue is empty or the clock would pass `until`.
+  /// The clock is left at `until` (or at the last event time if the queue
+  /// drained first and that was later... it never is; the clock ends at
+  /// exactly `until` when events remain, else at the last executed event).
+  void run_until(TimePoint until);
+
+  /// Runs until the event queue is fully drained.
+  void run_all();
+
+  /// Number of events executed so far (diagnostics / perf tests).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of events currently pending (including cancelled-but-not-popped).
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    std::uint64_t id;
+    // Heap entries are moved, never copied; the callback lives in the entry.
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run_next(TimePoint limit);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;  // lazy deletion, purged on pop
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+/// Repeatedly runs a callback at a fixed period, starting at `first`.
+/// Used for monitoring samplers (sysstat substitute) and the SpeedStep
+/// governor's control loop. Stops automatically when the owning engine's run
+/// window ends; call stop() to cease earlier.
+class PeriodicTask {
+ public:
+  /// `fn` receives the firing time.
+  PeriodicTask(Engine& engine, TimePoint first, Duration period,
+               std::function<void(TimePoint)> fn);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+
+ private:
+  void arm(TimePoint at);
+
+  Engine& engine_;
+  Duration period_;
+  std::function<void(TimePoint)> fn_;
+  EventHandle pending_;
+  bool stopped_ = false;
+};
+
+}  // namespace tbd::sim

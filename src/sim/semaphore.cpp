@@ -1,0 +1,54 @@
+#include "sim/semaphore.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tbd::sim {
+
+FifoSemaphore::FifoSemaphore(Engine& engine, std::string name, int capacity,
+                             int max_waiters)
+    : engine_{engine},
+      name_{std::move(name)},
+      capacity_{capacity},
+      max_waiters_{max_waiters} {
+  assert(capacity > 0);
+  free_tokens_.reserve(static_cast<std::size_t>(capacity));
+  // Push in reverse so token 0 is on top of the LIFO free list.
+  for (int i = capacity - 1; i >= 0; --i) free_tokens_.push_back(i);
+}
+
+bool FifoSemaphore::acquire(std::function<void(int)> on_acquire) {
+  if (!free_tokens_.empty()) {
+    const int token = free_tokens_.back();
+    free_tokens_.pop_back();
+    grant(token, std::move(on_acquire));
+    return true;
+  }
+  if (max_waiters_ >= 0 && static_cast<int>(waiters_.size()) >= max_waiters_) {
+    ++rejected_;
+    return false;
+  }
+  waiters_.push_back(std::move(on_acquire));
+  return true;
+}
+
+void FifoSemaphore::release(int token_id) {
+  assert(token_id >= 0 && token_id < capacity_);
+  assert(in_use_ > 0);
+  --in_use_;
+  if (!waiters_.empty()) {
+    auto cb = std::move(waiters_.front());
+    waiters_.pop_front();
+    grant(token_id, std::move(cb));
+    return;
+  }
+  free_tokens_.push_back(token_id);
+}
+
+void FifoSemaphore::grant(int token_id, std::function<void(int)> cb) {
+  ++in_use_;
+  ++granted_;
+  engine_.schedule_after(Duration{}, [cb = std::move(cb), token_id] { cb(token_id); });
+}
+
+}  // namespace tbd::sim

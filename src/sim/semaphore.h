@@ -1,0 +1,63 @@
+// FIFO counting semaphore for the simulated world.
+//
+// Models bounded soft resources: worker-thread pools and inter-tier
+// connection pools. Waiters queue in arrival order; a released token wakes
+// the head waiter via an engine event at the current simulation time (so a
+// release never runs the waiter's continuation re-entrantly).
+//
+// Each token carries a stable small-integer id. Connection pools expose the
+// id as the "connection" observable in wire messages: the black-box trace
+// reconstructor (SysViz substitute) keys request/response matching on it,
+// exactly as a real sniffer keys on the TCP 5-tuple.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace tbd::sim {
+
+class FifoSemaphore {
+ public:
+  /// `capacity` tokens, ids 0..capacity-1. `max_waiters` < 0 means unbounded.
+  FifoSemaphore(Engine& engine, std::string name, int capacity,
+                int max_waiters = -1);
+
+  /// Requests a token. If one is free, `on_acquire(token_id)` is scheduled
+  /// immediately (at now, not re-entrantly). If all tokens are held the
+  /// caller queues; returns false (and drops the callback) only when the
+  /// waiting line is already at max_waiters — the "accept queue full" case
+  /// that models SYN drops at a saturated web tier.
+  bool acquire(std::function<void(int)> on_acquire);
+
+  /// Returns a token; wakes the head waiter if any.
+  void release(int token_id);
+
+  [[nodiscard]] int capacity() const { return capacity_; }
+  [[nodiscard]] int in_use() const { return in_use_; }
+  [[nodiscard]] int waiting() const { return static_cast<int>(waiters_.size()); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Total acquisitions granted and total rejected (diagnostics).
+  [[nodiscard]] std::uint64_t granted() const { return granted_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  void grant(int token_id, std::function<void(int)> cb);
+
+  Engine& engine_;
+  std::string name_;
+  int capacity_;
+  int max_waiters_;
+  int in_use_ = 0;
+  std::vector<int> free_tokens_;  // LIFO free list: reuses hot connections
+  std::deque<std::function<void(int)>> waiters_;
+  std::uint64_t granted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace tbd::sim

@@ -1,0 +1,117 @@
+#include "trace/capture_file.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace tbd::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'B', 'D', 'C'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kRecordSize = 8 + 4 + 4 + 4 + 1 + 4 + 4 + 8 + 8 + 8;
+
+// Little-endian scribblers; portable regardless of host endianness.
+template <typename T>
+void put(char*& p, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    *p++ = static_cast<char>((static_cast<std::uint64_t>(value) >> (8 * i)) & 0xFF);
+  }
+}
+
+template <typename T>
+T take(const char*& p) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(*p++)) << (8 * i);
+  }
+  return static_cast<T>(v);
+}
+
+}  // namespace
+
+bool save_capture(const std::string& path,
+                  const std::vector<Message>& messages) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out.is_open()) return false;
+
+  char header[4 + 4 + 8];
+  char* p = header;
+  std::memcpy(p, kMagic, 4);
+  p += 4;
+  put<std::uint32_t>(p, kVersion);
+  put<std::uint64_t>(p, messages.size());
+  out.write(header, sizeof header);
+
+  std::vector<char> buffer;
+  buffer.resize(kRecordSize);
+  for (const Message& m : messages) {
+    p = buffer.data();
+    put<std::int64_t>(p, m.at.micros());
+    put<std::uint32_t>(p, m.src);
+    put<std::uint32_t>(p, m.dst);
+    put<std::uint32_t>(p, m.conn);
+    put<std::uint8_t>(p, static_cast<std::uint8_t>(m.kind));
+    put<std::uint32_t>(p, m.class_id);
+    put<std::uint32_t>(p, m.bytes);
+    put<std::uint64_t>(p, m.txn);
+    put<std::uint64_t>(p, m.visit);
+    put<std::uint64_t>(p, m.parent_visit);
+    out.write(buffer.data(), static_cast<std::streamsize>(kRecordSize));
+  }
+  return static_cast<bool>(out);
+}
+
+CaptureReadResult load_capture(const std::string& path) {
+  CaptureReadResult result;
+  std::ifstream in{path, std::ios::binary};
+  if (!in.is_open()) {
+    result.error = "cannot open file";
+    return result;
+  }
+
+  char header[4 + 4 + 8];
+  in.read(header, sizeof header);
+  if (in.gcount() != sizeof header) {
+    result.error = "truncated header";
+    return result;
+  }
+  if (std::memcmp(header, kMagic, 4) != 0) {
+    result.error = "bad magic";
+    return result;
+  }
+  const char* p = header + 4;
+  const auto version = take<std::uint32_t>(p);
+  if (version != kVersion) {
+    result.error = "unsupported version";
+    return result;
+  }
+  const auto count = take<std::uint64_t>(p);
+
+  result.messages.reserve(count);
+  std::vector<char> buffer(kRecordSize);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    in.read(buffer.data(), static_cast<std::streamsize>(kRecordSize));
+    if (in.gcount() != static_cast<std::streamsize>(kRecordSize)) {
+      result.error = "truncated record stream";
+      return result;
+    }
+    const char* q = buffer.data();
+    Message m;
+    m.at = TimePoint::from_micros(take<std::int64_t>(q));
+    m.src = take<std::uint32_t>(q);
+    m.dst = take<std::uint32_t>(q);
+    m.conn = take<std::uint32_t>(q);
+    m.kind = static_cast<MessageKind>(take<std::uint8_t>(q));
+    m.class_id = take<std::uint32_t>(q);
+    m.bytes = take<std::uint32_t>(q);
+    m.txn = take<std::uint64_t>(q);
+    m.visit = take<std::uint64_t>(q);
+    m.parent_visit = take<std::uint64_t>(q);
+    result.messages.push_back(m);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace tbd::trace

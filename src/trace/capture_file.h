@@ -1,0 +1,39 @@
+// Binary capture files: compact persistence for wire-level message streams.
+//
+// CSV request logs (log_io.h) carry the per-server arrival/departure view;
+// this format carries the RAW message stream — what a tap actually records —
+// so reconstruction can be re-run offline, shared, and regression-tested.
+// Think "pcap-lite": fixed little-endian records behind a magic/version
+// header, streamable in either direction.
+//
+// Layout (little-endian):
+//   header: "TBDC" u32-version(1) u64-message-count
+//   per message: i64 at_us, u32 src, u32 dst, u32 conn, u8 kind,
+//                u32 class_id, u32 bytes, u64 txn, u64 visit,
+//                u64 parent_visit                (53 bytes, packed)
+//
+// Ground-truth ids are included so accuracy scoring works offline; a real
+// capture would zero them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/records.h"
+
+namespace tbd::trace {
+
+struct CaptureReadResult {
+  std::vector<Message> messages;
+  bool ok = false;
+  std::string error;  // empty when ok
+};
+
+/// Writes the stream; returns false on I/O failure.
+bool save_capture(const std::string& path, const std::vector<Message>& messages);
+
+/// Reads a capture file back; validates magic, version, and count.
+[[nodiscard]] CaptureReadResult load_capture(const std::string& path);
+
+}  // namespace tbd::trace

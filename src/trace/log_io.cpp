@@ -1,0 +1,79 @@
+#include "trace/log_io.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+
+namespace tbd::trace {
+
+namespace {
+
+// Parses one CSV line into a record; returns false on malformed input.
+bool parse_line(std::string_view line, RequestRecord& out) {
+  std::uint64_t fields[5];
+  int field = 0;
+  const char* p = line.data();
+  const char* end = p + line.size();
+  while (field < 5) {
+    // Trim leading spaces.
+    while (p < end && (*p == ' ' || *p == '\t')) ++p;
+    std::uint64_t value = 0;
+    const auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{}) return false;
+    fields[field++] = value;
+    p = next;
+    while (p < end && (*p == ' ' || *p == '\t')) ++p;
+    if (field < 5) {
+      if (p >= end || *p != ',') return false;
+      ++p;
+    }
+  }
+  out.server = static_cast<ServerIndex>(fields[0]);
+  out.class_id = static_cast<ClassId>(fields[1]);
+  out.arrival = TimePoint::from_micros(static_cast<std::int64_t>(fields[2]));
+  out.departure = TimePoint::from_micros(static_cast<std::int64_t>(fields[3]));
+  out.txn = fields[4];
+  return out.departure >= out.arrival;
+}
+
+}  // namespace
+
+LogIoResult load_request_log_csv(const std::string& path) {
+  LogIoResult result;
+  std::ifstream in{path};
+  if (!in.is_open()) return result;
+  result.ok = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      ++result.skipped_lines;
+      continue;
+    }
+    RequestRecord r;
+    if (parse_line(line, r)) {
+      result.records.push_back(r);
+    } else {
+      ++result.skipped_lines;  // includes a header line, if present
+    }
+  }
+  return result;
+}
+
+bool save_request_log_csv(const std::string& path, const RequestLog& records) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out.is_open()) return false;
+  out << "server,class,arrival_us,departure_us,txn\n";
+  char buf[128];
+  for (const auto& r : records) {
+    std::snprintf(buf, sizeof buf, "%u,%u,%lld,%lld,%llu\n", r.server,
+                  r.class_id, static_cast<long long>(r.arrival.micros()),
+                  static_cast<long long>(r.departure.micros()),
+                  static_cast<unsigned long long>(r.txn));
+    out << buf;
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace tbd::trace

@@ -1,0 +1,34 @@
+// Request-log persistence: CSV import/export of per-server request records.
+//
+// The analysis pipeline (src/core) consumes only RequestRecords, so traces
+// captured outside the simulator — e.g. derived from a real pcap with any
+// request/response matcher — can be analyzed by writing them in this format:
+//
+//   server,class,arrival_us,departure_us,txn
+//   0,3,1000,2500,42
+//
+// Header line optional. Extra columns are ignored. Lines starting with '#'
+// are comments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/records.h"
+
+namespace tbd::trace {
+
+struct LogIoResult {
+  RequestLog records;
+  std::size_t skipped_lines = 0;  // malformed or comment lines
+  bool ok = false;                // file opened and at least parsed
+};
+
+/// Reads a request log from `path`. Records for all servers may be mixed;
+/// filter by RequestRecord::server downstream.
+[[nodiscard]] LogIoResult load_request_log_csv(const std::string& path);
+
+/// Writes records (with header) to `path`; returns false on I/O failure.
+bool save_request_log_csv(const std::string& path, const RequestLog& records);
+
+}  // namespace tbd::trace

@@ -1,0 +1,231 @@
+#include "trace/reconstructor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+namespace tbd::trace {
+
+namespace {
+// Departure sentinel for visits whose response has not been seen yet.
+constexpr TimePoint kUnclosed = TimePoint::max();
+}  // namespace
+
+void TraceReconstructor::process(std::span<const Message> messages) {
+  for (const Message& m : messages) {
+    if (m.conn >= conn_pending_.size()) conn_pending_.resize(m.conn + 1);
+    if (const NodeId hi = std::max(m.src, m.dst); hi >= open_by_server_.size()) {
+      open_by_server_.resize(hi + 1);
+    }
+
+    if (m.kind == MessageKind::kRequest) {
+      std::int64_t parent_slot = -1;
+      if (m.src != client_node_) {
+        parent_slot = pick_parent(m.src, m.at, m.class_id);
+        if (parent_slot < 0) {
+          ++stats_.orphan_children;
+        } else {
+          // Train the elapsed model on the accepted attribution, normalized
+          // by the same processor-sharing stretch used when scoring.
+          OpenVisit& chosen = open_[static_cast<std::size_t>(parent_slot)];
+          const auto& pv = visits_[static_cast<std::size_t>(chosen.index)];
+          const double stretch = std::max<double>(
+              1.0, static_cast<double>(open_by_server_[m.src].size()));
+          learn_elapsed(
+              m.src, pv.class_id,
+              static_cast<double>((m.at - chosen.ready_since).micros()) / stretch);
+          ++chosen.children_issued;
+        }
+      } else {
+        ++stats_.roots;
+      }
+
+      const auto visit_index = static_cast<std::int64_t>(visits_.size());
+      visits_.push_back(ReconstructedVisit{
+          .server = m.dst,
+          .class_id = m.class_id,
+          .arrival = m.at,
+          .departure = kUnclosed,
+          .parent = parent_slot >= 0
+                        ? open_[static_cast<std::size_t>(parent_slot)].index
+                        : -1,
+          .truth_txn = m.txn,
+          .truth_visit = m.visit,
+          .truth_parent_visit = m.parent_visit,
+      });
+
+      const auto slot = static_cast<std::int64_t>(open_.size());
+      open_.push_back(OpenVisit{
+          .index = visit_index,
+          .server = m.dst,
+          .parent_slot = parent_slot,
+          .outstanding_child = -1,
+          .ready_since = m.at,
+          .closed = false,
+      });
+      open_by_server_[m.dst].push_back(slot);
+
+      if (parent_slot >= 0) {
+        // The parent is busy waiting on this child until its response.
+        open_[static_cast<std::size_t>(parent_slot)].outstanding_child = visit_index;
+      }
+
+      // One outstanding request per connection: a second request on a
+      // connection with an un-answered one would be a capture glitch; the
+      // newer request wins and the old pending entry is dropped.
+      conn_pending_[m.conn] = PendingRequest{slot};
+      continue;
+    }
+
+    // Response: close the visit pending on this connection.
+    auto& pending = conn_pending_[m.conn];
+    if (!pending.has_value()) {
+      ++stats_.unmatched_responses;
+      continue;
+    }
+    const std::int64_t slot = pending->open_slot;
+    pending.reset();
+    OpenVisit& ov = open_[static_cast<std::size_t>(slot)];
+    ov.closed = true;
+    ReconstructedVisit& v = visits_[static_cast<std::size_t>(ov.index)];
+    v.departure = m.at;
+    ++stats_.visits;
+
+    // Train the fanout model: this visit issued `children_issued` calls.
+    {
+      constexpr double kAlpha = 0.05;
+      double& q = fanout_model(v.server, v.class_id);
+      const auto n = static_cast<double>(ov.children_issued);
+      q = q < 0.0 ? n : (1.0 - kAlpha) * q + kAlpha * n;
+    }
+
+    // Remove from the per-server open list (swap-erase).
+    auto& list = open_by_server_[v.server];
+    if (const auto it = std::find(list.begin(), list.end(), slot); it != list.end()) {
+      *it = list.back();
+      list.pop_back();
+    }
+
+    // The parent becomes ready again: its sequential processing resumes.
+    if (ov.parent_slot >= 0) {
+      OpenVisit& pov = open_[static_cast<std::size_t>(ov.parent_slot)];
+      if (!pov.closed) {
+        if (pov.outstanding_child == ov.index) pov.outstanding_child = -1;
+        pov.ready_since = m.at;
+      }
+    }
+  }
+}
+
+double& TraceReconstructor::elapsed_model(NodeId node, ClassId cls) {
+  if (node >= elapsed_mu_.size()) elapsed_mu_.resize(node + 1);
+  auto& per_class = elapsed_mu_[node];
+  if (cls >= per_class.size()) per_class.resize(cls + 1, -1.0);
+  return per_class[cls];
+}
+
+void TraceReconstructor::learn_elapsed(NodeId node, ClassId cls,
+                                       double elapsed_us) {
+  constexpr double kAlpha = 0.05;
+  double& mu = elapsed_model(node, cls);
+  mu = mu < 0.0 ? elapsed_us : (1.0 - kAlpha) * mu + kAlpha * elapsed_us;
+  global_elapsed_mu_ = global_elapsed_mu_ < 0.0
+                           ? elapsed_us
+                           : (1.0 - kAlpha) * global_elapsed_mu_ +
+                                 kAlpha * elapsed_us;
+}
+
+double& TraceReconstructor::fanout_model(NodeId node, ClassId cls) {
+  if (node >= fanout_mu_.size()) fanout_mu_.resize(node + 1);
+  auto& per_class = fanout_mu_[node];
+  if (cls >= per_class.size()) per_class.resize(cls + 1, -1.0);
+  return per_class[cls];
+}
+
+std::int64_t TraceReconstructor::pick_parent(NodeId server, TimePoint at,
+                                             ClassId cls) {
+  if (server >= open_by_server_.size()) return -1;
+  const auto& list = open_by_server_[server];
+
+  // Candidate filters, strongest first:
+  //  - open, ready (no outstanding call), already arrived;
+  //  - same request class as the child message (content-derived signal);
+  //  - fanout: a parent that already issued its class's typical number of
+  //    child calls is done querying. The fanout filter is soft — when it
+  //    would eliminate everyone, it is dropped.
+  std::vector<std::int64_t> candidates;
+  std::vector<std::int64_t> unsaturated;
+  for (const std::int64_t slot : list) {
+    const OpenVisit& ov = open_[static_cast<std::size_t>(slot)];
+    if (ov.closed || ov.outstanding_child >= 0) continue;
+    const ReconstructedVisit& v = visits_[static_cast<std::size_t>(ov.index)];
+    if (v.arrival > at || v.class_id != cls) continue;
+    candidates.push_back(slot);
+    const double q = fanout_model(server, cls);
+    if (q < 0.0 || static_cast<double>(ov.children_issued) < std::round(q)) {
+      unsaturated.push_back(slot);
+    }
+  }
+  const auto& pool = unsaturated.empty() ? candidates : unsaturated;
+  if (pool.empty()) return -1;
+
+  // Processor sharing stretches every in-service segment by roughly the
+  // number of concurrently open visits; normalizing observed elapsed times
+  // by it keeps the learned model valid across load levels.
+  const double stretch = std::max<double>(1.0, static_cast<double>(list.size()));
+
+  std::int64_t best_slot = -1;
+  TimePoint best_ready;
+  double best_score = 0.0;
+  for (const std::int64_t slot : pool) {
+    const OpenVisit& ov = open_[static_cast<std::size_t>(slot)];
+    if (policy_ == ParentPick::kExpectedElapsed) {
+      const double elapsed =
+          static_cast<double>((at - ov.ready_since).micros()) / stretch;
+      double mu = elapsed_model(server, cls);
+      if (mu < 0.0) mu = global_elapsed_mu_;
+      // No model yet (cold start): fall back to FIFO by scoring on the
+      // negated elapsed time.
+      const double score = mu < 0.0 ? -elapsed : std::abs(elapsed - mu);
+      if (best_slot < 0 || score < best_score) {
+        best_slot = slot;
+        best_score = score;
+      }
+      continue;
+    }
+    const bool better = policy_ == ParentPick::kMostRecentlyReady
+                            ? ov.ready_since > best_ready
+                            : ov.ready_since < best_ready;
+    if (best_slot < 0 || better) {
+      best_slot = slot;
+      best_ready = ov.ready_since;
+    }
+  }
+  return best_slot;
+}
+
+AccuracyReport TraceReconstructor::score_against_truth() const {
+  AccuracyReport report;
+  std::unordered_map<TxnId, bool> txn_perfect;
+  for (const ReconstructedVisit& v : visits_) {
+    txn_perfect.try_emplace(v.truth_txn, true);
+    if (v.truth_parent_visit == 0) continue;  // root: no edge to score
+    ++report.child_visits;
+    const bool correct =
+        v.parent >= 0 &&
+        visits_[static_cast<std::size_t>(v.parent)].truth_visit == v.truth_parent_visit;
+    if (correct) {
+      ++report.correct_edges;
+    } else {
+      txn_perfect[v.truth_txn] = false;
+    }
+  }
+  report.transactions = txn_perfect.size();
+  for (const auto& [txn, perfect] : txn_perfect) {
+    if (perfect) ++report.perfect_transactions;
+  }
+  return report;
+}
+
+}  // namespace tbd::trace

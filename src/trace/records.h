@@ -1,0 +1,71 @@
+// Wire-level observables produced by passive network tracing.
+//
+// The paper's monitoring substrate (Fujitsu SysViz, Section II-C) captures
+// every inter-tier message through network taps, timestamps it at microsecond
+// granularity on a dedicated machine (one clock => no NTP skew), and
+// reconstructs each transaction's execution trace. Two views come out of it:
+//
+//  * Message   — one captured packet-level interaction message (odd-numbered
+//                arrows in Figure 4). The black-box reconstructor sees only
+//                the fields a sniffer could see; ground-truth ids are carried
+//                alongside for accuracy scoring but are never consulted by
+//                the reconstruction algorithm.
+//  * RequestRecord — one request's visit to one server: arrival timestamp of
+//                the request message and departure timestamp of the matching
+//                response (the paper's per-server arrival/departure pairs
+//                that feed load and throughput calculation, Section III).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+
+namespace tbd::trace {
+
+/// Network endpoint id. Node 0 is the client population; servers are 1..N.
+using NodeId = std::uint32_t;
+
+/// Index of a server within the topology (dense, 0-based).
+using ServerIndex = std::uint32_t;
+
+/// Ground-truth end-to-end transaction id.
+using TxnId = std::uint64_t;
+
+/// Request class (interaction type); observable on the wire in practice
+/// (URL / SQL template), so the reconstructor may use it.
+using ClassId = std::uint32_t;
+
+enum class MessageKind : std::uint8_t { kRequest, kResponse };
+
+struct Message {
+  TimePoint at;        // capture timestamp
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t conn = 0;  // connection id (TCP 5-tuple stand-in)
+  MessageKind kind = MessageKind::kRequest;
+  ClassId class_id = 0;
+  std::uint32_t bytes = 0;
+  // --- ground truth, hidden from the black-box reconstructor ---
+  TxnId txn = 0;
+  std::uint64_t visit = 0;  // unique id of the server-visit this message opens/closes
+  std::uint64_t parent_visit = 0;  // visit id of the caller's visit (0 = client root)
+};
+
+/// One request's stay at one server, from request arrival to response
+/// departure. The interval [arrival, departure] is exactly what the load
+/// calculation integrates (Figure 6); `departure` places the request's
+/// completed work units into a throughput interval (Figure 7).
+struct RequestRecord {
+  ServerIndex server = 0;
+  ClassId class_id = 0;
+  TimePoint arrival;
+  TimePoint departure;
+  TxnId txn = 0;
+};
+
+/// All records of one server, in departure order (the order they are emitted
+/// by the simulation). Analysis code sorts as needed.
+using RequestLog = std::vector<RequestRecord>;
+
+}  // namespace tbd::trace

@@ -1,0 +1,34 @@
+#include "trace/sink.h"
+
+#include <cassert>
+
+namespace tbd::trace {
+
+TraceSink::TraceSink(std::uint32_t num_servers, bool record_messages)
+    : record_messages_{record_messages}, logs_(num_servers), net_(num_servers) {}
+
+void TraceSink::capture(const Message& m) {
+  ++seen_;
+  // Maintain per-server byte counters. Node ids are 1-based for servers.
+  if (m.dst >= 1 && m.dst <= net_.size()) {
+    net_[m.dst - 1].bytes_received += m.bytes;
+  }
+  if (m.src >= 1 && m.src <= net_.size()) {
+    net_[m.src - 1].bytes_sent += m.bytes;
+  }
+  if (record_messages_) messages_.push_back(m);
+}
+
+void TraceSink::record_visit(const RequestRecord& r) {
+  assert(r.server < logs_.size());
+  assert(r.departure >= r.arrival);
+  logs_[r.server].push_back(r);
+}
+
+void TraceSink::clear() {
+  messages_.clear();
+  for (auto& log : logs_) log.clear();
+  seen_ = 0;
+}
+
+}  // namespace tbd::trace

@@ -1,0 +1,64 @@
+// Capture sink: the simulated network tap.
+//
+// Every inter-tier message in the simulation is offered to the sink, which
+// plays the role of the paper's mirror-port + SysViz capture box. It keeps
+// (a) the raw message stream for the black-box reconstructor and
+// (b) per-server request logs (arrival/departure pairs) for the analysis
+// pipeline, plus running byte counters per server for Table I.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/records.h"
+
+namespace tbd::trace {
+
+/// Per-server network byte counters (receive / send), for Table I.
+struct NetCounters {
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class TraceSink {
+ public:
+  /// `num_servers`: servers are nodes 1..num_servers (node 0 = clients).
+  /// `record_messages`: keeping the full message stream costs memory
+  /// (~56 B/message); disable for long sweep runs that only need request
+  /// logs.
+  explicit TraceSink(std::uint32_t num_servers, bool record_messages = false);
+
+  /// Called by the network layer for every message put on the wire.
+  void capture(const Message& m);
+
+  /// Called when a server emits its response for a request, closing the
+  /// server visit. (The simulator calls this alongside capturing the
+  /// response message so request logs exist even when message recording is
+  /// off.)
+  void record_visit(const RequestRecord& r);
+
+  [[nodiscard]] const std::vector<Message>& messages() const { return messages_; }
+  [[nodiscard]] const RequestLog& server_log(ServerIndex s) const {
+    return logs_[s];
+  }
+  [[nodiscard]] std::uint32_t num_servers() const {
+    return static_cast<std::uint32_t>(logs_.size());
+  }
+  [[nodiscard]] const NetCounters& net_counters(ServerIndex s) const {
+    return net_[s];
+  }
+  [[nodiscard]] std::uint64_t total_messages_seen() const { return seen_; }
+
+  /// Drops captured data (logs and messages), keeping configuration. Used by
+  /// long-running experiments that analyze in windows.
+  void clear();
+
+ private:
+  bool record_messages_;
+  std::vector<Message> messages_;
+  std::vector<RequestLog> logs_;
+  std::vector<NetCounters> net_;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace tbd::trace

@@ -1,0 +1,80 @@
+#include "transient/gc_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tbd::transient {
+
+GcConfig jdk15_config() {
+  GcConfig cfg;
+  cfg.collector = CollectorKind::kSerialStopTheWorld;
+  return cfg;
+}
+
+GcConfig jdk16_config() {
+  GcConfig cfg;
+  cfg.collector = CollectorKind::kParallelConcurrent;
+  return cfg;
+}
+
+GcModel::GcModel(sim::Engine& engine, ntier::Server& server, GcConfig config,
+                 Rng rng)
+    : engine_{engine}, server_{server}, config_{config}, rng_{rng} {
+  assert(config_.young_gen_bytes > 0.0);
+  assert(config_.major_every_bytes > 0.0);
+}
+
+Duration GcModel::jittered(Duration mean) {
+  if (config_.pause_cv <= 0.0) return mean;
+  const double shape = 1.0 / (config_.pause_cv * config_.pause_cv);
+  const double us =
+      rng_.gamma(shape, static_cast<double>(mean.micros()) / shape);
+  return Duration::micros(std::max<std::int64_t>(1, static_cast<std::int64_t>(us)));
+}
+
+void GcModel::on_alloc(double bytes) {
+  since_minor_ += bytes;
+  since_major_ += bytes;
+  if (collecting_) return;  // allocations during GC roll into the next cycle
+  if (since_major_ >= config_.major_every_bytes) {
+    trigger(/*major=*/true);
+  } else if (since_minor_ >= config_.young_gen_bytes) {
+    trigger(/*major=*/false);
+  }
+}
+
+void GcModel::trigger(bool major) {
+  collecting_ = true;
+  since_minor_ = 0.0;
+  if (major) {
+    since_major_ = 0.0;
+    ++majors_;
+  } else {
+    ++minors_;
+  }
+
+  const bool serial = config_.collector == CollectorKind::kSerialStopTheWorld;
+  const Duration pause =
+      jittered(serial ? (major ? config_.serial_major_pause : config_.serial_minor_pause)
+                      : (major ? config_.parallel_major_pause
+                               : config_.parallel_minor_pause));
+  const TimePoint start = engine_.now();
+  server_.pause();
+  engine_.schedule_after(pause, [this, start, major] {
+    server_.resume();
+    log_.push_back(GcEvent{start, engine_.now(), major});
+    if (config_.collector == CollectorKind::kParallelConcurrent) {
+      // Concurrent phase: background GC threads steal CPU but requests run.
+      server_.set_background_cores(config_.concurrent_cores);
+      const Duration phase = major ? config_.concurrent_major : config_.concurrent_minor;
+      engine_.schedule_after(phase, [this] {
+        server_.set_background_cores(0.0);
+        collecting_ = false;
+      });
+    } else {
+      collecting_ = false;
+    }
+  });
+}
+
+}  // namespace tbd::transient

@@ -1,0 +1,95 @@
+// JVM garbage-collection model (Section IV-A).
+//
+// Allocation pressure comes from request processing: the transaction driver
+// reports bytes allocated after every app-tier compute segment. When the
+// young generation fills, a minor collection runs; a (much larger) tenured
+// budget triggers major collections.
+//
+//  * JDK 1.5 default ("serial"): stop-the-world for the entire collection —
+//    the server freezes, requests pile up, and passive tracing sees exactly
+//    the paper's POIs: high load with zero throughput (Figure 9(b)).
+//  * JDK 1.6 default ("parallel"): a short stop-the-world flip plus a
+//    concurrent phase that steals background CPU — the freezes disappear
+//    (Figure 11(a)).
+//
+// The model keeps a GC log (start/end of every stop-the-world window), the
+// source of the paper's "GC running ratio" (Figure 10(a)) and of ground
+// truth for detector-recall comparisons.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ntier/server.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace tbd::transient {
+
+enum class CollectorKind : std::uint8_t {
+  kSerialStopTheWorld,   // JDK 1.5 default
+  kParallelConcurrent,   // JDK 1.6 default
+};
+
+struct GcConfig {
+  CollectorKind collector = CollectorKind::kSerialStopTheWorld;
+  /// Bytes allocated between minor collections (young generation size).
+  double young_gen_bytes = 550.0 * 1024 * 1024;
+  /// Bytes allocated between major collections.
+  double major_every_bytes = 4.0 * 1024 * 1024 * 1024;
+  /// Stop-the-world pause means; actual pauses get gamma jitter (CV 0.2).
+  /// The serial (JDK 1.5) collector scans the whole young generation with
+  /// one thread: pauses comfortably exceed the 50 ms analysis interval,
+  /// which is what makes its freezes visible as POIs.
+  Duration serial_minor_pause = Duration::millis(110);
+  Duration serial_major_pause = Duration::millis(550);
+  Duration parallel_minor_pause = Duration::millis(5);
+  Duration parallel_major_pause = Duration::millis(30);
+  /// Concurrent phase of the parallel collector: background CPU and length.
+  double concurrent_cores = 0.4;
+  Duration concurrent_minor = Duration::millis(30);
+  Duration concurrent_major = Duration::millis(250);
+  double pause_cv = 0.2;
+};
+
+struct GcEvent {
+  TimePoint start;
+  TimePoint end;         // end of the stop-the-world window
+  bool major = false;
+};
+
+class GcModel {
+ public:
+  GcModel(sim::Engine& engine, ntier::Server& server, GcConfig config, Rng rng);
+  GcModel(const GcModel&) = delete;
+  GcModel& operator=(const GcModel&) = delete;
+
+  /// Allocation hook; wire into TxnDriver::set_app_alloc_hook.
+  void on_alloc(double bytes);
+
+  [[nodiscard]] const std::vector<GcEvent>& log() const { return log_; }
+  [[nodiscard]] std::uint64_t minor_collections() const { return minors_; }
+  [[nodiscard]] std::uint64_t major_collections() const { return majors_; }
+
+ private:
+  void trigger(bool major);
+  [[nodiscard]] Duration jittered(Duration mean);
+
+  sim::Engine& engine_;
+  ntier::Server& server_;
+  GcConfig config_;
+  Rng rng_;
+  double since_minor_ = 0.0;
+  double since_major_ = 0.0;
+  bool collecting_ = false;
+  std::vector<GcEvent> log_;
+  std::uint64_t minors_ = 0;
+  std::uint64_t majors_ = 0;
+};
+
+/// Convenience GcConfig presets for the paper's two JDKs.
+[[nodiscard]] GcConfig jdk15_config();
+[[nodiscard]] GcConfig jdk16_config();
+
+}  // namespace tbd::transient

@@ -1,0 +1,107 @@
+#include "transient/speedstep.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tbd::transient {
+
+std::vector<PState> xeon_pstates() {
+  // Table II: partial P-states supported by the Xeon CPU of the testbed.
+  return {{"P0", 2261.0}, {"P1", 2128.0}, {"P4", 1729.0},
+          {"P5", 1596.0}, {"P8", 1197.0}};
+}
+
+SpeedStepConfig dell_bios_config() {
+  SpeedStepConfig cfg;
+  cfg.states = xeon_pstates();
+  // The Dell BIOS demand-based switching is coarse: one state per decision
+  // on a sluggish control loop, with a demand estimator that saturates at
+  // 100% busy — far slower than the 100-300 ms bursts it needs to follow,
+  // and content to leave a ~80%-busy CPU in its lowest state (the
+  // Figure 12(a) behaviour the paper observed).
+  cfg.policy = GovernorPolicy::kDemandBased;
+  cfg.control_interval = Duration::millis(1000);
+  cfg.demand_margin = 0.15;
+  return cfg;
+}
+
+SpeedStepModel::SpeedStepModel(sim::Engine& engine, ntier::Server& server,
+                               SpeedStepConfig config)
+    : engine_{engine},
+      server_{server},
+      config_{std::move(config)},
+      ticker_{engine, engine.now() + config_.control_interval,
+              config_.control_interval, [this](TimePoint at) { on_tick(at); }} {
+  assert(!config_.states.empty());
+  const int initial = config_.initial_state < 0
+                          ? static_cast<int>(config_.states.size()) - 1
+                          : config_.initial_state;
+  last_busy_us_ = server_.busy_core_micros();
+  apply(initial);
+}
+
+void SpeedStepModel::apply(int state) {
+  state_ = std::clamp(state, 0, static_cast<int>(config_.states.size()) - 1);
+  server_.set_clock_ratio(config_.states[static_cast<std::size_t>(state_)].mhz /
+                          config_.states.front().mhz);
+  log_.push_back(PStateTransition{engine_.now(), state_});
+}
+
+void SpeedStepModel::on_tick(TimePoint /*at*/) {
+  const double busy = server_.busy_core_micros();
+  const double interval_us =
+      static_cast<double>(config_.control_interval.micros());
+  const double util =
+      (busy - last_busy_us_) / (interval_us * server_.cores());
+  last_busy_us_ = busy;
+
+  if (config_.policy == GovernorPolicy::kUtilizationThreshold) {
+    if (util > config_.up_threshold && state_ > 0) {
+      apply(state_ - 1);
+    } else if (util < config_.down_threshold &&
+               state_ < static_cast<int>(config_.states.size()) - 1) {
+      apply(state_ + 1);
+    }
+    return;
+  }
+
+  // Demand-based: required clock from the (saturating) busy fraction, with
+  // headroom; target the slowest sufficient P-state; step one toward it.
+  const double required_mhz =
+      std::min(1.0, util) *
+      config_.states[static_cast<std::size_t>(state_)].mhz *
+      (1.0 + config_.demand_margin);
+  int target = 0;
+  for (int s = static_cast<int>(config_.states.size()) - 1; s >= 0; --s) {
+    if (config_.states[static_cast<std::size_t>(s)].mhz >= required_mhz) {
+      target = s;
+      break;
+    }
+    if (s == 0) target = 0;  // even the fastest clock cannot cover demand
+  }
+  if (target < state_) {
+    apply(state_ - 1);
+  } else if (target > state_) {
+    apply(state_ + 1);
+  }
+}
+
+std::vector<double> SpeedStepModel::state_residency(TimePoint t0,
+                                                    TimePoint t1) const {
+  std::vector<double> residency(config_.states.size(), 0.0);
+  if (t1 <= t0 || log_.empty()) return residency;
+  for (std::size_t i = 0; i < log_.size(); ++i) {
+    const TimePoint seg_start = std::max(log_[i].at, t0);
+    const TimePoint seg_end =
+        std::min(i + 1 < log_.size() ? log_[i + 1].at : t1, t1);
+    if (seg_end > seg_start) {
+      residency[static_cast<std::size_t>(log_[i].state)] +=
+          (seg_end - seg_start).seconds_f();
+    }
+  }
+  const double total = (t1 - t0).seconds_f();
+  for (double& r : residency) r /= total;
+  return residency;
+}
+
+}  // namespace tbd::transient

@@ -1,0 +1,92 @@
+// Intel SpeedStep model (Section IV-C).
+//
+// The CPU exposes a table of P-states (Table II); a BIOS-level governor
+// samples CPU utilization on a coarse control interval and moves ONE state
+// per decision — exactly the sluggishness the paper blames: "the Dell BIOS-
+// level SpeedStep control algorithm is unable to adjust the CPU clock speed
+// quickly enough to match the bursty real-time workload". When a burst
+// arrives while the clock is low, the server congests at the low-state
+// throughput ceiling until the governor catches up, producing one visible
+// throughput trend per P-state in the load/throughput plot (Figure 12(b)).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ntier/server.h"
+#include "sim/engine.h"
+#include "util/time.h"
+
+namespace tbd::transient {
+
+struct PState {
+  std::string name;
+  double mhz = 0.0;
+};
+
+/// Table II: the P-states supported by the paper's Xeon CPUs.
+[[nodiscard]] std::vector<PState> xeon_pstates();
+
+enum class GovernorPolicy : std::uint8_t {
+  /// Demand-based switching (the Dell BIOS behaviour the paper describes):
+  /// estimate required clock as busy_fraction * current_mhz * (1 + margin),
+  /// target the slowest P-state that satisfies it, and move ONE state per
+  /// control interval toward the target. Under saturation the busy fraction
+  /// caps at 1.0, so the estimator systematically lags a bursty demand —
+  /// the mismatch of Section IV-C.
+  kDemandBased,
+  /// Classic dual-threshold hysteresis on the busy fraction.
+  kUtilizationThreshold,
+};
+
+struct SpeedStepConfig {
+  std::vector<PState> states;  // ordered fastest (P0) to slowest
+  GovernorPolicy policy = GovernorPolicy::kDemandBased;
+  /// Governor decision period (BIOS demand-based switching).
+  Duration control_interval = Duration::millis(500);
+  /// Demand-based: headroom margin on the clock estimate.
+  double demand_margin = 0.15;
+  /// Threshold policy: busy fraction above which the governor steps one
+  /// state faster / below which it steps one slower.
+  double up_threshold = 0.90;
+  double down_threshold = 0.70;
+  /// Initial state index (default: slowest, the power-saving choice).
+  int initial_state = -1;  // -1 = slowest
+};
+
+[[nodiscard]] SpeedStepConfig dell_bios_config();
+
+struct PStateTransition {
+  TimePoint at;
+  int state = 0;  // index into states
+};
+
+class SpeedStepModel {
+ public:
+  SpeedStepModel(sim::Engine& engine, ntier::Server& server,
+                 SpeedStepConfig config);
+  SpeedStepModel(const SpeedStepModel&) = delete;
+  SpeedStepModel& operator=(const SpeedStepModel&) = delete;
+
+  [[nodiscard]] int current_state() const { return state_; }
+  [[nodiscard]] const std::vector<PStateTransition>& log() const { return log_; }
+
+  /// Time-weighted fraction spent in each state over [t0, t1]; call after
+  /// the run.
+  [[nodiscard]] std::vector<double> state_residency(TimePoint t0, TimePoint t1) const;
+
+ private:
+  void on_tick(TimePoint at);
+  void apply(int state);
+
+  sim::Engine& engine_;
+  ntier::Server& server_;
+  SpeedStepConfig config_;
+  sim::PeriodicTask ticker_;
+  int state_ = 0;
+  double last_busy_us_ = 0.0;
+  std::vector<PStateTransition> log_;
+};
+
+}  // namespace tbd::transient

@@ -1,0 +1,93 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <filesystem>
+
+namespace tbd {
+
+CsvWriter::CsvWriter(const std::string& path) : out_{path, std::ios::trunc} {}
+
+void CsvWriter::put_field(std::string_view field, bool first) {
+  if (!first) out_ << ',';
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) {
+    out_ << field;
+    return;
+  }
+  out_ << '"';
+  for (char c : field) {
+    if (c == '"') out_ << '"';
+    out_ << c;
+  }
+  out_ << '"';
+}
+
+void CsvWriter::write_header(std::initializer_list<std::string_view> names) {
+  bool first = true;
+  for (auto n : names) {
+    put_field(n, first);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(std::initializer_list<double> values) {
+  bool first = true;
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    put_field(buf, first);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_raw_row(std::initializer_list<std::string_view> fields) {
+  bool first = true;
+  for (auto f : fields) {
+    put_field(f, first);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_columns(const std::string& path,
+                              const std::vector<std::string>& names,
+                              const std::vector<std::vector<double>>& columns) {
+  assert(names.size() == columns.size());
+  CsvWriter w{path};
+  if (!w.is_open()) return;
+  bool first = true;
+  for (const auto& n : names) {
+    w.put_field(n, first);
+    first = false;
+  }
+  w.out_ << '\n';
+  std::size_t rows = 0;
+  for (const auto& c : columns) rows = std::max(rows, c.size());
+  char buf[64];
+  for (std::size_t r = 0; r < rows; ++r) {
+    first = true;
+    for (const auto& c : columns) {
+      if (r < c.size()) {
+        std::snprintf(buf, sizeof buf, "%.6g", c[r]);
+        w.put_field(buf, first);
+      } else {
+        w.put_field("", first);
+      }
+      first = false;
+    }
+    w.out_ << '\n';
+  }
+}
+
+bool ensure_directory(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  return !ec;
+}
+
+}  // namespace tbd

@@ -1,0 +1,39 @@
+// Minimal CSV writer used by the benchmark harness to dump every figure's
+// data series next to the printed tables (bench_out/*.csv).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tbd {
+
+/// Writes rows of comma-separated values. Fields containing commas, quotes,
+/// or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; check is_open() before writing.
+  explicit CsvWriter(const std::string& path);
+
+  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+
+  void write_header(std::initializer_list<std::string_view> names);
+  void write_row(std::initializer_list<double> values);
+  void write_raw_row(std::initializer_list<std::string_view> fields);
+
+  /// Convenience: column-oriented dump of equal-length series.
+  static void write_columns(const std::string& path,
+                            const std::vector<std::string>& names,
+                            const std::vector<std::vector<double>>& columns);
+
+ private:
+  void put_field(std::string_view field, bool first);
+  std::ofstream out_;
+};
+
+/// Creates the directory (and parents) if missing; returns false on failure.
+bool ensure_directory(const std::string& path);
+
+}  // namespace tbd

@@ -1,0 +1,34 @@
+// P² (piecewise-parabolic) online quantile estimation (Jain & Chlamtac 1985).
+//
+// Production monitoring companions to the streaming detector need running
+// response-time percentiles without storing samples; P² keeps five markers
+// and adjusts them with parabolic interpolation, giving O(1) memory and
+// update cost with ~1% accuracy on smooth distributions.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace tbd {
+
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.99 for the p99.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  /// Current estimate; exact while fewer than 5 samples were seen.
+  [[nodiscard]] double value() const;
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};   // marker heights
+  std::array<double, 5> positions_{}; // actual marker positions (1-based)
+  std::array<double, 5> desired_{};   // desired positions
+  std::array<double, 5> increment_{}; // desired-position increments
+};
+
+}  // namespace tbd

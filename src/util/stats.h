@@ -1,0 +1,62 @@
+// Small statistics toolkit used throughout the analysis pipeline:
+// single-pass running moments, Pearson correlation (used to correlate load
+// with GC ratio / response time, Section IV), quantiles, and the Student-t
+// upper quantile needed by the congestion-point confidence bound
+// (Section III-C, Equation 2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tbd {
+
+/// Welford single-pass accumulator for mean/variance/min/max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Pearson correlation coefficient of two equal-length series.
+/// Returns 0 when either series is constant or the series are empty.
+[[nodiscard]] double pearson_correlation(std::span<const double> x, std::span<const double> y);
+
+/// Linear interpolated quantile (q in [0,1]) of an unsorted sample.
+/// Copies and sorts internally; returns 0 for an empty sample.
+[[nodiscard]] double quantile(std::span<const double> sample, double q);
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean_of(std::span<const double> xs);
+
+/// Sample standard deviation (n-1); 0 for fewer than two values.
+[[nodiscard]] double stddev_of(std::span<const double> xs);
+
+/// Upper quantile t_{p, df} of Student's t distribution (one-sided), i.e. the
+/// value t with CDF(t) = p. Exact enough for the paper's use (p = 0.95):
+/// relative error < 1e-3 across df >= 1. df must be >= 1.
+[[nodiscard]] double student_t_quantile(double p, int df);
+
+/// Histogram of a sample over explicit bin edges; values outside the range
+/// are clamped into the first/last bin. Returns per-bin counts.
+[[nodiscard]] std::vector<std::size_t> bin_counts(std::span<const double> sample,
+                                                  std::span<const double> edges);
+
+}  // namespace tbd

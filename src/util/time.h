@@ -1,0 +1,107 @@
+// Strong time types for the simulation: microsecond-resolution durations and
+// time points. All timestamps in the system (wire messages, request records,
+// analysis intervals) use these types, mirroring the paper's "microsecond
+// ticks" captured by passive network tracing (Section III-A).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace tbd {
+
+/// A span of simulated time with microsecond resolution.
+///
+/// Negative durations are representable (useful for arithmetic) but the
+/// simulator never schedules into the past.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration micros(std::int64_t us) { return Duration{us}; }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t ms) { return Duration{ms * 1000}; }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000}; }
+  /// Converts fractional seconds, rounding to the nearest microsecond.
+  [[nodiscard]] static constexpr Duration from_seconds_f(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e6 + (s >= 0 ? 0.5 : -0.5))};
+  }
+  /// Converts fractional milliseconds, rounding to the nearest microsecond.
+  [[nodiscard]] static constexpr Duration from_millis_f(double ms) {
+    return from_seconds_f(ms / 1e3);
+  }
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return us_; }
+  [[nodiscard]] constexpr double millis_f() const { return static_cast<double>(us_) / 1e3; }
+  [[nodiscard]] constexpr double seconds_f() const { return static_cast<double>(us_) / 1e6; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return us_ == 0; }
+  [[nodiscard]] constexpr bool is_positive() const { return us_ > 0; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration& operator+=(Duration d) { us_ += d.us_; return *this; }
+  constexpr Duration& operator-=(Duration d) { us_ -= d.us_; return *this; }
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.us_ + b.us_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.us_ - b.us_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.us_ * k}; }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return a * k; }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration{a.us_ / k}; }
+  /// Ratio of two durations as a double; `b` must be nonzero.
+  [[nodiscard]] constexpr double ratio(Duration b) const {
+    return static_cast<double>(us_) / static_cast<double>(b.us_);
+  }
+
+  /// Human-readable rendering, e.g. "50ms", "1.5s", "250us".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr Duration(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+/// An instant on the simulation clock (microseconds since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint from_micros(std::int64_t us) { return TimePoint{us}; }
+  [[nodiscard]] static constexpr TimePoint origin() { return TimePoint{0}; }
+  /// Sentinel later than any schedulable time.
+  [[nodiscard]] static constexpr TimePoint max() {
+    return TimePoint{std::int64_t{1} << 62};
+  }
+
+  [[nodiscard]] constexpr std::int64_t micros() const { return us_; }
+  [[nodiscard]] constexpr double seconds_f() const { return static_cast<double>(us_) / 1e6; }
+  [[nodiscard]] constexpr double millis_f() const { return static_cast<double>(us_) / 1e3; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.us_ + d.micros()};
+  }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return TimePoint{t.us_ - d.micros()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::micros(a.us_ - b.us_);
+  }
+
+ private:
+  explicit constexpr TimePoint(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+namespace literals {
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::micros(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::millis(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return Duration::seconds(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace tbd

@@ -1,0 +1,78 @@
+#include "workload/arrival_replay.h"
+
+#include <cassert>
+
+namespace tbd::workload {
+
+ArrivalSchedule poisson_schedule(double rate_per_s, Duration horizon,
+                                 std::span<const double> class_weights,
+                                 Rng& rng) {
+  assert(rate_per_s > 0.0);
+  DiscreteSampler mix{class_weights};
+  ArrivalSchedule schedule;
+  schedule.reserve(static_cast<std::size_t>(rate_per_s * horizon.seconds_f()));
+  double t_us = 0.0;
+  const double mean_gap_us = 1e6 / rate_per_s;
+  for (;;) {
+    t_us += rng.exponential(mean_gap_us);
+    if (t_us >= static_cast<double>(horizon.micros())) break;
+    schedule.push_back(ScheduledArrival{
+        TimePoint::from_micros(static_cast<std::int64_t>(t_us)),
+        static_cast<trace::ClassId>(mix.sample(rng))});
+  }
+  return schedule;
+}
+
+ArrivalSchedule mmpp_schedule(const MmppConfig& config, Duration horizon,
+                              std::span<const double> class_weights, Rng& rng) {
+  assert(config.base_rate_per_s > 0.0 && config.burst_rate_per_s > 0.0);
+  DiscreteSampler mix{class_weights};
+  ArrivalSchedule schedule;
+  double t_us = 0.0;
+  bool burst = false;
+  double phase_end_us = rng.exponential(
+      static_cast<double>(config.mean_base.micros()));
+  const double horizon_us = static_cast<double>(horizon.micros());
+  while (t_us < horizon_us) {
+    const double rate = burst ? config.burst_rate_per_s : config.base_rate_per_s;
+    const double next = t_us + rng.exponential(1e6 / rate);
+    if (next >= phase_end_us) {
+      // Phase switch: no arrival consumed; restart sampling from the switch
+      // point (memorylessness makes this exact for the embedded process).
+      t_us = phase_end_us;
+      burst = !burst;
+      phase_end_us =
+          t_us + rng.exponential(static_cast<double>(
+                     (burst ? config.mean_burst : config.mean_base).micros()));
+      continue;
+    }
+    t_us = next;
+    if (t_us >= horizon_us) break;
+    schedule.push_back(ScheduledArrival{
+        TimePoint::from_micros(static_cast<std::int64_t>(t_us)),
+        static_cast<trace::ClassId>(mix.sample(rng))});
+  }
+  return schedule;
+}
+
+ArrivalReplay::ArrivalReplay(sim::Engine& engine, ntier::TxnDriver& driver,
+                             ArrivalSchedule schedule, PageCallback on_page)
+    : engine_{engine},
+      driver_{driver},
+      schedule_{std::move(schedule)},
+      on_page_{std::move(on_page)} {}
+
+void ArrivalReplay::start() {
+  for (const auto& arrival : schedule_) {
+    engine_.schedule_at(arrival.at, [this, class_id = arrival.class_id] {
+      ++started_;
+      driver_.start(class_id,
+                    [this](const ntier::TxnDriver::PageResult& result) {
+                      ++completed_;
+                      if (on_page_) on_page_(result);
+                    });
+    });
+  }
+}
+
+}  // namespace tbd::workload

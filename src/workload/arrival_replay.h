@@ -1,0 +1,75 @@
+// Open-loop workload: drive the system from an explicit arrival schedule.
+//
+// The closed-loop population (client_population.h) is RUBBoS's model; an
+// open-loop schedule decouples arrivals from responses, which is what you
+// want to (a) replay production arrival traces through the simulator and
+// (b) generate calibrated bursty processes. The MMPP generator — a Markov-
+// modulated Poisson process alternating between a base and a burst rate —
+// is the standard bursty-workload model of Mi et al. (the paper's [14]).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ntier/txn_driver.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace tbd::workload {
+
+struct ScheduledArrival {
+  TimePoint at;
+  trace::ClassId class_id = 0;
+};
+
+using ArrivalSchedule = std::vector<ScheduledArrival>;
+
+/// Homogeneous Poisson arrivals at `rate_per_s` over [0, horizon), classes
+/// drawn from `class_weights`.
+[[nodiscard]] ArrivalSchedule poisson_schedule(double rate_per_s,
+                                               Duration horizon,
+                                               std::span<const double> class_weights,
+                                               Rng& rng);
+
+struct MmppConfig {
+  double base_rate_per_s = 500.0;
+  double burst_rate_per_s = 2500.0;
+  /// Mean sojourn in the base / burst state.
+  Duration mean_base = Duration::millis(1500);
+  Duration mean_burst = Duration::millis(200);
+};
+
+/// Two-state Markov-modulated Poisson process over [0, horizon).
+[[nodiscard]] ArrivalSchedule mmpp_schedule(const MmppConfig& config,
+                                            Duration horizon,
+                                            std::span<const double> class_weights,
+                                            Rng& rng);
+
+/// Feeds a schedule into the transaction driver at the scheduled instants.
+class ArrivalReplay {
+ public:
+  using PageCallback = std::function<void(const ntier::TxnDriver::PageResult&)>;
+
+  /// `schedule` must be sorted by time (the generators above are).
+  ArrivalReplay(sim::Engine& engine, ntier::TxnDriver& driver,
+                ArrivalSchedule schedule, PageCallback on_page);
+  ArrivalReplay(const ArrivalReplay&) = delete;
+  ArrivalReplay& operator=(const ArrivalReplay&) = delete;
+
+  /// Schedules every arrival; call once before running the engine.
+  void start();
+
+  [[nodiscard]] std::uint64_t pages_started() const { return started_; }
+  [[nodiscard]] std::uint64_t pages_completed() const { return completed_; }
+
+ private:
+  sim::Engine& engine_;
+  ntier::TxnDriver& driver_;
+  ArrivalSchedule schedule_;
+  PageCallback on_page_;
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace tbd::workload

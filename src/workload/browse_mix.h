@@ -1,0 +1,36 @@
+// The RUBBoS browse-only interaction mix.
+//
+// RUBBoS models a bulletin-board site (Slashdot-like); its browse-only mode
+// mixes read interactions with very different per-tier costs. We condense
+// the 24 interactions into eight representative classes whose weighted
+// demands are calibrated so that the paper's Table I utilizations emerge at
+// WL 8,000 on the 1L/2S/1L/2S topology (see DESIGN.md section 2).
+#pragma once
+
+#include "ntier/request_class.h"
+
+namespace tbd::workload {
+
+/// Eight-class browse-only mix; weights sum to 1.
+[[nodiscard]] ntier::RequestClassList rubbos_browse_mix();
+
+/// Read/write mix: the browse classes at ~85% plus four update interactions
+/// (comments, stories, moderation, registration) whose write queries the
+/// clustering middleware broadcasts to every database replica. Weights sum
+/// to 1.
+[[nodiscard]] ntier::RequestClassList rubbos_read_write_mix();
+
+/// Weighted mean number of write queries per page (0 for browse-only).
+[[nodiscard]] double mean_writes_per_page(const ntier::RequestClassList& classes);
+
+/// Weighted mean number of DB queries per page of a mix.
+[[nodiscard]] double mean_queries_per_page(const ntier::RequestClassList& classes);
+
+/// Weighted mean demand per page at one tier, microseconds.
+/// For mw/db tiers this includes the per-query multiplication.
+[[nodiscard]] double mean_web_demand(const ntier::RequestClassList& classes);
+[[nodiscard]] double mean_app_demand(const ntier::RequestClassList& classes);
+[[nodiscard]] double mean_mw_demand_per_page(const ntier::RequestClassList& classes);
+[[nodiscard]] double mean_db_demand_per_page(const ntier::RequestClassList& classes);
+
+}  // namespace tbd::workload

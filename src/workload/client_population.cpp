@@ -1,0 +1,99 @@
+#include "workload/client_population.h"
+
+#include <cassert>
+
+namespace tbd::workload {
+
+namespace {
+std::vector<double> mix_weights(const ntier::RequestClassList& classes) {
+  std::vector<double> w;
+  w.reserve(classes.size());
+  for (const auto& c : classes) w.push_back(c.weight);
+  return w;
+}
+}  // namespace
+
+ClientPopulation::ClientPopulation(sim::Engine& engine,
+                                   ntier::TxnDriver& driver,
+                                   ClientConfig config, Rng rng,
+                                   PageCallback on_page)
+    : engine_{engine},
+      driver_{driver},
+      config_{config},
+      rng_{rng},
+      on_page_{std::move(on_page)},
+      mix_{mix_weights(driver.classes())},
+      clients_(static_cast<std::size_t>(config.num_clients)) {
+  assert(config.num_clients > 0);
+}
+
+void ClientPopulation::start() {
+  for (int c = 0; c < config_.num_clients; ++c) {
+    auto& client = clients_[static_cast<std::size_t>(c)];
+    client.thinking = true;
+    // Exponential initial think = the stationary state of the think/request
+    // renewal process, so measurement can start without a ramp transient.
+    const Duration first = Duration::from_seconds_f(
+        rng_.exponential(config_.mean_think.seconds_f()));
+    client.think_event =
+        engine_.schedule_after(first, [this, c] { issue(c); });
+  }
+  if (config_.bursts_enabled) schedule_burst();
+}
+
+void ClientPopulation::think_then_request(int client) {
+  auto& c = clients_[static_cast<std::size_t>(client)];
+  c.thinking = true;
+  const Duration think = Duration::from_seconds_f(
+      rng_.exponential(config_.mean_think.seconds_f()));
+  c.think_event = engine_.schedule_after(think, [this, client] { issue(client); });
+}
+
+void ClientPopulation::use_sessions(SessionModel model) {
+  sessions_.emplace(std::move(model));
+}
+
+void ClientPopulation::issue(int client) {
+  auto& c = clients_[static_cast<std::size_t>(client)];
+  c.thinking = false;
+  c.think_event.invalidate();
+  std::size_t pick;
+  if (sessions_) {
+    pick = c.in_session ? sessions_->next(c.last_class, rng_)
+                        : sessions_->first(rng_);
+    c.in_session = true;
+    c.last_class = pick;
+  } else {
+    pick = mix_.sample(rng_);
+  }
+  const auto class_id = static_cast<trace::ClassId>(pick);
+  driver_.start(class_id, [this, client](const ntier::TxnDriver::PageResult& r) {
+    ++pages_;
+    if (on_page_) on_page_(r);
+    think_then_request(client);
+  });
+}
+
+void ClientPopulation::schedule_burst() {
+  const Duration gap = Duration::from_seconds_f(
+      rng_.exponential(config_.mean_burst_gap.seconds_f()));
+  engine_.schedule_after(gap, [this] {
+    ++bursts_;
+    const auto targets = static_cast<int>(
+        config_.burst_fraction * static_cast<double>(config_.num_clients));
+    for (int i = 0; i < targets; ++i) {
+      const auto pick = static_cast<int>(
+          rng_.uniform_index(static_cast<std::uint64_t>(config_.num_clients)));
+      auto& c = clients_[static_cast<std::size_t>(pick)];
+      if (!c.thinking) continue;  // already in flight; burst loses a shot
+      // Reschedule this client's next request into the burst window.
+      engine_.cancel(c.think_event);
+      const Duration wake = Duration::from_seconds_f(
+          rng_.uniform(0.0, config_.burst_spread.seconds_f()));
+      c.think_event = engine_.schedule_after(wake, [this, pick] { issue(pick); });
+    }
+    schedule_burst();
+  });
+}
+
+}  // namespace tbd::workload

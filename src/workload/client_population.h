@@ -1,0 +1,87 @@
+// Closed-loop client population with micro-burst modulation.
+//
+// Each of the N concurrent users loops: think (exponential, mean 7 s as in
+// RUBBoS) -> issue one page -> think again. "Workload" in the paper's WL
+// axis is exactly this N.
+//
+// Real client traffic is bursty at millisecond scale [Mi et al., cited as
+// [14]]; at 50 ms granularity plain Poisson arrivals are too smooth to
+// congest a sub-saturated server. The burst modulator reproduces the
+// phenomenon: at exponential intervals it wakes a small random fraction of
+// currently-thinking clients within a short window, creating the transient
+// demand spikes that interact with JVM GC and SpeedStep lag to form the
+// paper's transient bottlenecks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ntier/txn_driver.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+#include "util/time.h"
+#include "workload/session_model.h"
+
+namespace tbd::workload {
+
+struct ClientConfig {
+  int num_clients = 1000;
+  Duration mean_think = Duration::seconds(7);
+
+  // Micro-burst modulator.
+  bool bursts_enabled = true;
+  Duration mean_burst_gap = Duration::millis(1400);
+  /// Fraction of the population targeted per burst.
+  double burst_fraction = 0.03;
+  /// Woken clients fire within [0, burst_spread) of the burst instant.
+  Duration burst_spread = Duration::millis(100);
+};
+
+class ClientPopulation {
+ public:
+  using PageCallback = std::function<void(const ntier::TxnDriver::PageResult&)>;
+
+  /// `on_page` fires for every completed page (response-time collection).
+  ClientPopulation(sim::Engine& engine, ntier::TxnDriver& driver,
+                   ClientConfig config, Rng rng, PageCallback on_page);
+  ClientPopulation(const ClientPopulation&) = delete;
+  ClientPopulation& operator=(const ClientPopulation&) = delete;
+
+  /// Navigate via a Markov session model instead of i.i.d. mix draws; call
+  /// before start(). The model's class indices must match the driver's
+  /// request-class list.
+  void use_sessions(SessionModel model);
+
+  /// Kicks off all clients; call once before running the engine.
+  void start();
+
+  [[nodiscard]] std::uint64_t pages_completed() const { return pages_; }
+  [[nodiscard]] std::uint64_t bursts_fired() const { return bursts_; }
+
+ private:
+  struct Client {
+    sim::EventHandle think_event;
+    bool thinking = false;
+    bool in_session = false;        // has a previous interaction
+    std::size_t last_class = 0;
+  };
+
+  void think_then_request(int client);
+  void issue(int client);
+  void schedule_burst();
+
+  sim::Engine& engine_;
+  ntier::TxnDriver& driver_;
+  ClientConfig config_;
+  Rng rng_;
+  PageCallback on_page_;
+  DiscreteSampler mix_;
+  std::optional<SessionModel> sessions_;
+  std::vector<Client> clients_;
+  std::uint64_t pages_ = 0;
+  std::uint64_t bursts_ = 0;
+};
+
+}  // namespace tbd::workload

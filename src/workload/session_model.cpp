@@ -1,0 +1,69 @@
+#include "workload/session_model.h"
+
+#include <cassert>
+
+namespace tbd::workload {
+
+SessionModel::SessionModel(std::vector<std::vector<double>> transitions,
+                           std::vector<double> entry)
+    : entry_{entry}, matrix_{std::move(transitions)} {
+  assert(matrix_.size() == entry.size());
+  rows_.reserve(matrix_.size());
+  for (const auto& row : matrix_) {
+    assert(row.size() == matrix_.size());
+    rows_.emplace_back(std::span<const double>{row});
+  }
+}
+
+SessionModel SessionModel::independent(std::span<const double> weights) {
+  std::vector<std::vector<double>> rows(
+      weights.size(), std::vector<double>(weights.begin(), weights.end()));
+  return SessionModel{std::move(rows),
+                      std::vector<double>(weights.begin(), weights.end())};
+}
+
+std::size_t SessionModel::first(Rng& rng) const { return entry_.sample(rng); }
+
+std::size_t SessionModel::next(std::size_t previous, Rng& rng) const {
+  assert(previous < rows_.size());
+  return rows_[previous].sample(rng);
+}
+
+std::vector<double> SessionModel::stationary(int iterations) const {
+  const std::size_t n = matrix_.size();
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    for (std::size_t j = 0; j < n; ++j) next[j] = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) next[j] += pi[i] * matrix_[i][j];
+    }
+    pi.swap(next);
+  }
+  return pi;
+}
+
+SessionModel rubbos_browse_sessions() {
+  // Rows/columns in rubbos_browse_mix() order:
+  // 0 StoriesOfTheDay, 1 ViewStory, 2 ViewComment, 3 BrowseCategories,
+  // 4 BrowseStoriesByCategory, 5 SearchInStories, 6 ViewUserInfo,
+  // 7 StaticContent. Condensed from the RUBBoS browse-only transition
+  // table; the stationary distribution stays close to the mix weights
+  // (guarded in tests).
+  std::vector<std::vector<double>> p{
+      // Sto   View  Comm  BrCat ByCat Srch  User  Stat
+      {0.10, 0.45, 0.03, 0.12, 0.05, 0.08, 0.02, 0.15},  // StoriesOfTheDay
+      {0.18, 0.12, 0.38, 0.04, 0.06, 0.04, 0.08, 0.10},  // ViewStory
+      {0.15, 0.30, 0.25, 0.04, 0.05, 0.03, 0.10, 0.08},  // ViewComment
+      {0.15, 0.08, 0.02, 0.03, 0.55, 0.07, 0.02, 0.08},  // BrowseCategories
+      {0.12, 0.40, 0.08, 0.12, 0.15, 0.04, 0.03, 0.06},  // BrowseByCategory
+      {0.15, 0.40, 0.08, 0.06, 0.05, 0.15, 0.03, 0.08},  // SearchInStories
+      {0.22, 0.25, 0.15, 0.06, 0.06, 0.06, 0.08, 0.12},  // ViewUserInfo
+      {0.30, 0.20, 0.06, 0.12, 0.07, 0.08, 0.05, 0.12},  // StaticContent
+  };
+  // Sessions open on the front page or a bookmark.
+  std::vector<double> entry{0.60, 0.05, 0.02, 0.10, 0.03, 0.05, 0.02, 0.13};
+  return SessionModel{std::move(p), std::move(entry)};
+}
+
+}  // namespace tbd::workload

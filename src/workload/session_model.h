@@ -1,0 +1,57 @@
+// Session behaviour: Markov transitions between interactions.
+//
+// RUBBoS clients do not draw interactions i.i.d. — each emulated browser
+// follows a transition matrix (browse the front page, open a story, read
+// comments, occasionally post). Sessions matter to fine-grained analysis
+// because they correlate consecutive requests of one client: a story view is
+// followed by comment views with high probability, which shifts the
+// short-term class mix the throughput normalization has to absorb.
+//
+// SessionModel holds the matrix; ClientPopulation (or any driver) asks it
+// for each client's next class given the previous one.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ntier/request_class.h"
+#include "util/rng.h"
+
+namespace tbd::workload {
+
+class SessionModel {
+ public:
+  /// `transitions[i][j]` = probability of interaction j following i; rows
+  /// must be non-negative and sum to ~1. `entry` is the distribution of a
+  /// session's first interaction.
+  SessionModel(std::vector<std::vector<double>> transitions,
+               std::vector<double> entry);
+
+  /// Uniform-mix model (i.i.d. draws) from class weights — the fallback
+  /// when no session structure is wanted.
+  [[nodiscard]] static SessionModel independent(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t classes() const { return rows_.size(); }
+
+  /// First interaction of a fresh session.
+  [[nodiscard]] std::size_t first(Rng& rng) const;
+  /// Next interaction after `previous`.
+  [[nodiscard]] std::size_t next(std::size_t previous, Rng& rng) const;
+
+  /// Stationary distribution of the chain (power iteration); the long-run
+  /// class mix this model induces.
+  [[nodiscard]] std::vector<double> stationary(int iterations = 200) const;
+
+ private:
+  std::vector<DiscreteSampler> rows_;
+  DiscreteSampler entry_;
+  std::vector<std::vector<double>> matrix_;
+};
+
+/// The session model matching rubbos_browse_mix(): transition structure
+/// condensed from the RUBBoS browse-only transition table, with a stationary
+/// distribution close to the mix weights (validated in tests).
+[[nodiscard]] SessionModel rubbos_browse_sessions();
+
+}  // namespace tbd::workload

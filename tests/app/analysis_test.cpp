@@ -1,0 +1,74 @@
+#include "app/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace tbd::app {
+namespace {
+
+using namespace tbd::literals;
+
+TEST(AnalyzeSystemTest, CoversEveryServer) {
+  ExperimentConfig cfg;
+  cfg.workload = 1500;
+  cfg.warmup = 2_s;
+  cfg.duration = 10_s;
+  cfg.seed = 77;
+  cfg.gc = transient::jdk15_config();
+  const auto tables = calibrate_service_times(cfg);
+  const auto result = run_experiment(cfg);
+
+  const auto analysis = analyze_system(result, tables);
+  ASSERT_EQ(analysis.detections.size(), 6u);
+  ASSERT_EQ(analysis.names.size(), 6u);
+  EXPECT_EQ(analysis.report.verdicts.size(), 6u);
+  EXPECT_EQ(analysis.spec.width.micros(), 50'000);
+  for (const auto& d : analysis.detections) {
+    EXPECT_EQ(d.states.size(), analysis.spec.count);
+  }
+}
+
+TEST(AnalyzeSystemTest, RankingOrderedByCongestion) {
+  ExperimentConfig cfg;
+  cfg.workload = 1500;
+  cfg.warmup = 2_s;
+  cfg.duration = 10_s;
+  cfg.seed = 77;
+  const auto tables = calibrate_service_times(cfg);
+  const auto result = run_experiment(cfg);
+  const auto analysis = analyze_system(result, tables);
+  for (std::size_t i = 1; i < analysis.report.verdicts.size(); ++i) {
+    EXPECT_GE(analysis.report.verdicts[i - 1].congested_fraction,
+              analysis.report.verdicts[i].congested_fraction);
+  }
+}
+
+TEST(AnalyzeSystemTest, RenderingIncludesEveryServerName) {
+  ExperimentConfig cfg;
+  cfg.workload = 800;
+  cfg.warmup = 2_s;
+  cfg.duration = 8_s;
+  cfg.seed = 78;
+  const auto tables = calibrate_service_times(cfg);
+  const auto result = run_experiment(cfg);
+  const auto text = to_string(analyze_system(result, tables));
+  for (const auto& server : result.servers) {
+    EXPECT_NE(text.find(server.name), std::string::npos) << server.name;
+  }
+  EXPECT_NE(text.find("ranking"), std::string::npos);
+}
+
+TEST(AnalyzeSystemTest, CustomWidthHonored) {
+  ExperimentConfig cfg;
+  cfg.workload = 800;
+  cfg.warmup = 2_s;
+  cfg.duration = 8_s;
+  cfg.seed = 79;
+  const auto tables = calibrate_service_times(cfg);
+  const auto result = run_experiment(cfg);
+  const auto analysis = analyze_system(result, tables, 100_ms);
+  EXPECT_EQ(analysis.spec.width.micros(), 100'000);
+  EXPECT_EQ(analysis.spec.count, 80u);  // 8s / 100ms
+}
+
+}  // namespace
+}  // namespace tbd::app

@@ -1,0 +1,126 @@
+#include "app/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace tbd::app {
+namespace {
+
+using namespace tbd::literals;
+
+ExperimentConfig tiny() {
+  ExperimentConfig cfg;
+  cfg.workload = 400;
+  cfg.warmup = 2_s;
+  cfg.duration = 8_s;
+  cfg.seed = 5150;
+  return cfg;
+}
+
+TEST(ExperimentTest, ResultShapeMatchesTopology) {
+  const auto r = run_experiment(tiny());
+  ASSERT_EQ(r.servers.size(), 6u);
+  EXPECT_EQ(r.logs.size(), 6u);
+  EXPECT_EQ(r.util.size(), 6u);
+  EXPECT_EQ(r.net.size(), 6u);
+  EXPECT_EQ(r.disk_busy_us.size(), 6u);
+  EXPECT_EQ(r.window_start.micros(), 2'000'000);
+  EXPECT_EQ(r.window_end.micros(), 10'000'000);
+  // 10 one-second samples over the run.
+  EXPECT_EQ(r.util[0].size(), 10u);
+}
+
+TEST(ExperimentTest, ServerIndexOfFindsEachTier) {
+  const auto r = run_experiment(tiny());
+  EXPECT_EQ(r.server_index_of(ntier::TierKind::kWeb, 0), 0);
+  EXPECT_EQ(r.server_index_of(ntier::TierKind::kApp, 1), 2);
+  EXPECT_EQ(r.server_index_of(ntier::TierKind::kMw, 0), 3);
+  EXPECT_EQ(r.server_index_of(ntier::TierKind::kDb, 1), 5);
+  EXPECT_EQ(r.server_index_of(ntier::TierKind::kDb, 2), -1);
+  EXPECT_EQ(r.servers[3].name, "mw");
+}
+
+TEST(ExperimentTest, HelpersConsistentWithSamples) {
+  const auto r = run_experiment(tiny());
+  std::size_t in_window = 0;
+  std::size_t above = 0;
+  double sum_rt = 0.0;
+  for (const auto& p : r.pages) {
+    if (p.completed >= r.window_start && p.completed < r.window_end) {
+      ++in_window;
+      sum_rt += p.response_time.seconds_f();
+      if (p.response_time > 100_ms) ++above;
+    }
+  }
+  EXPECT_NEAR(r.goodput(), in_window / 8.0, 1e-9);
+  EXPECT_NEAR(r.mean_rt_s(), sum_rt / in_window, 1e-12);
+  EXPECT_NEAR(r.fraction_rt_above(100_ms),
+              static_cast<double>(above) / in_window, 1e-12);
+}
+
+TEST(ExperimentTest, InjectorLogsOnlyWhenEnabled) {
+  auto cfg = tiny();
+  cfg.gc_on_app = false;
+  cfg.speedstep_on_db = false;
+  const auto off = run_experiment(cfg);
+  EXPECT_TRUE(off.gc_logs.empty());
+  EXPECT_TRUE(off.pstate_logs.empty());
+
+  cfg.gc_on_app = true;
+  cfg.gc = transient::jdk15_config();
+  cfg.speedstep_on_db = true;
+  const auto on = run_experiment(cfg);
+  ASSERT_EQ(on.gc_logs.size(), 2u);      // one per app server
+  ASSERT_EQ(on.pstate_logs.size(), 2u);  // one per db replica
+  EXPECT_FALSE(on.pstate_logs[0].empty());
+  ASSERT_EQ(on.pstate_residency.size(), 2u);
+  double total = 0.0;
+  for (double f : on.pstate_residency[0]) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ExperimentTest, MessagesOnlyWhenRequested) {
+  auto cfg = tiny();
+  EXPECT_TRUE(run_experiment(cfg).messages.empty());
+  cfg.record_messages = true;
+  EXPECT_FALSE(run_experiment(cfg).messages.empty());
+}
+
+TEST(ExperimentTest, CalibrationTablesCoverAllClassesPerServer) {
+  auto cfg = tiny();
+  const auto tables = calibrate_service_times(cfg);
+  ASSERT_EQ(tables.size(), 6u);
+  const auto db1 = static_cast<std::size_t>(4);
+  // Every class with db work must have a positive estimate at the db tier,
+  // roughly near its configured demand (low-load intra-node delay).
+  for (std::size_t c = 0; c < cfg.classes.size(); ++c) {
+    if (cfg.classes[c].db_queries == 0) continue;
+    const double est = tables[db1].service_us(static_cast<trace::ClassId>(c));
+    EXPECT_GT(est, 0.3 * cfg.classes[c].db_demand_us) << cfg.classes[c].name;
+    EXPECT_LT(est, 3.0 * cfg.classes[c].db_demand_us) << cfg.classes[c].name;
+  }
+  // App-tier table: per-class intra-node delay includes downstream time, so
+  // it must exceed the app CPU demand alone.
+  const auto app1 = static_cast<std::size_t>(1);
+  for (std::size_t c = 0; c < cfg.classes.size(); ++c) {
+    if (cfg.classes[c].weight <= 0.0) continue;
+    EXPECT_GT(tables[app1].service_us(static_cast<trace::ClassId>(c)), 0.0);
+  }
+}
+
+TEST(ExperimentTest, ReadWriteMixRunsEndToEnd) {
+  auto cfg = tiny();
+  cfg.classes = workload::rubbos_read_write_mix();
+  const auto r = run_experiment(cfg);
+  EXPECT_GT(r.pages_completed, 100u);
+  // Write broadcasts hit both replicas: the db logs must contain more
+  // visits than reads alone would produce.
+  const auto db_visits = r.logs[4].size() + r.logs[5].size();
+  const double reads = workload::mean_queries_per_page(cfg.classes);
+  const double writes = workload::mean_writes_per_page(cfg.classes);
+  const double expected =
+      static_cast<double>(r.pages_completed) * (reads + 2.0 * writes);
+  EXPECT_NEAR(static_cast<double>(db_visits), expected, expected * 0.1);
+}
+
+}  // namespace
+}  // namespace tbd::app

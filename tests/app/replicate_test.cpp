@@ -1,0 +1,48 @@
+#include "app/replicate.h"
+
+#include <gtest/gtest.h>
+
+namespace tbd::app {
+namespace {
+
+using namespace tbd::literals;
+
+ExperimentConfig tiny(int workload) {
+  ExperimentConfig cfg;
+  cfg.workload = workload;
+  cfg.warmup = 2_s;
+  cfg.duration = 6_s;
+  return cfg;
+}
+
+TEST(ReplicateTest, GoodputIntervalCoversTruth) {
+  const auto rep = replicate(
+      tiny(700), 4, [](const ExperimentResult& r) { return r.goodput(); });
+  ASSERT_EQ(rep.samples.size(), 4u);
+  // True mean ~ 700/7s plus the burst uplift; the CI must bracket a value
+  // in that vicinity and be reasonably tight.
+  EXPECT_GT(rep.mean, 90.0);
+  EXPECT_LT(rep.mean, 125.0);
+  EXPECT_LT(rep.half_width, rep.mean * 0.2);
+  EXPECT_LT(rep.lo(), rep.mean);
+  EXPECT_GT(rep.hi(), rep.mean);
+}
+
+TEST(ReplicateTest, DistinctSeedsProduceDistinctSamples) {
+  const auto rep = replicate(
+      tiny(500), 3, [](const ExperimentResult& r) { return r.goodput(); });
+  EXPECT_FALSE(rep.samples[0] == rep.samples[1] &&
+               rep.samples[1] == rep.samples[2]);
+}
+
+TEST(ReplicateTest, ClearSeparationDetected) {
+  const auto low = replicate(
+      tiny(500), 3, [](const ExperimentResult& r) { return r.goodput(); });
+  const auto high = replicate(
+      tiny(2000), 3, [](const ExperimentResult& r) { return r.goodput(); });
+  EXPECT_TRUE(high.clearly_above(low));
+  EXPECT_FALSE(low.clearly_above(high));
+}
+
+}  // namespace
+}  // namespace tbd::app

@@ -1,0 +1,101 @@
+// The coarse (1s utilization) baseline and detector scoring: the core claim
+// is that second-granularity sampling misses sub-second bottlenecks that the
+// fine-grained method catches.
+#include "baseline/coarse_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace tbd::baseline {
+namespace {
+
+using namespace tbd::literals;
+
+TEST(CoarseDetectorTest, FlagsSaturatedSamples) {
+  const std::vector<double> util{0.5, 0.97, 0.99, 0.6};
+  const auto out = detect_from_utilization(util, TimePoint::origin(), 1_s, 0.95);
+  EXPECT_EQ(out.flagged,
+            (std::vector<bool>{false, true, true, false}));
+  EXPECT_EQ(out.spec.count, 4u);
+  EXPECT_EQ(out.spec.width.micros(), 1'000'000);
+}
+
+TEST(CoarseDetectorTest, AveragingHidesTransientBottleneck) {
+  // A 100ms full-saturation episode inside an otherwise 70%-busy second
+  // reads as 0.7*0.9 + 1.0*0.1 = 73% -- far under any sane threshold. This
+  // is the paper's core argument in miniature.
+  const double second_avg = 0.7 * 0.9 + 1.0 * 0.1;
+  const std::vector<double> util{second_avg};
+  const auto out = detect_from_utilization(util, TimePoint::origin(), 1_s, 0.95);
+  EXPECT_FALSE(out.flagged[0]);
+
+  // Ground truth: a 100ms bottleneck at 400-500ms.
+  const std::vector<core::TimeWindow> truth{
+      {TimePoint::from_micros(400'000), TimePoint::from_micros(500'000)}};
+  const auto report = score_detector(out, truth, 0_ms);
+  EXPECT_EQ(report.detected_episodes, 0u);
+  EXPECT_DOUBLE_EQ(report.recall(), 0.0);
+}
+
+TEST(ScoreDetectorTest, OverlapWithSlack) {
+  core::IntervalSpec spec;
+  spec.start = TimePoint::origin();
+  spec.width = 50_ms;
+  spec.count = 4;
+  DetectorOutput out{spec, {false, true, false, false}};  // flag [50,100)ms
+  const std::vector<core::TimeWindow> truth{
+      {TimePoint::from_micros(120'000), TimePoint::from_micros(130'000)}};
+  // Without slack the flag misses the episode; 30ms slack bridges it.
+  EXPECT_EQ(score_detector(out, truth, 0_ms).detected_episodes, 0u);
+  EXPECT_EQ(score_detector(out, truth, 30_ms).detected_episodes, 1u);
+}
+
+TEST(ScoreDetectorTest, PrecisionCountsFalsePositives) {
+  core::IntervalSpec spec;
+  spec.start = TimePoint::origin();
+  spec.width = 50_ms;
+  spec.count = 4;
+  DetectorOutput out{spec, {true, true, false, true}};
+  const std::vector<core::TimeWindow> truth{
+      {TimePoint::from_micros(0), TimePoint::from_micros(60'000)}};
+  const auto report = score_detector(out, truth, 0_ms);
+  EXPECT_EQ(report.flagged_intervals, 3u);
+  // Flags 0 and 1 overlap the truth window; flag 3 ([150,200)ms) does not.
+  EXPECT_EQ(report.false_positive_intervals, 1u);
+  EXPECT_NEAR(report.precision(), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(report.recall(), 1.0);
+}
+
+TEST(ScoreDetectorTest, EmptyTruthGivesPerfectRecall) {
+  core::IntervalSpec spec;
+  spec.start = TimePoint::origin();
+  spec.width = 1_s;
+  spec.count = 1;
+  DetectorOutput out{spec, {false}};
+  const auto report = score_detector(out, {}, 0_ms);
+  EXPECT_DOUBLE_EQ(report.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(report.precision(), 1.0);
+}
+
+TEST(SamplingOverheadTest, MatchesPaperQuotes) {
+  // "about 6% CPU utilization overhead at 100ms interval and 12% at 20ms".
+  EXPECT_NEAR(sampling_overhead_fraction(100_ms), 0.06, 0.005);
+  EXPECT_NEAR(sampling_overhead_fraction(20_ms), 0.12, 0.005);
+  // Monotone: finer sampling costs more.
+  EXPECT_GT(sampling_overhead_fraction(10_ms), sampling_overhead_fraction(50_ms));
+  EXPECT_LT(sampling_overhead_fraction(1_s), 0.04);
+}
+
+TEST(FineGrainedAdapterTest, CongestedAndFrozenAreFlagged) {
+  core::DetectionResult result;
+  result.spec.start = TimePoint::origin();
+  result.spec.width = 50_ms;
+  result.spec.count = 4;
+  result.states = {core::IntervalState::kIdle, core::IntervalState::kNormal,
+                   core::IntervalState::kCongested,
+                   core::IntervalState::kFrozen};
+  const auto out = detect_from_fine_grained(result);
+  EXPECT_EQ(out.flagged, (std::vector<bool>{false, false, true, true}));
+}
+
+}  // namespace
+}  // namespace tbd::baseline

@@ -1,0 +1,66 @@
+// Exact MVA sanity: asymptotes, bottleneck law, monotonicity.
+#include "baseline/mva.h"
+
+#include <gtest/gtest.h>
+
+namespace tbd::baseline {
+namespace {
+
+MvaModel simple_model() {
+  MvaModel m;
+  m.stations = {{"app", 0.002}, {"db", 0.001}};  // demands in seconds
+  m.delay_s = 0.001;
+  m.think_s = 1.0;
+  return m;
+}
+
+TEST(MvaTest, SingleCustomerHasNoQueueing) {
+  const auto p = solve_mva(simple_model(), 1);
+  EXPECT_NEAR(p.response_time_s, 0.004, 1e-12);  // sum of demands + delay
+  EXPECT_NEAR(p.throughput, 1.0 / 1.004, 1e-9);
+}
+
+TEST(MvaTest, ThroughputSaturatesAtBottleneckRate) {
+  const auto p = solve_mva(simple_model(), 5000);
+  // X_max = 1 / max demand = 500/s.
+  EXPECT_NEAR(p.throughput, 500.0, 1.0);
+  EXPECT_NEAR(p.utilization[0], 1.0, 0.01);  // app saturated
+  EXPECT_NEAR(p.utilization[1], 0.5, 0.01);
+}
+
+TEST(MvaTest, LowPopulationFollowsLittlesLaw) {
+  const auto p = solve_mva(simple_model(), 50);
+  EXPECT_NEAR(p.throughput, 50.0 / (1.0 + p.response_time_s), 1e-9);
+}
+
+TEST(MvaTest, ThroughputMonotoneInPopulation) {
+  const auto sweep = solve_mva_sweep(simple_model(), {1, 10, 100, 1000});
+  ASSERT_EQ(sweep.size(), 4u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i].throughput, sweep[i - 1].throughput - 1e-12);
+  }
+}
+
+TEST(MvaTest, ResponseTimeGrowsLinearlyBeyondSaturation) {
+  // Asymptotically R ~ N/X_max - Z.
+  const auto p = solve_mva(simple_model(), 2000);
+  EXPECT_NEAR(p.response_time_s, 2000.0 / 500.0 - 1.0, 0.05);
+}
+
+TEST(MvaTest, SweepMatchesIndividualSolves) {
+  const auto sweep = solve_mva_sweep(simple_model(), {7, 40});
+  EXPECT_NEAR(sweep[0].throughput, solve_mva(simple_model(), 7).throughput, 1e-12);
+  EXPECT_NEAR(sweep[1].throughput, solve_mva(simple_model(), 40).throughput, 1e-12);
+}
+
+TEST(MvaTest, QueueLengthsSumToPopulationMinusThinkers) {
+  const auto p = solve_mva(simple_model(), 100);
+  double in_system = 0.0;
+  for (double q : p.queue_len) in_system += q;
+  const double thinking = p.throughput * simple_model().think_s;
+  const double in_delay = p.throughput * simple_model().delay_s;
+  EXPECT_NEAR(in_system + thinking + in_delay, 100.0, 0.01);
+}
+
+}  // namespace
+}  // namespace tbd::baseline

@@ -1,0 +1,141 @@
+// Congestion-point (N*) estimation, Section III-C: synthetic main-sequence
+// curves with known knees.
+#include "core/congestion_point.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tbd::core {
+namespace {
+
+// Builds (load, tput) samples from tput = min(load, knee) * slope with
+// optional multiplicative noise.
+struct Curve {
+  std::vector<double> load;
+  std::vector<double> tput;
+};
+
+Curve saturating_curve(double knee, double slope, double load_max,
+                       int samples, double noise_cv, std::uint64_t seed) {
+  Curve c;
+  Rng rng{seed};
+  for (int i = 0; i < samples; ++i) {
+    const double l = rng.uniform(0.0, load_max);
+    double t = std::min(l, knee) * slope;
+    if (noise_cv > 0.0) t *= rng.gamma(1.0 / (noise_cv * noise_cv),
+                                       noise_cv * noise_cv);
+    c.load.push_back(l);
+    c.tput.push_back(t);
+  }
+  return c;
+}
+
+TEST(NStarTest, CleanKneeDetected) {
+  const auto c = saturating_curve(10.0, 100.0, 40.0, 4000, 0.0, 1);
+  const auto result = estimate_congestion_point(c.load, c.tput);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.n_star, 10.0, 1.5);
+  EXPECT_NEAR(result.tp_max, 1000.0, 20.0);
+}
+
+TEST(NStarTest, NoisyKneeDetected) {
+  const auto c = saturating_curve(20.0, 50.0, 80.0, 6000, 0.15, 2);
+  const auto result = estimate_congestion_point(c.load, c.tput);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.n_star, 20.0, 4.0);
+}
+
+TEST(NStarTest, UnsaturatedServerDoesNotConverge) {
+  // Pure linear curve: the server never saturates in the observed range.
+  const auto c = saturating_curve(1e9, 100.0, 30.0, 3000, 0.05, 3);
+  const auto result = estimate_congestion_point(c.load, c.tput);
+  EXPECT_FALSE(result.converged);
+  // N* parked at the top of the range => nothing classified congested.
+  EXPECT_GT(result.n_star, 25.0);
+}
+
+TEST(NStarTest, EmptyInput) {
+  const auto result = estimate_congestion_point({}, {});
+  EXPECT_FALSE(result.converged);
+  EXPECT_DOUBLE_EQ(result.n_star, 0.0);
+}
+
+TEST(NStarTest, ConstantLoadDegenerate) {
+  const std::vector<double> load(100, 5.0);
+  const std::vector<double> tput(100, 400.0);
+  const auto result = estimate_congestion_point(load, tput);
+  EXPECT_FALSE(result.converged);
+  EXPECT_DOUBLE_EQ(result.n_star, 5.0);
+}
+
+TEST(NStarTest, BinsAreOrderedAndPopulated) {
+  const auto c = saturating_curve(10.0, 100.0, 40.0, 4000, 0.1, 4);
+  NStarConfig cfg;
+  cfg.min_samples_per_bin = 5;
+  const auto result = estimate_congestion_point(c.load, c.tput, cfg);
+  ASSERT_GT(result.bins.size(), 5u);
+  for (std::size_t i = 1; i < result.bins.size(); ++i) {
+    EXPECT_GT(result.bins[i].load, result.bins[i - 1].load);
+    EXPECT_GE(result.bins[i].samples, cfg.min_samples_per_bin);
+  }
+  EXPECT_EQ(result.slopes.size(), result.bins.size());
+}
+
+TEST(NStarTest, KneePositionTracksTrueKnee) {
+  // Property-style check across a range of knees.
+  for (double knee : {5.0, 12.0, 25.0}) {
+    const auto c = saturating_curve(knee, 80.0, knee * 4.0, 6000, 0.1,
+                                    static_cast<std::uint64_t>(knee));
+    const auto result = estimate_congestion_point(c.load, c.tput);
+    EXPECT_TRUE(result.converged) << "knee=" << knee;
+    EXPECT_NEAR(result.n_star, knee, knee * 0.3) << "knee=" << knee;
+  }
+}
+
+TEST(NStarTest, InterventionWalkFindsCleanKnee) {
+  // The paper's Equations 1-2 (with our flat-tail hardening) on a clean
+  // saturating curve.
+  const auto c = saturating_curve(10.0, 100.0, 40.0, 4000, 0.0, 21);
+  NStarConfig cfg;
+  cfg.method = NStarMethod::kInterventionWalk;
+  const auto result = estimate_congestion_point(c.load, c.tput, cfg);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.n_star, 10.0, 2.5);
+}
+
+TEST(NStarTest, InterventionWalkRejectsLinearCurve) {
+  // On a pure linear curve the hardened walk must not place a knee in the
+  // bulk of the range; a noise trip surviving at the extreme top (where the
+  // flat-window checks see only 2-3 bins) is tolerable.
+  const auto c = saturating_curve(1e9, 100.0, 30.0, 3000, 0.05, 22);
+  NStarConfig cfg;
+  cfg.method = NStarMethod::kInterventionWalk;
+  const auto result = estimate_congestion_point(c.load, c.tput, cfg);
+  EXPECT_GT(result.n_star, 25.0);
+}
+
+TEST(NStarTest, MethodsAgreeOnWellBehavedCurves) {
+  const auto c = saturating_curve(15.0, 60.0, 60.0, 6000, 0.1, 23);
+  NStarConfig walk;
+  walk.method = NStarMethod::kInterventionWalk;
+  const auto robust = estimate_congestion_point(c.load, c.tput);
+  const auto faithful = estimate_congestion_point(c.load, c.tput, walk);
+  ASSERT_TRUE(robust.converged);
+  ASSERT_TRUE(faithful.converged);
+  EXPECT_NEAR(robust.n_star, faithful.n_star, 6.0);
+}
+
+TEST(NStarTest, NoiseTripsAreRejectedByFlatTailCheck) {
+  // A linear curve with strong noise: the prefix bound alone would trip
+  // early, but the tail keeps climbing, so the estimator must not converge
+  // to a tiny N*.
+  const auto c = saturating_curve(1e9, 100.0, 50.0, 5000, 0.25, 7);
+  const auto result = estimate_congestion_point(c.load, c.tput);
+  if (result.converged) {
+    EXPECT_GT(result.n_star, 25.0);  // certainly not in the linear bulk
+  }
+}
+
+}  // namespace
+}  // namespace tbd::core

@@ -1,0 +1,162 @@
+// Interval classification, POI (frozen) detection, and episode extraction.
+#include "core/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tbd::core {
+namespace {
+
+using namespace tbd::literals;
+
+NStarResult nstar(double n, double tp_max) {
+  NStarResult r;
+  r.n_star = n;
+  r.tp_max = tp_max;
+  r.converged = true;
+  return r;
+}
+
+IntervalSpec grid50(std::size_t count) {
+  IntervalSpec spec;
+  spec.start = TimePoint::origin();
+  spec.width = 50_ms;
+  spec.count = count;
+  return spec;
+}
+
+TEST(ClassifyTest, FourStates) {
+  const std::vector<double> load{0.0, 3.0, 12.0, 15.0};
+  const std::vector<double> tput{0.0, 300.0, 800.0, 10.0};
+  const auto states = classify_intervals(load, tput, nstar(10.0, 1000.0));
+  ASSERT_EQ(states.size(), 4u);
+  EXPECT_EQ(states[0], IntervalState::kIdle);
+  EXPECT_EQ(states[1], IntervalState::kNormal);
+  EXPECT_EQ(states[2], IntervalState::kCongested);
+  EXPECT_EQ(states[3], IntervalState::kFrozen);  // high load, ~zero output
+}
+
+TEST(ClassifyTest, LoadExactlyAtNStarIsNormal) {
+  const std::vector<double> load{10.0};
+  const std::vector<double> tput{900.0};
+  const auto states = classify_intervals(load, tput, nstar(10.0, 1000.0));
+  EXPECT_EQ(states[0], IntervalState::kNormal);
+}
+
+TEST(ClassifyTest, FreezeThresholdScalesWithTpMax) {
+  DetectorConfig cfg;
+  cfg.poi_tput_frac = 0.10;
+  const std::vector<double> load{20.0, 20.0};
+  const std::vector<double> tput{99.0, 101.0};
+  const auto states = classify_intervals(load, tput, nstar(10.0, 1000.0), cfg);
+  EXPECT_EQ(states[0], IntervalState::kFrozen);
+  EXPECT_EQ(states[1], IntervalState::kCongested);
+}
+
+TEST(EpisodeTest, ExtractsMaximalRuns) {
+  const std::vector<IntervalState> states{
+      IntervalState::kNormal,   IntervalState::kCongested,
+      IntervalState::kCongested, IntervalState::kNormal,
+      IntervalState::kFrozen,   IntervalState::kCongested,
+      IntervalState::kIdle};
+  const std::vector<double> load{1, 12, 15, 2, 30, 14, 0};
+  const auto episodes = extract_episodes(states, load, grid50(7));
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_EQ(episodes[0].start.micros(), 50'000);
+  EXPECT_EQ(episodes[0].duration.millis_f(), 100.0);
+  EXPECT_DOUBLE_EQ(episodes[0].peak_load, 15.0);
+  EXPECT_FALSE(episodes[0].contains_freeze);
+  EXPECT_EQ(episodes[1].duration.millis_f(), 100.0);
+  EXPECT_TRUE(episodes[1].contains_freeze);
+  EXPECT_DOUBLE_EQ(episodes[1].peak_load, 30.0);
+}
+
+TEST(EpisodeTest, RunReachingEndOfGridCloses) {
+  const std::vector<IntervalState> states{IntervalState::kNormal,
+                                          IntervalState::kCongested,
+                                          IntervalState::kCongested};
+  const std::vector<double> load{1, 11, 12};
+  const auto episodes = extract_episodes(states, load, grid50(3));
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].duration.millis_f(), 100.0);
+}
+
+TEST(EpisodeTest, NoCongestionNoEpisodes) {
+  const std::vector<IntervalState> states(5, IntervalState::kNormal);
+  const std::vector<double> load(5, 1.0);
+  EXPECT_TRUE(extract_episodes(states, load, grid50(5)).empty());
+}
+
+TEST(DetectionResultTest, AggregateCounters) {
+  DetectionResult r;
+  r.spec = grid50(6);
+  r.states = {IntervalState::kNormal,    IntervalState::kCongested,
+              IntervalState::kFrozen,    IntervalState::kCongested,
+              IntervalState::kIdle,      IntervalState::kNormal};
+  r.load = {1, 12, 30, 14, 0, 2};
+  r.episodes = extract_episodes(r.states, r.load, r.spec);
+  EXPECT_EQ(r.congested_intervals(), 3u);
+  EXPECT_EQ(r.frozen_intervals(), 1u);
+  EXPECT_DOUBLE_EQ(r.congested_fraction(), 0.5);
+  EXPECT_EQ(r.total_congested_time().millis_f(), 150.0);
+  EXPECT_EQ(r.longest_episode().millis_f(), 150.0);
+}
+
+TEST(DetectorEndToEndTest, SyntheticFreezeIsFlaggedFrozen) {
+  // A single FIFO server (1ms service) fed alternating under/over-capacity
+  // arrival phases, frozen for 300ms in the middle. The overload phases
+  // populate the flat part of the main sequence (so N* converges); the
+  // freeze shows up as POIs: high load, zero throughput.
+  std::vector<trace::RequestRecord> records;
+  Rng rng{41};
+  const std::int64_t freeze_start = 4'000'000;
+  const std::int64_t freeze_end = 4'300'000;
+  const double service_us = 1000.0;
+  double server_free = 0.0;
+  std::int64_t t = 0;
+  while (t < 10'000'000) {
+    // 300ms at 0.6x capacity, then 200ms at 1.6x capacity.
+    const bool overload = (t / 100'000) % 5 >= 3;
+    const double rate = (overload ? 1.6 : 0.6) / service_us;
+    t += static_cast<std::int64_t>(rng.exponential(1.0 / rate)) + 1;
+    double start = std::max(static_cast<double>(t), server_free);
+    if (start >= freeze_start && start < freeze_end) {
+      start = freeze_end;  // the server is stopped; work resumes after
+    }
+    const double service = service_us * rng.gamma(16.0, 1.0 / 16.0);
+    server_free = start + service;
+    trace::RequestRecord r;
+    r.server = 0;
+    r.class_id = 0;
+    r.arrival = TimePoint::from_micros(t);
+    r.departure = TimePoint::from_micros(static_cast<std::int64_t>(server_free));
+    records.push_back(r);
+  }
+  ServiceTimeTable table{{service_us}};
+  const auto spec = IntervalSpec::over(
+      TimePoint::origin(), TimePoint::from_micros(10'000'000), 50_ms);
+  const auto result = detect_bottlenecks(records, spec, table);
+  ASSERT_TRUE(result.nstar.converged);
+  EXPECT_GT(result.frozen_intervals(), 2u);
+  ASSERT_FALSE(result.episodes.empty());
+  bool freeze_episode = false;
+  for (const auto& e : result.episodes) {
+    const std::int64_t e_end = (e.start + e.duration).micros();
+    if (e.contains_freeze && e.start.micros() <= freeze_end &&
+        e_end >= freeze_start) {
+      freeze_episode = true;
+    }
+  }
+  EXPECT_TRUE(freeze_episode);
+}
+
+TEST(StateToStringTest, AllNames) {
+  EXPECT_STREQ(to_string(IntervalState::kIdle), "idle");
+  EXPECT_STREQ(to_string(IntervalState::kNormal), "normal");
+  EXPECT_STREQ(to_string(IntervalState::kCongested), "congested");
+  EXPECT_STREQ(to_string(IntervalState::kFrozen), "frozen");
+}
+
+}  // namespace
+}  // namespace tbd::core

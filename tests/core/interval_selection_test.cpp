@@ -1,0 +1,126 @@
+// Automatic interval-length selection (the paper's future-work extension):
+// the chosen width must avoid both failure modes of Section III-D.
+#include "core/interval_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tbd::core {
+namespace {
+
+using namespace tbd::literals;
+
+// A server alternating between ~idle and saturated in `burst_ms` episodes;
+// request service time `service_us`.
+std::vector<trace::RequestRecord> bursty_log(double service_us,
+                                             std::int64_t burst_ms,
+                                             std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<trace::RequestRecord> log;
+  const std::int64_t horizon_us = 30'000'000;
+  std::int64_t t = 0;
+  bool burst = false;
+  std::int64_t phase_end = 0;
+  double backlog_done = 0.0;
+  while (t < horizon_us) {
+    if (t >= phase_end) {
+      burst = !burst;
+      phase_end = t + (burst ? burst_ms * 1000 : 5 * burst_ms * 1000);
+    }
+    // Arrival rate: 3x capacity during bursts, 0.3x otherwise.
+    const double rate = (burst ? 3.0 : 0.3) / service_us;
+    t += static_cast<std::int64_t>(rng.exponential(1.0 / rate));
+    // Service: FIFO single server, deterministic-ish service.
+    const double service = service_us * rng.gamma(9.0, 1.0 / 9.0);
+    const double start = std::max(static_cast<double>(t), backlog_done);
+    backlog_done = start + service;
+    trace::RequestRecord r;
+    r.server = 0;
+    r.class_id = static_cast<trace::ClassId>(rng.uniform_index(3));
+    r.arrival = TimePoint::from_micros(t);
+    r.departure = TimePoint::from_micros(static_cast<std::int64_t>(backlog_done));
+    log.push_back(r);
+  }
+  return log;
+}
+
+ServiceTimeTable table3(double base_us) {
+  return ServiceTimeTable{{base_us, base_us, base_us}};
+}
+
+TEST(IntervalSelectionTest, PrefersFineWidthWhenTrafficIsDense) {
+  // 0.5ms services, 200ms bursts: plenty of completions even at 20ms.
+  const auto log = bursty_log(500.0, 200, 1);
+  const std::vector<Duration> candidates{20_ms, 50_ms, 100_ms, 500_ms, 1_s};
+  const auto sel = choose_interval_length(
+      log, TimePoint::origin(), TimePoint::from_micros(30'000'000),
+      table3(500.0), candidates);
+  EXPECT_LE(sel.chosen.micros(), (100_ms).micros());
+}
+
+TEST(IntervalSelectionTest, RejectsWidthsWithTooFewCompletions) {
+  // 30ms services: a 20ms interval sees < 1 completion on average; the
+  // selector must skip past it.
+  const auto log = bursty_log(30'000.0, 500, 2);
+  const std::vector<Duration> candidates{20_ms, 50_ms, 200_ms, 1_s};
+  IntervalSelectionConfig cfg;
+  cfg.min_mean_completions = 4.0;
+  const auto sel = choose_interval_length(
+      log, TimePoint::origin(), TimePoint::from_micros(30'000'000),
+      table3(30'000.0), candidates, cfg);
+  EXPECT_GT(sel.chosen.micros(), (20_ms).micros());
+}
+
+TEST(IntervalSelectionTest, CandidatesScoredFineToCoarse) {
+  const auto log = bursty_log(500.0, 200, 3);
+  const std::vector<Duration> candidates{20_ms, 100_ms, 1_s};
+  const auto sel = choose_interval_length(
+      log, TimePoint::origin(), TimePoint::from_micros(30'000'000),
+      table3(500.0), candidates);
+  ASSERT_EQ(sel.candidates.size(), 3u);
+  // Retention is measured against the finest width and decays with width
+  // (coarser = load peaks averaged away).
+  EXPECT_DOUBLE_EQ(sel.candidates[0].retention, 1.0);
+  EXPECT_LT(sel.candidates[2].retention, sel.candidates[0].retention);
+  // Completions per interval grow with width.
+  EXPECT_GT(sel.candidates[2].mean_completions,
+            sel.candidates[0].mean_completions);
+}
+
+TEST(IntervalSelectionTest, FallsBackToCoarsestWhenNothingAcceptable) {
+  const auto log = bursty_log(30'000.0, 500, 4);
+  const std::vector<Duration> candidates{5_ms, 10_ms};
+  IntervalSelectionConfig cfg;
+  cfg.min_mean_completions = 100.0;  // unattainable
+  const auto sel = choose_interval_length(
+      log, TimePoint::origin(), TimePoint::from_micros(30'000'000),
+      table3(30'000.0), candidates, cfg);
+  EXPECT_EQ(sel.chosen.micros(), (10_ms).micros());
+}
+
+TEST(MainSequenceBlurTest, NoiseRaisesBlur) {
+  Rng rng{5};
+  std::vector<double> load, clean, noisy;
+  for (int i = 0; i < 4000; ++i) {
+    const double l = rng.uniform(0.0, 20.0);
+    load.push_back(l);
+    const double t = std::min(l, 8.0) * 100.0;
+    clean.push_back(t);
+    noisy.push_back(t * rng.gamma(4.0, 0.25));  // CV 0.5
+  }
+  // "Clean" still shows ~0.05 residual CV from bin-edge mixing (a bin mixes
+  // loads just below/at the knee); what matters is the noise separation.
+  EXPECT_LT(main_sequence_blur(load, clean, 25), 0.08);
+  EXPECT_GT(main_sequence_blur(load, noisy, 25),
+            main_sequence_blur(load, clean, 25) + 0.2);
+}
+
+TEST(MainSequenceBlurTest, DegenerateInputsSafe) {
+  EXPECT_DOUBLE_EQ(main_sequence_blur({}, {}, 25), 0.0);
+  const std::vector<double> zeros(10, 0.0);
+  EXPECT_DOUBLE_EQ(main_sequence_blur(zeros, zeros, 25), 0.0);
+}
+
+}  // namespace
+}  // namespace tbd::core

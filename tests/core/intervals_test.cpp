@@ -1,0 +1,112 @@
+#include "core/intervals.h"
+
+#include <gtest/gtest.h>
+
+namespace tbd::core {
+namespace {
+
+using namespace tbd::literals;
+
+TEST(IntervalSpecTest, OverComputesCount) {
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::origin() + 1_s, 50_ms);
+  EXPECT_EQ(spec.count, 20u);
+  EXPECT_EQ(spec.end().micros(), 1'000'000);
+}
+
+TEST(IntervalSpecTest, PartialTrailingIntervalDropped) {
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::origin() + 130_ms, 50_ms);
+  EXPECT_EQ(spec.count, 2u);  // [0,50) and [50,100); the tail 30ms is dropped
+}
+
+TEST(IntervalSpecTest, IndexOfAndContains) {
+  const auto spec = IntervalSpec::over(TimePoint::from_micros(1000),
+                                       TimePoint::from_micros(4000),
+                                       Duration::micros(1000));
+  EXPECT_TRUE(spec.contains(TimePoint::from_micros(1000)));
+  EXPECT_TRUE(spec.contains(TimePoint::from_micros(3999)));
+  EXPECT_FALSE(spec.contains(TimePoint::from_micros(4000)));
+  EXPECT_FALSE(spec.contains(TimePoint::from_micros(999)));
+  EXPECT_EQ(spec.index_of(TimePoint::from_micros(1000)), 0u);
+  EXPECT_EQ(spec.index_of(TimePoint::from_micros(2500)), 1u);
+  EXPECT_EQ(spec.index_of(TimePoint::from_micros(3999)), 2u);
+}
+
+TEST(IntervalSpecTest, MidpointsSeconds) {
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::origin() + 100_ms, 50_ms);
+  const auto mids = spec.midpoints_seconds();
+  ASSERT_EQ(mids.size(), 2u);
+  EXPECT_DOUBLE_EQ(mids[0], 0.025);
+  EXPECT_DOUBLE_EQ(mids[1], 0.075);
+}
+
+TEST(IntervalCoverageTest, SingleWindowPartialCoverage) {
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::origin() + 200_ms, 100_ms);
+  const std::vector<TimeWindow> windows{
+      {TimePoint::from_micros(50'000), TimePoint::from_micros(150'000)}};
+  const auto cov = interval_coverage(windows, spec);
+  EXPECT_DOUBLE_EQ(cov[0], 0.5);
+  EXPECT_DOUBLE_EQ(cov[1], 0.5);
+}
+
+TEST(IntervalCoverageTest, OverlappingWindowsMerge) {
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::origin() + 100_ms, 100_ms);
+  const std::vector<TimeWindow> windows{
+      {TimePoint::from_micros(0), TimePoint::from_micros(60'000)},
+      {TimePoint::from_micros(40'000), TimePoint::from_micros(80'000)}};
+  const auto cov = interval_coverage(windows, spec);
+  EXPECT_DOUBLE_EQ(cov[0], 0.8);  // union [0,80), not 0.6 + 0.4
+}
+
+TEST(IntervalCoverageTest, WindowOutsideGridIgnored) {
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::origin() + 100_ms, 100_ms);
+  const std::vector<TimeWindow> windows{
+      {TimePoint::from_micros(500'000), TimePoint::from_micros(600'000)}};
+  const auto cov = interval_coverage(windows, spec);
+  EXPECT_DOUBLE_EQ(cov[0], 0.0);
+}
+
+TEST(IntervalCoverageTest, FullCoverage) {
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::origin() + 150_ms, 50_ms);
+  const std::vector<TimeWindow> windows{
+      {TimePoint::from_micros(-10'000), TimePoint::from_micros(500'000)}};
+  const auto cov = interval_coverage(windows, spec);
+  for (double c : cov) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(IntervalCoverageTest, GcRatioScenario) {
+  // Three 40ms "GC pauses" over a 1s grid at 50ms: each pause covers most of
+  // one interval and part of the next.
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::origin() + 1_s, 50_ms);
+  std::vector<TimeWindow> gcs;
+  for (int i = 0; i < 3; ++i) {
+    const std::int64_t start = 100'000 + i * 300'000;
+    gcs.push_back({TimePoint::from_micros(start),
+                   TimePoint::from_micros(start + 40'000)});
+  }
+  const auto cov = interval_coverage(gcs, spec);
+  double total = 0.0;
+  for (double c : cov) total += c * 0.05;
+  EXPECT_NEAR(total, 0.120, 1e-9);  // 3 x 40ms of GC time
+  EXPECT_DOUBLE_EQ(cov[2], 0.8);    // [100,140) covers 40/50 of [100,150)
+}
+
+TEST(IntervalCoverageTest, EmptyInputs) {
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::origin() + 100_ms, 50_ms);
+  EXPECT_EQ(interval_coverage({}, spec).size(), 2u);
+  IntervalSpec empty;
+  empty.count = 0;
+  const std::vector<TimeWindow> windows{{TimePoint::origin(), TimePoint::origin() + 1_s}};
+  EXPECT_TRUE(interval_coverage(windows, empty).empty());
+}
+
+}  // namespace
+}  // namespace tbd::core

@@ -1,0 +1,126 @@
+// Load calculation (Section III-A): exact integration of concurrency over
+// fine intervals, including the Figure 6 style of interleaved requests.
+#include "core/load_calculator.h"
+
+#include <gtest/gtest.h>
+
+namespace tbd::core {
+namespace {
+
+using namespace tbd::literals;
+using trace::RequestRecord;
+
+RequestRecord rec(std::int64_t arrive_us, std::int64_t depart_us,
+                  trace::ClassId cls = 0) {
+  RequestRecord r;
+  r.server = 0;
+  r.class_id = cls;
+  r.arrival = TimePoint::from_micros(arrive_us);
+  r.departure = TimePoint::from_micros(depart_us);
+  r.txn = 1;
+  return r;
+}
+
+IntervalSpec grid(std::int64_t start_us, std::int64_t width_us,
+                  std::size_t count) {
+  IntervalSpec spec;
+  spec.start = TimePoint::from_micros(start_us);
+  spec.width = Duration::micros(width_us);
+  spec.count = count;
+  return spec;
+}
+
+TEST(LoadCalculatorTest, EmptyInput) {
+  const auto load = compute_load({}, grid(0, 1000, 3));
+  EXPECT_EQ(load, (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
+TEST(LoadCalculatorTest, RequestFillingOneInterval) {
+  const std::vector<RequestRecord> records{rec(0, 1000)};
+  const auto load = compute_load(records, grid(0, 1000, 2));
+  EXPECT_DOUBLE_EQ(load[0], 1.0);
+  EXPECT_DOUBLE_EQ(load[1], 0.0);
+}
+
+TEST(LoadCalculatorTest, HalfIntervalIsHalfLoad) {
+  const std::vector<RequestRecord> records{rec(250, 750)};
+  const auto load = compute_load(records, grid(0, 1000, 1));
+  EXPECT_DOUBLE_EQ(load[0], 0.5);
+}
+
+TEST(LoadCalculatorTest, OverlappingRequestsAdd) {
+  // Two requests overlap for half the interval.
+  const std::vector<RequestRecord> records{rec(0, 1000), rec(500, 1000)};
+  const auto load = compute_load(records, grid(0, 1000, 1));
+  EXPECT_DOUBLE_EQ(load[0], 1.5);
+}
+
+TEST(LoadCalculatorTest, RequestSpanningBoundarySplitsAcrossIntervals) {
+  const std::vector<RequestRecord> records{rec(500, 1500)};
+  const auto load = compute_load(records, grid(0, 1000, 2));
+  EXPECT_DOUBLE_EQ(load[0], 0.5);
+  EXPECT_DOUBLE_EQ(load[1], 0.5);
+}
+
+TEST(LoadCalculatorTest, RequestSpanningWholeGrid) {
+  const std::vector<RequestRecord> records{rec(-5000, 9000)};
+  const auto load = compute_load(records, grid(0, 1000, 3));
+  EXPECT_DOUBLE_EQ(load[0], 1.0);
+  EXPECT_DOUBLE_EQ(load[1], 1.0);
+  EXPECT_DOUBLE_EQ(load[2], 1.0);
+}
+
+TEST(LoadCalculatorTest, RequestsOutsideGridIgnored) {
+  const std::vector<RequestRecord> records{rec(-100, 0), rec(3000, 4000)};
+  const auto load = compute_load(records, grid(0, 1000, 3));
+  EXPECT_EQ(load, (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
+TEST(LoadCalculatorTest, Figure6InterleavedRequests) {
+  // Figure 6's shape: interleaved arrivals/departures across two 100ms
+  // windows. Window averages computed by hand.
+  const std::vector<RequestRecord> records{
+      rec(0, 60'000),        // covers [0,60) of TW0
+      rec(20'000, 120'000),  // covers [20,100) of TW0 and [100,120) of TW1
+      rec(80'000, 180'000),  // [80,100) of TW0, [100,180) of TW1
+      rec(140'000, 160'000)  // [140,160) of TW1
+  };
+  const auto load = compute_load(records, grid(0, 100'000, 2));
+  // TW0: 60 + 80 + 20 = 160ms of presence / 100ms = 1.6
+  EXPECT_DOUBLE_EQ(load[0], 1.6);
+  // TW1: 20 + 80 + 20 = 120ms / 100ms = 1.2
+  EXPECT_DOUBLE_EQ(load[1], 1.2);
+}
+
+TEST(LoadCalculatorTest, UnsortedRecordsHandled) {
+  const std::vector<RequestRecord> records{rec(500, 1500), rec(0, 250)};
+  const auto load = compute_load(records, grid(0, 1000, 2));
+  EXPECT_DOUBLE_EQ(load[0], 0.75);
+  EXPECT_DOUBLE_EQ(load[1], 0.5);
+}
+
+TEST(LoadCalculatorTest, ZeroLengthRequestContributesNothing) {
+  const std::vector<RequestRecord> records{rec(500, 500)};
+  const auto load = compute_load(records, grid(0, 1000, 1));
+  EXPECT_DOUBLE_EQ(load[0], 0.0);
+}
+
+TEST(LoadCalculatorTest, ConcurrencyAtProbesInstantaneousState) {
+  const std::vector<RequestRecord> records{rec(0, 1000), rec(500, 2000)};
+  EXPECT_EQ(concurrency_at(records, TimePoint::from_micros(250)), 1);
+  EXPECT_EQ(concurrency_at(records, TimePoint::from_micros(750)), 2);
+  EXPECT_EQ(concurrency_at(records, TimePoint::from_micros(1500)), 1);
+  EXPECT_EQ(concurrency_at(records, TimePoint::from_micros(3000)), 0);
+}
+
+TEST(LoadCalculatorTest, ManySmallRequestsAverageCorrectly) {
+  // 10 back-to-back requests of 100us each in a 1ms interval: the server is
+  // continuously busy with exactly one request => load 1.
+  std::vector<RequestRecord> records;
+  for (int i = 0; i < 10; ++i) records.push_back(rec(i * 100, (i + 1) * 100));
+  const auto load = compute_load(records, grid(0, 1000, 1));
+  EXPECT_DOUBLE_EQ(load[0], 1.0);
+}
+
+}  // namespace
+}  // namespace tbd::core

@@ -1,0 +1,60 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace tbd::core {
+namespace {
+
+using namespace tbd::literals;
+
+DetectionResult sample_result() {
+  DetectionResult r;
+  r.spec.start = TimePoint::origin();
+  r.spec.width = 50_ms;
+  r.spec.count = 4;
+  r.load = {1.0, 12.0, 30.0, 2.0};
+  r.throughput = {100.0, 900.0, 10.0, 150.0};
+  r.nstar.n_star = 10.0;
+  r.nstar.tp_max = 1000.0;
+  r.nstar.converged = true;
+  r.states = {IntervalState::kNormal, IntervalState::kCongested,
+              IntervalState::kFrozen, IntervalState::kNormal};
+  r.episodes = extract_episodes(r.states, r.load, r.spec);
+  return r;
+}
+
+TEST(ReportTest, SummaryMentionsKeyNumbers) {
+  const auto s = summarize(sample_result(), "db1");
+  EXPECT_NE(s.find("db1"), std::string::npos);
+  EXPECT_NE(s.find("N*=10.0"), std::string::npos);
+  EXPECT_NE(s.find("congested=2"), std::string::npos);
+  EXPECT_NE(s.find("frozen=1"), std::string::npos);
+  EXPECT_NE(s.find("episodes=1"), std::string::npos);
+}
+
+TEST(ReportTest, UnsaturatedMarker) {
+  auto r = sample_result();
+  r.nstar.converged = false;
+  EXPECT_NE(summarize(r, "mw").find("unsaturated"), std::string::npos);
+}
+
+TEST(AsciiScatterTest, RendersGridWithNStarBar) {
+  const std::vector<double> load{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> tput{10, 20, 30, 40, 50, 50, 50, 50};
+  const auto art = ascii_scatter(load, tput, 5.0, 40, 10);
+  EXPECT_NE(art.find('|'), std::string::npos);
+  EXPECT_NE(art.find('.'), std::string::npos);
+  EXPECT_NE(art.find("N*=5.0"), std::string::npos);
+}
+
+TEST(AsciiScatterTest, DegenerateInputsAreSafe) {
+  EXPECT_TRUE(ascii_scatter({}, {}, 1.0).empty());
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_TRUE(ascii_scatter(zeros, zeros, 1.0).empty());
+  const std::vector<double> load{1.0};
+  const std::vector<double> tput{1.0};
+  EXPECT_TRUE(ascii_scatter(load, tput, 0.5, 4, 2).empty());  // too small
+}
+
+}  // namespace
+}  // namespace tbd::core

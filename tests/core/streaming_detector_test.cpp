@@ -1,0 +1,132 @@
+#include "core/streaming_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "core/load_calculator.h"
+
+namespace tbd::core {
+namespace {
+
+using namespace tbd::literals;
+
+trace::RequestRecord rec(std::int64_t a, std::int64_t d, trace::ClassId c = 0) {
+  trace::RequestRecord r;
+  r.server = 0;
+  r.class_id = c;
+  r.arrival = TimePoint::from_micros(a);
+  r.departure = TimePoint::from_micros(d);
+  return r;
+}
+
+NStarResult nstar(double n, double tp) {
+  NStarResult r;
+  r.n_star = n;
+  r.tp_max = tp;
+  r.converged = true;
+  return r;
+}
+
+StreamingDetector::Config config50() {
+  StreamingDetector::Config cfg;
+  cfg.width = 50_ms;
+  cfg.lag = 200_ms;
+  return cfg;
+}
+
+TEST(StreamingDetectorTest, MatchesBatchPipelineOnSameRecords) {
+  // A stream of steady 1ms requests; compare sealed loads with the batch
+  // load calculator.
+  std::vector<trace::RequestRecord> records;
+  for (std::int64_t t = 0; t < 1'000'000; t += 500) {
+    records.push_back(rec(t, t + 1000));
+  }
+  ServiceTimeTable table{{1000.0}};
+
+  StreamingDetector stream{TimePoint::origin(), config50(), nstar(10, 2000),
+                           table};
+  std::vector<double> stream_load;
+  stream.on_interval([&](std::size_t, double load, double, IntervalState) {
+    stream_load.push_back(load);
+  });
+  for (const auto& r : records) stream.push(r);
+  stream.finish();
+
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::from_micros(1'000'000), 50_ms);
+  const auto batch_load = compute_load(records, spec);
+  ASSERT_GE(stream_load.size(), batch_load.size());
+  for (std::size_t i = 0; i < batch_load.size(); ++i) {
+    EXPECT_NEAR(stream_load[i], batch_load[i], 1e-9) << "interval " << i;
+  }
+}
+
+TEST(StreamingDetectorTest, EmitsEpisodeWhenLoadExceedsNStar) {
+  // 20 concurrent long requests create a 100ms burst above N*=5.
+  StreamingDetector stream{TimePoint::origin(), config50(), nstar(5, 1e6),
+                           ServiceTimeTable{{1000.0}}};
+  std::vector<Episode> episodes;
+  stream.on_episode([&](const Episode& e) { episodes.push_back(e); });
+
+  for (int i = 0; i < 20; ++i) {
+    stream.push(rec(100'000, 200'000 + i));  // all inside [100,200)ms
+  }
+  // Keep the stream alive past the lag so the burst seals.
+  for (std::int64_t t = 200'000; t < 800'000; t += 10'000) {
+    stream.push(rec(t, t + 1000));
+  }
+  stream.finish();
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].start.micros(), 100'000);
+  EXPECT_EQ(episodes[0].duration.millis_f(), 100.0);
+  EXPECT_NEAR(episodes[0].peak_load, 20.0, 0.1);
+}
+
+TEST(StreamingDetectorTest, FreezeClassifiedFrozen) {
+  // High residence, zero completions in [100,150)ms: requests span the
+  // window and depart much later. The lag must exceed the 300ms residence
+  // of the frozen requests or their residence seals away prematurely.
+  auto cfg = config50();
+  cfg.lag = 500_ms;
+  StreamingDetector stream{TimePoint::origin(), cfg, nstar(5, 1000),
+                           ServiceTimeTable{{1000.0}}};
+  std::vector<IntervalState> states;
+  stream.on_interval([&](std::size_t, double, double, IntervalState s) {
+    states.push_back(s);
+  });
+  for (int i = 0; i < 20; ++i) {
+    stream.push(rec(100'000 + i, 400'000 + i));
+  }
+  for (std::int64_t t = 400'000; t < 1'000'000; t += 10'000) {
+    stream.push(rec(t, t + 1000));
+  }
+  stream.finish();
+  ASSERT_GE(states.size(), 4u);
+  EXPECT_EQ(states[2], IntervalState::kFrozen);  // [100,150): load, no output
+}
+
+TEST(StreamingDetectorTest, LateRecordsAreDroppedNotCrashing) {
+  StreamingDetector stream{TimePoint::origin(), config50(), nstar(5, 1000),
+                           ServiceTimeTable{{1000.0}}};
+  // Advance far, then push something ancient.
+  stream.push(rec(2'000'000, 2'001'000));
+  stream.push(rec(100, 1100));  // seals long past
+  EXPECT_EQ(stream.dropped_records(), 1u);
+}
+
+TEST(StreamingDetectorTest, CountersConsistent) {
+  StreamingDetector stream{TimePoint::origin(), config50(), nstar(5, 1000),
+                           ServiceTimeTable{{1000.0}}};
+  std::size_t cb_count = 0;
+  stream.on_interval([&](std::size_t, double, double, IntervalState) {
+    ++cb_count;
+  });
+  for (std::int64_t t = 0; t < 500'000; t += 1000) {
+    stream.push(rec(t, t + 800));
+  }
+  stream.finish();
+  EXPECT_EQ(stream.intervals_emitted(), cb_count);
+  EXPECT_EQ(stream.congested_intervals(), 0u);  // load ~0.8 < N*
+}
+
+}  // namespace
+}  // namespace tbd::core

@@ -1,0 +1,77 @@
+#include "core/system_report.h"
+
+#include <gtest/gtest.h>
+
+namespace tbd::core {
+namespace {
+
+using namespace tbd::literals;
+
+DetectionResult result_with(double congested_fraction, bool converged = true) {
+  DetectionResult r;
+  r.spec.start = TimePoint::origin();
+  r.spec.width = 50_ms;
+  r.spec.count = 100;
+  r.nstar.n_star = 10.0;
+  r.nstar.tp_max = 1000.0;
+  r.nstar.converged = converged;
+  const auto hot = static_cast<std::size_t>(congested_fraction * 100.0);
+  r.states.assign(100, IntervalState::kNormal);
+  r.load.assign(100, 1.0);
+  for (std::size_t i = 0; i < hot; ++i) {
+    r.states[i * 2 % 100] = IntervalState::kCongested;
+    r.load[i * 2 % 100] = 20.0;
+  }
+  r.episodes = extract_episodes(r.states, r.load, r.spec);
+  return r;
+}
+
+TEST(SystemReportTest, RanksMostCongestedFirst) {
+  const std::vector<DetectionResult> results{
+      result_with(0.05), result_with(0.30), result_with(0.0)};
+  const std::vector<std::string> names{"web", "db1", "mw"};
+  const auto report = rank_bottlenecks(results, names);
+  ASSERT_EQ(report.verdicts.size(), 3u);
+  EXPECT_EQ(report.verdicts[0].server, "db1");
+  EXPECT_EQ(report.verdicts[1].server, "web");
+  EXPECT_EQ(report.verdicts[2].server, "mw");
+  EXPECT_EQ(report.primary_suspect, 0);
+}
+
+TEST(SystemReportTest, NoSuspectBelowThreshold) {
+  const std::vector<DetectionResult> results{result_with(0.0),
+                                             result_with(0.005)};
+  const std::vector<std::string> names{"a", "b"};
+  const auto report = rank_bottlenecks(results, names, 0.01);
+  EXPECT_EQ(report.primary_suspect, -1);
+  EXPECT_NE(to_string(report).find("no server shows noteworthy"),
+            std::string::npos);
+}
+
+TEST(SystemReportTest, TiesBreakByName) {
+  const std::vector<DetectionResult> results{result_with(0.1),
+                                             result_with(0.1)};
+  const std::vector<std::string> names{"zeta", "alpha"};
+  const auto report = rank_bottlenecks(results, names);
+  EXPECT_EQ(report.verdicts[0].server, "alpha");
+}
+
+TEST(SystemReportTest, RenderingNamesSuspect) {
+  const std::vector<DetectionResult> results{result_with(0.2),
+                                             result_with(0.01)};
+  const std::vector<std::string> names{"db1", "web"};
+  const auto text = to_string(rank_bottlenecks(results, names));
+  EXPECT_NE(text.find("db1"), std::string::npos);
+  EXPECT_NE(text.find("primary suspect"), std::string::npos);
+}
+
+TEST(SystemReportTest, UnsaturatedMarkerCarriedThrough) {
+  const std::vector<DetectionResult> results{result_with(0.0, false)};
+  const std::vector<std::string> names{"mw"};
+  const auto report = rank_bottlenecks(results, names);
+  EXPECT_FALSE(report.verdicts[0].saturated);
+  EXPECT_NE(to_string(report).find("unsaturated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tbd::core

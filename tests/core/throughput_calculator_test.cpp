@@ -1,0 +1,148 @@
+// Throughput normalization (Section III-B), including the exact Figure 7
+// example: Req1 = 30ms, Req2 = 10ms, 10ms work unit, 100ms intervals.
+#include "core/throughput_calculator.h"
+
+#include <gtest/gtest.h>
+
+namespace tbd::core {
+namespace {
+
+using trace::RequestRecord;
+
+RequestRecord departing(std::int64_t depart_us, trace::ClassId cls,
+                        std::int64_t service_us = 0) {
+  RequestRecord r;
+  r.server = 0;
+  r.class_id = cls;
+  r.arrival = TimePoint::from_micros(depart_us - service_us);
+  r.departure = TimePoint::from_micros(depart_us);
+  return r;
+}
+
+IntervalSpec grid(std::int64_t width_us, std::size_t count) {
+  IntervalSpec spec;
+  spec.start = TimePoint::origin();
+  spec.width = Duration::micros(width_us);
+  spec.count = count;
+  return spec;
+}
+
+ServiceTimeTable figure7_table() {
+  // Class 0 = Req1 (30ms), class 1 = Req2 (10ms).
+  return ServiceTimeTable{{30'000.0, 10'000.0}};
+}
+
+TEST(ThroughputTest, StraightforwardCountsDepartures) {
+  const std::vector<RequestRecord> records{
+      departing(50'000, 0), departing(80'000, 1), departing(150'000, 1)};
+  ThroughputOptions opts;
+  opts.mode = ThroughputMode::kRequestsCompleted;
+  opts.per_second = false;
+  const auto tput =
+      compute_throughput(records, grid(100'000, 2), figure7_table(), opts);
+  EXPECT_EQ(tput, (std::vector<double>{2.0, 1.0}));
+}
+
+TEST(ThroughputTest, Figure7NormalizedWorkUnits) {
+  // TW0: two Req1 -> 6 units; TW1: one Req1 + one Req2 -> 4; TW2: four Req2
+  // -> 4. Straightforward throughput would read 2/2/4 and mislead.
+  std::vector<RequestRecord> records;
+  records.push_back(departing(40'000, 0));
+  records.push_back(departing(90'000, 0));
+  records.push_back(departing(130'000, 0));
+  records.push_back(departing(170'000, 1));
+  for (int i = 0; i < 4; ++i) records.push_back(departing(210'000 + i * 20'000, 1));
+
+  ThroughputOptions norm;
+  norm.mode = ThroughputMode::kNormalizedWorkUnits;
+  norm.work_unit_us = 10'000.0;
+  norm.per_second = false;
+  const auto units =
+      compute_throughput(records, grid(100'000, 3), figure7_table(), norm);
+  EXPECT_EQ(units, (std::vector<double>{6.0, 4.0, 4.0}));
+
+  ThroughputOptions plain;
+  plain.mode = ThroughputMode::kRequestsCompleted;
+  plain.per_second = false;
+  const auto raw =
+      compute_throughput(records, grid(100'000, 3), figure7_table(), plain);
+  EXPECT_EQ(raw, (std::vector<double>{2.0, 2.0, 4.0}));
+}
+
+TEST(ThroughputTest, DefaultWorkUnitIsSmallestServiceTime) {
+  const std::vector<RequestRecord> records{departing(50'000, 0)};
+  ThroughputOptions opts;
+  opts.per_second = false;  // work_unit_us unset => min service = 10ms
+  const auto tput =
+      compute_throughput(records, grid(100'000, 1), figure7_table(), opts);
+  EXPECT_EQ(tput[0], 3.0);  // 30ms / 10ms
+}
+
+TEST(ThroughputTest, PerSecondScaling) {
+  const std::vector<RequestRecord> records{departing(20'000, 1)};
+  ThroughputOptions opts;
+  opts.work_unit_us = 10'000.0;
+  opts.per_second = true;
+  const auto tput =
+      compute_throughput(records, grid(50'000, 1), figure7_table(), opts);
+  EXPECT_DOUBLE_EQ(tput[0], 1.0 / 0.05);  // 1 unit per 50ms = 20/s
+}
+
+TEST(ThroughputTest, UnknownClassStillCountsOneUnit) {
+  const std::vector<RequestRecord> records{departing(10'000, 9)};
+  ThroughputOptions opts;
+  opts.work_unit_us = 10'000.0;
+  opts.per_second = false;
+  const auto tput =
+      compute_throughput(records, grid(100'000, 1), figure7_table(), opts);
+  EXPECT_EQ(tput[0], 1.0);
+}
+
+TEST(ThroughputTest, DeparturesOutsideGridIgnored) {
+  const std::vector<RequestRecord> records{departing(-1, 0),
+                                           departing(200'000, 0)};
+  ThroughputOptions opts;
+  opts.mode = ThroughputMode::kRequestsCompleted;
+  opts.per_second = false;
+  const auto tput =
+      compute_throughput(records, grid(100'000, 2), figure7_table(), opts);
+  EXPECT_EQ(tput, (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(ServiceTimeTableTest, MinServiceSkipsZeroEntries) {
+  ServiceTimeTable table{{0.0, 500.0, 200.0}};
+  EXPECT_DOUBLE_EQ(table.min_service_us(), 200.0);
+}
+
+TEST(ServiceTimeTableTest, SetGrowsTable) {
+  ServiceTimeTable table;
+  table.set(3, 750.0);
+  EXPECT_DOUBLE_EQ(table.service_us(3), 750.0);
+  EXPECT_DOUBLE_EQ(table.service_us(0), 0.0);
+  EXPECT_DOUBLE_EQ(table.service_us(99), 0.0);
+}
+
+TEST(EstimateServiceTimesTest, LowQuantileMasksQueueing) {
+  // Class 0: true service 1000us, but half the samples queued (inflated).
+  std::vector<RequestRecord> records;
+  for (int i = 0; i < 50; ++i) records.push_back(departing(1000 * i, 0, 1000));
+  for (int i = 0; i < 50; ++i) {
+    records.push_back(departing(100'000 + 1000 * i, 0, 5000));
+  }
+  const auto table = estimate_service_times(records, /*mask_quantile=*/0.2);
+  EXPECT_NEAR(table.service_us(0), 1000.0, 50.0);
+}
+
+TEST(EstimateServiceTimesTest, PerClassSeparation) {
+  std::vector<RequestRecord> records;
+  for (int i = 0; i < 20; ++i) {
+    records.push_back(departing(1000 * i, 0, 300));
+    records.push_back(departing(1000 * i + 500, 1, 900));
+  }
+  const auto table = estimate_service_times(records, 0.5);
+  EXPECT_NEAR(table.service_us(0), 300.0, 1.0);
+  EXPECT_NEAR(table.service_us(1), 900.0, 1.0);
+}
+
+}  // namespace
+}  // namespace tbd::core

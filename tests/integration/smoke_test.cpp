@@ -1,0 +1,100 @@
+// End-to-end smoke: run a small experiment through the full stack and check
+// the basic physics (throughput ~ N/Z at low load, utilizations ordered as
+// calibrated, traces well-formed).
+#include <gtest/gtest.h>
+
+#include "app/experiment.h"
+#include "core/detector.h"
+
+namespace tbd {
+namespace {
+
+using namespace tbd::literals;
+
+app::ExperimentConfig small_config() {
+  app::ExperimentConfig cfg;
+  cfg.workload = 500;
+  cfg.warmup = 5_s;
+  cfg.duration = 20_s;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(SmokeTest, LowLoadThroughputMatchesLittlesLaw) {
+  auto cfg = small_config();
+  cfg.clients.bursts_enabled = false;  // plain closed loop: X = N/(Z+R)
+  const auto result = app::run_experiment(cfg);
+  const double expected = 500.0 / 7.05;  // R is a few ms, Z = 7 s
+  EXPECT_NEAR(result.goodput(), expected, expected * 0.08);
+  EXPECT_LT(result.mean_rt_s(), 0.1);
+  EXPECT_EQ(result.retransmissions, 0u);
+}
+
+TEST(SmokeTest, BurstsRaiseEffectiveRequestRate) {
+  // Waking thinking clients early cuts their (memoryless) residual think
+  // time, so burst-modulated traffic completes more pages.
+  auto quiet = small_config();
+  quiet.workload = 2000;  // enough pages that the effect dominates noise
+  quiet.clients.bursts_enabled = false;
+  auto bursty = quiet;
+  bursty.clients.bursts_enabled = true;
+  const double x_quiet = app::run_experiment(quiet).goodput();
+  const double x_bursty = app::run_experiment(bursty).goodput();
+  EXPECT_GT(x_bursty, x_quiet * 1.05);
+}
+
+TEST(SmokeTest, TraceLogsAreWellFormed) {
+  const auto result = app::run_experiment(small_config());
+  ASSERT_EQ(result.servers.size(), 6u);  // 1 web + 2 app + 1 mw + 2 db
+  for (const auto& log : result.logs) {
+    EXPECT_FALSE(log.empty());
+    for (const auto& r : log) {
+      EXPECT_GE(r.departure.micros(), r.arrival.micros());
+      EXPECT_GT(r.txn, 0u);
+    }
+  }
+}
+
+TEST(SmokeTest, UtilizationOrderingMatchesCalibration) {
+  auto cfg = small_config();
+  cfg.workload = 2000;
+  const auto result = app::run_experiment(cfg);
+  const int web = result.server_index_of(ntier::TierKind::kWeb, 0);
+  const int app0 = result.server_index_of(ntier::TierKind::kApp, 0);
+  const int mw = result.server_index_of(ntier::TierKind::kMw, 0);
+  const int db0 = result.server_index_of(ntier::TierKind::kDb, 0);
+  // App tier is the hot tier; mw the coolest of the busy ones.
+  EXPECT_GT(result.mean_util(app0), result.mean_util(web));
+  EXPECT_GT(result.mean_util(app0), result.mean_util(mw));
+  EXPECT_GT(result.mean_util(app0), result.mean_util(db0));
+  EXPECT_GT(result.mean_util(db0), 0.0);
+}
+
+TEST(SmokeTest, DeterministicAcrossRuns) {
+  const auto a = app::run_experiment(small_config());
+  const auto b = app::run_experiment(small_config());
+  EXPECT_EQ(a.pages_completed, b.pages_completed);
+  EXPECT_EQ(a.engine_events, b.engine_events);
+  ASSERT_EQ(a.pages.size(), b.pages.size());
+  for (std::size_t i = 0; i < a.pages.size(); ++i) {
+    EXPECT_EQ(a.pages[i].completed.micros(), b.pages[i].completed.micros());
+    EXPECT_EQ(a.pages[i].response_time.micros(), b.pages[i].response_time.micros());
+  }
+}
+
+TEST(SmokeTest, DetectionPipelineRunsOnTraces) {
+  auto cfg = small_config();
+  const auto tables = app::calibrate_service_times(cfg);
+  const auto result = app::run_experiment(cfg);
+  const int db0 = result.server_index_of(ntier::TierKind::kDb, 0);
+  const auto spec = core::IntervalSpec::over(result.window_start,
+                                             result.window_end, 50_ms);
+  const auto detection = core::detect_bottlenecks(
+      result.logs[static_cast<std::size_t>(db0)], spec,
+      tables[static_cast<std::size_t>(db0)]);
+  EXPECT_EQ(detection.states.size(), spec.count);
+  EXPECT_GT(detection.nstar.tp_max, 0.0);
+}
+
+}  // namespace
+}  // namespace tbd

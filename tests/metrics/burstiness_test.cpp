@@ -1,0 +1,117 @@
+#include "metrics/burstiness.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tbd::metrics {
+namespace {
+
+using namespace tbd::literals;
+
+std::vector<TimePoint> poisson_arrivals(double rate_per_s, double horizon_s,
+                                        std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<TimePoint> arrivals;
+  double t = 0.0;
+  while (t < horizon_s * 1e6) {
+    t += rng.exponential(1e6 / rate_per_s);
+    arrivals.push_back(TimePoint::from_micros(static_cast<std::int64_t>(t)));
+  }
+  return arrivals;
+}
+
+TEST(BurstinessTest, PoissonHasUnitDispersion) {
+  const auto arrivals = poisson_arrivals(500.0, 60.0, 1);
+  for (const Duration w : {50_ms, 200_ms, 1_s}) {
+    const double idc = index_of_dispersion(arrivals, TimePoint::origin(),
+                                           TimePoint::origin() + 60_s, w);
+    EXPECT_NEAR(idc, 1.0, 0.35) << w.to_string();
+  }
+}
+
+TEST(BurstinessTest, OnOffProcessIsOverdispersed) {
+  // 500ms ON at 1000/s, 500ms OFF: batchy at scales >= the phase length.
+  Rng rng{2};
+  std::vector<TimePoint> arrivals;
+  for (int cycle = 0; cycle < 60; ++cycle) {
+    const double base = cycle * 1e6;
+    double t = 0.0;
+    while (t < 0.5e6) {
+      t += rng.exponential(1000.0);
+      arrivals.push_back(
+          TimePoint::from_micros(static_cast<std::int64_t>(base + t)));
+    }
+  }
+  const double idc_small = index_of_dispersion(
+      arrivals, TimePoint::origin(), TimePoint::origin() + 60_s, 10_ms);
+  const double idc_large = index_of_dispersion(
+      arrivals, TimePoint::origin(), TimePoint::origin() + 60_s, 500_ms);
+  EXPECT_GT(idc_large, 20.0);
+  EXPECT_GT(idc_large, idc_small * 3.0);  // dispersion grows with scale
+}
+
+TEST(BurstinessTest, DeterministicArrivalsAreUnderdispersed) {
+  std::vector<TimePoint> arrivals;
+  for (int i = 0; i < 30'000; ++i) {
+    arrivals.push_back(TimePoint::from_micros(i * 2000));  // exactly 500/s
+  }
+  const double idc = index_of_dispersion(arrivals, TimePoint::origin(),
+                                         TimePoint::origin() + 60_s, 100_ms);
+  EXPECT_LT(idc, 0.1);
+}
+
+TEST(BurstinessTest, DispersionCurveMatchesPointQueries) {
+  const auto arrivals = poisson_arrivals(200.0, 30.0, 3);
+  const std::vector<Duration> windows{20_ms, 100_ms, 1_s};
+  const auto curve = dispersion_curve(arrivals, TimePoint::origin(),
+                                      TimePoint::origin() + 30_s, windows);
+  ASSERT_EQ(curve.size(), 3u);
+  for (const auto& point : curve) {
+    EXPECT_DOUBLE_EQ(point.idc,
+                     index_of_dispersion(arrivals, TimePoint::origin(),
+                                         TimePoint::origin() + 30_s,
+                                         point.window));
+  }
+}
+
+TEST(BurstinessTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(index_of_dispersion({}, TimePoint::origin(),
+                                       TimePoint::origin() + 1_s, 100_ms),
+                   0.0);
+  const std::vector<TimePoint> one{TimePoint::from_micros(10)};
+  // Window longer than the range: fewer than two windows.
+  EXPECT_DOUBLE_EQ(index_of_dispersion(one, TimePoint::origin(),
+                                       TimePoint::origin() + 1_s, 1_s),
+                   0.0);
+}
+
+TEST(InterarrivalScvTest, ExponentialIsOne) {
+  const auto arrivals = poisson_arrivals(1000.0, 30.0, 4);
+  EXPECT_NEAR(interarrival_scv(arrivals, TimePoint::origin(),
+                               TimePoint::origin() + 30_s),
+              1.0, 0.15);
+}
+
+TEST(InterarrivalScvTest, DeterministicIsZero) {
+  std::vector<TimePoint> arrivals;
+  for (int i = 0; i < 1000; ++i) {
+    arrivals.push_back(TimePoint::from_micros(i * 1000));
+  }
+  EXPECT_NEAR(interarrival_scv(arrivals, TimePoint::origin(),
+                               TimePoint::origin() + 1_s),
+              0.0, 1e-9);
+}
+
+TEST(InterarrivalScvTest, UnsortedInputHandled) {
+  std::vector<TimePoint> arrivals{TimePoint::from_micros(3000),
+                                  TimePoint::from_micros(1000),
+                                  TimePoint::from_micros(2000),
+                                  TimePoint::from_micros(4000)};
+  EXPECT_NEAR(interarrival_scv(arrivals, TimePoint::origin(),
+                               TimePoint::origin() + 1_s),
+              0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tbd::metrics

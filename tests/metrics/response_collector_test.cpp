@@ -1,0 +1,91 @@
+#include "metrics/response_collector.h"
+
+#include <gtest/gtest.h>
+
+namespace tbd::metrics {
+namespace {
+
+using namespace tbd::literals;
+
+PageSample page(std::int64_t completed_ms, double rt_s,
+                std::uint32_t cls = 0) {
+  PageSample p;
+  p.completed = TimePoint::origin() + Duration::millis(completed_ms);
+  p.response_time = Duration::from_seconds_f(rt_s);
+  p.class_id = cls;
+  return p;
+}
+
+TEST(ResponseCollectorTest, WindowFiltersByCompletionTime) {
+  ResponseCollector c;
+  c.record(page(500, 0.1));
+  c.record(page(1500, 0.2));
+  c.record(page(2500, 0.3));
+  const auto w = c.window(TimePoint::origin() + 1_s, TimePoint::origin() + 2_s);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0].response_time.seconds_f(), 0.2);
+}
+
+TEST(ResponseCollectorTest, MeanAndThroughput) {
+  ResponseCollector c;
+  c.record(page(100, 0.1));
+  c.record(page(200, 0.3));
+  c.record(page(5000, 9.0));  // outside window
+  const auto t0 = TimePoint::origin();
+  const auto t1 = t0 + 1_s;
+  EXPECT_DOUBLE_EQ(c.mean_rt_seconds(t0, t1), 0.2);
+  EXPECT_DOUBLE_EQ(c.throughput(t0, t1), 2.0);
+}
+
+TEST(ResponseCollectorTest, FractionAbove) {
+  ResponseCollector c;
+  for (int i = 0; i < 8; ++i) c.record(page(i * 10, 0.5));
+  c.record(page(100, 2.5));
+  c.record(page(110, 3.5));
+  EXPECT_DOUBLE_EQ(
+      c.fraction_above(TimePoint::origin(), TimePoint::origin() + 1_s, 2_s),
+      0.2);
+}
+
+TEST(ResponseCollectorTest, QuantileOverWindow) {
+  ResponseCollector c;
+  for (int i = 1; i <= 100; ++i) c.record(page(i, 0.01 * i));
+  const double p99 =
+      c.rt_quantile(TimePoint::origin(), TimePoint::origin() + 1_s, 0.99);
+  EXPECT_NEAR(p99, 0.99, 0.011);
+}
+
+TEST(ResponseCollectorTest, IntervalMeanRtLeavesGapsAtZero) {
+  ResponseCollector c;
+  c.record(page(25, 0.2));
+  c.record(page(30, 0.4));
+  c.record(page(125, 1.0));
+  const auto series = c.interval_mean_rt(TimePoint::origin(),
+                                         TimePoint::origin() + 150_ms, 50_ms);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0], 0.3);
+  EXPECT_DOUBLE_EQ(series[1], 0.0);  // no completions in [50,100)
+  EXPECT_DOUBLE_EQ(series[2], 1.0);
+}
+
+TEST(ResponseCollectorTest, HistogramUsesProvidedEdges) {
+  ResponseCollector c;
+  c.record(page(10, 0.05));
+  c.record(page(20, 0.3));
+  c.record(page(30, 3.6));
+  const std::vector<double> edges{0.0, 0.1, 0.5, 3.5, 100.0};
+  const auto counts =
+      c.rt_histogram(TimePoint::origin(), TimePoint::origin() + 1_s, edges);
+  EXPECT_EQ(counts, (std::vector<std::size_t>{1, 1, 0, 1}));
+}
+
+TEST(ResponseCollectorTest, EmptyWindowsAreSafe) {
+  ResponseCollector c;
+  EXPECT_DOUBLE_EQ(c.mean_rt_seconds(TimePoint::origin(), TimePoint::origin() + 1_s), 0.0);
+  EXPECT_DOUBLE_EQ(c.throughput(TimePoint::origin(), TimePoint::origin()), 0.0);
+  EXPECT_DOUBLE_EQ(
+      c.fraction_above(TimePoint::origin(), TimePoint::origin() + 1_s, 1_s), 0.0);
+}
+
+}  // namespace
+}  // namespace tbd::metrics

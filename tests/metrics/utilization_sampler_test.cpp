@@ -1,0 +1,71 @@
+#include "metrics/utilization_sampler.h"
+
+#include <gtest/gtest.h>
+
+namespace tbd::metrics {
+namespace {
+
+using namespace tbd::literals;
+
+TEST(UtilizationSamplerTest, TracksBusyFraction) {
+  sim::Engine engine;
+  ntier::Topology topo{engine, ntier::paper_topology()};
+  UtilizationSampler sampler{engine, topo, 1_s};
+  // Keep app1 (1 core) busy 30% of each second: 300ms of work per second.
+  auto& app1 = topo.server(ntier::TierKind::kApp, 0);
+  for (int s = 0; s < 3; ++s) {
+    engine.schedule_at(TimePoint::origin() + Duration::seconds(s),
+                       [&app1] { app1.compute(300'000.0, [] {}); });
+  }
+  engine.run_until(TimePoint::origin() + 3_s);
+  const auto idx = topo.server_index(ntier::TierKind::kApp, 0);
+  const auto& series = sampler.series(idx);
+  ASSERT_EQ(series.size(), 3u);
+  for (double u : series) EXPECT_NEAR(u, 0.3, 0.01);
+  // Idle server reads zero.
+  const auto web = topo.server_index(ntier::TierKind::kWeb, 0);
+  for (double u : sampler.series(web)) EXPECT_DOUBLE_EQ(u, 0.0);
+}
+
+TEST(UtilizationSamplerTest, MultiCoreNormalization) {
+  sim::Engine engine;
+  ntier::Topology topo{engine, ntier::paper_topology()};
+  UtilizationSampler sampler{engine, topo, 1_s};
+  // web has 2 cores; one job of 1s of work => 50% utilization.
+  topo.server(ntier::TierKind::kWeb, 0).compute(1'000'000.0, [] {});
+  engine.run_until(TimePoint::origin() + 1_s);
+  const auto web = topo.server_index(ntier::TierKind::kWeb, 0);
+  ASSERT_EQ(sampler.series(web).size(), 1u);
+  EXPECT_NEAR(sampler.series(web)[0], 0.5, 0.01);
+}
+
+TEST(UtilizationSamplerTest, MeanUtilOverWindow) {
+  sim::Engine engine;
+  ntier::Topology topo{engine, ntier::paper_topology()};
+  UtilizationSampler sampler{engine, topo, 1_s};
+  auto& db = topo.server(ntier::TierKind::kDb, 0);
+  // 100% busy in second 0, idle in seconds 1-2.
+  db.compute(1'000'000.0, [] {});
+  engine.run_until(TimePoint::origin() + 3_s);
+  const auto idx = topo.server_index(ntier::TierKind::kDb, 0);
+  EXPECT_NEAR(sampler.mean_util(idx, TimePoint::origin(),
+                                TimePoint::origin() + 3_s),
+              1.0 / 3.0, 0.01);
+  EXPECT_NEAR(sampler.mean_util(idx, TimePoint::origin() + 1_s,
+                                TimePoint::origin() + 3_s),
+              0.0, 0.01);
+}
+
+TEST(UtilizationSamplerTest, EsxtopGranularity) {
+  sim::Engine engine;
+  ntier::Topology topo{engine, ntier::paper_topology()};
+  UtilizationSampler sampler{engine, topo, 2_s};  // esxtop samples at 2s
+  topo.server(ntier::TierKind::kMw, 0).compute(800'000.0, [] {});
+  engine.run_until(TimePoint::origin() + 4_s);
+  const auto idx = topo.server_index(ntier::TierKind::kMw, 0);
+  ASSERT_EQ(sampler.series(idx).size(), 2u);
+  EXPECT_NEAR(sampler.series(idx)[0], 0.2, 0.01);  // 0.8s / (2s * 2 cores)
+}
+
+}  // namespace
+}  // namespace tbd::metrics

@@ -1,0 +1,248 @@
+// Physics of the processor-sharing server model: completion timing under
+// sharing, pauses (GC), clock scaling (SpeedStep), background load, thread
+// admission, and utilization accounting.
+#include "ntier/server.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tbd::ntier {
+namespace {
+
+using namespace tbd::literals;
+using sim::Engine;
+
+Server::Config one_core(int threads = 10, int backlog = -1) {
+  Server::Config cfg;
+  cfg.name = "s";
+  cfg.cores = 1;
+  cfg.worker_threads = threads;
+  cfg.accept_backlog = backlog;
+  return cfg;
+}
+
+TEST(ServerTest, SingleJobTakesItsDemand) {
+  Engine engine;
+  Server server{engine, one_core()};
+  TimePoint done;
+  server.compute(1000.0, [&] { done = engine.now(); });
+  engine.run_all();
+  EXPECT_EQ(done.micros(), 1000);
+}
+
+TEST(ServerTest, TwoJobsShareOneCore) {
+  Engine engine;
+  Server server{engine, one_core()};
+  TimePoint d1, d2;
+  server.compute(1000.0, [&] { d1 = engine.now(); });
+  server.compute(1000.0, [&] { d2 = engine.now(); });
+  engine.run_all();
+  // Equal demands, equal shares: both complete at ~2000us.
+  EXPECT_NEAR(d1.micros(), 2000, 2);
+  EXPECT_NEAR(d2.micros(), 2000, 2);
+}
+
+TEST(ServerTest, TwoJobsOnTwoCoresRunInParallel) {
+  Engine engine;
+  auto cfg = one_core();
+  cfg.cores = 2;
+  Server server{engine, cfg};
+  TimePoint d1, d2;
+  server.compute(1000.0, [&] { d1 = engine.now(); });
+  server.compute(1000.0, [&] { d2 = engine.now(); });
+  engine.run_all();
+  EXPECT_NEAR(d1.micros(), 1000, 2);
+  EXPECT_NEAR(d2.micros(), 1000, 2);
+}
+
+TEST(ServerTest, ShortJobFinishesFirstUnderSharing) {
+  Engine engine;
+  Server server{engine, one_core()};
+  TimePoint d_short, d_long;
+  server.compute(300.0, [&] { d_short = engine.now(); });
+  server.compute(1000.0, [&] { d_long = engine.now(); });
+  engine.run_all();
+  // Short job: shares until it has 300 done => 600us wall. Long job then
+  // runs alone: 300 done at 600, 700 remaining => 1300us wall.
+  EXPECT_NEAR(d_short.micros(), 600, 2);
+  EXPECT_NEAR(d_long.micros(), 1300, 3);
+}
+
+TEST(ServerTest, LateArrivalSharesRemainder) {
+  Engine engine;
+  Server server{engine, one_core()};
+  TimePoint d1, d2;
+  server.compute(1000.0, [&] { d1 = engine.now(); });
+  engine.schedule_at(TimePoint::from_micros(500), [&] {
+    server.compute(1000.0, [&] { d2 = engine.now(); });
+  });
+  engine.run_all();
+  // Job1: 500 done alone, 500 left shared (x2) => done at 1500.
+  // Job2: 500 shared (arrives 500, runs x2 until 1500) then alone 500 => 2000.
+  EXPECT_NEAR(d1.micros(), 1500, 3);
+  EXPECT_NEAR(d2.micros(), 2000, 3);
+}
+
+TEST(ServerTest, PauseFreezesProgress) {
+  Engine engine;
+  Server server{engine, one_core()};
+  TimePoint done;
+  server.compute(1000.0, [&] { done = engine.now(); });
+  engine.schedule_at(TimePoint::from_micros(400), [&] { server.pause(); });
+  engine.schedule_at(TimePoint::from_micros(700), [&] { server.resume(); });
+  engine.run_all();
+  EXPECT_NEAR(done.micros(), 1300, 2);  // 1000 of work + 300 frozen
+}
+
+TEST(ServerTest, ArrivalsDuringPauseWaitForResume) {
+  Engine engine;
+  Server server{engine, one_core()};
+  server.pause();
+  TimePoint done;
+  server.compute(500.0, [&] { done = engine.now(); });
+  engine.schedule_at(TimePoint::from_micros(2000), [&] { server.resume(); });
+  engine.run_all();
+  EXPECT_NEAR(done.micros(), 2500, 2);
+}
+
+TEST(ServerTest, HalfClockDoublesServiceTime) {
+  Engine engine;
+  Server server{engine, one_core()};
+  server.set_clock_ratio(0.5);
+  TimePoint done;
+  server.compute(1000.0, [&] { done = engine.now(); });
+  engine.run_all();
+  EXPECT_NEAR(done.micros(), 2000, 2);
+}
+
+TEST(ServerTest, MidFlightClockChangeSplitsLinearly) {
+  Engine engine;
+  Server server{engine, one_core()};
+  TimePoint done;
+  server.compute(1000.0, [&] { done = engine.now(); });
+  // 600us at full clock (600 done), then half clock: 400 left => 800us more.
+  engine.schedule_at(TimePoint::from_micros(600),
+                     [&] { server.set_clock_ratio(0.5); });
+  engine.run_all();
+  EXPECT_NEAR(done.micros(), 1400, 3);
+}
+
+TEST(ServerTest, BackgroundCoresStealCapacity) {
+  Engine engine;
+  auto cfg = one_core();
+  cfg.cores = 2;
+  Server server{engine, cfg};
+  server.set_background_cores(1.0);  // one of two cores gone
+  TimePoint d1, d2;
+  server.compute(1000.0, [&] { d1 = engine.now(); });
+  server.compute(1000.0, [&] { d2 = engine.now(); });
+  engine.run_all();
+  // Two jobs share the single remaining core.
+  EXPECT_NEAR(d1.micros(), 2000, 3);
+  EXPECT_NEAR(d2.micros(), 2000, 3);
+}
+
+TEST(ServerTest, BusyTimeTracksWork) {
+  Engine engine;
+  Server server{engine, one_core()};
+  server.compute(1000.0, [] {});
+  engine.run_until(TimePoint::from_micros(5000));
+  EXPECT_NEAR(server.busy_core_micros(), 1000.0, 2.0);
+}
+
+TEST(ServerTest, BusyTimeDuringPauseCountsPauseBusyCores) {
+  Engine engine;
+  auto cfg = one_core();
+  cfg.pause_busy_cores = 1.0;
+  Server server{engine, cfg};
+  server.pause();
+  engine.run_until(TimePoint::from_micros(1000));
+  engine.schedule_at(TimePoint::from_micros(1000), [&] { server.resume(); });
+  engine.run_until(TimePoint::from_micros(2000));
+  EXPECT_NEAR(server.busy_core_micros(), 1000.0, 2.0);  // the GC burn
+}
+
+TEST(ServerTest, MultiCoreBusyTimeCapsAtCores) {
+  Engine engine;
+  auto cfg = one_core();
+  cfg.cores = 2;
+  Server server{engine, cfg};
+  for (int i = 0; i < 4; ++i) server.compute(1000.0, [] {});
+  engine.run_until(TimePoint::from_micros(10'000));
+  // 4000us of work on 2 cores: busy 2 cores for 2000us.
+  EXPECT_NEAR(server.busy_core_micros(), 4000.0, 4.0);
+  EXPECT_EQ(server.jobs_completed(), 4u);
+}
+
+TEST(ServerTest, AdmitRunsWhenThreadFree) {
+  Engine engine;
+  Server server{engine, one_core(1)};
+  bool ran = false;
+  EXPECT_TRUE(server.admit([&] { ran = true; }));
+  engine.run_all();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(server.threads_in_use(), 1);
+}
+
+TEST(ServerTest, AdmitQueuesWhenThreadsBusy) {
+  Engine engine;
+  Server server{engine, one_core(1)};
+  int order = 0;
+  int first = 0, second = 0;
+  server.admit([&] { first = ++order; });
+  server.admit([&] { second = ++order; });
+  engine.run_all();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 0);  // still queued
+  EXPECT_EQ(server.admission_queue(), 1);
+  server.release_thread();
+  engine.run_all();
+  EXPECT_EQ(second, 2);
+}
+
+TEST(ServerTest, AdmitRejectsWhenBacklogFull) {
+  Engine engine;
+  Server server{engine, one_core(1, /*backlog=*/1)};
+  server.admit([] {});
+  EXPECT_TRUE(server.admit([] {}));   // fills the backlog
+  EXPECT_FALSE(server.admit([] {}));  // dropped (SYN drop)
+  engine.run_all();
+  EXPECT_EQ(server.admissions_rejected(), 1u);
+}
+
+TEST(ServerTest, EqualDemandsCompleteFifo) {
+  Engine engine;
+  Server server{engine, one_core()};
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    server.compute(100.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ServerTest, ZeroDemandCompletesImmediately) {
+  Engine engine;
+  Server server{engine, one_core()};
+  TimePoint done = TimePoint::max();
+  engine.schedule_at(TimePoint::from_micros(50), [&] {
+    server.compute(0.0, [&] { done = engine.now(); });
+  });
+  engine.run_all();
+  EXPECT_EQ(done.micros(), 50);
+}
+
+TEST(ServerTest, CallbackCanChainCompute) {
+  Engine engine;
+  Server server{engine, one_core()};
+  TimePoint done;
+  server.compute(100.0, [&] {
+    server.compute(200.0, [&] { done = engine.now(); });
+  });
+  engine.run_all();
+  EXPECT_NEAR(done.micros(), 300, 2);
+}
+
+}  // namespace
+}  // namespace tbd::ntier

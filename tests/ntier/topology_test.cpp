@@ -1,0 +1,87 @@
+#include "ntier/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace tbd::ntier {
+namespace {
+
+TEST(TopologyTest, PaperTopologyIs1L2S1L2S) {
+  sim::Engine engine;
+  Topology topo{engine, paper_topology()};
+  EXPECT_EQ(topo.tier_size(TierKind::kWeb), 1);
+  EXPECT_EQ(topo.tier_size(TierKind::kApp), 2);
+  EXPECT_EQ(topo.tier_size(TierKind::kMw), 1);
+  EXPECT_EQ(topo.tier_size(TierKind::kDb), 2);
+  EXPECT_EQ(topo.total_servers(), 6u);
+  // L = 2 cores, S = 1 core.
+  EXPECT_EQ(topo.server(TierKind::kWeb, 0).cores(), 2);
+  EXPECT_EQ(topo.server(TierKind::kApp, 0).cores(), 1);
+  EXPECT_EQ(topo.server(TierKind::kMw, 0).cores(), 2);
+  EXPECT_EQ(topo.server(TierKind::kDb, 1).cores(), 1);
+}
+
+TEST(TopologyTest, ServerIndicesAreDenseAndOrdered) {
+  sim::Engine engine;
+  Topology topo{engine, paper_topology()};
+  EXPECT_EQ(topo.server_index(TierKind::kWeb, 0), 0u);
+  EXPECT_EQ(topo.server_index(TierKind::kApp, 0), 1u);
+  EXPECT_EQ(topo.server_index(TierKind::kApp, 1), 2u);
+  EXPECT_EQ(topo.server_index(TierKind::kMw, 0), 3u);
+  EXPECT_EQ(topo.server_index(TierKind::kDb, 0), 4u);
+  EXPECT_EQ(topo.server_index(TierKind::kDb, 1), 5u);
+  // Node ids offset by one (client = 0).
+  EXPECT_EQ(topo.node_id(TierKind::kWeb, 0), 1u);
+  EXPECT_EQ(topo.node_id(TierKind::kDb, 1), 6u);
+}
+
+TEST(TopologyTest, ReplicatedServersGetNumberedNames) {
+  sim::Engine engine;
+  Topology topo{engine, paper_topology()};
+  EXPECT_EQ(topo.server(TierKind::kWeb, 0).name(), "web");
+  EXPECT_EQ(topo.server(TierKind::kApp, 0).name(), "app1");
+  EXPECT_EQ(topo.server(TierKind::kApp, 1).name(), "app2");
+  EXPECT_EQ(topo.server(TierKind::kDb, 1).name(), "db2");
+}
+
+TEST(TopologyTest, PoolConnIdsAreDisjointAcrossServers) {
+  sim::Engine engine;
+  Topology topo{engine, paper_topology()};
+  const auto a0 = topo.pool_conn_id(TierKind::kApp, 0, 0);
+  const auto a1 = topo.pool_conn_id(TierKind::kApp, 1, 0);
+  const auto d0 = topo.pool_conn_id(TierKind::kDb, 0, 0);
+  EXPECT_NE(a0, a1);
+  EXPECT_NE(a0, d0);
+  // All pool ids live above the ephemeral client-connection region.
+  EXPECT_GE(a0, 1u << 16);
+  // Token offsets stay within a server's block.
+  EXPECT_EQ(topo.pool_conn_id(TierKind::kApp, 0, 5), a0 + 5);
+}
+
+TEST(TopologyTest, RoundRobinCyclesThroughTier) {
+  sim::Engine engine;
+  Topology topo{engine, paper_topology()};
+  EXPECT_EQ(topo.pick_round_robin(TierKind::kApp), 0);
+  EXPECT_EQ(topo.pick_round_robin(TierKind::kApp), 1);
+  EXPECT_EQ(topo.pick_round_robin(TierKind::kApp), 0);
+  // Single-server tier always picks 0.
+  EXPECT_EQ(topo.pick_round_robin(TierKind::kWeb), 0);
+  EXPECT_EQ(topo.pick_round_robin(TierKind::kWeb), 0);
+}
+
+TEST(TopologyTest, LeastConnectionsPrefersIdleReplica) {
+  sim::Engine engine;
+  Topology topo{engine, paper_topology()};
+  // Check out a connection on db1; the next least-conn pick must be db2.
+  topo.inbound_pool(TierKind::kDb, 0).acquire([](int) {});
+  engine.run_all();
+  EXPECT_EQ(topo.pick_least_connections(TierKind::kDb), 1);
+}
+
+TEST(TopologyTest, LeastConnectionsTieBreaksLowestIndex) {
+  sim::Engine engine;
+  Topology topo{engine, paper_topology()};
+  EXPECT_EQ(topo.pick_least_connections(TierKind::kDb), 0);
+}
+
+}  // namespace
+}  // namespace tbd::ntier

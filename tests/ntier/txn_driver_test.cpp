@@ -1,0 +1,256 @@
+// Transaction-flow correctness: message sequences on the wire, per-server
+// visit records, retransmission behaviour, and ground-truth ids.
+#include "ntier/txn_driver.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/sink.h"
+
+namespace tbd::ntier {
+namespace {
+
+using namespace tbd::literals;
+using trace::MessageKind;
+
+struct World {
+  sim::Engine engine;
+  TopologyConfig topo_cfg;
+  std::unique_ptr<Topology> topology;
+  std::unique_ptr<trace::TraceSink> sink;
+  std::unique_ptr<TxnDriver> driver;
+
+  explicit World(RequestClassList classes, int web_threads = 10,
+                 int web_backlog = -1) {
+    topo_cfg = paper_topology();
+    topo_cfg.web.server.worker_threads = web_threads;
+    topo_cfg.web.server.accept_backlog = web_backlog;
+    topology = std::make_unique<Topology>(engine, topo_cfg);
+    sink = std::make_unique<trace::TraceSink>(topology->total_servers(),
+                                              /*record_messages=*/true);
+    TxnDriver::Config driver_cfg;
+    driver_cfg.demand_cv = 0.0;  // deterministic service demands
+    driver = std::make_unique<TxnDriver>(engine, *topology, std::move(classes),
+                                         *sink, Rng{1}, driver_cfg);
+  }
+};
+
+RequestClassList one_class(int queries) {
+  RequestClass c;
+  c.name = "test";
+  c.weight = 1.0;
+  c.web_demand_us = 100.0;
+  c.app_demand_us = 300.0;
+  c.db_queries = queries;
+  c.mw_demand_us = 50.0;
+  c.db_demand_us = 80.0;
+  return {c};
+}
+
+TEST(TxnDriverTest, CompletesWithExpectedResponseTime) {
+  World w{one_class(2)};
+  TxnDriver::PageResult result;
+  bool done = false;
+  w.driver->start(0, [&](const TxnDriver::PageResult& r) {
+    result = r;
+    done = true;
+  });
+  w.engine.run_all();
+  ASSERT_TRUE(done);
+  // Compute: web 100 + app 300 + 2*(mw 50 + db 80) = 660us.
+  // Network: client->web->app + 2*(app->mw->db->mw->app) + app->web->client
+  //        = 2 + 2*4 + 2 = 12 hops * 150us = 1800us.
+  EXPECT_NEAR(result.response_time.micros(), 660 + 1800, 20);
+  EXPECT_EQ(result.retransmissions, 0);
+}
+
+TEST(TxnDriverTest, MessageSequenceMatchesFigure4) {
+  World w{one_class(1)};
+  w.driver->start(0, [](const TxnDriver::PageResult&) {});
+  w.engine.run_all();
+  const auto& msgs = w.sink->messages();
+  // client->web, web->app, app->mw, mw->db, db->mw, mw->app, app->web,
+  // web->client: 8 messages for a single-query page.
+  ASSERT_EQ(msgs.size(), 8u);
+  const std::pair<trace::NodeId, trace::NodeId> expected[] = {
+      {0, 1}, {1, 2}, {2, 4}, {4, 5}, {5, 4}, {4, 2}, {2, 1}, {1, 0}};
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(msgs[i].src, expected[i].first) << "message " << i;
+    EXPECT_EQ(msgs[i].dst, expected[i].second) << "message " << i;
+    EXPECT_EQ(msgs[i].kind,
+              i < 4 ? MessageKind::kRequest : MessageKind::kResponse)
+        << "message " << i;
+  }
+  // Timestamps strictly ordered along the chain.
+  for (std::size_t i = 1; i < 8; ++i) {
+    EXPECT_GT(msgs[i].at.micros(), msgs[i - 1].at.micros());
+  }
+}
+
+TEST(TxnDriverTest, VisitRecordsOnEveryTier) {
+  World w{one_class(3)};
+  w.driver->start(0, [](const TxnDriver::PageResult&) {});
+  w.engine.run_all();
+  EXPECT_EQ(w.sink->server_log(0).size(), 1u);  // web
+  // Round robin sends the single page to app1.
+  EXPECT_EQ(w.sink->server_log(1).size(), 1u);
+  EXPECT_EQ(w.sink->server_log(2).size(), 0u);
+  EXPECT_EQ(w.sink->server_log(3).size(), 3u);  // mw: one visit per query
+  // 3 queries across 2 db replicas.
+  EXPECT_EQ(w.sink->server_log(4).size() + w.sink->server_log(5).size(), 3u);
+}
+
+TEST(TxnDriverTest, VisitNestingIsRecordedInGroundTruth) {
+  World w{one_class(1)};
+  w.driver->start(0, [](const TxnDriver::PageResult&) {});
+  w.engine.run_all();
+  const auto& msgs = w.sink->messages();
+  const auto& web_req = msgs[0];
+  const auto& app_req = msgs[1];
+  const auto& mw_req = msgs[2];
+  const auto& db_req = msgs[3];
+  EXPECT_EQ(web_req.parent_visit, 0u);
+  EXPECT_EQ(app_req.parent_visit, web_req.visit);
+  EXPECT_EQ(mw_req.parent_visit, app_req.visit);
+  EXPECT_EQ(db_req.parent_visit, mw_req.visit);
+}
+
+TEST(TxnDriverTest, ArrivalDepartureBracketServerWork) {
+  World w{one_class(1)};
+  w.driver->start(0, [](const TxnDriver::PageResult&) {});
+  w.engine.run_all();
+  for (trace::ServerIndex s = 0; s < 6; ++s) {
+    for (const auto& r : w.sink->server_log(s)) {
+      EXPECT_GT(r.departure.micros(), r.arrival.micros());
+    }
+  }
+  // The app visit contains the mw visit which contains the db visit.
+  const auto& app_rec = w.sink->server_log(1)[0];
+  const auto& mw_rec = w.sink->server_log(3)[0];
+  EXPECT_LT(app_rec.arrival.micros(), mw_rec.arrival.micros());
+  EXPECT_GT(app_rec.departure.micros(), mw_rec.departure.micros());
+}
+
+TEST(TxnDriverTest, ZeroQueryClassSkipsDbTiers) {
+  World w{one_class(0)};
+  w.driver->start(0, [](const TxnDriver::PageResult&) {});
+  w.engine.run_all();
+  EXPECT_EQ(w.sink->server_log(3).size(), 0u);
+  EXPECT_EQ(w.sink->server_log(4).size(), 0u);
+  EXPECT_EQ(w.sink->messages().size(), 4u);  // client<->web, web<->app
+}
+
+TEST(TxnDriverTest, RetransmissionAfterBacklogOverflow) {
+  // 1 thread, 0 backlog: the second concurrent page is dropped and retries
+  // after the 3s TCP timeout.
+  World w{one_class(0), /*web_threads=*/1, /*web_backlog=*/0};
+  std::vector<Duration> rts;
+  w.driver->start(0, [&](const TxnDriver::PageResult& r) {
+    rts.push_back(r.response_time);
+  });
+  w.driver->start(0, [&](const TxnDriver::PageResult& r) {
+    rts.push_back(r.response_time);
+  });
+  w.engine.run_all();
+  ASSERT_EQ(rts.size(), 2u);
+  EXPECT_LT(rts[0].millis_f(), 10.0);
+  EXPECT_GT(rts[1].seconds_f(), 3.0);  // one retransmission cycle
+  EXPECT_EQ(w.driver->retransmissions(), 1u);
+}
+
+TEST(TxnDriverTest, DroppedSynIsInvisibleToTracing) {
+  World w{one_class(0), 1, 0};
+  w.driver->start(0, [](const TxnDriver::PageResult&) {});
+  w.driver->start(0, [](const TxnDriver::PageResult&) {});
+  w.engine.run_all();
+  // Both pages completed => 8 messages; the dropped SYN added nothing.
+  EXPECT_EQ(w.sink->messages().size(), 8u);
+  EXPECT_EQ(w.sink->server_log(0).size(), 2u);
+}
+
+TEST(TxnDriverTest, RoundRobinAlternatesAppServers) {
+  World w{one_class(0)};
+  w.driver->start(0, [](const TxnDriver::PageResult&) {});
+  w.driver->start(0, [](const TxnDriver::PageResult&) {});
+  w.engine.run_all();
+  EXPECT_EQ(w.sink->server_log(1).size(), 1u);
+  EXPECT_EQ(w.sink->server_log(2).size(), 1u);
+}
+
+RequestClassList one_write_class(int reads, int writes) {
+  auto classes = one_class(reads);
+  classes[0].db_write_queries = writes;
+  classes[0].db_write_demand_us = 200.0;
+  classes[0].db_write_disk_us = 50.0;
+  return classes;
+}
+
+TEST(TxnDriverTest, WriteQueryBroadcastsToEveryReplica) {
+  World w{one_write_class(0, 1)};
+  w.driver->start(0, [](const TxnDriver::PageResult&) {});
+  w.engine.run_all();
+  // One write query = one visit on EACH of the two db replicas.
+  EXPECT_EQ(w.sink->server_log(4).size(), 1u);
+  EXPECT_EQ(w.sink->server_log(5).size(), 1u);
+  // And one mw visit for the broadcast.
+  EXPECT_EQ(w.sink->server_log(3).size(), 1u);
+}
+
+TEST(TxnDriverTest, WritesFollowReads) {
+  World w{one_write_class(2, 1)};
+  w.driver->start(0, [](const TxnDriver::PageResult&) {});
+  w.engine.run_all();
+  // 2 reads (one per replica via least-conn) + 1 write broadcast (2 visits):
+  EXPECT_EQ(w.sink->server_log(4).size() + w.sink->server_log(5).size(), 4u);
+  EXPECT_EQ(w.sink->server_log(3).size(), 3u);  // 2 reads + 1 write at mw
+  // The write visits are the LAST db visits of the transaction.
+  TimePoint last_read;
+  for (trace::ServerIndex s : {4u, 5u}) {
+    const auto& log = w.sink->server_log(s);
+    for (std::size_t i = 0; i + 1 < log.size(); ++i) {
+      last_read = std::max(last_read, log[i].arrival);
+    }
+  }
+  EXPECT_GT(w.sink->server_log(4).back().arrival.micros(), last_read.micros());
+}
+
+TEST(TxnDriverTest, WriteBroadcastIsSequentialAcrossReplicas) {
+  World w{one_write_class(0, 1)};
+  w.driver->start(0, [](const TxnDriver::PageResult&) {});
+  w.engine.run_all();
+  const auto& db1 = w.sink->server_log(4);
+  const auto& db2 = w.sink->server_log(5);
+  ASSERT_EQ(db1.size(), 1u);
+  ASSERT_EQ(db2.size(), 1u);
+  // Replica 2's write starts only after replica 1's completed (C-JDBC
+  // sequential broadcast keeps the one-outstanding-call-per-parent
+  // invariant that black-box reconstruction relies on).
+  EXPECT_GE(db2[0].arrival.micros(), db1[0].departure.micros());
+}
+
+TEST(TxnDriverTest, WriteResponseTimeIncludesBroadcast) {
+  World w{one_write_class(0, 2)};
+  TxnDriver::PageResult result;
+  w.driver->start(0, [&](const TxnDriver::PageResult& r) { result = r; });
+  w.engine.run_all();
+  // Compute: web 100 + app 300 + 2 writes * (mw 50 + 2 replicas * db 200).
+  // Hops: client->web->app (2) + per write (app->mw + 2*(mw->db + db->mw)
+  // + mw->app = 6) * 2 + app->web->client (2) = 16 messages * 150us.
+  EXPECT_NEAR(result.response_time.micros(), 100 + 300 + 2 * (50 + 400) + 16 * 150,
+              30);
+}
+
+TEST(TxnDriverTest, TxnIdsDistinctAndCarriedThrough) {
+  World w{one_class(2)};
+  w.driver->start(0, [](const TxnDriver::PageResult&) {});
+  w.driver->start(0, [](const TxnDriver::PageResult&) {});
+  w.engine.run_all();
+  const auto& web_log = w.sink->server_log(0);
+  ASSERT_EQ(web_log.size(), 2u);
+  EXPECT_NE(web_log[0].txn, web_log[1].txn);
+  for (const auto& m : w.sink->messages()) {
+    EXPECT_TRUE(m.txn == web_log[0].txn || m.txn == web_log[1].txn);
+  }
+}
+
+}  // namespace
+}  // namespace tbd::ntier

@@ -1,0 +1,286 @@
+// Property-based tests (parameterized sweeps) of the analysis pipeline's
+// invariants on randomized inputs:
+//
+//  P1  Load conservation: sum(load_i) * width == total clipped residence.
+//  P2  Throughput conservation: straightforward counts sum to the number of
+//      departures inside the grid, for every interval width.
+//  P3  Grid refinement: halving the interval width preserves both totals.
+//  P4  Work-unit invariance: total normalized units are independent of the
+//      interval width.
+//  P5  N* position tracks a known knee across knee positions and noise.
+//  P6  Classification monotonicity: raising N* can only reduce the number
+//      of congested intervals.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/detector.h"
+#include "core/streaming_detector.h"
+#include "util/rng.h"
+
+namespace tbd::core {
+namespace {
+
+using namespace tbd::literals;
+
+std::vector<trace::RequestRecord> random_log(Rng& rng, std::size_t n,
+                                             double horizon_us) {
+  std::vector<trace::RequestRecord> log;
+  log.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double at = rng.uniform(-0.1 * horizon_us, horizon_us);
+    const double service = rng.exponential(800.0);
+    trace::RequestRecord r;
+    r.server = 0;
+    r.class_id = static_cast<trace::ClassId>(rng.uniform_index(5));
+    r.arrival = TimePoint::from_micros(static_cast<std::int64_t>(at));
+    r.departure =
+        TimePoint::from_micros(static_cast<std::int64_t>(at + service));
+    log.push_back(r);
+  }
+  return log;
+}
+
+ServiceTimeTable table5() {
+  return ServiceTimeTable{{200.0, 400.0, 600.0, 800.0, 1000.0}};
+}
+
+// ---------------------------------------------------------------------------
+
+class GridWidthProperty : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(GridWidthProperty, LoadConservation) {
+  Rng rng{static_cast<std::uint64_t>(GetParam() * 17 + 1)};
+  const double horizon = 2e6;
+  const auto log = random_log(rng, 2000, horizon);
+  const auto spec = IntervalSpec::over(
+      TimePoint::origin(), TimePoint::from_micros(static_cast<std::int64_t>(horizon)),
+      Duration::micros(GetParam()));
+
+  const auto load = compute_load(log, spec);
+  double integral = 0.0;
+  for (double l : load) integral += l * static_cast<double>(spec.width.micros());
+
+  double residence = 0.0;
+  const auto grid_end = spec.end();
+  for (const auto& r : log) {
+    const auto a = std::max(r.arrival, spec.start);
+    const auto d = std::min(r.departure, grid_end);
+    if (d > a) residence += static_cast<double>((d - a).micros());
+  }
+  EXPECT_NEAR(integral, residence, residence * 1e-9 + 1e-6);
+}
+
+TEST_P(GridWidthProperty, ThroughputConservation) {
+  Rng rng{static_cast<std::uint64_t>(GetParam() * 31 + 2)};
+  const auto log = random_log(rng, 3000, 2e6);
+  const auto spec =
+      IntervalSpec::over(TimePoint::origin(), TimePoint::from_micros(2'000'000),
+                         Duration::micros(GetParam()));
+  ThroughputOptions opts;
+  opts.mode = ThroughputMode::kRequestsCompleted;
+  opts.per_second = false;
+  const auto tput = compute_throughput(log, spec, table5(), opts);
+  double total = 0.0;
+  for (double t : tput) total += t;
+
+  std::size_t departures = 0;
+  for (const auto& r : log) {
+    if (spec.contains(r.departure)) ++departures;
+  }
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(departures));
+}
+
+TEST_P(GridWidthProperty, WorkUnitTotalIndependentOfWidth) {
+  Rng rng{static_cast<std::uint64_t>(GetParam() * 13 + 3)};
+  const auto log = random_log(rng, 3000, 2e6);
+  ThroughputOptions opts;
+  opts.work_unit_us = 200.0;
+  opts.per_second = false;
+
+  auto total_units = [&](Duration width) {
+    const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                         TimePoint::from_micros(2'000'000), width);
+    const auto tput = compute_throughput(log, spec, table5(), opts);
+    double total = 0.0;
+    for (double t : tput) total += t;
+    return total;
+  };
+  // Both grids cover [0, 2s) exactly (widths divide the horizon).
+  EXPECT_DOUBLE_EQ(total_units(Duration::micros(GetParam())),
+                   total_units(Duration::micros(GetParam() / 2)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GridWidthProperty,
+                         ::testing::Values<std::int64_t>(20'000, 50'000,
+                                                         100'000, 250'000,
+                                                         500'000));
+
+// ---------------------------------------------------------------------------
+
+struct KneeCase {
+  double knee;
+  double noise_cv;
+};
+
+class NStarProperty : public ::testing::TestWithParam<KneeCase> {};
+
+TEST_P(NStarProperty, EstimateTracksTrueKnee) {
+  const auto [knee, noise] = GetParam();
+  Rng rng{static_cast<std::uint64_t>(knee * 100 + noise * 1000)};
+  std::vector<double> load, tput;
+  for (int i = 0; i < 6000; ++i) {
+    const double l = rng.uniform(0.0, knee * 4.0);
+    double t = std::min(l, knee) * 70.0;
+    if (noise > 0.0) t *= rng.gamma(1.0 / (noise * noise), noise * noise);
+    load.push_back(l);
+    tput.push_back(t);
+  }
+  const auto result = estimate_congestion_point(load, tput);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.n_star, knee, std::max(1.5, knee * 0.35));
+  EXPECT_NEAR(result.tp_max, knee * 70.0, knee * 70.0 * (0.05 + noise));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knees, NStarProperty,
+    ::testing::Values(KneeCase{4.0, 0.0}, KneeCase{4.0, 0.1},
+                      KneeCase{10.0, 0.0}, KneeCase{10.0, 0.15},
+                      KneeCase{25.0, 0.1}, KneeCase{60.0, 0.2}));
+
+// ---------------------------------------------------------------------------
+
+class ClassifierProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClassifierProperty, CongestionMonotoneInNStar) {
+  Rng rng{99};
+  std::vector<double> load, tput;
+  for (int i = 0; i < 2000; ++i) {
+    load.push_back(rng.uniform(0.0, 50.0));
+    tput.push_back(rng.uniform(0.0, 1000.0));
+  }
+  NStarResult low;
+  low.n_star = GetParam();
+  low.tp_max = 1000.0;
+  NStarResult high = low;
+  high.n_star = GetParam() * 1.5;
+
+  auto count = [&](const NStarResult& n) {
+    const auto states = classify_intervals(load, tput, n);
+    std::size_t c = 0;
+    for (auto s : states) {
+      if (s == IntervalState::kCongested || s == IntervalState::kFrozen) ++c;
+    }
+    return c;
+  };
+  EXPECT_GE(count(low), count(high));
+}
+
+INSTANTIATE_TEST_SUITE_P(NStars, ClassifierProperty,
+                         ::testing::Values(5.0, 10.0, 20.0, 30.0));
+
+// ---------------------------------------------------------------------------
+
+class EpisodeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EpisodeProperty, EpisodesPartitionCongestedIntervals) {
+  Rng rng{GetParam()};
+  IntervalSpec spec;
+  spec.start = TimePoint::origin();
+  spec.width = 50_ms;
+  spec.count = 500;
+  std::vector<IntervalState> states;
+  std::vector<double> load;
+  std::size_t congested = 0;
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    const double u = rng.uniform01();
+    if (u < 0.15) {
+      states.push_back(IntervalState::kCongested);
+      ++congested;
+    } else if (u < 0.2) {
+      states.push_back(IntervalState::kFrozen);
+      ++congested;
+    } else if (u < 0.3) {
+      states.push_back(IntervalState::kIdle);
+    } else {
+      states.push_back(IntervalState::kNormal);
+    }
+    load.push_back(rng.uniform(0.0, 40.0));
+  }
+  const auto episodes = extract_episodes(states, load, spec);
+  // Total episode time equals congested interval count; episodes disjoint
+  // and ordered.
+  std::int64_t covered = 0;
+  for (std::size_t e = 0; e < episodes.size(); ++e) {
+    covered += episodes[e].duration.micros() / spec.width.micros();
+    if (e > 0) {
+      EXPECT_GE(episodes[e].start.micros(),
+                (episodes[e - 1].start + episodes[e - 1].duration).micros() +
+                    spec.width.micros());
+    }
+  }
+  EXPECT_EQ(covered, static_cast<std::int64_t>(congested));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpisodeProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------------
+
+class StreamBatchParity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamBatchParity, StreamingMatchesBatchOnRandomLogs) {
+  // P7: the online detector, fed departure-ordered records with ample lag,
+  // must seal exactly the loads, throughputs, and states the batch pipeline
+  // computes.
+  Rng rng{GetParam() * 7919 + 13};
+  const double horizon_us = 5e6;
+  auto log = random_log(rng, 4000, horizon_us);
+  std::sort(log.begin(), log.end(),
+            [](const trace::RequestRecord& a, const trace::RequestRecord& b) {
+              return a.departure < b.departure;
+            });
+  // Keep only records inside the grid (the streaming detector drops
+  // pre-start arrivals' head residence by design).
+  std::vector<trace::RequestRecord> in_range;
+  for (const auto& r : log) {
+    if (r.arrival >= TimePoint::origin() &&
+        r.departure < TimePoint::from_micros(static_cast<std::int64_t>(horizon_us))) {
+      in_range.push_back(r);
+    }
+  }
+
+  const auto spec = IntervalSpec::over(
+      TimePoint::origin(), TimePoint::from_micros(static_cast<std::int64_t>(horizon_us)),
+      50_ms);
+  const auto table = table5();
+  const auto batch = detect_bottlenecks(in_range, spec, table);
+
+  StreamingDetector::Config cfg;
+  cfg.width = 50_ms;
+  cfg.lag = Duration::seconds(60);  // never seals early
+  StreamingDetector stream{TimePoint::origin(), cfg, batch.nstar, table};
+  std::vector<double> s_load, s_tput;
+  std::vector<IntervalState> s_states;
+  stream.on_interval([&](std::size_t, double l, double t, IntervalState s) {
+    s_load.push_back(l);
+    s_tput.push_back(t);
+    s_states.push_back(s);
+  });
+  for (const auto& r : in_range) stream.push(r);
+  stream.finish();
+
+  ASSERT_GE(s_load.size(), batch.load.size());
+  for (std::size_t i = 0; i < batch.load.size(); ++i) {
+    EXPECT_NEAR(s_load[i], batch.load[i], 1e-9) << "interval " << i;
+    EXPECT_NEAR(s_tput[i], batch.throughput[i], 1e-9) << "interval " << i;
+    EXPECT_EQ(s_states[i], batch.states[i]) << "interval " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamBatchParity,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace tbd::core

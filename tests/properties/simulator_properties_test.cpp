@@ -1,0 +1,177 @@
+// Property-based tests of the simulation substrate:
+//
+//  P1  Work conservation in the PS server: total busy core-time equals total
+//      demand, for random job sets, any core count and clock.
+//  P2  Completion-order sanity: under pure PS with simultaneous arrivals,
+//      jobs complete in demand order.
+//  P3  Closed-loop flow balance: pages started == pages completed + in
+//      flight at any stopping point of a full experiment.
+//  P4  Trace well-formedness over random workloads: every visit nests
+//      strictly inside its parent window (one-way latency accounted).
+//  P5  Reconstruction accuracy stays high across concurrency levels.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "app/experiment.h"
+#include "ntier/server.h"
+#include "trace/reconstructor.h"
+#include "util/rng.h"
+
+namespace tbd {
+namespace {
+
+using namespace tbd::literals;
+
+struct PsCase {
+  int cores;
+  double clock;
+  int jobs;
+};
+
+class PsWorkConservation : public ::testing::TestWithParam<PsCase> {};
+
+TEST_P(PsWorkConservation, BusyTimeEqualsDemand) {
+  const auto [cores, clock, jobs] = GetParam();
+  sim::Engine engine;
+  ntier::Server::Config cfg;
+  cfg.name = "s";
+  cfg.cores = cores;
+  cfg.worker_threads = jobs + 1;
+  ntier::Server server{engine, cfg};
+  server.set_clock_ratio(clock);
+
+  Rng rng{static_cast<std::uint64_t>(cores * 1000 + jobs)};
+  double total_demand = 0.0;
+  int completed = 0;
+  for (int i = 0; i < jobs; ++i) {
+    const double demand = rng.exponential(700.0);
+    total_demand += demand;
+    const auto at = Duration::micros(
+        static_cast<std::int64_t>(rng.uniform(0.0, 50'000.0)));
+    engine.schedule_after(at, [&server, &completed, demand] {
+      server.compute(demand, [&completed] { ++completed; });
+    });
+  }
+  engine.run_all();
+  EXPECT_EQ(completed, jobs);
+  // Busy core-time is measured in wall time; at clock c it takes 1/c wall
+  // microseconds per unit of demand.
+  EXPECT_NEAR(server.busy_core_micros(), total_demand / clock,
+              total_demand / clock * 1e-6 + jobs * 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PsWorkConservation,
+    ::testing::Values(PsCase{1, 1.0, 20}, PsCase{1, 0.53, 20},
+                      PsCase{2, 1.0, 40}, PsCase{2, 0.7, 40},
+                      PsCase{4, 1.0, 80}, PsCase{8, 0.9, 100}));
+
+class PsOrdering : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PsOrdering, SimultaneousJobsCompleteInDemandOrder) {
+  sim::Engine engine;
+  ntier::Server::Config cfg;
+  cfg.name = "s";
+  cfg.cores = 1;
+  cfg.worker_threads = 64;
+  ntier::Server server{engine, cfg};
+
+  Rng rng{GetParam()};
+  std::vector<double> demands;
+  std::vector<std::pair<double, TimePoint>> finish;  // (demand, time)
+  for (int i = 0; i < 30; ++i) {
+    demands.push_back(rng.uniform(10.0, 5000.0));
+  }
+  for (double d : demands) {
+    server.compute(d, [&finish, d, &engine] {
+      finish.emplace_back(d, engine.now());
+    });
+  }
+  engine.run_all();
+  ASSERT_EQ(finish.size(), demands.size());
+  for (std::size_t i = 1; i < finish.size(); ++i) {
+    EXPECT_LE(finish[i - 1].first, finish[i].first + 1e-9);
+    EXPECT_LE(finish[i - 1].second.micros(), finish[i].second.micros());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PsOrdering,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+struct WorkloadCase {
+  int workload;
+  bool gc;
+  bool speedstep;
+  /// Floor for black-box reconstruction edge accuracy; decays with
+  /// concurrency (greedy matching gets genuinely ambiguous near
+  /// saturation — see bench_trace_reconstruction).
+  double min_edge_accuracy;
+};
+
+class ExperimentInvariants : public ::testing::TestWithParam<WorkloadCase> {};
+
+TEST_P(ExperimentInvariants, FlowBalanceAndTraceNesting) {
+  const auto [workload, gc, speedstep, min_edge_accuracy] = GetParam();
+  app::ExperimentConfig cfg;
+  cfg.workload = workload;
+  cfg.warmup = 2_s;
+  cfg.duration = 8_s;
+  cfg.seed = 90210;
+  cfg.gc_on_app = gc;
+  cfg.gc = transient::jdk15_config();
+  cfg.speedstep_on_db = speedstep;
+  cfg.record_messages = true;
+  const auto result = app::run_experiment(cfg);
+
+  // P3: flow balance.
+  EXPECT_GE(result.pages_started, result.pages_completed);
+  EXPECT_LE(result.pages_started - result.pages_completed,
+            static_cast<std::uint64_t>(workload));
+  EXPECT_GT(result.pages_completed, 0u);
+
+  // P4: per-transaction nesting from ground truth: each child's visit
+  // window sits inside [parent.arrival, parent.departure].
+  // Index visits by id from the message stream.
+  struct Window {
+    TimePoint arr = TimePoint::max();
+    TimePoint dep;
+    std::uint64_t parent = 0;
+  };
+  std::unordered_map<std::uint64_t, Window> visits;
+  for (const auto& m : result.messages) {
+    auto& w = visits[m.visit];
+    if (m.kind == trace::MessageKind::kRequest) {
+      w.arr = m.at;
+      w.parent = m.parent_visit;
+    } else {
+      w.dep = m.at;
+    }
+  }
+  std::size_t checked = 0;
+  for (const auto& [id, w] : visits) {
+    if (w.parent == 0 || w.dep == TimePoint()) continue;
+    const auto it = visits.find(w.parent);
+    if (it == visits.end() || it->second.dep == TimePoint()) continue;
+    EXPECT_GE(w.arr.micros(), it->second.arr.micros());
+    EXPECT_LE(w.dep.micros(), it->second.dep.micros());
+    ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+
+  // P5: black-box reconstruction accuracy floor for this load level.
+  trace::TraceReconstructor rec;
+  rec.process(result.messages);
+  EXPECT_GT(rec.score_against_truth().edge_accuracy(), min_edge_accuracy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ExperimentInvariants,
+    ::testing::Values(WorkloadCase{500, false, false, 0.97},
+                      WorkloadCase{2000, true, false, 0.90},
+                      WorkloadCase{4000, false, true, 0.82},
+                      WorkloadCase{6000, true, true, 0.70}));
+
+}  // namespace
+}  // namespace tbd

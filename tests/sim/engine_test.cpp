@@ -1,0 +1,135 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tbd::sim {
+namespace {
+
+using namespace tbd::literals;
+
+TEST(EngineTest, RunsEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(TimePoint::from_micros(300), [&] { order.push_back(3); });
+  engine.schedule_at(TimePoint::from_micros(100), [&] { order.push_back(1); });
+  engine.schedule_at(TimePoint::from_micros(200), [&] { order.push_back(2); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EngineTest, TiesBreakInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  const TimePoint t = TimePoint::from_micros(50);
+  engine.schedule_at(t, [&] { order.push_back(1); });
+  engine.schedule_at(t, [&] { order.push_back(2); });
+  engine.schedule_at(t, [&] { order.push_back(3); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EngineTest, ClockAdvancesToEventTime) {
+  Engine engine;
+  TimePoint seen;
+  engine.schedule_after(250_us, [&] { seen = engine.now(); });
+  engine.run_all();
+  EXPECT_EQ(seen.micros(), 250);
+}
+
+TEST(EngineTest, RunUntilStopsAtLimit) {
+  Engine engine;
+  int ran = 0;
+  engine.schedule_at(TimePoint::from_micros(100), [&] { ++ran; });
+  engine.schedule_at(TimePoint::from_micros(900), [&] { ++ran; });
+  engine.run_until(TimePoint::from_micros(500));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(engine.now().micros(), 500);
+  engine.run_until(TimePoint::from_micros(1000));
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(engine.now().micros(), 1000);
+}
+
+TEST(EngineTest, EventsScheduledDuringEventsRun) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_after(10_us, [&] {
+    order.push_back(1);
+    engine.schedule_after(5_us, [&] { order.push_back(2); });
+  });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(engine.now().micros(), 15);
+}
+
+TEST(EngineTest, ZeroDelayEventRunsAtSameTime) {
+  Engine engine;
+  TimePoint inner;
+  engine.schedule_after(42_us, [&] {
+    engine.schedule_after(0_us, [&] { inner = engine.now(); });
+  });
+  engine.run_all();
+  EXPECT_EQ(inner.micros(), 42);
+}
+
+TEST(EngineTest, CancelPreventsExecution) {
+  Engine engine;
+  int ran = 0;
+  const EventHandle h = engine.schedule_after(10_us, [&] { ++ran; });
+  EXPECT_TRUE(engine.cancel(h));
+  engine.run_all();
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(EngineTest, CancelEmptyHandleIsFalse) {
+  Engine engine;
+  EventHandle empty;
+  EXPECT_FALSE(engine.cancel(empty));
+}
+
+TEST(EngineTest, CountsExecutedEvents) {
+  Engine engine;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_after(Duration::micros(i), [] {});
+  }
+  const EventHandle h = engine.schedule_after(100_us, [] {});
+  engine.cancel(h);
+  engine.run_all();
+  EXPECT_EQ(engine.events_executed(), 5u);
+}
+
+TEST(PeriodicTaskTest, FiresAtPeriod) {
+  Engine engine;
+  std::vector<std::int64_t> fired;
+  PeriodicTask task{engine, TimePoint::from_micros(100), 100_us,
+                    [&](TimePoint at) { fired.push_back(at.micros()); }};
+  engine.run_until(TimePoint::from_micros(550));
+  EXPECT_EQ(fired, (std::vector<std::int64_t>{100, 200, 300, 400, 500}));
+}
+
+TEST(PeriodicTaskTest, StopCeasesFiring) {
+  Engine engine;
+  int fired = 0;
+  PeriodicTask task{engine, TimePoint::from_micros(100), 100_us,
+                    [&](TimePoint) { ++fired; }};
+  engine.run_until(TimePoint::from_micros(250));
+  task.stop();
+  engine.run_until(TimePoint::from_micros(1000));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PeriodicTaskTest, StopFromWithinCallback) {
+  Engine engine;
+  int fired = 0;
+  PeriodicTask* self = nullptr;
+  PeriodicTask task{engine, TimePoint::from_micros(10), 10_us, [&](TimePoint) {
+                      if (++fired == 3) self->stop();
+                    }};
+  self = &task;
+  engine.run_until(TimePoint::from_micros(1000));
+  EXPECT_EQ(fired, 3);
+}
+
+}  // namespace
+}  // namespace tbd::sim

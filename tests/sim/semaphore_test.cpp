@@ -1,0 +1,95 @@
+#include "sim/semaphore.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tbd::sim {
+namespace {
+
+using namespace tbd::literals;
+
+TEST(FifoSemaphoreTest, GrantsImmediatelyWhenFree) {
+  Engine engine;
+  FifoSemaphore sem{engine, "s", 2};
+  std::vector<int> tokens;
+  EXPECT_TRUE(sem.acquire([&](int t) { tokens.push_back(t); }));
+  EXPECT_TRUE(sem.acquire([&](int t) { tokens.push_back(t); }));
+  engine.run_all();
+  EXPECT_EQ(tokens.size(), 2u);
+  EXPECT_NE(tokens[0], tokens[1]);
+  EXPECT_EQ(sem.in_use(), 2);
+}
+
+TEST(FifoSemaphoreTest, WaitersServedFifo) {
+  Engine engine;
+  FifoSemaphore sem{engine, "s", 1};
+  std::vector<int> order;
+  int held = -1;
+  sem.acquire([&](int t) { held = t; });
+  sem.acquire([&](int) { order.push_back(1); });
+  sem.acquire([&](int) { order.push_back(2); });
+  engine.run_all();
+  EXPECT_EQ(sem.waiting(), 2);
+  ASSERT_GE(held, 0);
+
+  sem.release(held);
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  sem.release(0);
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(FifoSemaphoreTest, RejectsWhenBacklogFull) {
+  Engine engine;
+  FifoSemaphore sem{engine, "s", 1, /*max_waiters=*/1};
+  sem.acquire([](int) {});
+  EXPECT_TRUE(sem.acquire([](int) {}));   // becomes the single waiter
+  EXPECT_FALSE(sem.acquire([](int) {}));  // backlog full
+  engine.run_all();
+  EXPECT_EQ(sem.rejected(), 1u);
+  EXPECT_EQ(sem.granted(), 1u);
+}
+
+TEST(FifoSemaphoreTest, TokenIdsStayInRange) {
+  Engine engine;
+  FifoSemaphore sem{engine, "s", 3};
+  std::vector<int> seen;
+  for (int i = 0; i < 3; ++i) {
+    sem.acquire([&](int t) { seen.push_back(t); });
+  }
+  engine.run_all();
+  for (int t : seen) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 3);
+  }
+}
+
+TEST(FifoSemaphoreTest, GrantIsNotReentrant) {
+  Engine engine;
+  FifoSemaphore sem{engine, "s", 1};
+  bool granted = false;
+  sem.acquire([&](int) { granted = true; });
+  // The callback must not have run synchronously inside acquire().
+  EXPECT_FALSE(granted);
+  engine.run_all();
+  EXPECT_TRUE(granted);
+}
+
+TEST(FifoSemaphoreTest, ReleasedTokenReusedByWaiter) {
+  Engine engine;
+  FifoSemaphore sem{engine, "s", 1};
+  int first_token = -1;
+  int second_token = -2;
+  sem.acquire([&](int t) { first_token = t; });
+  sem.acquire([&](int t) { second_token = t; });
+  engine.run_all();
+  sem.release(first_token);
+  engine.run_all();
+  EXPECT_EQ(second_token, first_token);
+  EXPECT_EQ(sem.in_use(), 1);
+}
+
+}  // namespace
+}  // namespace tbd::sim

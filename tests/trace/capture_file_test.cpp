@@ -1,0 +1,110 @@
+#include "trace/capture_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/rng.h"
+
+namespace tbd::trace {
+namespace {
+
+class CaptureFileTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/tbd_capture_test.tbdc";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+Message random_message(Rng& rng) {
+  Message m;
+  m.at = TimePoint::from_micros(static_cast<std::int64_t>(rng.next_u64() >> 20));
+  m.src = static_cast<NodeId>(rng.uniform_index(8));
+  m.dst = static_cast<NodeId>(rng.uniform_index(8));
+  m.conn = static_cast<std::uint32_t>(rng.next_u64());
+  m.kind = rng.bernoulli(0.5) ? MessageKind::kRequest : MessageKind::kResponse;
+  m.class_id = static_cast<ClassId>(rng.uniform_index(24));
+  m.bytes = static_cast<std::uint32_t>(rng.uniform_index(65536));
+  m.txn = rng.next_u64();
+  m.visit = rng.next_u64();
+  m.parent_visit = rng.next_u64();
+  return m;
+}
+
+TEST_F(CaptureFileTest, RoundTripPreservesEveryField) {
+  Rng rng{99};
+  std::vector<Message> messages;
+  for (int i = 0; i < 1000; ++i) messages.push_back(random_message(rng));
+
+  ASSERT_TRUE(save_capture(path_, messages));
+  const auto loaded = load_capture(path_);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  ASSERT_EQ(loaded.messages.size(), messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const auto& a = messages[i];
+    const auto& b = loaded.messages[i];
+    EXPECT_EQ(a.at.micros(), b.at.micros());
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.dst, b.dst);
+    EXPECT_EQ(a.conn, b.conn);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.class_id, b.class_id);
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.txn, b.txn);
+    EXPECT_EQ(a.visit, b.visit);
+    EXPECT_EQ(a.parent_visit, b.parent_visit);
+  }
+}
+
+TEST_F(CaptureFileTest, EmptyStreamRoundTrips) {
+  ASSERT_TRUE(save_capture(path_, {}));
+  const auto loaded = load_capture(path_);
+  EXPECT_TRUE(loaded.ok);
+  EXPECT_TRUE(loaded.messages.empty());
+}
+
+TEST_F(CaptureFileTest, RejectsBadMagic) {
+  {
+    std::ofstream out{path_, std::ios::binary};
+    out << "NOPE" << std::string(12, '\0');
+  }
+  const auto loaded = load_capture(path_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_EQ(loaded.error, "bad magic");
+}
+
+TEST_F(CaptureFileTest, RejectsTruncatedStream) {
+  Rng rng{7};
+  std::vector<Message> messages{random_message(rng), random_message(rng)};
+  ASSERT_TRUE(save_capture(path_, messages));
+  // Chop the last 10 bytes off.
+  std::ifstream in{path_, std::ios::binary};
+  std::string data{std::istreambuf_iterator<char>{in}, {}};
+  in.close();
+  std::ofstream out{path_, std::ios::binary | std::ios::trunc};
+  out.write(data.data(), static_cast<std::streamsize>(data.size() - 10));
+  out.close();
+
+  const auto loaded = load_capture(path_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_EQ(loaded.error, "truncated record stream");
+}
+
+TEST_F(CaptureFileTest, MissingFileReportsError) {
+  const auto loaded = load_capture("/nonexistent/file.tbdc");
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_EQ(loaded.error, "cannot open file");
+}
+
+TEST_F(CaptureFileTest, FileSizeIsCompact) {
+  Rng rng{11};
+  std::vector<Message> messages;
+  for (int i = 0; i < 100; ++i) messages.push_back(random_message(rng));
+  ASSERT_TRUE(save_capture(path_, messages));
+  std::ifstream in{path_, std::ios::binary | std::ios::ate};
+  // 16-byte header + 53 bytes per record.
+  EXPECT_EQ(in.tellg(), 16 + 100 * 53);
+}
+
+}  // namespace
+}  // namespace tbd::trace

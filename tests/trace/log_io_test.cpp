@@ -1,0 +1,83 @@
+#include "trace/log_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace tbd::trace {
+namespace {
+
+class LogIoTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/tbd_log_io_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+RequestRecord rec(ServerIndex s, ClassId c, std::int64_t a, std::int64_t d,
+                  TxnId txn) {
+  RequestRecord r;
+  r.server = s;
+  r.class_id = c;
+  r.arrival = TimePoint::from_micros(a);
+  r.departure = TimePoint::from_micros(d);
+  r.txn = txn;
+  return r;
+}
+
+TEST_F(LogIoTest, RoundTrip) {
+  RequestLog log{rec(0, 3, 1000, 2500, 42), rec(5, 1, 7, 9, 43)};
+  ASSERT_TRUE(save_request_log_csv(path_, log));
+  const auto loaded = load_request_log_csv(path_);
+  ASSERT_TRUE(loaded.ok);
+  ASSERT_EQ(loaded.records.size(), 2u);
+  EXPECT_EQ(loaded.skipped_lines, 1u);  // the header
+  EXPECT_EQ(loaded.records[0].server, 0u);
+  EXPECT_EQ(loaded.records[0].class_id, 3u);
+  EXPECT_EQ(loaded.records[0].arrival.micros(), 1000);
+  EXPECT_EQ(loaded.records[0].departure.micros(), 2500);
+  EXPECT_EQ(loaded.records[0].txn, 42u);
+  EXPECT_EQ(loaded.records[1].server, 5u);
+}
+
+TEST_F(LogIoTest, SkipsCommentsAndMalformedLines) {
+  {
+    std::ofstream out{path_};
+    out << "# a comment\n";
+    out << "0,1,100,200,7\n";
+    out << "not,a,valid,line,x\n";
+    out << "\n";
+    out << "1,2,300,400,8\n";
+    out << "2,2,500,400,9\n";  // departure < arrival: rejected
+  }
+  const auto loaded = load_request_log_csv(path_);
+  ASSERT_TRUE(loaded.ok);
+  EXPECT_EQ(loaded.records.size(), 2u);
+  EXPECT_EQ(loaded.skipped_lines, 4u);
+}
+
+TEST_F(LogIoTest, ToleratesSpaces) {
+  {
+    std::ofstream out{path_};
+    out << " 0 , 1 , 100 , 200 , 7\n";
+  }
+  const auto loaded = load_request_log_csv(path_);
+  ASSERT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(loaded.records[0].departure.micros(), 200);
+}
+
+TEST_F(LogIoTest, MissingFileReportsNotOk) {
+  const auto loaded = load_request_log_csv("/nonexistent/dir/file.csv");
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_TRUE(loaded.records.empty());
+}
+
+TEST_F(LogIoTest, EmptyLogRoundTrips) {
+  ASSERT_TRUE(save_request_log_csv(path_, {}));
+  const auto loaded = load_request_log_csv(path_);
+  EXPECT_TRUE(loaded.ok);
+  EXPECT_TRUE(loaded.records.empty());
+}
+
+}  // namespace
+}  // namespace tbd::trace

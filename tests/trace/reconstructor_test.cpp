@@ -1,0 +1,216 @@
+// Unit tests of the black-box trace reconstructor on hand-built message
+// streams: request/response matching per connection, time-containment
+// nesting, the LIFO readiness heuristic, and scoring.
+#include "trace/reconstructor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tbd::trace {
+namespace {
+
+class StreamBuilder {
+ public:
+  /// Class id stamped on subsequently emitted messages.
+  void msgs_class(ClassId cls) { cls_ = cls; }
+
+  // Emits a request message; `visit` and `parent` carry ground truth.
+  void req(std::int64_t at, NodeId src, NodeId dst, std::uint32_t conn,
+           std::uint64_t visit, std::uint64_t parent, TxnId txn = 1) {
+    msgs_.push_back(Message{.at = TimePoint::from_micros(at),
+                            .src = src,
+                            .dst = dst,
+                            .conn = conn,
+                            .kind = MessageKind::kRequest,
+                            .class_id = cls_,
+                            .txn = txn,
+                            .visit = visit,
+                            .parent_visit = parent});
+  }
+  void resp(std::int64_t at, NodeId src, NodeId dst, std::uint32_t conn,
+            std::uint64_t visit, std::uint64_t parent, TxnId txn = 1) {
+    msgs_.push_back(Message{.at = TimePoint::from_micros(at),
+                            .src = src,
+                            .dst = dst,
+                            .conn = conn,
+                            .kind = MessageKind::kResponse,
+                            .class_id = cls_,
+                            .txn = txn,
+                            .visit = visit,
+                            .parent_visit = parent});
+  }
+  [[nodiscard]] const std::vector<Message>& messages() const { return msgs_; }
+
+ private:
+  std::vector<Message> msgs_;
+  ClassId cls_ = 0;
+};
+
+TEST(ReconstructorTest, SingleTierTransaction) {
+  StreamBuilder b;
+  b.req(100, 0, 1, 7, /*visit=*/1, /*parent=*/0);
+  b.resp(200, 1, 0, 7, 1, 0);
+  TraceReconstructor rec;
+  rec.process(b.messages());
+  ASSERT_EQ(rec.visits().size(), 1u);
+  EXPECT_EQ(rec.visits()[0].parent, -1);
+  EXPECT_EQ(rec.visits()[0].arrival.micros(), 100);
+  EXPECT_EQ(rec.visits()[0].departure.micros(), 200);
+  EXPECT_EQ(rec.stats().roots, 1u);
+  EXPECT_EQ(rec.stats().visits, 1u);
+  EXPECT_DOUBLE_EQ(rec.score_against_truth().edge_accuracy(), 1.0);
+}
+
+TEST(ReconstructorTest, NestedCallAttributedByContainment) {
+  // Client -> A (visit 1), A -> B (visit 2 nested in 1).
+  StreamBuilder b;
+  b.req(100, 0, 1, 7, 1, 0);
+  b.req(120, 1, 2, 8, 2, 1);
+  b.resp(180, 2, 1, 8, 2, 1);
+  b.resp(200, 1, 0, 7, 1, 0);
+  TraceReconstructor rec;
+  rec.process(b.messages());
+  ASSERT_EQ(rec.visits().size(), 2u);
+  EXPECT_EQ(rec.visits()[1].parent, 0);
+  const auto acc = rec.score_against_truth();
+  EXPECT_EQ(acc.child_visits, 1u);
+  EXPECT_DOUBLE_EQ(acc.edge_accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.transaction_accuracy(), 1.0);
+}
+
+TEST(ReconstructorTest, SequentialChildrenShareParent) {
+  StreamBuilder b;
+  b.req(100, 0, 1, 7, 1, 0);
+  b.req(110, 1, 2, 8, 2, 1);   // first query
+  b.resp(130, 2, 1, 8, 2, 1);
+  b.req(140, 1, 2, 8, 3, 1);   // second query reuses the connection
+  b.resp(160, 2, 1, 8, 3, 1);
+  b.resp(200, 1, 0, 7, 1, 0);
+  TraceReconstructor rec;
+  rec.process(b.messages());
+  ASSERT_EQ(rec.visits().size(), 3u);
+  EXPECT_EQ(rec.visits()[1].parent, 0);
+  EXPECT_EQ(rec.visits()[2].parent, 0);
+  EXPECT_DOUBLE_EQ(rec.score_against_truth().edge_accuracy(), 1.0);
+}
+
+TEST(ReconstructorTest, ConcurrentParentsDisambiguatedByReadiness) {
+  // Two requests are open on server 1. P1 became ready at 140 (its first
+  // child returned); P2 arrived at 150. Under the FIFO (earliest-ready)
+  // default, the child call at 160 goes to P1 — which matches processor-
+  // sharing order, and the ground truth here.
+  StreamBuilder b;
+  b.req(100, 0, 1, 7, 1, 0, /*txn=*/1);
+  b.req(110, 1, 2, 9, 2, 1, 1);
+  b.resp(140, 2, 1, 9, 2, 1, 1);  // P1 ready again at 140
+  b.req(150, 0, 1, 8, 3, 0, /*txn=*/2);  // P2 ready at 150 (later)
+  b.req(160, 1, 2, 9, 4, 1, 1);   // P1's second query (earliest ready)
+  b.resp(170, 2, 1, 9, 4, 1, 1);
+  b.resp(180, 1, 0, 7, 1, 0, 1);
+  b.resp(200, 1, 0, 8, 3, 0, 2);
+  TraceReconstructor rec;
+  rec.process(b.messages());
+  const auto acc = rec.score_against_truth();
+  EXPECT_EQ(acc.child_visits, 2u);
+  EXPECT_EQ(acc.correct_edges, 2u);
+}
+
+TEST(ReconstructorTest, BusyParentIsNotACandidate) {
+  // P1 (earliest ready) issues the first child; while it is outstanding the
+  // second child call can only belong to P2 — the busy parent is excluded.
+  StreamBuilder b;
+  b.req(100, 0, 1, 7, 1, 0, 1);   // P1 (earliest ready)
+  b.req(105, 0, 1, 8, 2, 0, 2);   // P2
+  b.req(110, 1, 2, 9, 3, 1, 1);   // P1's child, still outstanding
+  b.req(120, 1, 2, 10, 4, 2, 2);  // must attach to P2 (P1 is busy)
+  b.resp(130, 2, 1, 9, 3, 1, 1);
+  b.resp(140, 2, 1, 10, 4, 2, 2);
+  b.resp(150, 1, 0, 8, 2, 0, 2);
+  b.resp(160, 1, 0, 7, 1, 0, 1);
+  TraceReconstructor rec;
+  rec.process(b.messages());
+  const auto acc = rec.score_against_truth();
+  EXPECT_EQ(acc.correct_edges, 2u);
+}
+
+TEST(ReconstructorTest, ClassMismatchExcludesParent) {
+  // The only open visit on server 1 has class 5; a class-3 child call
+  // cannot belong to it (message content reveals the interaction type).
+  StreamBuilder b;
+  b.msgs_class(5);
+  b.req(100, 0, 1, 7, 1, 0, 1);
+  b.msgs_class(3);
+  b.req(120, 1, 2, 9, 9, 8, 2);  // truth parent (visit 8) was never captured
+  b.resp(130, 2, 1, 9, 9, 8, 2);
+  b.msgs_class(5);
+  b.resp(200, 1, 0, 7, 1, 0, 1);
+  TraceReconstructor rec;
+  rec.process(b.messages());
+  EXPECT_EQ(rec.stats().orphan_children, 1u);
+  // The class-5 visit must NOT have been blamed.
+  ASSERT_EQ(rec.visits().size(), 2u);
+  EXPECT_EQ(rec.visits()[1].parent, -1);
+}
+
+TEST(ReconstructorTest, OrphanChildCounted) {
+  StreamBuilder b;
+  b.req(100, 1, 2, 9, 2, 1);  // child call with no open parent on server 1
+  b.resp(120, 2, 1, 9, 2, 1);
+  TraceReconstructor rec;
+  rec.process(b.messages());
+  EXPECT_EQ(rec.stats().orphan_children, 1u);
+  EXPECT_DOUBLE_EQ(rec.score_against_truth().edge_accuracy(), 0.0);
+}
+
+TEST(ReconstructorTest, UnmatchedResponseCounted) {
+  StreamBuilder b;
+  b.resp(100, 1, 0, 7, 1, 0);
+  TraceReconstructor rec;
+  rec.process(b.messages());
+  EXPECT_EQ(rec.stats().unmatched_responses, 1u);
+  EXPECT_TRUE(rec.visits().empty());
+}
+
+TEST(ReconstructorTest, ChunkedProcessingMatchesSinglePass) {
+  StreamBuilder b;
+  b.req(100, 0, 1, 7, 1, 0);
+  b.req(120, 1, 2, 8, 2, 1);
+  b.resp(180, 2, 1, 8, 2, 1);
+  b.resp(200, 1, 0, 7, 1, 0);
+
+  TraceReconstructor whole;
+  whole.process(b.messages());
+
+  TraceReconstructor chunked;
+  const auto& m = b.messages();
+  chunked.process({m.data(), 2});
+  chunked.process({m.data() + 2, 2});
+
+  ASSERT_EQ(whole.visits().size(), chunked.visits().size());
+  for (std::size_t i = 0; i < whole.visits().size(); ++i) {
+    EXPECT_EQ(whole.visits()[i].parent, chunked.visits()[i].parent);
+    EXPECT_EQ(whole.visits()[i].departure.micros(),
+              chunked.visits()[i].departure.micros());
+  }
+}
+
+TEST(ReconstructorTest, TransactionAccuracyCountsWholeTrees) {
+  // Txn 1 reconstructs perfectly; txn 2 has an orphan edge.
+  StreamBuilder b;
+  b.req(100, 0, 1, 7, 1, 0, 1);
+  b.req(110, 1, 2, 8, 2, 1, 1);
+  b.resp(130, 2, 1, 8, 2, 1, 1);
+  b.resp(140, 1, 0, 7, 1, 0, 1);
+  b.req(500, 1, 2, 9, 10, 9, 2);  // child of a parent the tap never saw
+  b.resp(520, 2, 1, 9, 10, 9, 2);
+  TraceReconstructor rec;
+  rec.process(b.messages());
+  const auto acc = rec.score_against_truth();
+  EXPECT_EQ(acc.transactions, 2u);
+  EXPECT_EQ(acc.perfect_transactions, 1u);
+  EXPECT_DOUBLE_EQ(acc.transaction_accuracy(), 0.5);
+}
+
+}  // namespace
+}  // namespace tbd::trace

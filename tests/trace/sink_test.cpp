@@ -1,0 +1,80 @@
+#include "trace/sink.h"
+
+#include <gtest/gtest.h>
+
+namespace tbd::trace {
+namespace {
+
+Message msg(std::int64_t at_us, NodeId src, NodeId dst, std::uint32_t bytes) {
+  Message m;
+  m.at = TimePoint::from_micros(at_us);
+  m.src = src;
+  m.dst = dst;
+  m.bytes = bytes;
+  return m;
+}
+
+TEST(TraceSinkTest, RecordsMessagesWhenEnabled) {
+  TraceSink sink{2, /*record_messages=*/true};
+  sink.capture(msg(10, 0, 1, 100));
+  sink.capture(msg(20, 1, 2, 50));
+  ASSERT_EQ(sink.messages().size(), 2u);
+  EXPECT_EQ(sink.messages()[0].at.micros(), 10);
+  EXPECT_EQ(sink.total_messages_seen(), 2u);
+}
+
+TEST(TraceSinkTest, DropsMessagesWhenDisabled) {
+  TraceSink sink{2, /*record_messages=*/false};
+  sink.capture(msg(10, 0, 1, 100));
+  EXPECT_TRUE(sink.messages().empty());
+  EXPECT_EQ(sink.total_messages_seen(), 1u);  // counters still advance
+}
+
+TEST(TraceSinkTest, NetCountersTrackSrcAndDst) {
+  TraceSink sink{2, false};
+  sink.capture(msg(10, 0, 1, 100));  // client -> server 0: rx only
+  sink.capture(msg(20, 1, 2, 60));   // server 0 -> server 1
+  sink.capture(msg(30, 2, 1, 40));   // server 1 -> server 0
+  EXPECT_EQ(sink.net_counters(0).bytes_received, 140u);
+  EXPECT_EQ(sink.net_counters(0).bytes_sent, 60u);
+  EXPECT_EQ(sink.net_counters(1).bytes_received, 60u);
+  EXPECT_EQ(sink.net_counters(1).bytes_sent, 40u);
+}
+
+TEST(TraceSinkTest, ClientNodeHasNoCounters) {
+  TraceSink sink{1, false};
+  sink.capture(msg(10, 1, 0, 500));  // server -> client
+  EXPECT_EQ(sink.net_counters(0).bytes_sent, 500u);
+  // No crash, nothing tracked for node 0.
+}
+
+TEST(TraceSinkTest, VisitLogsPerServer) {
+  TraceSink sink{2, false};
+  sink.record_visit(RequestRecord{.server = 0,
+                                  .class_id = 3,
+                                  .arrival = TimePoint::from_micros(5),
+                                  .departure = TimePoint::from_micros(15),
+                                  .txn = 1});
+  sink.record_visit(RequestRecord{.server = 1,
+                                  .class_id = 4,
+                                  .arrival = TimePoint::from_micros(6),
+                                  .departure = TimePoint::from_micros(9),
+                                  .txn = 1});
+  EXPECT_EQ(sink.server_log(0).size(), 1u);
+  EXPECT_EQ(sink.server_log(1).size(), 1u);
+  EXPECT_EQ(sink.server_log(0)[0].class_id, 3u);
+}
+
+TEST(TraceSinkTest, ClearDropsDataKeepsConfig) {
+  TraceSink sink{1, true};
+  sink.capture(msg(10, 0, 1, 100));
+  sink.record_visit(RequestRecord{.server = 0});
+  sink.clear();
+  EXPECT_TRUE(sink.messages().empty());
+  EXPECT_TRUE(sink.server_log(0).empty());
+  sink.capture(msg(20, 0, 1, 100));
+  EXPECT_EQ(sink.messages().size(), 1u);  // still recording
+}
+
+}  // namespace
+}  // namespace tbd::trace

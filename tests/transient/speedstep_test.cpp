@@ -1,0 +1,132 @@
+#include "transient/speedstep.h"
+
+#include <gtest/gtest.h>
+
+namespace tbd::transient {
+namespace {
+
+using namespace tbd::literals;
+
+ntier::Server::Config db_cfg() {
+  ntier::Server::Config cfg;
+  cfg.name = "db";
+  cfg.cores = 1;
+  cfg.worker_threads = 50;
+  return cfg;
+}
+
+SpeedStepConfig fast_control() {
+  SpeedStepConfig cfg = dell_bios_config();
+  cfg.control_interval = 10_ms;  // quick ticks for unit tests
+  return cfg;
+}
+
+TEST(SpeedStepTest, TableIIPstates) {
+  const auto states = xeon_pstates();
+  ASSERT_EQ(states.size(), 5u);
+  EXPECT_EQ(states[0].name, "P0");
+  EXPECT_DOUBLE_EQ(states[0].mhz, 2261.0);
+  EXPECT_EQ(states[4].name, "P8");
+  EXPECT_DOUBLE_EQ(states[4].mhz, 1197.0);
+  // The paper: lowest P-state is nearly half the clock of the highest.
+  EXPECT_NEAR(states[4].mhz / states[0].mhz, 0.53, 0.01);
+}
+
+TEST(SpeedStepTest, StartsAtSlowestState) {
+  sim::Engine engine;
+  ntier::Server server{engine, db_cfg()};
+  SpeedStepModel gov{engine, server, fast_control()};
+  EXPECT_EQ(gov.current_state(), 4);
+  EXPECT_NEAR(server.clock_ratio(), 1197.0 / 2261.0, 1e-9);
+}
+
+TEST(SpeedStepTest, StepsUpOneStatePerIntervalUnderLoad) {
+  sim::Engine engine;
+  ntier::Server server{engine, db_cfg()};
+  SpeedStepModel gov{engine, server, fast_control()};
+  // Saturate the server: a huge job keeps utilization at 100%.
+  server.compute(10'000'000.0, [] {});
+  engine.run_until(TimePoint::from_micros(15'000));  // one tick
+  EXPECT_EQ(gov.current_state(), 3);  // one step, not a jump to P0
+  engine.run_until(TimePoint::from_micros(55'000));
+  EXPECT_EQ(gov.current_state(), 0);  // reached P0 after enough ticks
+}
+
+TEST(SpeedStepTest, StepsDownWhenIdle) {
+  sim::Engine engine;
+  ntier::Server server{engine, db_cfg()};
+  auto cfg = fast_control();
+  cfg.initial_state = 0;  // start fast
+  SpeedStepModel gov{engine, server, cfg};
+  engine.run_until(TimePoint::from_micros(100'000));
+  EXPECT_EQ(gov.current_state(), 4);  // drifted to the power-saving state
+}
+
+TEST(SpeedStepTest, HoldsStateInHysteresisBand) {
+  sim::Engine engine;
+  ntier::Server server{engine, db_cfg()};
+  auto cfg = fast_control();
+  cfg.policy = GovernorPolicy::kUtilizationThreshold;
+  cfg.initial_state = 2;
+  cfg.up_threshold = 0.90;
+  cfg.down_threshold = 0.10;
+  SpeedStepModel gov{engine, server, cfg};
+  // ~50% utilization: alternate work and idle every tick.
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(TimePoint::from_micros(i * 10'000), [&] {
+      const double ratio = server.clock_ratio();
+      server.compute(5'000.0 * ratio, [] {});
+    });
+  }
+  engine.run_until(TimePoint::from_micros(100'000));
+  EXPECT_EQ(gov.current_state(), 2);
+}
+
+TEST(SpeedStepTest, TransitionsAreLogged) {
+  sim::Engine engine;
+  ntier::Server server{engine, db_cfg()};
+  SpeedStepModel gov{engine, server, fast_control()};
+  server.compute(10'000'000.0, [] {});
+  engine.run_until(TimePoint::from_micros(60'000));
+  const auto& log = gov.log();
+  ASSERT_GE(log.size(), 5u);  // initial + 4 up-steps
+  EXPECT_EQ(log.front().state, 4);
+  EXPECT_EQ(log.back().state, 0);
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_GE(log[i].at.micros(), log[i - 1].at.micros());
+  }
+}
+
+TEST(SpeedStepTest, ResidencySumsToOne) {
+  sim::Engine engine;
+  ntier::Server server{engine, db_cfg()};
+  SpeedStepModel gov{engine, server, fast_control()};
+  server.compute(10'000'000.0, [] {});
+  engine.run_until(TimePoint::from_micros(200'000));
+  const auto res = gov.state_residency(TimePoint::origin(),
+                                       TimePoint::from_micros(200'000));
+  double total = 0.0;
+  for (double r : res) total += r;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(res[0], 0.5);  // most time at P0 once ramped up
+}
+
+TEST(SpeedStepTest, GovernorLagLeavesSlowClockDuringBurst) {
+  // The mismatch mechanism of Section IV-C in miniature: a burst arriving at
+  // P8 is served at roughly half speed until the governor reacts.
+  sim::Engine engine;
+  ntier::Server server{engine, db_cfg()};
+  auto cfg = fast_control();
+  cfg.control_interval = 50_ms;  // sluggish relative to the burst
+  SpeedStepModel gov{engine, server, cfg};
+  TimePoint done;
+  server.compute(20'000.0, [&] { done = engine.now(); });  // 20ms of work
+  // run_until, not run_all: the governor's periodic task re-arms forever.
+  engine.run_until(TimePoint::from_micros(45'000));
+  // At P0 this would take 20ms; at P8 (0.53x) it takes ~37.8ms. The first
+  // governor tick lands at 50ms, after the job finished: full P8 penalty.
+  EXPECT_NEAR(done.millis_f(), 20.0 / (1197.0 / 2261.0), 0.5);
+}
+
+}  // namespace
+}  // namespace tbd::transient

@@ -1,0 +1,57 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace tbd {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/tbd_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, HeaderAndRows) {
+  {
+    CsvWriter w{path_};
+    ASSERT_TRUE(w.is_open());
+    w.write_header({"a", "b"});
+    w.write_row({1.5, 2.0});
+  }
+  EXPECT_EQ(read_file(path_), "a,b\n1.5,2\n");
+}
+
+TEST_F(CsvTest, QuotesSpecialCharacters) {
+  {
+    CsvWriter w{path_};
+    w.write_raw_row({"plain", "with,comma", "with\"quote"});
+  }
+  EXPECT_EQ(read_file(path_), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST_F(CsvTest, ColumnsOfUnequalLength) {
+  CsvWriter::write_columns(path_, {"x", "y"}, {{1.0, 2.0, 3.0}, {10.0}});
+  EXPECT_EQ(read_file(path_), "x,y\n1,10\n2,\n3,\n");
+}
+
+TEST(EnsureDirectoryTest, CreatesNested) {
+  const std::string dir = ::testing::TempDir() + "/tbd_csv_dir/a/b";
+  EXPECT_TRUE(ensure_directory(dir));
+  std::ofstream probe{dir + "/probe.txt"};
+  EXPECT_TRUE(probe.is_open());
+}
+
+}  // namespace
+}  // namespace tbd

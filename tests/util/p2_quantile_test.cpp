@@ -1,0 +1,94 @@
+#include "util/p2_quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace tbd {
+namespace {
+
+double exact_quantile(std::vector<double> xs, double q) {
+  return quantile(xs, q);
+}
+
+TEST(P2QuantileTest, ExactBelowFiveSamples) {
+  P2Quantile p50{0.5};
+  p50.add(3.0);
+  EXPECT_DOUBLE_EQ(p50.value(), 3.0);
+  p50.add(1.0);
+  EXPECT_DOUBLE_EQ(p50.value(), 2.0);
+  p50.add(2.0);
+  EXPECT_DOUBLE_EQ(p50.value(), 2.0);
+}
+
+TEST(P2QuantileTest, MedianOfUniform) {
+  Rng rng{1};
+  P2Quantile p50{0.5};
+  for (int i = 0; i < 100'000; ++i) p50.add(rng.uniform(0.0, 10.0));
+  EXPECT_NEAR(p50.value(), 5.0, 0.1);
+}
+
+TEST(P2QuantileTest, TailQuantileOfExponential) {
+  Rng rng{2};
+  P2Quantile p99{0.99};
+  std::vector<double> all;
+  for (int i = 0; i < 200'000; ++i) {
+    const double x = rng.exponential(1.0);
+    p99.add(x);
+    all.push_back(x);
+  }
+  const double exact = exact_quantile(all, 0.99);
+  EXPECT_NEAR(p99.value(), exact, exact * 0.05);
+}
+
+TEST(P2QuantileTest, BimodalDistribution) {
+  // Like the response-time distribution of Figure 2(c): a fast mode and a
+  // 3s retransmission mode. The p90 must land between the modes' masses.
+  Rng rng{3};
+  P2Quantile p90{0.9};
+  std::vector<double> all;
+  for (int i = 0; i < 100'000; ++i) {
+    const double x = rng.bernoulli(0.95) ? rng.exponential(0.05)
+                                         : 3.0 + rng.exponential(0.2);
+    p90.add(x);
+    all.push_back(x);
+  }
+  const double exact = exact_quantile(all, 0.9);
+  EXPECT_NEAR(p90.value(), exact, std::max(0.05, exact * 0.25));
+}
+
+TEST(P2QuantileTest, MonotoneInQ) {
+  Rng rng{4};
+  P2Quantile p50{0.5};
+  P2Quantile p90{0.9};
+  P2Quantile p99{0.99};
+  for (int i = 0; i < 50'000; ++i) {
+    const double x = rng.gamma(2.0, 1.0);
+    p50.add(x);
+    p90.add(x);
+    p99.add(x);
+  }
+  EXPECT_LT(p50.value(), p90.value());
+  EXPECT_LT(p90.value(), p99.value());
+}
+
+TEST(P2QuantileTest, ConstantStream) {
+  P2Quantile p95{0.95};
+  for (int i = 0; i < 1000; ++i) p95.add(7.0);
+  EXPECT_DOUBLE_EQ(p95.value(), 7.0);
+}
+
+TEST(P2QuantileTest, CountTracksAdds) {
+  P2Quantile p{0.5};
+  EXPECT_EQ(p.count(), 0u);
+  EXPECT_DOUBLE_EQ(p.value(), 0.0);
+  for (int i = 0; i < 17; ++i) p.add(i);
+  EXPECT_EQ(p.count(), 17u);
+}
+
+}  // namespace
+}  // namespace tbd

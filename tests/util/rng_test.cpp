@@ -1,0 +1,155 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tbd {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng root{7};
+  Rng a = root.fork(0);
+  Rng b = root.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, Uniform01Bounds) {
+  Rng rng{5};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIndexCoversRange) {
+  Rng rng{5};
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10'000; ++i) ++hits[rng.uniform_index(10)];
+  for (int h : hits) EXPECT_GT(h, 700);  // ~1000 expected each
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng{11};
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(7.0);
+  EXPECT_NEAR(sum / n, 7.0, 0.15);
+}
+
+TEST(RngTest, GammaMeanAndCv) {
+  Rng rng{13};
+  const double shape = 9.0;
+  const double scale = 1.0 / 9.0;  // mean 1, CV 1/3
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.gamma(shape, scale);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.02);
+  EXPECT_NEAR(std::sqrt(var) / mean, 1.0 / 3.0, 0.02);
+}
+
+TEST(RngTest, GammaShapeBelowOne) {
+  Rng rng{17};
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.gamma(0.5, 2.0);  // mean 1
+  EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng{19};
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(sum2 / n - mean * mean, 4.0, 0.1);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng{23};
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.0));
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMean) {
+  Rng rng{29};
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng{31};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(DiscreteSamplerTest, MatchesWeights) {
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  DiscreteSampler sampler{weights};
+  Rng rng{37};
+  std::vector<int> hits(3, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++hits[sampler.sample(rng)];
+  EXPECT_NEAR(hits[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(hits[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(hits[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(DiscreteSamplerTest, SingleBucket) {
+  const std::vector<double> weights{2.0};
+  DiscreteSampler sampler{weights};
+  Rng rng{41};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(RngTest, WeightedIndexZeroWeightNeverPicked) {
+  Rng rng{43};
+  const std::vector<double> weights{0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace tbd

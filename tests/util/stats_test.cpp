@@ -1,0 +1,152 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tbd {
+namespace {
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombined) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.1 * i * i - 3.0 * i;
+    if (i % 2 == 0) a.add(x); else b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(PearsonTest, PerfectPositive) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesIsZero) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, y), 0.0);
+}
+
+TEST(PearsonTest, UncorrelatedNearZero) {
+  std::vector<double> x;
+  std::vector<double> y;
+  // Deterministic pseudo-random-ish pattern with no linear relation.
+  for (int i = 0; i < 1000; ++i) {
+    x.push_back(std::sin(i * 0.7));
+    y.push_back(std::cos(i * 1.3 + 0.5));
+  }
+  EXPECT_LT(std::abs(pearson_correlation(x, y)), 0.1);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(QuantileTest, UnsortedInput) {
+  const std::vector<double> xs{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(QuantileTest, EmptyAndClamped) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  const std::vector<double> xs{1, 2};
+  EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 2.0);
+}
+
+TEST(MeanStdTest, Basics) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 3.0);
+  EXPECT_NEAR(stddev_of(xs), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_of(std::vector<double>{1.0}), 0.0);
+}
+
+// Reference values from standard t tables.
+TEST(StudentTTest, MatchesTableAt95) {
+  EXPECT_NEAR(student_t_quantile(0.95, 1), 6.314, 0.02);
+  EXPECT_NEAR(student_t_quantile(0.95, 2), 2.920, 0.02);
+  EXPECT_NEAR(student_t_quantile(0.95, 5), 2.015, 0.01);
+  EXPECT_NEAR(student_t_quantile(0.95, 10), 1.812, 0.01);
+  EXPECT_NEAR(student_t_quantile(0.95, 30), 1.697, 0.005);
+  EXPECT_NEAR(student_t_quantile(0.95, 120), 1.658, 0.005);
+}
+
+TEST(StudentTTest, ApproachesNormalForLargeDf) {
+  EXPECT_NEAR(student_t_quantile(0.95, 100000), 1.6449, 1e-3);
+  EXPECT_NEAR(student_t_quantile(0.975, 100000), 1.9600, 1e-3);
+}
+
+TEST(StudentTTest, MedianIsZero) {
+  EXPECT_NEAR(student_t_quantile(0.5, 7), 0.0, 1e-9);
+}
+
+TEST(BinCountsTest, ClampsOutOfRange) {
+  const std::vector<double> edges{0.0, 1.0, 2.0};
+  const std::vector<double> sample{-5.0, 0.5, 1.5, 99.0};
+  const auto counts = bin_counts(sample, edges);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 2u);  // -5 clamped into first bin
+  EXPECT_EQ(counts[1], 2u);  // 99 clamped into last bin
+}
+
+TEST(BinCountsTest, EdgeValuesGoRight) {
+  const std::vector<double> edges{0.0, 1.0, 2.0};
+  const std::vector<double> sample{1.0};
+  const auto counts = bin_counts(sample, edges);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 1u);
+}
+
+}  // namespace
+}  // namespace tbd

@@ -1,0 +1,70 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace tbd {
+namespace {
+
+using namespace tbd::literals;
+
+TEST(DurationTest, Construction) {
+  EXPECT_EQ(Duration::micros(1500).micros(), 1500);
+  EXPECT_EQ(Duration::millis(2).micros(), 2000);
+  EXPECT_EQ(Duration::seconds(3).micros(), 3'000'000);
+  EXPECT_EQ(Duration::from_seconds_f(0.05).micros(), 50'000);
+  EXPECT_EQ(Duration::from_millis_f(1.5).micros(), 1500);
+  EXPECT_EQ((50_ms).micros(), 50'000);
+  EXPECT_EQ((2_s).micros(), 2'000'000);
+  EXPECT_EQ((7_us).micros(), 7);
+}
+
+TEST(DurationTest, RoundsFractionalSecondsToNearestMicro) {
+  EXPECT_EQ(Duration::from_seconds_f(1e-6 * 0.4).micros(), 0);
+  EXPECT_EQ(Duration::from_seconds_f(1e-6 * 0.6).micros(), 1);
+  EXPECT_EQ(Duration::from_seconds_f(-1e-6 * 0.6).micros(), -1);
+}
+
+TEST(DurationTest, Arithmetic) {
+  EXPECT_EQ((10_ms + 5_ms).micros(), 15'000);
+  EXPECT_EQ((10_ms - 5_ms).micros(), 5'000);
+  EXPECT_EQ((10_ms * 3).micros(), 30'000);
+  EXPECT_EQ((10_ms / 2).micros(), 5'000);
+  EXPECT_DOUBLE_EQ((50_ms).ratio(100_ms), 0.5);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_EQ(1000_us, 1_ms);
+  EXPECT_TRUE((0_us).is_zero());
+  EXPECT_TRUE((1_us).is_positive());
+  EXPECT_FALSE((0_us).is_positive());
+}
+
+TEST(DurationTest, Conversions) {
+  EXPECT_DOUBLE_EQ((1500_us).millis_f(), 1.5);
+  EXPECT_DOUBLE_EQ((2500_ms).seconds_f(), 2.5);
+}
+
+TEST(DurationTest, ToString) {
+  EXPECT_EQ((2_s).to_string(), "2s");
+  EXPECT_EQ((50_ms).to_string(), "50ms");
+  EXPECT_EQ((7_us).to_string(), "7us");
+}
+
+TEST(TimePointTest, Arithmetic) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + 100_ms;
+  EXPECT_EQ(t1.micros(), 100'000);
+  EXPECT_EQ((t1 - t0).micros(), 100'000);
+  EXPECT_EQ((t1 - 40_ms).micros(), 60'000);
+  EXPECT_LT(t0, t1);
+  EXPECT_GT(TimePoint::max(), t1);
+}
+
+TEST(TimePointTest, SecondsConversion) {
+  EXPECT_DOUBLE_EQ((TimePoint::origin() + 1500_ms).seconds_f(), 1.5);
+  EXPECT_DOUBLE_EQ((TimePoint::origin() + 1500_us).millis_f(), 1.5);
+}
+
+}  // namespace
+}  // namespace tbd

@@ -1,0 +1,114 @@
+#include "workload/arrival_replay.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/burstiness.h"
+#include "trace/sink.h"
+#include "workload/browse_mix.h"
+
+namespace tbd::workload {
+namespace {
+
+using namespace tbd::literals;
+
+const std::vector<double> kOneClass{1.0};
+
+TEST(PoissonScheduleTest, RateMatches) {
+  Rng rng{1};
+  const auto schedule = poisson_schedule(800.0, 30_s, kOneClass, rng);
+  EXPECT_NEAR(static_cast<double>(schedule.size()), 800.0 * 30.0, 800.0);
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_GE(schedule[i].at.micros(), schedule[i - 1].at.micros());
+  }
+  EXPECT_LT(schedule.back().at.micros(), 30'000'000);
+}
+
+TEST(PoissonScheduleTest, ClassMixRespected) {
+  Rng rng{2};
+  const std::vector<double> weights{0.25, 0.75};
+  const auto schedule = poisson_schedule(1000.0, 20_s, weights, rng);
+  std::size_t class1 = 0;
+  for (const auto& a : schedule) {
+    if (a.class_id == 1) ++class1;
+  }
+  EXPECT_NEAR(static_cast<double>(class1) / schedule.size(), 0.75, 0.03);
+}
+
+TEST(MmppScheduleTest, MeanRateBetweenPhases) {
+  Rng rng{3};
+  MmppConfig cfg;
+  cfg.base_rate_per_s = 400.0;
+  cfg.burst_rate_per_s = 4000.0;
+  cfg.mean_base = 900_ms;
+  cfg.mean_burst = 100_ms;
+  const auto schedule = mmpp_schedule(cfg, 60_s, kOneClass, rng);
+  // Expected rate: (400*0.9 + 4000*0.1) / 1.0 = 760/s.
+  EXPECT_NEAR(static_cast<double>(schedule.size()) / 60.0, 760.0, 80.0);
+}
+
+TEST(MmppScheduleTest, OverdispersedVsPoisson) {
+  Rng rng{4};
+  MmppConfig cfg;
+  const auto bursty = mmpp_schedule(cfg, 60_s, kOneClass, rng);
+  const auto smooth = poisson_schedule(
+      static_cast<double>(bursty.size()) / 60.0, 60_s, kOneClass, rng);
+
+  auto arrivals = [](const ArrivalSchedule& s) {
+    std::vector<TimePoint> ts;
+    for (const auto& a : s) ts.push_back(a.at);
+    return ts;
+  };
+  const double idc_bursty = metrics::index_of_dispersion(
+      arrivals(bursty), TimePoint::origin(), TimePoint::origin() + 60_s, 500_ms);
+  const double idc_smooth = metrics::index_of_dispersion(
+      arrivals(smooth), TimePoint::origin(), TimePoint::origin() + 60_s, 500_ms);
+  EXPECT_GT(idc_bursty, 5.0 * std::max(1.0, idc_smooth));
+}
+
+TEST(ArrivalReplayTest, DrivesTransactionsThroughTheStack) {
+  sim::Engine engine;
+  ntier::Topology topology{engine, ntier::paper_topology()};
+  trace::TraceSink sink{topology.total_servers()};
+  ntier::TxnDriver driver{engine, topology, rubbos_browse_mix(),
+                          sink,   Rng{5},   ntier::TxnDriver::Config{}};
+
+  std::vector<double> weights;
+  for (const auto& c : rubbos_browse_mix()) weights.push_back(c.weight);
+  Rng rng{6};
+  auto schedule = poisson_schedule(300.0, 10_s, weights, rng);
+  const auto expected = schedule.size();
+
+  std::uint64_t pages = 0;
+  ArrivalReplay replay{engine, driver, std::move(schedule),
+                       [&pages](const auto&) { ++pages; }};
+  replay.start();
+  engine.run_until(TimePoint::origin() + 15_s);
+  EXPECT_EQ(replay.pages_started(), expected);
+  EXPECT_EQ(replay.pages_completed(), expected);
+  EXPECT_EQ(pages, expected);
+  EXPECT_FALSE(sink.server_log(0).empty());
+}
+
+TEST(ArrivalReplayTest, OpenLoopDoesNotThrottleUnderOverload) {
+  // Open loop keeps arriving even when the system is saturated — unlike the
+  // closed loop, offered load is independent of response times.
+  sim::Engine engine;
+  ntier::Topology topology{engine, ntier::paper_topology()};
+  trace::TraceSink sink{topology.total_servers()};
+  ntier::TxnDriver driver{engine, topology, rubbos_browse_mix(),
+                          sink,   Rng{7},   ntier::TxnDriver::Config{}};
+  std::vector<double> weights;
+  for (const auto& c : rubbos_browse_mix()) weights.push_back(c.weight);
+  Rng rng{8};
+  // 3000 pages/s >> the ~1500/s capacity.
+  auto schedule = poisson_schedule(3000.0, 5_s, weights, rng);
+  const auto offered = schedule.size();
+  ArrivalReplay replay{engine, driver, std::move(schedule), nullptr};
+  replay.start();
+  engine.run_until(TimePoint::origin() + 5_s);
+  EXPECT_EQ(replay.pages_started(), offered);      // arrivals undeterred
+  EXPECT_LT(replay.pages_completed(), offered);    // system cannot keep up
+}
+
+}  // namespace
+}  // namespace tbd::workload

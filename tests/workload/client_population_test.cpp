@@ -1,0 +1,122 @@
+#include "workload/client_population.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/sink.h"
+#include "workload/browse_mix.h"
+
+namespace tbd::workload {
+namespace {
+
+using namespace tbd::literals;
+
+struct World {
+  sim::Engine engine;
+  std::unique_ptr<ntier::Topology> topology;
+  std::unique_ptr<trace::TraceSink> sink;
+  std::unique_ptr<ntier::TxnDriver> driver;
+
+  World() {
+    topology = std::make_unique<ntier::Topology>(engine, ntier::paper_topology());
+    sink = std::make_unique<trace::TraceSink>(topology->total_servers());
+    driver = std::make_unique<ntier::TxnDriver>(
+        engine, *topology, rubbos_browse_mix(), *sink, Rng{3},
+        ntier::TxnDriver::Config{});
+  }
+};
+
+TEST(ClientPopulationTest, ClosedLoopCompletesPages) {
+  World w;
+  ClientConfig cfg;
+  cfg.num_clients = 100;
+  cfg.mean_think = 1_s;  // fast loop for testing
+  cfg.bursts_enabled = false;
+  std::uint64_t pages = 0;
+  ClientPopulation pop{w.engine, *w.driver, cfg, Rng{5},
+                       [&pages](const auto&) { ++pages; }};
+  pop.start();
+  w.engine.run_until(TimePoint::origin() + 20_s);
+  // X ~ N/Z = 100 pages/s over 20s ~ 2000 (first think consumes ~1s each).
+  EXPECT_GT(pages, 1600u);
+  EXPECT_LT(pages, 2400u);
+  EXPECT_EQ(pop.pages_completed(), pages);
+}
+
+TEST(ClientPopulationTest, ThroughputScalesWithPopulation) {
+  auto run = [](int n) {
+    World w;
+    ClientConfig cfg;
+    cfg.num_clients = n;
+    cfg.mean_think = 1_s;
+    cfg.bursts_enabled = false;
+    std::uint64_t pages = 0;
+    ClientPopulation pop{w.engine, *w.driver, cfg, Rng{5},
+                         [&pages](const auto&) { ++pages; }};
+    pop.start();
+    w.engine.run_until(TimePoint::origin() + 10_s);
+    return pages;
+  };
+  const auto x100 = run(100);
+  const auto x200 = run(200);
+  EXPECT_NEAR(static_cast<double>(x200) / static_cast<double>(x100), 2.0, 0.2);
+}
+
+TEST(ClientPopulationTest, BurstsFireAtConfiguredRate) {
+  World w;
+  ClientConfig cfg;
+  cfg.num_clients = 200;
+  cfg.mean_think = 5_s;
+  cfg.bursts_enabled = true;
+  cfg.mean_burst_gap = 500_ms;
+  ClientPopulation pop{w.engine, *w.driver, cfg, Rng{5}, nullptr};
+  pop.start();
+  w.engine.run_until(TimePoint::origin() + 30_s);
+  // ~60 bursts expected over 30s at a 500ms mean gap (sd ~ 8).
+  EXPECT_GT(pop.bursts_fired(), 35u);
+  EXPECT_LT(pop.bursts_fired(), 90u);
+}
+
+TEST(ClientPopulationTest, BurstsCreateArrivalSpikes) {
+  // Compare the max pages completed in any 100ms window with/without bursts.
+  auto max_window = [](bool bursts) {
+    World w;
+    ClientConfig cfg;
+    cfg.num_clients = 2000;
+    cfg.mean_think = 5_s;
+    cfg.bursts_enabled = bursts;
+    cfg.burst_fraction = 0.05;
+    cfg.mean_burst_gap = 1_s;
+    std::vector<int> windows(400, 0);
+    ClientPopulation pop{w.engine, *w.driver, cfg, Rng{5},
+                         [&](const ntier::TxnDriver::PageResult& r) {
+                           const auto idx = static_cast<std::size_t>(
+                               (r.started + r.response_time).micros() / 100'000);
+                           if (idx < windows.size()) ++windows[idx];
+                         }};
+    pop.start();
+    w.engine.run_until(TimePoint::origin() + 40_s);
+    int best = 0;
+    for (int v : windows) best = std::max(best, v);
+    return best;
+  };
+  EXPECT_GT(max_window(true), max_window(false) * 2);
+}
+
+TEST(ClientPopulationTest, DeterministicGivenSeed) {
+  auto run = [] {
+    World w;
+    ClientConfig cfg;
+    cfg.num_clients = 50;
+    cfg.mean_think = 1_s;
+    std::uint64_t pages = 0;
+    ClientPopulation pop{w.engine, *w.driver, cfg, Rng{11},
+                         [&pages](const auto&) { ++pages; }};
+    pop.start();
+    w.engine.run_until(TimePoint::origin() + 10_s);
+    return pages;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace tbd::workload

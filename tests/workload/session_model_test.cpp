@@ -1,0 +1,97 @@
+#include "workload/session_model.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/sink.h"
+#include "workload/browse_mix.h"
+#include "workload/client_population.h"
+
+namespace tbd::workload {
+namespace {
+
+using namespace tbd::literals;
+
+TEST(SessionModelTest, RowsAreValidDistributions) {
+  const auto model = rubbos_browse_sessions();
+  EXPECT_EQ(model.classes(), rubbos_browse_mix().size());
+  // Sampling never returns an out-of-range class.
+  Rng rng{1};
+  for (int i = 0; i < 1000; ++i) {
+    const auto f = model.first(rng);
+    ASSERT_LT(f, model.classes());
+    ASSERT_LT(model.next(f, rng), model.classes());
+  }
+}
+
+TEST(SessionModelTest, StationaryNearMixWeights) {
+  const auto model = rubbos_browse_sessions();
+  const auto pi = model.stationary();
+  const auto mix = rubbos_browse_mix();
+  ASSERT_EQ(pi.size(), mix.size());
+  double total = 0.0;
+  for (std::size_t c = 0; c < pi.size(); ++c) {
+    EXPECT_NEAR(pi[c], mix[c].weight, 0.05) << mix[c].name;
+    total += pi[c];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SessionModelTest, IndependentModelReproducesWeights) {
+  const std::vector<double> weights{0.2, 0.5, 0.3};
+  const auto model = SessionModel::independent(weights);
+  const auto pi = model.stationary();
+  for (std::size_t c = 0; c < weights.size(); ++c) {
+    EXPECT_NEAR(pi[c], weights[c], 1e-9);
+  }
+  // next() ignores the previous state.
+  Rng rng{2};
+  std::vector<int> hits(3, 0);
+  for (int i = 0; i < 30'000; ++i) ++hits[model.next(0, rng)];
+  EXPECT_NEAR(hits[1] / 30'000.0, 0.5, 0.02);
+}
+
+TEST(SessionModelTest, TransitionsAreCorrelated) {
+  // ViewStory (1) must lead to ViewComment (2) far more often than the
+  // stationary share of ViewComment: that correlation is the point.
+  const auto model = rubbos_browse_sessions();
+  Rng rng{3};
+  int after_story = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (model.next(1, rng) == 2) ++after_story;
+  }
+  EXPECT_GT(after_story / static_cast<double>(n), 0.3);
+}
+
+TEST(SessionModelTest, DrivesClientPopulation) {
+  sim::Engine engine;
+  ntier::Topology topology{engine, ntier::paper_topology()};
+  trace::TraceSink sink{topology.total_servers()};
+  ntier::TxnDriver driver{engine, topology, rubbos_browse_mix(),
+                          sink,   Rng{4},   ntier::TxnDriver::Config{}};
+  ClientConfig cfg;
+  cfg.num_clients = 300;
+  cfg.mean_think = 500_ms;
+  cfg.bursts_enabled = false;
+  std::vector<int> class_counts(rubbos_browse_mix().size(), 0);
+  ClientPopulation pop{engine, driver, cfg, Rng{5},
+                       [&](const ntier::TxnDriver::PageResult& r) {
+                         ++class_counts[r.class_id];
+                       }};
+  pop.use_sessions(rubbos_browse_sessions());
+  pop.start();
+  engine.run_until(TimePoint::origin() + 30_s);
+
+  int total = 0;
+  for (int c : class_counts) total += c;
+  ASSERT_GT(total, 5000);
+  // Long-run class shares follow the stationary distribution.
+  const auto pi = rubbos_browse_sessions().stationary();
+  for (std::size_t c = 0; c < class_counts.size(); ++c) {
+    EXPECT_NEAR(class_counts[c] / static_cast<double>(total), pi[c], 0.04)
+        << "class " << c;
+  }
+}
+
+}  // namespace
+}  // namespace tbd::workload

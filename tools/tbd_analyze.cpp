@@ -1,0 +1,199 @@
+// tbd_analyze: command-line transient-bottleneck analysis of request-log
+// CSVs (the operator-facing entry point; no simulator involved).
+//
+// Usage:
+//   tbd_analyze [options] LOG.csv [LOG2.csv ...]
+//
+// Each CSV holds per-server request records (see trace/log_io.h for the
+// format: server,class,arrival_us,departure_us,txn). Records from multiple
+// files are merged; analysis runs per server index found in the data.
+//
+// Options:
+//   --width MS        analysis interval in milliseconds (default 50)
+//   --auto-width      pick the interval length automatically (Sec III-D
+//                     future work; overrides --width)
+//   --calib-seconds S estimate per-class service times from the first S
+//                     seconds of each server's records (default: whole log,
+//                     masked at the 20th percentile)
+//   --scatter         print the ASCII main-sequence scatter per server
+//   --episodes N      print the N longest congestion episodes per server
+//   --csv PREFIX      dump per-server load/throughput series to
+//                     PREFIX_<server>.csv
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/interval_selection.h"
+#include "core/report.h"
+#include "core/system_report.h"
+#include "trace/log_io.h"
+#include "util/csv.h"
+
+using namespace tbd;
+
+namespace {
+
+struct Options {
+  double width_ms = 50.0;
+  bool auto_width = false;
+  double calib_seconds = 0.0;  // 0 = whole log
+  bool scatter = false;
+  int episodes = 0;
+  std::string csv_prefix;
+  std::vector<std::string> files;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: tbd_analyze [--width MS] [--auto-width] "
+               "[--calib-seconds S]\n"
+               "                   [--scatter] [--episodes N] [--csv PREFIX] "
+               "LOG.csv [...]\n");
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--width") {
+      const char* v = next();
+      if (!v) return false;
+      opt.width_ms = std::atof(v);
+    } else if (arg == "--auto-width") {
+      opt.auto_width = true;
+    } else if (arg == "--calib-seconds") {
+      const char* v = next();
+      if (!v) return false;
+      opt.calib_seconds = std::atof(v);
+    } else if (arg == "--scatter") {
+      opt.scatter = true;
+    } else if (arg == "--episodes") {
+      const char* v = next();
+      if (!v) return false;
+      opt.episodes = std::atoi(v);
+    } else if (arg == "--csv") {
+      const char* v = next();
+      if (!v) return false;
+      opt.csv_prefix = v;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    } else {
+      opt.files.push_back(arg);
+    }
+  }
+  return !opt.files.empty() && opt.width_ms > 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+
+  // ---- load & split by server -----------------------------------------------
+  std::map<trace::ServerIndex, trace::RequestLog> by_server;
+  TimePoint t_min = TimePoint::max();
+  TimePoint t_max;
+  for (const auto& path : opt.files) {
+    const auto loaded = trace::load_request_log_csv(path);
+    if (!loaded.ok) {
+      std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("loaded %zu records from %s (%zu lines skipped)\n",
+                loaded.records.size(), path.c_str(), loaded.skipped_lines);
+    for (const auto& r : loaded.records) {
+      by_server[r.server].push_back(r);
+      t_min = std::min(t_min, r.arrival);
+      t_max = std::max(t_max, r.departure);
+    }
+  }
+  if (by_server.empty()) {
+    std::fprintf(stderr, "error: no records\n");
+    return 1;
+  }
+
+  // ---- analyze per server -----------------------------------------------------
+  std::vector<core::DetectionResult> detections;
+  std::vector<std::string> names;
+  for (const auto& [server, log] : by_server) {
+    // Service times from the calibration prefix (low quantile masks queueing).
+    trace::RequestLog calib = log;
+    if (opt.calib_seconds > 0.0) {
+      const TimePoint cutoff =
+          t_min + Duration::from_seconds_f(opt.calib_seconds);
+      calib.erase(std::remove_if(calib.begin(), calib.end(),
+                                 [&](const trace::RequestRecord& r) {
+                                   return r.departure >= cutoff;
+                                 }),
+                  calib.end());
+      if (calib.empty()) calib = log;
+    }
+    const auto table = core::estimate_service_times(calib);
+
+    Duration width = Duration::from_millis_f(opt.width_ms);
+    if (opt.auto_width) {
+      const std::vector<Duration> candidates{
+          Duration::millis(20), Duration::millis(50), Duration::millis(100),
+          Duration::millis(250), Duration::seconds(1)};
+      const auto sel =
+          core::choose_interval_length(log, t_min, t_max, table, candidates);
+      width = sel.chosen;
+      std::printf("server %u: auto-selected interval %s\n", server,
+                  width.to_string().c_str());
+    }
+
+    const auto spec = core::IntervalSpec::over(t_min, t_max, width);
+    auto detection = core::detect_bottlenecks(log, spec, table);
+    const std::string name = "server" + std::to_string(server);
+    std::printf("\n%s", core::summarize(detection, name).c_str());
+    if (opt.scatter) {
+      std::printf("%s", core::ascii_scatter(detection.load,
+                                            detection.throughput,
+                                            detection.nstar.n_star)
+                            .c_str());
+    }
+    if (opt.episodes > 0) {
+      auto episodes = detection.episodes;
+      std::sort(episodes.begin(), episodes.end(),
+                [](const core::Episode& a, const core::Episode& b) {
+                  return a.duration > b.duration;
+                });
+      const auto n = std::min<std::size_t>(episodes.size(),
+                                           static_cast<std::size_t>(opt.episodes));
+      for (std::size_t e = 0; e < n; ++e) {
+        std::printf("  episode t=%.2fs %s peak-load=%.0f%s\n",
+                    episodes[e].start.seconds_f(),
+                    episodes[e].duration.to_string().c_str(),
+                    episodes[e].peak_load,
+                    episodes[e].contains_freeze ? " FROZEN" : "");
+      }
+    }
+    if (!opt.csv_prefix.empty()) {
+      CsvWriter::write_columns(
+          opt.csv_prefix + "_" + name + ".csv",
+          {"t_s", "load", "norm_tput_per_s"},
+          {spec.midpoints_seconds(), detection.load, detection.throughput});
+    }
+    detections.push_back(std::move(detection));
+    names.push_back(name);
+  }
+
+  std::printf("\n%s", core::to_string(
+                          core::rank_bottlenecks(detections, names))
+                          .c_str());
+  return 0;
+}
