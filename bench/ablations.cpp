@@ -18,6 +18,7 @@
 #include "core/interval_selection.h"
 #include "trace/reconstructor.h"
 #include "util/csv.h"
+#include "util/thread_pool.h"
 
 using namespace tbd;
 using namespace tbd::literals;
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   const Duration duration = args.run_duration(30_s);
 
   benchx::print_header("Ablations: normalization, parent-pick, auto interval");
+  benchx::BenchSummary summary{"ablations"};
 
   // Shared run: WL 10,000 with SpeedStep (rich congestion structure).
   app::ExperimentConfig cfg;
@@ -36,8 +38,17 @@ int main(int argc, char** argv) {
   cfg.seed = 777;
   cfg.speedstep_on_db = true;
   cfg.record_messages = true;
-  const auto tables = app::calibrate_service_times(cfg);
-  const auto result = app::run_experiment(cfg);
+  // Calibration and the instrumented run are independent simulations —
+  // overlap them on the pool.
+  std::vector<core::ServiceTimeTable> tables;
+  app::ExperimentResult result;
+  shared_pool().parallel_for_indexed(2, [&](std::size_t task) {
+    if (task == 0) {
+      tables = app::calibrate_service_times(cfg);
+    } else {
+      result = app::run_experiment(cfg);
+    }
+  });
   const int db1 = result.server_index_of(ntier::TierKind::kDb, 0);
   const auto& log = result.logs[static_cast<std::size_t>(db1)];
   const auto& table = tables[static_cast<std::size_t>(db1)];
@@ -106,15 +117,20 @@ int main(int argc, char** argv) {
   }
 
   // ---- A2: reconstruction parent pick ---------------------------------------
-  trace::TraceReconstructor lifo{0, trace::ParentPick::kMostRecentlyReady};
-  trace::TraceReconstructor fifo{0, trace::ParentPick::kLeastRecentlyReady};
-  trace::TraceReconstructor learned{0, trace::ParentPick::kExpectedElapsed};
-  lifo.process(result.messages);
-  fifo.process(result.messages);
-  learned.process(result.messages);
-  const double acc_lifo = lifo.score_against_truth().edge_accuracy();
-  const double acc_fifo = fifo.score_against_truth().edge_accuracy();
-  const double acc_learned = learned.score_against_truth().edge_accuracy();
+  // The three policies replay the same immutable message stream — fan them
+  // out across the pool.
+  const trace::ParentPick picks[] = {trace::ParentPick::kMostRecentlyReady,
+                                     trace::ParentPick::kLeastRecentlyReady,
+                                     trace::ParentPick::kExpectedElapsed};
+  std::vector<double> accuracy(std::size(picks));
+  shared_pool().parallel_for_indexed(accuracy.size(), [&](std::size_t p) {
+    trace::TraceReconstructor reconstructor{0, picks[p]};
+    reconstructor.process(result.messages);
+    accuracy[p] = reconstructor.score_against_truth().edge_accuracy();
+  });
+  const double acc_lifo = accuracy[0];
+  const double acc_fifo = accuracy[1];
+  const double acc_learned = accuracy[2];
   std::printf("\n  A2 reconstruction edge accuracy: LIFO=%.4f  FIFO=%.4f  "
               "learned=%.4f\n",
               acc_lifo, acc_fifo, acc_learned);
@@ -144,5 +160,6 @@ int main(int argc, char** argv) {
                            {w_col, blur_col, ret_col});
   benchx::print_expectation("auto-chosen width", "around the paper's 50ms",
                             sel.chosen.to_string());
+  summary.set("engine_events", static_cast<double>(result.engine_events));
   return 0;
 }

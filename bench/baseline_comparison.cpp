@@ -10,12 +10,13 @@
 //     blind to the response-time tail the transient bottlenecks create.
 #include <cstdio>
 
-#include "app/experiment.h"
+#include "app/sweep.h"
 #include "baseline/coarse_detector.h"
 #include "baseline/mva.h"
 #include "bench_util.h"
 #include "core/detector.h"
 #include "util/csv.h"
+#include "util/thread_pool.h"
 #include "workload/browse_mix.h"
 
 using namespace tbd;
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
   const Duration duration = args.run_duration(60_s);
 
   benchx::print_header("Baselines: coarse sampling, sampler overhead, MVA");
+  benchx::BenchSummary summary{"baseline_comparison"};
 
   // ---- 1. detection recall ---------------------------------------------------
   // WL well below the knee, client bursts off: GC freezes are TRANSIENT
@@ -39,8 +41,17 @@ int main(int argc, char** argv) {
   cfg.seed = 2023;
   cfg.clients.bursts_enabled = false;
   cfg.gc = transient::jdk15_config();  // serial GC = ground-truth bottlenecks
-  const auto tables = app::calibrate_service_times(cfg);
-  const auto result = app::run_experiment(cfg);
+  // Calibration and the measurement run are independent simulations —
+  // overlap them on the pool.
+  std::vector<core::ServiceTimeTable> tables;
+  app::ExperimentResult result;
+  shared_pool().parallel_for_indexed(2, [&](std::size_t task) {
+    if (task == 0) {
+      tables = app::calibrate_service_times(cfg);
+    } else {
+      result = app::run_experiment(cfg);
+    }
+  });
   const int app1 = result.server_index_of(ntier::TierKind::kApp, 0);
 
   // Ground truth: the stop-the-world windows of app1 (major pauses freeze the
@@ -107,16 +118,23 @@ int main(int argc, char** argv) {
   std::printf("\n  MVA vs simulation (SpeedStep on, the Figure 2 config):\n");
   std::printf("  %-8s %-12s %-12s %-12s %-12s %-14s\n", "WL", "X_mva",
               "X_sim", "R_mva[s]", "R_sim[s]", ">2s sim[%]");
-  std::vector<double> wl_col, xm_col, xs_col, rm_col, rs_col, tail_col;
-  for (int wl : {2000, 6000, 10000, 14000}) {
-    const auto mva = baseline::solve_mva(model, wl);
+  const std::vector<int> workloads{2000, 6000, 10000, 14000};
+  std::vector<app::ExperimentConfig> sim_configs;
+  for (int wl : workloads) {
     app::ExperimentConfig sim_cfg;
     sim_cfg.workload = wl;
     sim_cfg.warmup = 10_s;
     sim_cfg.duration = args.run_duration(30_s);
     sim_cfg.seed = 2024;
     sim_cfg.speedstep_on_db = true;
-    const auto sim = app::run_experiment(sim_cfg);
+    sim_configs.push_back(sim_cfg);
+  }
+  const auto sims = app::run_sweep(sim_configs);
+  std::vector<double> wl_col, xm_col, xs_col, rm_col, rs_col, tail_col;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const int wl = workloads[i];
+    const auto mva = baseline::solve_mva(model, wl);
+    const auto& sim = sims[i];
     const double tail = 100.0 * sim.fraction_rt_above(2_s);
     std::printf("  %-8d %-12.0f %-12.0f %-12.3f %-12.3f %-14.2f\n", wl,
                 mva.throughput, sim.goodput(), mva.response_time_s,
@@ -142,5 +160,7 @@ int main(int argc, char** argv) {
                 tail_col.back());
   benchx::print_expectation("response-time tail",
                             "MVA blind to transient-bottleneck tail", buf);
+  summary.set("sweep_points", static_cast<double>(sims.size()));
+  summary.set("engine_events", static_cast<double>(result.engine_events));
   return 0;
 }

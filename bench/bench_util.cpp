@@ -1,9 +1,14 @@
 #include "bench_util.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iterator>
+#include <sstream>
 
 #include "util/csv.h"
+#include "util/thread_pool.h"
 
 namespace tbd::benchx {
 
@@ -35,5 +40,103 @@ void print_expectation(const std::string& what, const std::string& paper,
   std::printf("  %-46s paper: %-22s measured: %s\n", what.c_str(),
               paper.c_str(), measured.c_str());
 }
+
+namespace {
+
+// Splits a JSON object's top level into name -> raw value text. Only needs
+// to survive what this file writes (string keys, flat object values with
+// numeric fields), but tracks strings and nesting so hand edits don't break
+// the merge; on any malformed input the file is simply rewritten fresh.
+std::map<std::string, std::string> parse_top_level(const std::string& text) {
+  std::map<std::string, std::string> entries;
+  std::size_t i = text.find('{');
+  if (i == std::string::npos) return entries;
+  ++i;
+  while (i < text.size()) {
+    const std::size_t key_open = text.find('"', i);
+    if (key_open == std::string::npos) break;
+    const std::size_t key_close = text.find('"', key_open + 1);
+    if (key_close == std::string::npos) break;
+    const std::string key = text.substr(key_open + 1, key_close - key_open - 1);
+    const std::size_t colon = text.find(':', key_close);
+    if (colon == std::string::npos) break;
+    std::size_t v = colon + 1;
+    while (v < text.size() && std::isspace(static_cast<unsigned char>(text[v]))) ++v;
+    if (v >= text.size() || text[v] != '{') break;
+    int depth = 0;
+    bool in_string = false;
+    std::size_t end = v;
+    for (; end < text.size(); ++end) {
+      const char c = text[end];
+      if (in_string) {
+        if (c == '\\') ++end;
+        else if (c == '"') in_string = false;
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (--depth == 0) break;
+      }
+    }
+    if (end >= text.size()) break;
+    entries[key] = text.substr(v, end - v + 1);
+    i = end + 1;
+  }
+  return entries;
+}
+
+std::string format_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchSummary::BenchSummary(std::string bench_name)
+    : name_{std::move(bench_name)},
+      started_{std::chrono::steady_clock::now()} {}
+
+void BenchSummary::set(const std::string& key, double value) {
+  metrics_[key] = value;
+}
+
+void BenchSummary::finish() {
+  if (finished_) return;
+  finished_ = true;
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started_)
+          .count();
+
+  const std::string path = out_dir() + "/bench_summary.json";
+  std::map<std::string, std::string> entries;
+  if (std::ifstream in{path}) {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    entries = parse_top_level(buf.str());
+  }
+
+  std::map<std::string, double> fields = metrics_;
+  fields["wall_s"] = wall_s;
+  fields["threads"] = ThreadPool::default_thread_count();
+  std::string entry = "{";
+  for (auto it = fields.begin(); it != fields.end(); ++it) {
+    if (it != fields.begin()) entry += ", ";
+    entry += "\"" + it->first + "\": " + format_number(it->second);
+  }
+  entry += "}";
+  entries[name_] = entry;
+
+  std::ofstream out{path, std::ios::trunc};
+  out << "{\n";
+  for (auto it = entries.begin(); it != entries.end(); ++it) {
+    out << "  \"" << it->first << "\": " << it->second;
+    out << (std::next(it) == entries.end() ? "\n" : ",\n");
+  }
+  out << "}\n";
+}
+
+BenchSummary::~BenchSummary() { finish(); }
 
 }  // namespace tbd::benchx

@@ -1,8 +1,12 @@
 // Shared plumbing for the figure-reproduction binaries: output directory,
-// section headers, and the --full flag that switches from quick (CI-sized)
-// runs to the paper's full 3-minute runs.
+// section headers, the --full flag that switches from quick (CI-sized)
+// runs to the paper's full 3-minute runs, and the machine-readable
+// bench_summary.json perf record that gives successive PRs a wall-clock /
+// events-per-second trajectory to compare against.
 #pragma once
 
+#include <chrono>
+#include <map>
 #include <string>
 
 #include "util/time.h"
@@ -30,5 +34,30 @@ void print_header(const std::string& title);
 /// Prints a "paper vs measured" line for EXPERIMENTS.md cross-checking.
 void print_expectation(const std::string& what, const std::string& paper,
                        const std::string& measured);
+
+/// Perf record for one bench run. Construction starts the wall-clock timer;
+/// destruction (or finish()) writes/merges the entry — wall seconds, thread
+/// count, plus any set() metrics — into bench_out/bench_summary.json keyed
+/// by `bench_name`. Entries of other benches in the file are preserved, so
+/// running the whole suite accumulates one summary object.
+class BenchSummary {
+ public:
+  explicit BenchSummary(std::string bench_name);
+  ~BenchSummary();
+  BenchSummary(const BenchSummary&) = delete;
+  BenchSummary& operator=(const BenchSummary&) = delete;
+
+  /// Records a numeric metric (e.g. "engine_events_per_s").
+  void set(const std::string& key, double value);
+
+  /// Writes the entry now (idempotent; the destructor then does nothing).
+  void finish();
+
+ private:
+  std::string name_;
+  std::map<std::string, double> metrics_;
+  std::chrono::steady_clock::time_point started_;
+  bool finished_ = false;
+};
 
 }  // namespace tbd::benchx

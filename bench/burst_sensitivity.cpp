@@ -12,11 +12,12 @@
 // the clock-speed mismatch, even strong bursts drain quickly.
 #include <cstdio>
 
-#include "app/experiment.h"
+#include "app/sweep.h"
 #include "bench_util.h"
 #include "core/detector.h"
 #include "metrics/burstiness.h"
 #include "util/csv.h"
+#include "util/thread_pool.h"
 
 using namespace tbd;
 using namespace tbd::literals;
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
 
   benchx::print_header(
       "Burstiness sensitivity: bursts x SpeedStep => transient bottlenecks");
+  benchx::BenchSummary summary{"burst_sensitivity"};
 
   app::ExperimentConfig base;
   base.workload = 8000;
@@ -34,47 +36,78 @@ int main(int argc, char** argv) {
   base.seed = 616;
   const auto tables = app::calibrate_service_times(base);
 
-  std::printf("  %-12s %-10s %-10s %-9s %-10s %-12s %-10s\n", "burst[%pop]",
-              "speedstep", "X[p/s]", "IDC(1s)", ">2s[%]", "dbCong[%]",
-              "episodes");
-  std::vector<double> frac_col, ss_col, idc_col, tail_col, cong_col;
+  // The 2x4 grid (SpeedStep x burst intensity) runs as one parallel sweep;
+  // the per-cell detection + IDC analysis then fans out over the results.
+  struct Cell {
+    bool speedstep = false;
+    double frac = 0.0;
+  };
+  std::vector<Cell> cells;
+  std::vector<app::ExperimentConfig> configs;
   for (const bool speedstep : {true, false}) {
     for (const double frac : {0.0, 0.015, 0.03, 0.06}) {
       app::ExperimentConfig cfg = base;
       cfg.speedstep_on_db = speedstep;
       cfg.clients.bursts_enabled = frac > 0.0;
       cfg.clients.burst_fraction = frac;
-      const auto result = app::run_experiment(cfg);
-      const int db1 = result.server_index_of(ntier::TierKind::kDb, 0);
-      const auto spec = core::IntervalSpec::over(result.window_start,
-                                                 result.window_end, 50_ms);
-      const auto detection = core::detect_bottlenecks(
-          result.logs[static_cast<std::size_t>(db1)], spec,
-          tables[static_cast<std::size_t>(db1)]);
-      const double tail = 100.0 * result.fraction_rt_above(2_s);
-      const double cong = 100.0 * detection.congested_fraction();
-
-      // Burstiness of the page-arrival process at the web tier, quantified
-      // with the index of dispersion for counts [Mi et al.]: the modulator
-      // must raise IDC well above the Poisson baseline of 1.
-      std::vector<TimePoint> arrivals;
-      const int web = result.server_index_of(ntier::TierKind::kWeb, 0);
-      for (const auto& r : result.logs[static_cast<std::size_t>(web)]) {
-        arrivals.push_back(r.arrival);
-      }
-      const double idc = metrics::index_of_dispersion(
-          arrivals, result.window_start, result.window_end, 1_s);
-
-      std::printf("  %-12.1f %-10s %-10.0f %-9.1f %-10.2f %-12.1f %-10zu\n",
-                  100.0 * frac, speedstep ? "on" : "off", result.goodput(),
-                  idc, tail, cong, detection.episodes.size());
-      frac_col.push_back(100.0 * frac);
-      ss_col.push_back(speedstep ? 1.0 : 0.0);
-      idc_col.push_back(idc);
-      tail_col.push_back(tail);
-      cong_col.push_back(cong);
+      cells.push_back(Cell{speedstep, frac});
+      configs.push_back(cfg);
     }
   }
+  const auto results = app::run_sweep(configs);
+
+  struct CellAnalysis {
+    double goodput = 0.0;
+    double idc = 0.0;
+    double tail = 0.0;
+    double cong = 0.0;
+    std::size_t episodes = 0;
+  };
+  std::vector<CellAnalysis> analyses(results.size());
+  shared_pool().parallel_for_indexed(results.size(), [&](std::size_t i) {
+    const auto& result = results[i];
+    const int db1 = result.server_index_of(ntier::TierKind::kDb, 0);
+    const auto spec = core::IntervalSpec::over(result.window_start,
+                                               result.window_end, 50_ms);
+    const auto detection = core::detect_bottlenecks(
+        result.logs[static_cast<std::size_t>(db1)], spec,
+        tables[static_cast<std::size_t>(db1)]);
+
+    // Burstiness of the page-arrival process at the web tier, quantified
+    // with the index of dispersion for counts [Mi et al.]: the modulator
+    // must raise IDC well above the Poisson baseline of 1.
+    std::vector<TimePoint> arrivals;
+    const int web = result.server_index_of(ntier::TierKind::kWeb, 0);
+    for (const auto& r : result.logs[static_cast<std::size_t>(web)]) {
+      arrivals.push_back(r.arrival);
+    }
+    analyses[i] = CellAnalysis{
+        result.goodput(),
+        metrics::index_of_dispersion(arrivals, result.window_start,
+                                     result.window_end, 1_s),
+        100.0 * result.fraction_rt_above(2_s),
+        100.0 * detection.congested_fraction(),
+        detection.episodes.size(),
+    };
+  });
+
+  std::printf("  %-12s %-10s %-10s %-9s %-10s %-12s %-10s\n", "burst[%pop]",
+              "speedstep", "X[p/s]", "IDC(1s)", ">2s[%]", "dbCong[%]",
+              "episodes");
+  std::vector<double> frac_col, ss_col, idc_col, tail_col, cong_col;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& [speedstep, frac] = cells[i];
+    const auto& a = analyses[i];
+    std::printf("  %-12.1f %-10s %-10.0f %-9.1f %-10.2f %-12.1f %-10zu\n",
+                100.0 * frac, speedstep ? "on" : "off", a.goodput, a.idc,
+                a.tail, a.cong, a.episodes);
+    frac_col.push_back(100.0 * frac);
+    ss_col.push_back(speedstep ? 1.0 : 0.0);
+    idc_col.push_back(a.idc);
+    tail_col.push_back(a.tail);
+    cong_col.push_back(a.cong);
+  }
+  summary.set("sweep_points", static_cast<double>(results.size()));
   CsvWriter::write_columns(
       benchx::out_dir() + "/burst_sensitivity.csv",
       {"burst_pct", "speedstep", "idc_1s", "pct_over_2s", "db_congested_pct"},

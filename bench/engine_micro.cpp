@@ -1,0 +1,125 @@
+// Engine hot-path microbenchmark: raw events/second through sim::Engine
+// under the three patterns the simulator actually produces, recorded into
+// bench_out/bench_summary.json so successive PRs can track the trajectory.
+//
+//   chain    an event schedules its successor (txn flow, think timers)
+//   churn    schedule + cancel + reschedule (PS servers re-arming their
+//            "next completion" on every arrival/departure/clock change)
+//   periodic PeriodicTask re-arming (samplers, SpeedStep governor loop)
+//
+// All three are single-Engine, single-thread by construction — this is the
+// per-run cost the sweep parallelism multiplies, so the number reported is
+// events/sec on ONE core.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/engine.h"
+
+using namespace tbd;
+using namespace tbd::literals;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// An event that keeps rescheduling itself until `remaining` hits zero.
+std::uint64_t run_chain(sim::Engine& engine, std::uint64_t events) {
+  std::uint64_t remaining = events;
+  std::function<void()> step = [&] {
+    if (--remaining > 0) engine.schedule_after(1_us, step);
+  };
+  engine.schedule_after(1_us, step);
+  engine.run_all();
+  return engine.events_executed();
+}
+
+// The PS-server pattern: each "arrival" cancels the pending completion and
+// schedules a fresh one, so half the scheduled events die cancelled.
+std::uint64_t run_churn(sim::Engine& engine, std::uint64_t rounds) {
+  std::uint64_t remaining = rounds;
+  sim::EventHandle completion;
+  std::function<void()> arrive = [&] {
+    engine.cancel(completion);
+    completion = engine.schedule_after(10_us, [] {});
+    if (--remaining > 0) engine.schedule_after(1_us, arrive);
+  };
+  engine.schedule_after(1_us, arrive);
+  engine.run_all();
+  return engine.events_executed();
+}
+
+std::uint64_t run_periodic(sim::Engine& engine, int tasks,
+                           Duration horizon) {
+  std::vector<std::unique_ptr<sim::PeriodicTask>> running;
+  running.reserve(static_cast<std::size_t>(tasks));
+  for (int t = 0; t < tasks; ++t) {
+    running.push_back(std::make_unique<sim::PeriodicTask>(
+        engine, TimePoint::origin() + Duration::micros(t + 1), 100_us,
+        [](TimePoint) {}));
+  }
+  engine.run_until(TimePoint::origin() + horizon);
+  return engine.events_executed();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchx::BenchArgs::parse(argc, argv);
+  const std::uint64_t scale = args.full ? 5'000'000 : 1'000'000;
+
+  benchx::print_header("Engine microbenchmark: events/second, single run");
+  benchx::BenchSummary summary{"engine_micro"};
+
+  double total_events = 0.0;
+  double total_wall = 0.0;
+  struct Case {
+    const char* name;
+    std::uint64_t events;
+    double wall_s;
+  };
+  std::vector<Case> cases;
+
+  {
+    sim::Engine engine;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto n = run_chain(engine, scale);
+    cases.push_back({"chain", n, seconds_since(t0)});
+  }
+  {
+    sim::Engine engine;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto n = run_churn(engine, scale / 2);
+    cases.push_back({"churn", n, seconds_since(t0)});
+  }
+  {
+    sim::Engine engine;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto n = run_periodic(engine, 64,
+                                Duration::micros(static_cast<std::int64_t>(
+                                    scale / 64 * 100)));
+    cases.push_back({"periodic", n, seconds_since(t0)});
+  }
+
+  std::printf("  %-10s %-14s %-10s %-14s\n", "pattern", "events", "wall[s]",
+              "events/sec");
+  for (const auto& c : cases) {
+    const double rate = static_cast<double>(c.events) / c.wall_s;
+    std::printf("  %-10s %-14llu %-10.3f %-14.3g\n", c.name,
+                static_cast<unsigned long long>(c.events), c.wall_s, rate);
+    summary.set(std::string{"events_per_s_"} + c.name, rate);
+    total_events += static_cast<double>(c.events);
+    total_wall += c.wall_s;
+  }
+  const double overall = total_events / total_wall;
+  std::printf("  %-10s %-14.0f %-10.3f %-14.3g\n", "ALL", total_events,
+              total_wall, overall);
+  summary.set("engine_events", total_events);
+  summary.set("engine_events_per_s", overall);
+  return 0;
+}

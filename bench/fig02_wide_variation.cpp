@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "app/experiment.h"
+#include "app/sweep.h"
 #include "bench_util.h"
 #include "util/csv.h"
 
@@ -38,13 +38,27 @@ int main(int argc, char** argv) {
 
   benchx::print_header(
       "Figure 2: response time variation below max throughput (SpeedStep on)");
+  benchx::BenchSummary summary{"fig02_wide_variation"};
+
+  // The whole WL axis runs as one parallel sweep; results come back in
+  // input order, so the printed rows and the CSV are identical to the
+  // serial (TBD_THREADS=1) run.
+  std::vector<int> workloads;
+  std::vector<app::ExperimentConfig> configs;
+  for (int wl = 1000; wl <= 16000; wl += 1000) {
+    workloads.push_back(wl);
+    configs.push_back(fig2_config(wl, duration));
+  }
+  const auto results = app::run_sweep(configs);
 
   std::vector<double> wl_col, tput_col, rt_col, over2s_col;
   std::printf("  %-8s %-12s %-12s %-10s %-8s\n", "WL", "tput[p/s]",
               "mean RT[s]", ">2s[%]", "retrans");
   double knee_tput = 0.0;
-  for (int wl = 1000; wl <= 16000; wl += 1000) {
-    const auto result = app::run_experiment(fig2_config(wl, duration));
+  double engine_events = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const int wl = workloads[i];
+    const auto& result = results[i];
     const double tput = result.goodput();
     const double rt = result.mean_rt_s();
     const double over2 = 100.0 * result.fraction_rt_above(2_s);
@@ -55,6 +69,7 @@ int main(int argc, char** argv) {
     rt_col.push_back(rt);
     over2s_col.push_back(over2);
     knee_tput = std::max(knee_tput, tput);
+    engine_events += static_cast<double>(result.engine_events);
   }
   CsvWriter::write_columns(benchx::out_dir() + "/fig02ab_sweep.csv",
                            {"workload", "throughput_pps", "mean_rt_s",
@@ -62,7 +77,9 @@ int main(int argc, char** argv) {
                            {wl_col, tput_col, rt_col, over2s_col});
 
   // ---- (c): RT distribution at WL 8,000 ------------------------------------
-  const auto result = app::run_experiment(fig2_config(8000, duration));
+  // Identical config + seed to the sweep's WL 8,000 point, so its result is
+  // reused instead of re-simulated.
+  const auto& result = results[7];
   const std::vector<double> edges{0.0, 0.1, 0.5, 1.0, 1.5,
                                   2.0, 2.5, 3.0, 3.5, 4.0, 1e9};
   metrics::ResponseCollector collector;
@@ -94,5 +111,7 @@ int main(int argc, char** argv) {
   benchx::print_expectation("WL 8,000 distribution", "long-tail, bi-modal",
                             bimodal ? "bi-modal (mass in first and >3.5s bins)"
                                     : "NOT bi-modal");
+  summary.set("sweep_points", static_cast<double>(results.size()));
+  summary.set("engine_events", engine_events);
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <span>
 
 #include "app/experiment.h"
@@ -23,6 +24,7 @@
 #include "metrics/response_collector.h"
 #include "util/csv.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 using namespace tbd;
 using namespace tbd::literals;
@@ -66,18 +68,34 @@ int main(int argc, char** argv) {
   const Duration duration = args.run_duration(60_s);
 
   benchx::print_header("Figures 9-11: JVM GC transient bottlenecks in Tomcat");
+  benchx::BenchSummary summary{"fig09_11_jvm_gc"};
   const auto tables = app::calibrate_service_times(
       gc_config(7000, transient::jdk15_config(), duration));
 
+  // The four figure arms (9a, 9b, 10, 11a) are independent experiments
+  // sharing one calibration — run them together, then report in order.
+  auto corr_cfg = gc_config(8000, transient::jdk15_config(), duration);
+  corr_cfg.clients.bursts_enabled = false;
+  const app::ExperimentConfig arm_cfgs[] = {
+      gc_config(7000, transient::jdk15_config(), duration),
+      gc_config(14000, transient::jdk15_config(), duration),
+      corr_cfg,
+      gc_config(14000, transient::jdk16_config(), duration),
+  };
+  std::vector<TomcatAnalysis> arms(std::size(arm_cfgs));
+  shared_pool().parallel_for_indexed(arms.size(), [&](std::size_t a) {
+    arms[a] = analyze_tomcat(arm_cfgs[a], tables);
+  });
+  const auto& low = arms[0];
+  const auto& high = arms[1];
+  const auto& mid = arms[2];
+  const auto& fixed = arms[3];
+
   // ---- Figure 9(a): JDK 1.5 at WL 7,000 -------------------------------------
-  const auto low = analyze_tomcat(
-      gc_config(7000, transient::jdk15_config(), duration), tables);
   std::printf("\nJDK 1.5, WL 7,000 (Figure 9a):\n%s",
               core::summarize(low.detection, "Tomcat (app1)").c_str());
 
   // ---- Figure 9(b,c): JDK 1.5 at WL 14,000 ----------------------------------
-  const auto high = analyze_tomcat(
-      gc_config(14000, transient::jdk15_config(), duration), tables);
   std::printf("\nJDK 1.5, WL 14,000 (Figure 9b):\n%s",
               core::summarize(high.detection, "Tomcat (app1)").c_str());
   std::printf("%s\n",
@@ -110,9 +128,6 @@ int main(int argc, char** argv) {
   // see EXPERIMENTS.md). The load response LAGS the stop-the-world window
   // (the queue peaks at pause end and drains after), so we report the
   // peak lagged correlation alongside a first-order queue-response kernel.
-  auto corr_cfg = gc_config(8000, transient::jdk15_config(), duration);
-  corr_cfg.clients.bursts_enabled = false;
-  const auto mid = analyze_tomcat(corr_cfg, tables);
   const auto spec = core::IntervalSpec::over(mid.result.window_start,
                                              mid.result.window_end, 50_ms);
   std::vector<core::TimeWindow> gc_windows;
@@ -155,8 +170,6 @@ int main(int argc, char** argv) {
                             mid.detection.load, rt_series});
 
   // ---- Figure 11: upgrade to JDK 1.6 ----------------------------------------
-  const auto fixed = analyze_tomcat(
-      gc_config(14000, transient::jdk16_config(), duration), tables);
   std::printf("\nJDK 1.6, WL 14,000 (Figure 11a):\n%s",
               core::summarize(fixed.detection, "Tomcat (app1)").c_str());
   CsvWriter::write_columns(benchx::out_dir() + "/fig11a_wl14000_scatter.csv",
@@ -209,5 +222,10 @@ int main(int argc, char** argv) {
   std::snprintf(buf, sizeof buf, ">5s windows %zu -> %zu; mean %.2fs -> %.2fs",
                 rt15_spikes, rt16_spikes, rt15_mean, rt16_mean);
   benchx::print_expectation("50ms RT fluctuation", "large spikes disappear", buf);
+  double engine_events = 0.0;
+  for (const auto& arm : arms) {
+    engine_events += static_cast<double>(arm.result.engine_events);
+  }
+  summary.set("engine_events", engine_events);
   return 0;
 }

@@ -14,10 +14,13 @@
 //      but write broadcasts cost EVERY replica, so the per-replica write
 //      work is irreducible — the scale-out win shrinks vs browse-only.
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "app/experiment.h"
 #include "bench_util.h"
 #include "core/detector.h"
+#include "util/thread_pool.h"
 #include "workload/browse_mix.h"
 
 using namespace tbd;
@@ -80,36 +83,65 @@ int main(int argc, char** argv) {
   const Duration duration = args.run_duration(30_s);
 
   benchx::print_header("Solutions: scale-out vs the economical fixes");
+  benchx::BenchSummary summary{"scaleout_solutions"};
 
-  // Calibration once on the baseline topology.
+  // Calibration on the baseline topology plus the two scaled topologies
+  // (a grown tier needs its own service-time table — tier growth shifts the
+  // mw/db indices, so reusing the baseline table would mislabel servers).
   app::ExperimentConfig base;
   base.duration = duration;
   base.seed = 404;
-  const auto tables = app::calibrate_service_times(base);
+
+  app::ExperimentConfig s1_base = base;
+  s1_base.workload = 10000;
+  s1_base.gc = transient::jdk15_config();
+  app::ExperimentConfig s1_scaled = s1_base;
+  s1_scaled.topology.app.count = 3;
+  app::ExperimentConfig s1_upgraded = s1_base;
+  s1_upgraded.gc = transient::jdk16_config();
+
+  app::ExperimentConfig s2_base = base;
+  s2_base.workload = 10000;
+  s2_base.speedstep_on_db = true;
+  app::ExperimentConfig s2_pinned = s2_base;
+  s2_pinned.speedstep_on_db = false;
+  app::ExperimentConfig s2_scaled = s2_base;
+  s2_scaled.topology.db.count = 3;
+
+  // The three calibration passes are independent — run them together.
+  std::vector<core::ServiceTimeTable> tables, tables3_app, tables3_db;
+  shared_pool().parallel_for_indexed(3, [&](std::size_t task) {
+    if (task == 0) tables = app::calibrate_service_times(base);
+    if (task == 1) tables3_app = app::calibrate_service_times(s1_scaled);
+    if (task == 2) tables3_db = app::calibrate_service_times(s2_scaled);
+  });
+
+  // All six S1/S2 cells are independent experiments — fan them out and
+  // print the rows afterwards in their fixed order.
+  struct Cell {
+    const app::ExperimentConfig* cfg;
+    const std::vector<core::ServiceTimeTable>* tables;
+    const char* label;
+  };
+  const Cell cells[] = {
+      {&s1_base, &tables, "baseline (JDK 1.5, 2 app)"},
+      {&s1_scaled, &tables3_app, "scale-out app tier (3)"},
+      {&s1_upgraded, &tables, "upgrade JDK 1.6"},
+      {&s2_base, &tables, "baseline (SpeedStep on)"},
+      {&s2_pinned, &tables, "disable SpeedStep (P0)"},
+      {&s2_scaled, &tables3_db, "scale-out db tier (3)"},
+  };
+  std::vector<CellResult> rows(std::size(cells));
+  shared_pool().parallel_for_indexed(rows.size(), [&](std::size_t c) {
+    rows[c] = run_cell(*cells[c].cfg, cells[c].tables);
+  });
 
   // ---- S1: the GC bottleneck -------------------------------------------------
   // Just below the knee: GC freezes (not raw capacity) are what hurts here,
   // so the collector upgrade competes fairly with adding hardware.
   std::printf("\nS1: JDK 1.5 GC bottleneck at WL 10,000\n");
   print_head();
-  {
-    app::ExperimentConfig cfg = base;
-    cfg.workload = 10000;
-    cfg.gc = transient::jdk15_config();
-    print_row("baseline (JDK 1.5, 2 app)", run_cell(cfg, &tables));
-
-    auto scaled = cfg;
-    scaled.topology.app.count = 3;
-    // A third app server needs its own service-time table; reuse app1's by
-    // running detection only on app1/db1 (indices unchanged up to app tier
-    // growth shifting mw/db indices — recalibrate instead).
-    const auto tables3 = app::calibrate_service_times(scaled);
-    print_row("scale-out app tier (3)", run_cell(scaled, &tables3));
-
-    auto upgraded = cfg;
-    upgraded.gc = transient::jdk16_config();
-    print_row("upgrade JDK 1.6", run_cell(upgraded, &tables));
-  }
+  for (std::size_t c = 0; c < 3; ++c) print_row(cells[c].label, rows[c]);
   benchx::print_expectation("GC fix effectiveness",
                             "both resolve POIs; upgrade is free",
                             "see appPOI column");
@@ -117,21 +149,7 @@ int main(int argc, char** argv) {
   // ---- S2: the SpeedStep bottleneck -------------------------------------------
   std::printf("\nS2: SpeedStep bottleneck at WL 10,000\n");
   print_head();
-  {
-    app::ExperimentConfig cfg = base;
-    cfg.workload = 10000;
-    cfg.speedstep_on_db = true;
-    print_row("baseline (SpeedStep on)", run_cell(cfg, &tables));
-
-    auto pinned = cfg;
-    pinned.speedstep_on_db = false;
-    print_row("disable SpeedStep (P0)", run_cell(pinned, &tables));
-
-    auto scaled = cfg;
-    scaled.topology.db.count = 3;
-    const auto tables3 = app::calibrate_service_times(scaled);
-    print_row("scale-out db tier (3)", run_cell(scaled, &tables3));
-  }
+  for (std::size_t c = 3; c < 6; ++c) print_row(cells[c].label, rows[c]);
   // Per-run N* makes the congested%% columns comparable only within a run;
   // across configurations the client-side tail is the fair yardstick.
   benchx::print_expectation("SpeedStep fix effectiveness",
@@ -154,11 +172,10 @@ int main(int argc, char** argv) {
 
   std::printf("  %-26s %-14s %-16s\n", "db replicas", "browse X[p/s]",
               "write-heavy X[p/s]");
-  double browse_gain = 0.0;
-  double rw_gain = 0.0;
-  double browse_prev = 0.0;
-  double rw_prev = 0.0;
-  for (int replicas : {2, 4}) {
+  const int replica_counts[] = {2, 4};
+  // 2 replica counts x {browse, write-heavy} = 4 independent capacity probes.
+  std::vector<app::ExperimentConfig> probes;
+  for (int replicas : replica_counts) {
     app::ExperimentConfig browse = base;
     browse.workload = 40000;  // enough client demand to expose the capacity
     browse.topology.web.server.cores = 4;  // oversize every non-DB tier
@@ -169,9 +186,22 @@ int main(int argc, char** argv) {
     browse.topology.db.count = replicas;
     app::ExperimentConfig rw = browse;
     rw.classes = write_heavy;
-    const double x_browse = run_cell(browse, nullptr).goodput;
-    const double x_rw = run_cell(rw, nullptr).goodput;
-    std::printf("  %-26d %-14.0f %-16.0f\n", replicas, x_browse, x_rw);
+    probes.push_back(browse);
+    probes.push_back(rw);
+  }
+  std::vector<double> goodputs(probes.size());
+  shared_pool().parallel_for_indexed(probes.size(), [&](std::size_t p) {
+    goodputs[p] = run_cell(probes[p], nullptr).goodput;
+  });
+  double browse_gain = 0.0;
+  double rw_gain = 0.0;
+  double browse_prev = 0.0;
+  double rw_prev = 0.0;
+  for (std::size_t r = 0; r < std::size(replica_counts); ++r) {
+    const double x_browse = goodputs[2 * r];
+    const double x_rw = goodputs[2 * r + 1];
+    std::printf("  %-26d %-14.0f %-16.0f\n", replica_counts[r], x_browse,
+                x_rw);
     if (browse_prev > 0.0) {
       browse_gain = x_browse / browse_prev;
       rw_gain = x_rw / rw_prev;
@@ -184,5 +214,6 @@ int main(int argc, char** argv) {
                 browse_gain, rw_gain);
   benchx::print_expectation("2->4 replica scaling gain",
                             "write-heavy gains less (broadcast writes)", buf);
+  summary.set("cells", static_cast<double>(std::size(cells) + probes.size()));
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "core/report.h"
+#include "util/thread_pool.h"
 
 namespace tbd::app {
 
@@ -14,9 +15,15 @@ SystemAnalysis analyze_system(const ExperimentResult& result,
   SystemAnalysis analysis;
   analysis.spec =
       core::IntervalSpec::over(result.window_start, result.window_end, width);
+  // The Section III pipeline treats every server independently, so the
+  // per-server detections fan out across the pool; slot s of the output is
+  // always server s, independent of scheduling.
+  analysis.detections.resize(result.logs.size());
+  shared_pool().parallel_for_indexed(result.logs.size(), [&](std::size_t s) {
+    analysis.detections[s] = core::detect_bottlenecks(
+        result.logs[s], analysis.spec, tables[s], config);
+  });
   for (std::size_t s = 0; s < result.logs.size(); ++s) {
-    analysis.detections.push_back(core::detect_bottlenecks(
-        result.logs[s], analysis.spec, tables[s], config));
     analysis.names.push_back(result.servers[s].name);
   }
   analysis.report =

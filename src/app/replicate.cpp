@@ -3,20 +3,24 @@
 #include <cassert>
 #include <cmath>
 
+#include "app/sweep.h"
+
 namespace tbd::app {
 
 Replicated replicate(ExperimentConfig config, int replicas,
                      const std::function<double(const ExperimentResult&)>& metric,
                      std::uint64_t seed_base, double confidence) {
   assert(replicas >= 2);
-  Replicated out;
-  RunningStats stats;
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(static_cast<std::size_t>(replicas));
   for (int r = 0; r < replicas; ++r) {
     config.seed = seed_base + static_cast<std::uint64_t>(r);
-    const double value = metric(run_experiment(config));
-    out.samples.push_back(value);
-    stats.add(value);
+    configs.push_back(config);
   }
+  Replicated out;
+  out.samples = run_sweep_metric(configs, metric);
+  RunningStats stats;
+  for (const double value : out.samples) stats.add(value);
   out.mean = stats.mean();
   // Two-sided t interval: quantile at 1 - (1-confidence)/2.
   const double p = 1.0 - (1.0 - confidence) / 2.0;

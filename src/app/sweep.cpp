@@ -1,0 +1,46 @@
+#include "app/sweep.h"
+
+#include <memory>
+#include <optional>
+
+namespace tbd::app {
+
+namespace {
+
+// Dispatches to the shared pool unless the caller pinned a width, in which
+// case a private pool of that size runs this sweep only.
+void for_each_config(std::size_t n, const SweepOptions& options,
+                     const std::function<void(std::size_t)>& fn) {
+  if (options.threads > 0 && options.threads != shared_pool().size()) {
+    ThreadPool pool{options.threads};
+    pool.parallel_for_indexed(n, fn);
+    return;
+  }
+  shared_pool().parallel_for_indexed(n, fn);
+}
+
+}  // namespace
+
+std::vector<ExperimentResult> run_sweep(
+    const std::vector<ExperimentConfig>& configs, const SweepOptions& options) {
+  std::vector<std::optional<ExperimentResult>> slots(configs.size());
+  for_each_config(configs.size(), options,
+                  [&](std::size_t i) { slots[i] = run_experiment(configs[i]); });
+  std::vector<ExperimentResult> results;
+  results.reserve(configs.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+std::vector<double> run_sweep_metric(
+    const std::vector<ExperimentConfig>& configs,
+    const std::function<double(const ExperimentResult&)>& metric,
+    const SweepOptions& options) {
+  std::vector<double> values(configs.size(), 0.0);
+  for_each_config(configs.size(), options, [&](std::size_t i) {
+    values[i] = metric(run_experiment(configs[i]));
+  });
+  return values;
+}
+
+}  // namespace tbd::app

@@ -1,0 +1,42 @@
+// Parallel experiment execution with deterministic results.
+//
+// Every figure bench is a workload sweep: N independent ExperimentConfigs,
+// each simulated by its own single-threaded Engine seeded from its own
+// config. run_sweep() fans those simulations out across the process thread
+// pool and returns results IN INPUT ORDER, so the numbers (and every CSV
+// derived from them) are bit-identical whether the sweep ran on 1 thread or
+// 16 — scheduling only changes wall-clock time, never output.
+//
+// Thread count: SweepOptions::threads, else the shared pool sized from
+// TBD_THREADS / hardware concurrency. TBD_THREADS=1 reproduces the historic
+// serial path exactly (no worker threads are started).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "app/experiment.h"
+#include "util/thread_pool.h"
+
+namespace tbd::app {
+
+struct SweepOptions {
+  /// Execution width; <= 0 uses the shared pool (TBD_THREADS / hardware).
+  int threads = 0;
+};
+
+/// Runs every config (each task owns a private Engine + RNG) and returns the
+/// results in input order.
+[[nodiscard]] std::vector<ExperimentResult> run_sweep(
+    const std::vector<ExperimentConfig>& configs,
+    const SweepOptions& options = {});
+
+/// As run_sweep, but immediately reduces each result through `metric`,
+/// discarding the (large) ExperimentResult as soon as its scalar is taken.
+/// Useful for replication studies where only a summary number is kept.
+[[nodiscard]] std::vector<double> run_sweep_metric(
+    const std::vector<ExperimentConfig>& configs,
+    const std::function<double(const ExperimentResult&)>& metric,
+    const SweepOptions& options = {});
+
+}  // namespace tbd::app

@@ -23,10 +23,20 @@ void ServiceTimeTable::set(trace::ClassId c, double us) {
 
 ServiceTimeTable estimate_service_times(
     std::span<const trace::RequestRecord> records, double mask_quantile) {
-  // Gather intra-node delays per class.
-  std::vector<std::vector<double>> delays;
+  // Pre-scan the class ids so the per-class delay vectors are sized once:
+  // the repeated resize-on-growth pattern was measurable on multi-million
+  // record production logs.
+  std::size_t num_classes = 0;
   for (const auto& r : records) {
-    if (r.class_id >= delays.size()) delays.resize(r.class_id + 1);
+    num_classes = std::max<std::size_t>(num_classes, r.class_id + 1);
+  }
+  std::vector<std::size_t> counts(num_classes, 0);
+  for (const auto& r : records) ++counts[r.class_id];
+
+  // Gather intra-node delays per class.
+  std::vector<std::vector<double>> delays(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) delays[c].reserve(counts[c]);
+  for (const auto& r : records) {
     delays[r.class_id].push_back(
         static_cast<double>((r.departure - r.arrival).micros()));
   }

@@ -6,11 +6,37 @@
 
 namespace tbd::sim {
 
+namespace {
+// A full experiment keeps a few thousand events in flight (one completion
+// per busy server, one think-timer per client, samplers); reserving up
+// front keeps the steady state reallocation-free.
+constexpr std::size_t kInitialReserve = 4096;
+}  // namespace
+
+Engine::Engine() { reserve(kInitialReserve); }
+
+void Engine::reserve(std::size_t events) {
+  heap_.reserve(events);
+  slots_.reserve(events);
+  free_slots_.reserve(events);
+}
+
 EventHandle Engine::schedule_at(TimePoint at, std::function<void()> fn) {
   assert(at >= now_);
-  const std::uint64_t id = next_id_++;
-  queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
-  return EventHandle{id};
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].fn = std::move(fn);
+  heap_.push_back(Entry{at, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return EventHandle{
+      (static_cast<std::uint64_t>(slots_[slot].generation) << 32) |
+      (slot + 1)};
 }
 
 EventHandle Engine::schedule_after(Duration delay, std::function<void()> fn) {
@@ -20,28 +46,39 @@ EventHandle Engine::schedule_after(Duration delay, std::function<void()> fn) {
 
 bool Engine::cancel(EventHandle h) {
   if (!h.valid()) return false;
-  // Lazy deletion: record the id; the entry is discarded when popped.
-  cancelled_.insert(h.id_);
+  const auto slot = static_cast<std::uint32_t>(h.id_ & 0xffffffffu) - 1;
+  const auto generation = static_cast<std::uint32_t>(h.id_ >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  // Generation mismatch = the event already ran (slot freed, possibly
+  // reused); the handle is stale and cancelling is a no-op.
+  if (s.generation != generation || s.cancelled) return false;
+  s.cancelled = true;
+  s.fn = nullptr;  // free the closure's captures now, not at pop time
   return true;
 }
 
+void Engine::release_slot(std::uint32_t slot) {
+  ++slots_[slot].generation;  // invalidates every outstanding handle
+  slots_[slot].cancelled = false;
+  free_slots_.push_back(slot);
+}
+
 bool Engine::pop_and_run_next(TimePoint limit) {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
+  while (!heap_.empty()) {
+    const Entry top = heap_.front();
     if (top.at > limit) return false;
-    // Purge if cancelled.
-    if (const auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
-    }
-    // Move the callback out before popping (top() is const; const_cast is
-    // safe because we pop immediately and never compare by fn).
-    Entry entry = std::move(const_cast<Entry&>(top));
-    queue_.pop();
-    now_ = entry.at;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    const bool cancelled = slots_[top.slot].cancelled;
+    // Move the callback out before releasing: the slot may be reacquired by
+    // a schedule_* call from inside the callback itself.
+    std::function<void()> fn = std::move(slots_[top.slot].fn);
+    release_slot(top.slot);
+    if (cancelled) continue;
+    now_ = top.at;
     ++executed_;
-    entry.fn();
+    fn();
     return true;
   }
   return false;
@@ -63,6 +100,14 @@ PeriodicTask::PeriodicTask(Engine& engine, TimePoint first, Duration period,
                            std::function<void(TimePoint)> fn)
     : engine_{engine}, period_{period}, fn_{std::move(fn)} {
   assert(period.is_positive());
+  // One pointer capture: fits std::function's inline buffer, so every re-arm
+  // copies the closure without touching the heap.
+  fire_ = [this] {
+    if (stopped_) return;
+    const TimePoint at = next_at_;
+    fn_(at);
+    if (!stopped_) arm(at + period_);
+  };
   arm(first);
 }
 
@@ -76,11 +121,8 @@ void PeriodicTask::stop() {
 }
 
 void PeriodicTask::arm(TimePoint at) {
-  pending_ = engine_.schedule_at(at, [this, at] {
-    if (stopped_) return;
-    fn_(at);
-    if (!stopped_) arm(at + period_);
-  });
+  next_at_ = at;
+  pending_ = engine_.schedule_at(at, fire_);
 }
 
 }  // namespace tbd::sim

@@ -6,12 +6,15 @@
 // the processor-sharing servers reschedule their "next completion" event
 // whenever arrivals, departures, clock-frequency changes, or GC pauses alter
 // the service rate.
+//
+// Hot-path notes: cancellation is resolved through a slot/generation table
+// (an array lookup, no hashing), the binary heap lives in a pre-reserved
+// vector, and each Engine is fully self-contained — experiment sweeps run
+// one Engine per task on the thread pool with no shared state.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "util/time.h"
@@ -19,6 +22,9 @@
 namespace tbd::sim {
 
 /// Opaque identifier for a scheduled event; value-semantic, cheap to copy.
+/// Encodes a slot index plus the slot's generation, so a stale handle (event
+/// already ran or cancelled, slot possibly reused) is detected by a
+/// generation mismatch instead of a hash lookup.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -28,12 +34,12 @@ class EventHandle {
  private:
   friend class Engine;
   explicit EventHandle(std::uint64_t id) : id_{id} {}
-  std::uint64_t id_ = 0;
+  std::uint64_t id_ = 0;  // (generation << 32) | (slot + 1); 0 = empty
 };
 
 class Engine {
  public:
-  Engine() = default;
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -50,28 +56,33 @@ class Engine {
   /// handle.
   bool cancel(EventHandle h);
 
-  /// Runs events until the queue is empty or the clock would pass `until`.
-  /// The clock is left at `until` (or at the last event time if the queue
-  /// drained first and that was later... it never is; the clock ends at
-  /// exactly `until` when events remain, else at the last executed event).
+  /// Runs every event with timestamp <= `until` (the clock advances through
+  /// each event's timestamp as it executes), then leaves the clock at
+  /// exactly `until` — even when the queue drained before reaching it.
+  /// Events scheduled after `until` stay pending for a later run.
   void run_until(TimePoint until);
 
-  /// Runs until the event queue is fully drained.
+  /// Runs until the event queue is fully drained. The clock ends at the
+  /// last executed event's timestamp.
   void run_all();
+
+  /// Grows the event-queue and slot-table reservations to hold at least
+  /// `events` concurrently pending events without reallocating.
+  void reserve(std::size_t events);
 
   /// Number of events executed so far (diagnostics / perf tests).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
   /// Number of events currently pending (including cancelled-but-not-popped).
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
  private:
+  // Heap entries are trivially copyable 24-byte records; the callback lives
+  // in the slot table, so heap sift operations never touch a std::function.
   struct Entry {
     TimePoint at;
-    std::uint64_t seq;  // FIFO tie-break for equal timestamps
-    std::uint64_t id;
-    // Heap entries are moved, never copied; the callback lives in the entry.
-    std::function<void()> fn;
+    std::uint64_t seq;   // FIFO tie-break for equal timestamps
+    std::uint32_t slot;  // index into slots_
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -79,21 +90,29 @@ class Engine {
       return a.seq > b.seq;
     }
   };
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t generation = 0;
+    bool cancelled = false;
+  };
 
   bool pop_and_run_next(TimePoint limit);
+  void release_slot(std::uint32_t slot);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;  // lazy deletion, purged on pop
+  std::vector<Entry> heap_;  // binary heap ordered by Later (earliest on top)
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_seq_ = 1;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
 };
 
 /// Repeatedly runs a callback at a fixed period, starting at `first`.
 /// Used for monitoring samplers (sysstat substitute) and the SpeedStep
 /// governor's control loop. Stops automatically when the owning engine's run
-/// window ends; call stop() to cease earlier.
+/// window ends; call stop() to cease earlier. The firing closure is built
+/// once and re-armed by copy (it stays in std::function's inline buffer), so
+/// periodic work costs no allocation per period.
 class PeriodicTask {
  public:
   /// `fn` receives the firing time.
@@ -111,6 +130,8 @@ class PeriodicTask {
   Engine& engine_;
   Duration period_;
   std::function<void(TimePoint)> fn_;
+  std::function<void()> fire_;  // built once; re-armed without reallocation
+  TimePoint next_at_;
   EventHandle pending_;
   bool stopped_ = false;
 };

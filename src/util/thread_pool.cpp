@@ -1,0 +1,103 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace tbd {
+
+namespace {
+
+// Set while a thread (worker OR participating caller) executes task bodies,
+// so re-entrant fan-out from inside a task runs inline instead of
+// deadlocking on its own pool.
+thread_local const ThreadPool* tls_active_pool = nullptr;
+
+}  // namespace
+
+int ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("TBD_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<int>(v);
+    return 1;  // malformed or <= 0: fall back to the serial path
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = default_thread_count();
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 1; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_job_share(Job& job, std::unique_lock<std::mutex>& lock) {
+  const ThreadPool* outer = tls_active_pool;
+  tls_active_pool = this;
+  while (job.next < job.n) {
+    const std::size_t i = job.next++;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err && !job.error) job.error = err;
+    if (++job.done == job.n) done_cv_.notify_all();
+  }
+  tls_active_pool = outer;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || (job_ && job_gen_ != seen); });
+    if (stop_) return;
+    seen = job_gen_;
+    run_job_share(*job_, lock);
+  }
+}
+
+void ThreadPool::parallel_for_indexed(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || tls_active_pool == this) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Job job;
+  job.n = n;
+  job.fn = &fn;
+  std::unique_lock lock(mutex_);
+  // One job at a time; a second outer caller queues here until the pool idles.
+  done_cv_.wait(lock, [&] { return job_ == nullptr; });
+  job_ = &job;
+  ++job_gen_;
+  work_cv_.notify_all();
+  run_job_share(job, lock);
+  done_cv_.wait(lock, [&] { return job.done == job.n; });
+  job_ = nullptr;
+  done_cv_.notify_all();
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace tbd

@@ -1,0 +1,78 @@
+// Fixed-size worker pool for deterministic fan-out.
+//
+// The pool exists for one pattern: run N independent tasks and write each
+// task's result into a pre-sized slot indexed by the task's position, so the
+// OUTPUT is identical no matter how the scheduler interleaves the workers.
+// Every consumer (sweep runner, per-server analysis fan-out, the figure
+// benches) owns its inputs per index and never shares mutable state across
+// indices; the pool itself adds no ordering of its own.
+//
+// Thread count resolution: an explicit count wins; otherwise the TBD_THREADS
+// environment variable; otherwise std::thread::hardware_concurrency().
+// A count of 1 runs everything inline on the calling thread — byte-for-byte
+// the pre-pool serial path, with no worker threads started at all.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tbd {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 resolves via TBD_THREADS / hardware concurrency.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width (workers + the participating caller).
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `fn(i)` for every i in [0, n), using the workers plus the calling
+  /// thread, and blocks until all indices completed. Indices are claimed
+  /// dynamically, so callers must make fn(i) independent of execution order
+  /// (write results into slot i of a pre-sized container). The first
+  /// exception thrown by any fn is rethrown here after the loop drains.
+  ///
+  /// Re-entrant calls from inside a worker of the same pool run inline on
+  /// that worker (no deadlock, still deterministic).
+  void parallel_for_indexed(std::size_t n,
+                            const std::function<void(std::size_t)>& fn);
+
+  /// TBD_THREADS if set (clamped to >= 1), else hardware_concurrency().
+  [[nodiscard]] static int default_thread_count();
+
+ private:
+  struct Job {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t next = 0;  // next index to claim (guarded by mutex_)
+    std::size_t done = 0;  // indices finished (guarded by mutex_)
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  void run_job_share(Job& job, std::unique_lock<std::mutex>& lock);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers wait for a new job
+  std::condition_variable done_cv_;  // caller waits for job completion
+  Job* job_ = nullptr;               // current job, null when idle
+  std::uint64_t job_gen_ = 0;        // bumped per job so workers never miss one
+  bool stop_ = false;
+};
+
+/// Process-wide pool sized by default_thread_count(); created on first use.
+/// Shared by the sweep runner, analysis fan-out, and the benches so the
+/// process never oversubscribes with nested pools.
+[[nodiscard]] ThreadPool& shared_pool();
+
+}  // namespace tbd

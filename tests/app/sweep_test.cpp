@@ -1,0 +1,91 @@
+// Determinism contract of the parallel sweep runner: the same configs give
+// bit-identical results no matter how many threads execute them. Every
+// figure bench relies on this — the CSVs under bench_out/ must regenerate
+// exactly regardless of TBD_THREADS.
+#include "app/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "app/replicate.h"
+
+namespace tbd::app {
+namespace {
+
+std::vector<ExperimentConfig> small_sweep() {
+  std::vector<ExperimentConfig> configs;
+  for (int i = 0; i < 4; ++i) {
+    ExperimentConfig cfg;
+    cfg.workload = 300 + 150 * i;
+    cfg.warmup = Duration::seconds(1);
+    cfg.duration = Duration::seconds(4);
+    cfg.seed = 9000 + static_cast<std::uint64_t>(i);
+    cfg.speedstep_on_db = (i % 2 == 1);
+    configs.push_back(cfg);
+  }
+  return configs;
+}
+
+TEST(SweepTest, ParallelMatchesSerialBitExactly) {
+  const auto configs = small_sweep();
+  const auto serial = run_sweep(configs, SweepOptions{.threads = 1});
+  const auto parallel = run_sweep(configs, SweepOptions{.threads = 4});
+  ASSERT_EQ(serial.size(), configs.size());
+  ASSERT_EQ(parallel.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    // Exact equality, not near-equality: each task owns a private Engine and
+    // RNG, so scheduling must not perturb a single bit of the results.
+    EXPECT_EQ(serial[i].goodput(), parallel[i].goodput()) << "config " << i;
+    EXPECT_EQ(serial[i].mean_rt_s(), parallel[i].mean_rt_s()) << "config " << i;
+    EXPECT_EQ(serial[i].engine_events, parallel[i].engine_events)
+        << "config " << i;
+    EXPECT_EQ(serial[i].pages_started, parallel[i].pages_started)
+        << "config " << i;
+    EXPECT_EQ(serial[i].pages_completed, parallel[i].pages_completed)
+        << "config " << i;
+    EXPECT_EQ(serial[i].retransmissions, parallel[i].retransmissions)
+        << "config " << i;
+  }
+}
+
+TEST(SweepTest, ResultsLandInInputOrder) {
+  auto configs = small_sweep();
+  const auto results = run_sweep(configs, SweepOptions{.threads = 4});
+  ASSERT_EQ(results.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    // Workload is monotone across the sweep, so goodput identifies the slot.
+    EXPECT_EQ(static_cast<int>(results[i].servers.size()), 6);
+    EXPECT_GT(results[i].pages_completed, 0u);
+  }
+  // Higher workload (at these sub-saturation levels) completes more pages.
+  EXPECT_GT(results.back().pages_completed, results.front().pages_completed);
+}
+
+TEST(SweepTest, MetricSweepMatchesFullSweep) {
+  const auto configs = small_sweep();
+  const auto full = run_sweep(configs, SweepOptions{.threads = 2});
+  const auto metrics =
+      run_sweep_metric(configs, [](const ExperimentResult& r) { return r.goodput(); },
+                       SweepOptions{.threads = 4});
+  ASSERT_EQ(metrics.size(), full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(metrics[i], full[i].goodput());
+  }
+}
+
+TEST(SweepTest, ReplicateIsThreadCountInvariant) {
+  ExperimentConfig cfg;
+  cfg.workload = 400;
+  cfg.warmup = Duration::seconds(1);
+  cfg.duration = Duration::seconds(3);
+  const auto goodput = [](const ExperimentResult& r) { return r.goodput(); };
+  // replicate() rides the sweep runner through the shared pool; samples are
+  // keyed by seed, so mean/CI cannot depend on completion order.
+  const auto a = replicate(cfg, 4, goodput, 7000);
+  const auto b = replicate(cfg, 4, goodput, 7000);
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.half_width, b.half_width);
+}
+
+}  // namespace
+}  // namespace tbd::app

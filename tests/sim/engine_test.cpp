@@ -51,6 +51,18 @@ TEST(EngineTest, RunUntilStopsAtLimit) {
   EXPECT_EQ(engine.now().micros(), 1000);
 }
 
+TEST(EngineTest, RunUntilLeavesClockAtLimitWhenQueueDrainsEarly) {
+  // The clock-advance contract: run_until(t) ALWAYS leaves now() == t, even
+  // when the last event fired long before t (or no event fired at all).
+  Engine engine;
+  engine.schedule_at(TimePoint::from_micros(100), [] {});
+  engine.run_until(TimePoint::from_micros(1000));
+  EXPECT_EQ(engine.now().micros(), 1000);
+  // Empty queue: the clock still advances to the requested limit.
+  engine.run_until(TimePoint::from_micros(2500));
+  EXPECT_EQ(engine.now().micros(), 2500);
+}
+
 TEST(EngineTest, EventsScheduledDuringEventsRun) {
   Engine engine;
   std::vector<int> order;
@@ -86,6 +98,47 @@ TEST(EngineTest, CancelEmptyHandleIsFalse) {
   Engine engine;
   EventHandle empty;
   EXPECT_FALSE(engine.cancel(empty));
+}
+
+TEST(EngineTest, CancelAfterEventRanReturnsFalse) {
+  Engine engine;
+  int ran = 0;
+  const EventHandle h = engine.schedule_after(10_us, [&] { ++ran; });
+  engine.run_all();
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(engine.cancel(h));
+}
+
+TEST(EngineTest, CancelTwiceSecondReturnsFalse) {
+  Engine engine;
+  const EventHandle h = engine.schedule_after(10_us, [] {});
+  EXPECT_TRUE(engine.cancel(h));
+  EXPECT_FALSE(engine.cancel(h));
+  engine.run_all();
+  EXPECT_EQ(engine.events_executed(), 0u);
+}
+
+TEST(EngineTest, StaleHandleCannotCancelLaterEvent) {
+  // After an event runs, its storage slot is recycled for new events; the
+  // old handle must stay inert rather than cancelling the newcomer.
+  Engine engine;
+  const EventHandle stale = engine.schedule_after(10_us, [] {});
+  engine.run_all();
+  int ran = 0;
+  engine.schedule_after(10_us, [&] { ++ran; });
+  EXPECT_FALSE(engine.cancel(stale));
+  engine.run_all();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EngineTest, CancelledEventsAreNotCountedAsExecuted) {
+  Engine engine;
+  for (int i = 0; i < 8; ++i) {
+    const EventHandle h = engine.schedule_after(Duration::micros(i + 1), [] {});
+    if (i % 2 == 0) engine.cancel(h);
+  }
+  engine.run_all();
+  EXPECT_EQ(engine.events_executed(), 4u);
 }
 
 TEST(EngineTest, CountsExecutedEvents) {

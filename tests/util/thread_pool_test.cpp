@@ -1,0 +1,88 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace tbd {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for_indexed(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineOnCaller) {
+  ThreadPool pool{1};
+  EXPECT_EQ(pool.size(), 1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(8);
+  pool.parallel_for_indexed(ran.size(),
+                            [&](std::size_t i) { ran[i] = std::this_thread::get_id(); });
+  for (const auto& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, SlotWritesGiveOrderIndependentOutput) {
+  // The pattern every consumer uses: fn(i) derives its output from i alone.
+  const auto run = [](int threads) {
+    ThreadPool pool{threads};
+    std::vector<double> out(257, 0.0);
+    pool.parallel_for_indexed(out.size(), [&](std::size_t i) {
+      out[i] = static_cast<double>(i * i) + 0.5;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(5));
+}
+
+TEST(ThreadPoolTest, NestedFanOutFromWorkerRunsInline) {
+  ThreadPool pool{3};
+  std::vector<int> inner_total(4, 0);
+  pool.parallel_for_indexed(inner_total.size(), [&](std::size_t outer) {
+    int local = 0;
+    pool.parallel_for_indexed(16, [&](std::size_t) { ++local; });
+    inner_total[outer] = local;
+  });
+  for (int t : inner_total) EXPECT_EQ(t, 16);
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagates) {
+  ThreadPool pool{4};
+  EXPECT_THROW(
+      pool.parallel_for_indexed(
+          64,
+          [](std::size_t i) {
+            if (i == 13) throw std::runtime_error{"boom"};
+          }),
+      std::runtime_error);
+  // The pool must still be usable after a failed job.
+  std::atomic<int> ok{0};
+  pool.parallel_for_indexed(8, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsANoOp) {
+  ThreadPool pool{2};
+  pool.parallel_for_indexed(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnv) {
+  ASSERT_EQ(setenv("TBD_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3);
+  ASSERT_EQ(setenv("TBD_THREADS", "garbage", 1), 0);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 1);
+  ASSERT_EQ(unsetenv("TBD_THREADS"), 0);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+}
+
+}  // namespace
+}  // namespace tbd

@@ -33,6 +33,7 @@
 #include "core/system_report.h"
 #include "trace/log_io.h"
 #include "util/csv.h"
+#include "util/thread_pool.h"
 
 using namespace tbd;
 
@@ -127,9 +128,24 @@ int main(int argc, char** argv) {
   }
 
   // ---- analyze per server -----------------------------------------------------
-  std::vector<core::DetectionResult> detections;
+  // Each server's calibration + (optional) width selection + detection is
+  // independent of the others — fan the whole pipeline out across the pool,
+  // then report serially in server order. Auto-width notices are collected
+  // as strings so the output stays deterministic.
+  std::vector<const trace::RequestLog*> logs;
   std::vector<std::string> names;
   for (const auto& [server, log] : by_server) {
+    logs.push_back(&log);
+    names.push_back("server" + std::to_string(server));
+  }
+  struct ServerAnalysis {
+    core::IntervalSpec spec;
+    core::DetectionResult detection;
+    std::string auto_width_note;
+  };
+  std::vector<ServerAnalysis> analyses(logs.size());
+  shared_pool().parallel_for_indexed(logs.size(), [&](std::size_t s) {
+    const auto& log = *logs[s];
     // Service times from the calibration prefix (low quantile masks queueing).
     trace::RequestLog calib = log;
     if (opt.calib_seconds > 0.0) {
@@ -152,13 +168,23 @@ int main(int argc, char** argv) {
       const auto sel =
           core::choose_interval_length(log, t_min, t_max, table, candidates);
       width = sel.chosen;
-      std::printf("server %u: auto-selected interval %s\n", server,
-                  width.to_string().c_str());
+      analyses[s].auto_width_note = names[s] + ": auto-selected interval " +
+                                    width.to_string() + "\n";
     }
 
-    const auto spec = core::IntervalSpec::over(t_min, t_max, width);
-    auto detection = core::detect_bottlenecks(log, spec, table);
-    const std::string name = "server" + std::to_string(server);
+    analyses[s].spec = core::IntervalSpec::over(t_min, t_max, width);
+    analyses[s].detection =
+        core::detect_bottlenecks(log, analyses[s].spec, table);
+  });
+
+  std::vector<core::DetectionResult> detections;
+  for (std::size_t s = 0; s < analyses.size(); ++s) {
+    const auto& name = names[s];
+    const auto& spec = analyses[s].spec;
+    auto& detection = analyses[s].detection;
+    if (!analyses[s].auto_width_note.empty()) {
+      std::printf("%s", analyses[s].auto_width_note.c_str());
+    }
     std::printf("\n%s", core::summarize(detection, name).c_str());
     if (opt.scatter) {
       std::printf("%s", core::ascii_scatter(detection.load,
@@ -189,7 +215,6 @@ int main(int argc, char** argv) {
           {spec.midpoints_seconds(), detection.load, detection.throughput});
     }
     detections.push_back(std::move(detection));
-    names.push_back(name);
   }
 
   std::printf("\n%s", core::to_string(
