@@ -7,6 +7,9 @@
 #include <iterator>
 #include <sstream>
 
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/csv.h"
 #include "util/thread_pool.h"
 
@@ -15,9 +18,38 @@ namespace tbd::benchx {
 BenchArgs BenchArgs::parse(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--full") == 0) args.full = true;
+    if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      args.trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      args.metrics_out = argv[++i];
+    }
   }
+  if (!args.trace_out.empty()) obs::Tracer::global().enable();
   return args;
+}
+
+void finish_observability(
+    const BenchArgs& args, const std::string& tool,
+    const std::vector<std::pair<std::string, std::string>>& config) {
+  if (args.trace_out.empty() && args.metrics_out.empty()) return;
+  auto& registry = obs::Registry::global();
+  obs::publish_pool_stats(registry);
+  const auto& tracer = obs::Tracer::global();
+  if (!args.trace_out.empty() && !tracer.write_chrome_trace(args.trace_out)) {
+    std::fprintf(stderr, "warning: cannot write %s\n", args.trace_out.c_str());
+  }
+  if (!args.metrics_out.empty()) {
+    obs::RunInfo info;
+    info.tool = tool;
+    info.config.emplace_back("full", args.full ? "true" : "false");
+    for (const auto& kv : config) info.config.push_back(kv);
+    if (!obs::write_run_manifest(args.metrics_out, info, registry, tracer)) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   args.metrics_out.c_str());
+    }
+  }
 }
 
 std::string out_dir() {
@@ -43,10 +75,11 @@ void print_expectation(const std::string& what, const std::string& paper,
 
 namespace {
 
-// Splits a JSON object's top level into name -> raw value text. Only needs
-// to survive what this file writes (string keys, flat object values with
-// numeric fields), but tracks strings and nesting so hand edits don't break
-// the merge; on any malformed input the file is simply rewritten fresh.
+// Splits a JSON object's top level into name -> raw value text. Values may
+// be nested objects (bench entries) or scalars (schema_version, git). Only
+// needs to survive what this file writes, but tracks strings and nesting so
+// hand edits don't break the merge; on any malformed input the file is
+// simply rewritten fresh.
 std::map<std::string, std::string> parse_top_level(const std::string& text) {
   std::map<std::string, std::string> entries;
   std::size_t i = text.find('{');
@@ -62,7 +95,9 @@ std::map<std::string, std::string> parse_top_level(const std::string& text) {
     if (colon == std::string::npos) break;
     std::size_t v = colon + 1;
     while (v < text.size() && std::isspace(static_cast<unsigned char>(text[v]))) ++v;
-    if (v >= text.size() || text[v] != '{') break;
+    if (v >= text.size()) break;
+    // Scan the value: a braced object (depth-tracked) or a scalar (up to the
+    // next top-level comma / closing brace).
     int depth = 0;
     bool in_string = false;
     std::size_t end = v;
@@ -73,15 +108,27 @@ std::map<std::string, std::string> parse_top_level(const std::string& text) {
         else if (c == '"') in_string = false;
       } else if (c == '"') {
         in_string = true;
-      } else if (c == '{') {
+      } else if (c == '{' || c == '[') {
         ++depth;
-      } else if (c == '}') {
-        if (--depth == 0) break;
+      } else if (c == '}' || c == ']') {
+        if (depth == 0) break;  // the object's closing brace after a scalar
+        if (--depth == 0 && text[v] == '{') {
+          ++end;  // include the object's own closing brace
+          break;
+        }
+      } else if (c == ',' && depth == 0) {
+        break;
       }
     }
-    if (end >= text.size()) break;
-    entries[key] = text.substr(v, end - v + 1);
-    i = end + 1;
+    std::size_t value_end = end;
+    while (value_end > v &&
+           std::isspace(static_cast<unsigned char>(text[value_end - 1]))) {
+      --value_end;
+    }
+    if (value_end == v) break;
+    entries[key] = text.substr(v, value_end - v);
+    i = end + (end < text.size() && text[end] == ',' ? 1 : 0);
+    if (end >= text.size() || text[end] == '}') break;
   }
   return entries;
 }
@@ -128,8 +175,16 @@ void BenchSummary::finish() {
   entry += "}";
   entries[name_] = entry;
 
+  // Header scalars are rewritten fresh on every merge: the file documents
+  // the LAST build that touched it, which is what cross-PR trajectory
+  // comparison keys on (schema_version 2 introduced the header).
+  entries.erase("schema_version");
+  entries.erase("git");
+
   std::ofstream out{path, std::ios::trunc};
   out << "{\n";
+  out << "  \"schema_version\": 2,\n";
+  out << "  \"git\": \"" << obs::git_describe() << "\",\n";
   for (auto it = entries.begin(); it != entries.end(); ++it) {
     out << "  \"" << it->first << "\": " << it->second;
     out << (std::next(it) == entries.end() ? "\n" : ",\n");

@@ -8,6 +8,8 @@
 #include <chrono>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/time.h"
 
@@ -16,6 +18,12 @@ namespace tbd::benchx {
 struct BenchArgs {
   /// Paper-length runs (3 min measurement) instead of the quick default.
   bool full = false;
+  /// --trace-out FILE: record pipeline spans, write Chrome trace JSON here.
+  /// parse() enables the global tracer when set.
+  std::string trace_out;
+  /// --metrics-out FILE: write the run manifest (config, git, metrics
+  /// snapshot, span rollup) here.
+  std::string metrics_out;
 
   static BenchArgs parse(int argc, char** argv);
 
@@ -24,6 +32,14 @@ struct BenchArgs {
     return full ? Duration::seconds(180) : quick;
   }
 };
+
+/// Writes the observability outputs requested by `args` (no-op when neither
+/// flag was given): the Chrome trace to args.trace_out and the run manifest
+/// — stamped with `tool` and `config` key/values — to args.metrics_out.
+/// Call once at the end of main(), after the measured work.
+void finish_observability(
+    const BenchArgs& args, const std::string& tool,
+    const std::vector<std::pair<std::string, std::string>>& config = {});
 
 /// Directory for CSV dumps (created on first use), "bench_out".
 [[nodiscard]] std::string out_dir();
@@ -39,7 +55,9 @@ void print_expectation(const std::string& what, const std::string& paper,
 /// destruction (or finish()) writes/merges the entry — wall seconds, thread
 /// count, plus any set() metrics — into bench_out/bench_summary.json keyed
 /// by `bench_name`. Entries of other benches in the file are preserved, so
-/// running the whole suite accumulates one summary object.
+/// running the whole suite accumulates one summary object. The file carries
+/// a "schema_version" (currently 2) and the "git" describe of the writing
+/// build, so trajectories across PRs are attributable to commits.
 class BenchSummary {
  public:
   explicit BenchSummary(std::string bench_name);

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/engine.h"
 
 using namespace tbd;
@@ -85,25 +87,40 @@ int main(int argc, char** argv) {
   };
   std::vector<Case> cases;
 
+  auto publish_engine = [](const sim::Engine& engine) {
+    auto& reg = obs::Registry::global();
+    const auto& st = engine.stats();
+    reg.counter("tbd_engine_events_total").add(st.executed);
+    reg.counter("tbd_engine_events_scheduled_total").add(st.scheduled);
+    reg.counter("tbd_engine_events_cancelled_total").add(st.cancelled);
+    reg.gauge("tbd_engine_heap_high_water")
+        .update_max(static_cast<double>(st.heap_high_water));
+  };
   {
+    TBD_SPAN("engine_micro.chain");
     sim::Engine engine;
     const auto t0 = std::chrono::steady_clock::now();
     const auto n = run_chain(engine, scale);
     cases.push_back({"chain", n, seconds_since(t0)});
+    publish_engine(engine);
   }
   {
+    TBD_SPAN("engine_micro.churn");
     sim::Engine engine;
     const auto t0 = std::chrono::steady_clock::now();
     const auto n = run_churn(engine, scale / 2);
     cases.push_back({"churn", n, seconds_since(t0)});
+    publish_engine(engine);
   }
   {
+    TBD_SPAN("engine_micro.periodic");
     sim::Engine engine;
     const auto t0 = std::chrono::steady_clock::now();
     const auto n = run_periodic(engine, 64,
                                 Duration::micros(static_cast<std::int64_t>(
                                     scale / 64 * 100)));
     cases.push_back({"periodic", n, seconds_since(t0)});
+    publish_engine(engine);
   }
 
   std::printf("  %-10s %-14s %-10s %-14s\n", "pattern", "events", "wall[s]",
@@ -121,5 +138,8 @@ int main(int argc, char** argv) {
               total_wall, overall);
   summary.set("engine_events", total_events);
   summary.set("engine_events_per_s", overall);
+  summary.finish();
+  benchx::finish_observability(args, "bench_engine_micro",
+                               {{"scale", std::to_string(scale)}});
   return 0;
 }

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Schema check for the observability outputs of tbd_analyze.
+
+Usage:
+    check_obs_output.py TRACE.json MANIFEST.json
+
+Validates the Chrome trace and the run manifest written by
+`tbd_analyze --trace-out TRACE.json --metrics-out MANIFEST.json` (the tier-1
+smoke step in scripts/tier1.sh): both files must be well-formed JSON, every
+complete ("X") trace event must carry the fields Perfetto needs, every
+analysis pipeline stage must have produced at least one span, and the
+manifest must carry the documented schema-1 keys with a live metrics
+snapshot. Exits non-zero with a message on the first violation.
+"""
+import json
+import sys
+
+# Every stage of the tbd_analyze pipeline must appear in the trace: loading,
+# per-server analysis (calibration + the detector's internal stages), and
+# reporting. The detector stage names are shared with the simulation path.
+REQUIRED_STAGES = {
+    "analyze.load_logs",
+    "analyze.server",
+    "analyze.calibrate",
+    "analyze.report",
+    "detector.load_calc",
+    "detector.throughput_calc",
+    "detector.fit_n_star",
+    "detector.classify",
+    "detector.episodes",
+}
+
+MANIFEST_KEYS = {
+    "schema_version",
+    "tool",
+    "git",
+    "threads",
+    "config",
+    "metrics",
+    "span_rollup",
+    "spans_dropped",
+}
+
+
+def fail(msg):
+    print(f"check_obs_output: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path) as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    spans = [e for e in events if e.get("ph") == "X"]
+    if not spans:
+        fail(f"{path}: no complete ('X') span events")
+    for e in spans:
+        for field in ("name", "ts", "dur", "pid", "tid"):
+            if field not in e:
+                fail(f"{path}: span event missing '{field}': {e}")
+        if "depth" not in e.get("args", {}):
+            fail(f"{path}: span event missing args.depth: {e}")
+        if e["ts"] < 0 or e["dur"] < 0:
+            fail(f"{path}: negative ts/dur: {e}")
+    names = {e["name"] for e in spans}
+    missing = REQUIRED_STAGES - names
+    if missing:
+        fail(f"{path}: pipeline stages without spans: {sorted(missing)}")
+    return names
+
+
+def check_manifest(path, span_names):
+    with open(path) as f:
+        manifest = json.load(f)
+    missing = MANIFEST_KEYS - manifest.keys()
+    if missing:
+        fail(f"{path}: manifest keys missing: {sorted(missing)}")
+    if manifest["schema_version"] != 1:
+        fail(f"{path}: schema_version {manifest['schema_version']} != 1")
+    if not manifest["git"]:
+        fail(f"{path}: empty git describe")
+    if manifest["threads"] < 1:
+        fail(f"{path}: threads {manifest['threads']} < 1")
+    metrics = manifest["metrics"]
+    for section in ("counters", "gauges", "histograms"):
+        if section not in metrics:
+            fail(f"{path}: metrics.{section} missing")
+    counters = metrics["counters"]
+    if counters.get("tbd_analyze_records_total", 0) <= 0:
+        fail(f"{path}: tbd_analyze_records_total not positive: {counters}")
+    pool_tasks = counters.get("tbd_pool_tasks_total", 0) + counters.get(
+        "tbd_pool_tasks_inline_total", 0
+    )
+    if pool_tasks <= 0:
+        fail(f"{path}: no pool tasks recorded: {counters}")
+    rollup = manifest["span_rollup"]
+    missing = span_names - rollup.keys()
+    if missing:
+        fail(f"{path}: span_rollup missing stages: {sorted(missing)}")
+    for name, entry in rollup.items():
+        if entry["count"] < 1 or entry["total_us"] < entry["max_us"]:
+            fail(f"{path}: inconsistent rollup for {name}: {entry}")
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    trace_path, manifest_path = sys.argv[1], sys.argv[2]
+    span_names = check_trace(trace_path)
+    check_manifest(manifest_path, span_names)
+    print(f"check_obs_output: OK ({trace_path}, {manifest_path})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure, build, run the full test suite, then re-check the
-# parallel sweep path under ThreadSanitizer.
+# parallel sweep path under ThreadSanitizer, the observability layer under
+# AddressSanitizer, and the tbd_analyze observability outputs against the
+# checked-in schema.
 #
 #   scripts/tier1.sh            # from the repo root
 #
-# The TSan stage builds only the standalone sweep_test binary (see
-# tests/CMakeLists.txt) in a separate build tree so the instrumented objects
-# never mix with the normal ones, and runs it with TBD_THREADS=4 so the
-# thread pool actually spins up workers.
+# The sanitizer stages build only their standalone test binary (see
+# tests/CMakeLists.txt) in separate build trees so the instrumented objects
+# never mix with the normal ones. sweep_test runs with TBD_THREADS=4 so the
+# thread pool actually spins up workers; obs_test exercises the striped
+# metric shards and span ring buffers where a lifetime bug would hide.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,5 +30,24 @@ else
   # stage; the functional suite above still gates the change.
   echo "warning: ThreadSanitizer build unavailable; skipped TSan stage" >&2
 fi
+
+echo "== tier-1: obs under AddressSanitizer =="
+if cmake -B build-asan -S . -DTBD_SANITIZE=address >/dev/null \
+    && cmake --build build-asan -j "$(nproc)" --target obs_test; then
+  TBD_THREADS=4 ./build-asan/tests/obs_test
+else
+  # Same escape hatch as TSan: minimal toolchains may lack libasan.
+  echo "warning: AddressSanitizer build unavailable; skipped ASan stage" >&2
+fi
+
+echo "== tier-1: observability smoke =="
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+./build/tools/tbd_analyze --width 50 \
+  --trace-out "$obs_tmp/trace.json" \
+  --metrics-out "$obs_tmp/manifest.json" \
+  scripts/testdata/tiny_log.csv >/dev/null
+python3 scripts/check_obs_output.py "$obs_tmp/trace.json" \
+  "$obs_tmp/manifest.json"
 
 echo "== tier-1: OK =="

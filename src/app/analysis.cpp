@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "core/report.h"
+#include "obs/span.h"
 #include "util/thread_pool.h"
 
 namespace tbd::app {
@@ -19,15 +20,22 @@ SystemAnalysis analyze_system(const ExperimentResult& result,
   // per-server detections fan out across the pool; slot s of the output is
   // always server s, independent of scheduling.
   analysis.detections.resize(result.logs.size());
-  shared_pool().parallel_for_indexed(result.logs.size(), [&](std::size_t s) {
-    analysis.detections[s] = core::detect_bottlenecks(
-        result.logs[s], analysis.spec, tables[s], config);
-  });
+  {
+    TBD_SPAN("analysis.detect_servers");
+    shared_pool().parallel_for_indexed(result.logs.size(), [&](std::size_t s) {
+      TBD_SPAN("analysis.server");
+      analysis.detections[s] = core::detect_bottlenecks(
+          result.logs[s], analysis.spec, tables[s], config);
+    });
+  }
   for (std::size_t s = 0; s < result.logs.size(); ++s) {
     analysis.names.push_back(result.servers[s].name);
   }
-  analysis.report =
-      core::rank_bottlenecks(analysis.detections, analysis.names);
+  {
+    TBD_SPAN("analysis.rank");
+    analysis.report =
+        core::rank_bottlenecks(analysis.detections, analysis.names);
+  }
   return analysis;
 }
 

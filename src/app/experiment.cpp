@@ -4,6 +4,8 @@
 #include <memory>
 
 #include "metrics/utilization_sampler.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/engine.h"
 #include "util/rng.h"
 
@@ -68,7 +70,29 @@ double ExperimentResult::mean_util(int server_index) const {
   return n ? sum / static_cast<double>(n) : 0.0;
 }
 
+namespace {
+// Flushes the run's single-threaded component counters (engine, sink,
+// sampler) into the global registry. One batch of relaxed adds per run, so
+// the simulation hot path itself carries no atomic traffic.
+void publish_run_stats(const sim::Engine& engine, const trace::TraceSink& sink,
+                       const metrics::UtilizationSampler& sampler) {
+  auto& reg = obs::Registry::global();
+  const auto& es = engine.stats();
+  reg.counter("tbd_engine_events_total").add(es.executed);
+  reg.counter("tbd_engine_events_scheduled_total").add(es.scheduled);
+  reg.counter("tbd_engine_events_cancelled_total").add(es.cancelled);
+  reg.gauge("tbd_engine_heap_high_water")
+      .update_max(static_cast<double>(es.heap_high_water));
+  reg.counter("tbd_sink_messages_total").add(sink.total_messages_seen());
+  reg.counter("tbd_sink_bytes_total").add(sink.total_bytes_seen());
+  reg.counter("tbd_sink_messages_dropped_total").add(sink.messages_dropped());
+  reg.counter("tbd_util_samples_total").add(sampler.samples_taken());
+  reg.counter("tbd_experiment_runs_total").inc();
+}
+}  // namespace
+
 ExperimentResult run_experiment(const ExperimentConfig& config) {
+  TBD_SPAN("experiment.run");
   sim::Engine engine;
   Rng root{config.seed};
 
@@ -116,9 +140,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   clients.start();
   const TimePoint end_at =
       TimePoint::origin() + config.warmup + config.duration;
-  engine.run_until(end_at);
+  {
+    TBD_SPAN("experiment.simulate");
+    engine.run_until(end_at);
+  }
 
   // ---- extract --------------------------------------------------------------
+  TBD_SPAN("experiment.extract");
+  publish_run_stats(engine, sink, sampler);
   ExperimentResult result;
   result.window_start = TimePoint::origin() + config.warmup;
   result.window_end = end_at;

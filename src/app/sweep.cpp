@@ -3,6 +3,9 @@
 #include <memory>
 #include <optional>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace tbd::app {
 
 namespace {
@@ -23,6 +26,8 @@ void for_each_config(std::size_t n, const SweepOptions& options,
 
 std::vector<ExperimentResult> run_sweep(
     const std::vector<ExperimentConfig>& configs, const SweepOptions& options) {
+  TBD_SPAN("sweep.run");
+  obs::Registry::global().counter("tbd_sweep_configs_total").add(configs.size());
   std::vector<std::optional<ExperimentResult>> slots(configs.size());
   for_each_config(configs.size(), options,
                   [&](std::size_t i) { slots[i] = run_experiment(configs[i]); });
@@ -36,6 +41,8 @@ std::vector<double> run_sweep_metric(
     const std::vector<ExperimentConfig>& configs,
     const std::function<double(const ExperimentResult&)>& metric,
     const SweepOptions& options) {
+  TBD_SPAN("sweep.run");
+  obs::Registry::global().counter("tbd_sweep_configs_total").add(configs.size());
   std::vector<double> values(configs.size(), 0.0);
   for_each_config(configs.size(), options, [&](std::size_t i) {
     values[i] = metric(run_experiment(configs[i]));

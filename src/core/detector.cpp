@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/span.h"
+
 namespace tbd::core {
 
 std::size_t DetectionResult::congested_intervals() const {
@@ -85,14 +87,29 @@ DetectionResult detect_bottlenecks(std::span<const trace::RequestRecord> records
                                    const DetectorConfig& config) {
   DetectionResult result;
   result.spec = spec;
-  result.load = compute_load(records, spec);
-  result.throughput =
-      compute_throughput(records, spec, service_times, config.throughput);
-  result.nstar =
-      estimate_congestion_point(result.load, result.throughput, config.nstar);
-  result.states =
-      classify_intervals(result.load, result.throughput, result.nstar, config);
-  result.episodes = extract_episodes(result.states, result.load, spec);
+  {
+    TBD_SPAN("detector.load_calc");
+    result.load = compute_load(records, spec);
+  }
+  {
+    TBD_SPAN("detector.throughput_calc");
+    result.throughput =
+        compute_throughput(records, spec, service_times, config.throughput);
+  }
+  {
+    TBD_SPAN("detector.fit_n_star");
+    result.nstar = estimate_congestion_point(result.load, result.throughput,
+                                             config.nstar);
+  }
+  {
+    TBD_SPAN("detector.classify");
+    result.states = classify_intervals(result.load, result.throughput,
+                                       result.nstar, config);
+  }
+  {
+    TBD_SPAN("detector.episodes");
+    result.episodes = extract_episodes(result.states, result.load, spec);
+  }
   return result;
 }
 

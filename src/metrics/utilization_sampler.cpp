@@ -22,6 +22,7 @@ UtilizationSampler::UtilizationSampler(sim::Engine& engine,
 }
 
 void UtilizationSampler::on_tick() {
+  ++ticks_;
   const double interval_us = static_cast<double>(period_.micros());
   for (trace::ServerIndex s = 0; s < topology_.total_servers(); ++s) {
     auto& server = topology_.server_by_index(s);

@@ -6,6 +6,7 @@
 // Figure 3 and Table I come from it, and the baseline detector consumes it.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "ntier/topology.h"
@@ -31,9 +32,15 @@ class UtilizationSampler {
     return series_[s];
   }
 
-  /// Mean utilization of one server over samples in [t0, t1).
+  /// Mean utilization of one server over the samples FULLY contained in
+  /// [t0, t1). Partially covered samples are excluded; a window that
+  /// contains no complete sample (empty, t0 == t1, t0 > t1, or a range past
+  /// the last sample) returns 0.0.
   [[nodiscard]] double mean_util(trace::ServerIndex s, TimePoint t0,
                                  TimePoint t1) const;
+
+  /// Sampling ticks fired so far (each tick appends one sample per server).
+  [[nodiscard]] std::uint64_t samples_taken() const { return ticks_; }
 
  private:
   void on_tick();
@@ -44,6 +51,7 @@ class UtilizationSampler {
   TimePoint start_;
   std::vector<std::vector<double>> series_;
   std::vector<double> last_busy_;
+  std::uint64_t ticks_ = 0;
   sim::PeriodicTask ticker_;
 };
 

@@ -1,0 +1,94 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/thread_pool.h"
+
+#ifndef TBD_GIT_DESCRIBE
+#define TBD_GIT_DESCRIBE "unknown"
+#endif
+
+namespace tbd::obs {
+
+const char* git_describe() { return TBD_GIT_DESCRIBE; }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void publish_pool_stats(Registry& registry) {
+  const auto stats = shared_pool().stats();
+  registry.counter("tbd_pool_jobs_total").add(stats.jobs);
+  registry.counter("tbd_pool_tasks_total").add(stats.tasks);
+  registry.counter("tbd_pool_tasks_inline_total").add(stats.tasks_inline);
+  registry.counter("tbd_pool_busy_us_total").add(stats.busy_us);
+  registry.counter("tbd_pool_queue_wait_us_total").add(stats.queue_wait_us);
+  registry.gauge("tbd_pool_threads").set(shared_pool().size());
+  for (std::size_t w = 0; w < stats.worker_busy_us.size(); ++w) {
+    registry.gauge("tbd_pool_worker_busy_us{worker=" + std::to_string(w) + "}")
+        .set(static_cast<double>(stats.worker_busy_us[w]));
+  }
+}
+
+std::string run_manifest_json(const RunInfo& info, const Registry& registry,
+                              const Tracer& tracer) {
+  std::string out = "{\n";
+  out += "  \"schema_version\": 1,\n";
+  out += "  \"tool\": \"" + json_escape(info.tool) + "\",\n";
+  out += "  \"git\": \"" + json_escape(git_describe()) + "\",\n";
+  out += "  \"threads\": " + std::to_string(ThreadPool::default_thread_count()) +
+         ",\n";
+  out += "  \"config\": {";
+  for (std::size_t i = 0; i < info.config.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"" + json_escape(info.config[i].first) + "\": \"" +
+           json_escape(info.config[i].second) + "\"";
+  }
+  out += "},\n";
+  out += "  \"metrics\": " + registry.to_json() + ",\n";
+  out += "  \"span_rollup\": {";
+  const auto rollups = Tracer::rollup(tracer.collect());
+  bool first = true;
+  for (const auto& [name, r] : rollups) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + json_escape(name) + "\": {\"count\": " +
+           std::to_string(r.count) + ", \"total_us\": " +
+           std::to_string(r.total_us) + ", \"max_us\": " +
+           std::to_string(r.max_us) + "}";
+  }
+  out += "},\n";
+  out += "  \"spans_dropped\": " + std::to_string(tracer.dropped()) + "\n";
+  out += "}\n";
+  return out;
+}
+
+bool write_run_manifest(const std::string& path, const RunInfo& info,
+                        const Registry& registry, const Tracer& tracer) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) return false;
+  out << run_manifest_json(info, registry, tracer);
+  return static_cast<bool>(out);
+}
+
+}  // namespace tbd::obs

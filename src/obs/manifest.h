@@ -1,0 +1,50 @@
+// Run manifests: one JSON document stamping an analysis / bench / sweep run
+// with everything needed to compare it against other runs — tool name,
+// configuration key/values, seed, thread count, git describe of the build,
+// the full metrics snapshot, and per-stage span rollups.
+//
+// Written by tbd_analyze --metrics-out and the bench binaries' --metrics-out
+// flag; validated by scripts/check_obs_output.py in the tier-1 gate.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace tbd::obs {
+
+/// Git describe of the checkout the build was configured from ("unknown"
+/// when git was unavailable at configure time).
+[[nodiscard]] const char* git_describe();
+
+/// Identity + configuration of one run. `config` entries are emitted in
+/// order as JSON strings, so put the interesting keys (seed, width, files)
+/// first.
+struct RunInfo {
+  std::string tool;
+  std::vector<std::pair<std::string, std::string>> config;
+};
+
+/// Copies the shared thread pool's counters (tasks, busy time, queue wait,
+/// per-worker busy) into `registry` as tbd_pool_* metrics. Call once, right
+/// before exporting — the pool accumulates from process start.
+void publish_pool_stats(Registry& registry);
+
+/// The manifest document. Includes `registry`'s full JSON snapshot and the
+/// rollup of `tracer`'s collected spans (empty object when tracing is off).
+[[nodiscard]] std::string run_manifest_json(const RunInfo& info,
+                                            const Registry& registry,
+                                            const Tracer& tracer);
+
+/// Writes run_manifest_json() to `path`; false on I/O failure.
+bool write_run_manifest(const std::string& path, const RunInfo& info,
+                        const Registry& registry, const Tracer& tracer);
+
+/// Escapes a string for embedding in a JSON document (quotes, backslashes,
+/// control characters).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace tbd::obs

@@ -1,0 +1,206 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace tbd::obs {
+
+namespace detail {
+
+std::size_t stripe_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return mine;
+}
+
+void atomic_add(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+namespace {
+
+std::string format_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+}  // namespace detail
+
+// ---- Counter ----------------------------------------------------------------
+
+std::uint64_t Counter::value() const {
+  std::uint64_t sum = 0;
+  for (const auto& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Counter::reset() {
+  for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+// ---- Gauge ------------------------------------------------------------------
+
+void Gauge::update_max(double v) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// ---- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_{std::move(upper_bounds)} {
+  assert(!bounds_.empty());
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (auto& shard : shards_) {
+    shard.counts =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      shard.counts[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::observe(double v) {
+  // First bucket whose upper bound is >= v, i.e. v <= bound ("le").
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  Shard& shard = shards_[detail::stripe_index()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(shard.sum, v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      snap.counts[b] += shard.counts[b].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (const auto c : snap.counts) snap.count += c;
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& shard : shards_) {
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      shard.counts[b].store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::string Registry::to_json() const {
+  const std::scoped_lock lock(mutex_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + std::to_string(c->value());
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": " + detail::format_number(g->value());
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    const auto snap = h->snapshot();
+    out += "\"" + name + "\": {\"bounds\": [";
+    for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
+      if (b) out += ", ";
+      out += detail::format_number(snap.bounds[b]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+      if (b) out += ", ";
+      out += std::to_string(snap.counts[b]);
+    }
+    out += "], \"count\": " + std::to_string(snap.count) +
+           ", \"sum\": " + detail::format_number(snap.sum) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Registry::to_prometheus() const {
+  const std::scoped_lock lock(mutex_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + detail::format_number(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const auto snap = h->snapshot();
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
+      cumulative += snap.counts[b];
+      out += name + "_bucket{le=\"" + detail::format_number(snap.bounds[b]) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) + "\n";
+    out += name + "_sum " + detail::format_number(snap.sum) + "\n";
+    out += name + "_count " + std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
+void Registry::reset() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace tbd::obs

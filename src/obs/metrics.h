@@ -1,0 +1,144 @@
+// Self-instrumentation metrics: lock-cheap counters, gauges, and fixed-bucket
+// histograms for the TBD stack itself (simulator, thread pool, analysis
+// pipeline) — the same "coarse monitoring hides transient behavior" argument
+// the paper makes about n-tier systems applies to our own runner.
+//
+// Design:
+//  * Counter / Histogram writes go to striped cache-line-padded shards; each
+//    thread picks a shard once (thread-local index) and then increments with
+//    a relaxed atomic add — no locks, no shared cache line in the common
+//    case. Shards are summed only on snapshot/export.
+//  * Gauge is a single atomic double (set / add / update_max).
+//  * Registry maps names to metrics; the name lookup takes a mutex, so hot
+//    paths resolve the reference once and keep it. Exported as a JSON object
+//    (embedded in run manifests) and as a one-shot Prometheus-style text
+//    dump.
+//
+// Naming convention (see docs/observability.md): tbd_<area>_<what>[_<unit>],
+// counters end in _total, e.g. tbd_engine_events_total,
+// tbd_pool_queue_wait_us_total.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tbd::obs {
+
+namespace detail {
+/// Stripe count for sharded writes; power of two, a few times typical
+/// hardware concurrency is plenty because collisions only cost a shared
+/// cache line, never correctness.
+inline constexpr std::size_t kStripes = 16;
+
+/// Dense per-thread stripe slot, assigned on first use.
+[[nodiscard]] std::size_t stripe_index();
+
+/// fetch_add for atomic<double> via CAS (portable; fetch_add on double is
+/// C++20 but not lock-free everywhere).
+void atomic_add(std::atomic<double>& target, double delta);
+}  // namespace detail
+
+/// Monotonic event count. add() is wait-free (relaxed fetch_add on a
+/// thread-striped shard); value() sums the shards.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    cells_[detail::stripe_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+  [[nodiscard]] std::uint64_t value() const;
+  void reset();
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, detail::kStripes> cells_{};
+};
+
+/// Last-write-wins scalar (plus a monotonic-max update for high-water marks).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) { detail::atomic_add(value_, delta); }
+  /// Raises the gauge to `v` if `v` is larger (high-water mark semantics).
+  void update_max(double v);
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i]
+/// (first matching bucket, Prometheus `le` semantics); one extra overflow
+/// bucket catches v beyond the last bound. Writes are striped like Counter.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;        // upper bounds, as configured
+    std::vector<std::uint64_t> counts; // per-bucket (bounds.size() + 1, last = overflow)
+    std::uint64_t count = 0;           // total observations
+    double sum = 0.0;                  // sum of observed values
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<double> bounds_;
+  std::array<Shard, detail::kStripes> shards_;
+};
+
+/// Name -> metric registry. Lookup is mutex-guarded (cache the reference on
+/// hot paths); returned references stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-wide registry used by the built-in instrumentation.
+  [[nodiscard]] static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Creates the histogram on first use; later calls with the same name
+  /// return the existing instance (bounds are ignored then).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  [[nodiscard]] std::string to_json() const;
+  /// One-shot Prometheus text exposition (TYPE comments + cumulative
+  /// histogram buckets).
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// Zeroes every metric's value. References stay valid (metrics are never
+  /// removed); meant for tests and for between-window resets.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace tbd::obs

@@ -1,0 +1,157 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+namespace tbd::obs {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Tracer::Tracer() = default;
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(std::size_t ring_capacity) {
+  const std::scoped_lock lock(mutex_);
+  if (enabled_.load(std::memory_order_relaxed)) return;
+  ring_capacity_ = std::max<std::size_t>(ring_capacity, 8);
+  epoch_ns_ = steady_ns();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_release); }
+
+std::uint64_t Tracer::now_us() const {
+  return static_cast<std::uint64_t>((steady_ns() - epoch_ns_) / 1000);
+}
+
+Tracer::ThreadRing& Tracer::local_ring() {
+  // One ring per (thread, tracer-singleton); rings are never destroyed while
+  // the process lives, so the cached pointer stays valid even past thread
+  // exit of *other* threads.
+  thread_local ThreadRing* cached = nullptr;
+  if (cached) return *cached;
+  const std::scoped_lock lock(mutex_);
+  auto ring = std::make_unique<ThreadRing>();
+  ring->slots.resize(ring_capacity_);
+  ring->tid = static_cast<std::uint32_t>(rings_.size());
+  cached = ring.get();
+  rings_.push_back(std::move(ring));
+  return *cached;
+}
+
+std::vector<SpanRecord> Tracer::collect() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<SpanRecord> out;
+  for (const auto& ring : rings_) {
+    const std::uint64_t n = ring->count.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring->slots.size();
+    const std::uint64_t kept = std::min(n, cap);
+    for (std::uint64_t i = n - kept; i < n; ++i) {
+      out.push_back(ring->slots[i % cap]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.depth < b.depth;
+            });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::scoped_lock lock(mutex_);
+  std::uint64_t dropped = 0;
+  for (const auto& ring : rings_) {
+    const std::uint64_t n = ring->count.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring->slots.size();
+    if (n > cap) dropped += n - cap;
+  }
+  return dropped;
+}
+
+void Tracer::clear() {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& ring : rings_) {
+    ring->count.store(0, std::memory_order_release);
+  }
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const auto spans = collect();
+  std::uint32_t max_tid = 0;
+  for (const auto& s : spans) max_tid = std::max(max_tid, s.tid);
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  // Thread-name metadata rows so Perfetto labels tracks usefully.
+  for (std::uint32_t t = 0; !spans.empty() && t <= max_tid; ++t) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(t) +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": \"tbd-thread-" +
+           std::to_string(t) + "\"}}";
+  }
+  for (const auto& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"ph\": \"X\", \"pid\": 1, \"tid\": " + std::to_string(s.tid) +
+           ", \"name\": \"" + std::string{s.name} +
+           "\", \"ts\": " + std::to_string(s.start_us) +
+           ", \"dur\": " + std::to_string(s.dur_us) +
+           ", \"args\": {\"depth\": " + std::to_string(s.depth) + "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) return false;
+  out << chrome_trace_json();
+  return static_cast<bool>(out);
+}
+
+std::map<std::string, SpanRollup> Tracer::rollup(
+    const std::vector<SpanRecord>& spans) {
+  std::map<std::string, SpanRollup> by_name;
+  for (const auto& s : spans) {
+    auto& r = by_name[s.name];
+    ++r.count;
+    r.total_us += s.dur_us;
+    r.max_us = std::max(r.max_us, s.dur_us);
+  }
+  return by_name;
+}
+
+SpanScope::SpanScope(const char* name) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;
+  ring_ = &tracer.local_ring();
+  name_ = name;
+  depth_ = ring_->depth++;
+  start_us_ = tracer.now_us();
+}
+
+SpanScope::~SpanScope() {
+  if (!ring_) return;
+  --ring_->depth;
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;  // disabled mid-span: drop it
+  const std::uint64_t end_us = tracer.now_us();
+  ring_->push(SpanRecord{name_, start_us_, end_us - start_us_, ring_->tid,
+                         depth_});
+}
+
+}  // namespace tbd::obs

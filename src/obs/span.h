@@ -1,0 +1,141 @@
+// Pipeline span tracing: RAII scopes recorded into per-thread ring buffers,
+// exportable as Chrome trace_event JSON (load in chrome://tracing or
+// https://ui.perfetto.dev). This is the repo's own request-path view — the
+// same span/causal-path idea the black-box reconstructor applies to n-tier
+// messages, pointed at our analysis pipeline instead.
+//
+// Usage:
+//   void fit() {
+//     TBD_SPAN("detector.fit_n_star");
+//     ...work...
+//   }  // span recorded on scope exit
+//
+// Cost model: when the tracer is disabled (the default) a span is one
+// relaxed atomic load; when enabled it is two steady_clock reads plus one
+// ring-buffer store on the owning thread. Span names must be string
+// literals (or otherwise outlive the tracer) — only the pointer is stored.
+// Compile with TBD_OBS_DISABLED (cmake -DTBD_OBS=OFF) to make TBD_SPAN
+// vanish entirely.
+//
+// Threading: pushes are single-producer per thread and never block. Ring
+// registration takes a mutex once per thread. collect()/export are exact at
+// quiescent points (after pool work drained — where all callers sit); a
+// collect raced against active writers may miss or see partially-overwritten
+// wrapped entries, never crash.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tbd::obs {
+
+/// One completed span. Times are microseconds since the tracer was enabled.
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;    // dense per-tracer thread index
+  std::uint32_t depth = 0;  // nesting depth on its thread (0 = root span)
+};
+
+/// Aggregate of all spans sharing a name (the manifest's per-stage rollup).
+struct SpanRollup {
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+  std::uint64_t max_us = 0;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Process-wide tracer used by TBD_SPAN.
+  [[nodiscard]] static Tracer& global();
+
+  /// Starts recording. `ring_capacity` bounds spans kept per thread (newest
+  /// win; see dropped()). A thread's ring keeps its original capacity across
+  /// re-enables.
+  void enable(std::size_t ring_capacity = 1 << 14);
+  void disable();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of all recorded spans, oldest-first per thread.
+  [[nodiscard]] std::vector<SpanRecord> collect() const;
+  /// Spans lost to ring wrap-around since the last clear().
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Forgets recorded spans (rings stay registered). Call when quiescent.
+  void clear();
+
+  /// Chrome trace_event JSON ("X" complete events, ts/dur in microseconds).
+  [[nodiscard]] std::string chrome_trace_json() const;
+  /// Writes chrome_trace_json() to `path`; false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Per-name aggregation of collect().
+  [[nodiscard]] static std::map<std::string, SpanRollup> rollup(
+      const std::vector<SpanRecord>& spans);
+
+  /// Microseconds since enable() (0 when never enabled).
+  [[nodiscard]] std::uint64_t now_us() const;
+
+ private:
+  friend class SpanScope;
+
+  struct ThreadRing {
+    std::vector<SpanRecord> slots;
+    std::atomic<std::uint64_t> count{0};  // total pushed; slot = i % capacity
+    std::uint32_t tid = 0;
+    std::uint32_t depth = 0;  // touched only by the owning thread
+
+    void push(const SpanRecord& r) {
+      const std::uint64_t n = count.load(std::memory_order_relaxed);
+      slots[n % slots.size()] = r;
+      count.store(n + 1, std::memory_order_release);
+    }
+  };
+
+  /// The calling thread's ring (registered on first use; stable address).
+  ThreadRing& local_ring();
+
+  std::atomic<bool> enabled_{false};
+  std::int64_t epoch_ns_ = 0;  // steady_clock at enable()
+  std::size_t ring_capacity_ = 1 << 14;
+  mutable std::mutex mutex_;  // guards rings_ registration + collect
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+};
+
+/// RAII span; records on destruction if the tracer was enabled at entry.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name);
+  ~SpanScope();
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  Tracer::ThreadRing* ring_ = nullptr;  // null = tracer off at entry
+  const char* name_ = nullptr;
+  std::uint64_t start_us_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+#ifdef TBD_OBS_DISABLED
+#define TBD_SPAN(name)
+#else
+#define TBD_OBS_CONCAT_INNER(a, b) a##b
+#define TBD_OBS_CONCAT(a, b) TBD_OBS_CONCAT_INNER(a, b)
+/// Opens a span covering the rest of the enclosing scope.
+#define TBD_SPAN(name) \
+  ::tbd::obs::SpanScope TBD_OBS_CONCAT(tbd_span_, __LINE__) { name }
+#endif
+
+}  // namespace tbd::obs

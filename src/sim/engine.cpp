@@ -34,6 +34,10 @@ EventHandle Engine::schedule_at(TimePoint at, std::function<void()> fn) {
   slots_[slot].fn = std::move(fn);
   heap_.push_back(Entry{at, next_seq_++, slot});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++stats_.scheduled;
+  if (heap_.size() > stats_.heap_high_water) {
+    stats_.heap_high_water = heap_.size();
+  }
   return EventHandle{
       (static_cast<std::uint64_t>(slots_[slot].generation) << 32) |
       (slot + 1)};
@@ -55,6 +59,7 @@ bool Engine::cancel(EventHandle h) {
   if (s.generation != generation || s.cancelled) return false;
   s.cancelled = true;
   s.fn = nullptr;  // free the closure's captures now, not at pop time
+  ++stats_.cancelled;
   return true;
 }
 
@@ -77,7 +82,7 @@ bool Engine::pop_and_run_next(TimePoint limit) {
     release_slot(top.slot);
     if (cancelled) continue;
     now_ = top.at;
-    ++executed_;
+    ++stats_.executed;
     fn();
     return true;
   }

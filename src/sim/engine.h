@@ -71,10 +71,21 @@ class Engine {
   void reserve(std::size_t events);
 
   /// Number of events executed so far (diagnostics / perf tests).
-  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] std::uint64_t events_executed() const { return stats_.executed; }
 
   /// Number of events currently pending (including cancelled-but-not-popped).
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Self-instrumentation counters. Plain members of this single-threaded
+  /// engine — maintaining them costs an increment or a compare per
+  /// schedule/cancel, identical whether observability export is on or off.
+  struct Stats {
+    std::uint64_t scheduled = 0;       // schedule_at/schedule_after calls
+    std::uint64_t executed = 0;        // callbacks actually run
+    std::uint64_t cancelled = 0;       // successful cancel() calls
+    std::size_t heap_high_water = 0;   // max concurrently pending entries
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
   // Heap entries are trivially copyable 24-byte records; the callback lives
@@ -104,7 +115,7 @@ class Engine {
   std::vector<std::uint32_t> free_slots_;
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_seq_ = 1;
-  std::uint64_t executed_ = 0;
+  Stats stats_;
 };
 
 /// Repeatedly runs a callback at a fixed period, starting at `first`.

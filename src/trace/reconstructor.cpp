@@ -5,6 +5,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/span.h"
+
 namespace tbd::trace {
 
 namespace {
@@ -13,6 +15,7 @@ constexpr TimePoint kUnclosed = TimePoint::max();
 }  // namespace
 
 void TraceReconstructor::process(std::span<const Message> messages) {
+  TBD_SPAN("trace.reconstruct");
   for (const Message& m : messages) {
     if (m.conn >= conn_pending_.size()) conn_pending_.resize(m.conn + 1);
     if (const NodeId hi = std::max(m.src, m.dst); hi >= open_by_server_.size()) {

@@ -9,6 +9,7 @@ TraceSink::TraceSink(std::uint32_t num_servers, bool record_messages)
 
 void TraceSink::capture(const Message& m) {
   ++seen_;
+  bytes_seen_ += m.bytes;
   // Maintain per-server byte counters. Node ids are 1-based for servers.
   if (m.dst >= 1 && m.dst <= net_.size()) {
     net_[m.dst - 1].bytes_received += m.bytes;
@@ -16,7 +17,11 @@ void TraceSink::capture(const Message& m) {
   if (m.src >= 1 && m.src <= net_.size()) {
     net_[m.src - 1].bytes_sent += m.bytes;
   }
-  if (record_messages_) messages_.push_back(m);
+  if (record_messages_) {
+    messages_.push_back(m);
+  } else {
+    ++dropped_;
+  }
 }
 
 void TraceSink::record_visit(const RequestRecord& r) {
@@ -28,7 +33,10 @@ void TraceSink::record_visit(const RequestRecord& r) {
 void TraceSink::clear() {
   messages_.clear();
   for (auto& log : logs_) log.clear();
+  for (auto& n : net_) n = NetCounters{};
   seen_ = 0;
+  bytes_seen_ = 0;
+  dropped_ = 0;
 }
 
 }  // namespace tbd::trace

@@ -48,9 +48,17 @@ class TraceSink {
     return net_[s];
   }
   [[nodiscard]] std::uint64_t total_messages_seen() const { return seen_; }
+  /// Total wire bytes across all captured messages.
+  [[nodiscard]] std::uint64_t total_bytes_seen() const { return bytes_seen_; }
+  /// Messages offered while message recording was off (counted, not kept).
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
 
-  /// Drops captured data (logs and messages), keeping configuration. Used by
-  /// long-running experiments that analyze in windows.
+  /// Resets ALL captured state — message stream, request logs, per-server
+  /// net counters, and the seen/bytes/dropped totals — keeping only the
+  /// configuration (num_servers, record_messages). Windowed experiments call
+  /// this between analysis windows, and a window's Table-I byte counts must
+  /// cover that window only, so the counters reset together with the logs
+  /// (pinned by TraceSinkTest.ClearResetsCountersAndData).
   void clear();
 
  private:
@@ -59,6 +67,8 @@ class TraceSink {
   std::vector<RequestLog> logs_;
   std::vector<NetCounters> net_;
   std::uint64_t seen_ = 0;
+  std::uint64_t bytes_seen_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace tbd::trace

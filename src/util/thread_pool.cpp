@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
@@ -11,6 +12,13 @@ namespace {
 // so re-entrant fan-out from inside a task runs inline instead of
 // deadlocking on its own pool.
 thread_local const ThreadPool* tls_active_pool = nullptr;
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
 
 }  // namespace
 
@@ -28,8 +36,10 @@ int ThreadPool::default_thread_count() {
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) threads = default_thread_count();
   workers_.reserve(static_cast<std::size_t>(threads - 1));
+  stats_.worker_busy_us.assign(static_cast<std::size_t>(threads), 0);
   for (int t = 1; t < threads; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back(
+        [this, t] { worker_loop(static_cast<std::size_t>(t)); });
   }
 }
 
@@ -42,33 +52,39 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::run_job_share(Job& job, std::unique_lock<std::mutex>& lock) {
+void ThreadPool::run_job_share(Job& job, std::unique_lock<std::mutex>& lock,
+                               std::size_t slot) {
   const ThreadPool* outer = tls_active_pool;
   tls_active_pool = this;
   while (job.next < job.n) {
     const std::size_t i = job.next++;
     lock.unlock();
+    const auto t0 = std::chrono::steady_clock::now();
     std::exception_ptr err;
     try {
       (*job.fn)(i);
     } catch (...) {
       err = std::current_exception();
     }
+    const std::uint64_t busy = elapsed_us(t0);
     lock.lock();
+    ++stats_.tasks;
+    stats_.busy_us += busy;
+    stats_.worker_busy_us[slot] += busy;
     if (err && !job.error) job.error = err;
     if (++job.done == job.n) done_cv_.notify_all();
   }
   tls_active_pool = outer;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t slot) {
   std::uint64_t seen = 0;
   std::unique_lock lock(mutex_);
   while (true) {
     work_cv_.wait(lock, [&] { return stop_ || (job_ && job_gen_ != seen); });
     if (stop_) return;
     seen = job_gen_;
-    run_job_share(*job_, lock);
+    run_job_share(*job_, lock, slot);
   }
 }
 
@@ -76,7 +92,11 @@ void ThreadPool::parallel_for_indexed(
     std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1 || tls_active_pool == this) {
+    // Serial fast path: counted but not timed, so TBD_THREADS=1 stays
+    // byte-for-byte the historic serial execution with no clock reads.
     for (std::size_t i = 0; i < n; ++i) fn(i);
+    const std::scoped_lock lock(mutex_);
+    stats_.tasks_inline += n;
     return;
   }
   Job job;
@@ -84,15 +104,25 @@ void ThreadPool::parallel_for_indexed(
   job.fn = &fn;
   std::unique_lock lock(mutex_);
   // One job at a time; a second outer caller queues here until the pool idles.
-  done_cv_.wait(lock, [&] { return job_ == nullptr; });
+  if (job_ != nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    done_cv_.wait(lock, [&] { return job_ == nullptr; });
+    stats_.queue_wait_us += elapsed_us(t0);
+  }
+  ++stats_.jobs;
   job_ = &job;
   ++job_gen_;
   work_cv_.notify_all();
-  run_job_share(job, lock);
+  run_job_share(job, lock, 0);
   done_cv_.wait(lock, [&] { return job.done == job.n; });
   job_ = nullptr;
   done_cv_.notify_all();
   if (job.error) std::rethrow_exception(job.error);
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
 }
 
 ThreadPool& shared_pool() {

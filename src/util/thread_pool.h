@@ -49,6 +49,21 @@ class ThreadPool {
   /// TBD_THREADS if set (clamped to >= 1), else hardware_concurrency().
   [[nodiscard]] static int default_thread_count();
 
+  /// Self-instrumentation counters, accumulated since construction. All
+  /// bookkeeping happens under the per-index claim lock the pool already
+  /// takes, so observing costs nothing extra on the task path beyond two
+  /// steady_clock reads per task.
+  struct Stats {
+    std::uint64_t jobs = 0;           // parallel_for_indexed calls fanned out
+    std::uint64_t tasks = 0;          // fn(i) invocations run via the pool
+    std::uint64_t tasks_inline = 0;   // fn(i) run on the serial fast path
+    std::uint64_t busy_us = 0;        // summed task execution wall time
+    std::uint64_t queue_wait_us = 0;  // callers blocked waiting for the pool
+    /// Per-slot busy time: slot 0 = participating callers, 1.. = workers.
+    std::vector<std::uint64_t> worker_busy_us;
+  };
+  [[nodiscard]] Stats stats() const;
+
  private:
   struct Job {
     std::size_t n = 0;
@@ -58,11 +73,13 @@ class ThreadPool {
     std::exception_ptr error;
   };
 
-  void worker_loop();
-  void run_job_share(Job& job, std::unique_lock<std::mutex>& lock);
+  void worker_loop(std::size_t slot);
+  void run_job_share(Job& job, std::unique_lock<std::mutex>& lock,
+                     std::size_t slot);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
+  Stats stats_;  // guarded by mutex_
+  mutable std::mutex mutex_;  // also guards stats_ in const stats()
   std::condition_variable work_cv_;  // workers wait for a new job
   std::condition_variable done_cv_;  // caller waits for job completion
   Job* job_ = nullptr;               // current job, null when idle

@@ -1,0 +1,118 @@
+// Pins the bench_summary.json format (schema_version 2): header scalars,
+// per-bench entry merging, and BenchArgs flag parsing. Compiles
+// bench/bench_util.cpp directly into this binary (the bench helpers are not
+// a library target).
+#include "bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace tbd::benchx {
+namespace {
+
+std::string summary_path() { return out_dir() + "/bench_summary.json"; }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+class BenchSummaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { std::remove(summary_path().c_str()); }
+  void TearDown() override { std::remove(summary_path().c_str()); }
+};
+
+TEST_F(BenchSummaryTest, WritesSchemaHeaderAndEntry) {
+  {
+    BenchSummary summary{"unit_bench"};
+    summary.set("metric", 1.5);
+  }  // destructor writes
+  const std::string text = read_file(summary_path());
+  EXPECT_NE(text.find("\"schema_version\": 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"git\": \""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"unit_bench\": {"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"metric\": 1.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"wall_s\": "), std::string::npos) << text;
+  EXPECT_NE(text.find("\"threads\": "), std::string::npos) << text;
+  // Header precedes the entries.
+  EXPECT_LT(text.find("\"schema_version\""), text.find("\"unit_bench\""));
+}
+
+TEST_F(BenchSummaryTest, MergeKeepsOtherEntriesAndOneHeader) {
+  {
+    BenchSummary a{"bench_a"};
+    a.set("x", 1.0);
+  }
+  {
+    BenchSummary b{"bench_b"};
+    b.set("y", 2.0);
+  }
+  const std::string text = read_file(summary_path());
+  EXPECT_NE(text.find("\"bench_a\": {"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"bench_b\": {"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"x\": 1"), std::string::npos) << text;
+  // The header scalars are rewritten, not duplicated, on every merge.
+  EXPECT_EQ(count_occurrences(text, "\"schema_version\""), 1u) << text;
+  EXPECT_EQ(count_occurrences(text, "\"git\""), 1u) << text;
+}
+
+TEST_F(BenchSummaryTest, RerunReplacesOwnEntry) {
+  {
+    BenchSummary a{"bench_a"};
+    a.set("x", 1.0);
+  }
+  {
+    BenchSummary again{"bench_a"};
+    again.set("x", 3.0);
+  }
+  const std::string text = read_file(summary_path());
+  EXPECT_EQ(count_occurrences(text, "\"bench_a\""), 1u) << text;
+  EXPECT_NE(text.find("\"x\": 3"), std::string::npos) << text;
+  EXPECT_EQ(text.find("\"x\": 1,"), std::string::npos) << text;
+}
+
+TEST_F(BenchSummaryTest, FinishIsIdempotent) {
+  BenchSummary summary{"unit_bench"};
+  summary.set("metric", 1.0);
+  summary.finish();
+  summary.set("late", 9.0);  // after finish: not written again
+  summary.finish();
+  const std::string text = read_file(summary_path());
+  EXPECT_NE(text.find("\"metric\": 1"), std::string::npos) << text;
+  EXPECT_EQ(text.find("\"late\""), std::string::npos) << text;
+}
+
+TEST(BenchArgsTest, ParsesFullAndObservabilityFlags) {
+  const char* argv[] = {"bench", "--full", "--metrics-out", "/tmp/m.json"};
+  const auto args =
+      BenchArgs::parse(4, const_cast<char**>(argv));
+  EXPECT_TRUE(args.full);
+  EXPECT_EQ(args.metrics_out, "/tmp/m.json");
+  EXPECT_TRUE(args.trace_out.empty());
+  EXPECT_EQ(args.run_duration(Duration::seconds(2)), Duration::seconds(180));
+
+  const char* argv2[] = {"bench"};
+  const auto quick = BenchArgs::parse(1, const_cast<char**>(argv2));
+  EXPECT_FALSE(quick.full);
+  EXPECT_EQ(quick.run_duration(Duration::seconds(2)), Duration::seconds(2));
+}
+
+}  // namespace
+}  // namespace tbd::benchx

@@ -56,6 +56,51 @@ TEST(UtilizationSamplerTest, MeanUtilOverWindow) {
               0.0, 0.01);
 }
 
+// Boundary contract of mean_util: only samples FULLY contained in [t0, t1)
+// count; any window with no complete sample returns 0.0.
+TEST(UtilizationSamplerTest, MeanUtilBoundaryCases) {
+  sim::Engine engine;
+  ntier::Topology topo{engine, ntier::paper_topology()};
+  UtilizationSampler sampler{engine, topo, 1_s};
+  auto& db = topo.server(ntier::TierKind::kDb, 0);
+  db.compute(1'000'000.0, [] {});  // 100% busy in second 0
+  engine.run_until(TimePoint::origin() + 2_s);
+  const auto idx = topo.server_index(ntier::TierKind::kDb, 0);
+  ASSERT_EQ(sampler.series(idx).size(), 2u);
+  EXPECT_EQ(sampler.samples_taken(), 2u);
+
+  const TimePoint t0 = TimePoint::origin();
+  // Empty range (t0 == t1) contains no sample.
+  EXPECT_DOUBLE_EQ(sampler.mean_util(idx, t0 + 1_s, t0 + 1_s), 0.0);
+  // Inverted range.
+  EXPECT_DOUBLE_EQ(sampler.mean_util(idx, t0 + 2_s, t0 + 1_s), 0.0);
+  // Range entirely past the last sample.
+  EXPECT_DOUBLE_EQ(sampler.mean_util(idx, t0 + 10_s, t0 + 20_s), 0.0);
+  // Sub-period window: overlaps sample 0 but doesn't contain it.
+  EXPECT_DOUBLE_EQ(
+      sampler.mean_util(idx, t0, t0 + Duration::from_millis_f(500.0)), 0.0);
+  // Partially covered samples are excluded: [0.5s, 2s) fully contains only
+  // sample 1 (idle), not the busy sample 0 it half-overlaps.
+  EXPECT_DOUBLE_EQ(
+      sampler.mean_util(idx, t0 + Duration::from_millis_f(500.0), t0 + 2_s),
+      0.0);
+  // Exact cover of sample 0 alone.
+  EXPECT_NEAR(sampler.mean_util(idx, t0, t0 + 1_s), 1.0, 0.01);
+}
+
+TEST(UtilizationSamplerTest, NoTicksBeforeFirstPeriod) {
+  sim::Engine engine;
+  ntier::Topology topo{engine, ntier::paper_topology()};
+  UtilizationSampler sampler{engine, topo, 1_s};
+  engine.run_until(TimePoint::origin() + Duration::from_millis_f(500.0));
+  EXPECT_EQ(sampler.samples_taken(), 0u);
+  const auto idx = topo.server_index(ntier::TierKind::kDb, 0);
+  EXPECT_TRUE(sampler.series(idx).empty());
+  EXPECT_DOUBLE_EQ(sampler.mean_util(idx, TimePoint::origin(),
+                                     TimePoint::origin() + 1_s),
+                   0.0);
+}
+
 TEST(UtilizationSamplerTest, EsxtopGranularity) {
   sim::Engine engine;
   ntier::Topology topo{engine, ntier::paper_topology()};

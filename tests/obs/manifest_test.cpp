@@ -1,0 +1,98 @@
+#include "obs/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace tbd::obs {
+namespace {
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape(std::string{"a\x01"
+                                    "b"}),
+            "a\\u0001b");
+}
+
+TEST(ManifestTest, GitDescribeIsNonEmpty) {
+  ASSERT_NE(git_describe(), nullptr);
+  EXPECT_NE(std::string{git_describe()}, "");
+}
+
+TEST(ManifestTest, JsonCarriesConfigMetricsAndRollup) {
+  Registry reg;
+  reg.counter("tbd_test_total").add(5);
+  Tracer tracer;  // never enabled: rollup is empty, dropped 0
+  RunInfo info;
+  info.tool = "unit_test";
+  info.config.emplace_back("width_ms", "50");
+  info.config.emplace_back("note", "has \"quotes\"");
+  const std::string json = run_manifest_json(info, reg, tracer);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tool\": \"unit_test\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"git\": \""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"threads\": "), std::string::npos) << json;
+  EXPECT_NE(json.find("\"width_ms\": \"50\""), std::string::npos) << json;
+  EXPECT_NE(json.find("has \\\"quotes\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tbd_test_total\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"span_rollup\": {}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"spans_dropped\": 0"), std::string::npos) << json;
+}
+
+TEST(ManifestTest, RollupIncludesRecordedSpans) {
+  auto& tracer = Tracer::global();
+  tracer.disable();
+  tracer.clear();
+  tracer.enable();
+  {
+    TBD_SPAN("manifest.stage");
+  }
+  Registry reg;
+  const std::string json = run_manifest_json(RunInfo{"t", {}}, reg, tracer);
+  EXPECT_NE(json.find("\"manifest.stage\": {\"count\": 1"), std::string::npos)
+      << json;
+  tracer.disable();
+  tracer.clear();
+}
+
+TEST(ManifestTest, WriteRunManifestRoundTrips) {
+  Registry reg;
+  Tracer tracer;
+  const std::string path = ::testing::TempDir() + "tbd_manifest_test.json";
+  ASSERT_TRUE(write_run_manifest(path, RunInfo{"t", {}}, reg, tracer));
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), run_manifest_json(RunInfo{"t", {}}, reg, tracer));
+  std::remove(path.c_str());
+}
+
+TEST(ManifestTest, PublishPoolStatsRegistersPoolMetrics) {
+  // Drive the shared pool once so the counters are live, then publish.
+  std::vector<int> out(4, 0);
+  shared_pool().parallel_for_indexed(out.size(),
+                                     [&](std::size_t i) { out[i] = 1; });
+  Registry reg;
+  publish_pool_stats(reg);
+  // Every index executed on exactly one of the two paths (pooled or
+  // serial-inline; with TBD_THREADS=1 the pool fans nothing out and `jobs`
+  // stays 0, so only the combined task count is portable).
+  const auto tasks = reg.counter("tbd_pool_tasks_total").value() +
+                     reg.counter("tbd_pool_tasks_inline_total").value();
+  EXPECT_GE(tasks, out.size());
+  EXPECT_GE(reg.gauge("tbd_pool_threads").value(), 1.0);
+}
+
+}  // namespace
+}  // namespace tbd::obs

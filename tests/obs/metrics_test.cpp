@@ -1,0 +1,154 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tbd::obs {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add(3);
+  c.inc();
+  EXPECT_EQ(c.value(), 4u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, StripedWritesSumAcrossThreads) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kIncs = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncs; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIncs);
+}
+
+TEST(GaugeTest, SetAddAndHighWater) {
+  Gauge g;
+  g.set(2.5);
+  g.add(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.update_max(2.0);  // below current: no change
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.update_max(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+// Satellite regression: exact "le" edge behavior. A value equal to a bound
+// lands in that bound's bucket; the first value past it lands in the next;
+// values beyond the last bound land in the overflow bucket.
+TEST(HistogramTest, BucketEdges) {
+  Histogram h{{1.0, 2.0}};
+  h.observe(1.0);        // == bound 0 -> bucket 0 (le semantics)
+  h.observe(1.0000001);  // just past bound 0 -> bucket 1
+  h.observe(2.0);        // == bound 1 -> bucket 1
+  h.observe(2.5);        // past last bound -> overflow
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 3u);  // bounds.size() + 1
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_NEAR(snap.sum, 6.5000001, 1e-9);
+  EXPECT_EQ(snap.bounds, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(HistogramTest, NegativeAndBelowFirstBoundGoToFirstBucket) {
+  Histogram h{{0.0, 10.0}};
+  h.observe(-5.0);
+  h.observe(0.0);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.count, 2u);
+}
+
+TEST(HistogramTest, ResetZeroesCountsAndSum) {
+  Histogram h{{1.0}};
+  h.observe(0.5);
+  h.observe(5.0);
+  h.reset();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0);
+  for (const auto c : snap.counts) EXPECT_EQ(c, 0u);
+}
+
+TEST(HistogramTest, StripedObservationsAggregateAcrossThreads) {
+  Histogram h{{10.0}};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 1000; ++i) h.observe(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4000u);
+  EXPECT_EQ(snap.counts[0], 4000u);
+  EXPECT_NEAR(snap.sum, 4000.0, 1e-6);
+}
+
+TEST(RegistryTest, SameNameReturnsSameInstance) {
+  Registry reg;
+  Counter& a = reg.counter("c");
+  Counter& b = reg.counter("c");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = reg.histogram("h", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("h", {99.0});  // bounds ignored on reuse
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(RegistryTest, JsonSnapshotShape) {
+  Registry reg;
+  reg.counter("tbd_test_total").add(2);
+  reg.gauge("tbd_test_gauge").set(1.5);
+  reg.histogram("tbd_test_hist", {1.0}).observe(0.5);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\": {\"tbd_test_total\": 2}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"tbd_test_gauge\": 1.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tbd_test_hist\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counts\": [1, 0]"), std::string::npos) << json;
+}
+
+TEST(RegistryTest, PrometheusCumulativeBuckets) {
+  Registry reg;
+  auto& h = reg.histogram("lat", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE lat histogram\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("lat_bucket{le=\"1\"} 1\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("lat_bucket{le=\"2\"} 2\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("lat_count 3\n"), std::string::npos) << prom;
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsReferences) {
+  Registry reg;
+  Counter& c = reg.counter("c");
+  c.add(7);
+  reg.gauge("g").set(3.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // same instance, zeroed
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
+}
+
+}  // namespace
+}  // namespace tbd::obs

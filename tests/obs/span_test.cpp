@@ -1,0 +1,146 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tbd::obs {
+namespace {
+
+// TBD_SPAN records into Tracer::global(), which is shared across every test
+// in this binary: each test starts from a disabled tracer with cleared
+// rings. Note rings keep the capacity they were created with — the wrap
+// test below runs first so the main thread's ring is small (capacity 8) for
+// the whole binary, which the other tests are written to tolerate.
+class SpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().disable();
+    Tracer::global().clear();
+  }
+  void TearDown() override {
+    Tracer::global().disable();
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(SpanTest, RingWrapKeepsNewestAndCountsDropped) {
+  auto& tracer = Tracer::global();
+  tracer.enable(4);  // clamped up to the minimum capacity of 8
+  for (int i = 0; i < 20; ++i) {
+    TBD_SPAN("wrap");
+  }
+  const auto spans = tracer.collect();
+  EXPECT_EQ(spans.size(), 8u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  // Newest survive: timestamps are non-decreasing across the kept window.
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_GE(spans[i].start_us, spans[i - 1].start_us);
+  }
+  tracer.clear();
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_TRUE(tracer.collect().empty());
+}
+
+TEST_F(SpanTest, DisabledTracerRecordsNothing) {
+  {
+    TBD_SPAN("ignored");
+  }
+  EXPECT_TRUE(Tracer::global().collect().empty());
+}
+
+TEST_F(SpanTest, NestedSpansTrackDepthAndRollup) {
+  auto& tracer = Tracer::global();
+  tracer.enable();
+  {
+    TBD_SPAN("outer");
+    { TBD_SPAN("inner"); }
+    { TBD_SPAN("inner"); }
+  }
+  const auto spans = tracer.collect();
+  ASSERT_EQ(spans.size(), 3u);
+  std::uint64_t inner = 0;
+  for (const auto& s : spans) {
+    if (std::string{s.name} == "inner") {
+      ++inner;
+      EXPECT_EQ(s.depth, 1u);
+    } else {
+      EXPECT_STREQ(s.name, "outer");
+      EXPECT_EQ(s.depth, 0u);
+    }
+  }
+  EXPECT_EQ(inner, 2u);
+
+  const auto by_name = Tracer::rollup(spans);
+  ASSERT_EQ(by_name.count("inner"), 1u);
+  ASSERT_EQ(by_name.count("outer"), 1u);
+  EXPECT_EQ(by_name.at("inner").count, 2u);
+  EXPECT_EQ(by_name.at("outer").count, 1u);
+  EXPECT_GE(by_name.at("inner").total_us, by_name.at("inner").max_us);
+}
+
+TEST_F(SpanTest, CollectSortsByStartTime) {
+  auto& tracer = Tracer::global();
+  tracer.enable();
+  { TBD_SPAN("a"); }
+  { TBD_SPAN("b"); }
+  const auto spans = tracer.collect();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_LE(spans[0].start_us, spans[1].start_us);
+}
+
+TEST_F(SpanTest, ThreadsGetDistinctRings) {
+  auto& tracer = Tracer::global();
+  tracer.enable();
+  {
+    TBD_SPAN("main_thread");
+  }
+  std::thread worker([] {
+    TBD_SPAN("worker_thread");
+  });
+  worker.join();
+  const auto spans = tracer.collect();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].tid, spans[1].tid);
+}
+
+TEST_F(SpanTest, DisableMidSpanDropsIt) {
+  auto& tracer = Tracer::global();
+  tracer.enable();
+  {
+    TBD_SPAN("doomed");
+    tracer.disable();
+  }
+  EXPECT_TRUE(tracer.collect().empty());
+}
+
+TEST_F(SpanTest, ChromeTraceJsonShape) {
+  auto& tracer = Tracer::global();
+  tracer.enable();
+  { TBD_SPAN("stage.one"); }
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Complete event for the span, with ts/dur/args.depth fields.
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"stage.one\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  EXPECT_NE(json.find("\"depth\": 0"), std::string::npos);
+  // Thread-name metadata row so Perfetto labels the track.
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos) << json;
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST_F(SpanTest, EmptyTraceHasNoEvents) {
+  auto& tracer = Tracer::global();
+  tracer.enable();
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_EQ(json.find("\"ph\": \"X\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"ph\": \"M\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace tbd::obs

@@ -152,6 +152,24 @@ TEST(EngineTest, CountsExecutedEvents) {
   EXPECT_EQ(engine.events_executed(), 5u);
 }
 
+TEST(EngineTest, StatsTrackSchedulingExecutionAndCancellation) {
+  Engine engine;
+  int ran = 0;
+  engine.schedule_at(TimePoint::from_micros(10), [&] { ++ran; });
+  engine.schedule_at(TimePoint::from_micros(20), [&] { ++ran; });
+  const EventHandle h =
+      engine.schedule_at(TimePoint::from_micros(30), [&] { ++ran; });
+  engine.cancel(h);
+  engine.run_all();
+  const auto& st = engine.stats();
+  EXPECT_EQ(st.scheduled, 3u);
+  EXPECT_EQ(st.executed, 2u);
+  EXPECT_EQ(st.cancelled, 1u);
+  EXPECT_EQ(st.heap_high_water, 3u);  // all three pending before the run
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(engine.events_executed(), st.executed);
+}
+
 TEST(PeriodicTaskTest, FiresAtPeriod) {
   Engine engine;
   std::vector<std::int64_t> fired;

@@ -65,15 +65,47 @@ TEST(TraceSinkTest, VisitLogsPerServer) {
   EXPECT_EQ(sink.server_log(0)[0].class_id, 3u);
 }
 
-TEST(TraceSinkTest, ClearDropsDataKeepsConfig) {
+TEST(TraceSinkTest, TracksBytesSeenAndDrops) {
+  TraceSink sink{2, /*record_messages=*/false};
+  sink.capture(msg(10, 0, 1, 100));
+  sink.capture(msg(20, 1, 2, 60));
+  EXPECT_EQ(sink.total_bytes_seen(), 160u);
+  EXPECT_EQ(sink.messages_dropped(), 2u);  // recording off: counted, not kept
+
+  TraceSink keeping{2, /*record_messages=*/true};
+  keeping.capture(msg(10, 0, 1, 100));
+  EXPECT_EQ(keeping.total_bytes_seen(), 100u);
+  EXPECT_EQ(keeping.messages_dropped(), 0u);
+}
+
+// Pins the contract documented on TraceSink::clear(): a windowed experiment
+// resets between analysis windows, and each window's Table-I byte counts
+// must cover that window only — so net counters and seen/bytes/dropped
+// totals reset together with the message stream and request logs.
+TEST(TraceSinkTest, ClearResetsCountersAndData) {
   TraceSink sink{1, true};
   sink.capture(msg(10, 0, 1, 100));
-  sink.record_visit(RequestRecord{.server = 0});
+  sink.capture(msg(15, 1, 0, 40));
+  sink.record_visit(RequestRecord{.server = 0,
+                                  .class_id = 0,
+                                  .arrival = TimePoint::from_micros(5),
+                                  .departure = TimePoint::from_micros(15),
+                                  .txn = 1});
   sink.clear();
   EXPECT_TRUE(sink.messages().empty());
   EXPECT_TRUE(sink.server_log(0).empty());
-  sink.capture(msg(20, 0, 1, 100));
-  EXPECT_EQ(sink.messages().size(), 1u);  // still recording
+  EXPECT_EQ(sink.net_counters(0).bytes_received, 0u);
+  EXPECT_EQ(sink.net_counters(0).bytes_sent, 0u);
+  EXPECT_EQ(sink.total_messages_seen(), 0u);
+  EXPECT_EQ(sink.total_bytes_seen(), 0u);
+  EXPECT_EQ(sink.messages_dropped(), 0u);
+  // Configuration survives: same server count, still recording messages.
+  EXPECT_EQ(sink.num_servers(), 1u);
+  sink.capture(msg(20, 0, 1, 70));
+  EXPECT_EQ(sink.messages().size(), 1u);
+  EXPECT_EQ(sink.net_counters(0).bytes_received, 70u);
+  EXPECT_EQ(sink.total_messages_seen(), 1u);
+  EXPECT_EQ(sink.total_bytes_seen(), 70u);
 }
 
 }  // namespace

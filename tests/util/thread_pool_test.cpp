@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
@@ -73,6 +74,37 @@ TEST(ThreadPoolTest, FirstExceptionPropagates) {
 TEST(ThreadPoolTest, ZeroIterationsIsANoOp) {
   ThreadPool pool{2};
   pool.parallel_for_indexed(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, StatsCountInlineTasksOnSerialPath) {
+  ThreadPool pool{1};
+  pool.parallel_for_indexed(5, [](std::size_t) {});
+  const auto st = pool.stats();
+  EXPECT_EQ(st.tasks_inline, 5u);
+  EXPECT_EQ(st.tasks, 0u);
+  EXPECT_EQ(st.jobs, 0u);
+  // The serial path is deliberately untimed (no clock reads).
+  EXPECT_EQ(st.busy_us, 0u);
+  ASSERT_EQ(st.worker_busy_us.size(), 1u);
+  EXPECT_EQ(st.worker_busy_us[0], 0u);
+}
+
+TEST(ThreadPoolTest, StatsAccumulateAcrossPooledJobs) {
+  ThreadPool pool{3};
+  pool.parallel_for_indexed(4, [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  pool.parallel_for_indexed(4, [](std::size_t) {});
+  const auto st = pool.stats();
+  EXPECT_EQ(st.jobs, 2u);
+  EXPECT_EQ(st.tasks, 8u);
+  EXPECT_EQ(st.tasks_inline, 0u);
+  // 4 tasks slept >= 2ms each; allow generous slack for clock granularity.
+  EXPECT_GE(st.busy_us, 4000u);
+  ASSERT_EQ(st.worker_busy_us.size(), 3u);
+  std::uint64_t per_slot = 0;
+  for (const auto b : st.worker_busy_us) per_slot += b;
+  EXPECT_EQ(per_slot, st.busy_us);
 }
 
 TEST(ThreadPoolTest, DefaultThreadCountHonorsEnv) {

@@ -19,10 +19,16 @@
 //   --episodes N      print the N longest congestion episodes per server
 //   --csv PREFIX      dump per-server load/throughput series to
 //                     PREFIX_<server>.csv
+//   --trace-out FILE  record pipeline spans and write Chrome trace_event
+//                     JSON (open in chrome://tracing or ui.perfetto.dev)
+//   --metrics-out FILE  write the run manifest: config, seed inputs, git
+//                     describe, thread count, metrics snapshot, span rollup
+//   --prom-out FILE   write the metrics snapshot as Prometheus text
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -31,6 +37,9 @@
 #include "core/interval_selection.h"
 #include "core/report.h"
 #include "core/system_report.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "trace/log_io.h"
 #include "util/csv.h"
 #include "util/thread_pool.h"
@@ -46,6 +55,9 @@ struct Options {
   bool scatter = false;
   int episodes = 0;
   std::string csv_prefix;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string prom_out;
   std::vector<std::string> files;
 };
 
@@ -53,8 +65,10 @@ void usage() {
   std::fprintf(stderr,
                "usage: tbd_analyze [--width MS] [--auto-width] "
                "[--calib-seconds S]\n"
-               "                   [--scatter] [--episodes N] [--csv PREFIX] "
-               "LOG.csv [...]\n");
+               "                   [--scatter] [--episodes N] [--csv PREFIX]\n"
+               "                   [--trace-out FILE] [--metrics-out FILE] "
+               "[--prom-out FILE]\n"
+               "                   LOG.csv [...]\n");
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -83,6 +97,18 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return false;
       opt.csv_prefix = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      opt.trace_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return false;
+      opt.metrics_out = v;
+    } else if (arg == "--prom-out") {
+      const char* v = next();
+      if (!v) return false;
+      opt.prom_out = v;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -103,29 +129,39 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (!opt.trace_out.empty()) obs::Tracer::global().enable();
+  auto& registry = obs::Registry::global();
 
   // ---- load & split by server -----------------------------------------------
   std::map<trace::ServerIndex, trace::RequestLog> by_server;
   TimePoint t_min = TimePoint::max();
   TimePoint t_max;
-  for (const auto& path : opt.files) {
-    const auto loaded = trace::load_request_log_csv(path);
-    if (!loaded.ok) {
-      std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
-      return 1;
-    }
-    std::printf("loaded %zu records from %s (%zu lines skipped)\n",
-                loaded.records.size(), path.c_str(), loaded.skipped_lines);
-    for (const auto& r : loaded.records) {
-      by_server[r.server].push_back(r);
-      t_min = std::min(t_min, r.arrival);
-      t_max = std::max(t_max, r.departure);
+  {
+    TBD_SPAN("analyze.load_logs");
+    for (const auto& path : opt.files) {
+      const auto loaded = trace::load_request_log_csv(path);
+      if (!loaded.ok) {
+        std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("loaded %zu records from %s (%zu lines skipped)\n",
+                  loaded.records.size(), path.c_str(), loaded.skipped_lines);
+      registry.counter("tbd_analyze_records_total").add(loaded.records.size());
+      registry.counter("tbd_analyze_skipped_lines_total")
+          .add(loaded.skipped_lines);
+      registry.counter("tbd_analyze_files_total").inc();
+      for (const auto& r : loaded.records) {
+        by_server[r.server].push_back(r);
+        t_min = std::min(t_min, r.arrival);
+        t_max = std::max(t_max, r.departure);
+      }
     }
   }
   if (by_server.empty()) {
     std::fprintf(stderr, "error: no records\n");
     return 1;
   }
+  registry.gauge("tbd_analyze_servers").set(static_cast<double>(by_server.size()));
 
   // ---- analyze per server -----------------------------------------------------
   // Each server's calibration + (optional) width selection + detection is
@@ -145,6 +181,7 @@ int main(int argc, char** argv) {
   };
   std::vector<ServerAnalysis> analyses(logs.size());
   shared_pool().parallel_for_indexed(logs.size(), [&](std::size_t s) {
+    TBD_SPAN("analyze.server");
     const auto& log = *logs[s];
     // Service times from the calibration prefix (low quantile masks queueing).
     trace::RequestLog calib = log;
@@ -158,10 +195,15 @@ int main(int argc, char** argv) {
                   calib.end());
       if (calib.empty()) calib = log;
     }
-    const auto table = core::estimate_service_times(calib);
+    core::ServiceTimeTable table;
+    {
+      TBD_SPAN("analyze.calibrate");
+      table = core::estimate_service_times(calib);
+    }
 
     Duration width = Duration::from_millis_f(opt.width_ms);
     if (opt.auto_width) {
+      TBD_SPAN("analyze.width_select");
       const std::vector<Duration> candidates{
           Duration::millis(20), Duration::millis(50), Duration::millis(100),
           Duration::millis(250), Duration::seconds(1)};
@@ -177,6 +219,9 @@ int main(int argc, char** argv) {
         core::detect_bottlenecks(log, analyses[s].spec, table);
   });
 
+  // Report block is braced so its span closes before the trace is exported.
+  {
+  TBD_SPAN("analyze.report");
   std::vector<core::DetectionResult> detections;
   for (std::size_t s = 0; s < analyses.size(); ++s) {
     const auto& name = names[s];
@@ -220,5 +265,44 @@ int main(int argc, char** argv) {
   std::printf("\n%s", core::to_string(
                           core::rank_bottlenecks(detections, names))
                           .c_str());
+  }
+
+  // ---- observability export ---------------------------------------------------
+  if (!opt.trace_out.empty() || !opt.metrics_out.empty() ||
+      !opt.prom_out.empty()) {
+    obs::publish_pool_stats(registry);
+    const auto& tracer = obs::Tracer::global();
+    if (!opt.trace_out.empty() && !tracer.write_chrome_trace(opt.trace_out)) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.trace_out.c_str());
+      return 1;
+    }
+    if (!opt.metrics_out.empty()) {
+      obs::RunInfo info;
+      info.tool = "tbd_analyze";
+      info.config.emplace_back("width_ms", std::to_string(opt.width_ms));
+      info.config.emplace_back("auto_width", opt.auto_width ? "true" : "false");
+      info.config.emplace_back("calib_seconds",
+                               std::to_string(opt.calib_seconds));
+      std::string files;
+      for (const auto& f : opt.files) {
+        if (!files.empty()) files += " ";
+        files += f;
+      }
+      info.config.emplace_back("files", files);
+      if (!obs::write_run_manifest(opt.metrics_out, info, registry, tracer)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     opt.metrics_out.c_str());
+        return 1;
+      }
+    }
+    if (!opt.prom_out.empty()) {
+      std::ofstream prom{opt.prom_out, std::ios::trunc};
+      prom << registry.to_prometheus();
+      if (!prom) {
+        std::fprintf(stderr, "error: cannot write %s\n", opt.prom_out.c_str());
+        return 1;
+      }
+    }
+  }
   return 0;
 }
