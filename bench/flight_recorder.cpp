@@ -1,0 +1,107 @@
+// Flight-recorder throughput and the paper's GC attribution story in one
+// run: a JDK 1.5 Tomcat experiment (Section IV-A's transient-bottleneck
+// scenario) feeds the full records -> trees -> critical path -> attribution
+// -> timeline pipeline, and the summary records an `attribution` stage —
+// wall seconds and transactions/second through app::flight_record — in
+// bench_out/bench_summary.json so successive PRs can track the pipeline's
+// cost next to the detector's.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "app/experiment.h"
+#include "app/flight_recorder.h"
+#include "bench_util.h"
+#include "core/attribution.h"
+#include "util/thread_pool.h"
+
+using namespace tbd;
+using namespace tbd::literals;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchx::BenchArgs::parse(argc, argv);
+  const Duration duration = args.run_duration(20_s);
+
+  benchx::print_header("Flight recorder: records -> trees -> attribution");
+  benchx::BenchSummary summary{"flight_recorder"};
+
+  // The Fig 9(b) arm: JDK 1.5 GC at high workload produces the congestion
+  // episodes the attribution report is supposed to explain.
+  app::ExperimentConfig cfg;
+  cfg.workload = 12000;
+  cfg.warmup = 10_s;
+  cfg.duration = duration;
+  cfg.seed = 415;
+  cfg.gc_on_app = true;
+  cfg.gc = transient::jdk15_config();
+  const auto result = app::run_experiment(cfg);
+
+  // Merge the per-server logs (dense index = flight-recorder server id).
+  trace::RequestLog merged;
+  for (std::size_t s = 0; s < result.logs.size(); ++s) {
+    for (trace::RequestRecord r : result.logs[s]) {
+      r.server = static_cast<trace::ServerIndex>(s);
+      merged.push_back(r);
+    }
+  }
+
+  app::FlightConfig config;
+  config.width = 50_ms;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto rec = app::flight_record(merged, config, shared_pool());
+  const double record_s = seconds_since(t0);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::string timeline = app::timeline_json(rec);
+  const std::string ndjson = core::attribution_ndjson(rec.attribution);
+  const double render_s = seconds_since(t1);
+
+  std::size_t visits = 0;
+  for (const auto& t : rec.assembly.txns) visits += t.visits.size();
+  const double txns = static_cast<double>(rec.assembly.txns.size());
+
+  std::printf("  %-22s %-12s %-10s %-14s\n", "stage", "size", "wall[s]",
+              "rate");
+  std::printf("  %-22s %-12.0f %-10.3f %-14.3g txn/s\n", "flight_record",
+              txns, record_s, txns / record_s);
+  std::printf("  %-22s %-12zu %-10.3f %-14.3g B/s\n", "render artifacts",
+              timeline.size() + ndjson.size(), render_s,
+              static_cast<double>(timeline.size() + ndjson.size()) / render_s);
+
+  // The acceptance story: tail-band queueing should concentrate inside the
+  // congested (app) server's episodes when GC freezes are active.
+  double tail_queue_in = 0.0, tail_queue = 0.0;
+  for (const auto& band : rec.attribution.bands) {
+    if (band.band != "p99" && band.band != "pmax") continue;
+    for (const auto& s : band.servers) {
+      tail_queue_in += s.queue_in_us;
+      tail_queue += s.queue_in_us + s.queue_out_us;
+    }
+  }
+  const double in_frac = tail_queue > 0.0 ? tail_queue_in / tail_queue : 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f%% of tail queue-wait in-episode",
+                100.0 * in_frac);
+  benchx::print_expectation("tail attribution",
+                            "majority in congested intervals", buf);
+
+  summary.set("attribution_txns", txns);
+  summary.set("attribution_visits", static_cast<double>(visits));
+  summary.set("attribution_wall_s", record_s);
+  summary.set("attribution_txns_per_s", record_s > 0.0 ? txns / record_s : 0.0);
+  summary.set("attribution_tail_in_episode_frac", in_frac);
+
+  benchx::finish_observability(args, "bench_flight_recorder",
+                               {{"workload", std::to_string(cfg.workload)},
+                                {"width_ms", "50"}});
+  return 0;
+}

@@ -1,18 +1,38 @@
 #!/usr/bin/env python3
-"""Schema check for the observability outputs of tbd_analyze.
+"""Schema check for the observability outputs of tbd_analyze / tbd_timeline.
 
 Usage:
     check_obs_output.py TRACE.json MANIFEST.json
+    check_obs_output.py --timeline TIMELINE.json [--require-crossing]
+    check_obs_output.py --attribution ATTRIBUTION.ndjson
 
-Validates the Chrome trace and the run manifest written by
-`tbd_analyze --trace-out TRACE.json --metrics-out MANIFEST.json` (the tier-1
-smoke step in scripts/tier1.sh): both files must be well-formed JSON, every
-complete ("X") trace event must carry the fields Perfetto needs, every
-analysis pipeline stage must have produced at least one span, and the
-manifest must carry the documented schema-1 keys with a live metrics
-snapshot. Exits non-zero with a message on the first violation.
+Modes compose; each named file is validated and the script exits non-zero
+with a message on the first violation.
+
+* TRACE/MANIFEST (legacy positional mode): the Chrome trace and run manifest
+  written by `tbd_analyze --trace-out --metrics-out` — well-formed JSON,
+  every complete ("X") event carries the fields Perfetto needs, every
+  pipeline stage produced at least one span, and the manifest carries the
+  documented schema-1 keys with a live metrics snapshot.
+
+* --timeline: the flight-recorder timeline written by
+  `tbd_timeline --timeline-out` — every tid's B/E stream forms a properly
+  matched stack, every tid is named via thread_name metadata, and every flow
+  event ("s"/"t"/"f") resolves: one start and one finish per flow id, each
+  point landing inside a slice on its tid. With --require-crossing, at least
+  one flow point on a "server N" lane must fall inside a congestion-episode
+  band ("X" event) on the matching "server N episodes" track — the
+  acceptance check that a rendered transaction visibly crosses an episode.
+
+* --attribution: the NDJSON written by `--attribution-out` — schema-1 meta
+  line, known band names, per-band transaction counts summing to the total,
+  latency fractions within [0, 1], and per-server microsecond splits that
+  never exceed their band's summed latency.
 """
+import argparse
+import bisect
 import json
+import re
 import sys
 
 # Every stage of the tbd_analyze pipeline must appear in the trace: loading,
@@ -40,6 +60,10 @@ MANIFEST_KEYS = {
     "span_rollup",
     "spans_dropped",
 }
+
+LANE_RE = re.compile(r"^server (\d+)( ·\d+)?$")
+EPISODE_TRACK_RE = re.compile(r"^server (\d+) episodes$")
+BAND_RE = re.compile(r"^p(\d+(\.\d+)?|max)$")
 
 
 def fail(msg):
@@ -104,14 +128,191 @@ def check_manifest(path, span_names):
             fail(f"{path}: inconsistent rollup for {name}: {entry}")
 
 
+def check_timeline(path, require_crossing):
+    with open(path) as f:
+        timeline = json.load(f)
+    events = timeline.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+
+    # tid -> lane name from thread_name metadata.
+    lane_name = {}
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "thread_name":
+            lane_name[e["tid"]] = e["args"]["name"]
+
+    # Walk each tid's B/E stream in file order (the file is sorted by ts with
+    # correct intra-ts order); every B must be closed by a later E and stacks
+    # must nest. Closed slices are collected for flow binding.
+    stacks = {}  # tid -> list of (name, ts)
+    slices = {}  # tid -> list of (start, end)
+    episodes = {}  # server -> list of (start, end) from "server N episodes"
+    flow_events = {}  # id -> list of (ph, tid, ts)
+    for e in events:
+        ph = e.get("ph")
+        tid = e.get("tid")
+        if ph in ("B", "E", "X", "s", "t", "f") and tid not in lane_name:
+            fail(f"{path}: tid {tid} has no thread_name metadata: {e}")
+        if ph == "B":
+            stacks.setdefault(tid, []).append((e.get("name", "?"), e["ts"]))
+        elif ph == "E":
+            stack = stacks.get(tid)
+            if not stack:
+                fail(f"{path}: unmatched 'E' on tid {tid}: {e}")
+            name, start = stack.pop()
+            if e["ts"] < start:
+                fail(f"{path}: slice '{name}' on tid {tid} ends before start")
+            slices.setdefault(tid, []).append((start, e["ts"]))
+        elif ph == "X":
+            m = EPISODE_TRACK_RE.match(lane_name[tid])
+            if m:
+                episodes.setdefault(int(m.group(1)), []).append(
+                    (e["ts"], e["ts"] + e["dur"])
+                )
+        elif ph in ("s", "t", "f"):
+            if "id" not in e:
+                fail(f"{path}: flow event without id: {e}")
+            if ph == "f" and e.get("bp") != "e":
+                fail(f"{path}: flow finish without bp='e': {e}")
+            flow_events.setdefault(e["id"], []).append((ph, tid, e["ts"]))
+    leftovers = {t: s for t, s in stacks.items() if s}
+    if leftovers:
+        fail(f"{path}: unclosed 'B' events: {leftovers}")
+    if not any(slices.values()):
+        fail(f"{path}: no visit slices")
+
+    # Binding is a coverage question, so collapse each tid's slices into
+    # sorted disjoint intervals once and bisect per flow point — the naive
+    # any() scan is O(flows x slices) and stalls on multi-minute captures.
+    def merge(intervals):
+        merged = []
+        for start, end in sorted(intervals):
+            if merged and start <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], end)
+            else:
+                merged.append([start, end])
+        return merged
+
+    coverage = {tid: merge(iv) for tid, iv in slices.items()}
+    episode_cover = {server: merge(iv) for server, iv in episodes.items()}
+
+    def covered(merged, ts):
+        i = bisect.bisect_right(merged, [ts, float("inf")]) - 1
+        return i >= 0 and merged[i][1] >= ts
+
+    crossing = False
+    for fid, points in flow_events.items():
+        phases = [p[0] for p in points]
+        if phases.count("s") != 1 or phases.count("f") != 1:
+            fail(f"{path}: flow {fid} needs exactly one 's' and one 'f': {phases}")
+        if phases[0] != "s" or phases[-1] != "f":
+            fail(f"{path}: flow {fid} out of order: {phases}")
+        for ph, tid, ts in points:
+            if not covered(coverage.get(tid, []), ts):
+                fail(f"{path}: flow {fid} point ({ph}) at ts={ts} binds to no "
+                     f"slice on tid {tid} ({lane_name.get(tid)})")
+            m = LANE_RE.match(lane_name[tid])
+            if m and covered(episode_cover.get(int(m.group(1)), []), ts):
+                crossing = True
+    if not flow_events:
+        fail(f"{path}: no flow events")
+    if require_crossing and not crossing:
+        fail(f"{path}: no transaction flow crosses a congestion episode")
+    return len(flow_events), crossing
+
+
+def check_attribution(path):
+    with open(path) as f:
+        lines = [json.loads(line) for line in f if line.strip()]
+    if not lines:
+        fail(f"{path}: empty attribution file")
+    meta = lines[0]
+    if meta.get("type") != "meta":
+        fail(f"{path}: first record is not 'meta': {meta}")
+    if meta.get("schema_version") != 1:
+        fail(f"{path}: schema_version {meta.get('schema_version')} != 1")
+    quantiles = meta.get("band_quantiles")
+    cutoffs = meta.get("cutoffs_us")
+    if not isinstance(quantiles, list) or not isinstance(cutoffs, list):
+        fail(f"{path}: meta missing band_quantiles/cutoffs_us")
+    if len(quantiles) != len(cutoffs):
+        fail(f"{path}: {len(quantiles)} quantiles but {len(cutoffs)} cutoffs")
+
+    bands = {}
+    for rec in lines[1:]:
+        kind = rec.get("type")
+        if kind == "band":
+            name = rec["band"]
+            if not BAND_RE.match(name):
+                fail(f"{path}: unknown band name '{name}'")
+            if name in bands:
+                fail(f"{path}: duplicate band '{name}'")
+            if rec["txns"] < 0 or rec["latency_us"] < 0:
+                fail(f"{path}: negative band totals: {rec}")
+            bands[name] = rec
+        elif kind == "band_server":
+            band = bands.get(rec["band"])
+            if band is None:
+                fail(f"{path}: band_server before its band record: {rec}")
+            frac = rec["latency_frac"]
+            if not 0.0 <= frac <= 1.0:
+                fail(f"{path}: latency_frac {frac} outside [0, 1]: {rec}")
+            total = (
+                rec["queue_in_episode_us"]
+                + rec["queue_out_episode_us"]
+                + rec["service_in_episode_us"]
+                + rec["service_out_episode_us"]
+            )
+            if min(
+                rec["queue_in_episode_us"],
+                rec["queue_out_episode_us"],
+                rec["service_in_episode_us"],
+                rec["service_out_episode_us"],
+            ) < 0:
+                fail(f"{path}: negative split: {rec}")
+            if total > band["latency_us"] * (1 + 1e-6) + 1e-3:
+                fail(f"{path}: server split {total} exceeds band latency "
+                     f"{band['latency_us']}: {rec}")
+        else:
+            fail(f"{path}: unknown record type: {rec}")
+    if len(bands) != len(quantiles) + 1:
+        fail(f"{path}: {len(bands)} bands, expected {len(quantiles) + 1}")
+    if sum(b["txns"] for b in bands.values()) != meta.get("txns"):
+        fail(f"{path}: band txns do not sum to meta txns {meta.get('txns')}")
+    return len(bands)
+
+
 def main():
-    if len(sys.argv) != 3:
-        print(__doc__, file=sys.stderr)
-        sys.exit(2)
-    trace_path, manifest_path = sys.argv[1], sys.argv[2]
-    span_names = check_trace(trace_path)
-    check_manifest(manifest_path, span_names)
-    print(f"check_obs_output: OK ({trace_path}, {manifest_path})")
+    parser = argparse.ArgumentParser(add_help=True)
+    parser.add_argument("trace", nargs="?", help="tbd_analyze span trace JSON")
+    parser.add_argument("manifest", nargs="?", help="run manifest JSON")
+    parser.add_argument("--timeline", help="flight-recorder timeline JSON")
+    parser.add_argument("--attribution", help="attribution NDJSON")
+    parser.add_argument(
+        "--require-crossing",
+        action="store_true",
+        help="fail unless a flow crosses a congestion episode",
+    )
+    args = parser.parse_args()
+    if bool(args.trace) != bool(args.manifest):
+        parser.error("TRACE and MANIFEST must be given together")
+    if not args.trace and not args.timeline and not args.attribution:
+        parser.error("nothing to check")
+
+    checked = []
+    if args.trace:
+        span_names = check_trace(args.trace)
+        check_manifest(args.manifest, span_names)
+        checked += [args.trace, args.manifest]
+    if args.timeline:
+        flows, crossing = check_timeline(args.timeline, args.require_crossing)
+        checked.append(
+            f"{args.timeline} ({flows} flows{', crossing' if crossing else ''})"
+        )
+    if args.attribution:
+        bands = check_attribution(args.attribution)
+        checked.append(f"{args.attribution} ({bands} bands)")
+    print(f"check_obs_output: OK ({', '.join(checked)})")
 
 
 if __name__ == "__main__":

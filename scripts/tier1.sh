@@ -40,6 +40,12 @@ else
   echo "warning: AddressSanitizer build unavailable; skipped ASan stage" >&2
 fi
 
+echo "== tier-1: TBD_OBS=OFF build =="
+# The observability layer must compile out cleanly: spans become no-ops and
+# nothing downstream (flight recorder included) may notice.
+cmake -B build-obsoff -S . -DTBD_OBS=OFF >/dev/null
+cmake --build build-obsoff -j "$(nproc)" --target tbd_timeline
+
 echo "== tier-1: observability smoke =="
 obs_tmp="$(mktemp -d)"
 trap 'rm -rf "$obs_tmp"' EXIT
@@ -49,5 +55,24 @@ trap 'rm -rf "$obs_tmp"' EXIT
   scripts/testdata/tiny_log.csv >/dev/null
 python3 scripts/check_obs_output.py "$obs_tmp/trace.json" \
   "$obs_tmp/manifest.json"
+
+echo "== tier-1: flight-recorder smoke =="
+# The burst in tiny_log.csv saturates server 0 well past N*=3; the rendered
+# timeline must show at least one transaction flow crossing the resulting
+# congestion-episode band, and the attribution NDJSON must satisfy its
+# schema. Both artifacts must be identical at 1 and 4 pool threads.
+TBD_THREADS=1 ./build/tools/tbd_timeline --width 50 --nstar 3 \
+  --timeline-out "$obs_tmp/timeline.json" \
+  --attribution-out "$obs_tmp/attribution.ndjson" \
+  scripts/testdata/tiny_log.csv >/dev/null
+TBD_THREADS=4 ./build/tools/tbd_timeline --width 50 --nstar 3 \
+  --timeline-out "$obs_tmp/timeline4.json" \
+  --attribution-out "$obs_tmp/attribution4.ndjson" \
+  scripts/testdata/tiny_log.csv >/dev/null
+cmp "$obs_tmp/timeline.json" "$obs_tmp/timeline4.json"
+cmp "$obs_tmp/attribution.ndjson" "$obs_tmp/attribution4.ndjson"
+python3 scripts/check_obs_output.py \
+  --timeline "$obs_tmp/timeline.json" --require-crossing \
+  --attribution "$obs_tmp/attribution.ndjson"
 
 echo "== tier-1: OK =="

@@ -1,0 +1,247 @@
+#include "app/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/timeline.h"
+
+namespace tbd::app {
+
+namespace {
+
+/// Per-server detection honoring the N* override: the full
+/// detect_bottlenecks pipeline, but with classification pinned to the
+/// carried-over congestion point instead of the in-window estimate.
+core::DetectionResult detect_server(const trace::RequestLog& log,
+                                    const core::IntervalSpec& spec,
+                                    const core::ServiceTimeTable& table,
+                                    const FlightConfig& config) {
+  if (config.nstar_override <= 0.0) {
+    return core::detect_bottlenecks(log, spec, table, config.detector);
+  }
+  core::DetectionResult result;
+  result.spec = spec;
+  result.load = core::compute_load(log, spec);
+  result.throughput =
+      core::compute_throughput(log, spec, table, config.detector.throughput);
+  result.nstar = core::estimate_congestion_point(result.load, result.throughput,
+                                                 config.detector.nstar);
+  result.nstar.n_star = config.nstar_override;
+  result.nstar.converged = true;
+  result.states = core::classify_intervals(result.load, result.throughput,
+                                           result.nstar, config.detector);
+  result.episodes =
+      core::extract_episodes(result.states, result.load, result.spec);
+  return result;
+}
+
+}  // namespace
+
+FlightRecord flight_record(const trace::RequestLog& records,
+                           const FlightConfig& config, ThreadPool& pool) {
+  TBD_SPAN("flight.record");
+  FlightRecord rec;
+  std::map<trace::ServerIndex, trace::RequestLog> by_server;
+  TimePoint t_min = TimePoint::max();
+  TimePoint t_max;
+  for (const trace::RequestRecord& r : records) {
+    by_server[r.server].push_back(r);
+    t_min = std::min(t_min, r.arrival);
+    t_max = std::max(t_max, r.departure);
+  }
+  rec.servers.reserve(by_server.size());
+  for (auto& [server, log] : by_server) {
+    std::sort(log.begin(), log.end(),
+              [](const trace::RequestRecord& a, const trace::RequestRecord& b) {
+                if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                if (a.departure != b.departure) return a.departure < b.departure;
+                return a.txn < b.txn;
+              });
+    ServerFlight sf;
+    sf.server = server;
+    sf.log = std::move(log);
+    rec.servers.push_back(std::move(sf));
+  }
+  if (rec.servers.empty()) return rec;
+
+  pool.parallel_for_indexed(rec.servers.size(), [&](std::size_t s) {
+    TBD_SPAN("flight.server");
+    ServerFlight& sf = rec.servers[s];
+    trace::RequestLog calib = sf.log;
+    if (config.calib_seconds > 0.0) {
+      const TimePoint cutoff =
+          t_min + Duration::from_seconds_f(config.calib_seconds);
+      calib.erase(std::remove_if(calib.begin(), calib.end(),
+                                 [&](const trace::RequestRecord& r) {
+                                   return r.departure >= cutoff;
+                                 }),
+                  calib.end());
+      if (calib.empty()) calib = sf.log;
+    }
+    const core::ServiceTimeTable table = core::estimate_service_times(calib);
+    const auto spec = core::IntervalSpec::over(t_min, t_max, config.width);
+    sf.detection = detect_server(sf.log, spec, table, config);
+    sf.profile = trace::ConcurrencyProfile::build(sf.log);
+  });
+
+  trace::ProfileMap profiles;
+  std::vector<trace::ServerIndex> servers;
+  std::vector<core::DetectionResult> detections;
+  for (const ServerFlight& sf : rec.servers) {
+    profiles.emplace(sf.server, sf.profile);
+    servers.push_back(sf.server);
+    detections.push_back(sf.detection);
+  }
+  rec.assembly = trace::assemble_transactions(records, &profiles);
+  rec.attribution = core::attribute_latency(rec.assembly.txns, servers,
+                                            detections, profiles,
+                                            config.attribution);
+
+  auto& reg = obs::Registry::global();
+  reg.counter("tbd_flight_txns_total").add(rec.assembly.txns.size());
+  reg.counter("tbd_flight_visits_total").add(rec.assembly.visits);
+  reg.counter("tbd_flight_orphan_visits_total").add(rec.assembly.orphan_visits);
+  reg.counter("tbd_flight_dropped_unclosed_total")
+      .add(rec.assembly.dropped_unclosed);
+  return rec;
+}
+
+std::string timeline_json(const FlightRecord& rec) {
+  TBD_SPAN("flight.timeline");
+  obs::TimelineBuilder tl;
+  using Builder = obs::TimelineBuilder;
+  std::map<trace::ServerIndex, Builder::TrackId> visit_track;
+  for (const ServerFlight& sf : rec.servers) {
+    const std::string label = "server " + std::to_string(sf.server);
+    visit_track[sf.server] = tl.add_track(label);
+    const auto overlay = tl.add_overlay_track(label + " episodes");
+    // Maximal runs of one state render as one band: congested = amber,
+    // frozen (the POIs) = red.
+    const auto& states = sf.detection.states;
+    const auto& spec = sf.detection.spec;
+    std::size_t i = 0;
+    while (i < states.size()) {
+      const core::IntervalState s = states[i];
+      if (s != core::IntervalState::kCongested &&
+          s != core::IntervalState::kFrozen) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      double peak = 0.0;
+      while (j < states.size() && states[j] == s) {
+        peak = std::max(peak, sf.detection.load[j]);
+        ++j;
+      }
+      const bool frozen = s == core::IntervalState::kFrozen;
+      tl.add_overlay(overlay, spec.interval_start(i).micros(),
+                     spec.interval_start(j).micros(),
+                     frozen ? "frozen" : "congested",
+                     frozen ? "terrible" : "bad",
+                     {{"peak_load", Builder::num(peak)},
+                      {"n_star", Builder::num(sf.detection.nstar.n_star)}});
+      i = j;
+    }
+  }
+
+  for (const trace::TxnTree& t : rec.assembly.txns) {
+    std::vector<std::pair<Builder::SliceRef, std::int64_t>> points;
+    points.reserve(t.visits.size());
+    for (const trace::TxnVisit& v : t.visits) {
+      const auto track = visit_track.find(v.server);
+      if (track == visit_track.end()) continue;
+      Builder::Args args{
+          {"txn", Builder::num(static_cast<std::int64_t>(t.id))},
+          {"queue_us", Builder::num(v.queue_us)},
+          {"service_us", Builder::num(v.service_us)},
+          {"conc_at_arrival",
+           Builder::num(static_cast<std::int64_t>(v.concurrency_at_arrival))},
+          {"depth", Builder::num(static_cast<std::int64_t>(v.depth))},
+      };
+      if (v.orphan) args.emplace_back("orphan", "true");
+      const auto ref = tl.add_slice(
+          track->second, v.arrival.micros(), v.departure.micros(),
+          "visit c" + std::to_string(v.class_id), "visit", std::move(args));
+      points.emplace_back(ref, v.arrival.micros());
+    }
+    // Visits are stored in (arrival, departure desc) order, so the flow
+    // steps already run request-message order: root, then each downstream
+    // call as it is issued.
+    if (points.size() >= 2) {
+      tl.add_flow(t.id, "txn " + std::to_string(t.id), std::move(points));
+    }
+  }
+  return tl.to_json();
+}
+
+bool write_timeline(const std::string& path, const FlightRecord& rec) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) return false;
+  out << timeline_json(rec);
+  return static_cast<bool>(out);
+}
+
+int emit_flight_outputs(const FlightRecord& rec, const FlightOutputs& out,
+                        obs::RunInfo info) {
+  std::printf(
+      "assembled %zu transactions (%llu visits, %llu orphans, "
+      "%llu unclosed dropped)\n",
+      rec.assembly.txns.size(),
+      static_cast<unsigned long long>(rec.assembly.visits),
+      static_cast<unsigned long long>(rec.assembly.orphan_visits),
+      static_cast<unsigned long long>(rec.assembly.dropped_unclosed));
+  for (const ServerFlight& sf : rec.servers) {
+    std::printf("server %u: N*=%.1f%s, %zu episode(s), longest %s\n",
+                static_cast<unsigned>(sf.server), sf.detection.nstar.n_star,
+                sf.detection.nstar.converged ? "" : " (unsaturated)",
+                sf.detection.episodes.size(),
+                sf.detection.longest_episode().to_string().c_str());
+  }
+  for (const core::BandAttribution& band : rec.attribution.bands) {
+    std::printf("band %-5s %6llu txn(s)", band.band.c_str(),
+                static_cast<unsigned long long>(band.txns));
+    for (const core::ServerAttribution& a : band.servers) {
+      if (band.latency_us <= 0.0) continue;
+      std::printf("  s%u q_in=%.0f%%", static_cast<unsigned>(a.server),
+                  100.0 * a.queue_in_us / band.latency_us);
+    }
+    std::printf("\n");
+  }
+
+  if (!out.timeline.empty() && !write_timeline(out.timeline, rec)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.timeline.c_str());
+    return 1;
+  }
+  if (!out.attribution.empty() &&
+      !core::write_attribution_ndjson(out.attribution, rec.attribution)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.attribution.c_str());
+    return 1;
+  }
+  if (!out.attribution_csv.empty() &&
+      !core::write_attribution_csv(out.attribution_csv, rec.attribution)) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 out.attribution_csv.c_str());
+    return 1;
+  }
+  if (!out.trace.empty() || !out.manifest.empty()) {
+    auto& registry = obs::Registry::global();
+    obs::publish_pool_stats(registry);
+    const auto& tracer = obs::Tracer::global();
+    if (!out.trace.empty() && !tracer.write_chrome_trace(out.trace)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.trace.c_str());
+      return 1;
+    }
+    if (!out.manifest.empty() &&
+        !obs::write_run_manifest(out.manifest, info, registry, tracer)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.manifest.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace tbd::app

@@ -1,0 +1,83 @@
+// Transaction flight recorder: one pass from request records to artifacts.
+//
+// Runs the full pipeline behind tools/tbd_timeline and the
+// --timeline-out/--attribution-out flags of tbd_analyze:
+//
+//   split by server -> per-server detection + concurrency profile (fanned
+//   out on the shared thread pool, slot-indexed so the result is identical
+//   at any TBD_THREADS) -> transaction-tree assembly (trace/txn_tree.h) ->
+//   critical-path attribution (core/attribution.h) -> combined Perfetto
+//   timeline (obs/timeline.h).
+//
+// Everything downstream of the inputs is deterministic: per-server stages
+// write into pre-sized slots, reductions run in server/transaction order,
+// and the writers use fixed-precision formatting — so the timeline JSON and
+// attribution NDJSON are byte-identical across thread counts and golden-
+// testable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/attribution.h"
+#include "core/detector.h"
+#include "obs/manifest.h"
+#include "trace/txn_tree.h"
+#include "util/thread_pool.h"
+#include "util/time.h"
+
+namespace tbd::app {
+
+struct FlightConfig {
+  Duration width = Duration::millis(50);
+  /// Estimate per-class service times from the first S seconds of each
+  /// server's records (0 = whole log, masked at a low quantile).
+  double calib_seconds = 0.0;
+  /// > 0: skip N* estimation and classify against this congestion point on
+  /// every server — the paper's "carry N* over from a calibration window"
+  /// mode, and the way to get episode overlays from captures too short for
+  /// the estimator to converge on.
+  double nstar_override = 0.0;
+  core::DetectorConfig detector;
+  core::AttributionConfig attribution;
+};
+
+struct ServerFlight {
+  trace::ServerIndex server = 0;
+  trace::RequestLog log;  // this server's records, arrival order
+  core::DetectionResult detection;
+  trace::ConcurrencyProfile profile;
+};
+
+struct FlightRecord {
+  std::vector<ServerFlight> servers;  // ascending server id
+  trace::TxnAssembly assembly;
+  core::AttributionReport attribution;
+};
+
+/// Full flight-record pass over a merged record set (servers mixed).
+[[nodiscard]] FlightRecord flight_record(const trace::RequestLog& records,
+                                         const FlightConfig& config,
+                                         ThreadPool& pool);
+
+/// The combined Perfetto/Chrome timeline: per-server visit tracks, episode
+/// overlay tracks, and per-transaction flows. Deterministic.
+[[nodiscard]] std::string timeline_json(const FlightRecord& rec);
+bool write_timeline(const std::string& path, const FlightRecord& rec);
+
+/// Output file paths for one flight-recorder run; empty = skip.
+struct FlightOutputs {
+  std::string timeline;         // Perfetto/Chrome timeline JSON
+  std::string attribution;      // attribution NDJSON
+  std::string attribution_csv;  // attribution CSV
+  std::string trace;            // pipeline span trace (wall clock)
+  std::string manifest;         // run manifest
+};
+
+/// Shared CLI tail for tbd_timeline and tbd_analyze: prints the
+/// assembly/episode/band summary, writes every requested artifact, and
+/// exports the span trace + run manifest. Returns a process exit code.
+int emit_flight_outputs(const FlightRecord& rec, const FlightOutputs& out,
+                        obs::RunInfo info);
+
+}  // namespace tbd::app

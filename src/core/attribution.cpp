@@ -1,0 +1,231 @@
+#include "core/attribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace tbd::core {
+
+namespace {
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string band_name(double q) {
+  const double pct = q * 100.0;
+  char buf[32];
+  if (std::abs(pct - std::round(pct)) < 1e-9) {
+    std::snprintf(buf, sizeof buf, "p%d", static_cast<int>(std::round(pct)));
+  } else {
+    std::snprintf(buf, sizeof buf, "p%.1f", pct);
+  }
+  return buf;
+}
+
+/// Default latency histogram grid: log-spaced 1-2-5 decades, 100us .. 60s.
+std::vector<double> default_latency_bounds() {
+  std::vector<double> bounds;
+  for (double decade = 100.0; decade < 6e7; decade *= 10.0) {
+    for (const double m : {1.0, 2.0, 5.0}) {
+      const double b = decade * m;
+      if (b <= 6e7) bounds.push_back(b);
+    }
+  }
+  bounds.push_back(6e7);
+  return bounds;
+}
+
+/// Queue/service split of [t0, t1] intersected with the sorted disjoint
+/// `windows` (the in-episode share).
+trace::ConcurrencyProfile::Split split_within(
+    const trace::ConcurrencyProfile& profile,
+    std::span<const TimeWindow> windows, TimePoint t0, TimePoint t1) {
+  trace::ConcurrencyProfile::Split in;
+  for (const TimeWindow& w : windows) {
+    if (w.end <= t0) continue;
+    if (w.start >= t1) break;
+    const auto s = profile.split(std::max(t0, w.start), std::min(t1, w.end));
+    in.queue_us += s.queue_us;
+    in.service_us += s.service_us;
+  }
+  return in;
+}
+
+}  // namespace
+
+std::vector<TimeWindow> congested_windows(const DetectionResult& detection) {
+  std::vector<TimeWindow> windows;
+  const auto& states = detection.states;
+  std::size_t i = 0;
+  while (i < states.size()) {
+    if (states[i] != IntervalState::kCongested &&
+        states[i] != IntervalState::kFrozen) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < states.size() && (states[j] == IntervalState::kCongested ||
+                                 states[j] == IntervalState::kFrozen)) {
+      ++j;
+    }
+    windows.push_back(TimeWindow{detection.spec.interval_start(i),
+                                 detection.spec.interval_start(i) +
+                                     detection.spec.width *
+                                         static_cast<std::int64_t>(j - i)});
+    i = j;
+  }
+  return windows;
+}
+
+AttributionReport attribute_latency(std::span<const trace::TxnTree> txns,
+                                    std::span<const trace::ServerIndex> servers,
+                                    std::span<const DetectionResult> detections,
+                                    const trace::ProfileMap& profiles,
+                                    const AttributionConfig& config) {
+  TBD_SPAN("flight.attribute");
+  AttributionReport report;
+  report.band_quantiles = config.band_quantiles;
+  report.txns = txns.size();
+
+  std::map<trace::ServerIndex, std::vector<TimeWindow>> windows;
+  for (std::size_t s = 0; s < servers.size() && s < detections.size(); ++s) {
+    windows.emplace(servers[s], congested_windows(detections[s]));
+  }
+
+  // Band cutoffs from the latency histogram (obs::snapshot_quantile).
+  obs::Histogram hist{config.latency_bounds_us.empty()
+                          ? default_latency_bounds()
+                          : config.latency_bounds_us};
+  for (const trace::TxnTree& t : txns) {
+    hist.observe(static_cast<double>(t.latency().micros()));
+  }
+  const auto snap = hist.snapshot();
+  for (const double q : config.band_quantiles) {
+    report.cutoffs_us.push_back(obs::snapshot_quantile(snap, q));
+  }
+
+  const std::size_t band_count = config.band_quantiles.size() + 1;
+  std::vector<std::map<trace::ServerIndex, ServerAttribution>> acc(band_count);
+  report.bands.resize(band_count);
+  for (std::size_t b = 0; b < band_count; ++b) {
+    if (b < config.band_quantiles.size()) {
+      report.bands[b].band = band_name(config.band_quantiles[b]);
+      report.bands[b].cutoff_us = report.cutoffs_us[b];
+    } else {
+      report.bands[b].band = "pmax";
+      report.bands[b].cutoff_us = -1.0;
+    }
+  }
+
+  static const std::vector<TimeWindow> kNoWindows;
+  for (const trace::TxnTree& t : txns) {
+    const auto latency_us = static_cast<double>(t.latency().micros());
+    std::size_t band = config.band_quantiles.size();
+    for (std::size_t b = 0; b < report.cutoffs_us.size(); ++b) {
+      if (latency_us <= report.cutoffs_us[b]) {
+        band = b;
+        break;
+      }
+    }
+    ++report.bands[band].txns;
+    report.bands[band].latency_us += latency_us;
+    for (const trace::PathSegment& seg : t.critical_path) {
+      const trace::ServerIndex server =
+          t.visits[static_cast<std::size_t>(seg.visit)].server;
+      const auto pit = profiles.find(server);
+      if (pit == profiles.end()) continue;
+      const auto total = pit->second.split(seg.start, seg.end);
+      const auto wit = windows.find(server);
+      const auto in = split_within(
+          pit->second, wit != windows.end() ? wit->second : kNoWindows,
+          seg.start, seg.end);
+      ServerAttribution& a = acc[band][server];
+      a.server = server;
+      a.queue_in_us += in.queue_us;
+      a.queue_out_us += std::max(0.0, total.queue_us - in.queue_us);
+      a.service_in_us += in.service_us;
+      a.service_out_us += std::max(0.0, total.service_us - in.service_us);
+    }
+  }
+  for (std::size_t b = 0; b < band_count; ++b) {
+    for (const auto& [server, a] : acc[b]) report.bands[b].servers.push_back(a);
+  }
+  return report;
+}
+
+std::string attribution_ndjson(const AttributionReport& report) {
+  std::string out;
+  out += "{\"type\":\"meta\",\"schema_version\":1,\"txns\":" +
+         std::to_string(report.txns) + ",\"band_quantiles\":[";
+  for (std::size_t i = 0; i < report.band_quantiles.size(); ++i) {
+    if (i) out += ",";
+    out += fmt(report.band_quantiles[i], 6);
+  }
+  out += "],\"cutoffs_us\":[";
+  for (std::size_t i = 0; i < report.cutoffs_us.size(); ++i) {
+    if (i) out += ",";
+    out += fmt(report.cutoffs_us[i], 3);
+  }
+  out += "]}\n";
+  for (const BandAttribution& band : report.bands) {
+    out += "{\"type\":\"band\",\"band\":\"" + band.band +
+           "\",\"cutoff_us\":" + fmt(band.cutoff_us, 3) +
+           ",\"txns\":" + std::to_string(band.txns) +
+           ",\"latency_us\":" + fmt(band.latency_us, 3) + "}\n";
+  }
+  for (const BandAttribution& band : report.bands) {
+    for (const ServerAttribution& a : band.servers) {
+      const double frac =
+          band.latency_us > 0.0 ? a.total_us() / band.latency_us : 0.0;
+      out += "{\"type\":\"band_server\",\"band\":\"" + band.band +
+             "\",\"server\":" + std::to_string(a.server) +
+             ",\"queue_in_episode_us\":" + fmt(a.queue_in_us, 3) +
+             ",\"queue_out_episode_us\":" + fmt(a.queue_out_us, 3) +
+             ",\"service_in_episode_us\":" + fmt(a.service_in_us, 3) +
+             ",\"service_out_episode_us\":" + fmt(a.service_out_us, 3) +
+             ",\"latency_frac\":" + fmt(frac, 6) + "}\n";
+    }
+  }
+  return out;
+}
+
+bool write_attribution_ndjson(const std::string& path,
+                              const AttributionReport& report) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) return false;
+  out << attribution_ndjson(report);
+  return static_cast<bool>(out);
+}
+
+std::string attribution_csv(const AttributionReport& report) {
+  std::string out =
+      "band,server,txns,latency_us,queue_in_episode_us,queue_out_episode_us,"
+      "service_in_episode_us,service_out_episode_us\n";
+  for (const BandAttribution& band : report.bands) {
+    for (const ServerAttribution& a : band.servers) {
+      out += band.band + "," + std::to_string(a.server) + "," +
+             std::to_string(band.txns) + "," + fmt(band.latency_us, 3) + "," +
+             fmt(a.queue_in_us, 3) + "," + fmt(a.queue_out_us, 3) + "," +
+             fmt(a.service_in_us, 3) + "," + fmt(a.service_out_us, 3) + "\n";
+    }
+  }
+  return out;
+}
+
+bool write_attribution_csv(const std::string& path,
+                           const AttributionReport& report) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) return false;
+  out << attribution_csv(report);
+  return static_cast<bool>(out);
+}
+
+}  // namespace tbd::core

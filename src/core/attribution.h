@@ -1,0 +1,90 @@
+// Critical-path latency attribution against detected congestion episodes —
+// the quantitative version of the paper's Figure 1/9 story: the requests in
+// the long response-time tail are the ones whose queue-wait concentrates
+// inside a server's transient-bottleneck episodes.
+//
+// Input: transaction trees (trace/txn_tree.h) whose critical paths tile each
+// transaction's end-to-end latency, per-server concurrency profiles, and the
+// per-server detection results (core/detector.h) whose congested/frozen
+// intervals define the "in episode" windows. Each critical-path segment is
+// split four ways — queue vs service (processor-sharing weights), inside vs
+// outside episodes — and accumulated per (response-time percentile band,
+// server). Band cutoffs come from an obs::Histogram of latencies via
+// snapshot_quantile().
+//
+// Output is exactly reproducible: fixed-precision NDJSON / CSV writers, and
+// every reduction runs in a deterministic order regardless of thread count
+// (pinned by FlightRecorderTest.AttributionIsThreadCountInvariant).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "trace/txn_tree.h"
+
+namespace tbd::core {
+
+struct AttributionConfig {
+  /// Band upper quantiles; txns sort into the first band whose cutoff covers
+  /// their latency, the rest land in the final "pmax" band.
+  std::vector<double> band_quantiles{0.5, 0.9, 0.95, 0.99};
+  /// Latency histogram bucket bounds in microseconds; empty selects a
+  /// log-spaced default grid (100us .. 60s).
+  std::vector<double> latency_bounds_us;
+};
+
+/// One server's share of one band's latency, split queue/service and
+/// in/out of that server's congestion episodes. All in microseconds.
+struct ServerAttribution {
+  trace::ServerIndex server = 0;
+  double queue_in_us = 0.0;     // queued at the server, inside an episode
+  double queue_out_us = 0.0;    // queued, outside episodes
+  double service_in_us = 0.0;   // served, inside an episode
+  double service_out_us = 0.0;  // served, outside episodes
+  [[nodiscard]] double total_us() const {
+    return queue_in_us + queue_out_us + service_in_us + service_out_us;
+  }
+};
+
+struct BandAttribution {
+  std::string band;         // "p50", "p90", "p95", "p99", "pmax"
+  double cutoff_us = 0.0;   // upper latency cutoff; <0 = unbounded (pmax)
+  std::uint64_t txns = 0;
+  double latency_us = 0.0;  // summed end-to-end latency of the band's txns
+  std::vector<ServerAttribution> servers;  // ascending server id
+};
+
+struct AttributionReport {
+  std::uint64_t txns = 0;
+  std::vector<double> band_quantiles;  // as configured
+  std::vector<double> cutoffs_us;      // quantile cutoffs, one per quantile
+  std::vector<BandAttribution> bands;  // band order: p50 .. pmax
+};
+
+/// Servers/detections/profiles are parallel spans describing the same
+/// ascending server-id order (profiles may cover more servers than spans).
+[[nodiscard]] AttributionReport attribute_latency(
+    std::span<const trace::TxnTree> txns,
+    std::span<const trace::ServerIndex> servers,
+    std::span<const DetectionResult> detections,
+    const trace::ProfileMap& profiles, const AttributionConfig& config = {});
+
+/// Maximal congested/frozen runs of a detection as closed time windows.
+[[nodiscard]] std::vector<TimeWindow> congested_windows(
+    const DetectionResult& detection);
+
+/// NDJSON: one "meta" record, then one "band" record per band, then one
+/// "band_server" record per (band, server). Fixed precision, deterministic.
+[[nodiscard]] std::string attribution_ndjson(const AttributionReport& report);
+bool write_attribution_ndjson(const std::string& path,
+                              const AttributionReport& report);
+
+/// CSV: band,server,txns,latency_us,queue_in_episode_us,queue_out_episode_us,
+/// service_in_episode_us,service_out_episode_us.
+[[nodiscard]] std::string attribution_csv(const AttributionReport& report);
+bool write_attribution_csv(const std::string& path,
+                           const AttributionReport& report);
+
+}  // namespace tbd::core

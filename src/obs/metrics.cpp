@@ -203,4 +203,28 @@ void Registry::reset() {
   for (auto& [name, h] : histograms_) h->reset();
 }
 
+double snapshot_quantile(const Histogram::Snapshot& snap, double q) {
+  if (snap.count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(snap.count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+    if (snap.counts[i] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += snap.counts[i];
+    if (static_cast<double>(cum) < rank) continue;
+    if (i >= snap.bounds.size()) {
+      // Overflow bucket has no upper edge; the last finite bound is the best
+      // defensible answer (Prometheus histogram_quantile convention).
+      return snap.bounds.empty() ? 0.0 : snap.bounds.back();
+    }
+    const double lower = i == 0 ? 0.0 : snap.bounds[i - 1];
+    const double upper = snap.bounds[i];
+    const double within =
+        (rank - before) / static_cast<double>(snap.counts[i]);
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, within));
+  }
+  return snap.bounds.empty() ? 0.0 : snap.bounds.back();
+}
+
 }  // namespace tbd::obs

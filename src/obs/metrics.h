@@ -141,4 +141,12 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+/// Quantile estimate from bucketed counts: `q` in [0, 1] (clamped), linearly
+/// interpolated within the bucket containing the q-th observation, with the
+/// first bucket anchored at 0. Observations in the overflow bucket resolve
+/// to the last finite bound (Prometheus histogram_quantile convention).
+/// Returns 0 for an empty snapshot.
+[[nodiscard]] double snapshot_quantile(const Histogram::Snapshot& snap,
+                                       double q);
+
 }  // namespace tbd::obs

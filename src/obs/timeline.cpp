@@ -1,0 +1,265 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+
+#include "obs/manifest.h"
+
+namespace tbd::obs {
+
+TimelineBuilder::TrackId TimelineBuilder::add_track(std::string name) {
+  Track track;
+  track.name = std::move(name);
+  tracks_.push_back(std::move(track));
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+TimelineBuilder::TrackId TimelineBuilder::add_overlay_track(std::string name) {
+  Track track;
+  track.name = std::move(name);
+  track.overlay = true;
+  tracks_.push_back(std::move(track));
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+TimelineBuilder::SliceRef TimelineBuilder::add_slice(TrackId track,
+                                                     std::int64_t start_us,
+                                                     std::int64_t end_us,
+                                                     std::string name,
+                                                     std::string category,
+                                                     Args args) {
+  Track& t = tracks_[track];
+  t.slices.push_back(Slice{.start = start_us,
+                           .end = std::max(start_us, end_us),
+                           .name = std::move(name),
+                           .category = std::move(category),
+                           .args = std::move(args)});
+  return SliceRef{track, static_cast<std::uint32_t>(t.slices.size() - 1)};
+}
+
+void TimelineBuilder::add_overlay(TrackId track, std::int64_t start_us,
+                                  std::int64_t end_us, std::string name,
+                                  std::string color, Args args) {
+  tracks_[track].overlays.push_back(Overlay{.start = start_us,
+                                            .end = std::max(start_us, end_us),
+                                            .name = std::move(name),
+                                            .color = std::move(color),
+                                            .args = std::move(args)});
+}
+
+void TimelineBuilder::add_flow(
+    std::uint64_t id, std::string name,
+    std::vector<std::pair<SliceRef, std::int64_t>> points) {
+  flows_.push_back(Flow{id, std::move(name), std::move(points)});
+}
+
+std::string TimelineBuilder::num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+std::string TimelineBuilder::num(std::int64_t v) { return std::to_string(v); }
+
+std::string TimelineBuilder::str(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+namespace {
+
+std::string render_args(const TimelineBuilder::Args& args) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + json_escape(args[i].first) + "\":" + args[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+struct TimedEvent {
+  std::int64_t ts = 0;
+  std::string json;
+};
+
+}  // namespace
+
+std::string TimelineBuilder::to_json() const {
+  // ---- lane assignment per slice track --------------------------------------
+  // Slices in (start asc, end desc) order go to the first lane where they are
+  // either past everything open or nest fully inside the open slice, so each
+  // lane's B/E stream is properly nested and concurrency shows up as depth.
+  std::vector<std::vector<std::uint32_t>> lane_of(tracks_.size());
+  std::vector<std::uint32_t> lane_count(tracks_.size(), 0);
+  std::vector<std::vector<std::uint32_t>> order(tracks_.size());
+  for (std::size_t ti = 0; ti < tracks_.size(); ++ti) {
+    const Track& t = tracks_[ti];
+    if (t.overlay) {
+      lane_count[ti] = 1;
+      continue;
+    }
+    auto& ord = order[ti];
+    ord.resize(t.slices.size());
+    std::iota(ord.begin(), ord.end(), 0U);
+    std::sort(ord.begin(), ord.end(), [&](std::uint32_t a, std::uint32_t b) {
+      if (t.slices[a].start != t.slices[b].start)
+        return t.slices[a].start < t.slices[b].start;
+      if (t.slices[a].end != t.slices[b].end)
+        return t.slices[a].end > t.slices[b].end;
+      return a < b;
+    });
+    lane_of[ti].assign(t.slices.size(), 0);
+    std::vector<std::vector<std::int64_t>> open;  // per lane: open end stack
+    for (const std::uint32_t si : ord) {
+      const Slice& s = t.slices[si];
+      std::size_t lane = open.size();
+      for (std::size_t L = 0; L < open.size(); ++L) {
+        auto& stack = open[L];
+        while (!stack.empty() && stack.back() <= s.start) stack.pop_back();
+        if (stack.empty() || s.end <= stack.back()) {
+          lane = L;
+          break;
+        }
+      }
+      if (lane == open.size()) open.emplace_back();
+      open[lane].push_back(s.end);
+      lane_of[ti][si] = static_cast<std::uint32_t>(lane);
+    }
+    lane_count[ti] = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(open.size()));
+  }
+
+  // ---- tid layout -----------------------------------------------------------
+  std::vector<std::uint32_t> first_tid(tracks_.size(), 0);
+  std::uint32_t next_tid = 1;
+  for (std::size_t ti = 0; ti < tracks_.size(); ++ti) {
+    first_tid[ti] = next_tid;
+    next_tid += lane_count[ti];
+  }
+
+  // ---- metadata -------------------------------------------------------------
+  std::vector<std::string> meta;
+  meta.push_back(R"({"name":"process_name","ph":"M","pid":1,"args":{"name":)" +
+                 str(process_name_) + "}}");
+  for (std::size_t ti = 0; ti < tracks_.size(); ++ti) {
+    for (std::uint32_t L = 0; L < lane_count[ti]; ++L) {
+      const std::uint32_t tid = first_tid[ti] + L;
+      std::string name = tracks_[ti].name;
+      if (L > 0) name += " \xc2\xb7" + std::to_string(L + 1);
+      meta.push_back(R"({"name":"thread_name","ph":"M","pid":1,"tid":)" +
+                     std::to_string(tid) + R"(,"args":{"name":)" + str(name) +
+                     "}}");
+      meta.push_back(R"({"name":"thread_sort_index","ph":"M","pid":1,"tid":)" +
+                     std::to_string(tid) + R"(,"args":{"sort_index":)" +
+                     std::to_string(tid) + "}}");
+    }
+  }
+
+  // ---- timed events ---------------------------------------------------------
+  std::vector<TimedEvent> events;
+  for (std::size_t ti = 0; ti < tracks_.size(); ++ti) {
+    const Track& t = tracks_[ti];
+    if (t.overlay) {
+      const std::uint32_t tid = first_tid[ti];
+      auto ord_ov = std::vector<std::uint32_t>(t.overlays.size());
+      std::iota(ord_ov.begin(), ord_ov.end(), 0U);
+      std::sort(ord_ov.begin(), ord_ov.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  if (t.overlays[a].start != t.overlays[b].start)
+                    return t.overlays[a].start < t.overlays[b].start;
+                  return a < b;
+                });
+      for (const std::uint32_t oi : ord_ov) {
+        const Overlay& o = t.overlays[oi];
+        std::string e = "{\"name\":" + str(o.name) +
+                        ",\"cat\":\"episode\",\"ph\":\"X\",\"ts\":" +
+                        num(o.start) + ",\"dur\":" + num(o.end - o.start) +
+                        ",\"pid\":1,\"tid\":" + std::to_string(tid);
+        if (!o.color.empty()) e += ",\"cname\":" + str(o.color);
+        e += ",\"args\":" + render_args(o.args) + "}";
+        events.push_back({o.start, std::move(e)});
+      }
+      continue;
+    }
+    // Per lane, walk slices in sorted order and emit a nested B/E stream.
+    for (std::uint32_t L = 0; L < lane_count[ti]; ++L) {
+      const std::uint32_t tid = first_tid[ti] + L;
+      const std::string tid_s = std::to_string(tid);
+      std::vector<std::int64_t> open;  // ends of currently open slices
+      for (const std::uint32_t si : order[ti]) {
+        if (lane_of[ti][si] != L) continue;
+        const Slice& s = t.slices[si];
+        while (!open.empty() && open.back() <= s.start) {
+          events.push_back({open.back(), "{\"ph\":\"E\",\"ts\":" +
+                                             num(open.back()) +
+                                             ",\"pid\":1,\"tid\":" + tid_s +
+                                             "}"});
+          open.pop_back();
+        }
+        events.push_back(
+            {s.start, "{\"name\":" + str(s.name) + ",\"cat\":" +
+                          str(s.category) + ",\"ph\":\"B\",\"ts\":" +
+                          num(s.start) + ",\"pid\":1,\"tid\":" + tid_s +
+                          ",\"args\":" + render_args(s.args) + "}"});
+        open.push_back(s.end);
+      }
+      while (!open.empty()) {
+        events.push_back({open.back(), "{\"ph\":\"E\",\"ts\":" +
+                                           num(open.back()) +
+                                           ",\"pid\":1,\"tid\":" + tid_s +
+                                           "}"});
+        open.pop_back();
+      }
+    }
+  }
+  for (const Flow& f : flows_) {
+    if (f.points.size() < 2) continue;
+    for (std::size_t i = 0; i < f.points.size(); ++i) {
+      const auto& [ref, ts] = f.points[i];
+      const std::uint32_t tid =
+          first_tid[ref.track] +
+          (tracks_[ref.track].overlay ? 0 : lane_of[ref.track][ref.index]);
+      const char* ph = i == 0 ? "s" : (i + 1 == f.points.size() ? "f" : "t");
+      std::string e = "{\"name\":" + str(f.name) +
+                      ",\"cat\":\"flow\",\"ph\":\"" + ph +
+                      "\",\"id\":" + std::to_string(f.id) + ",\"ts\":" +
+                      num(ts) + ",\"pid\":1,\"tid\":" + std::to_string(tid);
+      if (*ph == 'f') e += ",\"bp\":\"e\"";
+      e += "}";
+      events.push_back({ts, std::move(e)});
+    }
+  }
+  // Stable by ts: within one timestamp, generation order already places E
+  // before the next B on a lane and slices before the flows that bind to
+  // them.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TimedEvent& a, const TimedEvent& b) {
+                     return a.ts < b.ts;
+                   });
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const std::string& m : meta) {
+    if (!first) out += ",\n";
+    first = false;
+    out += m;
+  }
+  for (const TimedEvent& e : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += e.json;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool TimelineBuilder::write(const std::string& path) const {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace tbd::obs

@@ -1,0 +1,113 @@
+// Deterministic Chrome trace_event / Perfetto timeline builder for the
+// flight recorder: per-server tracks of visit slices, colored overlay slices
+// for detected congestion episodes, and flow arrows stitching one
+// transaction across tiers.
+//
+// This is a pure serializer — it knows nothing about visits, detectors, or
+// episodes (src/app/flight_recorder.cpp does the mapping), so src/obs keeps
+// its util-only dependency rule. Differences from the span tracer's
+// chrome_trace_json (obs/span.h): times here are SIMULATED microseconds, the
+// output is fully deterministic (goldenable — no wall clock anywhere), and
+// concurrent slices on one logical track are spread across "lanes" (one tid
+// per lane) so every tid carries a properly nested B/E stream:
+//
+//  * a slice goes to the first lane where it either finds the lane free or
+//    nests fully inside the currently open slice — so parent/child visits on
+//    the same server render nested, and queueing spreads visually into
+//    stacked lanes (lane depth == concurrency);
+//  * overlay tracks hold "X" complete events (episode bands);
+//  * flows are "s"/"t"/"f" events bound to slices by (tid, ts), with the
+//    final step binding to its enclosing slice (bp:"e").
+//
+// Load the output in https://ui.perfetto.dev or chrome://tracing;
+// scripts/check_obs_output.py --timeline validates the schema.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tbd::obs {
+
+class TimelineBuilder {
+ public:
+  using TrackId = std::uint32_t;
+  struct SliceRef {
+    TrackId track = 0;
+    std::uint32_t index = 0;
+  };
+  /// Key/value pairs for an event's args object. Values must already be
+  /// rendered as JSON (use num()/str()).
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  explicit TimelineBuilder(std::string process_name = "tbd flight recorder")
+      : process_name_{std::move(process_name)} {}
+
+  /// A lane-expanding slice track. Lane 0 inherits `name`; extra lanes are
+  /// named "<name> ·2", "<name> ·3", ...
+  TrackId add_track(std::string name);
+  /// A single-lane track for non-overlapping "X" overlay slices.
+  TrackId add_overlay_track(std::string name);
+
+  /// [start_us, end_us) slice; emitted as a B/E pair on an automatically
+  /// chosen lane of `track`.
+  SliceRef add_slice(TrackId track, std::int64_t start_us, std::int64_t end_us,
+                     std::string name, std::string category, Args args = {});
+
+  /// Overlay band on an overlay track. `color` is a catapult cname (e.g.
+  /// "bad", "terrible"); empty omits it. Bands on one track must not overlap.
+  void add_overlay(TrackId track, std::int64_t start_us, std::int64_t end_us,
+                   std::string name, std::string color, Args args = {});
+
+  /// Flow arrows through the given slices; `ts` of each point must lie
+  /// within its slice. Points are emitted in the order given: first "s",
+  /// middle "t", last "f". Needs >= 2 points to be emitted.
+  void add_flow(std::uint64_t id, std::string name,
+                std::vector<std::pair<SliceRef, std::int64_t>> points);
+
+  /// The whole trace as JSON, one event per line. Deterministic for a given
+  /// call sequence.
+  [[nodiscard]] std::string to_json() const;
+  /// Writes to_json() to `path`; false on I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const;
+
+  /// JSON number with fixed 3-decimal rendering (byte-stable across runs).
+  [[nodiscard]] static std::string num(double v);
+  [[nodiscard]] static std::string num(std::int64_t v);
+  /// JSON string literal (quoted, escaped).
+  [[nodiscard]] static std::string str(const std::string& s);
+
+ private:
+  struct Slice {
+    std::int64_t start = 0;
+    std::int64_t end = 0;
+    std::string name;
+    std::string category;
+    Args args;
+  };
+  struct Overlay {
+    std::int64_t start = 0;
+    std::int64_t end = 0;
+    std::string name;
+    std::string color;
+    Args args;
+  };
+  struct Track {
+    std::string name;
+    bool overlay = false;
+    std::vector<Slice> slices;
+    std::vector<Overlay> overlays;
+  };
+  struct Flow {
+    std::uint64_t id = 0;
+    std::string name;
+    std::vector<std::pair<SliceRef, std::int64_t>> points;
+  };
+
+  std::string process_name_;
+  std::vector<Track> tracks_;
+  std::vector<Flow> flows_;
+};
+
+}  // namespace tbd::obs

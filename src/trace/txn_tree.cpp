@@ -1,0 +1,421 @@
+#include "trace/txn_tree.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "obs/span.h"
+
+namespace tbd::trace {
+
+namespace {
+
+constexpr TimePoint kUnclosed = TimePoint::max();
+
+double queue_weight(int k) {
+  return k > 0 ? static_cast<double>(k - 1) / static_cast<double>(k) : 0.0;
+}
+double service_weight(int k) { return k > 0 ? 1.0 / static_cast<double>(k) : 0.0; }
+
+}  // namespace
+
+ConcurrencyProfile ConcurrencyProfile::build(
+    std::span<const RequestRecord> records) {
+  ConcurrencyProfile p;
+  if (records.empty()) return p;
+  // +1/-1 concurrency edges; at equal instants departures apply first, so a
+  // visit is open on [arrival, departure) — the same half-open convention the
+  // load calculator clips with.
+  std::vector<std::pair<std::int64_t, int>> edges;
+  edges.reserve(records.size() * 2);
+  for (const RequestRecord& r : records) {
+    edges.emplace_back(r.arrival.micros(), +1);
+    edges.emplace_back(r.departure.micros(), -1);
+  }
+  std::sort(edges.begin(), edges.end());
+  p.times_.reserve(edges.size());
+  p.k_.reserve(edges.size());
+  int k = 0;
+  for (std::size_t i = 0; i < edges.size();) {
+    const std::int64_t t = edges[i].first;
+    while (i < edges.size() && edges[i].first == t) k += edges[i++].second;
+    p.times_.push_back(t);
+    p.k_.push_back(k);
+  }
+  p.queue_us_.assign(p.times_.size(), 0.0);
+  p.service_us_.assign(p.times_.size(), 0.0);
+  for (std::size_t i = 0; i + 1 < p.times_.size(); ++i) {
+    const auto dt = static_cast<double>(p.times_[i + 1] - p.times_[i]);
+    p.queue_us_[i + 1] = p.queue_us_[i] + dt * queue_weight(p.k_[i]);
+    p.service_us_[i + 1] = p.service_us_[i] + dt * service_weight(p.k_[i]);
+  }
+  return p;
+}
+
+int ConcurrencyProfile::concurrency_at(TimePoint t) const {
+  if (times_.empty()) return 0;
+  const std::int64_t us = t.micros();
+  if (us < times_.front() || us >= times_.back()) return 0;
+  const auto it = std::upper_bound(times_.begin(), times_.end(), us);
+  return k_[static_cast<std::size_t>(it - times_.begin()) - 1];
+}
+
+ConcurrencyProfile::Split ConcurrencyProfile::split(TimePoint t0,
+                                                    TimePoint t1) const {
+  Split s;
+  if (times_.empty()) return s;
+  std::int64_t a = std::max(t0.micros(), times_.front());
+  std::int64_t b = std::min(t1.micros(), times_.back());
+  if (b <= a) return s;
+  const auto piece = [&](std::int64_t t) {
+    const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+    return static_cast<std::size_t>(it - times_.begin()) - 1;
+  };
+  const std::size_t i0 = piece(a);
+  const std::size_t i1 = piece(b == times_.back() ? b - 1 : b);
+  const auto head = static_cast<double>(a - times_[i0]);
+  const auto tail = static_cast<double>(b - times_[i1]);
+  s.queue_us = (queue_us_[i1] - queue_us_[i0]) - head * queue_weight(k_[i0]) +
+               tail * queue_weight(k_[i1]);
+  s.service_us = (service_us_[i1] - service_us_[i0]) -
+                 head * service_weight(k_[i0]) + tail * service_weight(k_[i1]);
+  return s;
+}
+
+ProfileMap build_profiles(std::span<const RequestRecord> records) {
+  std::map<ServerIndex, RequestLog> by_server;
+  for (const RequestRecord& r : records) by_server[r.server].push_back(r);
+  ProfileMap profiles;
+  for (const auto& [server, log] : by_server) {
+    profiles.emplace(server, ConcurrencyProfile::build(log));
+  }
+  return profiles;
+}
+
+Duration TxnTree::latency() const {
+  TimePoint first = TimePoint::max();
+  TimePoint last;
+  bool any = false;
+  for (const TxnVisit& v : visits) {
+    if (v.parent >= 0) continue;
+    first = std::min(first, v.arrival);
+    last = std::max(last, v.departure);
+    any = true;
+  }
+  return any ? last - first : Duration{};
+}
+
+ServerIndex TxnTree::critical_server() const {
+  std::map<ServerIndex, std::int64_t> share;
+  for (const PathSegment& seg : critical_path) {
+    share[visits[static_cast<std::size_t>(seg.visit)].server] +=
+        (seg.end - seg.start).micros();
+  }
+  ServerIndex best = 0;
+  std::int64_t best_us = -1;
+  for (const auto& [server, us] : share) {
+    if (us > best_us) {
+      best = server;
+      best_us = us;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+TimePoint clamp_tp(TimePoint t, TimePoint lo, TimePoint hi) {
+  return std::max(lo, std::min(t, hi));
+}
+
+/// Depth-first walk emitting the deepest-active-visit segments of `vi`
+/// within [lo, hi] (the slice of the parent the visit occupies).
+void path_segments(TxnTree& tree, std::int32_t vi, TimePoint lo, TimePoint hi) {
+  const TxnVisit& v = tree.visits[static_cast<std::size_t>(vi)];
+  const TimePoint a = clamp_tp(v.arrival, lo, hi);
+  const TimePoint d = clamp_tp(v.departure, a, hi);
+  TimePoint cursor = a;
+  for (const std::int32_t ci : v.children) {
+    const TxnVisit& c = tree.visits[static_cast<std::size_t>(ci)];
+    const TimePoint cs = clamp_tp(c.arrival, cursor, d);
+    const TimePoint ce = clamp_tp(c.departure, cs, d);
+    if (cs > cursor) tree.critical_path.push_back({vi, cursor, cs});
+    path_segments(tree, ci, cs, ce);
+    cursor = std::max(cursor, ce);
+  }
+  if (cursor < d) tree.critical_path.push_back({vi, cursor, d});
+}
+
+/// Fills children, depth, concurrency-at-arrival, the critical path, and the
+/// per-visit queue/service split. Expects visits + parent edges set.
+void finalize_tree(TxnTree& tree, const ProfileMap& profiles) {
+  for (std::size_t i = 0; i < tree.visits.size(); ++i) {
+    const std::int32_t p = tree.visits[i].parent;
+    if (p >= 0) {
+      tree.visits[static_cast<std::size_t>(p)].children.push_back(
+          static_cast<std::int32_t>(i));
+    }
+  }
+  // Children issue in arrival order (server-side processing is sequential).
+  for (TxnVisit& v : tree.visits) {
+    std::sort(v.children.begin(), v.children.end(),
+              [&](std::int32_t x, std::int32_t y) {
+                const auto& a = tree.visits[static_cast<std::size_t>(x)];
+                const auto& b = tree.visits[static_cast<std::size_t>(y)];
+                if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                return x < y;
+              });
+  }
+  for (std::size_t i = 0; i < tree.visits.size(); ++i) {
+    // Parents may appear after children in visit order (reconstructed
+    // trees); walk the chain instead of relying on topological order.
+    std::int32_t depth = 0;
+    for (std::int32_t p = tree.visits[i].parent; p >= 0;
+         p = tree.visits[static_cast<std::size_t>(p)].parent) {
+      ++depth;
+    }
+    tree.visits[i].depth = depth;
+    const auto it = profiles.find(tree.visits[i].server);
+    if (it != profiles.end()) {
+      tree.visits[i].concurrency_at_arrival =
+          std::max(0, it->second.concurrency_at(tree.visits[i].arrival) - 1);
+    }
+  }
+  for (std::size_t i = 0; i < tree.visits.size(); ++i) {
+    if (tree.visits[i].parent < 0) {
+      path_segments(tree, static_cast<std::int32_t>(i), tree.visits[i].arrival,
+                    tree.visits[i].departure);
+    }
+  }
+  for (const PathSegment& seg : tree.critical_path) {
+    TxnVisit& v = tree.visits[static_cast<std::size_t>(seg.visit)];
+    const auto it = profiles.find(v.server);
+    if (it == profiles.end()) continue;
+    const auto sp = it->second.split(seg.start, seg.end);
+    v.queue_us += sp.queue_us;
+    v.service_us += sp.service_us;
+  }
+}
+
+void sort_assembly(TxnAssembly& out) {
+  std::sort(out.txns.begin(), out.txns.end(),
+            [](const TxnTree& a, const TxnTree& b) {
+              const TimePoint ta = a.visits.front().arrival;
+              const TimePoint tb = b.visits.front().arrival;
+              if (ta != tb) return ta < tb;
+              return a.id < b.id;
+            });
+}
+
+}  // namespace
+
+TxnAssembly assemble_transactions(std::span<const RequestRecord> records,
+                                  const ProfileMap* profiles) {
+  TBD_SPAN("flight.assemble");
+  ProfileMap local;
+  if (!profiles) {
+    local = build_profiles(records);
+    profiles = &local;
+  }
+  TxnAssembly out;
+  std::map<TxnId, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    groups[records[i].txn].push_back(i);
+  }
+  out.txns.reserve(groups.size());
+  for (auto& [txn, idx] : groups) {
+    std::sort(idx.begin(), idx.end(), [&](std::size_t x, std::size_t y) {
+      const RequestRecord& a = records[x];
+      const RequestRecord& b = records[y];
+      if (a.arrival != b.arrival) return a.arrival < b.arrival;
+      if (a.departure != b.departure) return a.departure > b.departure;
+      if (a.server != b.server) return a.server < b.server;
+      return x < y;
+    });
+    TxnTree tree;
+    tree.id = txn;
+    tree.visits.reserve(idx.size());
+    std::vector<std::int32_t> stack;  // enclosing visits, innermost last
+    for (const std::size_t ri : idx) {
+      const RequestRecord& r = records[ri];
+      while (!stack.empty() &&
+             tree.visits[static_cast<std::size_t>(stack.back())].departure <=
+                 r.arrival) {
+        stack.pop_back();
+      }
+      TxnVisit v;
+      v.server = r.server;
+      v.class_id = r.class_id;
+      v.arrival = r.arrival;
+      v.departure = r.departure;
+      if (!stack.empty()) {
+        const TxnVisit& top =
+            tree.visits[static_cast<std::size_t>(stack.back())];
+        if (top.arrival <= r.arrival && top.departure >= r.departure) {
+          v.parent = stack.back();
+        } else {
+          // Overlaps the innermost open visit without nesting inside it:
+          // containment is broken, keep the visit as an extra root.
+          v.orphan = true;
+          ++out.orphan_visits;
+        }
+      }
+      const auto vi = static_cast<std::int32_t>(tree.visits.size());
+      tree.visits.push_back(std::move(v));
+      stack.push_back(vi);
+      ++out.visits;
+    }
+    finalize_tree(tree, *profiles);
+    out.txns.push_back(std::move(tree));
+  }
+  sort_assembly(out);
+  return out;
+}
+
+TxnAssembly assemble_transactions(std::span<const ReconstructedVisit> visits,
+                                  VisitView view, const ProfileMap* profiles) {
+  TBD_SPAN("flight.assemble");
+  ProfileMap local;
+  if (!profiles) {
+    std::vector<RequestRecord> merged;
+    for (const auto& [server, log] : logs_from_visits(visits)) {
+      merged.insert(merged.end(), log.begin(), log.end());
+    }
+    local = build_profiles(merged);
+    profiles = &local;
+  }
+  TxnAssembly out;
+
+  const auto closed = [&](std::size_t i) {
+    return visits[i].departure != kUnclosed;
+  };
+  // Parent edge per visit in span indices (-1 = root), per the chosen view.
+  std::vector<std::int64_t> parent(visits.size(), -1);
+  std::unordered_map<std::uint64_t, std::size_t> by_truth_id;
+  if (view == VisitView::kGroundTruth) {
+    by_truth_id.reserve(visits.size());
+    for (std::size_t i = 0; i < visits.size(); ++i) {
+      by_truth_id.emplace(visits[i].truth_visit, i);
+    }
+  }
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    if (view == VisitView::kBlackBox) {
+      parent[i] = visits[i].parent;
+    } else if (visits[i].truth_parent_visit != 0) {
+      const auto it = by_truth_id.find(visits[i].truth_parent_visit);
+      parent[i] = it != by_truth_id.end() ? static_cast<std::int64_t>(it->second)
+                                          : -2;  // parent never captured
+    }
+  }
+
+  // A visit roots its own subtree when it has no parent edge, or its parent
+  // was dropped (unclosed) or never captured.
+  std::vector<bool> keep(visits.size(), false);
+  std::vector<bool> orphan(visits.size(), false);
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    if (!closed(i)) {
+      ++out.dropped_unclosed;
+      continue;
+    }
+    keep[i] = true;
+    const std::int64_t p = parent[i];
+    const bool broken =
+        p == -2 || (p >= 0 && !closed(static_cast<std::size_t>(p)));
+    if (broken) {
+      parent[i] = -1;
+      orphan[i] = true;
+      ++out.orphan_visits;
+    }
+  }
+
+  // Group kept visits by the root of their parent chain.
+  std::vector<std::int64_t> root_of(visits.size(), -1);
+  const auto find_root = [&](std::size_t i) {
+    std::size_t r = i;
+    while (parent[r] >= 0) r = static_cast<std::size_t>(parent[r]);
+    return static_cast<std::int64_t>(r);
+  };
+  std::map<std::int64_t, std::vector<std::size_t>> groups;  // by root index
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    if (!keep[i]) continue;
+    root_of[i] = find_root(i);
+    groups[root_of[i]].push_back(i);
+  }
+  // Ground truth: merge same-txn roots into one tree (several orphan roots
+  // of one transaction still tell one story).
+  std::map<TxnId, std::vector<std::size_t>> merged_groups;
+  if (view == VisitView::kGroundTruth) {
+    for (auto& [root, members] : groups) {
+      auto& bucket = merged_groups[visits[static_cast<std::size_t>(root)].truth_txn];
+      bucket.insert(bucket.end(), members.begin(), members.end());
+    }
+  }
+
+  const auto build_group = [&](TxnId id, std::vector<std::size_t>& members) {
+    std::sort(members.begin(), members.end(),
+              [&](std::size_t x, std::size_t y) {
+                const ReconstructedVisit& a = visits[x];
+                const ReconstructedVisit& b = visits[y];
+                if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                if (a.departure != b.departure) return a.departure > b.departure;
+                return x < y;
+              });
+    std::unordered_map<std::size_t, std::int32_t> to_local;
+    to_local.reserve(members.size());
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      to_local.emplace(members[j], static_cast<std::int32_t>(j));
+    }
+    TxnTree tree;
+    tree.id = id;
+    tree.visits.reserve(members.size());
+    for (const std::size_t i : members) {
+      const ReconstructedVisit& rv = visits[i];
+      TxnVisit v;
+      v.server = rv.server >= 1 ? rv.server - 1 : 0;
+      v.class_id = rv.class_id;
+      v.arrival = rv.arrival;
+      v.departure = rv.departure;
+      v.orphan = orphan[i];
+      if (parent[i] >= 0) {
+        v.parent = to_local.at(static_cast<std::size_t>(parent[i]));
+      }
+      tree.visits.push_back(std::move(v));
+      ++out.visits;
+    }
+    finalize_tree(tree, *profiles);
+    out.txns.push_back(std::move(tree));
+  };
+
+  if (view == VisitView::kGroundTruth) {
+    for (auto& [txn, members] : merged_groups) build_group(txn, members);
+  } else {
+    for (auto& [root, members] : groups) {
+      const ReconstructedVisit& rv = visits[static_cast<std::size_t>(root)];
+      // Label with the carried ground-truth id when present (display only);
+      // otherwise number by root order.
+      build_group(rv.truth_txn != 0 ? rv.truth_txn
+                                    : static_cast<TxnId>(root) + 1,
+                  members);
+    }
+  }
+  sort_assembly(out);
+  return out;
+}
+
+std::map<ServerIndex, RequestLog> logs_from_visits(
+    std::span<const ReconstructedVisit> visits) {
+  std::map<ServerIndex, RequestLog> logs;
+  for (const ReconstructedVisit& v : visits) {
+    if (v.departure == kUnclosed) continue;
+    RequestRecord r;
+    r.server = v.server >= 1 ? v.server - 1 : 0;
+    r.class_id = v.class_id;
+    r.arrival = v.arrival;
+    r.departure = v.departure;
+    r.txn = v.truth_txn;
+    logs[r.server].push_back(r);
+  }
+  return logs;
+}
+
+}  // namespace tbd::trace

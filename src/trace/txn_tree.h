@@ -1,0 +1,146 @@
+// Per-transaction causal trees: the flight-recorder view of a request.
+//
+// The detector (src/core) answers "WHEN was a server congested"; this module
+// answers "WHERE did one slow transaction spend its time". Input is either
+// the per-server request logs (ground truth: records sharing a txn id nest
+// by time containment) or the black-box reconstructor's visits — mirroring
+// the reconstructor's two views. Output per transaction:
+//
+//  * the visit tree (which downstream call belongs to which parent visit),
+//  * a queue-wait vs service split of every visit's self time, derived from
+//    the server's concurrency profile under the processor-sharing model the
+//    reconstructor already assumes: with k requests open, dt of dwell is
+//    dt/k service and dt*(k-1)/k queueing,
+//  * the critical path — at every instant of the transaction's response
+//    time, the deepest active visit (the one not waiting on a child). Its
+//    segments tile [root arrival, root departure], so summing them
+//    decomposes end-to-end latency exactly; core/attribution.h aggregates
+//    that decomposition per percentile band against detected episodes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "trace/reconstructor.h"
+#include "trace/records.h"
+#include "util/time.h"
+
+namespace tbd::trace {
+
+/// Step function of a server's concurrency over time with prefix integrals
+/// of the processor-sharing weights, so any [t0, t1] splits into queue-wait
+/// and service in O(log breakpoints). Built once per server from all of its
+/// records; visits then query their own sub-intervals.
+class ConcurrencyProfile {
+ public:
+  ConcurrencyProfile() = default;
+
+  /// `records` need not be sorted; only entries of one server belong here.
+  [[nodiscard]] static ConcurrencyProfile build(
+      std::span<const RequestRecord> records);
+
+  /// Concurrency on the piece containing `t` (arrivals at exactly `t`
+  /// included); 0 outside the profiled range.
+  [[nodiscard]] int concurrency_at(TimePoint t) const;
+
+  struct Split {
+    double queue_us = 0.0;    // integral of (k-1)/k over [t0, t1]
+    double service_us = 0.0;  // integral of 1/k over [t0, t1]
+  };
+  /// Split of [t0, t1]; the two parts sum to the busy time of the range
+  /// (pieces with k = 0 contribute to neither).
+  [[nodiscard]] Split split(TimePoint t0, TimePoint t1) const;
+
+  [[nodiscard]] bool empty() const { return times_.empty(); }
+
+ private:
+  std::vector<std::int64_t> times_;  // breakpoints, ascending (us)
+  std::vector<int> k_;               // concurrency on [times_[i], times_[i+1])
+  std::vector<double> queue_us_;     // prefix integral of (k-1)/k at times_[i]
+  std::vector<double> service_us_;   // prefix integral of 1/k at times_[i]
+};
+
+/// Per-server profiles, keyed by dense server index.
+using ProfileMap = std::map<ServerIndex, ConcurrencyProfile>;
+
+/// Profiles for every server appearing in a merged record set.
+[[nodiscard]] ProfileMap build_profiles(std::span<const RequestRecord> records);
+
+/// One visit within a transaction tree.
+struct TxnVisit {
+  ServerIndex server = 0;
+  ClassId class_id = 0;
+  TimePoint arrival;
+  TimePoint departure;
+  std::int32_t parent = -1;  // index into TxnTree::visits; -1 = root
+  std::vector<std::int32_t> children;  // in arrival order
+  std::int32_t depth = 0;              // 0 = root
+  /// Requests already open at this server when the visit arrived (the queue
+  /// it joined; excludes the visit itself).
+  int concurrency_at_arrival = 0;
+  /// Processor-sharing split of the visit's SELF time (dwell minus time
+  /// covered by child visits). Time spent waiting on a child is attributed
+  /// to the child, not counted here.
+  double queue_us = 0.0;
+  double service_us = 0.0;
+  /// True when the visit's parent could not be resolved (parent never
+  /// closed, or containment broken); the visit is kept as an extra root.
+  bool orphan = false;
+};
+
+/// One critical-path piece: `visit` was the deepest active visit on
+/// [start, end).
+struct PathSegment {
+  std::int32_t visit = -1;
+  TimePoint start;
+  TimePoint end;
+};
+
+struct TxnTree {
+  TxnId id = 0;
+  std::vector<TxnVisit> visits;  // pre-order; visits[0] is the first root
+  /// Chronological, tiles [first arrival, last root departure] of each root.
+  std::vector<PathSegment> critical_path;
+  /// End-to-end response time: last root departure minus first root arrival.
+  [[nodiscard]] Duration latency() const;
+  /// Server owning the largest share of the critical path.
+  [[nodiscard]] ServerIndex critical_server() const;
+};
+
+struct TxnAssembly {
+  std::vector<TxnTree> txns;  // ordered by (first arrival, txn id)
+  std::uint64_t visits = 0;            // visits placed into trees
+  std::uint64_t orphan_visits = 0;     // kept, but parent unresolved
+  std::uint64_t dropped_unclosed = 0;  // visits with no observed departure
+};
+
+/// Ground-truth assembly from request records: records sharing a txn id form
+/// one tree, nested by time containment (a visit's parent is the innermost
+/// same-transaction visit enclosing it). When `profiles` is null they are
+/// built internally from `records`.
+[[nodiscard]] TxnAssembly assemble_transactions(
+    std::span<const RequestRecord> records,
+    const ProfileMap* profiles = nullptr);
+
+/// Which parent edges of ReconstructedVisit to trust.
+enum class VisitView : std::uint8_t {
+  kBlackBox,     // ReconstructedVisit::parent (the reconstructor's guess)
+  kGroundTruth,  // truth_parent_visit / truth_txn carried from the capture
+};
+
+/// Assembly from reconstructor output. Visits whose departure was never
+/// observed are dropped (counted in dropped_unclosed); their children become
+/// orphan roots. Node ids are mapped to dense server indices (node 1 ->
+/// server 0), matching request-log analysis.
+[[nodiscard]] TxnAssembly assemble_transactions(
+    std::span<const ReconstructedVisit> visits, VisitView view,
+    const ProfileMap* profiles = nullptr);
+
+/// Per-server request logs derived from closed reconstructed visits (node 1
+/// -> server 0), for feeding the detection pipeline from a capture file.
+[[nodiscard]] std::map<ServerIndex, RequestLog> logs_from_visits(
+    std::span<const ReconstructedVisit> visits);
+
+}  // namespace tbd::trace

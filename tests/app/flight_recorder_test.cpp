@@ -1,0 +1,99 @@
+// Tests of the end-to-end flight recorder: thread-count invariance of the
+// artifacts (the acceptance bar for golden-testing them), the N* override
+// path, and behaviour on degenerate inputs.
+#include "app/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/attribution.h"
+
+namespace tbd::app {
+namespace {
+
+trace::RequestRecord rec(trace::ServerIndex server, std::int64_t arrival,
+                         std::int64_t departure, trace::TxnId txn,
+                         trace::ClassId cls = 1) {
+  return trace::RequestRecord{.server = server,
+                              .class_id = cls,
+                              .arrival = TimePoint::from_micros(arrival),
+                              .departure = TimePoint::from_micros(departure),
+                              .txn = txn};
+}
+
+/// Two-tier workload with a burst on server 0 around t = 0.5 s.
+trace::RequestLog burst_log() {
+  trace::RequestLog log;
+  trace::TxnId txn = 0;
+  for (std::int64_t t = 0; t < 1000000; t += 20000) {
+    ++txn;
+    log.push_back(rec(0, t, t + 8000, txn, 1));
+    log.push_back(rec(1, t + 2000, t + 7000, txn, 2));
+  }
+  for (int i = 0; i < 12; ++i) {
+    ++txn;
+    log.push_back(rec(0, 500000 + i * 2000, 560000 + i * 2000, txn, 1));
+  }
+  return log;
+}
+
+TEST(FlightRecorderTest, AttributionIsThreadCountInvariant) {
+  FlightConfig config;
+  config.nstar_override = 3.0;
+  ThreadPool serial{1};
+  ThreadPool wide{4};
+  const auto a = flight_record(burst_log(), config, serial);
+  const auto b = flight_record(burst_log(), config, wide);
+  EXPECT_EQ(core::attribution_ndjson(a.attribution),
+            core::attribution_ndjson(b.attribution));
+  EXPECT_EQ(timeline_json(a), timeline_json(b));
+}
+
+TEST(FlightRecorderTest, NstarOverrideForcesClassification) {
+  FlightConfig config;
+  config.nstar_override = 3.0;
+  ThreadPool pool{2};
+  const auto rec = flight_record(burst_log(), config, pool);
+  ASSERT_EQ(rec.servers.size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.servers[0].detection.nstar.n_star, 3.0);
+  EXPECT_TRUE(rec.servers[0].detection.nstar.converged);
+  EXPECT_FALSE(rec.servers[0].detection.episodes.empty())
+      << "the burst must classify as a congestion episode under N*=3";
+}
+
+TEST(FlightRecorderTest, AssemblyAndAttributionCoverAllTransactions) {
+  FlightConfig config;
+  config.nstar_override = 3.0;
+  ThreadPool pool{2};
+  const auto rec = flight_record(burst_log(), config, pool);
+  EXPECT_EQ(rec.assembly.txns.size(), 62u);  // 50 steady + 12 burst
+  std::uint64_t banded = 0;
+  for (const auto& band : rec.attribution.bands) banded += band.txns;
+  EXPECT_EQ(banded, rec.assembly.txns.size());
+}
+
+TEST(FlightRecorderTest, TimelineCarriesTracksEpisodesAndFlows) {
+  FlightConfig config;
+  config.nstar_override = 3.0;
+  ThreadPool pool{2};
+  const auto rec = flight_record(burst_log(), config, pool);
+  const std::string json = timeline_json(rec);
+  EXPECT_NE(json.find("\"name\":\"server 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"server 1\""), std::string::npos);
+  EXPECT_NE(json.find("server 0 episodes"), std::string::npos);
+  EXPECT_NE(json.find("\"cname\":\"bad\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"flow\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, EmptyLogYieldsEmptyRecord) {
+  FlightConfig config;
+  ThreadPool pool{1};
+  const auto rec = flight_record({}, config, pool);
+  EXPECT_TRUE(rec.servers.empty());
+  EXPECT_TRUE(rec.assembly.txns.empty());
+}
+
+}  // namespace
+}  // namespace tbd::app

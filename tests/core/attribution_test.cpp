@@ -1,0 +1,187 @@
+// Unit tests of critical-path latency attribution: episode windows from
+// detection states, band assignment via the histogram cutoffs, writer
+// schemas, and the paper's GC story — tail-band requests attribute the
+// majority of their queue-wait to the frozen server's in-episode intervals.
+#include "core/attribution.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/detector.h"
+#include "trace/txn_tree.h"
+
+namespace tbd::core {
+namespace {
+
+trace::RequestRecord rec(trace::ServerIndex server, std::int64_t arrival,
+                         std::int64_t departure, trace::TxnId txn,
+                         trace::ClassId cls = 1) {
+  return trace::RequestRecord{.server = server,
+                              .class_id = cls,
+                              .arrival = TimePoint::from_micros(arrival),
+                              .departure = TimePoint::from_micros(departure),
+                              .txn = txn};
+}
+
+/// A detection whose states are hand-set: `congested` interval indices on a
+/// 50 ms grid over [0, horizon_us).
+DetectionResult fake_detection(std::int64_t horizon_us,
+                               const std::vector<std::size_t>& congested) {
+  DetectionResult d;
+  d.spec = IntervalSpec::over(TimePoint::origin(),
+                              TimePoint::from_micros(horizon_us),
+                              Duration::millis(50));
+  d.states.assign(d.spec.count, IntervalState::kNormal);
+  for (const std::size_t i : congested) d.states[i] = IntervalState::kCongested;
+  return d;
+}
+
+TEST(CongestedWindowsTest, MergesAdjacentCongestedAndFrozen) {
+  DetectionResult d = fake_detection(500000, {2, 3});
+  d.states[4] = IntervalState::kFrozen;  // run continues through a freeze
+  const auto windows = congested_windows(d);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].start.micros(), 100000);
+  EXPECT_EQ(windows[0].end.micros(), 250000);
+}
+
+TEST(CongestedWindowsTest, EmptyWhenNothingCongested) {
+  EXPECT_TRUE(congested_windows(fake_detection(500000, {})).empty());
+}
+
+TEST(AttributionTest, BandsPartitionTransactions) {
+  // 4 fast + 1 slow single-visit transactions.
+  std::vector<trace::RequestRecord> log;
+  for (int i = 0; i < 4; ++i) {
+    log.push_back(rec(0, i * 10000, i * 10000 + 1000, i + 1));
+  }
+  log.push_back(rec(0, 50000, 150000, 5));
+  const auto profiles = trace::build_profiles(log);
+  const auto assembly = trace::assemble_transactions(log, &profiles);
+  const std::vector<trace::ServerIndex> servers{0};
+  const std::vector<DetectionResult> detections{fake_detection(200000, {})};
+  const auto report =
+      attribute_latency(assembly.txns, servers, detections, profiles, {});
+  ASSERT_EQ(report.bands.size(), 5u);  // p50 p90 p95 p99 pmax
+  EXPECT_EQ(report.txns, 5u);
+  std::uint64_t total = 0;
+  double latency = 0.0;
+  for (const auto& band : report.bands) {
+    total += band.txns;
+    latency += band.latency_us;
+  }
+  EXPECT_EQ(total, 5u);
+  EXPECT_NEAR(latency, 4 * 1000.0 + 100000.0, 1e-6);
+  // With no episodes, every microsecond lands in the out-of-episode buckets.
+  for (const auto& band : report.bands) {
+    for (const auto& s : band.servers) {
+      EXPECT_DOUBLE_EQ(s.queue_in_us, 0.0);
+      EXPECT_DOUBLE_EQ(s.service_in_us, 0.0);
+    }
+  }
+}
+
+TEST(AttributionTest, ServerSharesSumToBandLatency) {
+  // One two-tier transaction; the critical path tiles the latency, so the
+  // per-server totals must sum to it exactly.
+  const std::vector<trace::RequestRecord> log{rec(0, 0, 10000, 1, 1),
+                                              rec(1, 2000, 7000, 1, 2)};
+  const auto profiles = trace::build_profiles(log);
+  const auto assembly = trace::assemble_transactions(log, &profiles);
+  const std::vector<trace::ServerIndex> servers{0, 1};
+  const std::vector<DetectionResult> detections{fake_detection(10000, {}),
+                                                fake_detection(10000, {})};
+  const auto report =
+      attribute_latency(assembly.txns, servers, detections, profiles, {});
+  double attributed = 0.0;
+  for (const auto& band : report.bands) {
+    for (const auto& s : band.servers) attributed += s.total_us();
+  }
+  EXPECT_NEAR(attributed, 10000.0, 1e-6);
+}
+
+TEST(AttributionTest, GcFreezeAttributesTailQueueingToDbEpisode) {
+  // The paper's JVM-GC scenario in miniature: steady web->db transactions,
+  // plus a db freeze at [500 ms, 700 ms) where arrivals pile up and drain
+  // FIFO afterwards. The tail bands' queue-wait must sit overwhelmingly at
+  // the db server inside its congestion episode.
+  // Steady txns are dense enough that the frozen ones sit past the p95
+  // cutoff but inside p99's (which interpolates into their histogram
+  // bucket), so the whole freeze cohort lands in the p99 band.
+  std::vector<trace::RequestRecord> log;
+  trace::TxnId txn = 0;
+  for (std::int64_t t = 0; t < 1000000; t += 2500) {
+    if (t >= 500000 && t < 700000) continue;  // freeze window handled below
+    ++txn;
+    log.push_back(rec(0, t, t + 4000, txn, 1));
+    log.push_back(rec(1, t + 500, t + 2500, txn, 2));
+  }
+  const std::size_t steady = txn;
+  for (int i = 0; i < 10; ++i) {  // arrivals during the freeze
+    ++txn;
+    const std::int64_t t = 500000 + i * 1000;
+    const std::int64_t db_out = 700000 + (i + 1) * 2000;  // FIFO drain
+    log.push_back(rec(0, t, db_out + 1000, txn, 1));
+    log.push_back(rec(1, t + 500, db_out, txn, 2));
+  }
+  ASSERT_GT(steady, 100u);
+
+  const auto profiles = trace::build_profiles(log);
+  const auto assembly = trace::assemble_transactions(log, &profiles);
+  const std::vector<trace::ServerIndex> servers{0, 1};
+  // Web stays healthy; the db is congested over the freeze + drain.
+  const std::vector<DetectionResult> detections{
+      fake_detection(1000000, {}),
+      fake_detection(1000000, {10, 11, 12, 13, 14})};  // [500 ms, 750 ms)
+  const auto report =
+      attribute_latency(assembly.txns, servers, detections, profiles, {});
+
+  double tail_db_queue_in = 0.0;
+  double tail_queue_total = 0.0;
+  bool tail_seen = false;
+  for (const auto& band : report.bands) {
+    if (band.band != "p99" && band.band != "pmax") continue;
+    if (band.txns == 0) continue;
+    tail_seen = true;
+    for (const auto& s : band.servers) {
+      tail_queue_total += s.queue_in_us + s.queue_out_us;
+      if (s.server == 1) tail_db_queue_in += s.queue_in_us;
+    }
+  }
+  ASSERT_TRUE(tail_seen);
+  EXPECT_GT(tail_queue_total, 0.0);
+  EXPECT_GT(tail_db_queue_in / tail_queue_total, 0.5)
+      << "tail queue-wait should concentrate inside the db episode";
+}
+
+TEST(AttributionWritersTest, NdjsonAndCsvCarryEveryBand) {
+  const std::vector<trace::RequestRecord> log{rec(0, 0, 10000, 1, 1),
+                                              rec(1, 2000, 7000, 1, 2)};
+  const auto profiles = trace::build_profiles(log);
+  const auto assembly = trace::assemble_transactions(log, &profiles);
+  const std::vector<trace::ServerIndex> servers{0, 1};
+  const std::vector<DetectionResult> detections{fake_detection(10000, {}),
+                                                fake_detection(10000, {})};
+  const auto report =
+      attribute_latency(assembly.txns, servers, detections, profiles, {});
+
+  const std::string ndjson = attribution_ndjson(report);
+  EXPECT_NE(ndjson.find("\"type\":\"meta\""), std::string::npos);
+  EXPECT_NE(ndjson.find("\"schema_version\":1"), std::string::npos);
+  for (const char* band : {"p50", "p90", "p95", "p99", "pmax"}) {
+    EXPECT_NE(ndjson.find("\"band\":\"" + std::string(band) + "\""),
+              std::string::npos)
+        << band;
+  }
+  const std::string csv = attribution_csv(report);
+  EXPECT_EQ(csv.find("band,server,txns,latency_us,queue_in_episode_us"), 0u);
+  EXPECT_NE(csv.find("\npmax,"), std::string::npos);
+
+  // Byte-stable: the writers must render identically on repeat calls.
+  EXPECT_EQ(ndjson, attribution_ndjson(report));
+  EXPECT_EQ(csv, attribution_csv(report));
+}
+
+}  // namespace
+}  // namespace tbd::core

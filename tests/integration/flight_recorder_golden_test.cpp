@@ -1,0 +1,61 @@
+// Golden-file test pinning the flight-recorder artifacts on the checked-in
+// tier-1 smoke log. The timeline JSON and attribution NDJSON are fully
+// deterministic (no wall clock, fixed-precision formatting, slot-indexed
+// fan-out), so any byte drift here is a schema change — regenerate with:
+//
+//   ./build/tools/tbd_timeline --width 50 --nstar 3 \
+//     --timeline-out scripts/testdata/tiny_log_timeline.golden.json \
+//     --attribution-out scripts/testdata/tiny_log_attribution.golden.ndjson \
+//     scripts/testdata/tiny_log.csv
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "app/flight_recorder.h"
+#include "core/attribution.h"
+#include "trace/log_io.h"
+
+namespace tbd {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path};
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class FlightRecorderGoldenTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kTestData = TBD_SOURCE_DIR "/scripts/testdata/";
+
+  app::FlightRecord record() {
+    const auto loaded =
+        trace::load_request_log_csv(std::string(kTestData) + "tiny_log.csv");
+    EXPECT_TRUE(loaded.ok);
+    EXPECT_EQ(loaded.records.size(), 72u);
+    app::FlightConfig config;  // same knobs as the tier-1 smoke
+    config.width = Duration::millis(50);
+    config.nstar_override = 3.0;
+    ThreadPool pool{2};
+    return app::flight_record(loaded.records, config, pool);
+  }
+};
+
+TEST_F(FlightRecorderGoldenTest, TimelineMatchesGolden) {
+  const std::string golden =
+      slurp(std::string(kTestData) + "tiny_log_timeline.golden.json");
+  EXPECT_EQ(app::timeline_json(record()), golden);
+}
+
+TEST_F(FlightRecorderGoldenTest, AttributionMatchesGolden) {
+  const std::string golden =
+      slurp(std::string(kTestData) + "tiny_log_attribution.golden.ndjson");
+  EXPECT_EQ(core::attribution_ndjson(record().attribution), golden);
+}
+
+}  // namespace
+}  // namespace tbd

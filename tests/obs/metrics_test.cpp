@@ -150,5 +150,52 @@ TEST(RegistryTest, ResetZeroesButKeepsReferences) {
   EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
 }
 
+TEST(SnapshotQuantileTest, EmptySnapshotIsZero) {
+  Histogram h{{1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(snapshot_quantile(h.snapshot(), 0.5), 0.0);
+}
+
+TEST(SnapshotQuantileTest, InterpolatesWithinBucket) {
+  // 10 observations in the (10, 20] bucket: the median sits mid-bucket.
+  Histogram h{{10.0, 20.0, 30.0}};
+  for (int i = 0; i < 10; ++i) h.observe(15.0);
+  EXPECT_NEAR(snapshot_quantile(h.snapshot(), 0.5), 15.0, 1e-9);
+  EXPECT_NEAR(snapshot_quantile(h.snapshot(), 1.0), 20.0, 1e-9);
+}
+
+TEST(SnapshotQuantileTest, FirstBucketAnchorsAtZero) {
+  Histogram h{{100.0, 200.0}};
+  h.observe(50.0);
+  h.observe(80.0);
+  // Both observations in (0, 100]; q = 0.5 interpolates from the 0 anchor.
+  EXPECT_NEAR(snapshot_quantile(h.snapshot(), 0.5), 50.0, 1e-9);
+}
+
+TEST(SnapshotQuantileTest, OverflowResolvesToLastFiniteBound) {
+  Histogram h{{1.0, 2.0}};
+  h.observe(0.5);
+  h.observe(100.0);  // overflow bucket
+  EXPECT_DOUBLE_EQ(snapshot_quantile(h.snapshot(), 1.0), 2.0);
+}
+
+TEST(SnapshotQuantileTest, ClampsQuantile) {
+  Histogram h{{10.0}};
+  h.observe(5.0);
+  EXPECT_GE(snapshot_quantile(h.snapshot(), -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot_quantile(h.snapshot(), 2.0),
+                   snapshot_quantile(h.snapshot(), 1.0));
+}
+
+TEST(SnapshotQuantileTest, SpreadAcrossBucketsIsMonotone) {
+  Histogram h{{10.0, 20.0, 30.0, 40.0}};
+  for (int i = 0; i < 100; ++i) h.observe(5.0 + (i % 4) * 10.0);
+  double prev = 0.0;
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double v = snapshot_quantile(h.snapshot(), q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
 }  // namespace
 }  // namespace tbd::obs

@@ -1,0 +1,107 @@
+// Unit tests of the deterministic timeline builder: lane assignment keeps
+// every tid's B/E stream properly nested, overlays render as colored "X"
+// bands, flows bind to their slices' lanes, and the output is byte-stable.
+#include "obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tbd::obs {
+namespace {
+
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(TimelineBuilderTest, NestedSlicesShareOneLane) {
+  TimelineBuilder tl;
+  const auto track = tl.add_track("server 0");
+  tl.add_slice(track, 0, 10000, "outer", "visit");
+  tl.add_slice(track, 2000, 7000, "inner", "visit");
+  const std::string json = tl.to_json();
+  // One lane -> exactly one thread_name metadata entry for the track.
+  EXPECT_EQ(count_of(json, "\"name\":\"server 0\""), 1u);
+  EXPECT_EQ(json.find("server 0 \xc2\xb7"), std::string::npos);
+  EXPECT_EQ(count_of(json, "\"ph\":\"B\""), 2u);
+  EXPECT_EQ(count_of(json, "\"ph\":\"E\""), 2u);
+  // Inner closes before outer: first E at ts 7000, second at 10000.
+  const auto first_e = json.find("\"ph\":\"E\",\"ts\":7000");
+  const auto second_e = json.find("\"ph\":\"E\",\"ts\":10000");
+  EXPECT_NE(first_e, std::string::npos);
+  EXPECT_NE(second_e, std::string::npos);
+  EXPECT_LT(first_e, second_e);
+}
+
+TEST(TimelineBuilderTest, OverlappingSlicesSpreadAcrossLanes) {
+  TimelineBuilder tl;
+  const auto track = tl.add_track("server 0");
+  tl.add_slice(track, 0, 5000, "a", "visit");
+  tl.add_slice(track, 3000, 8000, "b", "visit");  // overlaps, no nesting
+  const std::string json = tl.to_json();
+  EXPECT_NE(json.find("server 0 \xc2\xb7"
+                      "2"),
+            std::string::npos);
+}
+
+TEST(TimelineBuilderTest, OverlayRendersAsColoredBand) {
+  TimelineBuilder tl;
+  const auto track = tl.add_overlay_track("server 0 episodes");
+  tl.add_overlay(track, 1000, 4000, "congested", "bad",
+                 {{"peak_load", TimelineBuilder::num(7.5)}});
+  const std::string json = tl.to_json();
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cname\":\"bad\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":3000"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_load\":7.500"), std::string::npos);
+}
+
+TEST(TimelineBuilderTest, FlowBindsToSliceLanes) {
+  TimelineBuilder tl;
+  const auto web = tl.add_track("server 0");
+  const auto db = tl.add_track("server 1");
+  const auto s0 = tl.add_slice(web, 0, 10000, "visit c1", "visit");
+  const auto s1 = tl.add_slice(db, 2000, 7000, "visit c2", "visit");
+  tl.add_flow(42, "txn 42", {{s0, 0}, {s1, 2000}});
+  const std::string json = tl.to_json();
+  EXPECT_NE(json.find("\"ph\":\"s\",\"id\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\",\"id\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+}
+
+TEST(TimelineBuilderTest, SinglePointFlowIsDropped) {
+  TimelineBuilder tl;
+  const auto track = tl.add_track("server 0");
+  const auto s = tl.add_slice(track, 0, 1000, "visit", "visit");
+  tl.add_flow(1, "txn 1", {{s, 0}});
+  EXPECT_EQ(tl.to_json().find("\"cat\":\"flow\""), std::string::npos);
+}
+
+TEST(TimelineBuilderTest, OutputIsByteStable) {
+  const auto build = [] {
+    TimelineBuilder tl;
+    const auto t0 = tl.add_track("server 0");
+    const auto ep = tl.add_overlay_track("server 0 episodes");
+    const auto a = tl.add_slice(t0, 0, 9000, "a", "visit");
+    const auto b = tl.add_slice(t0, 1000, 4000, "b", "visit");
+    tl.add_overlay(ep, 0, 5000, "congested", "bad");
+    tl.add_flow(1, "txn 1", {{a, 0}, {b, 1000}});
+    return tl.to_json();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(TimelineBuilderTest, FormattersAreFixedPrecision) {
+  EXPECT_EQ(TimelineBuilder::num(1.0), "1.000");
+  EXPECT_EQ(TimelineBuilder::num(0.12349), "0.123");
+  EXPECT_EQ(TimelineBuilder::num(std::int64_t{-7}), "-7");
+  EXPECT_EQ(TimelineBuilder::str("a\"b"), "\"a\\\"b\"");
+}
+
+}  // namespace
+}  // namespace tbd::obs

@@ -1,0 +1,275 @@
+// Unit tests of transaction-tree assembly: concurrency profiles and the
+// processor-sharing queue/service split, ground-truth nesting from request
+// records, critical paths that switch tiers, and the reconstructed-visit
+// flavour's edge cases (empty capture, unclosed parents, broken containment).
+#include "trace/txn_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tbd::trace {
+namespace {
+
+RequestRecord rec(ServerIndex server, std::int64_t arrival,
+                  std::int64_t departure, TxnId txn, ClassId cls = 1) {
+  return RequestRecord{.server = server,
+                       .class_id = cls,
+                       .arrival = TimePoint::from_micros(arrival),
+                       .departure = TimePoint::from_micros(departure),
+                       .txn = txn};
+}
+
+ReconstructedVisit vis(NodeId server, std::int64_t arrival,
+                       std::int64_t departure, std::int64_t parent,
+                       TxnId truth_txn = 0, std::uint64_t truth_visit = 0,
+                       std::uint64_t truth_parent = 0) {
+  ReconstructedVisit v;
+  v.server = server;
+  v.class_id = 1;
+  v.arrival = TimePoint::from_micros(arrival);
+  v.departure = departure < 0 ? TimePoint::max()
+                              : TimePoint::from_micros(departure);
+  v.parent = parent;
+  v.truth_txn = truth_txn;
+  v.truth_visit = truth_visit;
+  v.truth_parent_visit = truth_parent;
+  return v;
+}
+
+// ---- ConcurrencyProfile -----------------------------------------------------
+
+TEST(ConcurrencyProfileTest, SingleRequestIsAllService) {
+  const std::vector<RequestRecord> log{rec(0, 1000, 2000, 1)};
+  const auto p = ConcurrencyProfile::build(log);
+  EXPECT_EQ(p.concurrency_at(TimePoint::from_micros(1500)), 1);
+  EXPECT_EQ(p.concurrency_at(TimePoint::from_micros(999)), 0);
+  EXPECT_EQ(p.concurrency_at(TimePoint::from_micros(2000)), 0);
+  const auto s =
+      p.split(TimePoint::from_micros(1000), TimePoint::from_micros(2000));
+  EXPECT_DOUBLE_EQ(s.queue_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.service_us, 1000.0);
+}
+
+TEST(ConcurrencyProfileTest, TwoConcurrentSplitHalfAndHalf) {
+  // Both open on [0, 1000): k = 2, so each unit of dwell is 1/2 service and
+  // 1/2 queue under processor sharing.
+  const std::vector<RequestRecord> log{rec(0, 0, 1000, 1), rec(0, 0, 1000, 2)};
+  const auto p = ConcurrencyProfile::build(log);
+  EXPECT_EQ(p.concurrency_at(TimePoint::from_micros(500)), 2);
+  const auto s = p.split(TimePoint::origin(), TimePoint::from_micros(1000));
+  EXPECT_DOUBLE_EQ(s.queue_us, 500.0);
+  EXPECT_DOUBLE_EQ(s.service_us, 500.0);
+}
+
+TEST(ConcurrencyProfileTest, DepartureBeforeArrivalAtSameInstant) {
+  // Back-to-back visits sharing the boundary instant must not double-count:
+  // [0, 100) then [100, 200) is k = 1 throughout.
+  const std::vector<RequestRecord> log{rec(0, 0, 100, 1), rec(0, 100, 200, 2)};
+  const auto p = ConcurrencyProfile::build(log);
+  EXPECT_EQ(p.concurrency_at(TimePoint::from_micros(50)), 1);
+  EXPECT_EQ(p.concurrency_at(TimePoint::from_micros(100)), 1);
+  const auto s = p.split(TimePoint::origin(), TimePoint::from_micros(200));
+  EXPECT_DOUBLE_EQ(s.queue_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.service_us, 200.0);
+}
+
+TEST(ConcurrencyProfileTest, SubrangeQueriesSumToWhole) {
+  const std::vector<RequestRecord> log{rec(0, 0, 1000, 1), rec(0, 250, 750, 2),
+                                       rec(0, 500, 1500, 3)};
+  const auto p = ConcurrencyProfile::build(log);
+  const auto whole = p.split(TimePoint::origin(), TimePoint::from_micros(1500));
+  const auto a = p.split(TimePoint::origin(), TimePoint::from_micros(600));
+  const auto b =
+      p.split(TimePoint::from_micros(600), TimePoint::from_micros(1500));
+  EXPECT_NEAR(a.queue_us + b.queue_us, whole.queue_us, 1e-9);
+  EXPECT_NEAR(a.service_us + b.service_us, whole.service_us, 1e-9);
+  // Queue + service together cover exactly the busy time.
+  EXPECT_NEAR(whole.queue_us + whole.service_us, 1500.0, 1e-9);
+}
+
+TEST(ConcurrencyProfileTest, EmptyProfileIsZero) {
+  const ConcurrencyProfile p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.concurrency_at(TimePoint::from_micros(10)), 0);
+  const auto s = p.split(TimePoint::origin(), TimePoint::from_micros(100));
+  EXPECT_DOUBLE_EQ(s.queue_us + s.service_us, 0.0);
+}
+
+// ---- assembly from request records ------------------------------------------
+
+TEST(TxnTreeTest, NestsVisitsByTimeContainment) {
+  // web [0, 10000] calls db [2000, 7000]; same txn.
+  const std::vector<RequestRecord> log{rec(0, 0, 10000, 1, 1),
+                                       rec(1, 2000, 7000, 1, 2)};
+  const auto out = assemble_transactions(log);
+  ASSERT_EQ(out.txns.size(), 1u);
+  const TxnTree& t = out.txns[0];
+  ASSERT_EQ(t.visits.size(), 2u);
+  EXPECT_EQ(t.visits[0].server, 0u);
+  EXPECT_EQ(t.visits[0].parent, -1);
+  EXPECT_EQ(t.visits[1].server, 1u);
+  EXPECT_EQ(t.visits[1].parent, 0);
+  EXPECT_EQ(t.visits[1].depth, 1);
+  ASSERT_EQ(t.visits[0].children.size(), 1u);
+  EXPECT_EQ(t.visits[0].children[0], 1);
+  EXPECT_EQ(t.latency().micros(), 10000);
+  EXPECT_EQ(out.visits, 2u);
+  EXPECT_EQ(out.orphan_visits, 0u);
+}
+
+TEST(TxnTreeTest, CriticalPathSwitchesTiers) {
+  // web [0, 10000] with db child [2000, 7000]: the deepest active visit is
+  // web on [0, 2000), db on [2000, 7000), web again on [7000, 10000).
+  const std::vector<RequestRecord> log{rec(0, 0, 10000, 1, 1),
+                                       rec(1, 2000, 7000, 1, 2)};
+  const auto out = assemble_transactions(log);
+  const TxnTree& t = out.txns[0];
+  ASSERT_EQ(t.critical_path.size(), 3u);
+  EXPECT_EQ(t.critical_path[0].visit, 0);
+  EXPECT_EQ(t.critical_path[0].start.micros(), 0);
+  EXPECT_EQ(t.critical_path[0].end.micros(), 2000);
+  EXPECT_EQ(t.critical_path[1].visit, 1);
+  EXPECT_EQ(t.critical_path[1].start.micros(), 2000);
+  EXPECT_EQ(t.critical_path[1].end.micros(), 7000);
+  EXPECT_EQ(t.critical_path[2].visit, 0);
+  EXPECT_EQ(t.critical_path[2].start.micros(), 7000);
+  EXPECT_EQ(t.critical_path[2].end.micros(), 10000);
+  // Segments tile the response time exactly.
+  std::int64_t covered = 0;
+  for (const PathSegment& s : t.critical_path) {
+    covered += (s.end - s.start).micros();
+  }
+  EXPECT_EQ(covered, t.latency().micros());
+  EXPECT_EQ(t.critical_server(), 0u);  // web holds 5000 of 10000
+}
+
+TEST(TxnTreeTest, SelfTimeSplitExcludesChildCoveredTime) {
+  // Lone transaction: everything on the critical path is service (k = 1
+  // everywhere), and the web visit's self time excludes the db window.
+  const std::vector<RequestRecord> log{rec(0, 0, 10000, 1, 1),
+                                       rec(1, 2000, 7000, 1, 2)};
+  const auto out = assemble_transactions(log);
+  const TxnTree& t = out.txns[0];
+  EXPECT_NEAR(t.visits[0].service_us, 5000.0, 1e-9);  // [0,2k) + [7k,10k)
+  EXPECT_NEAR(t.visits[0].queue_us, 0.0, 1e-9);
+  EXPECT_NEAR(t.visits[1].service_us, 5000.0, 1e-9);  // [2k,7k)
+  EXPECT_NEAR(t.visits[1].queue_us, 0.0, 1e-9);
+}
+
+TEST(TxnTreeTest, ConcurrencyAtArrivalCountsTheQueueJoined) {
+  // Second transaction arrives while the first is still open on server 0.
+  const std::vector<RequestRecord> log{rec(0, 0, 1000, 1), rec(0, 500, 1500, 2)};
+  const auto out = assemble_transactions(log);
+  ASSERT_EQ(out.txns.size(), 2u);
+  EXPECT_EQ(out.txns[0].visits[0].concurrency_at_arrival, 0);
+  EXPECT_EQ(out.txns[1].visits[0].concurrency_at_arrival, 1);
+}
+
+TEST(TxnTreeTest, BrokenContainmentBecomesOrphanRoot) {
+  // Same txn id but overlapping without nesting: the second visit cannot be
+  // a child of the first, so it is kept as an orphan root.
+  const std::vector<RequestRecord> log{rec(0, 0, 5000, 1), rec(1, 3000, 8000, 1)};
+  const auto out = assemble_transactions(log);
+  ASSERT_EQ(out.txns.size(), 1u);
+  const TxnTree& t = out.txns[0];
+  EXPECT_EQ(t.visits[1].parent, -1);
+  EXPECT_TRUE(t.visits[1].orphan);
+  EXPECT_EQ(out.orphan_visits, 1u);
+  // Both roots contribute critical-path segments; latency spans both.
+  EXPECT_EQ(t.latency().micros(), 8000);
+}
+
+TEST(TxnTreeTest, TransactionsOrderedByFirstArrival) {
+  const std::vector<RequestRecord> log{rec(0, 5000, 6000, 9),
+                                       rec(0, 1000, 2000, 4)};
+  const auto out = assemble_transactions(log);
+  ASSERT_EQ(out.txns.size(), 2u);
+  EXPECT_EQ(out.txns[0].id, 4u);
+  EXPECT_EQ(out.txns[1].id, 9u);
+}
+
+// ---- assembly from reconstructed visits -------------------------------------
+
+TEST(TxnTreeVisitsTest, ZeroVisitCaptureRoundTrips) {
+  const std::vector<ReconstructedVisit> none;
+  for (const auto view : {VisitView::kBlackBox, VisitView::kGroundTruth}) {
+    const auto out = assemble_transactions(none, view);
+    EXPECT_TRUE(out.txns.empty());
+    EXPECT_EQ(out.visits, 0u);
+    EXPECT_EQ(out.orphan_visits, 0u);
+    EXPECT_EQ(out.dropped_unclosed, 0u);
+  }
+  EXPECT_TRUE(logs_from_visits(none).empty());
+}
+
+TEST(TxnTreeVisitsTest, UnclosedParentDropsItAndOrphansChild) {
+  // Visit 0 never closed (departure unobserved); its child must survive as
+  // an orphan root rather than vanish or dangle.
+  const std::vector<ReconstructedVisit> visits{
+      vis(1, 0, -1, -1), vis(2, 2000, 7000, 0)};
+  const auto out = assemble_transactions(visits, VisitView::kBlackBox);
+  EXPECT_EQ(out.dropped_unclosed, 1u);
+  EXPECT_EQ(out.orphan_visits, 1u);
+  ASSERT_EQ(out.txns.size(), 1u);
+  const TxnTree& t = out.txns[0];
+  ASSERT_EQ(t.visits.size(), 1u);
+  EXPECT_EQ(t.visits[0].parent, -1);
+  EXPECT_TRUE(t.visits[0].orphan);
+  EXPECT_EQ(t.visits[0].server, 1u);  // node 2 -> server 1
+}
+
+TEST(TxnTreeVisitsTest, BlackBoxFollowsReconstructedEdges) {
+  const std::vector<ReconstructedVisit> visits{
+      vis(1, 0, 10000, -1, /*truth_txn=*/7),
+      vis(2, 2000, 7000, 0, 7)};
+  const auto out = assemble_transactions(visits, VisitView::kBlackBox);
+  ASSERT_EQ(out.txns.size(), 1u);
+  EXPECT_EQ(out.txns[0].id, 7u);  // labeled with the carried truth txn
+  ASSERT_EQ(out.txns[0].visits.size(), 2u);
+  EXPECT_EQ(out.txns[0].visits[1].parent, 0);
+}
+
+TEST(TxnTreeVisitsTest, GroundTruthViewRepairsWrongBlackBoxEdge) {
+  // Two concurrent transactions; the reconstructor guessed the db call of
+  // txn 2 belongs to txn 1's web visit. The ground-truth view follows
+  // truth_parent_visit instead and splits them correctly.
+  const std::vector<ReconstructedVisit> visits{
+      vis(1, 0, 10000, -1, /*txn=*/1, /*visit=*/11, /*parent=*/0),
+      vis(1, 100, 9000, -1, /*txn=*/2, /*visit=*/21, /*parent=*/0),
+      vis(2, 2000, 7000, /*guessed parent=*/0, /*txn=*/2, /*visit=*/22,
+          /*parent=*/21)};
+  const auto black = assemble_transactions(visits, VisitView::kBlackBox);
+  ASSERT_EQ(black.txns.size(), 2u);
+  EXPECT_EQ(black.txns[0].visits.size(), 2u);  // txn 1 stole the db visit
+
+  const auto truth = assemble_transactions(visits, VisitView::kGroundTruth);
+  ASSERT_EQ(truth.txns.size(), 2u);
+  const TxnTree& t2 = truth.txns[1];
+  EXPECT_EQ(t2.id, 2u);
+  ASSERT_EQ(t2.visits.size(), 2u);
+  EXPECT_EQ(t2.visits[1].parent, 0);
+}
+
+TEST(TxnTreeVisitsTest, TruthParentNeverCapturedBecomesOrphan) {
+  // truth_parent_visit refers to a visit the tap never saw.
+  const std::vector<ReconstructedVisit> visits{
+      vis(2, 2000, 7000, -1, /*txn=*/3, /*visit=*/32, /*parent=*/31)};
+  const auto out = assemble_transactions(visits, VisitView::kGroundTruth);
+  ASSERT_EQ(out.txns.size(), 1u);
+  EXPECT_TRUE(out.txns[0].visits[0].orphan);
+  EXPECT_EQ(out.orphan_visits, 1u);
+}
+
+TEST(TxnTreeVisitsTest, LogsFromVisitsMapsNodeToServerIndex) {
+  const std::vector<ReconstructedVisit> visits{
+      vis(1, 0, 1000, -1, 1), vis(2, 100, 900, 0, 1), vis(1, 5000, -1, -1)};
+  const auto logs = logs_from_visits(visits);
+  ASSERT_EQ(logs.size(), 2u);
+  ASSERT_EQ(logs.at(0).size(), 1u);  // node 1 -> server 0; unclosed skipped
+  ASSERT_EQ(logs.at(1).size(), 1u);
+  EXPECT_EQ(logs.at(0)[0].departure.micros(), 1000);
+}
+
+}  // namespace
+}  // namespace tbd::trace

@@ -24,6 +24,12 @@
 //   --metrics-out FILE  write the run manifest: config, seed inputs, git
 //                     describe, thread count, metrics snapshot, span rollup
 //   --prom-out FILE   write the metrics snapshot as Prometheus text
+//   --timeline-out FILE  run the transaction flight recorder and write the
+//                     combined Perfetto timeline (per-server visit tracks,
+//                     congestion-episode overlay, per-transaction flows)
+//   --attribution-out FILE  write per-band critical-path attribution NDJSON
+//   --nstar N         classify flight-recorder intervals against this
+//                     congestion point instead of the per-server estimate
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +39,8 @@
 #include <string>
 #include <vector>
 
+#include "app/flight_recorder.h"
+#include "core/attribution.h"
 #include "core/detector.h"
 #include "core/interval_selection.h"
 #include "core/report.h"
@@ -58,6 +66,9 @@ struct Options {
   std::string trace_out;
   std::string metrics_out;
   std::string prom_out;
+  std::string timeline_out;
+  std::string attribution_out;
+  double nstar = 0.0;  // 0 = per-server estimate
   std::vector<std::string> files;
 };
 
@@ -68,6 +79,8 @@ void usage() {
                "                   [--scatter] [--episodes N] [--csv PREFIX]\n"
                "                   [--trace-out FILE] [--metrics-out FILE] "
                "[--prom-out FILE]\n"
+               "                   [--timeline-out FILE] "
+               "[--attribution-out FILE] [--nstar N]\n"
                "                   LOG.csv [...]\n");
 }
 
@@ -109,6 +122,18 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return false;
       opt.prom_out = v;
+    } else if (arg == "--timeline-out") {
+      const char* v = next();
+      if (!v) return false;
+      opt.timeline_out = v;
+    } else if (arg == "--attribution-out") {
+      const char* v = next();
+      if (!v) return false;
+      opt.attribution_out = v;
+    } else if (arg == "--nstar") {
+      const char* v = next();
+      if (!v) return false;
+      opt.nstar = std::atof(v);
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -133,7 +158,10 @@ int main(int argc, char** argv) {
   auto& registry = obs::Registry::global();
 
   // ---- load & split by server -----------------------------------------------
+  const bool flight =
+      !opt.timeline_out.empty() || !opt.attribution_out.empty();
   std::map<trace::ServerIndex, trace::RequestLog> by_server;
+  trace::RequestLog merged;  // kept only for the flight recorder
   TimePoint t_min = TimePoint::max();
   TimePoint t_max;
   {
@@ -154,6 +182,10 @@ int main(int argc, char** argv) {
         by_server[r.server].push_back(r);
         t_min = std::min(t_min, r.arrival);
         t_max = std::max(t_max, r.departure);
+      }
+      if (flight) {
+        merged.insert(merged.end(), loaded.records.begin(),
+                      loaded.records.end());
       }
     }
   }
@@ -267,6 +299,34 @@ int main(int argc, char** argv) {
                           .c_str());
   }
 
+  // ---- flight recorder --------------------------------------------------------
+  if (flight) {
+    app::FlightConfig fc;
+    fc.width = Duration::from_millis_f(opt.width_ms);
+    fc.calib_seconds = opt.calib_seconds;
+    fc.nstar_override = opt.nstar;
+    const auto rec = app::flight_record(merged, fc, shared_pool());
+    std::printf(
+        "\nflight recorder: %zu transaction(s), %llu visit(s), "
+        "%llu orphan(s)\n",
+        rec.assembly.txns.size(),
+        static_cast<unsigned long long>(rec.assembly.visits),
+        static_cast<unsigned long long>(rec.assembly.orphan_visits));
+    if (!opt.timeline_out.empty() &&
+        !app::write_timeline(opt.timeline_out, rec)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opt.timeline_out.c_str());
+      return 1;
+    }
+    if (!opt.attribution_out.empty() &&
+        !core::write_attribution_ndjson(opt.attribution_out,
+                                        rec.attribution)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opt.attribution_out.c_str());
+      return 1;
+    }
+  }
+
   // ---- observability export ---------------------------------------------------
   if (!opt.trace_out.empty() || !opt.metrics_out.empty() ||
       !opt.prom_out.empty()) {
@@ -283,6 +343,9 @@ int main(int argc, char** argv) {
       info.config.emplace_back("auto_width", opt.auto_width ? "true" : "false");
       info.config.emplace_back("calib_seconds",
                                std::to_string(opt.calib_seconds));
+      if (flight) {
+        info.config.emplace_back("nstar_override", std::to_string(opt.nstar));
+      }
       std::string files;
       for (const auto& f : opt.files) {
         if (!files.empty()) files += " ";
