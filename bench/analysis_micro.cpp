@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/detector.h"
+#include "core/fused_sweep.h"
 #include "trace/reconstructor.h"
 #include "util/rng.h"
 
@@ -67,6 +68,23 @@ void BM_ThroughputNormalization(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_ThroughputNormalization)->Arg(100'000)->Arg(1'000'000);
+
+// The fused single pass must beat BM_LoadCalculation + BM_ThroughputNormalization
+// at the same record count (it traverses the record array once).
+void BM_FusedLoadThroughput(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto log = synth_log(n, 60.0, 2);
+  const auto table = synth_table();
+  const auto spec = core::IntervalSpec::over(
+      TimePoint::origin(), TimePoint::origin() + 60_s, 50_ms);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_load_throughput(
+        log, spec, table, core::ThroughputOptions{}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FusedLoadThroughput)->Arg(100'000)->Arg(1'000'000);
 
 void BM_CongestionPointEstimation(benchmark::State& state) {
   const auto samples = static_cast<std::size_t>(state.range(0));

@@ -43,8 +43,7 @@ REQUIRED_STAGES = {
     "analyze.server",
     "analyze.calibrate",
     "analyze.report",
-    "detector.load_calc",
-    "detector.throughput_calc",
+    "detector.load_tput_sweep",
     "detector.fit_n_star",
     "detector.classify",
     "detector.episodes",

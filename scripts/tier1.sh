@@ -75,4 +75,29 @@ python3 scripts/check_obs_output.py \
   --timeline "$obs_tmp/timeline.json" --require-crossing \
   --attribution "$obs_tmp/attribution.ndjson"
 
+echo "== tier-1: ingestion smoke =="
+# CSV -> TBDR -> CSV must round-trip byte-identically (the canonical CSV on
+# both sides comes from the same batched writer), and tbd_analyze must
+# produce the same report from either encoding of the same log. The
+# "loaded ..." line names the input file, so it is filtered before cmp.
+./build/tools/tbd_convert scripts/testdata/tiny_log.csv \
+  "$obs_tmp/tiny.tbdr" >/dev/null
+./build/tools/tbd_convert "$obs_tmp/tiny.tbdr" \
+  "$obs_tmp/tiny_roundtrip.csv" >/dev/null
+./build/tools/tbd_convert scripts/testdata/tiny_log.csv \
+  "$obs_tmp/tiny_canonical.csv" >/dev/null
+cmp "$obs_tmp/tiny_roundtrip.csv" "$obs_tmp/tiny_canonical.csv"
+./build/tools/tbd_analyze --width 50 scripts/testdata/tiny_log.csv \
+  | grep -v '^loaded ' > "$obs_tmp/report_csv.txt"
+./build/tools/tbd_analyze --width 50 "$obs_tmp/tiny.tbdr" \
+  | grep -v '^loaded ' > "$obs_tmp/report_bin.txt"
+cmp "$obs_tmp/report_csv.txt" "$obs_tmp/report_bin.txt"
+# The sharded CSV loader must be order-preserving: identical analysis at any
+# thread count.
+TBD_THREADS=1 ./build/tools/tbd_analyze --width 50 \
+  scripts/testdata/tiny_log.csv > "$obs_tmp/report_t1.txt"
+TBD_THREADS=4 ./build/tools/tbd_analyze --width 50 \
+  scripts/testdata/tiny_log.csv > "$obs_tmp/report_t4.txt"
+cmp "$obs_tmp/report_t1.txt" "$obs_tmp/report_t4.txt"
+
 echo "== tier-1: OK =="

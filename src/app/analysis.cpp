@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "core/report.h"
+#include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/thread_pool.h"
 
@@ -20,6 +21,11 @@ SystemAnalysis analyze_system(const ExperimentResult& result,
   // per-server detections fan out across the pool; slot s of the output is
   // always server s, independent of scheduling.
   analysis.detections.resize(result.logs.size());
+  std::size_t total_records = 0;
+  for (const auto& log : result.logs) total_records += log.size();
+  obs::Registry::global()
+      .counter("analysis_records_total")
+      .add(total_records);
   {
     TBD_SPAN("analysis.detect_servers");
     shared_pool().parallel_for_indexed(result.logs.size(), [&](std::size_t s) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/fused_sweep.h"
 #include "obs/span.h"
 
 namespace tbd::core {
@@ -88,13 +89,13 @@ DetectionResult detect_bottlenecks(std::span<const trace::RequestRecord> records
   DetectionResult result;
   result.spec = spec;
   {
-    TBD_SPAN("detector.load_calc");
-    result.load = compute_load(records, spec);
-  }
-  {
-    TBD_SPAN("detector.throughput_calc");
-    result.throughput =
-        compute_throughput(records, spec, service_times, config.throughput);
+    // One fused pass over the record array replaces the separate load and
+    // throughput traversals; the outputs are bit-identical (sweep_detail.h).
+    TBD_SPAN("detector.load_tput_sweep");
+    auto series =
+        compute_load_throughput(records, spec, service_times, config.throughput);
+    result.load = std::move(series.load);
+    result.throughput = std::move(series.throughput);
   }
   {
     TBD_SPAN("detector.fit_n_star");

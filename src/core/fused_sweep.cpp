@@ -1,0 +1,16 @@
+#include "core/fused_sweep.h"
+
+#include "core/sweep_detail.h"
+
+namespace tbd::core {
+
+LoadThroughput compute_load_throughput(
+    std::span<const trace::RequestRecord> records, const IntervalSpec& spec,
+    const ServiceTimeTable& table, const ThroughputOptions& options) {
+  LoadThroughput out;
+  detail::sweep_load_throughput<true, true>(records, spec, &table, &options,
+                                            &out.load, &out.throughput);
+  return out;
+}
+
+}  // namespace tbd::core

@@ -1,0 +1,31 @@
+// Fused load + throughput sweep (Sections III-A and III-B in one pass).
+//
+// detect_bottlenecks needs both per-interval series over the same grid; the
+// separate calculators each traverse the full record array. This entry point
+// produces both vectors in a single traversal — bit-identical to
+// compute_load / compute_throughput (they are instantiations of the same
+// template, see sweep_detail.h), at roughly the cost of the load sweep
+// alone, since the throughput binning rides along in the clipping loop.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/intervals.h"
+#include "core/throughput_calculator.h"
+#include "trace/records.h"
+
+namespace tbd::core {
+
+struct LoadThroughput {
+  std::vector<double> load;
+  std::vector<double> throughput;
+};
+
+/// Per-interval average concurrency and throughput, computed in one pass.
+/// Identical output to calling compute_load and compute_throughput.
+[[nodiscard]] LoadThroughput compute_load_throughput(
+    std::span<const trace::RequestRecord> records, const IntervalSpec& spec,
+    const ServiceTimeTable& table, const ThroughputOptions& options = {});
+
+}  // namespace tbd::core

@@ -1,61 +1,14 @@
 #include "core/load_calculator.h"
 
-#include <algorithm>
+#include "core/sweep_detail.h"
 
 namespace tbd::core {
 
 std::vector<double> compute_load(std::span<const trace::RequestRecord> records,
                                  const IntervalSpec& spec) {
-  std::vector<double> load(spec.count, 0.0);
-  if (spec.count == 0) return load;
-  const TimePoint grid_end = spec.end();
-
-  // Concurrency change points, clipped to the grid.
-  struct Edge {
-    TimePoint at;
-    int delta;
-  };
-  std::vector<Edge> edges;
-  edges.reserve(records.size() * 2);
-  std::size_t spanning = 0;  // active across the whole grid (no edges inside)
-  for (const auto& r : records) {
-    if (r.departure <= spec.start || r.arrival >= grid_end) continue;
-    const TimePoint a = std::max(r.arrival, spec.start);
-    const TimePoint d = std::min(r.departure, grid_end);
-    if (a == spec.start && d == grid_end && r.arrival < spec.start &&
-        r.departure > grid_end) {
-      ++spanning;
-      continue;
-    }
-    edges.push_back(Edge{a, +1});
-    edges.push_back(Edge{d, -1});
-  }
-  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
-    if (x.at != y.at) return x.at < y.at;
-    return x.delta < y.delta;  // departures before arrivals at the same tick
-  });
-
-  // Sweep, accumulating concurrency * dt into the interval cells.
-  double conc = static_cast<double>(spanning);
-  TimePoint cursor = spec.start;
-  std::size_t cell = 0;
-  auto accumulate_until = [&](TimePoint until) {
-    while (cursor < until) {
-      const TimePoint cell_end = spec.interval_start(cell) + spec.width;
-      const TimePoint seg_end = std::min(until, cell_end);
-      load[cell] += conc * static_cast<double>((seg_end - cursor).micros());
-      cursor = seg_end;
-      if (cursor == cell_end && cell + 1 < spec.count) ++cell;
-    }
-  };
-  for (const auto& e : edges) {
-    accumulate_until(e.at);
-    conc += e.delta;
-  }
-  accumulate_until(grid_end);
-
-  const auto width_us = static_cast<double>(spec.width.micros());
-  for (double& v : load) v /= width_us;
+  std::vector<double> load;
+  detail::sweep_load_throughput<true, false>(records, spec, nullptr, nullptr,
+                                             &load, nullptr);
   return load;
 }
 

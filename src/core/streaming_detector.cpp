@@ -73,6 +73,11 @@ void StreamingDetector::push(const trace::RequestRecord& record) {
   }
 }
 
+void StreamingDetector::push_batch(
+    std::span<const trace::RequestRecord> records) {
+  for (const auto& r : records) push(r);
+}
+
 void StreamingDetector::seal_up_to(std::size_t index) {
   const double width_us = static_cast<double>(config_.width.micros());
   const double width_s = config_.width.seconds_f();

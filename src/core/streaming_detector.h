@@ -13,6 +13,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/congestion_point.h"
@@ -51,6 +52,10 @@ class StreamingDetector {
   /// be non-decreasing; out-of-order records within `lag` are fine,
   /// anything older is dropped and counted.
   void push(const trace::RequestRecord& record);
+
+  /// Feeds a chunk of records in order — e.g. one ingest shard or one
+  /// fused-sweep batch. Equivalent to calling push() per record.
+  void push_batch(std::span<const trace::RequestRecord> records);
 
   /// Seals everything up to the high-water mark (end of stream).
   void finish();

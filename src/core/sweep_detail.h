@@ -1,0 +1,127 @@
+// Shared single-pass core of load and throughput calculation.
+//
+// compute_load (Section III-A), compute_throughput (Section III-B), and the
+// fused compute_load_throughput are three instantiations of ONE template so
+// the fused sweep is bit-identical to the separate calculators by
+// construction: for each enabled output the same statements execute in the
+// same order on the same values, and the disabled half is compiled away
+// (compute_throughput never builds or sorts the edge array; compute_load
+// never touches the service-time table).
+//
+// The fusion is what makes trace->detector a single pass over the record
+// array: one traversal clips each record's [arrival, departure) against the
+// grid AND bins its completed work units, instead of the detector walking
+// the full record array twice.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "core/intervals.h"
+#include "core/throughput_calculator.h"
+#include "trace/records.h"
+
+namespace tbd::core::detail {
+
+template <bool kLoad, bool kTput>
+void sweep_load_throughput(std::span<const trace::RequestRecord> records,
+                           const IntervalSpec& spec,
+                           const ServiceTimeTable* table,
+                           const ThroughputOptions* options,
+                           std::vector<double>* load_out,
+                           std::vector<double>* tput_out) {
+  if constexpr (kLoad) load_out->assign(spec.count, 0.0);
+  if constexpr (kTput) tput_out->assign(spec.count, 0.0);
+  if (spec.count == 0) return;
+  const TimePoint grid_end = spec.end();
+
+  double unit_us = 0.0;
+  if constexpr (kTput) {
+    unit_us = options->work_unit_us;
+    if (options->mode == ThroughputMode::kNormalizedWorkUnits &&
+        unit_us <= 0.0) {
+      unit_us = table->min_service_us();
+      assert(unit_us > 0.0 && "service-time table is empty");
+    }
+  }
+
+  // Concurrency change points, clipped to the grid.
+  struct Edge {
+    TimePoint at;
+    int delta;
+  };
+  std::vector<Edge> edges;
+  std::size_t spanning = 0;  // active across the whole grid (no edges inside)
+  if constexpr (kLoad) edges.reserve(records.size() * 2);
+
+  for (const auto& r : records) {
+    if constexpr (kTput) {
+      // A request counts in the interval containing its departure.
+      if (spec.contains(r.departure)) {
+        const std::size_t idx = spec.index_of(r.departure);
+        if (options->mode == ThroughputMode::kRequestsCompleted) {
+          (*tput_out)[idx] += 1.0;
+        } else {
+          // A request transforms into round(service/unit) work units, >= 1.
+          const double service = table->service_us(r.class_id);
+          const double units = std::max(1.0, std::round(service / unit_us));
+          (*tput_out)[idx] += units;
+        }
+      }
+    }
+    if constexpr (kLoad) {
+      if (r.departure <= spec.start || r.arrival >= grid_end) continue;
+      const TimePoint a = std::max(r.arrival, spec.start);
+      const TimePoint d = std::min(r.departure, grid_end);
+      if (a == spec.start && d == grid_end && r.arrival < spec.start &&
+          r.departure > grid_end) {
+        ++spanning;
+        continue;
+      }
+      edges.push_back(Edge{a, +1});
+      edges.push_back(Edge{d, -1});
+    }
+  }
+
+  if constexpr (kLoad) {
+    std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+      if (x.at != y.at) return x.at < y.at;
+      return x.delta < y.delta;  // departures before arrivals at the same tick
+    });
+
+    // Sweep, accumulating concurrency * dt into the interval cells.
+    double conc = static_cast<double>(spanning);
+    TimePoint cursor = spec.start;
+    std::size_t cell = 0;
+    auto accumulate_until = [&](TimePoint until) {
+      while (cursor < until) {
+        const TimePoint cell_end = spec.interval_start(cell) + spec.width;
+        const TimePoint seg_end = std::min(until, cell_end);
+        (*load_out)[cell] +=
+            conc * static_cast<double>((seg_end - cursor).micros());
+        cursor = seg_end;
+        if (cursor == cell_end && cell + 1 < spec.count) ++cell;
+      }
+    };
+    for (const auto& e : edges) {
+      accumulate_until(e.at);
+      conc += e.delta;
+    }
+    accumulate_until(grid_end);
+
+    const auto width_us = static_cast<double>(spec.width.micros());
+    for (double& v : *load_out) v /= width_us;
+  }
+
+  if constexpr (kTput) {
+    if (options->per_second) {
+      const double width_s = spec.width.seconds_f();
+      for (double& v : *tput_out) v /= width_s;
+    }
+  }
+}
+
+}  // namespace tbd::core::detail

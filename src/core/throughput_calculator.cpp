@@ -1,9 +1,8 @@
 #include "core/throughput_calculator.h"
 
 #include <algorithm>
-#include <cassert>
-#include <cmath>
 
+#include "core/sweep_detail.h"
 #include "util/stats.h"
 
 namespace tbd::core {
@@ -52,32 +51,9 @@ ServiceTimeTable estimate_service_times(
 std::vector<double> compute_throughput(
     std::span<const trace::RequestRecord> records, const IntervalSpec& spec,
     const ServiceTimeTable& table, const ThroughputOptions& options) {
-  std::vector<double> tput(spec.count, 0.0);
-  if (spec.count == 0) return tput;
-
-  double unit_us = options.work_unit_us;
-  if (options.mode == ThroughputMode::kNormalizedWorkUnits && unit_us <= 0.0) {
-    unit_us = table.min_service_us();
-    assert(unit_us > 0.0 && "service-time table is empty");
-  }
-
-  for (const auto& r : records) {
-    if (!spec.contains(r.departure)) continue;
-    const std::size_t idx = spec.index_of(r.departure);
-    if (options.mode == ThroughputMode::kRequestsCompleted) {
-      tput[idx] += 1.0;
-    } else {
-      // A request transforms into round(service/unit) work units, at least 1.
-      const double service = table.service_us(r.class_id);
-      const double units = std::max(1.0, std::round(service / unit_us));
-      tput[idx] += units;
-    }
-  }
-
-  if (options.per_second) {
-    const double width_s = spec.width.seconds_f();
-    for (double& v : tput) v /= width_s;
-  }
+  std::vector<double> tput;
+  detail::sweep_load_throughput<false, true>(records, spec, &table, &options,
+                                             nullptr, &tput);
   return tput;
 }
 

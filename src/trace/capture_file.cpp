@@ -64,11 +64,13 @@ bool save_capture(const std::string& path,
 
 CaptureReadResult load_capture(const std::string& path) {
   CaptureReadResult result;
-  std::ifstream in{path, std::ios::binary};
+  std::ifstream in{path, std::ios::binary | std::ios::ate};
   if (!in.is_open()) {
     result.error = "cannot open file";
     return result;
   }
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
 
   char header[4 + 4 + 8];
   in.read(header, sizeof header);
@@ -87,6 +89,18 @@ CaptureReadResult load_capture(const std::string& path) {
     return result;
   }
   const auto count = take<std::uint64_t>(p);
+  // Validate the count against the file size BEFORE allocating: a corrupt
+  // header must not be able to over-allocate (or silently tolerate trailing
+  // junk the writer never produced).
+  const std::uint64_t payload = file_size - sizeof header;
+  if (payload / kRecordSize < count) {
+    result.error = "truncated record stream";
+    return result;
+  }
+  if (count * kRecordSize != payload) {
+    result.error = "record count disagrees with file size";
+    return result;
+  }
 
   result.messages.reserve(count);
   std::vector<char> buffer(kRecordSize);

@@ -33,7 +33,8 @@ struct CaptureReadResult {
 /// Writes the stream; returns false on I/O failure.
 bool save_capture(const std::string& path, const std::vector<Message>& messages);
 
-/// Reads a capture file back; validates magic, version, and count.
+/// Reads a capture file back; validates magic, version, and that the header
+/// count agrees with the file size (before allocating anything).
 [[nodiscard]] CaptureReadResult load_capture(const std::string& path);
 
 }  // namespace tbd::trace

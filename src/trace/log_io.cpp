@@ -1,14 +1,32 @@
 #include "trace/log_io.h"
 
+#include <algorithm>
+#include <bit>
 #include <cctype>
 #include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string_view>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "trace/mapped_file.h"
+#include "trace/request_log_file.h"
+#include "util/thread_pool.h"
 
 namespace tbd::trace {
 
 namespace {
+
+/// How much of a malformed line LogIoResult keeps as a preview.
+constexpr std::size_t kBadLinePreview = 80;
+
+/// CSV writes are staged in memory and flushed in chunks this large; the
+/// one-operator<<-per-record pattern was measurably slow on multi-million
+/// record logs.
+constexpr std::size_t kCsvFlushBytes = std::size_t{1} << 18;
 
 // Parses one CSV line into a record; returns false on malformed input.
 bool parse_line(std::string_view line, RequestRecord& out) {
@@ -38,41 +56,341 @@ bool parse_line(std::string_view line, RequestRecord& out) {
   return out.departure >= out.arrival;
 }
 
+// Fast path for the overwhelmingly common line shape the writer itself
+// produces: five bare decimal fields separated by single commas, ending at
+// '\n' (or the buffer end), no padding, no sign, no carriage return. On
+// success stores the record and returns the line terminator; on ANY
+// irregularity — spaces, '\r', extra columns, a near-overflow value, a
+// departure before its arrival — returns nullptr and the caller re-parses
+// the line through consume_line/parse_line, so the fast path can only ever
+// accept a subset of what parse_line accepts, with identical field values
+// (parse_line also reads fields as u64 and narrows by cast).
+// SWAR helpers for the fast field parser. `t` is an 8-byte chunk XORed with
+// 0x30 repeated, so decimal-digit bytes hold their value 0..9.
+// digit_boundary() returns a word whose per-byte high bit marks the bytes
+// that are NOT digits; parse8() converts eight digit bytes (first digit in
+// the lowest byte, i.e. straight from a little-endian load of the text) into
+// the 8-digit number they spell. The multiply trick is the standard
+// pairwise-merge: bytes -> 2-digit pairs, then one multiply-accumulate
+// gathers the pairs weighted 1e6/1e4/1e2/1.
+constexpr std::uint64_t kAsciiZeros = 0x3030303030303030ULL;
+
+inline std::uint64_t digit_boundary(std::uint64_t t) {
+  const std::uint64_t hi = t & 0x8080808080808080ULL;
+  const std::uint64_t lo = t & 0x7F7F7F7F7F7F7F7FULL;
+  return ((lo + 0x7676767676767676ULL) | hi) & 0x8080808080808080ULL;
+}
+
+constexpr std::uint64_t kPow10[9] = {1u,          10u,        100u,
+                                     1'000u,      10'000u,    100'000u,
+                                     1'000'000u,  10'000'000u, 100'000'000u};
+
+inline std::uint64_t parse8(std::uint64_t t) {
+  t = t * 10 + (t >> 8);  // byte 2i now holds the 2-digit pair d(2i)d(2i+1)
+  const std::uint64_t mask = 0x000000FF000000FFULL;
+  return ((t & mask) * 0x000F424000000064ULL +
+          ((t >> 16) & mask) * 0x0000271000000001ULL) >>
+         32;
+}
+
+// Parses one unsigned decimal field at `p`, stopping at the first non-digit.
+// Returns the position after the digits, or nullptr when the field is empty
+// or could overflow (the caller falls back to parse_line, which resolves
+// such lines exactly like from_chars would).
+inline const char* parse_field_fast(const char* p, const char* end,
+                                    std::uint64_t& value) {
+  // Any accumulated value above this could overflow when another 8-digit
+  // chunk (or digit) is appended; genuine u64-range values near the cut are
+  // rare enough to send down the slow path.
+  constexpr std::uint64_t kCut = (~std::uint64_t{0} - 99'999'999) / 100'000'000;
+  const char* const start = p;
+  std::uint64_t v = 0;
+  while (end - p >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    const std::uint64_t t = chunk ^ kAsciiZeros;
+    const std::uint64_t boundary = digit_boundary(t);
+    if (boundary == 0) {
+      if (v > kCut) return nullptr;
+      v = v * 100'000'000 + parse8(t);
+      p += 8;
+      continue;
+    }
+    const unsigned digits = static_cast<unsigned>(std::countr_zero(boundary)) / 8;
+    if (digits == 0) {
+      if (p == start) return nullptr;
+      value = v;
+      return p;
+    }
+    if (v > kCut) return nullptr;
+    // Shift the k digit bytes up behind leading zero bytes: parse8 weighs
+    // byte 0 heaviest, so the zeros contribute nothing and the non-digit
+    // tail bytes fall off the top of the word. One multiply replaces the
+    // k-iteration per-digit loop.
+    v = v * kPow10[digits] + parse8(t << (8 * (8 - digits)));
+    p += digits;
+    value = v;
+    return p;
+  }
+  while (p < end) {
+    const unsigned d = static_cast<unsigned char>(*p) - unsigned{'0'};
+    if (d > 9) break;
+    if (v > kCut) return nullptr;
+    v = v * 10 + d;
+    ++p;
+  }
+  if (p == start) return nullptr;
+  value = v;
+  return p;
+}
+
+const char* parse_line_fast(const char* p, const char* end,
+                            RequestRecord& out) {
+  std::uint64_t fields[5];
+  for (int f = 0; f < 5; ++f) {
+    // server and class are single digits on almost every line; peel that
+    // shape off before the chunked scan (its load+boundary machinery costs
+    // more than the whole field).
+    if (f < 2 && end - p >= 2 &&
+        static_cast<unsigned>(p[0] - '0') <= 9 && p[1] == ',') {
+      fields[f] = static_cast<unsigned>(p[0] - '0');
+      p += 2;
+      continue;
+    }
+    p = parse_field_fast(p, end, fields[f]);
+    if (p == nullptr) return nullptr;  // empty field, space, sign, overflow
+    if (f < 4) {
+      if (p >= end || *p != ',') return nullptr;
+      ++p;
+    }
+  }
+  if (p < end && *p != '\n') return nullptr;  // '\r', spaces, extra columns
+  const auto arrival = static_cast<std::int64_t>(fields[2]);
+  const auto departure = static_cast<std::int64_t>(fields[3]);
+  if (departure < arrival) return nullptr;
+  out.server = static_cast<ServerIndex>(fields[0]);
+  out.class_id = static_cast<ClassId>(fields[1]);
+  out.arrival = TimePoint::from_micros(arrival);
+  out.departure = TimePoint::from_micros(departure);
+  out.txn = fields[4];
+  return p;
+}
+
+// The canonical header fails numeric parsing like any garbage line;
+// recognize it so it is skipped without being reported as the file's first
+// malformed line.
+bool is_header_line(std::string_view line) {
+  std::size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  return line.substr(i).starts_with("server,");
+}
+
+// Classifies one line exactly like the sequential loader's loop body; both
+// readers funnel through this so they can never drift apart.
+template <typename Sink>
+void consume_line(std::string_view line, Sink& sink) {
+  if (line.empty() || line[0] == '#') {
+    ++sink.skipped;
+    return;
+  }
+  RequestRecord r;
+  if (parse_line(line, r)) {
+    sink.records.push_back(r);
+  } else {
+    ++sink.skipped;  // includes a header line, if present
+    if (sink.first_bad_line == 0 && !is_header_line(line)) {
+      sink.first_bad_line = sink.lines;
+      sink.first_bad_text = std::string{line.substr(0, kBadLinePreview)};
+    }
+  }
+}
+
+// Per-shard (or whole-file) parse state.
+struct ParseSink {
+  RequestLog records;
+  std::size_t skipped = 0;
+  std::size_t lines = 0;          // lines consumed so far (1-based current)
+  std::size_t first_bad_line = 0; // within this sink's line numbering
+  std::string first_bad_text;
+};
+
 }  // namespace
 
 LogIoResult load_request_log_csv(const std::string& path) {
   LogIoResult result;
   std::ifstream in{path};
-  if (!in.is_open()) return result;
+  if (!in.is_open()) {
+    result.error = "cannot open file";
+    return result;
+  }
   result.ok = true;
+  ParseSink sink;
   std::string line;
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') {
-      ++result.skipped_lines;
-      continue;
-    }
-    RequestRecord r;
-    if (parse_line(line, r)) {
-      result.records.push_back(r);
-    } else {
-      ++result.skipped_lines;  // includes a header line, if present
+    ++sink.lines;
+    consume_line(line, sink);
+  }
+  result.records = std::move(sink.records);
+  result.skipped_lines = sink.skipped;
+  result.first_bad_line = sink.first_bad_line;
+  result.first_bad_text = std::move(sink.first_bad_text);
+  return result;
+}
+
+LogIoResult load_request_log_csv_sharded(const std::string& path, int shards) {
+  LogIoResult result;
+  MappedFile file;
+  {
+    TBD_SPAN("ingest.read");
+    file = MappedFile::open(path);
+  }
+  if (!file.ok()) {
+    result.error = "cannot open file";
+    return result;
+  }
+  result.ok = true;
+  if (file.empty()) return result;
+  const std::string_view buffer{file.data(), file.size()};
+
+  auto& pool = shared_pool();
+  std::size_t n_shards;
+  if (shards > 0) {
+    n_shards = static_cast<std::size_t>(shards);
+  } else {
+    // Don't fan tiny files out into sub-block shards, and don't fan out past
+    // the physical cores: parsing is CPU-bound, so shards beyond that only
+    // add merge work (on a 1-core host the right shard count is 1 no matter
+    // how large TBD_THREADS is).
+    constexpr std::size_t kMinShardBytes = std::size_t{1} << 16;
+    const std::size_t cores =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    n_shards =
+        std::min({static_cast<std::size_t>(pool.size()), cores,
+                  std::max<std::size_t>(1, buffer.size() / kMinShardBytes)});
+  }
+
+  // Shard boundaries land just after a newline, so every shard holds whole
+  // lines and their concatenation in shard order is exactly the file.
+  std::vector<std::size_t> bounds(n_shards + 1, buffer.size());
+  bounds[0] = 0;
+  for (std::size_t k = 1; k < n_shards; ++k) {
+    std::size_t target = std::max(buffer.size() * k / n_shards, bounds[k - 1]);
+    const char* nl = static_cast<const char*>(
+        std::memchr(buffer.data() + target, '\n', buffer.size() - target));
+    bounds[k] = nl != nullptr
+                    ? static_cast<std::size_t>(nl - buffer.data()) + 1
+                    : buffer.size();
+  }
+
+  std::vector<ParseSink> parsed(n_shards);
+  {
+    TBD_SPAN("ingest.shard_parse");
+    pool.parallel_for_indexed(n_shards, [&](std::size_t k) {
+      TBD_SPAN("ingest.shard");
+      ParseSink& sink = parsed[k];
+      const char* p = buffer.data() + bounds[k];
+      const char* end = buffer.data() + bounds[k + 1];
+      const auto shard_bytes = static_cast<std::size_t>(end - p);
+      sink.records.reserve(shard_bytes / 16 + 1);
+      advise_huge_pages(sink.records.data(),
+                        sink.records.capacity() * sizeof(RequestRecord));
+      // Estimate the record count from the newline density of a prefix and
+      // batch-fault that much of the reservation up front; it is about half
+      // the cost of taking the page faults one by one mid-parse.
+      const std::size_t sample = std::min<std::size_t>(shard_bytes, 256 * 1024);
+      if (sample > 0) {
+        const auto sample_lines =
+            static_cast<std::size_t>(std::count(p, p + sample, '\n')) + 1;
+        const std::size_t estimated =
+            std::min(shard_bytes * sample_lines / sample + 1,
+                     sink.records.capacity());
+        populate_pages_for_write(sink.records.data(),
+                                 estimated * sizeof(RequestRecord));
+      }
+      while (p < end) {
+        ++sink.lines;
+        RequestRecord r;
+        // The fast scanner discovers the line end as a side effect, so the
+        // memchr sweep is only paid for lines it could not handle.
+        if (const char* nl = parse_line_fast(p, end, r)) {
+          sink.records.push_back(r);
+          p = nl < end ? nl + 1 : end;
+          continue;
+        }
+        const char* nl = static_cast<const char*>(
+            std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
+        const char* line_end = nl != nullptr ? nl : end;
+        consume_line(
+            std::string_view{p, static_cast<std::size_t>(line_end - p)}, sink);
+        p = nl != nullptr ? nl + 1 : end;
+      }
+    });
+  }
+
+  {
+    TBD_SPAN("ingest.merge");
+    std::size_t total = 0;
+    for (const auto& s : parsed) total += s.records.size();
+    // Adopt the first shard's vector wholesale — in the common single-shard
+    // case the merge then costs nothing — and append the rest to it.
+    result.records = std::move(parsed[0].records);
+    result.records.reserve(total);
+    std::size_t line_base = 0;
+    bool first = true;
+    for (auto& s : parsed) {
+      if (!first) {
+        result.records.insert(result.records.end(), s.records.begin(),
+                              s.records.end());
+      }
+      first = false;
+      result.skipped_lines += s.skipped;
+      if (result.first_bad_line == 0 && s.first_bad_line != 0) {
+        result.first_bad_line = line_base + s.first_bad_line;
+        result.first_bad_text = std::move(s.first_bad_text);
+      }
+      line_base += s.lines;
     }
   }
+
+  auto& registry = obs::Registry::global();
+  registry.counter("ingest_csv_bytes_total").add(buffer.size());
+  registry.counter("ingest_csv_records_total").add(result.records.size());
+  registry.counter("ingest_csv_shards_total").add(n_shards);
   return result;
+}
+
+LogIoResult load_request_log(const std::string& path) {
+  if (sniff_request_log_bin(path)) {
+    auto bin = load_request_log_bin(path);
+    LogIoResult result;
+    result.ok = bin.ok;
+    result.error = std::move(bin.error);
+    result.records = std::move(bin.records);
+    return result;
+  }
+  return load_request_log_csv_sharded(path);
 }
 
 bool save_request_log_csv(const std::string& path, const RequestLog& records) {
   std::ofstream out{path, std::ios::trunc};
   if (!out.is_open()) return false;
-  out << "server,class,arrival_us,departure_us,txn\n";
-  char buf[128];
+  std::string buffer;
+  buffer.reserve(kCsvFlushBytes + 128);
+  buffer += "server,class,arrival_us,departure_us,txn\n";
+  char line[128];
   for (const auto& r : records) {
-    std::snprintf(buf, sizeof buf, "%u,%u,%lld,%lld,%llu\n", r.server,
-                  r.class_id, static_cast<long long>(r.arrival.micros()),
-                  static_cast<long long>(r.departure.micros()),
-                  static_cast<unsigned long long>(r.txn));
-    out << buf;
+    const int n = std::snprintf(
+        line, sizeof line, "%u,%u,%lld,%lld,%llu\n", r.server, r.class_id,
+        static_cast<long long>(r.arrival.micros()),
+        static_cast<long long>(r.departure.micros()),
+        static_cast<unsigned long long>(r.txn));
+    buffer.append(line, static_cast<std::size_t>(n));
+    if (buffer.size() >= kCsvFlushBytes) {
+      out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+      buffer.clear();
+    }
   }
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
   return static_cast<bool>(out);
 }
 

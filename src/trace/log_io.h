@@ -9,6 +9,18 @@
 //
 // Header line optional. Extra columns are ignored. Lines starting with '#'
 // are comments.
+//
+// Two readers share these semantics exactly:
+//  * load_request_log_csv — the reference sequential loader (getline loop).
+//  * load_request_log_csv_sharded — the fast path: one block read, the
+//    buffer split at newline boundaries into per-thread shards parsed
+//    zero-copy (std::from_chars straight off the file buffer) on the shared
+//    pool. Output is byte-identical to the sequential loader at any shard
+//    count / TBD_THREADS (shards partition whole lines in file order).
+//
+// load_request_log is the front door used by the tools: it sniffs the
+// "TBDR" magic and dispatches to the binary reader (request_log_file.h) or
+// the sharded CSV path.
 #pragma once
 
 #include <string>
@@ -22,11 +34,26 @@ struct LogIoResult {
   RequestLog records;
   std::size_t skipped_lines = 0;  // malformed or comment lines
   bool ok = false;                // file opened and at least parsed
+  std::string error;              // why ok is false (empty when ok)
+  /// 1-based number of the first malformed line (comment lines and a
+  /// recognized "server,..." header are not malformed); 0 = none.
+  std::size_t first_bad_line = 0;
+  /// The malformed line's text, truncated to a preview-sized prefix.
+  std::string first_bad_text;
 };
 
 /// Reads a request log from `path`. Records for all servers may be mixed;
 /// filter by RequestRecord::server downstream.
 [[nodiscard]] LogIoResult load_request_log_csv(const std::string& path);
+
+/// Sharded zero-copy variant: identical result for any `shards`; <= 0
+/// resolves to the shared pool's width (capped so shards stay block-sized).
+[[nodiscard]] LogIoResult load_request_log_csv_sharded(const std::string& path,
+                                                       int shards = 0);
+
+/// Loads a request log of either encoding: binary when `path` carries the
+/// "TBDR" magic (see request_log_file.h), sharded CSV otherwise.
+[[nodiscard]] LogIoResult load_request_log(const std::string& path);
 
 /// Writes records (with header) to `path`; returns false on I/O failure.
 bool save_request_log_csv(const std::string& path, const RequestLog& records);

@@ -1,0 +1,158 @@
+// Internal: read-only byte window over a whole file.
+//
+// On POSIX hosts the window is a private mmap (MAP_POPULATE where available),
+// so loaders parse straight out of the page cache with no intermediate copy —
+// this is the "zero-copy" half of the fast ingestion path. Elsewhere, or when
+// mapping fails, the file is block-read into a heap buffer; callers see the
+// same data()/size() window either way.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define TBD_TRACE_HAVE_MMAP 1
+#endif
+
+namespace tbd::trace {
+
+/// Asks the kernel to back [data, data+size) with transparent huge pages.
+/// No-op outside Linux. The ingest loaders call this on freshly reserved
+/// multi-hundred-MB record buffers: with 4 KiB pages the first touch of such
+/// a buffer takes tens of thousands of page faults, which is a measurable
+/// fraction of the whole load at binary-format bandwidths.
+inline void advise_huge_pages(void* data, std::size_t size) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  constexpr std::uintptr_t kPage = 4096;
+  const auto addr = reinterpret_cast<std::uintptr_t>(data);
+  const std::uintptr_t begin = (addr + kPage - 1) & ~(kPage - 1);
+  const std::uintptr_t end = (addr + size) & ~(kPage - 1);
+  if (end > begin) {
+    ::madvise(reinterpret_cast<void*>(begin), end - begin, MADV_HUGEPAGE);
+  }
+#else
+  (void)data;
+  (void)size;
+#endif
+}
+
+/// Pre-faults [data, data+size) for writing in one batched kernel pass
+/// (MADV_POPULATE_WRITE; no-op where unavailable). Materializing fresh anon
+/// memory through ~40k demand faults costs roughly twice what the batched
+/// populate does on current kernels, so the loaders call this on record
+/// buffers they are about to fill. Size may be an estimate: populating too
+/// little leaves ordinary demand faulting for the rest, populating the
+/// reservation's tail merely wastes zeroed pages.
+inline void populate_pages_for_write(void* data, std::size_t size) {
+#if defined(__linux__) && defined(MADV_POPULATE_WRITE)
+  constexpr std::uintptr_t kPage = 4096;
+  const auto addr = reinterpret_cast<std::uintptr_t>(data);
+  const std::uintptr_t begin = (addr + kPage - 1) & ~(kPage - 1);
+  const std::uintptr_t end = (addr + size) & ~(kPage - 1);
+  if (end > begin) {
+    ::madvise(reinterpret_cast<void*>(begin), end - begin,
+              MADV_POPULATE_WRITE);
+  }
+#else
+  (void)data;
+  (void)size;
+#endif
+}
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    release();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    ok_ = other.ok_;
+    heap_ = std::move(other.heap_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+    other.ok_ = false;
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() { release(); }
+
+  [[nodiscard]] static MappedFile open(const std::string& path) {
+    MappedFile f;
+#if TBD_TRACE_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      struct stat st{};
+      if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+        const auto size = static_cast<std::size_t>(st.st_size);
+        if (size == 0) {
+          f.ok_ = true;
+          ::close(fd);
+          return f;
+        }
+        int flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+        flags |= MAP_POPULATE;
+#endif
+        void* map = ::mmap(nullptr, size, PROT_READ, flags, fd, 0);
+        if (map != MAP_FAILED) {
+          f.data_ = static_cast<const char*>(map);
+          f.size_ = size;
+          f.mapped_ = true;
+          f.ok_ = true;
+          ::close(fd);
+          return f;
+        }
+      }
+      ::close(fd);
+    }
+    // Fall through to the portable read below (e.g. a file system that
+    // refuses mmap); a missing file fails there too.
+#endif
+    std::ifstream in{path, std::ios::binary | std::ios::ate};
+    if (!in.is_open()) return f;
+    const auto size = static_cast<std::size_t>(in.tellg());
+    in.seekg(0);
+    if (size > 0) {
+      f.heap_.reset(new char[size]);  // uninitialized; read fills it
+      in.read(f.heap_.get(), static_cast<std::streamsize>(size));
+      if (!in) return f;
+      f.data_ = f.heap_.get();
+      f.size_ = size;
+    }
+    f.ok_ = true;
+    return f;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const char* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  void release() {
+#if TBD_TRACE_HAVE_MMAP
+    if (mapped_) ::munmap(const_cast<char*>(data_), size_);
+#endif
+    heap_.reset();
+  }
+
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  bool ok_ = false;
+  std::unique_ptr<char[]> heap_;
+};
+
+}  // namespace tbd::trace

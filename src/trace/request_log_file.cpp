@@ -1,0 +1,187 @@
+#include "trace/request_log_file.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <type_traits>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "trace/mapped_file.h"
+#include "util/thread_pool.h"
+
+namespace tbd::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'B', 'D', 'R'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 4 + 4 + 8;
+constexpr std::size_t kRecordSize = 4 + 4 + 8 + 8 + 8;
+
+/// Records per decode chunk when fanning the payload out over the pool.
+constexpr std::size_t kDecodeChunk = std::size_t{1} << 16;
+
+/// On little-endian hosts where RequestRecord's in-memory layout is exactly
+/// the wire layout (it is on every mainstream ABI), the record stream can be
+/// read/written as one bulk memcpy-style transfer instead of field-by-field
+/// scribbling — this is where the format's ~10x-over-CSV load speed comes
+/// from. The byte-wise codec below remains as the portable fallback, and
+/// both produce identical files by construction.
+constexpr bool kHostLayoutMatchesWire =
+    std::endian::native == std::endian::little &&
+    std::is_trivially_copyable_v<RequestRecord> &&
+    sizeof(RequestRecord) == kRecordSize && sizeof(TimePoint) == 8 &&
+    offsetof(RequestRecord, server) == 0 &&
+    offsetof(RequestRecord, class_id) == 4 &&
+    offsetof(RequestRecord, arrival) == 8 &&
+    offsetof(RequestRecord, departure) == 16 &&
+    offsetof(RequestRecord, txn) == 24;
+
+// Little-endian scribblers; portable regardless of host endianness.
+template <typename T>
+void put(char*& p, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    *p++ = static_cast<char>((static_cast<std::uint64_t>(value) >> (8 * i)) & 0xFF);
+  }
+}
+
+template <typename T>
+T take(const char*& p) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(*p++)) << (8 * i);
+  }
+  return static_cast<T>(v);
+}
+
+}  // namespace
+
+bool save_request_log_bin(const std::string& path, const RequestLog& records) {
+  TBD_SPAN("ingest.bin_save");
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out.is_open()) return false;
+
+  char header[kHeaderSize];
+  char* p = header;
+  std::memcpy(p, kMagic, 4);
+  p += 4;
+  put<std::uint32_t>(p, kVersion);
+  put<std::uint64_t>(p, records.size());
+  out.write(header, sizeof header);
+
+  if constexpr (kHostLayoutMatchesWire) {
+    out.write(reinterpret_cast<const char*>(records.data()),
+              static_cast<std::streamsize>(records.size() * kRecordSize));
+    return static_cast<bool>(out);
+  }
+
+  // Encode into a staging buffer flushed in large chunks; one write per
+  // record would dominate the save at production record counts.
+  constexpr std::size_t kFlushRecords = std::size_t{1} << 16;
+  std::vector<char> buffer(kFlushRecords * kRecordSize);
+  std::size_t staged = 0;
+  auto flush = [&] {
+    out.write(buffer.data(), static_cast<std::streamsize>(staged * kRecordSize));
+    staged = 0;
+  };
+  for (const RequestRecord& r : records) {
+    p = buffer.data() + staged * kRecordSize;
+    put<std::uint32_t>(p, r.server);
+    put<std::uint32_t>(p, r.class_id);
+    put<std::int64_t>(p, r.arrival.micros());
+    put<std::int64_t>(p, r.departure.micros());
+    put<std::uint64_t>(p, r.txn);
+    if (++staged == kFlushRecords) flush();
+  }
+  flush();
+  return static_cast<bool>(out);
+}
+
+RequestLogReadResult load_request_log_bin(const std::string& path) {
+  RequestLogReadResult result;
+  MappedFile file;
+  {
+    TBD_SPAN("ingest.bin_read");
+    file = MappedFile::open(path);
+  }
+  if (!file.ok()) {
+    result.error = "cannot open file";
+    return result;
+  }
+  if (file.size() < kHeaderSize) {
+    result.error = "truncated header";
+    return result;
+  }
+  if (std::memcmp(file.data(), kMagic, 4) != 0) {
+    result.error = "bad magic";
+    return result;
+  }
+  const char* p = file.data() + 4;
+  const auto version = take<std::uint32_t>(p);
+  if (version != kVersion) {
+    result.error = "unsupported version";
+    return result;
+  }
+  const auto count = take<std::uint64_t>(p);
+  // The count must agree with the file size exactly — checked BEFORE any
+  // allocation, so a corrupt header cannot over-allocate or over-read.
+  const std::size_t payload = file.size() - kHeaderSize;
+  if (payload / kRecordSize < count) {
+    result.error = "truncated record stream";
+    return result;
+  }
+  if (count * kRecordSize != payload) {
+    result.error = "record count disagrees with file size";
+    return result;
+  }
+
+  {
+    TBD_SPAN("ingest.bin_decode");
+    if constexpr (kHostLayoutMatchesWire) {
+      // The record array IS the payload: one bulk copy out of the mapping,
+      // no staging buffer, no per-field decode. assign() rather than
+      // resize()+memcpy keeps it a single pass over the fresh allocation
+      // (no zero-fill before the copy).
+      const auto* first =
+          reinterpret_cast<const RequestRecord*>(file.data() + kHeaderSize);
+      result.records.reserve(count);
+      advise_huge_pages(result.records.data(), count * sizeof(RequestRecord));
+      populate_pages_for_write(result.records.data(),
+                               count * sizeof(RequestRecord));
+      result.records.assign(first, first + count);
+    } else {
+      result.records.resize(count);
+      const std::size_t chunks = (count + kDecodeChunk - 1) / kDecodeChunk;
+      shared_pool().parallel_for_indexed(chunks, [&](std::size_t c) {
+        const std::size_t begin = c * kDecodeChunk;
+        const std::size_t end = std::min(begin + kDecodeChunk, count);
+        const char* q = file.data() + kHeaderSize + begin * kRecordSize;
+        for (std::size_t i = begin; i < end; ++i) {
+          RequestRecord& r = result.records[i];
+          r.server = take<std::uint32_t>(q);
+          r.class_id = take<std::uint32_t>(q);
+          r.arrival = TimePoint::from_micros(take<std::int64_t>(q));
+          r.departure = TimePoint::from_micros(take<std::int64_t>(q));
+          r.txn = take<std::uint64_t>(q);
+        }
+      });
+    }
+  }
+  result.ok = true;
+  obs::Registry::global().counter("ingest_bin_records_total").add(count);
+  return result;
+}
+
+bool sniff_request_log_bin(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in.is_open()) return false;
+  char magic[4];
+  in.read(magic, sizeof magic);
+  return in.gcount() == sizeof magic && std::memcmp(magic, kMagic, 4) == 0;
+}
+
+}  // namespace tbd::trace

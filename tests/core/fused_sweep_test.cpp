@@ -1,0 +1,122 @@
+// The fused sweep's contract is bit-identical equivalence with the two
+// separate calculators, so every comparison here is exact (operator== on the
+// double vectors), not approximate.
+#include "core/fused_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "core/load_calculator.h"
+#include "core/throughput_calculator.h"
+#include "util/rng.h"
+
+namespace tbd::core {
+namespace {
+
+using namespace tbd::literals;
+
+trace::RequestRecord rec(std::int64_t a, std::int64_t d, trace::ClassId c = 0) {
+  trace::RequestRecord r;
+  r.server = 0;
+  r.class_id = c;
+  r.arrival = TimePoint::from_micros(a);
+  r.departure = TimePoint::from_micros(d);
+  return r;
+}
+
+std::vector<trace::RequestRecord> random_log(std::size_t n, double horizon_us,
+                                             std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<trace::RequestRecord> log;
+  log.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double at = rng.uniform(-0.05 * horizon_us, horizon_us);
+    const double service = rng.exponential(700.0);
+    log.push_back(rec(static_cast<std::int64_t>(at),
+                      static_cast<std::int64_t>(at + service),
+                      static_cast<trace::ClassId>(rng.uniform_index(8))));
+  }
+  return log;
+}
+
+ServiceTimeTable table8() {
+  std::vector<double> us;
+  for (int c = 0; c < 8; ++c) us.push_back(150.0 + 80.0 * c);
+  return ServiceTimeTable{us};
+}
+
+void expect_bit_identical(std::span<const trace::RequestRecord> records,
+                          const IntervalSpec& spec,
+                          const ServiceTimeTable& table,
+                          const ThroughputOptions& options) {
+  const auto fused = compute_load_throughput(records, spec, table, options);
+  EXPECT_TRUE(fused.load == compute_load(records, spec));
+  EXPECT_TRUE(fused.throughput ==
+              compute_throughput(records, spec, table, options));
+  EXPECT_EQ(fused.load.size(), spec.count);
+  EXPECT_EQ(fused.throughput.size(), spec.count);
+}
+
+TEST(FusedSweepTest, MatchesSeparateCalculatorsOnRandomLogs) {
+  const auto table = table8();
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    SCOPED_TRACE(seed);
+    const auto log = random_log(5'000, 2e6, seed);
+    for (const auto width : {20_ms, 50_ms, 1_s}) {
+      const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                           TimePoint::from_micros(2'000'000),
+                                           width);
+      expect_bit_identical(log, spec, table, ThroughputOptions{});
+    }
+  }
+}
+
+TEST(FusedSweepTest, MatchesAcrossThroughputModesAndUnits) {
+  const auto table = table8();
+  const auto log = random_log(3'000, 1e6, 7);
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::from_micros(1'000'000), 50_ms);
+  for (const auto mode : {ThroughputMode::kRequestsCompleted,
+                          ThroughputMode::kNormalizedWorkUnits}) {
+    for (const bool per_second : {true, false}) {
+      for (const double unit : {0.0, 333.0}) {
+        SCOPED_TRACE(static_cast<int>(mode));
+        ThroughputOptions options;
+        options.mode = mode;
+        options.per_second = per_second;
+        options.work_unit_us = unit;
+        expect_bit_identical(log, spec, table, options);
+      }
+    }
+  }
+}
+
+TEST(FusedSweepTest, MatchesOnGridEdgeCases) {
+  const auto table = table8();
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::from_micros(200'000), 50_ms);
+  const std::vector<trace::RequestRecord> log{
+      rec(0, 0),                    // zero-length at the grid start
+      rec(-10'000, 300'000),        // spans the whole grid
+      rec(-5'000, -1),              // entirely before
+      rec(200'000, 250'000),        // departs at/after the grid end
+      rec(49'999, 50'000),          // straddles an interval edge
+      rec(150'000, 150'000, 3),     // zero-length on an interior edge
+      rec(199'999, 200'000),        // departure == spec.end()
+  };
+  expect_bit_identical(log, spec, table, ThroughputOptions{});
+}
+
+TEST(FusedSweepTest, MatchesOnEmptyInputs) {
+  const auto table = table8();
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::from_micros(100'000), 50_ms);
+  expect_bit_identical({}, spec, table, ThroughputOptions{});
+
+  IntervalSpec empty;
+  empty.count = 0;
+  const auto log = random_log(100, 1e5, 9);
+  expect_bit_identical(log, empty, table, ThroughputOptions{});
+}
+
+}  // namespace
+}  // namespace tbd::core

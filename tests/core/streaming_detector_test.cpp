@@ -104,6 +104,36 @@ TEST(StreamingDetectorTest, FreezeClassifiedFrozen) {
   EXPECT_EQ(states[2], IntervalState::kFrozen);  // [100,150): load, no output
 }
 
+TEST(StreamingDetectorTest, PushBatchMatchesPushLoop) {
+  std::vector<trace::RequestRecord> records;
+  for (std::int64_t t = 0; t < 500'000; t += 700) {
+    records.push_back(rec(t, t + 1500));
+  }
+  ServiceTimeTable table{{1000.0}};
+
+  StreamingDetector one_by_one{TimePoint::origin(), config50(), nstar(5, 2000),
+                               table};
+  std::vector<double> loads_loop;
+  one_by_one.on_interval([&](std::size_t, double load, double, IntervalState) {
+    loads_loop.push_back(load);
+  });
+  for (const auto& r : records) one_by_one.push(r);
+  one_by_one.finish();
+
+  StreamingDetector batched{TimePoint::origin(), config50(), nstar(5, 2000),
+                            table};
+  std::vector<double> loads_batch;
+  batched.on_interval([&](std::size_t, double load, double, IntervalState) {
+    loads_batch.push_back(load);
+  });
+  batched.push_batch(records);
+  batched.finish();
+
+  EXPECT_TRUE(loads_batch == loads_loop);
+  EXPECT_EQ(batched.intervals_emitted(), one_by_one.intervals_emitted());
+  EXPECT_EQ(batched.dropped_records(), one_by_one.dropped_records());
+}
+
 TEST(StreamingDetectorTest, LateRecordsAreDroppedNotCrashing) {
   StreamingDetector stream{TimePoint::origin(), config50(), nstar(5, 1000),
                            ServiceTimeTable{{1000.0}}};

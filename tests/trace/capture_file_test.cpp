@@ -90,6 +90,52 @@ TEST_F(CaptureFileTest, RejectsTruncatedStream) {
   EXPECT_EQ(loaded.error, "truncated record stream");
 }
 
+TEST_F(CaptureFileTest, RejectsUnsupportedVersion) {
+  ASSERT_TRUE(save_capture(path_, {}));
+  std::ifstream in{path_, std::ios::binary};
+  std::string data{std::istreambuf_iterator<char>{in}, {}};
+  in.close();
+  data[4] = 9;  // version field, little-endian u32 at offset 4
+  std::ofstream out{path_, std::ios::binary | std::ios::trunc};
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.close();
+
+  const auto loaded = load_capture(path_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_EQ(loaded.error, "unsupported version");
+}
+
+// Trailing junk after the declared records means the count and the file size
+// disagree: refuse rather than silently ignore the extra bytes.
+TEST_F(CaptureFileTest, RejectsCountDisagreeingWithFileSize) {
+  Rng rng{13};
+  ASSERT_TRUE(save_capture(path_, {random_message(rng)}));
+  {
+    std::ofstream out{path_, std::ios::binary | std::ios::app};
+    out << "junk";
+  }
+  const auto loaded = load_capture(path_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_EQ(loaded.error, "record count disagrees with file size");
+}
+
+// A header count far beyond the payload must fail before any allocation.
+TEST_F(CaptureFileTest, RejectsHeaderCountLargerThanFile) {
+  Rng rng{17};
+  ASSERT_TRUE(save_capture(path_, {random_message(rng)}));
+  std::ifstream in{path_, std::ios::binary};
+  std::string data{std::istreambuf_iterator<char>{in}, {}};
+  in.close();
+  data[11] = '\x7f';  // count's fourth byte: claims ~2^31 records
+  std::ofstream out{path_, std::ios::binary | std::ios::trunc};
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.close();
+
+  const auto loaded = load_capture(path_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_EQ(loaded.error, "truncated record stream");
+}
+
 TEST_F(CaptureFileTest, MissingFileReportsError) {
   const auto loaded = load_capture("/nonexistent/file.tbdc");
   EXPECT_FALSE(loaded.ok);

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <iterator>
+#include <string>
 
 namespace tbd::trace {
 namespace {
@@ -77,6 +80,160 @@ TEST_F(LogIoTest, EmptyLogRoundTrips) {
   const auto loaded = load_request_log_csv(path_);
   EXPECT_TRUE(loaded.ok);
   EXPECT_TRUE(loaded.records.empty());
+}
+
+TEST_F(LogIoTest, ReportsFirstMalformedLine) {
+  {
+    std::ofstream out{path_};
+    out << "# comment\n";
+    out << "server,class,arrival_us,departure_us,txn\n";  // header: not bad
+    out << "0,1,100,200,7\n";
+    out << "gar bage line that is definitely not a record\n";  // line 4
+    out << "2,2,500,400,9\n";  // departure < arrival: also malformed
+  }
+  const auto loaded = load_request_log_csv(path_);
+  ASSERT_TRUE(loaded.ok);
+  EXPECT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(loaded.skipped_lines, 4u);
+  EXPECT_EQ(loaded.first_bad_line, 4u);
+  EXPECT_EQ(loaded.first_bad_text, "gar bage line that is definitely not a record");
+}
+
+TEST_F(LogIoTest, DepartureBeforeArrivalIsTheFirstBadLine) {
+  {
+    std::ofstream out{path_};
+    out << "server,class,arrival_us,departure_us,txn\n";
+    out << "2,2,500,400,9\n";  // line 2: departure < arrival
+  }
+  const auto loaded = load_request_log_csv(path_);
+  EXPECT_EQ(loaded.first_bad_line, 2u);
+  EXPECT_EQ(loaded.first_bad_text, "2,2,500,400,9");
+}
+
+TEST_F(LogIoTest, CleanFileReportsNoBadLine) {
+  ASSERT_TRUE(save_request_log_csv(path_, {rec(0, 3, 1000, 2500, 42)}));
+  const auto loaded = load_request_log_csv(path_);
+  EXPECT_EQ(loaded.first_bad_line, 0u);
+  EXPECT_TRUE(loaded.first_bad_text.empty());
+}
+
+TEST_F(LogIoTest, TruncatesLongBadLines) {
+  {
+    std::ofstream out{path_};
+    out << "x" << std::string(200, 'y') << "\n";
+  }
+  const auto loaded = load_request_log_csv(path_);
+  EXPECT_EQ(loaded.first_bad_line, 1u);
+  EXPECT_EQ(loaded.first_bad_text.size(), 80u);
+}
+
+// The batched writer's output is pinned byte for byte: downstream tooling
+// cmp-compares canonical CSVs across conversions and thread counts.
+TEST_F(LogIoTest, SaveOutputIsByteIdenticalGolden) {
+  RequestLog log{rec(0, 3, 1000, 2500, 42), rec(5, 1, 7, 9, 43),
+                 rec(2, 0, 0, 0, 0)};
+  ASSERT_TRUE(save_request_log_csv(path_, log));
+  std::ifstream in{path_, std::ios::binary};
+  std::string text{std::istreambuf_iterator<char>{in}, {}};
+  EXPECT_EQ(text,
+            "server,class,arrival_us,departure_us,txn\n"
+            "0,3,1000,2500,42\n"
+            "5,1,7,9,43\n"
+            "2,0,0,0,0\n");
+}
+
+// A save large enough to cross the writer's internal flush boundary must
+// still round-trip every record.
+TEST_F(LogIoTest, LargeSaveRoundTrips) {
+  RequestLog log;
+  for (std::int64_t i = 0; i < 20'000; ++i) {
+    log.push_back(rec(static_cast<ServerIndex>(i % 7), 1, i * 10, i * 10 + 5,
+                      static_cast<TxnId>(i)));
+  }
+  ASSERT_TRUE(save_request_log_csv(path_, log));
+  const auto loaded = load_request_log_csv(path_);
+  ASSERT_EQ(loaded.records.size(), log.size());
+  EXPECT_EQ(loaded.records.back().arrival.micros(), log.back().arrival.micros());
+}
+
+// --- sharded loader ---------------------------------------------------------
+
+void expect_same_result(const LogIoResult& a, const LogIoResult& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.skipped_lines, b.skipped_lines);
+  EXPECT_EQ(a.first_bad_line, b.first_bad_line);
+  EXPECT_EQ(a.first_bad_text, b.first_bad_text);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  if (!a.records.empty()) {
+    EXPECT_EQ(std::memcmp(a.records.data(), b.records.data(),
+                          a.records.size() * sizeof(RequestRecord)),
+              0);
+  }
+}
+
+TEST_F(LogIoTest, ShardedMatchesSequentialAtAnyShardCount) {
+  {
+    std::ofstream out{path_};
+    out << "# comment\n";
+    out << "server,class,arrival_us,departure_us,txn\n";
+    for (int i = 0; i < 997; ++i) {
+      out << i % 5 << "," << i % 3 << "," << i * 100 << "," << i * 100 + 50
+          << "," << i << "\n";
+    }
+    out << "broken line\n";
+    out << "4,1,10,20,30\n";
+  }
+  const auto seq = load_request_log_csv(path_);
+  ASSERT_TRUE(seq.ok);
+  ASSERT_EQ(seq.records.size(), 998u);
+  EXPECT_EQ(seq.first_bad_line, 1000u);
+  for (const int shards : {1, 2, 3, 7, 16, 64}) {
+    SCOPED_TRACE(shards);
+    expect_same_result(load_request_log_csv_sharded(path_, shards), seq);
+  }
+}
+
+TEST_F(LogIoTest, ShardedHandlesMissingTrailingNewline) {
+  {
+    std::ofstream out{path_};
+    out << "0,1,100,200,7\n";
+    out << "1,2,300,400,8";  // no trailing newline
+  }
+  const auto seq = load_request_log_csv(path_);
+  ASSERT_EQ(seq.records.size(), 2u);
+  for (const int shards : {1, 2, 5}) {
+    SCOPED_TRACE(shards);
+    expect_same_result(load_request_log_csv_sharded(path_, shards), seq);
+  }
+}
+
+TEST_F(LogIoTest, ShardedHandlesEmptyAndCommentOnlyFiles) {
+  {
+    std::ofstream out{path_};
+  }
+  expect_same_result(load_request_log_csv_sharded(path_, 4),
+                     load_request_log_csv(path_));
+  {
+    std::ofstream out{path_, std::ios::trunc};
+    out << "# only\n# comments\n";
+  }
+  expect_same_result(load_request_log_csv_sharded(path_, 4),
+                     load_request_log_csv(path_));
+}
+
+TEST_F(LogIoTest, ShardedMissingFileReportsNotOk) {
+  const auto loaded = load_request_log_csv_sharded("/nonexistent/f.csv", 4);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_EQ(loaded.error, "cannot open file");
+}
+
+TEST_F(LogIoTest, AutoFrontDoorReadsCsv) {
+  RequestLog log{rec(0, 3, 1000, 2500, 42)};
+  ASSERT_TRUE(save_request_log_csv(path_, log));
+  const auto loaded = load_request_log(path_);
+  ASSERT_TRUE(loaded.ok);
+  ASSERT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(loaded.records[0].txn, 42u);
 }
 
 }  // namespace

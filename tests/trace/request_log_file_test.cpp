@@ -1,0 +1,179 @@
+#include "trace/request_log_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "trace/log_io.h"
+
+namespace tbd::trace {
+namespace {
+
+class RequestLogFileTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/tbd_request_log_test.tbdr";
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string read_bytes() const {
+    std::ifstream in{path_, std::ios::binary};
+    return {std::istreambuf_iterator<char>{in}, {}};
+  }
+
+  void write_bytes(const std::string& bytes) const {
+    std::ofstream out{path_, std::ios::binary | std::ios::trunc};
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+};
+
+RequestRecord rec(ServerIndex s, ClassId c, std::int64_t a, std::int64_t d,
+                  TxnId txn) {
+  RequestRecord r;
+  r.server = s;
+  r.class_id = c;
+  r.arrival = TimePoint::from_micros(a);
+  r.departure = TimePoint::from_micros(d);
+  r.txn = txn;
+  return r;
+}
+
+TEST_F(RequestLogFileTest, RoundTripPreservesEveryField) {
+  RequestLog log{rec(0, 3, 1000, 2500, 42), rec(5, 1, -7, 9, 43),
+                 rec(4'000'000'000u, 255, 0, 0, ~0ull)};
+  ASSERT_TRUE(save_request_log_bin(path_, log));
+  const auto loaded = load_request_log_bin(path_);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  ASSERT_EQ(loaded.records.size(), log.size());
+  EXPECT_EQ(std::memcmp(loaded.records.data(), log.data(),
+                        log.size() * sizeof(RequestRecord)),
+            0);
+}
+
+TEST_F(RequestLogFileTest, EmptyLogRoundTrips) {
+  ASSERT_TRUE(save_request_log_bin(path_, {}));
+  const auto loaded = load_request_log_bin(path_);
+  EXPECT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_TRUE(loaded.records.empty());
+}
+
+TEST_F(RequestLogFileTest, FileSizeIsHeaderPlusPackedRecords) {
+  RequestLog log;
+  for (int i = 0; i < 100; ++i) log.push_back(rec(1, 2, i, i + 1, i));
+  ASSERT_TRUE(save_request_log_bin(path_, log));
+  EXPECT_EQ(std::filesystem::file_size(path_), 16u + 32u * 100u);
+}
+
+TEST_F(RequestLogFileTest, LargeLogCrossesFlushAndDecodeChunks) {
+  RequestLog log;
+  for (std::int64_t i = 0; i < 200'000; ++i) {
+    log.push_back(rec(static_cast<ServerIndex>(i % 5), 1, i * 3, i * 3 + 2,
+                      static_cast<TxnId>(i)));
+  }
+  ASSERT_TRUE(save_request_log_bin(path_, log));
+  const auto loaded = load_request_log_bin(path_);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  ASSERT_EQ(loaded.records.size(), log.size());
+  EXPECT_EQ(std::memcmp(loaded.records.data(), log.data(),
+                        log.size() * sizeof(RequestRecord)),
+            0);
+}
+
+TEST_F(RequestLogFileTest, MissingFileReportsNotOk) {
+  const auto loaded = load_request_log_bin("/nonexistent/dir/log.tbdr");
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_EQ(loaded.error, "cannot open file");
+}
+
+TEST_F(RequestLogFileTest, RejectsTruncatedHeader) {
+  write_bytes("TBDR\x01");
+  const auto loaded = load_request_log_bin(path_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_EQ(loaded.error, "truncated header");
+}
+
+TEST_F(RequestLogFileTest, RejectsBadMagic) {
+  ASSERT_TRUE(save_request_log_bin(path_, {rec(0, 1, 10, 20, 1)}));
+  auto bytes = read_bytes();
+  bytes[0] = 'X';
+  write_bytes(bytes);
+  const auto loaded = load_request_log_bin(path_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_EQ(loaded.error, "bad magic");
+}
+
+TEST_F(RequestLogFileTest, RejectsUnsupportedVersion) {
+  ASSERT_TRUE(save_request_log_bin(path_, {rec(0, 1, 10, 20, 1)}));
+  auto bytes = read_bytes();
+  bytes[4] = 99;  // version field, little-endian u32 at offset 4
+  write_bytes(bytes);
+  const auto loaded = load_request_log_bin(path_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_EQ(loaded.error, "unsupported version");
+}
+
+TEST_F(RequestLogFileTest, RejectsTruncatedRecordStream) {
+  ASSERT_TRUE(save_request_log_bin(
+      path_, {rec(0, 1, 10, 20, 1), rec(0, 1, 30, 40, 2)}));
+  const auto bytes = read_bytes();
+  write_bytes(bytes.substr(0, bytes.size() - 7));
+  const auto loaded = load_request_log_bin(path_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_EQ(loaded.error, "truncated record stream");
+}
+
+// A header claiming far more records than the file holds must fail the size
+// check up front rather than allocating for the bogus count.
+TEST_F(RequestLogFileTest, RejectsHeaderCountLargerThanFile) {
+  ASSERT_TRUE(save_request_log_bin(path_, {rec(0, 1, 10, 20, 1)}));
+  auto bytes = read_bytes();
+  bytes[11] = '\x7f';  // count's high-ish byte: claims ~2^31 records
+  write_bytes(bytes);
+  const auto loaded = load_request_log_bin(path_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_EQ(loaded.error, "truncated record stream");
+}
+
+TEST_F(RequestLogFileTest, RejectsHeaderCountSmallerThanFile) {
+  ASSERT_TRUE(save_request_log_bin(
+      path_, {rec(0, 1, 10, 20, 1), rec(0, 1, 30, 40, 2)}));
+  auto bytes = read_bytes();
+  bytes[8] = 1;  // count says 1 record, payload holds 2
+  write_bytes(bytes);
+  const auto loaded = load_request_log_bin(path_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_EQ(loaded.error, "record count disagrees with file size");
+}
+
+TEST_F(RequestLogFileTest, SniffsMagic) {
+  ASSERT_TRUE(save_request_log_bin(path_, {}));
+  EXPECT_TRUE(sniff_request_log_bin(path_));
+  write_bytes("server,class,arrival_us,departure_us,txn\n");
+  EXPECT_FALSE(sniff_request_log_bin(path_));
+  EXPECT_FALSE(sniff_request_log_bin("/nonexistent/log.tbdr"));
+}
+
+// The auto-detecting front door routes TBDR files to the binary reader and
+// everything else to the sharded CSV reader.
+TEST_F(RequestLogFileTest, AutoFrontDoorReadsBinary) {
+  RequestLog log{rec(3, 2, 100, 300, 77)};
+  ASSERT_TRUE(save_request_log_bin(path_, log));
+  const auto loaded = load_request_log(path_);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  ASSERT_EQ(loaded.records.size(), 1u);
+  EXPECT_EQ(loaded.records[0].txn, 77u);
+  EXPECT_EQ(loaded.skipped_lines, 0u);
+}
+
+TEST_F(RequestLogFileTest, AutoFrontDoorPropagatesBinaryErrors) {
+  write_bytes("TBDR");  // magic sniffs as binary, then header is truncated
+  const auto loaded = load_request_log(path_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_EQ(loaded.error, "truncated header");
+}
+
+}  // namespace
+}  // namespace tbd::trace

@@ -1,12 +1,14 @@
-// tbd_analyze: command-line transient-bottleneck analysis of request-log
-// CSVs (the operator-facing entry point; no simulator involved).
+// tbd_analyze: command-line transient-bottleneck analysis of request logs
+// (the operator-facing entry point; no simulator involved).
 //
 // Usage:
-//   tbd_analyze [options] LOG.csv [LOG2.csv ...]
+//   tbd_analyze [options] LOG.csv [LOG2.tbdr ...]
 //
-// Each CSV holds per-server request records (see trace/log_io.h for the
-// format: server,class,arrival_us,departure_us,txn). Records from multiple
-// files are merged; analysis runs per server index found in the data.
+// Each input holds per-server request records — CSV (trace/log_io.h:
+// server,class,arrival_us,departure_us,txn) or the "TBDR" binary format
+// (trace/request_log_file.h); the encoding is auto-detected per file, CSVs
+// take the sharded zero-copy parse path. Records from multiple files are
+// merged; analysis runs per server index found in the data.
 //
 // Options:
 //   --width MS        analysis interval in milliseconds (default 50)
@@ -167,10 +169,16 @@ int main(int argc, char** argv) {
   {
     TBD_SPAN("analyze.load_logs");
     for (const auto& path : opt.files) {
-      const auto loaded = trace::load_request_log_csv(path);
+      const auto loaded = trace::load_request_log(path);
       if (!loaded.ok) {
-        std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+        std::fprintf(stderr, "error: cannot read %s: %s\n", path.c_str(),
+                     loaded.error.c_str());
         return 1;
+      }
+      if (loaded.first_bad_line != 0) {
+        std::fprintf(stderr, "warning: %s:%zu: first malformed line: %s\n",
+                     path.c_str(), loaded.first_bad_line,
+                     loaded.first_bad_text.c_str());
       }
       std::printf("loaded %zu records from %s (%zu lines skipped)\n",
                   loaded.records.size(), path.c_str(), loaded.skipped_lines);

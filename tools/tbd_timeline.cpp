@@ -186,10 +186,16 @@ int main(int argc, char** argv) {
   {
     TBD_SPAN("timeline.load");
     for (const auto& path : opt.files) {
-      const auto loaded = trace::load_request_log_csv(path);
+      const auto loaded = trace::load_request_log(path);
       if (!loaded.ok) {
-        std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+        std::fprintf(stderr, "error: cannot read %s: %s\n", path.c_str(),
+                     loaded.error.c_str());
         return 1;
+      }
+      if (loaded.first_bad_line != 0) {
+        std::fprintf(stderr, "warning: %s:%zu: first malformed line: %s\n",
+                     path.c_str(), loaded.first_bad_line,
+                     loaded.first_bad_text.c_str());
       }
       std::printf("loaded %zu records from %s (%zu lines skipped)\n",
                   loaded.records.size(), path.c_str(), loaded.skipped_lines);
