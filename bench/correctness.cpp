@@ -1,0 +1,187 @@
+// bench_correctness: wall-time of the correctness harness itself.
+//
+// The differential-oracle suite and the fuzz-corpus replay are part of the
+// tier-1 gate, so their cost is a build-health metric: if the seeded
+// property sweep or the corpus replay gets slower PR-over-PR, the gate is
+// quietly eroding. This bench runs both in-process —
+//
+//   * property suite — seeded generate -> optimized sweep/detect vs naive
+//     oracle, verified bit-for-bit (the same comparison tests/oracle/ runs);
+//   * fuzz replay    — every checked-in corpus input through the optimized
+//     parsers, differentially against the CSV/TBDR oracles;
+//
+// and lands the wall-times in bench_out/bench_summary.json under
+// "correctness" (schema_version 4 added this entry).
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/detector.h"
+#include "core/fused_sweep.h"
+#include "testing/generators.h"
+#include "testing/oracles.h"
+#include "trace/capture_file.h"
+#include "trace/log_io.h"
+#include "trace/request_log_file.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace tbd;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool bits_equal(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a[i]) != std::bit_cast<std::uint64_t>(b[i]))
+      return false;
+  }
+  return true;
+}
+
+bool same_records(const trace::RequestLog& a, const trace::RequestLog& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(),
+                                   a.size() * sizeof(trace::RequestRecord)) == 0);
+}
+
+// One seeded differential case: the same optimized-vs-oracle comparison the
+// ctest suite runs, returning false on any bit divergence.
+bool property_case(std::uint64_t seed) {
+  Rng rng{seed};
+  pt::LogGenConfig config;
+  config.max_records = 20 + rng.uniform_index(140);
+  const auto spec = pt::grid_for(config);
+  const auto log = pt::generate_request_log(rng, config);
+  const auto table = pt::generate_service_table(rng, config.classes);
+  const auto options = pt::generate_throughput_options(rng);
+
+  const auto fused = core::compute_load_throughput(log, spec, table, options);
+  if (!bits_equal(fused.load, pt::oracle_load(log, spec))) return false;
+  if (!bits_equal(fused.throughput,
+                  pt::oracle_throughput(log, spec, table, options)))
+    return false;
+
+  const auto fast = core::detect_bottlenecks(log, spec, table);
+  const auto slow = pt::oracle_detect(log, spec, table);
+  return bits_equal(fast.load, slow.load) &&
+         bits_equal(fast.throughput, slow.throughput) &&
+         fast.states == slow.states &&
+         fast.episodes.size() == slow.episodes.size();
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+}
+
+// The replay harnesses' core comparisons (fuzz/), minus the abort-on-fail
+// plumbing: optimized parser vs oracle on the exact corpus bytes.
+bool replay_input(const std::string& family, const std::string& bytes) {
+  if (family == "csv") {
+    if (bytes.empty()) return true;
+    const int shards = 1 + (static_cast<unsigned char>(bytes[0]) % 8);
+    const std::string_view text{bytes.data() + 1, bytes.size() - 1};
+    const auto sharded = trace::parse_request_log_csv(text, shards);
+    const auto oracle = pt::oracle_parse_csv(text);
+    return same_records(sharded.records, oracle.records) &&
+           sharded.skipped_lines == oracle.skipped_lines;
+  }
+  if (family == "tbdr") {
+    const auto fast = trace::decode_request_log_bin(bytes);
+    const auto slow = pt::oracle_decode_request_log_bin(bytes);
+    return fast.ok == slow.ok && fast.error == slow.error &&
+           same_records(fast.records, slow.records);
+  }
+  // capture: decode, and on success the re-encode must reproduce the input.
+  const auto decoded = trace::decode_capture(bytes);
+  return !decoded.ok || trace::encode_capture(decoded.messages) == bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchx::BenchArgs::parse(argc, argv);
+  const std::uint64_t cases = args.full ? 5'000 : 1'000;
+
+  benchx::print_header("Correctness harness: property suite + corpus replay");
+  benchx::BenchSummary summary{"correctness"};
+
+  // ---- seeded property suite ------------------------------------------------
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t seed = 0; seed < cases; ++seed) {
+    if (!property_case(seed)) {
+      std::fprintf(stderr, "error: differential divergence at seed %llu\n",
+                   static_cast<unsigned long long>(seed));
+      return 1;
+    }
+  }
+  const double t_property = seconds_since(t0);
+  std::printf("  property suite: %llu cases in %.2fs (%.0f cases/s)\n",
+              static_cast<unsigned long long>(cases), t_property,
+              static_cast<double>(cases) / t_property);
+  summary.set("property_cases", static_cast<double>(cases));
+  summary.set("property_wall_s", t_property);
+  summary.set("property_cases_per_s", static_cast<double>(cases) / t_property);
+
+  // ---- corpus replay --------------------------------------------------------
+  // Run from the repo root (as tier1.sh does); from elsewhere the corpus is
+  // simply absent and the stage records zero inputs.
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::exists("tests/corpus") ? "tests/corpus" : "../tests/corpus";
+  std::size_t inputs = 0;
+  std::size_t bytes_total = 0;
+  double t_replay = 0.0;
+  if (fs::exists(root)) {
+    struct Input {
+      std::string family, bytes;
+    };
+    std::vector<Input> corpus;
+    for (const std::string family : {"csv", "tbdr", "capture"}) {
+      const fs::path dir = root / family;
+      if (!fs::exists(dir)) continue;
+      for (const auto& entry : fs::directory_iterator{dir}) {
+        if (!entry.is_regular_file()) continue;
+        corpus.push_back({family, read_file(entry.path())});
+        bytes_total += corpus.back().bytes.size();
+      }
+    }
+    // Replay the whole corpus several times; tiny inputs make a single pass
+    // too short to time on this host.
+    const int reps = 50;
+    t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      for (const auto& input : corpus) {
+        if (!replay_input(input.family, input.bytes)) {
+          std::fprintf(stderr, "error: replay divergence in %s corpus\n",
+                       input.family.c_str());
+          return 1;
+        }
+      }
+    }
+    t_replay = seconds_since(t0) / reps;
+    inputs = corpus.size();
+    std::printf("  corpus replay: %zu inputs (%zu bytes) in %.4fs/pass\n",
+                inputs, bytes_total, t_replay);
+  } else {
+    std::printf("  corpus replay: tests/corpus not found, skipped\n");
+  }
+  summary.set("replay_inputs", static_cast<double>(inputs));
+  summary.set("replay_wall_s", t_replay);
+
+  summary.finish();
+  benchx::finish_observability(args, "bench_correctness");
+  return 0;
+}

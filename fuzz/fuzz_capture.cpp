@@ -1,0 +1,37 @@
+// Structure-aware fuzz target for the TBDC capture-stream decoder.
+//
+// Like TBDR, the capture format is bijective: MessageKind has a fixed
+// uint8_t underlying type, so the kind byte round-trips raw even when it
+// names no enumerator, and a successful decode must re-encode to exactly
+// the input bytes. Also exercises the header-validation order and the
+// offset/record diagnostics on rejected inputs.
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "fuzz_check.h"
+#include "trace/capture_file.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes{reinterpret_cast<const char*>(data), size};
+
+  const auto decoded = tbd::trace::decode_capture(bytes);
+  TBD_FUZZ_CHECK(decoded.input_size == bytes.size());
+
+  if (!decoded.ok) {
+    // Rejections must carry a stable code and an offset inside the input
+    // (equal to input size only for end-of-data truncation).
+    TBD_FUZZ_CHECK(!decoded.error.empty());
+    TBD_FUZZ_CHECK(decoded.error_offset <= bytes.size());
+    return 0;
+  }
+
+  TBD_FUZZ_CHECK(decoded.messages.size() == decoded.header_count);
+  const std::string reencoded = tbd::trace::encode_capture(decoded.messages);
+  TBD_FUZZ_CHECK(reencoded.size() == bytes.size());
+  TBD_FUZZ_CHECK(tbd::fuzz::bytes_equal(reencoded.data(), bytes.data(),
+                             bytes.size()));
+  return 0;
+}

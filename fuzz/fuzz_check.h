@@ -1,0 +1,27 @@
+// Always-on invariant check for fuzz targets: plain assert() vanishes under
+// NDEBUG (the default RelWithDebInfo build), which would turn every harness
+// into a no-op. Abort so both libFuzzer and the replay driver flag the input.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tbd::fuzz {
+
+/// memcmp with the n==0 case short-circuited: empty vectors hand out null
+/// data() pointers, and passing those to memcmp is UB that UBSan rejects.
+inline bool bytes_equal(const void* a, const void* b, std::size_t n) {
+  return n == 0 || std::memcmp(a, b, n) == 0;
+}
+
+}  // namespace tbd::fuzz
+
+#define TBD_FUZZ_CHECK(cond)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "fuzz invariant failed: %s (%s:%d)\n",     \
+                   #cond, __FILE__, __LINE__);                        \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)

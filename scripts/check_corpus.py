@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Validate the checked-in fuzz corpus under tests/corpus/.
+
+Every corpus input must be named `<slug>-<sha256[:12]>` where the hash prefix
+is the SHA-256 of the file's content. Content-addressed names make corpus
+diffs reviewable (a renamed-but-unchanged input is visibly a no-op) and catch
+inputs that were edited in place without being re-hashed.
+
+Exit status: 0 when every file checks out, 1 otherwise.
+"""
+from __future__ import annotations
+
+import hashlib
+import pathlib
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-z0-9][a-z0-9-]*-([0-9a-f]{12})$")
+
+
+def check(corpus_root: pathlib.Path) -> int:
+    if not corpus_root.is_dir():
+        print(f"corpus root not found: {corpus_root}", file=sys.stderr)
+        return 1
+    failures = 0
+    total = 0
+    for path in sorted(corpus_root.rglob("*")):
+        if not path.is_file():
+            continue
+        total += 1
+        rel = path.relative_to(corpus_root)
+        m = NAME_RE.match(path.name)
+        if not m:
+            print(f"BAD NAME  {rel}: want <slug>-<sha256[:12]>", file=sys.stderr)
+            failures += 1
+            continue
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()[:12]
+        if digest != m.group(1):
+            print(
+                f"BAD HASH  {rel}: name says {m.group(1)}, content is {digest}",
+                file=sys.stderr,
+            )
+            failures += 1
+    if total == 0:
+        print(f"corpus root is empty: {corpus_root}", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"{failures}/{total} corpus inputs failed validation",
+              file=sys.stderr)
+        return 1
+    print(f"{total} corpus inputs OK")
+    return 0
+
+
+def main() -> int:
+    root = (
+        pathlib.Path(sys.argv[1])
+        if len(sys.argv) > 1
+        else pathlib.Path(__file__).resolve().parent.parent / "tests" / "corpus"
+    )
+    return check(root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,26 @@ else
   echo "warning: AddressSanitizer build unavailable; skipped ASan stage" >&2
 fi
 
+echo "== tier-1: corpus + correctness harness under ASan/UBSan =="
+# The fuzz corpus is content-addressed; a stale or hand-renamed seed fails
+# fast here before the replay stage would silently cover less than it claims.
+python3 scripts/check_corpus.py
+# Replay every checked-in corpus input through the structure-aware fuzz
+# harnesses, and run the seeded differential-oracle and metamorphic suites,
+# all instrumented with AddressSanitizer + UBSan. g++ has no libFuzzer, so
+# the replay drivers (plain main() over tests/corpus/) are the portable gate;
+# a clang toolchain can additionally build the <name>_fuzz targets to explore.
+if cmake -B build-fuzz -S . -DTBD_FUZZ=ON \
+      -DTBD_SANITIZE=address+undefined >/dev/null \
+    && cmake --build build-fuzz -j "$(nproc)" \
+        --target fuzz_csv_replay fuzz_tbdr_replay fuzz_capture_replay \
+        differential_oracle_test metamorphic_test; then
+  ctest --test-dir build-fuzz --output-on-failure \
+    -R 'corpus_replay_|differential_oracle_test|metamorphic_test'
+else
+  echo "warning: ASan/UBSan build unavailable; skipped correctness-harness stage" >&2
+fi
+
 echo "== tier-1: TBD_OBS=OFF build =="
 # The observability layer must compile out cleanly: spans become no-ops and
 # nothing downstream (flight recorder included) may notice.

@@ -126,6 +126,18 @@ void StreamingDetector::seal_up_to(std::size_t index) {
   }
 }
 
+void StreamingDetector::reset(TimePoint start) {
+  start_ = start;
+  high_water_ = start;
+  first_open_ = 0;
+  open_cells_.clear();
+  current_episode_.reset();
+  episodes_.clear();
+  emitted_ = 0;
+  congested_ = 0;
+  dropped_ = 0;
+}
+
 void StreamingDetector::finish() {
   if (high_water_ > start_) {
     seal_up_to(cell_index(high_water_) + 1);

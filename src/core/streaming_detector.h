@@ -60,6 +60,12 @@ class StreamingDetector {
   /// Seals everything up to the high-water mark (end of stream).
   void finish();
 
+  /// Rewinds to analyze a new stream starting at `start`: open cells,
+  /// episodes, and all counters are cleared; the calibration (N*, TPmax,
+  /// service times, work unit) and registered callbacks are kept. A reset
+  /// detector is indistinguishable from a freshly constructed one.
+  void reset(TimePoint start);
+
   [[nodiscard]] std::size_t intervals_emitted() const { return emitted_; }
   [[nodiscard]] std::size_t congested_intervals() const { return congested_; }
   [[nodiscard]] std::size_t dropped_records() const { return dropped_; }

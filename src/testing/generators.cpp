@@ -1,0 +1,252 @@
+#include "testing/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <iterator>
+
+namespace tbd::pt {
+
+namespace {
+
+/// Snaps `t` to the nearest interval boundary at or below it.
+std::int64_t snap(std::int64_t t, const LogGenConfig& c) {
+  const std::int64_t rel = t - c.origin_us;
+  // Floor division (rel may be negative for pre-grid times).
+  std::int64_t k = rel / c.width_us;
+  if (rel % c.width_us != 0 && rel < 0) --k;
+  return c.origin_us + k * c.width_us;
+}
+
+}  // namespace
+
+core::IntervalSpec grid_for(const LogGenConfig& config) {
+  return core::IntervalSpec::over(
+      TimePoint::from_micros(config.origin_us),
+      TimePoint::from_micros(config.origin_us + config.horizon_us),
+      Duration::micros(config.width_us));
+}
+
+trace::RequestLog generate_request_log(Rng& rng, const LogGenConfig& config) {
+  const std::size_t n =
+      config.min_records +
+      rng.uniform_index(config.max_records - config.min_records + 1);
+  trace::RequestLog log;
+  log.reserve(n);
+  std::vector<std::int64_t> seen_times;  // tie pool
+  seen_times.reserve(2 * n);
+
+  // Optional burst: a window where `burst_n` requests all overlap.
+  const bool burst = rng.bernoulli(config.p_burst);
+  std::int64_t burst_at = 0;
+  std::int64_t burst_len = 0;
+  std::size_t burst_n = 0;
+  if (burst) {
+    burst_len = std::max<std::int64_t>(config.width_us * 2, 1);
+    burst_at = config.origin_us +
+               static_cast<std::int64_t>(rng.uniform_index(static_cast<std::uint64_t>(
+                   std::max<std::int64_t>(1, config.horizon_us - burst_len))));
+    burst_n = std::min<std::size_t>(n / 2, 12);
+  }
+
+  auto draw_time = [&](std::int64_t lo, std::int64_t hi) {
+    assert(hi > lo);
+    if (!seen_times.empty() && rng.bernoulli(config.p_tie)) {
+      const auto t = seen_times[rng.uniform_index(seen_times.size())];
+      if (t >= lo && t < hi) return t;
+    }
+    std::int64_t t = lo + static_cast<std::int64_t>(
+                              rng.uniform_index(static_cast<std::uint64_t>(hi - lo)));
+    if (rng.bernoulli(config.p_boundary)) t = std::max(lo, snap(t, config));
+    return t;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    trace::RequestRecord r;
+    r.server = static_cast<trace::ServerIndex>(rng.uniform_index(config.servers));
+    r.class_id = static_cast<trace::ClassId>(rng.uniform_index(config.classes));
+    r.txn = i + 1;
+
+    const std::int64_t grid_lo = config.origin_us;
+    const std::int64_t grid_hi = config.origin_us + config.horizon_us;
+    std::int64_t a;
+    std::int64_t d;
+    if (i < burst_n && burst) {
+      // Overlapping pile-up: arrivals inside a short window, departures
+      // after its end, so concurrency stacks up.
+      a = draw_time(burst_at, burst_at + burst_len / 2);
+      d = draw_time(burst_at + burst_len / 2, burst_at + 2 * burst_len);
+    } else if (rng.bernoulli(config.p_spanning)) {
+      a = grid_lo - 1 - static_cast<std::int64_t>(rng.uniform_index(10'000));
+      d = grid_hi + 1 + static_cast<std::int64_t>(rng.uniform_index(10'000));
+    } else if (rng.bernoulli(config.p_outside)) {
+      // Straddle one grid edge, or sit fully outside.
+      if (rng.bernoulli(0.5)) {
+        a = grid_lo - static_cast<std::int64_t>(rng.uniform_index(100'000)) - 1;
+        d = draw_time(std::min(a + 1, grid_lo), grid_lo + config.horizon_us / 4);
+      } else {
+        a = draw_time(grid_hi - config.horizon_us / 4, grid_hi + 100'000);
+        d = a + static_cast<std::int64_t>(rng.exponential(config.mean_service_us));
+      }
+    } else {
+      a = draw_time(grid_lo, grid_hi);
+      d = a + static_cast<std::int64_t>(rng.exponential(config.mean_service_us));
+    }
+    if (rng.bernoulli(config.p_zero_duration)) d = a;
+    if (d < a) std::swap(a, d);
+    if (rng.bernoulli(config.p_boundary)) d = std::max(a, snap(d, config));
+
+    r.arrival = TimePoint::from_micros(a);
+    r.departure = TimePoint::from_micros(d);
+    seen_times.push_back(a);
+    seen_times.push_back(d);
+    log.push_back(r);
+  }
+  return log;
+}
+
+core::ServiceTimeTable generate_service_table(Rng& rng, std::uint32_t classes) {
+  std::vector<double> us;
+  us.reserve(classes);
+  for (std::uint32_t c = 0; c < classes; ++c) {
+    us.push_back(100.0 + std::floor(rng.uniform(0.0, 1500.0)));
+  }
+  return core::ServiceTimeTable{std::move(us)};
+}
+
+core::ThroughputOptions generate_throughput_options(Rng& rng) {
+  core::ThroughputOptions opts;
+  opts.mode = rng.bernoulli(0.5) ? core::ThroughputMode::kNormalizedWorkUnits
+                                 : core::ThroughputMode::kRequestsCompleted;
+  opts.work_unit_us = rng.bernoulli(0.5) ? 0.0 : std::floor(rng.uniform(50.0, 600.0));
+  opts.per_second = rng.bernoulli(0.5);
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Emits a visit on [lo, hi] plus recursively nested, pairwise-disjoint
+/// children strictly inside it.
+void emit_visits(Rng& rng, const TxnGenConfig& c, trace::TxnId txn,
+                 trace::ServerIndex server, std::int64_t lo, std::int64_t hi,
+                 int depth, trace::RequestLog& out) {
+  trace::RequestRecord r;
+  r.server = server;
+  r.class_id = static_cast<trace::ClassId>(depth);
+  r.arrival = TimePoint::from_micros(lo);
+  r.departure = TimePoint::from_micros(hi);
+  r.txn = txn;
+  out.push_back(r);
+
+  if (depth >= c.max_depth || hi - lo < 8) return;
+  const int children = static_cast<int>(rng.uniform_index(
+      static_cast<std::uint64_t>(c.max_children) + 1));
+  // Children split the strict interior (lo, hi) into disjoint slots.
+  std::int64_t cursor = lo + 1;
+  for (int k = 0; k < children && cursor + 2 < hi; ++k) {
+    const std::int64_t remaining = hi - 1 - cursor;
+    if (remaining < 2) break;
+    const std::int64_t span =
+        1 + static_cast<std::int64_t>(rng.uniform_index(
+                static_cast<std::uint64_t>(remaining / 2) + 1));
+    std::int64_t child_lo = cursor;
+    std::int64_t child_hi = child_lo + span;
+    if (rng.bernoulli(c.p_zero_visit)) child_hi = child_lo;
+    const auto child_server =
+        static_cast<trace::ServerIndex>(rng.uniform_index(c.servers));
+    emit_visits(rng, c, txn, child_server, child_lo, child_hi, depth + 1, out);
+    cursor = child_hi + 1;
+  }
+}
+
+}  // namespace
+
+trace::RequestLog generate_txn_log(Rng& rng, const TxnGenConfig& config) {
+  const std::size_t txns =
+      config.min_txns +
+      rng.uniform_index(config.max_txns - config.min_txns + 1);
+  trace::RequestLog log;
+  for (std::size_t t = 0; t < txns; ++t) {
+    const std::int64_t span =
+        1'000 + static_cast<std::int64_t>(rng.uniform_index(
+                    static_cast<std::uint64_t>(config.horizon_us / 4)));
+    const std::int64_t lo =
+        config.origin_us +
+        static_cast<std::int64_t>(rng.uniform_index(static_cast<std::uint64_t>(
+            std::max<std::int64_t>(1, config.horizon_us - span))));
+    emit_visits(rng, config, static_cast<trace::TxnId>(t + 1), 0, lo, lo + span,
+                0, log);
+  }
+  std::sort(log.begin(), log.end(),
+            [](const trace::RequestRecord& a, const trace::RequestRecord& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.txn < b.txn;
+            });
+  return log;
+}
+
+// ---------------------------------------------------------------------------
+
+std::string generate_csv_text(Rng& rng, const CsvGenConfig& config) {
+  const std::size_t lines = rng.uniform_index(config.max_lines + 1);
+  std::string out;
+  auto number = [&](bool huge) {
+    if (huge) {
+      // Values near the u64 ceiling stress the fast parser's overflow cut.
+      const std::uint64_t v = ~std::uint64_t{0} - rng.uniform_index(1'000'000);
+      return std::to_string(v);
+    }
+    return std::to_string(rng.uniform_index(3'000'000));
+  };
+  for (std::size_t i = 0; i < lines; ++i) {
+    if (rng.bernoulli(config.p_empty)) {
+      // empty line
+    } else if (rng.bernoulli(config.p_comment)) {
+      out += "# comment ";
+      out += std::to_string(rng.uniform_index(1000));
+    } else if (rng.bernoulli(config.p_header)) {
+      if (rng.bernoulli(0.3)) out += "  ";
+      out += "server,class,arrival_us,departure_us,txn";
+    } else if (rng.bernoulli(config.p_garbage)) {
+      static constexpr const char* kGarbage[] = {
+          "not,a,record",  "1,2,3",         "1;2;3;4;5", "a,b,c,d,e",
+          "1,2,3,4,",      ",1,2,3,4",      "1,,2,3,4",  "-1,2,3,4,5",
+          "1,2,3,4,5x,6y", "0x1,2,3,4,5",
+      };
+      out += kGarbage[rng.uniform_index(std::size(kGarbage))];
+    } else {
+      const bool huge = rng.bernoulli(config.p_huge);
+      std::uint64_t a = rng.uniform_index(3'000'000);
+      std::uint64_t d = a + rng.uniform_index(50'000);
+      if (rng.bernoulli(config.p_bad_order) && a > 0) {
+        d = rng.uniform_index(a);  // departure < arrival: malformed
+      }
+      const bool pad = rng.bernoulli(config.p_spaces);
+      auto field = [&](const std::string& v) {
+        if (pad && rng.bernoulli(0.5)) out += rng.bernoulli(0.5) ? " " : "\t";
+        out += v;
+        if (pad && rng.bernoulli(0.3)) out += " ";
+      };
+      field(std::to_string(rng.uniform_index(10)));
+      out += ",";
+      field(std::to_string(rng.uniform_index(8)));
+      out += ",";
+      field(huge ? number(true) : std::to_string(a));
+      out += ",";
+      field(huge ? number(true) : std::to_string(d));
+      out += ",";
+      field(number(rng.bernoulli(0.02)));
+      if (rng.bernoulli(config.p_extra_cols)) {
+        out += ",extra," + std::to_string(rng.uniform_index(100));
+      }
+      if (rng.bernoulli(config.p_crlf)) out += "\r";
+    }
+    const bool last = i + 1 == lines;
+    if (!last || !rng.bernoulli(config.p_no_final_newline)) out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tbd::pt

@@ -1,0 +1,111 @@
+// Seeded generators for the correctness harness (tbd::pt).
+//
+// Every generator draws from an explicit tbd::Rng, so a failing case is
+// reproducible from its seed alone (xoshiro256++ is bit-stable across
+// platforms). The generators deliberately over-sample the timestamp edge
+// cases where fine-grained analyses silently go wrong: exact ties, zero
+// duration visits, endpoints snapped to interval boundaries, records
+// straddling or spanning the whole grid, and epoch-boundary (t <= 0) times.
+//
+// Three input families:
+//  * request logs + interval grids — feed the load/throughput/N*/episode
+//    oracles (testing/oracles.h) and the metamorphic suite;
+//  * transaction logs — records nesting into proper visit trees, feed the
+//    txn-tree assembly and critical-path attribution oracles;
+//  * adversarial CSV text — feeds the parser differential tests and seeds
+//    the structure-aware fuzz corpus (fuzz/).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/intervals.h"
+#include "core/throughput_calculator.h"
+#include "trace/records.h"
+#include "util/rng.h"
+
+namespace tbd::pt {
+
+struct LogGenConfig {
+  std::size_t min_records = 1;
+  std::size_t max_records = 160;
+  /// Grid anchor; negative exercises pre-epoch timestamps.
+  std::int64_t origin_us = 0;
+  /// Records mostly land in [origin, origin + horizon).
+  std::int64_t horizon_us = 2'000'000;
+  /// Interval width of the matching grid (boundary snapping target).
+  std::int64_t width_us = 50'000;
+  std::uint32_t servers = 1;
+  std::uint32_t classes = 5;
+  double mean_service_us = 900.0;
+  // --- adversarial shape probabilities (per record) ---
+  double p_zero_duration = 0.06;  // arrival == departure
+  double p_tie = 0.18;            // reuse an already-emitted timestamp
+  double p_boundary = 0.12;       // snap endpoints onto interval boundaries
+  double p_outside = 0.08;        // arrival before the grid / departure past it
+  double p_spanning = 0.02;       // cover the whole grid and then some
+  /// Probability the log contains a saturation burst (overlapping requests
+  /// piling onto one server -> congestion episodes for the detector).
+  double p_burst = 0.4;
+};
+
+/// The interval grid matching a LogGenConfig: [origin, origin + horizon)
+/// divided into width-sized intervals (partial tail interval dropped, as
+/// IntervalSpec::over does).
+[[nodiscard]] core::IntervalSpec grid_for(const LogGenConfig& config);
+
+/// Random request log per the config. Records come out in generation order
+/// (NOT sorted); departure >= arrival always holds.
+[[nodiscard]] trace::RequestLog generate_request_log(
+    Rng& rng, const LogGenConfig& config = {});
+
+/// Service-time table with `classes` strictly positive entries.
+[[nodiscard]] core::ServiceTimeTable generate_service_table(
+    Rng& rng, std::uint32_t classes);
+
+/// Random throughput options (mode / explicit-vs-auto unit / per-second).
+[[nodiscard]] core::ThroughputOptions generate_throughput_options(Rng& rng);
+
+// ---------------------------------------------------------------------------
+
+struct TxnGenConfig {
+  std::size_t min_txns = 2;
+  std::size_t max_txns = 10;
+  std::uint32_t servers = 3;
+  int max_depth = 3;
+  int max_children = 3;
+  std::int64_t origin_us = 0;
+  std::int64_t horizon_us = 1'000'000;
+  /// Probability a generated child visit has zero duration.
+  double p_zero_visit = 0.05;
+};
+
+/// Records forming well-nested transaction trees: each transaction has one
+/// root visit on server 0 and strictly contained, pairwise-disjoint child
+/// visits (so time-containment assembly is unambiguous). Sorted by arrival.
+[[nodiscard]] trace::RequestLog generate_txn_log(Rng& rng,
+                                                 const TxnGenConfig& config = {});
+
+// ---------------------------------------------------------------------------
+
+struct CsvGenConfig {
+  std::size_t max_lines = 120;
+  double p_comment = 0.06;
+  double p_empty = 0.05;
+  double p_header = 0.05;
+  double p_garbage = 0.10;     // unparseable line
+  double p_spaces = 0.15;      // pad fields with spaces/tabs (slow path)
+  double p_extra_cols = 0.06;  // trailing columns (ignored by the parser)
+  double p_crlf = 0.08;        // "\r\n" line ending (the \r trails field 5)
+  double p_huge = 0.05;        // near-u64-max values (overflow cut path)
+  double p_bad_order = 0.05;   // departure < arrival (malformed by contract)
+  double p_no_final_newline = 0.25;
+};
+
+/// Adversarial CSV request-log text exercising both the SWAR fast path and
+/// the from_chars fallback, plus every skip/malformed classification.
+[[nodiscard]] std::string generate_csv_text(Rng& rng,
+                                            const CsvGenConfig& config = {});
+
+}  // namespace tbd::pt

@@ -1,0 +1,641 @@
+#include "testing/oracles.h"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+namespace tbd::pt {
+
+// Everything here stays bit-exact against the optimized paths because the
+// accumulated quantities are integer-valued doubles below 2^53 (integer
+// microseconds, integer work units), whose sums are exact in any order.
+// Where a value is genuinely fractional the oracle keeps the exact
+// accumulation order and formula of the definition (see oracles.h).
+
+std::vector<double> oracle_load(std::span<const trace::RequestRecord> records,
+                                const core::IntervalSpec& spec) {
+  std::vector<double> load(spec.count, 0.0);
+  if (spec.count == 0) return load;
+  const std::int64_t width = spec.width.micros();
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    const std::int64_t lo = spec.interval_start(i).micros();
+    const std::int64_t hi = lo + width;
+    double busy_us = 0.0;  // integer-valued
+    for (const trace::RequestRecord& r : records) {
+      const std::int64_t a = std::max(r.arrival.micros(), lo);
+      const std::int64_t d = std::min(r.departure.micros(), hi);
+      if (d > a) busy_us += static_cast<double>(d - a);
+    }
+    load[i] = busy_us / static_cast<double>(width);
+  }
+  return load;
+}
+
+std::vector<double> oracle_throughput(
+    std::span<const trace::RequestRecord> records,
+    const core::IntervalSpec& spec, const core::ServiceTimeTable& table,
+    const core::ThroughputOptions& options) {
+  std::vector<double> tput(spec.count, 0.0);
+  if (spec.count == 0) return tput;
+  double unit_us = options.work_unit_us;
+  if (options.mode == core::ThroughputMode::kNormalizedWorkUnits &&
+      unit_us <= 0.0) {
+    unit_us = table.min_service_us();
+    assert(unit_us > 0.0 && "service-time table is empty");
+  }
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    for (const trace::RequestRecord& r : records) {
+      if (!spec.contains(r.departure) || spec.index_of(r.departure) != i) {
+        continue;
+      }
+      if (options.mode == core::ThroughputMode::kRequestsCompleted) {
+        tput[i] += 1.0;
+      } else {
+        const double service = table.service_us(r.class_id);
+        tput[i] += std::max(1.0, std::round(service / unit_us));
+      }
+    }
+    if (options.per_second) tput[i] /= spec.width.seconds_f();
+  }
+  return tput;
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Mean slope of d[from..end); 0 when empty (validation helper of III-C).
+double naive_suffix_mean(std::span<const double> d, std::size_t from) {
+  if (from >= d.size()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = from; i < d.size(); ++i) s += d[i];
+  return s / static_cast<double>(d.size() - from);
+}
+
+/// Rising-region secant slope delta_0 (congestion_point.h).
+double naive_delta0(const std::vector<core::LoadBin>& bins,
+                    std::span<const double> d, double tp_max,
+                    const core::NStarConfig& config) {
+  std::size_t half = 1;
+  while (half + 1 < bins.size() && bins[half].mean_tput < 0.5 * tp_max) {
+    ++half;
+  }
+  half = std::min(bins.size() - 1,
+                  std::max<std::size_t>(
+                      half, static_cast<std::size_t>(config.delta0_window)));
+  double delta0 = (bins[half].mean_tput - bins[0].mean_tput) /
+                  std::max(1e-12, bins[half].load - bins[0].load);
+  if (delta0 <= 0.0) {
+    const int w = std::min<int>(config.delta0_window, static_cast<int>(d.size()));
+    delta0 = 0.0;
+    for (int i = 0; i < w; ++i) delta0 += d[static_cast<std::size_t>(i)];
+    delta0 /= w;
+  }
+  return delta0;
+}
+
+}  // namespace
+
+core::NStarResult oracle_congestion_point(std::span<const double> load,
+                                          std::span<const double> throughput,
+                                          const core::NStarConfig& config) {
+  assert(config.method == core::NStarMethod::kRobustKnee &&
+         "the differential oracle covers the robust-knee estimator only");
+  assert(load.size() == throughput.size());
+  core::NStarResult result;
+  if (load.empty()) return result;
+
+  double n_min = load[0];
+  double n_max = load[0];
+  for (const double v : load) {
+    n_min = std::min(n_min, v);
+    n_max = std::max(n_max, v);
+  }
+  if (n_max <= n_min) {
+    result.n_star = n_max;
+    return result;
+  }
+
+  // Per-bin rescans instead of the single binning pass: bin b's sum adds the
+  // same samples in the same ascending-index order, so it is FP-identical.
+  const int k = std::max(2, config.bins);
+  const double bin_width = (n_max - n_min) / k;
+  const auto bin_of = [&](double v) {
+    return std::clamp(static_cast<int>((v - n_min) / bin_width), 0, k - 1);
+  };
+  double carry_sum = 0.0;
+  int carry_cnt = 0;
+  for (int b = 0; b < k; ++b) {
+    for (std::size_t i = 0; i < load.size(); ++i) {
+      if (bin_of(load[i]) != b) continue;
+      carry_sum += throughput[i];
+      ++carry_cnt;
+    }
+    if (carry_cnt >= config.min_samples_per_bin) {
+      core::LoadBin bin;
+      bin.load = n_min + (b + 0.5) * bin_width;
+      bin.mean_tput = carry_sum / carry_cnt;
+      bin.samples = carry_cnt;
+      result.bins.push_back(bin);
+      carry_sum = 0.0;
+      carry_cnt = 0;
+    }
+  }
+  if (result.bins.size() < 4) {
+    result.n_star = n_max;
+    for (const auto& bin : result.bins) {
+      result.tp_max = std::max(result.tp_max, bin.mean_tput);
+    }
+    return result;
+  }
+
+  // TPmax: mean of the top-quintile bin throughputs.
+  {
+    std::vector<double> tputs;
+    for (const auto& bin : result.bins) tputs.push_back(bin.mean_tput);
+    std::sort(tputs.begin(), tputs.end());
+    const std::size_t top = std::max<std::size_t>(1, tputs.size() / 5);
+    double s = 0.0;
+    for (std::size_t i = tputs.size() - top; i < tputs.size(); ++i) s += tputs[i];
+    result.tp_max = s / static_cast<double>(top);
+  }
+
+  // Slopes (Equation 1).
+  const auto& bins = result.bins;
+  result.slopes.push_back(bins[0].load > 0.0 ? bins[0].mean_tput / bins[0].load
+                                             : 0.0);
+  for (std::size_t i = 1; i < bins.size(); ++i) {
+    const double dl = bins[i].load - bins[i - 1].load;
+    result.slopes.push_back(
+        dl > 0.0 ? (bins[i].mean_tput - bins[i - 1].mean_tput) / dl : 0.0);
+  }
+
+  // Robust knee: 3-bin smoothing (self, left, right — the addition order the
+  // estimator uses), first crossing of the knee threshold, flat-tail check.
+  std::vector<double> smooth(bins.size());
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    double s = bins[i].mean_tput;
+    int n = 1;
+    if (i > 0) {
+      s += bins[i - 1].mean_tput;
+      ++n;
+    }
+    if (i + 1 < bins.size()) {
+      s += bins[i + 1].mean_tput;
+      ++n;
+    }
+    smooth[i] = s / n;
+  }
+  const double threshold = config.knee_tput_fraction * result.tp_max;
+  std::size_t knee = bins.size() - 1;
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    if (smooth[i] >= threshold) {
+      knee = i;
+      break;
+    }
+  }
+  const double delta0 = naive_delta0(bins, result.slopes, result.tp_max, config);
+  const double tail = naive_suffix_mean(result.slopes, knee + 1);
+  const bool flat = knee + 1 >= result.slopes.size()
+                        ? false
+                        : tail < config.tol_factor * delta0;
+  if (flat && knee + 1 < bins.size()) {
+    result.n_star = bins[knee].load;
+    result.converged = true;
+  } else {
+    result.n_star = bins.back().load;
+    result.converged = false;
+  }
+  return result;
+}
+
+std::vector<core::IntervalState> oracle_classify(
+    std::span<const double> load, std::span<const double> throughput,
+    const core::NStarResult& nstar, const core::DetectorConfig& config) {
+  assert(load.size() == throughput.size());
+  std::vector<core::IntervalState> states;
+  states.reserve(load.size());
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    core::IntervalState s = core::IntervalState::kNormal;
+    if (load[i] <= config.idle_load) {
+      s = core::IntervalState::kIdle;
+    } else if (load[i] > nstar.n_star) {
+      s = throughput[i] <= config.poi_tput_frac * nstar.tp_max
+              ? core::IntervalState::kFrozen
+              : core::IntervalState::kCongested;
+    }
+    states.push_back(s);
+  }
+  return states;
+}
+
+std::vector<core::Episode> oracle_episodes(
+    std::span<const core::IntervalState> states, std::span<const double> load,
+    const core::IntervalSpec& spec) {
+  assert(states.size() == load.size());
+  const auto hot = [&](std::size_t i) {
+    return states[i] == core::IntervalState::kCongested ||
+           states[i] == core::IntervalState::kFrozen;
+  };
+  std::vector<core::Episode> episodes;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (!hot(i) || (i > 0 && hot(i - 1))) continue;  // not a run start
+    core::Episode e;
+    e.start = spec.interval_start(i);
+    std::size_t j = i;
+    for (; j < states.size() && hot(j); ++j) {
+      e.peak_load = std::max(e.peak_load, load[j]);
+      e.contains_freeze |= states[j] == core::IntervalState::kFrozen;
+    }
+    e.duration = spec.width * static_cast<std::int64_t>(j - i);
+    episodes.push_back(e);
+  }
+  return episodes;
+}
+
+core::DetectionResult oracle_detect(
+    std::span<const trace::RequestRecord> records,
+    const core::IntervalSpec& spec, const core::ServiceTimeTable& table,
+    const core::DetectorConfig& config) {
+  core::DetectionResult result;
+  result.spec = spec;
+  result.load = oracle_load(records, spec);
+  result.throughput = oracle_throughput(records, spec, table, config.throughput);
+  result.nstar =
+      oracle_congestion_point(result.load, result.throughput, config.nstar);
+  result.states =
+      oracle_classify(result.load, result.throughput, result.nstar, config);
+  result.episodes = oracle_episodes(result.states, result.load, spec);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Linear-lookup twin of trace::ConcurrencyProfile. The prefix integrals and
+/// the prefix-difference split formula are kept (they ARE the definition of
+/// the profile's output, and a direct segment sum would not be FP-equal);
+/// the binary searches become front-to-back scans.
+struct NaiveProfile {
+  std::vector<std::int64_t> times;
+  std::vector<int> k;
+  std::vector<double> queue_us;
+  std::vector<double> service_us;
+
+  static double qw(int kk) {
+    return kk > 0 ? static_cast<double>(kk - 1) / static_cast<double>(kk) : 0.0;
+  }
+  static double sw(int kk) {
+    return kk > 0 ? 1.0 / static_cast<double>(kk) : 0.0;
+  }
+
+  static NaiveProfile build(std::span<const trace::RequestRecord> records) {
+    NaiveProfile p;
+    if (records.empty()) return p;
+    std::vector<std::pair<std::int64_t, int>> edges;
+    for (const trace::RequestRecord& r : records) {
+      edges.emplace_back(r.arrival.micros(), +1);
+      edges.emplace_back(r.departure.micros(), -1);
+    }
+    std::sort(edges.begin(), edges.end());
+    int kk = 0;
+    for (std::size_t i = 0; i < edges.size();) {
+      const std::int64_t t = edges[i].first;
+      while (i < edges.size() && edges[i].first == t) kk += edges[i++].second;
+      p.times.push_back(t);
+      p.k.push_back(kk);
+    }
+    p.queue_us.assign(p.times.size(), 0.0);
+    p.service_us.assign(p.times.size(), 0.0);
+    for (std::size_t i = 0; i + 1 < p.times.size(); ++i) {
+      const auto dt = static_cast<double>(p.times[i + 1] - p.times[i]);
+      p.queue_us[i + 1] = p.queue_us[i] + dt * qw(p.k[i]);
+      p.service_us[i + 1] = p.service_us[i] + dt * sw(p.k[i]);
+    }
+    return p;
+  }
+
+  /// Index of the piece containing `t` (last breakpoint <= t), linearly.
+  [[nodiscard]] std::size_t piece(std::int64_t t) const {
+    std::size_t i = 0;
+    while (i + 1 < times.size() && times[i + 1] <= t) ++i;
+    return i;
+  }
+
+  [[nodiscard]] trace::ConcurrencyProfile::Split split(TimePoint t0,
+                                                       TimePoint t1) const {
+    trace::ConcurrencyProfile::Split s;
+    if (times.empty()) return s;
+    const std::int64_t a = std::max(t0.micros(), times.front());
+    const std::int64_t b = std::min(t1.micros(), times.back());
+    if (b <= a) return s;
+    const std::size_t i0 = piece(a);
+    const std::size_t i1 = piece(b == times.back() ? b - 1 : b);
+    const auto head = static_cast<double>(a - times[i0]);
+    const auto tail = static_cast<double>(b - times[i1]);
+    s.queue_us = (queue_us[i1] - queue_us[i0]) - head * qw(k[i0]) +
+                 tail * qw(k[i1]);
+    s.service_us = (service_us[i1] - service_us[i0]) - head * sw(k[i0]) +
+                   tail * sw(k[i1]);
+    return s;
+  }
+};
+
+std::string naive_band_name(double q) {
+  const double pct = q * 100.0;
+  char buf[32];
+  if (std::abs(pct - std::round(pct)) < 1e-9) {
+    std::snprintf(buf, sizeof buf, "p%d", static_cast<int>(std::round(pct)));
+  } else {
+    std::snprintf(buf, sizeof buf, "p%.1f", pct);
+  }
+  return buf;
+}
+
+std::vector<double> naive_default_bounds() {
+  std::vector<double> bounds;
+  for (double decade = 100.0; decade < 6e7; decade *= 10.0) {
+    for (const double m : {1.0, 2.0, 5.0}) {
+      const double b = decade * m;
+      if (b <= 6e7) bounds.push_back(b);
+    }
+  }
+  bounds.push_back(6e7);
+  return bounds;
+}
+
+/// obs::snapshot_quantile's formula over a plain bucket-count vector.
+double naive_quantile(const std::vector<double>& bounds,
+                      const std::vector<std::uint64_t>& counts,
+                      std::uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += counts[i];
+    if (static_cast<double>(cum) < rank) continue;
+    if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double within = (rank - before) / static_cast<double>(counts[i]);
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, within));
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace
+
+core::AttributionReport oracle_attribution(
+    std::span<const trace::TxnTree> txns,
+    std::span<const trace::ServerIndex> servers,
+    std::span<const core::DetectionResult> detections,
+    std::span<const trace::RequestRecord> all_records,
+    const core::AttributionConfig& config) {
+  core::AttributionReport report;
+  report.band_quantiles = config.band_quantiles;
+  report.txns = txns.size();
+
+  // Congested windows per server, straight off the state runs.
+  std::map<trace::ServerIndex, std::vector<core::TimeWindow>> windows;
+  for (std::size_t s = 0; s < servers.size() && s < detections.size(); ++s) {
+    windows.emplace(servers[s], congested_windows(detections[s]));
+  }
+
+  // Naive per-server concurrency profiles (same grouping as build_profiles).
+  std::map<trace::ServerIndex, trace::RequestLog> by_server;
+  for (const trace::RequestRecord& r : all_records) {
+    by_server[r.server].push_back(r);
+  }
+  std::map<trace::ServerIndex, NaiveProfile> profiles;
+  for (const auto& [server, log] : by_server) {
+    profiles.emplace(server, NaiveProfile::build(log));
+  }
+
+  // Band cutoffs from a plain bucket-count latency histogram.
+  const std::vector<double> bounds = config.latency_bounds_us.empty()
+                                         ? naive_default_bounds()
+                                         : config.latency_bounds_us;
+  std::vector<std::uint64_t> counts(bounds.size() + 1, 0);
+  for (const trace::TxnTree& t : txns) {
+    const auto v = static_cast<double>(t.latency().micros());
+    std::size_t bucket = bounds.size();  // overflow
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (v <= bounds[i]) {
+        bucket = i;
+        break;
+      }
+    }
+    ++counts[bucket];
+  }
+  for (const double q : config.band_quantiles) {
+    report.cutoffs_us.push_back(naive_quantile(bounds, counts, txns.size(), q));
+  }
+
+  const std::size_t band_count = config.band_quantiles.size() + 1;
+  std::vector<std::map<trace::ServerIndex, core::ServerAttribution>> acc(
+      band_count);
+  report.bands.resize(band_count);
+  for (std::size_t b = 0; b < band_count; ++b) {
+    if (b < config.band_quantiles.size()) {
+      report.bands[b].band = naive_band_name(config.band_quantiles[b]);
+      report.bands[b].cutoff_us = report.cutoffs_us[b];
+    } else {
+      report.bands[b].band = "pmax";
+      report.bands[b].cutoff_us = -1.0;
+    }
+  }
+
+  const std::vector<core::TimeWindow> no_windows;
+  for (const trace::TxnTree& t : txns) {
+    const auto latency_us = static_cast<double>(t.latency().micros());
+    std::size_t band = config.band_quantiles.size();
+    for (std::size_t b = 0; b < report.cutoffs_us.size(); ++b) {
+      if (latency_us <= report.cutoffs_us[b]) {
+        band = b;
+        break;
+      }
+    }
+    ++report.bands[band].txns;
+    report.bands[band].latency_us += latency_us;
+    for (const trace::PathSegment& seg : t.critical_path) {
+      const trace::ServerIndex server =
+          t.visits[static_cast<std::size_t>(seg.visit)].server;
+      const auto pit = profiles.find(server);
+      if (pit == profiles.end()) continue;
+      const auto total = pit->second.split(seg.start, seg.end);
+      const auto wit = windows.find(server);
+      const auto& wins = wit != windows.end() ? wit->second : no_windows;
+      trace::ConcurrencyProfile::Split in;
+      for (const core::TimeWindow& w : wins) {
+        if (w.end <= seg.start) continue;
+        if (w.start >= seg.end) break;
+        const auto s = pit->second.split(std::max(seg.start, w.start),
+                                         std::min(seg.end, w.end));
+        in.queue_us += s.queue_us;
+        in.service_us += s.service_us;
+      }
+      core::ServerAttribution& a = acc[band][server];
+      a.server = server;
+      a.queue_in_us += in.queue_us;
+      a.queue_out_us += std::max(0.0, total.queue_us - in.queue_us);
+      a.service_in_us += in.service_us;
+      a.service_out_us += std::max(0.0, total.service_us - in.service_us);
+    }
+  }
+  for (std::size_t b = 0; b < band_count; ++b) {
+    for (const auto& [server, a] : acc[b]) report.bands[b].servers.push_back(a);
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// parse_line's contract: five u64 fields, single commas, blank padding
+/// around fields, trailing columns ignored, departure >= arrival.
+bool naive_parse_record(std::string_view line, trace::RequestRecord& out) {
+  std::uint64_t fields[5];
+  const char* p = line.data();
+  const char* end = p + line.size();
+  for (int f = 0; f < 5; ++f) {
+    while (p < end && (*p == ' ' || *p == '\t')) ++p;
+    const auto [next, ec] = std::from_chars(p, end, fields[f]);
+    if (ec != std::errc{}) return false;
+    p = next;
+    while (p < end && (*p == ' ' || *p == '\t')) ++p;
+    if (f < 4) {
+      if (p >= end || *p != ',') return false;
+      ++p;
+    }
+  }
+  out.server = static_cast<trace::ServerIndex>(fields[0]);
+  out.class_id = static_cast<trace::ClassId>(fields[1]);
+  out.arrival = TimePoint::from_micros(static_cast<std::int64_t>(fields[2]));
+  out.departure = TimePoint::from_micros(static_cast<std::int64_t>(fields[3]));
+  out.txn = fields[4];
+  return out.departure >= out.arrival;
+}
+
+bool naive_is_header(std::string_view line) {
+  std::size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  return line.substr(i).starts_with("server,");
+}
+
+}  // namespace
+
+trace::LogIoResult oracle_parse_csv(std::string_view text) {
+  constexpr std::size_t kPreview = 80;
+  trace::LogIoResult result;
+  result.ok = true;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  // getline semantics: every '\n' terminates a line; a trailing fragment
+  // without one is still a line; an empty input has no lines.
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        nl == std::string_view::npos ? text.substr(pos)
+                                     : text.substr(pos, nl - pos);
+    pos = nl == std::string_view::npos ? text.size() : nl + 1;
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      ++result.skipped_lines;
+      continue;
+    }
+    trace::RequestRecord r;
+    if (naive_parse_record(line, r)) {
+      result.records.push_back(r);
+    } else {
+      ++result.skipped_lines;
+      if (result.first_bad_line == 0 && !naive_is_header(line)) {
+        result.first_bad_line = line_no;
+        result.first_bad_text = std::string{line.substr(0, kPreview)};
+      }
+    }
+  }
+  return result;
+}
+
+trace::RequestLogReadResult oracle_decode_request_log_bin(
+    std::string_view bytes) {
+  constexpr std::size_t kHeaderSize = 16;
+  constexpr std::size_t kRecordSize = 32;
+  trace::RequestLogReadResult result;
+  const auto u32 = [&](std::size_t off) {
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes[off + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  const auto u64 = [&](std::size_t off) {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes[off + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  result.input_size = bytes.size();
+  if (bytes.size() < kHeaderSize) {
+    result.error = "truncated header";
+    result.error_offset = bytes.size();
+    return result;
+  }
+  if (bytes.substr(0, 4) != "TBDR") {
+    result.error = "bad magic";
+    result.error_offset = 0;
+    return result;
+  }
+  if (u32(4) != 1) {
+    result.error = "unsupported version";
+    result.error_offset = 4;
+    return result;
+  }
+  const std::uint64_t count = u64(8);
+  result.header_count = count;
+  const std::size_t payload = bytes.size() - kHeaderSize;
+  // Divide-first, as the reader does: the count is untrusted, so
+  // count * kRecordSize must never be computed before this check.
+  if (payload / kRecordSize < count) {
+    result.error = "truncated record stream";
+    result.error_record = payload / kRecordSize;
+    result.error_offset = kHeaderSize + result.error_record * kRecordSize;
+    return result;
+  }
+  if (count * kRecordSize != payload) {
+    result.error = "record count disagrees with file size";
+    result.error_record = count;
+    result.error_offset = kHeaderSize + count * kRecordSize;
+    return result;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t off = kHeaderSize + i * kRecordSize;
+    trace::RequestRecord r;
+    r.server = u32(off);
+    r.class_id = u32(off + 4);
+    r.arrival =
+        TimePoint::from_micros(static_cast<std::int64_t>(u64(off + 8)));
+    r.departure =
+        TimePoint::from_micros(static_cast<std::int64_t>(u64(off + 16)));
+    r.txn = u64(off + 24);
+    result.records.push_back(r);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace tbd::pt

@@ -1,0 +1,103 @@
+// Deliberately naive reference implementations ("oracles") of the analysis
+// pipeline, for differential testing against the optimized paths.
+//
+// Each oracle is the O(n·m) transcription of the documented definition —
+// per interval, scan every record — with none of the optimized code's
+// machinery (no edge sweep, no fusion, no sharding, no prefix integrals with
+// binary search, no SWAR). The optimized implementations are checked
+// BIT-FOR-BIT against these across thousands of generated cases
+// (tests/oracle/), which is achievable because the quantities the sweeps
+// accumulate are integer-valued doubles (integer microseconds, integer work
+// units): their floating-point sums are exact in any order, so a naive
+// re-derivation lands on the identical double before the final division.
+//
+// Where a computation is inherently non-integer (N* bin means, attribution's
+// processor-sharing integrals), the oracle accumulates in the same
+// mathematical order the definition forces (ascending interval index /
+// ascending time), which pins the optimized path's ordering as part of the
+// contract; the attribution oracle additionally evaluates range integrals
+// through the same prefix-difference identity ConcurrencyProfile documents,
+// since a direct segment sum is not FP-equal to a prefix difference.
+//
+// N* note: the differential oracle covers NStarMethod::kRobustKnee (the
+// default and the one detect_bottlenecks runs); kInterventionWalk's running
+// Welford moments have no order-free naive equivalent, so it stays pinned by
+// its behavioural unit tests instead.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "core/attribution.h"
+#include "core/congestion_point.h"
+#include "core/detector.h"
+#include "core/intervals.h"
+#include "core/throughput_calculator.h"
+#include "trace/log_io.h"
+#include "trace/records.h"
+#include "trace/request_log_file.h"
+#include "trace/txn_tree.h"
+
+namespace tbd::pt {
+
+/// Section III-A by definition: per interval, sum each record's clipped
+/// overlap in integer microseconds, divide by the width.
+[[nodiscard]] std::vector<double> oracle_load(
+    std::span<const trace::RequestRecord> records,
+    const core::IntervalSpec& spec);
+
+/// Section III-B by definition: a record's work units land in the interval
+/// containing its departure.
+[[nodiscard]] std::vector<double> oracle_throughput(
+    std::span<const trace::RequestRecord> records,
+    const core::IntervalSpec& spec, const core::ServiceTimeTable& table,
+    const core::ThroughputOptions& options);
+
+/// Robust-knee N* per the documented algorithm (congestion_point.h), written
+/// as direct scans. `config.method` must be kRobustKnee.
+[[nodiscard]] core::NStarResult oracle_congestion_point(
+    std::span<const double> load, std::span<const double> throughput,
+    const core::NStarConfig& config = {});
+
+/// Interval classification by definition (detector.h state table).
+[[nodiscard]] std::vector<core::IntervalState> oracle_classify(
+    std::span<const double> load, std::span<const double> throughput,
+    const core::NStarResult& nstar, const core::DetectorConfig& config = {});
+
+/// Maximal congested/frozen runs by definition.
+[[nodiscard]] std::vector<core::Episode> oracle_episodes(
+    std::span<const core::IntervalState> states, std::span<const double> load,
+    const core::IntervalSpec& spec);
+
+/// Full-pipeline composition of the oracles above (mirrors
+/// detect_bottlenecks, which runs the fused sweep internally).
+[[nodiscard]] core::DetectionResult oracle_detect(
+    std::span<const trace::RequestRecord> records,
+    const core::IntervalSpec& spec, const core::ServiceTimeTable& table,
+    const core::DetectorConfig& config = {});
+
+/// Critical-path attribution by definition: naive congested windows, naive
+/// histogram/quantile band cutoffs, and per-server concurrency step
+/// functions rebuilt from the raw records with linear-scan lookups.
+/// `all_records` must contain every server's records (as passed to
+/// build_profiles on the optimized side).
+[[nodiscard]] core::AttributionReport oracle_attribution(
+    std::span<const trace::TxnTree> txns,
+    std::span<const trace::ServerIndex> servers,
+    std::span<const core::DetectionResult> detections,
+    std::span<const trace::RequestRecord> all_records,
+    const core::AttributionConfig& config = {});
+
+/// CSV request-log semantics by definition (log_io.h header comment):
+/// getline splitting, '#' comments, optional header, five uint64 fields with
+/// blank padding, ignored trailing columns, departure >= arrival. Returns
+/// the same LogIoResult the file loaders produce (ok is always true).
+[[nodiscard]] trace::LogIoResult oracle_parse_csv(std::string_view text);
+
+/// TBDR decode by definition: byte-wise little-endian reads, header
+/// validation in documented order. Differential against the memcpy fast
+/// path of load_request_log_bin.
+[[nodiscard]] trace::RequestLogReadResult oracle_decode_request_log_bin(
+    std::string_view bytes);
+
+}  // namespace tbd::pt

@@ -3,12 +3,15 @@
 #include <cstring>
 #include <fstream>
 
+#include "trace/mapped_file.h"
+
 namespace tbd::trace {
 
 namespace {
 
 constexpr char kMagic[4] = {'T', 'B', 'D', 'C'};
 constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 4 + 4 + 8;
 constexpr std::size_t kRecordSize = 8 + 4 + 4 + 4 + 1 + 4 + 4 + 8 + 8 + 8;
 
 // Little-endian scribblers; portable regardless of host endianness.
@@ -28,6 +31,27 @@ T take(const char*& p) {
   return static_cast<T>(v);
 }
 
+void encode_message(char* p, const Message& m) {
+  put<std::int64_t>(p, m.at.micros());
+  put<std::uint32_t>(p, m.src);
+  put<std::uint32_t>(p, m.dst);
+  put<std::uint32_t>(p, m.conn);
+  put<std::uint8_t>(p, static_cast<std::uint8_t>(m.kind));
+  put<std::uint32_t>(p, m.class_id);
+  put<std::uint32_t>(p, m.bytes);
+  put<std::uint64_t>(p, m.txn);
+  put<std::uint64_t>(p, m.visit);
+  put<std::uint64_t>(p, m.parent_visit);
+}
+
+void encode_header(char (&header)[kHeaderSize], std::uint64_t count) {
+  char* p = header;
+  std::memcpy(p, kMagic, 4);
+  p += 4;
+  put<std::uint32_t>(p, kVersion);
+  put<std::uint64_t>(p, count);
+}
+
 }  // namespace
 
 bool save_capture(const std::string& path,
@@ -35,82 +59,72 @@ bool save_capture(const std::string& path,
   std::ofstream out{path, std::ios::binary | std::ios::trunc};
   if (!out.is_open()) return false;
 
-  char header[4 + 4 + 8];
-  char* p = header;
-  std::memcpy(p, kMagic, 4);
-  p += 4;
-  put<std::uint32_t>(p, kVersion);
-  put<std::uint64_t>(p, messages.size());
+  char header[kHeaderSize];
+  encode_header(header, messages.size());
   out.write(header, sizeof header);
 
-  std::vector<char> buffer;
-  buffer.resize(kRecordSize);
+  std::vector<char> buffer(kRecordSize);
   for (const Message& m : messages) {
-    p = buffer.data();
-    put<std::int64_t>(p, m.at.micros());
-    put<std::uint32_t>(p, m.src);
-    put<std::uint32_t>(p, m.dst);
-    put<std::uint32_t>(p, m.conn);
-    put<std::uint8_t>(p, static_cast<std::uint8_t>(m.kind));
-    put<std::uint32_t>(p, m.class_id);
-    put<std::uint32_t>(p, m.bytes);
-    put<std::uint64_t>(p, m.txn);
-    put<std::uint64_t>(p, m.visit);
-    put<std::uint64_t>(p, m.parent_visit);
+    encode_message(buffer.data(), m);
     out.write(buffer.data(), static_cast<std::streamsize>(kRecordSize));
   }
   return static_cast<bool>(out);
 }
 
-CaptureReadResult load_capture(const std::string& path) {
-  CaptureReadResult result;
-  std::ifstream in{path, std::ios::binary | std::ios::ate};
-  if (!in.is_open()) {
-    result.error = "cannot open file";
-    return result;
+std::string encode_capture(const std::vector<Message>& messages) {
+  std::string out(kHeaderSize + messages.size() * kRecordSize, '\0');
+  char header[kHeaderSize];
+  encode_header(header, messages.size());
+  std::memcpy(out.data(), header, kHeaderSize);
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    encode_message(out.data() + kHeaderSize + i * kRecordSize, messages[i]);
   }
-  const auto file_size = static_cast<std::uint64_t>(in.tellg());
-  in.seekg(0);
+  return out;
+}
 
-  char header[4 + 4 + 8];
-  in.read(header, sizeof header);
-  if (in.gcount() != sizeof header) {
+CaptureReadResult decode_capture(std::string_view bytes) {
+  CaptureReadResult result;
+  result.input_size = bytes.size();
+  if (bytes.size() < kHeaderSize) {
     result.error = "truncated header";
+    result.error_offset = bytes.size();
     return result;
   }
-  if (std::memcmp(header, kMagic, 4) != 0) {
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
     result.error = "bad magic";
+    result.error_offset = 0;
     return result;
   }
-  const char* p = header + 4;
+  const char* p = bytes.data() + 4;
   const auto version = take<std::uint32_t>(p);
   if (version != kVersion) {
     result.error = "unsupported version";
+    result.error_offset = 4;
     return result;
   }
   const auto count = take<std::uint64_t>(p);
-  // Validate the count against the file size BEFORE allocating: a corrupt
+  result.header_count = count;
+  // Validate the count against the buffer size BEFORE allocating: a corrupt
   // header must not be able to over-allocate (or silently tolerate trailing
-  // junk the writer never produced).
-  const std::uint64_t payload = file_size - sizeof header;
+  // junk the writer never produced). The division also guards the
+  // count * kRecordSize multiply from overflow.
+  const std::uint64_t payload = bytes.size() - kHeaderSize;
   if (payload / kRecordSize < count) {
     result.error = "truncated record stream";
+    result.error_record = payload / kRecordSize;  // first incomplete message
+    result.error_offset = kHeaderSize + result.error_record * kRecordSize;
     return result;
   }
   if (count * kRecordSize != payload) {
     result.error = "record count disagrees with file size";
+    result.error_record = count;
+    result.error_offset = kHeaderSize + count * kRecordSize;  // first surplus
     return result;
   }
 
   result.messages.reserve(count);
-  std::vector<char> buffer(kRecordSize);
   for (std::uint64_t i = 0; i < count; ++i) {
-    in.read(buffer.data(), static_cast<std::streamsize>(kRecordSize));
-    if (in.gcount() != static_cast<std::streamsize>(kRecordSize)) {
-      result.error = "truncated record stream";
-      return result;
-    }
-    const char* q = buffer.data();
+    const char* q = bytes.data() + kHeaderSize + i * kRecordSize;
     Message m;
     m.at = TimePoint::from_micros(take<std::int64_t>(q));
     m.src = take<std::uint32_t>(q);
@@ -126,6 +140,17 @@ CaptureReadResult load_capture(const std::string& path) {
   }
   result.ok = true;
   return result;
+}
+
+CaptureReadResult load_capture(const std::string& path) {
+  const MappedFile file = MappedFile::open(path);
+  if (!file.ok()) {
+    CaptureReadResult result;
+    result.error = "cannot open file";
+    return result;
+  }
+  if (file.empty()) return decode_capture(std::string_view{});
+  return decode_capture(std::string_view{file.data(), file.size()});
 }
 
 }  // namespace tbd::trace

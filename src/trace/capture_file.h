@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/records.h"
@@ -27,14 +28,31 @@ namespace tbd::trace {
 struct CaptureReadResult {
   std::vector<Message> messages;
   bool ok = false;
-  std::string error;  // empty when ok
+  /// Stable short code (e.g. "bad magic"); empty when ok. The coordinates
+  /// below mirror RequestLogReadResult's binary-error diagnostics.
+  std::string error;
+  /// Byte offset of the validation failure (see RequestLogReadResult).
+  std::size_t error_offset = 0;
+  /// Message index where decoding could not continue; 0 when not
+  /// message-level.
+  std::uint64_t error_record = 0;
+  /// Raw message count claimed by the header (0 if it never parsed).
+  std::uint64_t header_count = 0;
+  /// Total input size in bytes (0 only when the file could not be opened).
+  std::size_t input_size = 0;
 };
 
 /// Writes the stream; returns false on I/O failure.
 bool save_capture(const std::string& path, const std::vector<Message>& messages);
 
-/// Reads a capture file back; validates magic, version, and that the header
-/// count agrees with the file size (before allocating anything).
+/// The exact byte string save_capture writes, in memory.
+[[nodiscard]] std::string encode_capture(const std::vector<Message>& messages);
+
+/// Decodes a TBDC byte buffer; validates magic, version, and that the header
+/// count agrees with the buffer size (before allocating anything).
+[[nodiscard]] CaptureReadResult decode_capture(std::string_view bytes);
+
+/// Reads a capture file back: maps the file and decodes it.
 [[nodiscard]] CaptureReadResult load_capture(const std::string& path);
 
 }  // namespace tbd::trace

@@ -237,20 +237,10 @@ LogIoResult load_request_log_csv(const std::string& path) {
   return result;
 }
 
-LogIoResult load_request_log_csv_sharded(const std::string& path, int shards) {
+LogIoResult parse_request_log_csv(std::string_view buffer, int shards) {
   LogIoResult result;
-  MappedFile file;
-  {
-    TBD_SPAN("ingest.read");
-    file = MappedFile::open(path);
-  }
-  if (!file.ok()) {
-    result.error = "cannot open file";
-    return result;
-  }
   result.ok = true;
-  if (file.empty()) return result;
-  const std::string_view buffer{file.data(), file.size()};
+  if (buffer.empty()) return result;
 
   auto& pool = shared_pool();
   std::size_t n_shards;
@@ -359,16 +349,66 @@ LogIoResult load_request_log_csv_sharded(const std::string& path, int shards) {
   return result;
 }
 
+LogIoResult load_request_log_csv_sharded(const std::string& path, int shards) {
+  MappedFile file;
+  {
+    TBD_SPAN("ingest.read");
+    file = MappedFile::open(path);
+  }
+  if (!file.ok()) {
+    LogIoResult result;
+    result.error = "cannot open file";
+    return result;
+  }
+  if (file.empty()) {
+    LogIoResult result;
+    result.ok = true;
+    return result;
+  }
+  return parse_request_log_csv(std::string_view{file.data(), file.size()},
+                               shards);
+}
+
 LogIoResult load_request_log(const std::string& path) {
   if (sniff_request_log_bin(path)) {
     auto bin = load_request_log_bin(path);
     LogIoResult result;
     result.ok = bin.ok;
-    result.error = std::move(bin.error);
     result.records = std::move(bin.records);
+    result.error = std::move(bin.error);
+    if (!result.ok && bin.input_size > 0) {
+      // Binary errors carry byte/record coordinates; fold them into the
+      // message so the front door is as specific as first_bad_line is for
+      // CSV ("truncated record stream at byte offset 48, record 1, ...").
+      result.error += " at byte offset " + std::to_string(bin.error_offset) +
+                      ", record " + std::to_string(bin.error_record) +
+                      ", file size " + std::to_string(bin.input_size);
+    }
     return result;
   }
   return load_request_log_csv_sharded(path);
+}
+
+namespace {
+
+void append_csv_line(std::string& buffer, const RequestRecord& r) {
+  char line[128];
+  const int n = std::snprintf(
+      line, sizeof line, "%u,%u,%lld,%lld,%llu\n", r.server, r.class_id,
+      static_cast<long long>(r.arrival.micros()),
+      static_cast<long long>(r.departure.micros()),
+      static_cast<unsigned long long>(r.txn));
+  buffer.append(line, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+std::string request_log_to_csv(const RequestLog& records) {
+  std::string out;
+  out.reserve(records.size() * 24 + 64);
+  out += "server,class,arrival_us,departure_us,txn\n";
+  for (const auto& r : records) append_csv_line(out, r);
+  return out;
 }
 
 bool save_request_log_csv(const std::string& path, const RequestLog& records) {
@@ -377,14 +417,8 @@ bool save_request_log_csv(const std::string& path, const RequestLog& records) {
   std::string buffer;
   buffer.reserve(kCsvFlushBytes + 128);
   buffer += "server,class,arrival_us,departure_us,txn\n";
-  char line[128];
   for (const auto& r : records) {
-    const int n = std::snprintf(
-        line, sizeof line, "%u,%u,%lld,%lld,%llu\n", r.server, r.class_id,
-        static_cast<long long>(r.arrival.micros()),
-        static_cast<long long>(r.departure.micros()),
-        static_cast<unsigned long long>(r.txn));
-    buffer.append(line, static_cast<std::size_t>(n));
+    append_csv_line(buffer, r);
     if (buffer.size() >= kCsvFlushBytes) {
       out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
       buffer.clear();

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/records.h"
@@ -50,6 +51,15 @@ struct LogIoResult {
 /// resolves to the shared pool's width (capped so shards stay block-sized).
 [[nodiscard]] LogIoResult load_request_log_csv_sharded(const std::string& path,
                                                        int shards = 0);
+
+/// The sharded parser on an in-memory buffer (the file loaders map the file
+/// and call this). Identical classification to the sequential loader;
+/// identical result for any `shards`. ok is always true.
+[[nodiscard]] LogIoResult parse_request_log_csv(std::string_view text,
+                                                int shards = 0);
+
+/// The exact byte string save_request_log_csv writes (header included).
+[[nodiscard]] std::string request_log_to_csv(const RequestLog& records);
 
 /// Loads a request log of either encoding: binary when `path` carries the
 /// "TBDR" magic (see request_log_file.h), sharded CSV otherwise.

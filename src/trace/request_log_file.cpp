@@ -60,17 +60,33 @@ T take(const char*& p) {
 
 }  // namespace
 
+namespace {
+
+void encode_header(char (&header)[kHeaderSize], std::uint64_t count) {
+  char* p = header;
+  std::memcpy(p, kMagic, 4);
+  p += 4;
+  put<std::uint32_t>(p, kVersion);
+  put<std::uint64_t>(p, count);
+}
+
+void encode_record(char* p, const RequestRecord& r) {
+  put<std::uint32_t>(p, r.server);
+  put<std::uint32_t>(p, r.class_id);
+  put<std::int64_t>(p, r.arrival.micros());
+  put<std::int64_t>(p, r.departure.micros());
+  put<std::uint64_t>(p, r.txn);
+}
+
+}  // namespace
+
 bool save_request_log_bin(const std::string& path, const RequestLog& records) {
   TBD_SPAN("ingest.bin_save");
   std::ofstream out{path, std::ios::binary | std::ios::trunc};
   if (!out.is_open()) return false;
 
   char header[kHeaderSize];
-  char* p = header;
-  std::memcpy(p, kMagic, 4);
-  p += 4;
-  put<std::uint32_t>(p, kVersion);
-  put<std::uint64_t>(p, records.size());
+  encode_header(header, records.size());
   out.write(header, sizeof header);
 
   if constexpr (kHostLayoutMatchesWire) {
@@ -89,53 +105,67 @@ bool save_request_log_bin(const std::string& path, const RequestLog& records) {
     staged = 0;
   };
   for (const RequestRecord& r : records) {
-    p = buffer.data() + staged * kRecordSize;
-    put<std::uint32_t>(p, r.server);
-    put<std::uint32_t>(p, r.class_id);
-    put<std::int64_t>(p, r.arrival.micros());
-    put<std::int64_t>(p, r.departure.micros());
-    put<std::uint64_t>(p, r.txn);
+    encode_record(buffer.data() + staged * kRecordSize, r);
     if (++staged == kFlushRecords) flush();
   }
   flush();
   return static_cast<bool>(out);
 }
 
-RequestLogReadResult load_request_log_bin(const std::string& path) {
+std::string encode_request_log_bin(const RequestLog& records) {
+  std::string out(kHeaderSize + records.size() * kRecordSize, '\0');
+  char header[kHeaderSize];
+  encode_header(header, records.size());
+  std::memcpy(out.data(), header, kHeaderSize);
+  if constexpr (kHostLayoutMatchesWire) {
+    if (!records.empty()) {
+      std::memcpy(out.data() + kHeaderSize, records.data(),
+                  records.size() * kRecordSize);
+    }
+  } else {
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      encode_record(out.data() + kHeaderSize + i * kRecordSize, records[i]);
+    }
+  }
+  return out;
+}
+
+RequestLogReadResult decode_request_log_bin(std::string_view bytes) {
   RequestLogReadResult result;
-  MappedFile file;
-  {
-    TBD_SPAN("ingest.bin_read");
-    file = MappedFile::open(path);
-  }
-  if (!file.ok()) {
-    result.error = "cannot open file";
-    return result;
-  }
-  if (file.size() < kHeaderSize) {
+  result.input_size = bytes.size();
+  if (bytes.size() < kHeaderSize) {
     result.error = "truncated header";
+    result.error_offset = bytes.size();
     return result;
   }
-  if (std::memcmp(file.data(), kMagic, 4) != 0) {
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
     result.error = "bad magic";
+    result.error_offset = 0;
     return result;
   }
-  const char* p = file.data() + 4;
+  const char* p = bytes.data() + 4;
   const auto version = take<std::uint32_t>(p);
   if (version != kVersion) {
     result.error = "unsupported version";
+    result.error_offset = 4;
     return result;
   }
   const auto count = take<std::uint64_t>(p);
-  // The count must agree with the file size exactly — checked BEFORE any
-  // allocation, so a corrupt header cannot over-allocate or over-read.
-  const std::size_t payload = file.size() - kHeaderSize;
+  result.header_count = count;
+  // The count must agree with the buffer size exactly — checked BEFORE any
+  // allocation, so a corrupt header cannot over-allocate or over-read. The
+  // division guards the count * kRecordSize multiply below from overflow.
+  const std::size_t payload = bytes.size() - kHeaderSize;
   if (payload / kRecordSize < count) {
     result.error = "truncated record stream";
+    result.error_record = payload / kRecordSize;  // first incomplete record
+    result.error_offset = kHeaderSize + result.error_record * kRecordSize;
     return result;
   }
   if (count * kRecordSize != payload) {
     result.error = "record count disagrees with file size";
+    result.error_record = count;
+    result.error_offset = kHeaderSize + count * kRecordSize;  // first surplus
     return result;
   }
 
@@ -147,7 +177,7 @@ RequestLogReadResult load_request_log_bin(const std::string& path) {
       // resize()+memcpy keeps it a single pass over the fresh allocation
       // (no zero-fill before the copy).
       const auto* first =
-          reinterpret_cast<const RequestRecord*>(file.data() + kHeaderSize);
+          reinterpret_cast<const RequestRecord*>(bytes.data() + kHeaderSize);
       result.records.reserve(count);
       advise_huge_pages(result.records.data(), count * sizeof(RequestRecord));
       populate_pages_for_write(result.records.data(),
@@ -159,7 +189,7 @@ RequestLogReadResult load_request_log_bin(const std::string& path) {
       shared_pool().parallel_for_indexed(chunks, [&](std::size_t c) {
         const std::size_t begin = c * kDecodeChunk;
         const std::size_t end = std::min(begin + kDecodeChunk, count);
-        const char* q = file.data() + kHeaderSize + begin * kRecordSize;
+        const char* q = bytes.data() + kHeaderSize + begin * kRecordSize;
         for (std::size_t i = begin; i < end; ++i) {
           RequestRecord& r = result.records[i];
           r.server = take<std::uint32_t>(q);
@@ -174,6 +204,21 @@ RequestLogReadResult load_request_log_bin(const std::string& path) {
   result.ok = true;
   obs::Registry::global().counter("ingest_bin_records_total").add(count);
   return result;
+}
+
+RequestLogReadResult load_request_log_bin(const std::string& path) {
+  MappedFile file;
+  {
+    TBD_SPAN("ingest.bin_read");
+    file = MappedFile::open(path);
+  }
+  if (!file.ok()) {
+    RequestLogReadResult result;
+    result.error = "cannot open file";
+    return result;
+  }
+  if (file.empty()) return decode_request_log_bin(std::string_view{});
+  return decode_request_log_bin(std::string_view{file.data(), file.size()});
 }
 
 bool sniff_request_log_bin(const std::string& path) {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "trace/records.h"
 
@@ -26,15 +27,37 @@ namespace tbd::trace {
 struct RequestLogReadResult {
   RequestLog records;
   bool ok = false;
-  std::string error;  // empty when ok
+  /// Stable short code (e.g. "bad magic"); empty when ok. The fields below
+  /// locate the failure — CSV loads report first_bad_line/first_bad_text,
+  /// and binary loads report the equivalent byte/record coordinates.
+  std::string error;
+  /// Byte offset of the validation failure: end of the available data for
+  /// truncation, the offending header field otherwise, the first surplus
+  /// byte for a count/size disagreement. 0 when ok.
+  std::size_t error_offset = 0;
+  /// Record index where decoding could not continue (truncation: the first
+  /// incomplete record; surplus bytes: the header count). 0 when the error
+  /// is not record-level.
+  std::uint64_t error_record = 0;
+  /// Raw record count claimed by the header (0 if the header never parsed).
+  std::uint64_t header_count = 0;
+  /// Total input size in bytes (0 only when the file could not be opened).
+  std::size_t input_size = 0;
 };
 
 /// Writes the records; returns false on I/O failure.
 bool save_request_log_bin(const std::string& path, const RequestLog& records);
 
-/// Reads a binary request log back; validates magic, version, and count
-/// against the file size. Decoding fans out over the shared pool in
-/// order-preserving chunks.
+/// The exact byte string save_request_log_bin writes, in memory.
+[[nodiscard]] std::string encode_request_log_bin(const RequestLog& records);
+
+/// Decodes a TBDR byte buffer; validates magic, version, and count against
+/// the buffer size before allocating anything. Decoding fans out over the
+/// shared pool in order-preserving chunks.
+[[nodiscard]] RequestLogReadResult decode_request_log_bin(
+    std::string_view bytes);
+
+/// Reads a binary request log back: maps the file and decodes it.
 [[nodiscard]] RequestLogReadResult load_request_log_bin(
     const std::string& path);
 

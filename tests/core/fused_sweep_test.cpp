@@ -118,5 +118,70 @@ TEST(FusedSweepTest, MatchesOnEmptyInputs) {
   expect_bit_identical(log, empty, table, ThroughputOptions{});
 }
 
+// --- Interval-math edge regressions: the cases below pin EXACT output
+// values (not just fused == separate), so an off-by-one in the clipping or
+// binning arithmetic cannot slip in as a consistent bug on both sides. ---
+
+TEST(FusedSweepTest, EmptyLogYieldsExactZeroSeries) {
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::from_micros(200'000), 50_ms);
+  const auto fused = compute_load_throughput({}, spec, table8());
+  ASSERT_EQ(fused.load.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(fused.load[i], 0.0) << i;
+    EXPECT_EQ(fused.throughput[i], 0.0) << i;
+  }
+}
+
+TEST(FusedSweepTest, SingleRecordExactValues) {
+  // [10ms, 35ms) on a 50ms grid: 25ms of residence in interval 0, one work
+  // unit (class 0 IS the minimum service time) departing in interval 0.
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::from_micros(200'000), 50_ms);
+  const std::vector<trace::RequestRecord> log{rec(10'000, 35'000)};
+  const auto fused = compute_load_throughput(log, spec, table8());
+  EXPECT_EQ(fused.load[0], 25'000.0 / 50'000.0);
+  EXPECT_EQ(fused.load[1], 0.0);
+  EXPECT_EQ(fused.throughput[0], 1.0 / 0.05);  // 1 unit per 50ms, per second
+  EXPECT_EQ(fused.throughput[1], 0.0);
+}
+
+TEST(FusedSweepTest, ZeroDurationRecordOnBoundaryCountsInLaterInterval) {
+  // Zero residence everywhere; the departure sits exactly on the 50ms edge,
+  // which belongs to interval 1 (intervals are half-open [start, end)).
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::from_micros(200'000), 50_ms);
+  const std::vector<trace::RequestRecord> log{rec(50'000, 50'000)};
+  const auto fused = compute_load_throughput(log, spec, table8());
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(fused.load[i], 0.0) << i;
+  EXPECT_EQ(fused.throughput[0], 0.0);
+  EXPECT_EQ(fused.throughput[1], 1.0 / 0.05);
+}
+
+TEST(FusedSweepTest, DepartureAtGridEndIsClippedOutOfThroughput) {
+  // departure == spec.end(): the final microsecond of residence lands in the
+  // last interval, but the completion itself falls outside the half-open
+  // grid and must not be counted anywhere.
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::from_micros(200'000), 50_ms);
+  const std::vector<trace::RequestRecord> log{rec(199'999, 200'000)};
+  const auto fused = compute_load_throughput(log, spec, table8());
+  EXPECT_EQ(fused.load[3], 1.0 / 50'000.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(fused.throughput[i], 0.0) << i;
+  }
+}
+
+TEST(FusedSweepTest, RecordSpanningWholeGridLoadsEveryIntervalExactlyOnce) {
+  const auto spec = IntervalSpec::over(TimePoint::origin(),
+                                       TimePoint::from_micros(200'000), 50_ms);
+  const std::vector<trace::RequestRecord> log{rec(-10'000, 500'000)};
+  const auto fused = compute_load_throughput(log, spec, table8());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(fused.load[i], 1.0) << i;
+    EXPECT_EQ(fused.throughput[i], 0.0) << i;  // departs past the grid
+  }
+}
+
 }  // namespace
 }  // namespace tbd::core

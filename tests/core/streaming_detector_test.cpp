@@ -158,5 +158,120 @@ TEST(StreamingDetectorTest, CountersConsistent) {
   EXPECT_EQ(stream.congested_intervals(), 0u);  // load ~0.8 < N*
 }
 
+// --- reset(): a detector rewound mid-stream must be indistinguishable from
+// a freshly constructed one fed the same second stream. ---
+
+struct Emitted {
+  std::vector<double> loads;
+  std::vector<IntervalState> states;
+  std::vector<Episode> episodes;
+};
+
+void record_into(StreamingDetector& stream, Emitted& out) {
+  stream.on_interval([&out](std::size_t, double load, double, IntervalState s) {
+    out.loads.push_back(load);
+    out.states.push_back(s);
+  });
+  stream.on_episode([&out](const Episode& e) { out.episodes.push_back(e); });
+}
+
+std::vector<trace::RequestRecord> burst_stream(std::int64_t origin) {
+  // A congested burst in [100,200)ms followed by a quiet tail, relative to
+  // `origin` — the same shape the episode test above uses.
+  std::vector<trace::RequestRecord> records;
+  for (int i = 0; i < 20; ++i) {
+    records.push_back(rec(origin + 100'000, origin + 200'000 + i));
+  }
+  for (std::int64_t t = 200'000; t < 800'000; t += 10'000) {
+    records.push_back(rec(origin + t, origin + t + 1000));
+  }
+  return records;
+}
+
+TEST(StreamingDetectorTest, ResetMidStreamMatchesFreshDetector) {
+  const ServiceTimeTable table{{1000.0}};
+  const auto second = burst_stream(5'000'000);
+
+  // Reset victim: fed half of an unrelated first stream, then rewound
+  // mid-flight (open cells, a partially built episode, and non-zero
+  // counters all pending) onto the second stream.
+  StreamingDetector reused{TimePoint::origin(), config50(), nstar(5, 1e6),
+                           table};
+  Emitted reused_out;
+  record_into(reused, reused_out);
+  reused.push_batch(burst_stream(0));
+  reused.push(rec(100, 1100));  // ancient -> bumps dropped_records()
+  ASSERT_GT(reused.intervals_emitted(), 0u);
+  ASSERT_EQ(reused.dropped_records(), 1u);
+
+  reused.reset(TimePoint::from_micros(5'000'000));
+  reused_out = Emitted{};
+  EXPECT_EQ(reused.intervals_emitted(), 0u);
+  EXPECT_EQ(reused.congested_intervals(), 0u);
+  EXPECT_EQ(reused.dropped_records(), 0u);
+  EXPECT_TRUE(reused.episodes().empty());
+  reused.push_batch(second);
+  reused.finish();
+
+  StreamingDetector fresh{TimePoint::from_micros(5'000'000), config50(),
+                          nstar(5, 1e6), table};
+  Emitted fresh_out;
+  record_into(fresh, fresh_out);
+  fresh.push_batch(second);
+  fresh.finish();
+
+  EXPECT_TRUE(reused_out.loads == fresh_out.loads);
+  EXPECT_EQ(reused_out.states, fresh_out.states);
+  EXPECT_EQ(reused.intervals_emitted(), fresh.intervals_emitted());
+  EXPECT_EQ(reused.congested_intervals(), fresh.congested_intervals());
+  EXPECT_EQ(reused.dropped_records(), fresh.dropped_records());
+  ASSERT_EQ(reused_out.episodes.size(), fresh_out.episodes.size());
+  ASSERT_EQ(reused.episodes().size(), fresh.episodes().size());
+  for (std::size_t i = 0; i < fresh.episodes().size(); ++i) {
+    EXPECT_EQ(reused.episodes()[i].start.micros(),
+              fresh.episodes()[i].start.micros());
+    EXPECT_EQ(reused.episodes()[i].duration.micros(),
+              fresh.episodes()[i].duration.micros());
+    EXPECT_EQ(reused.episodes()[i].peak_load, fresh.episodes()[i].peak_load);
+  }
+}
+
+TEST(StreamingDetectorTest, ResetKeepsCallbacksAndCalibration) {
+  // Callbacks registered before reset() must keep firing after it, and the
+  // frozen N* must still classify the post-reset burst as congested.
+  StreamingDetector stream{TimePoint::origin(), config50(), nstar(5, 1e6),
+                           ServiceTimeTable{{1000.0}}};
+  Emitted out;
+  record_into(stream, out);
+  stream.push_batch(burst_stream(0));
+  stream.finish();
+  ASSERT_EQ(out.episodes.size(), 1u);
+
+  stream.reset(TimePoint::origin());
+  out = Emitted{};
+  stream.push_batch(burst_stream(0));
+  stream.finish();
+  ASSERT_EQ(out.episodes.size(), 1u);
+  EXPECT_EQ(out.episodes[0].start.micros(), 100'000);
+  EXPECT_EQ(stream.congested_intervals(), 2u);
+  EXPECT_GT(out.loads.size(), 0u);
+}
+
+TEST(StreamingDetectorTest, ResetAllowsRewindingTime) {
+  // After reset the clock may move backwards: records older than the old
+  // stream but inside the new window must be accepted, not dropped.
+  StreamingDetector stream{TimePoint::from_micros(10'000'000), config50(),
+                           nstar(5, 1000), ServiceTimeTable{{1000.0}}};
+  stream.push(rec(12'000'000, 12'001'000));
+  stream.finish();
+  ASSERT_GT(stream.intervals_emitted(), 0u);
+
+  stream.reset(TimePoint::origin());
+  stream.push(rec(1000, 2000));
+  stream.finish();
+  EXPECT_EQ(stream.dropped_records(), 0u);
+  EXPECT_GT(stream.intervals_emitted(), 0u);
+}
+
 }  // namespace
 }  // namespace tbd::core

@@ -1,0 +1,255 @@
+// Metamorphic invariants of the analysis pipeline: transformations of the
+// input that must leave the output exactly unchanged (or change it in an
+// exactly predictable way). Complements tests/oracle/ — no reference
+// implementation is needed, just the relation — and, like that suite, runs
+// at TBD_THREADS=1 and 4 via explicit ctest registrations.
+//
+//  * time-shift: translating every timestamp and the grid by the same delta
+//    must reproduce the identical series (integer microsecond arithmetic);
+//  * permutation: record order is not part of any contract;
+//  * shard boundaries: every shard count parses a CSV buffer identically;
+//  * encoding round-trips: CSV text and TBDR bytes are two lossless views
+//    of the same records;
+//  * streaming: push == push_batch under arbitrary chunking, and both equal
+//    the batch sweep series over the sealed prefix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/fused_sweep.h"
+#include "core/streaming_detector.h"
+#include "testing/generators.h"
+#include "testing/oracles.h"
+#include "trace/log_io.h"
+#include "trace/request_log_file.h"
+#include "util/rng.h"
+
+namespace tbd {
+namespace {
+
+constexpr std::uint64_t kCases = 300;
+
+bool bits_equal(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a[i]) != std::bit_cast<std::uint64_t>(b[i]))
+      return false;
+  }
+  return true;
+}
+
+bool records_equal(const trace::RequestLog& a, const trace::RequestLog& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(),
+                                   a.size() * sizeof(trace::RequestRecord)) == 0);
+}
+
+pt::LogGenConfig base_config(Rng& rng) {
+  pt::LogGenConfig config;
+  config.max_records = 20 + rng.uniform_index(140);
+  config.width_us = std::int64_t{20'000} << rng.uniform_index(3);
+  config.horizon_us = config.width_us * (10 + rng.uniform_index(30));
+  return config;
+}
+
+TEST(Metamorphic, TimeShiftInvariance) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed};
+    const auto config = base_config(rng);
+    const auto spec = pt::grid_for(config);
+    const auto log = pt::generate_request_log(rng, config);
+    const auto table = pt::generate_service_table(rng, config.classes);
+    const auto options = pt::generate_throughput_options(rng);
+    const auto base = core::compute_load_throughput(log, spec, table, options);
+
+    const std::int64_t delta =
+        (rng.bernoulli(0.5) ? 1 : -1) *
+        static_cast<std::int64_t>(rng.uniform_index(3'000'000'000));
+    trace::RequestLog shifted = log;
+    for (auto& r : shifted) {
+      r.arrival = TimePoint::from_micros(r.arrival.micros() + delta);
+      r.departure = TimePoint::from_micros(r.departure.micros() + delta);
+    }
+    core::IntervalSpec shifted_spec = spec;
+    shifted_spec.start = TimePoint::from_micros(spec.start.micros() + delta);
+
+    const auto moved =
+        core::compute_load_throughput(shifted, shifted_spec, table, options);
+    EXPECT_TRUE(bits_equal(base.load, moved.load)) << "seed " << seed;
+    EXPECT_TRUE(bits_equal(base.throughput, moved.throughput))
+        << "seed " << seed;
+  }
+}
+
+TEST(Metamorphic, RecordPermutationInvariance) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 10'000'000};
+    const auto config = base_config(rng);
+    const auto spec = pt::grid_for(config);
+    auto log = pt::generate_request_log(rng, config);
+    const auto table = pt::generate_service_table(rng, config.classes);
+    const auto base = core::detect_bottlenecks(log, spec, table);
+
+    // Fisher–Yates off the shared Rng keeps the case reproducible.
+    for (std::size_t i = log.size(); i > 1; --i) {
+      std::swap(log[i - 1], log[rng.uniform_index(i)]);
+    }
+    const auto shuffled = core::detect_bottlenecks(log, spec, table);
+
+    EXPECT_TRUE(bits_equal(base.load, shuffled.load)) << "seed " << seed;
+    EXPECT_TRUE(bits_equal(base.throughput, shuffled.throughput))
+        << "seed " << seed;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(base.nstar.n_star),
+              std::bit_cast<std::uint64_t>(shuffled.nstar.n_star))
+        << "seed " << seed;
+    EXPECT_EQ(base.states, shuffled.states) << "seed " << seed;
+    ASSERT_EQ(base.episodes.size(), shuffled.episodes.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < base.episodes.size(); ++i) {
+      EXPECT_EQ(base.episodes[i].start.micros(),
+                shuffled.episodes[i].start.micros())
+          << "seed " << seed;
+      EXPECT_EQ(base.episodes[i].duration.micros(),
+                shuffled.episodes[i].duration.micros())
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(Metamorphic, ShardBoundaryInvariance) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 20'000'000};
+    const auto text = pt::generate_csv_text(rng);
+    const auto reference = trace::parse_request_log_csv(text, 1);
+    for (int shards = 2; shards <= 8; ++shards) {
+      const auto sharded = trace::parse_request_log_csv(text, shards);
+      EXPECT_TRUE(records_equal(reference.records, sharded.records))
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(reference.skipped_lines, sharded.skipped_lines)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(reference.first_bad_line, sharded.first_bad_line)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(reference.first_bad_text, sharded.first_bad_text)
+          << "seed " << seed << " shards " << shards;
+    }
+  }
+}
+
+TEST(Metamorphic, CsvAndTbdrAreLosslessViewsOfTheSameRecords) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 30'000'000};
+    const auto config = base_config(rng);
+    auto log = pt::generate_request_log(rng, config);
+    // The CSV writer prints signed microseconds but the reader only accepts
+    // unsigned fields, so pre-epoch records cannot survive text (they do
+    // survive TBDR). Keep this property on the printable subset.
+    std::erase_if(log, [](const trace::RequestRecord& r) {
+      return r.arrival.micros() < 0;
+    });
+
+    const auto via_csv =
+        trace::parse_request_log_csv(trace::request_log_to_csv(log), 3);
+    ASSERT_TRUE(via_csv.ok);
+    EXPECT_TRUE(records_equal(log, via_csv.records)) << "seed " << seed;
+
+    const auto via_bin =
+        trace::decode_request_log_bin(trace::encode_request_log_bin(log));
+    ASSERT_TRUE(via_bin.ok) << via_bin.error;
+    EXPECT_TRUE(records_equal(log, via_bin.records)) << "seed " << seed;
+  }
+}
+
+TEST(Metamorphic, StreamingPushEqualsPushBatchEqualsBatchSweep) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 40'000'000};
+    auto config = base_config(rng);
+    config.origin_us = 0;
+    config.p_outside = 0.0;  // streaming drops pre-start arrivals' history
+    config.p_spanning = 0.0;
+    const auto spec = pt::grid_for(config);
+    auto log = pt::generate_request_log(rng, config);
+    std::sort(log.begin(), log.end(),
+              [](const trace::RequestRecord& a, const trace::RequestRecord& b) {
+                return a.departure < b.departure;
+              });
+    const auto table = pt::generate_service_table(rng, config.classes);
+
+    core::StreamingDetector::Config stream_config;
+    stream_config.width = spec.width;
+    stream_config.lag = Duration::seconds(30);
+    core::NStarResult nstar;
+    nstar.n_star = rng.uniform(0.5, 8.0);
+    nstar.tp_max = rng.uniform(100.0, 5000.0);
+    nstar.converged = true;
+
+    struct Emitted {
+      std::vector<double> load, tput;
+      std::vector<core::IntervalState> states;
+    };
+    const auto run = [&](auto feed) {
+      core::StreamingDetector stream{spec.start, stream_config, nstar, table};
+      Emitted out;
+      stream.on_interval([&](std::size_t, double load, double tput,
+                             core::IntervalState state) {
+        out.load.push_back(load);
+        out.tput.push_back(tput);
+        out.states.push_back(state);
+      });
+      feed(stream);
+      stream.finish();
+      return out;
+    };
+
+    const auto loop = run([&](core::StreamingDetector& s) {
+      for (const auto& r : log) s.push(r);
+    });
+    const auto whole = run(
+        [&](core::StreamingDetector& s) { s.push_batch(log); });
+    const auto chunked = run([&](core::StreamingDetector& s) {
+      std::size_t i = 0;
+      while (i < log.size()) {
+        const std::size_t n = 1 + rng.uniform_index(7);
+        const std::size_t end = std::min(i + n, log.size());
+        s.push_batch(std::span{log}.subspan(i, end - i));
+        i = end;
+      }
+    });
+
+    EXPECT_TRUE(bits_equal(loop.load, whole.load)) << "seed " << seed;
+    EXPECT_TRUE(bits_equal(loop.tput, whole.tput)) << "seed " << seed;
+    EXPECT_EQ(loop.states, whole.states) << "seed " << seed;
+    EXPECT_TRUE(bits_equal(loop.load, chunked.load)) << "seed " << seed;
+    EXPECT_TRUE(bits_equal(loop.tput, chunked.tput)) << "seed " << seed;
+    EXPECT_EQ(loop.states, chunked.states) << "seed " << seed;
+
+    // The sealed prefix must agree with the batch sweep over the same grid:
+    // the streaming cells accumulate the same integer-microsecond residence
+    // and integer work units, so equality is bitwise, not approximate.
+    // finish() seals only up to the last departure, so the stream may stop
+    // short of the grid — every batch interval past it must be exactly empty.
+    const auto batch = core::compute_load_throughput(log, spec, table);
+    const std::size_t common = std::min(loop.load.size(), batch.load.size());
+    for (std::size_t i = common; i < batch.load.size(); ++i) {
+      EXPECT_EQ(batch.load[i], 0.0) << "seed " << seed << " interval " << i;
+      EXPECT_EQ(batch.throughput[i], 0.0)
+          << "seed " << seed << " interval " << i;
+    }
+    for (std::size_t i = 0; i < common; ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(loop.load[i]),
+                std::bit_cast<std::uint64_t>(batch.load[i]))
+          << "seed " << seed << " interval " << i;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(loop.tput[i]),
+                std::bit_cast<std::uint64_t>(batch.throughput[i]))
+          << "seed " << seed << " interval " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tbd

@@ -96,6 +96,47 @@ TEST(TimelineBuilderTest, OutputIsByteStable) {
   EXPECT_EQ(build(), build());
 }
 
+// --- Zero-duration spans (arrival == departure visits render as empty
+// slices) must not corrupt lane nesting. ---
+
+TEST(TimelineBuilderTest, ZeroDurationSliceNestsInsideEnclosingSlice) {
+  TimelineBuilder tl;
+  const auto track = tl.add_track("server 0");
+  tl.add_slice(track, 0, 10000, "outer", "visit");
+  tl.add_slice(track, 2000, 2000, "instant", "visit");
+  const std::string json = tl.to_json();
+  // Both fit on one lane: no "server 0 ·2" spill.
+  EXPECT_EQ(json.find("server 0 \xc2\xb7"), std::string::npos);
+  EXPECT_EQ(count_of(json, "\"ph\":\"B\""), 2u);
+  EXPECT_EQ(count_of(json, "\"ph\":\"E\""), 2u);
+}
+
+TEST(TimelineBuilderTest, ZeroDurationSliceAtEnclosingEndSharesLane) {
+  // The instant sits exactly where the first slice closes; the half-open
+  // pop rule ([start, end) slices) frees the lane, so no spill either.
+  TimelineBuilder tl;
+  const auto track = tl.add_track("server 0");
+  tl.add_slice(track, 0, 5000, "a", "visit");
+  tl.add_slice(track, 5000, 5000, "instant", "visit");
+  const std::string json = tl.to_json();
+  EXPECT_EQ(json.find("server 0 \xc2\xb7"), std::string::npos);
+}
+
+TEST(TimelineBuilderTest, CoincidentZeroDurationSlicesStayNested) {
+  // Two instants at the same timestamp inside an open slice: each nests
+  // (the previous instant is popped as already closed), one lane total,
+  // and the B/E stream stays balanced.
+  TimelineBuilder tl;
+  const auto track = tl.add_track("server 0");
+  tl.add_slice(track, 0, 10000, "outer", "visit");
+  tl.add_slice(track, 4000, 4000, "first", "visit");
+  tl.add_slice(track, 4000, 4000, "second", "visit");
+  const std::string json = tl.to_json();
+  EXPECT_EQ(json.find("server 0 \xc2\xb7"), std::string::npos);
+  EXPECT_EQ(count_of(json, "\"ph\":\"B\""), 3u);
+  EXPECT_EQ(count_of(json, "\"ph\":\"E\""), 3u);
+}
+
 TEST(TimelineBuilderTest, FormattersAreFixedPrecision) {
   EXPECT_EQ(TimelineBuilder::num(1.0), "1.000");
   EXPECT_EQ(TimelineBuilder::num(0.12349), "0.123");

@@ -1,0 +1,342 @@
+// Differential tests: the optimized analysis pipeline against the naive
+// oracles (testing/oracles.h), BIT-FOR-BIT, across thousands of seeded
+// generated cases (testing/generators.h).
+//
+// "Bit-for-bit" is literal: doubles are compared as their u64 bit patterns,
+// so even a -0.0 vs +0.0 divergence or a reassociated sum fails. The same
+// binary is registered twice in ctest — TBD_THREADS=1 and TBD_THREADS=4 —
+// because the optimized side shards work across the pool and its results
+// must not depend on the thread count.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "core/attribution.h"
+#include "core/congestion_point.h"
+#include "core/detector.h"
+#include "core/fused_sweep.h"
+#include "core/load_calculator.h"
+#include "core/throughput_calculator.h"
+#include "testing/generators.h"
+#include "testing/oracles.h"
+#include "trace/log_io.h"
+#include "trace/request_log_file.h"
+#include "trace/txn_tree.h"
+#include "util/rng.h"
+
+namespace tbd {
+namespace {
+
+/// The number of generated cases per oracle. Each case is a fresh random
+/// log/config; the acceptance bar for this harness is >= 1000 per oracle.
+constexpr std::uint64_t kCases = 1000;
+
+::testing::AssertionResult bits_equal(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bits 0x" << std::hex
+         << std::bit_cast<std::uint64_t>(a) << " vs 0x"
+         << std::bit_cast<std::uint64_t>(b) << ")";
+}
+
+::testing::AssertionResult series_equal(std::span<const double> a,
+                                        std::span<const double> b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size " << a.size() << " vs " << b.size();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto r = bits_equal(a[i], b[i]);
+    if (!r) return ::testing::AssertionFailure() << "[" << i << "] " << r.message();
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Per-seed variation of the log shape so the case set spans grid widths,
+/// server counts, negative origins, and burst-heavy vs sparse logs.
+pt::LogGenConfig log_config_for(Rng& rng) {
+  pt::LogGenConfig config;
+  config.max_records = 20 + rng.uniform_index(180);
+  config.origin_us = rng.bernoulli(0.2) ? -1'000'000 : 0;
+  config.width_us = std::int64_t{10'000} << rng.uniform_index(4);  // 10..80ms
+  config.horizon_us = config.width_us * (10 + rng.uniform_index(40));
+  config.servers = 1;
+  config.classes = 1 + static_cast<std::uint32_t>(rng.uniform_index(8));
+  return config;
+}
+
+TEST(DifferentialOracle, LoadBitExact) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed};
+    const auto config = log_config_for(rng);
+    const auto spec = pt::grid_for(config);
+    const auto log = pt::generate_request_log(rng, config);
+    EXPECT_TRUE(series_equal(core::compute_load(log, spec),
+                             pt::oracle_load(log, spec)))
+        << "seed " << seed;
+  }
+}
+
+TEST(DifferentialOracle, ThroughputBitExact) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 1'000'000};
+    const auto config = log_config_for(rng);
+    const auto spec = pt::grid_for(config);
+    const auto log = pt::generate_request_log(rng, config);
+    const auto table = pt::generate_service_table(rng, config.classes);
+    const auto options = pt::generate_throughput_options(rng);
+    EXPECT_TRUE(
+        series_equal(core::compute_throughput(log, spec, table, options),
+                     pt::oracle_throughput(log, spec, table, options)))
+        << "seed " << seed;
+  }
+}
+
+TEST(DifferentialOracle, FusedSweepBitExact) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 2'000'000};
+    const auto config = log_config_for(rng);
+    const auto spec = pt::grid_for(config);
+    const auto log = pt::generate_request_log(rng, config);
+    const auto table = pt::generate_service_table(rng, config.classes);
+    const auto options = pt::generate_throughput_options(rng);
+    const auto fused = core::compute_load_throughput(log, spec, table, options);
+    EXPECT_TRUE(series_equal(fused.load, pt::oracle_load(log, spec)))
+        << "seed " << seed;
+    EXPECT_TRUE(series_equal(fused.throughput,
+                             pt::oracle_throughput(log, spec, table, options)))
+        << "seed " << seed;
+  }
+}
+
+void expect_nstar_equal(const core::NStarResult& a, const core::NStarResult& b,
+                        std::uint64_t seed) {
+  EXPECT_TRUE(bits_equal(a.n_star, b.n_star)) << "seed " << seed;
+  EXPECT_TRUE(bits_equal(a.tp_max, b.tp_max)) << "seed " << seed;
+  EXPECT_EQ(a.converged, b.converged) << "seed " << seed;
+  ASSERT_EQ(a.bins.size(), b.bins.size()) << "seed " << seed;
+  for (std::size_t i = 0; i < a.bins.size(); ++i) {
+    EXPECT_TRUE(bits_equal(a.bins[i].load, b.bins[i].load)) << "seed " << seed;
+    EXPECT_TRUE(bits_equal(a.bins[i].mean_tput, b.bins[i].mean_tput))
+        << "seed " << seed;
+    EXPECT_EQ(a.bins[i].samples, b.bins[i].samples) << "seed " << seed;
+  }
+  EXPECT_TRUE(series_equal(a.slopes, b.slopes)) << "seed " << seed;
+}
+
+TEST(DifferentialOracle, CongestionPointBitExact) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 3'000'000};
+    const auto config = log_config_for(rng);
+    const auto spec = pt::grid_for(config);
+    const auto log = pt::generate_request_log(rng, config);
+    const auto table = pt::generate_service_table(rng, config.classes);
+    const auto series = core::compute_load_throughput(log, spec, table);
+    core::NStarConfig nstar;
+    nstar.bins = 4 + static_cast<int>(rng.uniform_index(120));
+    nstar.min_samples_per_bin = 1 + static_cast<int>(rng.uniform_index(6));
+    expect_nstar_equal(
+        core::estimate_congestion_point(series.load, series.throughput, nstar),
+        pt::oracle_congestion_point(series.load, series.throughput, nstar),
+        seed);
+  }
+}
+
+void expect_episodes_equal(std::span<const core::Episode> a,
+                           std::span<const core::Episode> b,
+                           std::uint64_t seed) {
+  ASSERT_EQ(a.size(), b.size()) << "seed " << seed;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start.micros(), b[i].start.micros()) << "seed " << seed;
+    EXPECT_EQ(a[i].duration.micros(), b[i].duration.micros()) << "seed " << seed;
+    EXPECT_TRUE(bits_equal(a[i].peak_load, b[i].peak_load)) << "seed " << seed;
+    EXPECT_EQ(a[i].contains_freeze, b[i].contains_freeze) << "seed " << seed;
+  }
+}
+
+TEST(DifferentialOracle, ClassifyAndEpisodesBitExact) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 4'000'000};
+    const auto config = log_config_for(rng);
+    const auto spec = pt::grid_for(config);
+    const auto log = pt::generate_request_log(rng, config);
+    const auto table = pt::generate_service_table(rng, config.classes);
+    const auto series = core::compute_load_throughput(log, spec, table);
+    const auto nstar =
+        core::estimate_congestion_point(series.load, series.throughput);
+    const auto states =
+        core::classify_intervals(series.load, series.throughput, nstar);
+    const auto oracle_states =
+        pt::oracle_classify(series.load, series.throughput, nstar);
+    ASSERT_EQ(states, oracle_states) << "seed " << seed;
+    expect_episodes_equal(core::extract_episodes(states, series.load, spec),
+                          pt::oracle_episodes(states, series.load, spec),
+                          seed);
+  }
+}
+
+void expect_detection_equal(const core::DetectionResult& a,
+                            const core::DetectionResult& b,
+                            std::uint64_t seed) {
+  EXPECT_EQ(a.spec.start.micros(), b.spec.start.micros()) << "seed " << seed;
+  EXPECT_EQ(a.spec.width.micros(), b.spec.width.micros()) << "seed " << seed;
+  EXPECT_EQ(a.spec.count, b.spec.count) << "seed " << seed;
+  EXPECT_TRUE(series_equal(a.load, b.load)) << "seed " << seed;
+  EXPECT_TRUE(series_equal(a.throughput, b.throughput)) << "seed " << seed;
+  expect_nstar_equal(a.nstar, b.nstar, seed);
+  EXPECT_EQ(a.states, b.states) << "seed " << seed;
+  expect_episodes_equal(a.episodes, b.episodes, seed);
+}
+
+TEST(DifferentialOracle, DetectBottlenecksBitExact) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 5'000'000};
+    const auto config = log_config_for(rng);
+    const auto spec = pt::grid_for(config);
+    const auto log = pt::generate_request_log(rng, config);
+    const auto table = pt::generate_service_table(rng, config.classes);
+    expect_detection_equal(core::detect_bottlenecks(log, spec, table),
+                           pt::oracle_detect(log, spec, table), seed);
+  }
+}
+
+TEST(DifferentialOracle, AttributionBitExact) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 6'000'000};
+    pt::TxnGenConfig config;
+    config.max_txns = 3 + rng.uniform_index(12);
+    config.servers = 2 + static_cast<std::uint32_t>(rng.uniform_index(3));
+    const auto log = pt::generate_txn_log(rng, config);
+    const auto assembly = trace::assemble_transactions(log);
+    const auto profiles = trace::build_profiles(log);
+
+    // One detection per server over a shared grid, as the flight recorder
+    // builds them.
+    const auto spec = core::IntervalSpec::over(
+        TimePoint::from_micros(config.origin_us),
+        TimePoint::from_micros(config.origin_us + config.horizon_us),
+        Duration::millis(20));
+    const auto table = pt::generate_service_table(rng, 8);
+    std::vector<trace::ServerIndex> servers;
+    std::vector<core::DetectionResult> detections;
+    for (std::uint32_t s = 0; s < config.servers; ++s) {
+      trace::RequestLog mine;
+      for (const auto& r : log) {
+        if (r.server == s) mine.push_back(r);
+      }
+      servers.push_back(s);
+      detections.push_back(core::detect_bottlenecks(mine, spec, table));
+    }
+
+    const auto got = core::attribute_latency(assembly.txns, servers,
+                                             detections, profiles);
+    const auto want =
+        pt::oracle_attribution(assembly.txns, servers, detections, log);
+
+    EXPECT_EQ(got.txns, want.txns) << "seed " << seed;
+    EXPECT_TRUE(series_equal(got.band_quantiles, want.band_quantiles))
+        << "seed " << seed;
+    EXPECT_TRUE(series_equal(got.cutoffs_us, want.cutoffs_us))
+        << "seed " << seed;
+    ASSERT_EQ(got.bands.size(), want.bands.size()) << "seed " << seed;
+    for (std::size_t b = 0; b < got.bands.size(); ++b) {
+      const auto& gb = got.bands[b];
+      const auto& wb = want.bands[b];
+      EXPECT_EQ(gb.band, wb.band) << "seed " << seed;
+      EXPECT_TRUE(bits_equal(gb.cutoff_us, wb.cutoff_us)) << "seed " << seed;
+      EXPECT_EQ(gb.txns, wb.txns) << "seed " << seed;
+      EXPECT_TRUE(bits_equal(gb.latency_us, wb.latency_us)) << "seed " << seed;
+      ASSERT_EQ(gb.servers.size(), wb.servers.size()) << "seed " << seed;
+      for (std::size_t s = 0; s < gb.servers.size(); ++s) {
+        EXPECT_EQ(gb.servers[s].server, wb.servers[s].server) << "seed " << seed;
+        EXPECT_TRUE(bits_equal(gb.servers[s].queue_in_us,
+                               wb.servers[s].queue_in_us))
+            << "seed " << seed;
+        EXPECT_TRUE(bits_equal(gb.servers[s].queue_out_us,
+                               wb.servers[s].queue_out_us))
+            << "seed " << seed;
+        EXPECT_TRUE(bits_equal(gb.servers[s].service_in_us,
+                               wb.servers[s].service_in_us))
+            << "seed " << seed;
+        EXPECT_TRUE(bits_equal(gb.servers[s].service_out_us,
+                               wb.servers[s].service_out_us))
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+void expect_parse_equal(const trace::LogIoResult& a, const trace::LogIoResult& b,
+                        std::uint64_t seed) {
+  EXPECT_EQ(a.ok, b.ok) << "seed " << seed;
+  ASSERT_EQ(a.records.size(), b.records.size()) << "seed " << seed;
+  if (!a.records.empty()) {
+    EXPECT_EQ(std::memcmp(a.records.data(), b.records.data(),
+                          a.records.size() * sizeof(trace::RequestRecord)),
+              0)
+        << "seed " << seed;
+  }
+  EXPECT_EQ(a.skipped_lines, b.skipped_lines) << "seed " << seed;
+  EXPECT_EQ(a.first_bad_line, b.first_bad_line) << "seed " << seed;
+  EXPECT_EQ(a.first_bad_text, b.first_bad_text) << "seed " << seed;
+}
+
+TEST(DifferentialOracle, CsvParserBitExact) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 7'000'000};
+    const auto text = pt::generate_csv_text(rng);
+    const auto want = pt::oracle_parse_csv(text);
+    expect_parse_equal(trace::parse_request_log_csv(text, 1), want, seed);
+    const int shards = 2 + static_cast<int>(rng.uniform_index(7));
+    expect_parse_equal(trace::parse_request_log_csv(text, shards), want, seed);
+  }
+}
+
+TEST(DifferentialOracle, TbdrDecodeBitExact) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 8'000'000};
+    const auto config = log_config_for(rng);
+    const auto log = pt::generate_request_log(rng, config);
+    std::string bytes = trace::encode_request_log_bin(log);
+    // Half the cases are corrupted: truncate, flip a byte, or append junk,
+    // hitting every header-validation branch and the diagnostics fields.
+    if (rng.bernoulli(0.5) && !bytes.empty()) {
+      switch (rng.uniform_index(3)) {
+        case 0:
+          bytes.resize(rng.uniform_index(bytes.size()));
+          break;
+        case 1:
+          bytes[rng.uniform_index(bytes.size())] ^=
+              static_cast<char>(1 + rng.uniform_index(255));
+          break;
+        default:
+          bytes.append("extra");
+          break;
+      }
+    }
+    const auto got = trace::decode_request_log_bin(bytes);
+    const auto want = pt::oracle_decode_request_log_bin(bytes);
+    EXPECT_EQ(got.ok, want.ok) << "seed " << seed;
+    EXPECT_EQ(got.error, want.error) << "seed " << seed;
+    EXPECT_EQ(got.error_offset, want.error_offset) << "seed " << seed;
+    EXPECT_EQ(got.error_record, want.error_record) << "seed " << seed;
+    EXPECT_EQ(got.header_count, want.header_count) << "seed " << seed;
+    EXPECT_EQ(got.input_size, want.input_size) << "seed " << seed;
+    ASSERT_EQ(got.records.size(), want.records.size()) << "seed " << seed;
+    if (!got.records.empty()) {
+      EXPECT_EQ(std::memcmp(got.records.data(), want.records.data(),
+                            got.records.size() * sizeof(trace::RequestRecord)),
+                0)
+          << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tbd

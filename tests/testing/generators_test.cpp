@@ -1,0 +1,112 @@
+// Sanity checks on the correctness-harness generators themselves: the
+// differential and metamorphic suites are only as strong as the inputs, so
+// pin that (a) generation is deterministic per seed, and (b) the adversarial
+// shapes the configs promise actually occur at observable rates.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "testing/generators.h"
+#include "util/rng.h"
+
+namespace tbd::pt {
+namespace {
+
+TEST(Generators, RequestLogIsDeterministicPerSeed) {
+  Rng a{42}, b{42}, c{43};
+  const auto log_a = generate_request_log(a);
+  const auto log_b = generate_request_log(b);
+  const auto log_c = generate_request_log(c);
+  ASSERT_EQ(log_a.size(), log_b.size());
+  EXPECT_EQ(std::memcmp(log_a.data(), log_b.data(),
+                        log_a.size() * sizeof(trace::RequestRecord)),
+            0);
+  EXPECT_FALSE(log_a.size() == log_c.size() &&
+               std::memcmp(log_a.data(), log_c.data(),
+                           log_a.size() * sizeof(trace::RequestRecord)) == 0);
+}
+
+TEST(Generators, RequestLogHonorsContractAndHitsEdgeShapes) {
+  LogGenConfig config;
+  config.max_records = 400;
+  std::size_t zero_duration = 0, ties = 0, boundary = 0, outside = 0;
+  std::set<std::int64_t> seen;
+  const auto spec = grid_for(config);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng{seed};
+    const auto log = generate_request_log(rng, config);
+    ASSERT_GE(log.size(), config.min_records);
+    ASSERT_LE(log.size(), config.max_records);
+    for (const auto& r : log) {
+      ASSERT_LE(r.arrival.micros(), r.departure.micros());
+      if (r.arrival == r.departure) ++zero_duration;
+      if (!seen.insert(r.arrival.micros()).second) ++ties;
+      if ((r.arrival - spec.start).micros() % spec.width.micros() == 0)
+        ++boundary;
+      if (r.arrival < spec.start || r.departure >= spec.end()) ++outside;
+    }
+  }
+  EXPECT_GT(zero_duration, 0u);
+  EXPECT_GT(ties, 0u);
+  EXPECT_GT(boundary, 0u);
+  EXPECT_GT(outside, 0u);
+}
+
+TEST(Generators, TxnLogNestsProperly) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng{seed};
+    const auto log = generate_txn_log(rng);
+    ASSERT_FALSE(log.empty());
+    // Within a transaction, every non-root visit is strictly contained in
+    // some other visit of the same transaction (time-containment nesting).
+    for (const auto& r : log) {
+      if (r.server == 0) continue;  // roots live on server 0
+      bool contained = false;
+      for (const auto& p : log) {
+        if (p.txn != r.txn || &p == &r) continue;
+        if (p.arrival <= r.arrival && r.departure <= p.departure) {
+          contained = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(contained) << "seed " << seed << " txn " << r.txn;
+    }
+  }
+}
+
+TEST(Generators, CsvTextIsDeterministicAndAdversarial) {
+  Rng a{7}, b{7};
+  ASSERT_EQ(generate_csv_text(a), generate_csv_text(b));
+
+  bool saw_comment = false, saw_crlf = false, saw_padding = false,
+       saw_no_final_newline = false;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng{seed};
+    const auto text = generate_csv_text(rng);
+    if (text.find('#') != std::string::npos) saw_comment = true;
+    if (text.find("\r\n") != std::string::npos) saw_crlf = true;
+    if (text.find(" ,") != std::string::npos ||
+        text.find(", ") != std::string::npos) {
+      saw_padding = true;
+    }
+    if (!text.empty() && text.back() != '\n') saw_no_final_newline = true;
+  }
+  EXPECT_TRUE(saw_comment);
+  EXPECT_TRUE(saw_crlf);
+  EXPECT_TRUE(saw_padding);
+  EXPECT_TRUE(saw_no_final_newline);
+}
+
+TEST(Generators, ServiceTableIsStrictlyPositive) {
+  Rng rng{5};
+  const auto table = generate_service_table(rng, 12);
+  ASSERT_EQ(table.classes(), 12u);
+  for (trace::ClassId c = 0; c < 12; ++c) {
+    EXPECT_GT(table.service_us(c), 0.0) << "class " << c;
+  }
+}
+
+}  // namespace
+}  // namespace tbd::pt

@@ -142,6 +142,65 @@ TEST_F(CaptureFileTest, MissingFileReportsError) {
   EXPECT_EQ(loaded.error, "cannot open file");
 }
 
+TEST_F(CaptureFileTest, EncodeMatchesSavedFileBytes) {
+  Rng rng{23};
+  std::vector<Message> messages;
+  for (int i = 0; i < 50; ++i) messages.push_back(random_message(rng));
+  ASSERT_TRUE(save_capture(path_, messages));
+  std::ifstream in{path_, std::ios::binary};
+  const std::string file_bytes{std::istreambuf_iterator<char>{in}, {}};
+  EXPECT_EQ(encode_capture(messages), file_bytes);
+}
+
+TEST_F(CaptureFileTest, DecodeIsEncodeInverse) {
+  Rng rng{29};
+  std::vector<Message> messages{random_message(rng), random_message(rng)};
+  const auto decoded = decode_capture(encode_capture(messages));
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  EXPECT_EQ(encode_capture(decoded.messages), encode_capture(messages));
+}
+
+TEST_F(CaptureFileTest, TruncatedStreamDiagnosticsPointAtFirstIncomplete) {
+  Rng rng{31};
+  std::vector<Message> messages{random_message(rng), random_message(rng)};
+  auto bytes = encode_capture(messages);
+  bytes.resize(bytes.size() - 10);  // message 1 loses its tail
+  const auto decoded = decode_capture(bytes);
+  EXPECT_EQ(decoded.error, "truncated record stream");
+  EXPECT_EQ(decoded.error_record, 1u);
+  EXPECT_EQ(decoded.error_offset, 16u + 53u);  // where message 1 starts
+  EXPECT_EQ(decoded.header_count, 2u);
+  EXPECT_EQ(decoded.input_size, bytes.size());
+}
+
+TEST_F(CaptureFileTest, SurplusPayloadDiagnosticsPointAtFirstExtraByte) {
+  Rng rng{37};
+  auto bytes = encode_capture({random_message(rng)});
+  bytes += "junk";
+  const auto decoded = decode_capture(bytes);
+  EXPECT_EQ(decoded.error, "record count disagrees with file size");
+  EXPECT_EQ(decoded.error_record, 1u);
+  EXPECT_EQ(decoded.error_offset, 16u + 53u);  // first byte past message 0
+  EXPECT_EQ(decoded.header_count, 1u);
+}
+
+TEST_F(CaptureFileTest, HeaderLevelDiagnostics) {
+  const auto truncated = decode_capture(std::string_view{"TBDC\x01"});
+  EXPECT_EQ(truncated.error, "truncated header");
+  EXPECT_EQ(truncated.error_offset, 5u);  // end of data
+  EXPECT_EQ(truncated.input_size, 5u);
+
+  const auto magic = decode_capture(std::string(16, 'Z'));
+  EXPECT_EQ(magic.error, "bad magic");
+  EXPECT_EQ(magic.error_offset, 0u);
+
+  auto versioned = encode_capture({});
+  versioned[4] = 9;
+  const auto version = decode_capture(versioned);
+  EXPECT_EQ(version.error, "unsupported version");
+  EXPECT_EQ(version.error_offset, 4u);
+}
+
 TEST_F(CaptureFileTest, FileSizeIsCompact) {
   Rng rng{11};
   std::vector<Message> messages;

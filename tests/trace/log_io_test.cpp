@@ -227,6 +227,52 @@ TEST_F(LogIoTest, ShardedMissingFileReportsNotOk) {
   EXPECT_EQ(loaded.error, "cannot open file");
 }
 
+// The buffer-level parser is the shared core of both file loaders; it must
+// classify exactly like them without touching the filesystem.
+TEST_F(LogIoTest, ParseBufferMatchesFileLoader) {
+  const std::string text =
+      "server,class,arrival_us,departure_us,txn\n"
+      "0,3,1000,2500,42\n"
+      "# comment\n"
+      "not,a,valid,line,at all\n"
+      "5,1,7,9,43\n";
+  {
+    std::ofstream out{path_};
+    out << text;
+  }
+  const auto from_file = load_request_log_csv_sharded(path_, 3);
+  for (int shards : {1, 2, 3, 7}) {
+    const auto from_buffer = parse_request_log_csv(text, shards);
+    EXPECT_TRUE(from_buffer.ok);
+    ASSERT_EQ(from_buffer.records.size(), from_file.records.size());
+    EXPECT_EQ(std::memcmp(from_buffer.records.data(), from_file.records.data(),
+                          from_file.records.size() * sizeof(RequestRecord)),
+              0);
+    EXPECT_EQ(from_buffer.skipped_lines, from_file.skipped_lines);
+    EXPECT_EQ(from_buffer.first_bad_line, from_file.first_bad_line);
+    EXPECT_EQ(from_buffer.first_bad_text, from_file.first_bad_text);
+  }
+}
+
+TEST_F(LogIoTest, ToCsvMatchesSavedFileBytes) {
+  RequestLog log{rec(0, 3, 1000, 2500, 42), rec(5, 1, 7, 9, 43)};
+  ASSERT_TRUE(save_request_log_csv(path_, log));
+  std::ifstream in{path_, std::ios::binary};
+  const std::string file_bytes{std::istreambuf_iterator<char>{in}, {}};
+  EXPECT_EQ(request_log_to_csv(log), file_bytes);
+}
+
+TEST_F(LogIoTest, ParseBufferOfToCsvIsIdentity) {
+  RequestLog log{rec(0, 3, 1000, 2500, 42), rec(5, 1, 7, 9, 43),
+                 rec(4'000'000'000u, 255, 0, 0, ~0ull)};
+  const auto parsed = parse_request_log_csv(request_log_to_csv(log), 2);
+  ASSERT_TRUE(parsed.ok);
+  ASSERT_EQ(parsed.records.size(), log.size());
+  EXPECT_EQ(std::memcmp(parsed.records.data(), log.data(),
+                        log.size() * sizeof(RequestRecord)),
+            0);
+}
+
 TEST_F(LogIoTest, AutoFrontDoorReadsCsv) {
   RequestLog log{rec(0, 3, 1000, 2500, 42)};
   ASSERT_TRUE(save_request_log_csv(path_, log));

@@ -172,7 +172,107 @@ TEST_F(RequestLogFileTest, AutoFrontDoorPropagatesBinaryErrors) {
   write_bytes("TBDR");  // magic sniffs as binary, then header is truncated
   const auto loaded = load_request_log(path_);
   EXPECT_FALSE(loaded.ok);
+  // The front door appends byte-offset diagnostics to the stable short code.
+  EXPECT_EQ(loaded.error,
+            "truncated header at byte offset 4, record 0, file size 4");
+}
+
+// --- Diagnostics: every binary-load error pins the failure to a byte
+// offset, record index, and the header's claimed count. ---
+
+TEST_F(RequestLogFileTest, TruncatedHeaderDiagnostics) {
+  write_bytes("TBDR\x01");
+  const auto loaded = load_request_log_bin(path_);
+  EXPECT_FALSE(loaded.ok);
   EXPECT_EQ(loaded.error, "truncated header");
+  EXPECT_EQ(loaded.error_offset, 5u);  // end of data
+  EXPECT_EQ(loaded.error_record, 0u);
+  EXPECT_EQ(loaded.header_count, 0u);  // never parsed
+  EXPECT_EQ(loaded.input_size, 5u);
+}
+
+TEST_F(RequestLogFileTest, BadMagicDiagnostics) {
+  ASSERT_TRUE(save_request_log_bin(path_, {rec(0, 1, 10, 20, 1)}));
+  auto bytes = read_bytes();
+  bytes[0] = 'X';
+  write_bytes(bytes);
+  const auto loaded = load_request_log_bin(path_);
+  EXPECT_EQ(loaded.error, "bad magic");
+  EXPECT_EQ(loaded.error_offset, 0u);
+  EXPECT_EQ(loaded.input_size, bytes.size());
+}
+
+TEST_F(RequestLogFileTest, UnsupportedVersionDiagnostics) {
+  ASSERT_TRUE(save_request_log_bin(path_, {rec(0, 1, 10, 20, 1)}));
+  auto bytes = read_bytes();
+  bytes[4] = 99;
+  write_bytes(bytes);
+  const auto loaded = load_request_log_bin(path_);
+  EXPECT_EQ(loaded.error, "unsupported version");
+  EXPECT_EQ(loaded.error_offset, 4u);  // version field
+}
+
+TEST_F(RequestLogFileTest, TruncatedStreamDiagnosticsPointAtFirstIncomplete) {
+  ASSERT_TRUE(save_request_log_bin(
+      path_, {rec(0, 1, 10, 20, 1), rec(0, 1, 30, 40, 2)}));
+  const auto bytes = read_bytes();
+  write_bytes(bytes.substr(0, bytes.size() - 7));  // record 1 loses 7 bytes
+  const auto loaded = load_request_log_bin(path_);
+  EXPECT_EQ(loaded.error, "truncated record stream");
+  EXPECT_EQ(loaded.error_record, 1u);         // record 0 is whole, 1 is cut
+  EXPECT_EQ(loaded.error_offset, 16u + 32u);  // where record 1 starts
+  EXPECT_EQ(loaded.header_count, 2u);
+  EXPECT_EQ(loaded.input_size, bytes.size() - 7);
+}
+
+TEST_F(RequestLogFileTest, SurplusPayloadDiagnosticsPointAtFirstExtraByte) {
+  ASSERT_TRUE(save_request_log_bin(
+      path_, {rec(0, 1, 10, 20, 1), rec(0, 1, 30, 40, 2)}));
+  auto bytes = read_bytes();
+  bytes[8] = 1;  // count says 1 record, payload holds 2
+  write_bytes(bytes);
+  const auto loaded = load_request_log_bin(path_);
+  EXPECT_EQ(loaded.error, "record count disagrees with file size");
+  EXPECT_EQ(loaded.error_record, 1u);
+  EXPECT_EQ(loaded.error_offset, 16u + 32u);  // first byte past record 0
+  EXPECT_EQ(loaded.header_count, 1u);
+}
+
+TEST_F(RequestLogFileTest, SuccessfulLoadFillsHeaderCountAndInputSize) {
+  RequestLog log{rec(0, 1, 10, 20, 1), rec(0, 1, 30, 40, 2)};
+  ASSERT_TRUE(save_request_log_bin(path_, log));
+  const auto loaded = load_request_log_bin(path_);
+  ASSERT_TRUE(loaded.ok);
+  EXPECT_EQ(loaded.header_count, 2u);
+  EXPECT_EQ(loaded.input_size, 16u + 2u * 32u);
+  EXPECT_EQ(loaded.error_offset, 0u);
+  EXPECT_EQ(loaded.error_record, 0u);
+}
+
+TEST_F(RequestLogFileTest, EncodeMatchesSavedFileBytes) {
+  RequestLog log{rec(0, 3, 1000, 2500, 42), rec(5, 1, -7, 9, 43)};
+  ASSERT_TRUE(save_request_log_bin(path_, log));
+  EXPECT_EQ(encode_request_log_bin(log), read_bytes());
+}
+
+TEST_F(RequestLogFileTest, DecodeIsEncodeInverse) {
+  RequestLog log{rec(4'000'000'000u, 255, -1, 0, ~0ull)};
+  const auto decoded = decode_request_log_bin(encode_request_log_bin(log));
+  ASSERT_TRUE(decoded.ok) << decoded.error;
+  ASSERT_EQ(decoded.records.size(), 1u);
+  EXPECT_EQ(std::memcmp(decoded.records.data(), log.data(),
+                        sizeof(RequestRecord)),
+            0);
+  EXPECT_EQ(encode_request_log_bin(decoded.records),
+            encode_request_log_bin(log));
+}
+
+TEST_F(RequestLogFileTest, DecodeEmptyBufferIsTruncatedHeader) {
+  const auto decoded = decode_request_log_bin(std::string_view{});
+  EXPECT_FALSE(decoded.ok);
+  EXPECT_EQ(decoded.error, "truncated header");
+  EXPECT_EQ(decoded.error_offset, 0u);
+  EXPECT_EQ(decoded.input_size, 0u);
 }
 
 }  // namespace
