@@ -7,6 +7,7 @@
 #include "core/detector.h"
 #include "core/fused_sweep.h"
 #include "trace/reconstructor.h"
+#include "trace/request_columns.h"
 #include "util/rng.h"
 
 namespace {
@@ -85,6 +86,25 @@ void BM_FusedLoadThroughput(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_FusedLoadThroughput)->Arg(100'000)->Arg(1'000'000);
+
+// Same fused sweep over the columnar (SoA) layout: only the two timestamp
+// columns and the class column stream through cache, so the per-record cost
+// should sit well below the AoS row above.
+void BM_FusedLoadThroughputColumns(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto columns =
+      trace::RequestColumns::from_records(synth_log(n, 60.0, 2));
+  const auto table = synth_table();
+  const auto spec = core::IntervalSpec::over(
+      TimePoint::origin(), TimePoint::origin() + 60_s, 50_ms);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_load_throughput(
+        columns.view(), spec, table, core::ThroughputOptions{}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FusedLoadThroughputColumns)->Arg(100'000)->Arg(1'000'000);
 
 void BM_CongestionPointEstimation(benchmark::State& state) {
   const auto samples = static_cast<std::size_t>(state.range(0));

@@ -178,13 +178,14 @@ void BenchSummary::finish() {
   // Header scalars are rewritten fresh on every merge: the file documents
   // the LAST build that touched it, which is what cross-PR trajectory
   // comparison keys on (schema_version 2 introduced the header; 3 added the
-  // "ingest" stage; 4 added the "correctness" harness wall-times).
+  // "ingest" stage; 4 added the "correctness" harness wall-times; 5 added
+  // the columnar SoA ingest and sweep metrics).
   entries.erase("schema_version");
   entries.erase("git");
 
   std::ofstream out{path, std::ios::trunc};
   out << "{\n";
-  out << "  \"schema_version\": 4,\n";
+  out << "  \"schema_version\": 5,\n";
   out << "  \"git\": \"" << obs::git_describe() << "\",\n";
   for (auto it = entries.begin(); it != entries.end(); ++it) {
     out << "  \"" << it->first << "\": " << it->second;

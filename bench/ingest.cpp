@@ -8,9 +8,12 @@
 //   * CSV sharded     — the block-read zero-copy parser on the shared pool
 //   * TBDR binary     — the compact binary interchange format
 //
-// in MB/s and records/s, plus the fused load/throughput sweep against the
-// two separate calculator passes. Results land in bench_out/
-// bench_summary.json under "ingest" so PR-to-PR trajectories are visible.
+// each also into the columnar RequestColumns layout, plus the fused
+// load/throughput sweep against the two separate calculator passes and
+// against the SoA view (ns/record AoS vs SoA). Every optimized path is
+// gated on bit-equality with its reference before any number is reported.
+// Results land in bench_out/bench_summary.json under "ingest" so PR-to-PR
+// trajectories are visible.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -24,6 +27,7 @@
 #include "core/load_calculator.h"
 #include "core/throughput_calculator.h"
 #include "trace/log_io.h"
+#include "trace/request_columns.h"
 #include "trace/request_log_file.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -145,13 +149,31 @@ int main(int argc, char** argv) {
       kLoadReps, [&] { bin_runs[rep++] = trace::load_request_log_bin(bin_path); });
   const auto& bin = bin_runs.front();
 
+  // Columnar twins of the two fast loaders: decode straight into
+  // RequestColumns with no intermediate row vector.
+  std::vector<trace::ColumnarLogIoResult> sharded_cols_runs(kLoadReps);
+  rep = 0;
+  const double t_sharded_cols = best_of(kLoadReps, [&] {
+    sharded_cols_runs[rep++] =
+        trace::load_request_log_csv_sharded_columns(csv_path);
+  });
+  std::vector<trace::RequestColumnsReadResult> bin_cols_runs(kLoadReps);
+  rep = 0;
+  const double t_bin_cols = best_of(kLoadReps, [&] {
+    bin_cols_runs[rep++] = trace::load_request_log_bin_columns(bin_path);
+  });
+
   std::remove(csv_path.c_str());
   std::remove(bin_path.c_str());
 
+  const auto columns = trace::RequestColumns::from_records(log);
   if (!seq.ok || !sharded.ok || !bin.ok ||
       !same_records(seq.records, log) ||
       !same_records(sharded.records, seq.records) ||
-      !same_records(bin.records, seq.records)) {
+      !same_records(bin.records, seq.records) ||
+      !sharded_cols_runs.front().ok || !bin_cols_runs.front().ok ||
+      sharded_cols_runs.front().records != columns ||
+      bin_cols_runs.front().records != columns) {
     std::fprintf(stderr, "error: loaders disagree — not benchmarking a "
                          "correct implementation\n");
     return 1;
@@ -165,6 +187,10 @@ int main(int argc, char** argv) {
               t_seq / t_sharded);
   std::printf("        binary %.2fs (%.2fM rec/s, %.0f MB/s)  %.2fx\n", t_bin,
               nn / t_bin / 1e6, bin_mb / t_bin, t_seq / t_bin);
+  std::printf("        csv-sharded->soa %.2fs (%.2fM rec/s)  binary->soa %.2fs "
+              "(%.2fM rec/s)\n",
+              t_sharded_cols, nn / t_sharded_cols / 1e6, t_bin_cols,
+              nn / t_bin_cols / 1e6);
   benchx::print_expectation("sharded CSV speedup over sequential", ">= 3x",
                             std::to_string(t_seq / t_sharded) + "x");
   benchx::print_expectation("binary speedup over sequential CSV", ">= 8x",
@@ -177,6 +203,16 @@ int main(int argc, char** argv) {
   summary.set("bin_records_per_s", nn / t_bin);
   summary.set("bin_mb_per_s", bin_mb / t_bin);
   summary.set("bin_speedup", t_seq / t_bin);
+  summary.set("csv_sharded_soa_records_per_s", nn / t_sharded_cols);
+  summary.set("bin_soa_records_per_s", nn / t_bin_cols);
+
+  // The sweep stage needs only `log` and `columns`; drop the ~1.4 GB of
+  // parked loader results before measuring cache-sensitive kernels.
+  seq_runs.clear();
+  sharded_runs.clear();
+  bin_runs.clear();
+  sharded_cols_runs.clear();
+  bin_cols_runs.clear();
 
   // ---- fused load/throughput sweep -----------------------------------------
   TimePoint t_min = TimePoint::max();
@@ -201,21 +237,43 @@ int main(int argc, char** argv) {
   const double t_fused = best_of(kSweepReps, [&] {
     fused = core::compute_load_throughput(log, spec, table, options);
   });
+  core::LoadThroughput fused_soa;
+  const double t_fused_soa = best_of(kSweepReps, [&] {
+    fused_soa = core::compute_load_throughput(columns.view(), spec, table,
+                                              options);
+  });
 
   if (fused.load != load_only || fused.throughput != tput_only) {
     std::fprintf(stderr, "error: fused sweep diverged from the separate "
                          "calculators\n");
     return 1;
   }
+  if (fused_soa.load != fused.load ||
+      fused_soa.throughput != fused.throughput) {
+    std::fprintf(stderr, "error: SoA fused sweep diverged from the AoS "
+                         "sweep\n");
+    return 1;
+  }
+  const double aos_ns = t_fused / nn * 1e9;
+  const double soa_ns = t_fused_soa / nn * 1e9;
   std::printf("  sweep: load %.2fs + throughput %.2fs = %.2fs separate, "
               "fused %.2fs (%.2fx)\n",
               t_load, t_tput, t_load + t_tput, t_fused,
               (t_load + t_tput) / t_fused);
+  std::printf("         fused aos %.1f ns/record, soa %.1f ns/record "
+              "(%.2fx, %d threads)\n",
+              aos_ns, soa_ns, t_fused / t_fused_soa,
+              ThreadPool::default_thread_count());
   benchx::print_expectation("fused sweep vs separate passes", "< 1x time",
                             std::to_string((t_load + t_tput) / t_fused) + "x");
+  benchx::print_expectation("SoA fused sweep ns/record", "<= 84 (3x over PR5)",
+                            std::to_string(soa_ns));
   summary.set("fused_sweep_s", t_fused);
   summary.set("separate_sweep_s", t_load + t_tput);
   summary.set("fused_speedup", (t_load + t_tput) / t_fused);
+  summary.set("fused_sweep_aos_ns_per_record", aos_ns);
+  summary.set("fused_sweep_soa_ns_per_record", soa_ns);
+  summary.set("soa_sweep_speedup_vs_aos", t_fused / t_fused_soa);
 
   summary.finish();
   benchx::finish_observability(args, "bench_ingest");

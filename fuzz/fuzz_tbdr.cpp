@@ -4,7 +4,8 @@
 // successful decode must re-encode to exactly the input bytes. On top of
 // that, the optimized decoder (memcpy fast path + pooled portable path) is
 // checked against the byte-wise naive oracle on every input, accepted or
-// rejected — including the error code and its offset/record diagnostics.
+// rejected — including the error code and its offset/record diagnostics —
+// and the columnar decoder must agree with the row decoder on everything.
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -12,6 +13,7 @@
 
 #include "fuzz_check.h"
 #include "testing/oracles.h"
+#include "trace/request_columns.h"
 #include "trace/request_log_file.h"
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
@@ -30,6 +32,19 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   TBD_FUZZ_CHECK(decoded.records.size() == oracle.records.size());
   TBD_FUZZ_CHECK(tbd::fuzz::bytes_equal(decoded.records.data(), oracle.records.data(),
                              decoded.records.size() *
+                                 sizeof(tbd::trace::RequestRecord)));
+
+  const auto columnar = tbd::trace::decode_request_log_bin_columns(bytes);
+  TBD_FUZZ_CHECK(columnar.ok == decoded.ok);
+  TBD_FUZZ_CHECK(columnar.error == decoded.error);
+  TBD_FUZZ_CHECK(columnar.error_offset == decoded.error_offset);
+  TBD_FUZZ_CHECK(columnar.error_record == decoded.error_record);
+  TBD_FUZZ_CHECK(columnar.header_count == decoded.header_count);
+  TBD_FUZZ_CHECK(columnar.input_size == decoded.input_size);
+  const auto gathered = columnar.records.to_records();
+  TBD_FUZZ_CHECK(gathered.size() == decoded.records.size());
+  TBD_FUZZ_CHECK(tbd::fuzz::bytes_equal(gathered.data(), decoded.records.data(),
+                             gathered.size() *
                                  sizeof(tbd::trace::RequestRecord)));
 
   if (decoded.ok) {

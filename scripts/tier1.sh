@@ -120,4 +120,25 @@ TBD_THREADS=4 ./build/tools/tbd_analyze --width 50 \
   scripts/testdata/tiny_log.csv > "$obs_tmp/report_t4.txt"
 cmp "$obs_tmp/report_t1.txt" "$obs_tmp/report_t4.txt"
 
+echo "== tier-1: columnar equivalence =="
+# The columnar (SoA) pipeline is the default ingest-to-detector path; the
+# row (AoS) path stays as the reference. Reports from both layouts, over
+# both encodings of the same log, must be byte-identical at 1 and 4 pool
+# threads. The "loaded ..." line names the input file, so it is filtered
+# before cmp when comparing across encodings.
+for threads in 1 4; do
+  TBD_THREADS=$threads ./build/tools/tbd_analyze --width 50 --layout aos \
+    scripts/testdata/tiny_log.csv > "$obs_tmp/report_aos_t$threads.txt"
+  TBD_THREADS=$threads ./build/tools/tbd_analyze --width 50 --layout soa \
+    scripts/testdata/tiny_log.csv > "$obs_tmp/report_soa_t$threads.txt"
+  cmp "$obs_tmp/report_aos_t$threads.txt" "$obs_tmp/report_soa_t$threads.txt"
+  TBD_THREADS=$threads ./build/tools/tbd_analyze --width 50 --layout aos \
+    "$obs_tmp/tiny.tbdr" | grep -v '^loaded ' > "$obs_tmp/report_aos_bin.txt"
+  TBD_THREADS=$threads ./build/tools/tbd_analyze --width 50 --layout soa \
+    "$obs_tmp/tiny.tbdr" | grep -v '^loaded ' > "$obs_tmp/report_soa_bin.txt"
+  cmp "$obs_tmp/report_aos_bin.txt" "$obs_tmp/report_soa_bin.txt"
+  grep -v '^loaded ' "$obs_tmp/report_soa_t$threads.txt" \
+    | cmp - "$obs_tmp/report_soa_bin.txt"
+done
+
 echo "== tier-1: OK =="

@@ -82,21 +82,18 @@ std::vector<Episode> extract_episodes(std::span<const IntervalState> states,
   return episodes;
 }
 
-DetectionResult detect_bottlenecks(std::span<const trace::RequestRecord> records,
-                                   const IntervalSpec& spec,
-                                   const ServiceTimeTable& service_times,
-                                   const DetectorConfig& config) {
+namespace {
+
+// Layout-independent tail of the pipeline: fit N*, classify, extract
+// episodes. Both detect_bottlenecks overloads funnel here after the fused
+// sweep, so the two layouts cannot drift.
+DetectionResult finish_detection(const IntervalSpec& spec,
+                                 LoadThroughput series,
+                                 const DetectorConfig& config) {
   DetectionResult result;
   result.spec = spec;
-  {
-    // One fused pass over the record array replaces the separate load and
-    // throughput traversals; the outputs are bit-identical (sweep_detail.h).
-    TBD_SPAN("detector.load_tput_sweep");
-    auto series =
-        compute_load_throughput(records, spec, service_times, config.throughput);
-    result.load = std::move(series.load);
-    result.throughput = std::move(series.throughput);
-  }
+  result.load = std::move(series.load);
+  result.throughput = std::move(series.throughput);
   {
     TBD_SPAN("detector.fit_n_star");
     result.nstar = estimate_congestion_point(result.load, result.throughput,
@@ -112,6 +109,36 @@ DetectionResult detect_bottlenecks(std::span<const trace::RequestRecord> records
     result.episodes = extract_episodes(result.states, result.load, spec);
   }
   return result;
+}
+
+}  // namespace
+
+DetectionResult detect_bottlenecks(std::span<const trace::RequestRecord> records,
+                                   const IntervalSpec& spec,
+                                   const ServiceTimeTable& service_times,
+                                   const DetectorConfig& config) {
+  LoadThroughput series;
+  {
+    // One fused pass over the record array replaces the separate load and
+    // throughput traversals; the outputs are bit-identical (sweep_detail.h).
+    TBD_SPAN("detector.load_tput_sweep");
+    series =
+        compute_load_throughput(records, spec, service_times, config.throughput);
+  }
+  return finish_detection(spec, std::move(series), config);
+}
+
+DetectionResult detect_bottlenecks(const trace::RequestColumnsView& columns,
+                                   const IntervalSpec& spec,
+                                   const ServiceTimeTable& service_times,
+                                   const DetectorConfig& config) {
+  LoadThroughput series;
+  {
+    TBD_SPAN("detector.load_tput_sweep");
+    series =
+        compute_load_throughput(columns, spec, service_times, config.throughput);
+  }
+  return finish_detection(spec, std::move(series), config);
 }
 
 const char* to_string(IntervalState s) {

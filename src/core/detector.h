@@ -68,6 +68,12 @@ struct DetectionResult {
     std::span<const trace::RequestRecord> records, const IntervalSpec& spec,
     const ServiceTimeTable& service_times, const DetectorConfig& config = {});
 
+/// Columnar-layout overload; bit-identical result (same fused kernel, then
+/// the same layout-independent fit/classify/episode stages).
+[[nodiscard]] DetectionResult detect_bottlenecks(
+    const trace::RequestColumnsView& columns, const IntervalSpec& spec,
+    const ServiceTimeTable& service_times, const DetectorConfig& config = {});
+
 /// Classification only, given precomputed series and N* (useful when N* is
 /// carried over from a calibration window).
 [[nodiscard]] std::vector<IntervalState> classify_intervals(

@@ -13,4 +13,14 @@ LoadThroughput compute_load_throughput(
   return out;
 }
 
+LoadThroughput compute_load_throughput(const trace::RequestColumnsView& columns,
+                                       const IntervalSpec& spec,
+                                       const ServiceTimeTable& table,
+                                       const ThroughputOptions& options) {
+  LoadThroughput out;
+  detail::sweep_load_throughput<true, true>(columns, spec, &table, &options,
+                                            &out.load, &out.throughput);
+  return out;
+}
+
 }  // namespace tbd::core

@@ -14,6 +14,7 @@
 #include "core/intervals.h"
 #include "core/throughput_calculator.h"
 #include "trace/records.h"
+#include "trace/request_columns.h"
 
 namespace tbd::core {
 
@@ -26,6 +27,12 @@ struct LoadThroughput {
 /// Identical output to calling compute_load and compute_throughput.
 [[nodiscard]] LoadThroughput compute_load_throughput(
     std::span<const trace::RequestRecord> records, const IntervalSpec& spec,
+    const ServiceTimeTable& table, const ThroughputOptions& options = {});
+
+/// Columnar-layout overload; bit-identical to the AoS path (same kernel,
+/// different field accessors) while streaming only the three hot columns.
+[[nodiscard]] LoadThroughput compute_load_throughput(
+    const trace::RequestColumnsView& columns, const IntervalSpec& spec,
     const ServiceTimeTable& table, const ThroughputOptions& options = {});
 
 }  // namespace tbd::core

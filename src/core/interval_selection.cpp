@@ -26,10 +26,33 @@ double main_sequence_blur(std::span<const double> load,
   return cv.mean();
 }
 
-IntervalSelection choose_interval_length(
-    std::span<const trace::RequestRecord> records, TimePoint t0, TimePoint t1,
-    const ServiceTimeTable& service_times,
-    std::span<const Duration> candidates,
+namespace {
+
+std::size_t count_departures(std::span<const trace::RequestRecord> records,
+                             const IntervalSpec& spec) {
+  std::size_t departures = 0;
+  for (const auto& r : records) {
+    if (spec.contains(r.departure)) ++departures;
+  }
+  return departures;
+}
+
+std::size_t count_departures(const trace::RequestColumnsView& columns,
+                             const IntervalSpec& spec) {
+  std::size_t departures = 0;
+  for (const std::int64_t dep : columns.departure_us) {
+    if (spec.contains(TimePoint::from_micros(dep))) ++departures;
+  }
+  return departures;
+}
+
+// Shared by the AoS and SoA overloads; the per-width series come from the
+// same fused kernel, so both layouts score (and therefore choose)
+// identically.
+template <typename Log>
+IntervalSelection choose_interval_length_impl(
+    const Log& records, TimePoint t0, TimePoint t1,
+    const ServiceTimeTable& service_times, std::span<const Duration> candidates,
     const IntervalSelectionConfig& config) {
   IntervalSelection selection;
   assert(!candidates.empty());
@@ -49,12 +72,8 @@ IntervalSelection choose_interval_length(
     c.blur = main_sequence_blur(load, tput, config.bins);
     for (double l : load) c.load_range = std::max(c.load_range, l);
 
-    std::size_t departures = 0;
-    for (const auto& r : records) {
-      if (spec.contains(r.departure)) ++departures;
-    }
-    c.mean_completions =
-        static_cast<double>(departures) / static_cast<double>(spec.count);
+    c.mean_completions = static_cast<double>(count_departures(records, spec)) /
+                         static_cast<double>(spec.count);
     selection.candidates.push_back(c);
   }
 
@@ -74,6 +93,26 @@ IntervalSelection choose_interval_length(
     }
   }
   return selection;
+}
+
+}  // namespace
+
+IntervalSelection choose_interval_length(
+    std::span<const trace::RequestRecord> records, TimePoint t0, TimePoint t1,
+    const ServiceTimeTable& service_times,
+    std::span<const Duration> candidates,
+    const IntervalSelectionConfig& config) {
+  return choose_interval_length_impl(records, t0, t1, service_times, candidates,
+                                     config);
+}
+
+IntervalSelection choose_interval_length(
+    const trace::RequestColumnsView& columns, TimePoint t0, TimePoint t1,
+    const ServiceTimeTable& service_times,
+    std::span<const Duration> candidates,
+    const IntervalSelectionConfig& config) {
+  return choose_interval_length_impl(columns, t0, t1, service_times, candidates,
+                                     config);
 }
 
 }  // namespace tbd::core

@@ -62,6 +62,14 @@ struct IntervalSelectionConfig {
     std::span<const Duration> candidates,
     const IntervalSelectionConfig& config = {});
 
+/// Columnar-layout overload; identical selection (the scored series are
+/// bit-identical, see sweep_detail.h).
+[[nodiscard]] IntervalSelection choose_interval_length(
+    const trace::RequestColumnsView& columns, TimePoint t0, TimePoint t1,
+    const ServiceTimeTable& service_times,
+    std::span<const Duration> candidates,
+    const IntervalSelectionConfig& config = {});
+
 /// The residual-CV blur metric, exposed for diagnostics and tests.
 [[nodiscard]] double main_sequence_blur(std::span<const double> load,
                                         std::span<const double> tput,

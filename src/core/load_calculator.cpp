@@ -12,6 +12,14 @@ std::vector<double> compute_load(std::span<const trace::RequestRecord> records,
   return load;
 }
 
+std::vector<double> compute_load(const trace::RequestColumnsView& columns,
+                                 const IntervalSpec& spec) {
+  std::vector<double> load;
+  detail::sweep_load_throughput<true, false>(columns, spec, nullptr, nullptr,
+                                             &load, nullptr);
+  return load;
+}
+
 int concurrency_at(std::span<const trace::RequestRecord> records, TimePoint t) {
   int n = 0;
   for (const auto& r : records) {

@@ -12,6 +12,7 @@
 
 #include "core/intervals.h"
 #include "trace/records.h"
+#include "trace/request_columns.h"
 
 namespace tbd::core {
 
@@ -19,6 +20,11 @@ namespace tbd::core {
 /// clipped; a request spanning a whole interval contributes exactly 1 there.
 [[nodiscard]] std::vector<double> compute_load(
     std::span<const trace::RequestRecord> records, const IntervalSpec& spec);
+
+/// Columnar-layout overload; bit-identical to the AoS path and only streams
+/// the arrival/departure columns.
+[[nodiscard]] std::vector<double> compute_load(
+    const trace::RequestColumnsView& columns, const IntervalSpec& spec);
 
 /// Instantaneous concurrency immediately before time `t` (diagnostics).
 [[nodiscard]] int concurrency_at(std::span<const trace::RequestRecord> records,

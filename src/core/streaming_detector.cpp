@@ -32,20 +32,21 @@ StreamingDetector::Cell& StreamingDetector::cell_at(std::size_t index) {
   return open_cells_[offset];
 }
 
-void StreamingDetector::push(const trace::RequestRecord& record) {
-  if (record.departure < start_ || record.departure < record.arrival) {
+void StreamingDetector::push_fields(TimePoint arrival, TimePoint departure,
+                                    trace::ClassId class_id) {
+  if (departure < start_ || departure < arrival) {
     ++dropped_;
     return;
   }
   // Too old to land in an unsealed interval?
-  if (cell_index(record.departure) < first_open_) {
+  if (cell_index(departure) < first_open_) {
     ++dropped_;
     return;
   }
 
   // Residence contribution: spread [arrival, departure) over cells.
-  TimePoint lo = std::max(record.arrival, start_);
-  const TimePoint hi = record.departure;
+  TimePoint lo = std::max(arrival, start_);
+  const TimePoint hi = departure;
   while (lo < hi) {
     const std::size_t idx = cell_index(lo);
     const TimePoint cell_end =
@@ -58,14 +59,14 @@ void StreamingDetector::push(const trace::RequestRecord& record) {
   }
 
   // Work units land in the departure cell.
-  const double service = service_times_.service_us(record.class_id);
-  cell_at(cell_index(record.departure)).work_units +=
+  const double service = service_times_.service_us(class_id);
+  cell_at(cell_index(departure)).work_units +=
       std::max(1.0, std::round(service / work_unit_us_));
 
   // Advance the high-water mark and seal intervals that can no longer
   // change (every record with arrival before them has departed by now,
   // assuming residence <= lag).
-  high_water_ = std::max(high_water_, record.departure);
+  high_water_ = std::max(high_water_, departure);
   const TimePoint sealed_until = high_water_ - config_.lag;
   if (sealed_until > start_) {
     const std::size_t sealable = cell_index(sealed_until);
@@ -73,9 +74,21 @@ void StreamingDetector::push(const trace::RequestRecord& record) {
   }
 }
 
+void StreamingDetector::push(const trace::RequestRecord& record) {
+  push_fields(record.arrival, record.departure, record.class_id);
+}
+
 void StreamingDetector::push_batch(
     std::span<const trace::RequestRecord> records) {
   for (const auto& r : records) push(r);
+}
+
+void StreamingDetector::push_batch(const trace::RequestColumnsView& columns) {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    push_fields(TimePoint::from_micros(columns.arrival_us[i]),
+                TimePoint::from_micros(columns.departure_us[i]),
+                columns.class_id[i]);
+  }
 }
 
 void StreamingDetector::seal_up_to(std::size_t index) {

@@ -20,6 +20,7 @@
 #include "core/detector.h"
 #include "core/throughput_calculator.h"
 #include "trace/records.h"
+#include "trace/request_columns.h"
 
 namespace tbd::core {
 
@@ -57,6 +58,11 @@ class StreamingDetector {
   /// fused-sweep batch. Equivalent to calling push() per record.
   void push_batch(std::span<const trace::RequestRecord> records);
 
+  /// Columnar-layout overload: feeds rows of the column buffer in order,
+  /// reading only the arrival/departure/class columns. Bit-identical to
+  /// pushing the equivalent RequestRecords one by one.
+  void push_batch(const trace::RequestColumnsView& columns);
+
   /// Seals everything up to the high-water mark (end of stream).
   void finish();
 
@@ -80,6 +86,9 @@ class StreamingDetector {
   [[nodiscard]] std::size_t cell_index(TimePoint t) const;
   Cell& cell_at(std::size_t index);
   void seal_up_to(std::size_t index);
+  /// Field-level core of push(); both layouts feed it the same values.
+  void push_fields(TimePoint arrival, TimePoint departure,
+                   trace::ClassId class_id);
 
   Config config_;
   NStarResult nstar_;

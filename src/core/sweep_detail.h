@@ -1,119 +1,198 @@
 // Shared single-pass core of load and throughput calculation.
 //
 // compute_load (Section III-A), compute_throughput (Section III-B), and the
-// fused compute_load_throughput are three instantiations of ONE template so
-// the fused sweep is bit-identical to the separate calculators by
-// construction: for each enabled output the same statements execute in the
-// same order on the same values, and the disabled half is compiled away
-// (compute_throughput never builds or sorts the edge array; compute_load
-// never touches the service-time table).
+// fused compute_load_throughput are instantiations of ONE kernel — over
+// either record layout — so the fused sweep is bit-identical to the separate
+// calculators, and the SoA (columnar) paths are bit-identical to the AoS
+// ones, by construction: for each enabled output the same statements execute
+// on the same values, layout only changes where a field is loaded from, and
+// the disabled half is compiled away.
 //
-// The fusion is what makes trace->detector a single pass over the record
-// array: one traversal clips each record's [arrival, departure) against the
-// grid AND bins its completed work units, instead of the detector walking
-// the full record array twice.
+// The kernel replaces the former edge-array sweep (collect +1/-1 concurrency
+// change points, sort, integrate) with a direct clipped scatter, which is
+// what makes it run at memory-bandwidth speed:
+//
+//  * Interval clipping is branchless arithmetic (clamp to the grid, index by
+//    division); a record that misses the grid contributes an exact 0 instead
+//    of taking an early-exit branch.
+//  * A record's residence lands directly in the cells it overlaps: partial
+//    microseconds into its first and last cell, and — for records crossing
+//    more than two cells — a +1/-1 pair in an integer *difference array*
+//    whose prefix sum adds one full width to every interior cell. Worst case
+//    is O(records + intervals) even when every record spans the whole grid;
+//    there is no edge array to build (the old one reserved 2x records and
+//    doubled peak sweep memory) and no O(n log n) sort.
+//  * Throughput binning indexes a per-class work-unit table computed once
+//    per sweep instead of re-deriving round(service/unit) per record.
+//  * The pass is cache-tiled: records are consumed in fixed-size tiles, the
+//    load loop streaming the arrival+departure column slices and the
+//    throughput loop re-reading the departure slice while it is still in L1
+//    alongside class_id. Each column therefore streams from memory once per
+//    pass.
+//
+// Bit-exactness argument (the differential oracles in tests/oracle enforce
+// it): every accumulated quantity is an integer (integer microseconds of
+// residence, integer work units), so per-cell totals are exact in ANY
+// accumulation order. Residence is summed in int64 and converted to double
+// once at the end — identical to summing the same integers in doubles, as
+// long as totals stay below 2^53 (also required by the old path and the
+// oracles). The final divisions by the interval width are the same single
+// operations as before.
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "core/intervals.h"
 #include "core/throughput_calculator.h"
 #include "trace/records.h"
+#include "trace/request_columns.h"
 
 namespace tbd::core::detail {
 
-template <bool kLoad, bool kTput>
-void sweep_load_throughput(std::span<const trace::RequestRecord> records,
-                           const IntervalSpec& spec,
-                           const ServiceTimeTable* table,
-                           const ThroughputOptions* options,
-                           std::vector<double>* load_out,
-                           std::vector<double>* tput_out) {
+/// Field accessors over the AoS record layout.
+struct RecordSweepSource {
+  const trace::RequestRecord* records;
+  [[nodiscard]] std::int64_t arrival_us(std::size_t i) const {
+    return records[i].arrival.micros();
+  }
+  [[nodiscard]] std::int64_t departure_us(std::size_t i) const {
+    return records[i].departure.micros();
+  }
+  [[nodiscard]] trace::ClassId class_id(std::size_t i) const {
+    return records[i].class_id;
+  }
+};
+
+/// Field accessors over the SoA column layout.
+struct ColumnSweepSource {
+  const std::int64_t* arrival;
+  const std::int64_t* departure;
+  const trace::ClassId* cls;
+  [[nodiscard]] std::int64_t arrival_us(std::size_t i) const {
+    return arrival[i];
+  }
+  [[nodiscard]] std::int64_t departure_us(std::size_t i) const {
+    return departure[i];
+  }
+  [[nodiscard]] trace::ClassId class_id(std::size_t i) const { return cls[i]; }
+};
+
+/// Records per tile. 4096 keeps each column slice (8 B/field) well inside L1
+/// while amortizing the loop split between the load and throughput halves.
+constexpr std::size_t kSweepTile = 4096;
+
+template <bool kLoad, bool kTput, typename Source>
+void sweep_load_throughput_impl(const Source& src, std::size_t n,
+                                const IntervalSpec& spec,
+                                const ServiceTimeTable* table,
+                                const ThroughputOptions* options,
+                                std::vector<double>* load_out,
+                                std::vector<double>* tput_out) {
   if constexpr (kLoad) load_out->assign(spec.count, 0.0);
   if constexpr (kTput) tput_out->assign(spec.count, 0.0);
   if (spec.count == 0) return;
-  const TimePoint grid_end = spec.end();
 
-  double unit_us = 0.0;
+  const std::int64_t start_us = spec.start.micros();
+  const std::int64_t width_us = spec.width.micros();
+  const std::size_t count = spec.count;
+  const std::int64_t span_us = width_us * static_cast<std::int64_t>(count);
+  const std::int64_t end_us = start_us + span_us;
+
+  // Per-class work units, derived once: a request of class c transforms into
+  // round(service/unit) work units, >= 1 (Section III-B). Classes outside
+  // the table (service time 0) and the plain requests-completed mode both
+  // resolve to 1 work unit per request.
+  std::vector<double> units_by_class;
   if constexpr (kTput) {
-    unit_us = options->work_unit_us;
-    if (options->mode == ThroughputMode::kNormalizedWorkUnits &&
-        unit_us <= 0.0) {
-      unit_us = table->min_service_us();
-      assert(unit_us > 0.0 && "service-time table is empty");
+    if (options->mode == ThroughputMode::kNormalizedWorkUnits) {
+      double unit_us = options->work_unit_us;
+      if (unit_us <= 0.0) {
+        unit_us = table->min_service_us();
+        assert(unit_us > 0.0 && "service-time table is empty");
+      }
+      units_by_class.resize(table->classes());
+      for (std::size_t c = 0; c < units_by_class.size(); ++c) {
+        const double service = table->service_us(static_cast<trace::ClassId>(c));
+        units_by_class[c] = std::max(1.0, std::round(service / unit_us));
+      }
     }
   }
+  const std::size_t n_units = units_by_class.size();
+  const double* units = units_by_class.data();
 
-  // Concurrency change points, clipped to the grid.
-  struct Edge {
-    TimePoint at;
-    int delta;
-  };
-  std::vector<Edge> edges;
-  std::size_t spanning = 0;  // active across the whole grid (no edges inside)
-  if constexpr (kLoad) edges.reserve(records.size() * 2);
+  // Integer accumulators: per-cell residence microseconds, plus a difference
+  // array counting records that fully cover a cell (prefix-summed below).
+  std::vector<std::int64_t> residence_us;
+  std::vector<std::int64_t> full_cover;
+  if constexpr (kLoad) {
+    residence_us.assign(count, 0);
+    full_cover.assign(count + 1, 0);
+  }
+  double* const tput = kTput ? tput_out->data() : nullptr;
 
-  for (const auto& r : records) {
-    if constexpr (kTput) {
-      // A request counts in the interval containing its departure.
-      if (spec.contains(r.departure)) {
-        const std::size_t idx = spec.index_of(r.departure);
-        if (options->mode == ThroughputMode::kRequestsCompleted) {
-          (*tput_out)[idx] += 1.0;
+  for (std::size_t tile = 0; tile < n; tile += kSweepTile) {
+    const std::size_t tile_end = std::min(n, tile + kSweepTile);
+
+    if constexpr (kLoad) {
+      for (std::size_t i = tile; i < tile_end; ++i) {
+        // Branchless clip of [arrival, departure) against [start, end): a
+        // record outside the grid clamps to an empty range and adds 0.
+        const std::int64_t a =
+            std::clamp(src.arrival_us(i), start_us, end_us);
+        const std::int64_t d =
+            std::clamp(src.departure_us(i), start_us, end_us);
+        const std::size_t first = std::min<std::size_t>(
+            static_cast<std::size_t>((a - start_us) / width_us), count - 1);
+        const std::int64_t first_end =
+            start_us + width_us * static_cast<std::int64_t>(first + 1);
+        if (d <= first_end) {
+          // Common case: the clipped record lives inside one cell (d on the
+          // cell's end boundary included — its last-cell contribution there
+          // would be 0).
+          residence_us[first] += d - a;
         } else {
-          // A request transforms into round(service/unit) work units, >= 1.
-          const double service = table->service_us(r.class_id);
-          const double units = std::max(1.0, std::round(service / unit_us));
-          (*tput_out)[idx] += units;
+          const std::size_t last = std::min<std::size_t>(
+              static_cast<std::size_t>((d - start_us) / width_us), count - 1);
+          residence_us[first] += first_end - a;
+          residence_us[last] +=
+              d - (start_us + width_us * static_cast<std::int64_t>(last));
+          // Interior cells get one full width each via the prefix sum.
+          ++full_cover[first + 1];
+          --full_cover[last];
         }
       }
     }
-    if constexpr (kLoad) {
-      if (r.departure <= spec.start || r.arrival >= grid_end) continue;
-      const TimePoint a = std::max(r.arrival, spec.start);
-      const TimePoint d = std::min(r.departure, grid_end);
-      if (a == spec.start && d == grid_end && r.arrival < spec.start &&
-          r.departure > grid_end) {
-        ++spanning;
-        continue;
+
+    if constexpr (kTput) {
+      for (std::size_t i = tile; i < tile_end; ++i) {
+        // A request counts in the interval containing its departure; one
+        // outside the half-open grid contributes an exact +0.0 to a clamped
+        // (valid) cell instead of branching away.
+        const std::int64_t dep = src.departure_us(i);
+        const bool in_grid = dep >= start_us && dep < end_us;
+        const std::int64_t off =
+            std::clamp<std::int64_t>(dep - start_us, 0, span_us - 1);
+        const std::size_t idx = static_cast<std::size_t>(off / width_us);
+        const trace::ClassId c = src.class_id(i);
+        const double u = c < n_units ? units[c] : 1.0;
+        tput[idx] += in_grid ? u : 0.0;
       }
-      edges.push_back(Edge{a, +1});
-      edges.push_back(Edge{d, -1});
     }
   }
 
   if constexpr (kLoad) {
-    std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
-      if (x.at != y.at) return x.at < y.at;
-      return x.delta < y.delta;  // departures before arrivals at the same tick
-    });
-
-    // Sweep, accumulating concurrency * dt into the interval cells.
-    double conc = static_cast<double>(spanning);
-    TimePoint cursor = spec.start;
-    std::size_t cell = 0;
-    auto accumulate_until = [&](TimePoint until) {
-      while (cursor < until) {
-        const TimePoint cell_end = spec.interval_start(cell) + spec.width;
-        const TimePoint seg_end = std::min(until, cell_end);
-        (*load_out)[cell] +=
-            conc * static_cast<double>((seg_end - cursor).micros());
-        cursor = seg_end;
-        if (cursor == cell_end && cell + 1 < spec.count) ++cell;
-      }
-    };
-    for (const auto& e : edges) {
-      accumulate_until(e.at);
-      conc += e.delta;
+    const auto width_d = static_cast<double>(width_us);
+    std::int64_t cover = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      cover += full_cover[i];
+      (*load_out)[i] =
+          static_cast<double>(residence_us[i] + cover * width_us) / width_d;
     }
-    accumulate_until(grid_end);
-
-    const auto width_us = static_cast<double>(spec.width.micros());
-    for (double& v : *load_out) v /= width_us;
   }
 
   if constexpr (kTput) {
@@ -122,6 +201,31 @@ void sweep_load_throughput(std::span<const trace::RequestRecord> records,
       for (double& v : *tput_out) v /= width_s;
     }
   }
+}
+
+template <bool kLoad, bool kTput>
+void sweep_load_throughput(std::span<const trace::RequestRecord> records,
+                           const IntervalSpec& spec,
+                           const ServiceTimeTable* table,
+                           const ThroughputOptions* options,
+                           std::vector<double>* load_out,
+                           std::vector<double>* tput_out) {
+  sweep_load_throughput_impl<kLoad, kTput>(RecordSweepSource{records.data()},
+                                           records.size(), spec, table,
+                                           options, load_out, tput_out);
+}
+
+template <bool kLoad, bool kTput>
+void sweep_load_throughput(const trace::RequestColumnsView& columns,
+                           const IntervalSpec& spec,
+                           const ServiceTimeTable* table,
+                           const ThroughputOptions* options,
+                           std::vector<double>* load_out,
+                           std::vector<double>* tput_out) {
+  sweep_load_throughput_impl<kLoad, kTput>(
+      ColumnSweepSource{columns.arrival_us.data(), columns.departure_us.data(),
+                        columns.class_id.data()},
+      columns.size(), spec, table, options, load_out, tput_out);
 }
 
 }  // namespace tbd::core::detail

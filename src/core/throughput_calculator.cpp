@@ -20,24 +20,29 @@ void ServiceTimeTable::set(trace::ClassId c, double us) {
   us_by_class_[c] = us;
 }
 
-ServiceTimeTable estimate_service_times(
-    std::span<const trace::RequestRecord> records, double mask_quantile) {
+namespace {
+
+// Shared by the AoS and SoA overloads; `src` is a sweep-source-style field
+// accessor so both layouts feed identical delays in identical order.
+template <typename Source>
+ServiceTimeTable estimate_service_times_impl(const Source& src, std::size_t n,
+                                             double mask_quantile) {
   // Pre-scan the class ids so the per-class delay vectors are sized once:
   // the repeated resize-on-growth pattern was measurable on multi-million
   // record production logs.
   std::size_t num_classes = 0;
-  for (const auto& r : records) {
-    num_classes = std::max<std::size_t>(num_classes, r.class_id + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    num_classes = std::max<std::size_t>(num_classes, src.class_id(i) + 1);
   }
   std::vector<std::size_t> counts(num_classes, 0);
-  for (const auto& r : records) ++counts[r.class_id];
+  for (std::size_t i = 0; i < n; ++i) ++counts[src.class_id(i)];
 
   // Gather intra-node delays per class.
   std::vector<std::vector<double>> delays(num_classes);
   for (std::size_t c = 0; c < num_classes; ++c) delays[c].reserve(counts[c]);
-  for (const auto& r : records) {
-    delays[r.class_id].push_back(
-        static_cast<double>((r.departure - r.arrival).micros()));
+  for (std::size_t i = 0; i < n; ++i) {
+    delays[src.class_id(i)].push_back(
+        static_cast<double>(src.departure_us(i) - src.arrival_us(i)));
   }
   std::vector<double> by_class(delays.size(), 0.0);
   for (std::size_t c = 0; c < delays.size(); ++c) {
@@ -48,11 +53,38 @@ ServiceTimeTable estimate_service_times(
   return ServiceTimeTable{std::move(by_class)};
 }
 
+}  // namespace
+
+ServiceTimeTable estimate_service_times(
+    std::span<const trace::RequestRecord> records, double mask_quantile) {
+  return estimate_service_times_impl(
+      detail::RecordSweepSource{records.data()}, records.size(), mask_quantile);
+}
+
+ServiceTimeTable estimate_service_times(const trace::RequestColumnsView& columns,
+                                        double mask_quantile) {
+  return estimate_service_times_impl(
+      detail::ColumnSweepSource{columns.arrival_us.data(),
+                                columns.departure_us.data(),
+                                columns.class_id.data()},
+      columns.size(), mask_quantile);
+}
+
 std::vector<double> compute_throughput(
     std::span<const trace::RequestRecord> records, const IntervalSpec& spec,
     const ServiceTimeTable& table, const ThroughputOptions& options) {
   std::vector<double> tput;
   detail::sweep_load_throughput<false, true>(records, spec, &table, &options,
+                                             nullptr, &tput);
+  return tput;
+}
+
+std::vector<double> compute_throughput(const trace::RequestColumnsView& columns,
+                                       const IntervalSpec& spec,
+                                       const ServiceTimeTable& table,
+                                       const ThroughputOptions& options) {
+  std::vector<double> tput;
+  detail::sweep_load_throughput<false, true>(columns, spec, &table, &options,
                                              nullptr, &tput);
   return tput;
 }

@@ -22,6 +22,7 @@
 
 #include "core/intervals.h"
 #include "trace/records.h"
+#include "trace/request_columns.h"
 
 namespace tbd::core {
 
@@ -55,6 +56,11 @@ class ServiceTimeTable {
 [[nodiscard]] ServiceTimeTable estimate_service_times(
     std::span<const trace::RequestRecord> records, double mask_quantile = 0.2);
 
+/// Columnar-layout overload; identical estimates (same delays in the same
+/// order) while reading only the class/arrival/departure columns.
+[[nodiscard]] ServiceTimeTable estimate_service_times(
+    const trace::RequestColumnsView& columns, double mask_quantile = 0.2);
+
 enum class ThroughputMode {
   kRequestsCompleted,   // straightforward count
   kNormalizedWorkUnits  // Section III-B normalization
@@ -72,6 +78,12 @@ struct ThroughputOptions {
 /// departure timestamp.
 [[nodiscard]] std::vector<double> compute_throughput(
     std::span<const trace::RequestRecord> records, const IntervalSpec& spec,
+    const ServiceTimeTable& table, const ThroughputOptions& options = {});
+
+/// Columnar-layout overload; bit-identical to the AoS path and only streams
+/// the departure/class columns.
+[[nodiscard]] std::vector<double> compute_throughput(
+    const trace::RequestColumnsView& columns, const IntervalSpec& spec,
     const ServiceTimeTable& table, const ThroughputOptions& options = {});
 
 }  // namespace tbd::core

@@ -205,40 +205,80 @@ void consume_line(std::string_view line, Sink& sink) {
   }
 }
 
-// Per-shard (or whole-file) parse state.
-struct ParseSink {
-  RequestLog records;
+// Per-shard (or whole-file) parse state, generic over the record container
+// (RequestLog for the row loaders, RequestColumns for the columnar ones —
+// consume_line only needs push_back(RequestRecord), which both provide).
+template <typename Records>
+struct ParseSinkT {
+  Records records;
   std::size_t skipped = 0;
   std::size_t lines = 0;          // lines consumed so far (1-based current)
   std::size_t first_bad_line = 0; // within this sink's line numbering
   std::string first_bad_text;
 };
 
-}  // namespace
+using ParseSink = ParseSinkT<RequestLog>;
 
-LogIoResult load_request_log_csv(const std::string& path) {
-  LogIoResult result;
-  std::ifstream in{path};
-  if (!in.is_open()) {
-    result.error = "cannot open file";
-    return result;
-  }
-  result.ok = true;
-  ParseSink sink;
-  std::string line;
-  while (std::getline(in, line)) {
-    ++sink.lines;
-    consume_line(line, sink);
-  }
-  result.records = std::move(sink.records);
-  result.skipped_lines = sink.skipped;
-  result.first_bad_line = sink.first_bad_line;
-  result.first_bad_text = std::move(sink.first_bad_text);
-  return result;
+// Newline-density estimate of how many records a shard will produce, used to
+// batch-fault the reservation up front; about half the cost of taking the
+// page faults one by one mid-parse.
+std::size_t estimate_shard_records(const char* p, std::size_t shard_bytes,
+                                   std::size_t capacity) {
+  const std::size_t sample = std::min<std::size_t>(shard_bytes, 256 * 1024);
+  if (sample == 0) return 0;
+  const auto sample_lines =
+      static_cast<std::size_t>(std::count(p, p + sample, '\n')) + 1;
+  return std::min(shard_bytes * sample_lines / sample + 1, capacity);
 }
 
-LogIoResult parse_request_log_csv(std::string_view buffer, int shards) {
-  LogIoResult result;
+// Reserves a shard's output storage and pre-faults the estimated prefix.
+void prime_shard_storage(RequestLog& records, const char* p,
+                         std::size_t shard_bytes) {
+  records.reserve(shard_bytes / 16 + 1);
+  advise_huge_pages(records.data(),
+                    records.capacity() * sizeof(RequestRecord));
+  const std::size_t estimated =
+      estimate_shard_records(p, shard_bytes, records.capacity());
+  if (estimated > 0) {
+    populate_pages_for_write(records.data(),
+                             estimated * sizeof(RequestRecord));
+  }
+}
+
+// Columnar flavor: the two timestamp columns dominate the footprint, so they
+// get the huge-page advice and the pre-fault.
+void prime_shard_storage(RequestColumns& columns, const char* p,
+                         std::size_t shard_bytes) {
+  columns.reserve(shard_bytes / 16 + 1);
+  advise_huge_pages(columns.arrival_us.data(),
+                    columns.arrival_us.capacity() * sizeof(std::int64_t));
+  advise_huge_pages(columns.departure_us.data(),
+                    columns.departure_us.capacity() * sizeof(std::int64_t));
+  const std::size_t estimated =
+      estimate_shard_records(p, shard_bytes, columns.arrival_us.capacity());
+  if (estimated > 0) {
+    populate_pages_for_write(columns.arrival_us.data(),
+                             estimated * sizeof(std::int64_t));
+    populate_pages_for_write(columns.departure_us.data(),
+                             estimated * sizeof(std::int64_t));
+  }
+}
+
+// Merge-step append of a later shard onto the adopted first shard.
+void append_shard(RequestLog& dst, const RequestLog& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+void append_shard(RequestColumns& dst, const RequestColumns& src) {
+  dst.append(src.view());
+}
+
+// Sharded zero-copy CSV parse, generic over the result/record layout. Both
+// public entry points instantiate this, so the row and columnar loaders
+// share every classification and merge decision.
+template <typename Result>
+Result parse_request_log_csv_impl(std::string_view buffer, int shards) {
+  Result result;
   result.ok = true;
   if (buffer.empty()) return result;
 
@@ -272,31 +312,17 @@ LogIoResult parse_request_log_csv(std::string_view buffer, int shards) {
                     : buffer.size();
   }
 
-  std::vector<ParseSink> parsed(n_shards);
+  using Records = decltype(result.records);
+  std::vector<ParseSinkT<Records>> parsed(n_shards);
   {
     TBD_SPAN("ingest.shard_parse");
     pool.parallel_for_indexed(n_shards, [&](std::size_t k) {
       TBD_SPAN("ingest.shard");
-      ParseSink& sink = parsed[k];
+      ParseSinkT<Records>& sink = parsed[k];
       const char* p = buffer.data() + bounds[k];
       const char* end = buffer.data() + bounds[k + 1];
-      const auto shard_bytes = static_cast<std::size_t>(end - p);
-      sink.records.reserve(shard_bytes / 16 + 1);
-      advise_huge_pages(sink.records.data(),
-                        sink.records.capacity() * sizeof(RequestRecord));
-      // Estimate the record count from the newline density of a prefix and
-      // batch-fault that much of the reservation up front; it is about half
-      // the cost of taking the page faults one by one mid-parse.
-      const std::size_t sample = std::min<std::size_t>(shard_bytes, 256 * 1024);
-      if (sample > 0) {
-        const auto sample_lines =
-            static_cast<std::size_t>(std::count(p, p + sample, '\n')) + 1;
-        const std::size_t estimated =
-            std::min(shard_bytes * sample_lines / sample + 1,
-                     sink.records.capacity());
-        populate_pages_for_write(sink.records.data(),
-                                 estimated * sizeof(RequestRecord));
-      }
+      prime_shard_storage(sink.records, p,
+                          static_cast<std::size_t>(end - p));
       while (p < end) {
         ++sink.lines;
         RequestRecord r;
@@ -328,10 +354,7 @@ LogIoResult parse_request_log_csv(std::string_view buffer, int shards) {
     std::size_t line_base = 0;
     bool first = true;
     for (auto& s : parsed) {
-      if (!first) {
-        result.records.insert(result.records.end(), s.records.begin(),
-                              s.records.end());
-      }
+      if (!first) append_shard(result.records, s.records);
       first = false;
       result.skipped_lines += s.skipped;
       if (result.first_bad_line == 0 && s.first_bad_line != 0) {
@@ -349,24 +372,81 @@ LogIoResult parse_request_log_csv(std::string_view buffer, int shards) {
   return result;
 }
 
-LogIoResult load_request_log_csv_sharded(const std::string& path, int shards) {
+}  // namespace
+
+LogIoResult load_request_log_csv(const std::string& path) {
+  LogIoResult result;
+  std::ifstream in{path};
+  if (!in.is_open()) {
+    result.error = "cannot open file";
+    return result;
+  }
+  result.ok = true;
+  ParseSink sink;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++sink.lines;
+    consume_line(line, sink);
+  }
+  result.records = std::move(sink.records);
+  result.skipped_lines = sink.skipped;
+  result.first_bad_line = sink.first_bad_line;
+  result.first_bad_text = std::move(sink.first_bad_text);
+  return result;
+}
+
+LogIoResult parse_request_log_csv(std::string_view buffer, int shards) {
+  return parse_request_log_csv_impl<LogIoResult>(buffer, shards);
+}
+
+ColumnarLogIoResult parse_request_log_csv_columns(std::string_view buffer,
+                                                  int shards) {
+  return parse_request_log_csv_impl<ColumnarLogIoResult>(buffer, shards);
+}
+
+namespace {
+
+template <typename Result>
+Result load_request_log_csv_sharded_impl(const std::string& path, int shards) {
   MappedFile file;
   {
     TBD_SPAN("ingest.read");
     file = MappedFile::open(path);
   }
   if (!file.ok()) {
-    LogIoResult result;
+    Result result;
     result.error = "cannot open file";
     return result;
   }
   if (file.empty()) {
-    LogIoResult result;
+    Result result;
     result.ok = true;
     return result;
   }
-  return parse_request_log_csv(std::string_view{file.data(), file.size()},
-                               shards);
+  return parse_request_log_csv_impl<Result>(
+      std::string_view{file.data(), file.size()}, shards);
+}
+
+// Binary errors carry byte/record coordinates; fold them into the message so
+// the front door is as specific as first_bad_line is for CSV ("truncated
+// record stream at byte offset 48, record 1, ...").
+template <typename BinResult>
+std::string fold_bin_error(std::string error, const BinResult& bin) {
+  return std::move(error) + " at byte offset " +
+         std::to_string(bin.error_offset) + ", record " +
+         std::to_string(bin.error_record) + ", file size " +
+         std::to_string(bin.input_size);
+}
+
+}  // namespace
+
+LogIoResult load_request_log_csv_sharded(const std::string& path, int shards) {
+  return load_request_log_csv_sharded_impl<LogIoResult>(path, shards);
+}
+
+ColumnarLogIoResult load_request_log_csv_sharded_columns(
+    const std::string& path, int shards) {
+  return load_request_log_csv_sharded_impl<ColumnarLogIoResult>(path, shards);
 }
 
 LogIoResult load_request_log(const std::string& path) {
@@ -377,16 +457,26 @@ LogIoResult load_request_log(const std::string& path) {
     result.records = std::move(bin.records);
     result.error = std::move(bin.error);
     if (!result.ok && bin.input_size > 0) {
-      // Binary errors carry byte/record coordinates; fold them into the
-      // message so the front door is as specific as first_bad_line is for
-      // CSV ("truncated record stream at byte offset 48, record 1, ...").
-      result.error += " at byte offset " + std::to_string(bin.error_offset) +
-                      ", record " + std::to_string(bin.error_record) +
-                      ", file size " + std::to_string(bin.input_size);
+      result.error = fold_bin_error(std::move(result.error), bin);
     }
     return result;
   }
   return load_request_log_csv_sharded(path);
+}
+
+ColumnarLogIoResult load_request_log_columns(const std::string& path) {
+  if (sniff_request_log_bin(path)) {
+    auto bin = load_request_log_bin_columns(path);
+    ColumnarLogIoResult result;
+    result.ok = bin.ok;
+    result.records = std::move(bin.records);
+    result.error = std::move(bin.error);
+    if (!result.ok && bin.input_size > 0) {
+      result.error = fold_bin_error(std::move(result.error), bin);
+    }
+    return result;
+  }
+  return load_request_log_csv_sharded_columns(path);
 }
 
 namespace {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "trace/records.h"
+#include "trace/request_columns.h"
 
 namespace tbd::trace {
 
@@ -64,6 +65,32 @@ struct LogIoResult {
 /// Loads a request log of either encoding: binary when `path` carries the
 /// "TBDR" magic (see request_log_file.h), sharded CSV otherwise.
 [[nodiscard]] LogIoResult load_request_log(const std::string& path);
+
+/// Columnar twin of LogIoResult: identical diagnostics, records in SoA
+/// layout. The loaders classify lines through the same code as the row
+/// loaders, so records.to_records() equals the row loader's records and all
+/// error fields match byte-for-byte.
+struct ColumnarLogIoResult {
+  RequestColumns records;
+  std::size_t skipped_lines = 0;
+  bool ok = false;
+  std::string error;
+  std::size_t first_bad_line = 0;
+  std::string first_bad_text;
+};
+
+/// Sharded CSV parse straight into columns (no intermediate row log).
+[[nodiscard]] ColumnarLogIoResult parse_request_log_csv_columns(
+    std::string_view text, int shards = 0);
+
+/// Sharded CSV file load straight into columns.
+[[nodiscard]] ColumnarLogIoResult load_request_log_csv_sharded_columns(
+    const std::string& path, int shards = 0);
+
+/// Columnar front door: TBDR or CSV by magic sniff, decoded into columns at
+/// the ingest boundary — the analysis core then never sees rows.
+[[nodiscard]] ColumnarLogIoResult load_request_log_columns(
+    const std::string& path);
 
 /// Writes records (with header) to `path`; returns false on I/O failure.
 bool save_request_log_csv(const std::string& path, const RequestLog& records);

@@ -1,0 +1,67 @@
+#include "trace/request_columns.h"
+
+namespace tbd::trace {
+
+void RequestColumns::reserve(std::size_t n) {
+  arrival_us.reserve(n);
+  departure_us.reserve(n);
+  server.reserve(n);
+  class_id.reserve(n);
+  txn.reserve(n);
+}
+
+void RequestColumns::resize(std::size_t n) {
+  arrival_us.resize(n);
+  departure_us.resize(n);
+  server.resize(n);
+  class_id.resize(n);
+  txn.resize(n);
+}
+
+void RequestColumns::clear() {
+  arrival_us.clear();
+  departure_us.clear();
+  server.clear();
+  class_id.clear();
+  txn.clear();
+}
+
+void RequestColumns::push_back(const RequestRecord& r) {
+  arrival_us.push_back(r.arrival.micros());
+  departure_us.push_back(r.departure.micros());
+  server.push_back(r.server);
+  class_id.push_back(r.class_id);
+  txn.push_back(r.txn);
+}
+
+void RequestColumns::append(std::span<const RequestRecord> records) {
+  reserve(size() + records.size());
+  for (const RequestRecord& r : records) push_back(r);
+}
+
+void RequestColumns::append(const RequestColumnsView& columns) {
+  arrival_us.insert(arrival_us.end(), columns.arrival_us.begin(),
+                    columns.arrival_us.end());
+  departure_us.insert(departure_us.end(), columns.departure_us.begin(),
+                      columns.departure_us.end());
+  server.insert(server.end(), columns.server.begin(), columns.server.end());
+  class_id.insert(class_id.end(), columns.class_id.begin(),
+                  columns.class_id.end());
+  txn.insert(txn.end(), columns.txn.begin(), columns.txn.end());
+}
+
+RequestColumns RequestColumns::from_records(
+    std::span<const RequestRecord> records) {
+  RequestColumns columns;
+  columns.append(records);
+  return columns;
+}
+
+RequestLog RequestColumns::to_records() const {
+  RequestLog log;
+  log.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) log.push_back(record(i));
+  return log;
+}
+
+}  // namespace tbd::trace

@@ -130,44 +130,75 @@ std::string encode_request_log_bin(const RequestLog& records) {
   return out;
 }
 
-RequestLogReadResult decode_request_log_bin(std::string_view bytes) {
-  RequestLogReadResult result;
-  result.input_size = bytes.size();
+namespace {
+
+// Header + size validation shared by the row and columnar decoders, so the
+// two cannot disagree on what constitutes a valid file or on the error
+// strings/coordinates they report. `error` empty means the payload holds
+// exactly `count` records.
+struct TbdrHeader {
+  std::uint64_t count = 0;
+  std::uint64_t header_count = 0;
+  std::string error;
+  std::size_t error_offset = 0;
+  std::uint64_t error_record = 0;
+};
+
+TbdrHeader validate_tbdr_header(std::string_view bytes) {
+  TbdrHeader h;
   if (bytes.size() < kHeaderSize) {
-    result.error = "truncated header";
-    result.error_offset = bytes.size();
-    return result;
+    h.error = "truncated header";
+    h.error_offset = bytes.size();
+    return h;
   }
   if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
-    result.error = "bad magic";
-    result.error_offset = 0;
-    return result;
+    h.error = "bad magic";
+    h.error_offset = 0;
+    return h;
   }
   const char* p = bytes.data() + 4;
   const auto version = take<std::uint32_t>(p);
   if (version != kVersion) {
-    result.error = "unsupported version";
-    result.error_offset = 4;
-    return result;
+    h.error = "unsupported version";
+    h.error_offset = 4;
+    return h;
   }
   const auto count = take<std::uint64_t>(p);
-  result.header_count = count;
+  h.header_count = count;
   // The count must agree with the buffer size exactly — checked BEFORE any
   // allocation, so a corrupt header cannot over-allocate or over-read. The
   // division guards the count * kRecordSize multiply below from overflow.
   const std::size_t payload = bytes.size() - kHeaderSize;
   if (payload / kRecordSize < count) {
-    result.error = "truncated record stream";
-    result.error_record = payload / kRecordSize;  // first incomplete record
-    result.error_offset = kHeaderSize + result.error_record * kRecordSize;
-    return result;
+    h.error = "truncated record stream";
+    h.error_record = payload / kRecordSize;  // first incomplete record
+    h.error_offset = kHeaderSize + h.error_record * kRecordSize;
+    return h;
   }
   if (count * kRecordSize != payload) {
-    result.error = "record count disagrees with file size";
-    result.error_record = count;
-    result.error_offset = kHeaderSize + count * kRecordSize;  // first surplus
+    h.error = "record count disagrees with file size";
+    h.error_record = count;
+    h.error_offset = kHeaderSize + count * kRecordSize;  // first surplus
+    return h;
+  }
+  h.count = count;
+  return h;
+}
+
+}  // namespace
+
+RequestLogReadResult decode_request_log_bin(std::string_view bytes) {
+  RequestLogReadResult result;
+  result.input_size = bytes.size();
+  TbdrHeader header = validate_tbdr_header(bytes);
+  result.header_count = header.header_count;
+  if (!header.error.empty()) {
+    result.error = std::move(header.error);
+    result.error_offset = header.error_offset;
+    result.error_record = header.error_record;
     return result;
   }
+  const std::uint64_t count = header.count;
 
   {
     TBD_SPAN("ingest.bin_decode");
@@ -219,6 +250,75 @@ RequestLogReadResult load_request_log_bin(const std::string& path) {
   }
   if (file.empty()) return decode_request_log_bin(std::string_view{});
   return decode_request_log_bin(std::string_view{file.data(), file.size()});
+}
+
+RequestColumnsReadResult decode_request_log_bin_columns(std::string_view bytes) {
+  RequestColumnsReadResult result;
+  result.input_size = bytes.size();
+  TbdrHeader header = validate_tbdr_header(bytes);
+  result.header_count = header.header_count;
+  if (!header.error.empty()) {
+    result.error = std::move(header.error);
+    result.error_offset = header.error_offset;
+    result.error_record = header.error_record;
+    return result;
+  }
+  const std::uint64_t count = header.count;
+
+  {
+    TBD_SPAN("ingest.bin_decode");
+    result.records.resize(count);
+    RequestColumns& cols = result.records;
+    const std::size_t chunks = (count + kDecodeChunk - 1) / kDecodeChunk;
+    if (chunks > 0) {
+      shared_pool().parallel_for_indexed(chunks, [&](std::size_t c) {
+        const std::size_t begin = c * kDecodeChunk;
+        const std::size_t end = std::min(begin + kDecodeChunk, count);
+        if constexpr (kHostLayoutMatchesWire) {
+          // The wire rows already are host RequestRecords; the decode is a
+          // pure row->column transpose of the mapping, one chunk at a time.
+          const auto* rows =
+              reinterpret_cast<const RequestRecord*>(bytes.data() + kHeaderSize);
+          for (std::size_t i = begin; i < end; ++i) {
+            const RequestRecord& r = rows[i];
+            cols.server[i] = r.server;
+            cols.class_id[i] = r.class_id;
+            cols.arrival_us[i] = r.arrival.micros();
+            cols.departure_us[i] = r.departure.micros();
+            cols.txn[i] = r.txn;
+          }
+        } else {
+          const char* q = bytes.data() + kHeaderSize + begin * kRecordSize;
+          for (std::size_t i = begin; i < end; ++i) {
+            cols.server[i] = take<std::uint32_t>(q);
+            cols.class_id[i] = take<std::uint32_t>(q);
+            cols.arrival_us[i] = take<std::int64_t>(q);
+            cols.departure_us[i] = take<std::int64_t>(q);
+            cols.txn[i] = take<std::uint64_t>(q);
+          }
+        }
+      });
+    }
+  }
+  result.ok = true;
+  obs::Registry::global().counter("ingest_bin_records_total").add(count);
+  return result;
+}
+
+RequestColumnsReadResult load_request_log_bin_columns(const std::string& path) {
+  MappedFile file;
+  {
+    TBD_SPAN("ingest.bin_read");
+    file = MappedFile::open(path);
+  }
+  if (!file.ok()) {
+    RequestColumnsReadResult result;
+    result.error = "cannot open file";
+    return result;
+  }
+  if (file.empty()) return decode_request_log_bin_columns(std::string_view{});
+  return decode_request_log_bin_columns(
+      std::string_view{file.data(), file.size()});
 }
 
 bool sniff_request_log_bin(const std::string& path) {

@@ -21,6 +21,7 @@
 #include <string_view>
 
 #include "trace/records.h"
+#include "trace/request_columns.h"
 
 namespace tbd::trace {
 
@@ -59,6 +60,31 @@ bool save_request_log_bin(const std::string& path, const RequestLog& records);
 
 /// Reads a binary request log back: maps the file and decodes it.
 [[nodiscard]] RequestLogReadResult load_request_log_bin(
+    const std::string& path);
+
+/// Columnar twin of RequestLogReadResult: the decoder transposes the wire's
+/// row-major records straight into column vectors (the one AoS->SoA
+/// conversion of the whole pipeline happens here, inside the decode chunks).
+/// Diagnostics fields mean exactly what they do on RequestLogReadResult —
+/// both decoders validate through the same header check, so the error
+/// strings and coordinates cannot drift.
+struct RequestColumnsReadResult {
+  RequestColumns records;
+  bool ok = false;
+  std::string error;
+  std::size_t error_offset = 0;
+  std::uint64_t error_record = 0;
+  std::uint64_t header_count = 0;
+  std::size_t input_size = 0;
+};
+
+/// Decodes a TBDR byte buffer into columns; same validation and fan-out as
+/// decode_request_log_bin, and records.to_records() equals the row decode.
+[[nodiscard]] RequestColumnsReadResult decode_request_log_bin_columns(
+    std::string_view bytes);
+
+/// Reads a binary request log into columns: maps the file and decodes it.
+[[nodiscard]] RequestColumnsReadResult load_request_log_bin_columns(
     const std::string& path);
 
 /// True when `path` exists and begins with the "TBDR" magic.

@@ -125,7 +125,8 @@ TEST(FusedSweepTest, MatchesOnEmptyInputs) {
 TEST(FusedSweepTest, EmptyLogYieldsExactZeroSeries) {
   const auto spec = IntervalSpec::over(TimePoint::origin(),
                                        TimePoint::from_micros(200'000), 50_ms);
-  const auto fused = compute_load_throughput({}, spec, table8());
+  const auto fused =
+      compute_load_throughput(trace::RequestLog{}, spec, table8());
   ASSERT_EQ(fused.load.size(), 4u);
   for (std::size_t i = 0; i < 4; ++i) {
     EXPECT_EQ(fused.load[i], 0.0) << i;

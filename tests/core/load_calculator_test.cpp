@@ -31,7 +31,7 @@ IntervalSpec grid(std::int64_t start_us, std::int64_t width_us,
 }
 
 TEST(LoadCalculatorTest, EmptyInput) {
-  const auto load = compute_load({}, grid(0, 1000, 3));
+  const auto load = compute_load(trace::RequestLog{}, grid(0, 1000, 3));
   EXPECT_EQ(load, (std::vector<double>{0.0, 0.0, 0.0}));
 }
 

@@ -28,6 +28,7 @@
 #include "testing/generators.h"
 #include "testing/oracles.h"
 #include "trace/log_io.h"
+#include "trace/request_columns.h"
 #include "trace/request_log_file.h"
 #include "util/rng.h"
 
@@ -247,6 +248,116 @@ TEST(Metamorphic, StreamingPushEqualsPushBatchEqualsBatchSweep) {
       EXPECT_EQ(std::bit_cast<std::uint64_t>(loop.tput[i]),
                 std::bit_cast<std::uint64_t>(batch.throughput[i]))
           << "seed " << seed << " interval " << i;
+    }
+  }
+}
+
+// Interleaves push, push_batch over rows, columnar push_batch, and reset:
+// after each reset the detector must behave exactly like a fresh one, and
+// every feeding style (row-at-a-time, row chunks, column chunks) must emit
+// identical intervals — all bit-equal to the batch sweep over the sealed
+// prefix. Regression for the columnar buffer path: a reset that leaked open
+// cells or a column append that disagreed with push would diverge here.
+TEST(Metamorphic, StreamingInterleavedPushBatchResetMatchesBatchSweep) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 50'000'000};
+    auto config = base_config(rng);
+    config.origin_us = 0;
+    config.p_outside = 0.0;  // streaming drops pre-start arrivals' history
+    config.p_spanning = 0.0;
+    const auto spec = pt::grid_for(config);
+    auto log = pt::generate_request_log(rng, config);
+    std::sort(log.begin(), log.end(),
+              [](const trace::RequestRecord& a, const trace::RequestRecord& b) {
+                return a.departure < b.departure;
+              });
+    const auto table = pt::generate_service_table(rng, config.classes);
+    const auto columns = trace::RequestColumns::from_records(log);
+
+    core::StreamingDetector::Config stream_config;
+    stream_config.width = spec.width;
+    stream_config.lag = Duration::seconds(30);
+    core::NStarResult nstar;
+    nstar.n_star = rng.uniform(0.5, 8.0);
+    nstar.tp_max = rng.uniform(100.0, 5000.0);
+    nstar.converged = true;
+
+    struct Emitted {
+      std::vector<double> load, tput;
+      std::vector<core::IntervalState> states;
+    };
+    core::StreamingDetector stream{spec.start, stream_config, nstar, table};
+    Emitted out;
+    stream.on_interval([&](std::size_t, double load, double tput,
+                           core::IntervalState state) {
+      out.load.push_back(load);
+      out.tput.push_back(tput);
+      out.states.push_back(state);
+    });
+
+    // A couple of warm-up rounds, each ended by reset(): feed a random
+    // prefix through a random mix of styles, then rewind. Whatever these
+    // rounds emitted is cleared away with the state.
+    const int warmups = static_cast<int>(rng.uniform_index(3));
+    for (int w = 0; w < warmups; ++w) {
+      const std::size_t prefix = rng.uniform_index(log.size() + 1);
+      std::size_t i = 0;
+      while (i < prefix) {
+        const std::size_t n =
+            std::min(prefix - i, std::size_t{1} + rng.uniform_index(7));
+        switch (rng.uniform_index(3)) {
+          case 0:
+            for (std::size_t k = i; k < i + n; ++k) stream.push(log[k]);
+            break;
+          case 1:
+            stream.push_batch(std::span{log}.subspan(i, n));
+            break;
+          default:
+            stream.push_batch(columns.view().subview(i, n));
+            break;
+        }
+        i += n;
+      }
+      stream.reset(spec.start);
+      out = Emitted{};
+    }
+
+    // The measured round: the full log, again through an interleaved mix.
+    std::size_t i = 0;
+    while (i < log.size()) {
+      const std::size_t n =
+          std::min(log.size() - i, std::size_t{1} + rng.uniform_index(7));
+      switch (rng.uniform_index(3)) {
+        case 0:
+          for (std::size_t k = i; k < i + n; ++k) stream.push(log[k]);
+          break;
+        case 1:
+          stream.push_batch(std::span{log}.subspan(i, n));
+          break;
+        default:
+          stream.push_batch(columns.view().subview(i, n));
+          break;
+      }
+      i += n;
+    }
+    stream.finish();
+
+    // Sealed prefix == batch sweep, bit-for-bit; the grid's tail past the
+    // last departure must be exactly empty.
+    const auto batch = core::compute_load_throughput(log, spec, table);
+    const std::size_t common = std::min(out.load.size(), batch.load.size());
+    for (std::size_t k = common; k < batch.load.size(); ++k) {
+      EXPECT_EQ(batch.load[k], 0.0) << "seed " << seed << " interval " << k;
+      EXPECT_EQ(batch.throughput[k], 0.0)
+          << "seed " << seed << " interval " << k;
+    }
+    for (std::size_t k = 0; k < common; ++k) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(out.load[k]),
+                std::bit_cast<std::uint64_t>(batch.load[k]))
+          << "seed " << seed << " interval " << k;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(out.tput[k]),
+                std::bit_cast<std::uint64_t>(batch.throughput[k]))
+          << "seed " << seed << " interval " << k;
     }
   }
 }

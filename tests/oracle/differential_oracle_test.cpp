@@ -24,6 +24,7 @@
 #include "testing/generators.h"
 #include "testing/oracles.h"
 #include "trace/log_io.h"
+#include "trace/request_columns.h"
 #include "trace/request_log_file.h"
 #include "trace/txn_tree.h"
 #include "util/rng.h"
@@ -332,6 +333,171 @@ TEST(DifferentialOracle, TbdrDecodeBitExact) {
     if (!got.records.empty()) {
       EXPECT_EQ(std::memcmp(got.records.data(), want.records.data(),
                             got.records.size() * sizeof(trace::RequestRecord)),
+                0)
+          << "seed " << seed;
+    }
+  }
+}
+
+// ---- columnar (SoA) layout --------------------------------------------------
+// Same oracles, same generators; the pipeline input is RequestColumns. Every
+// SoA entry point must match the naive AoS oracle bit-for-bit, and the
+// AoS<->SoA converters must round-trip losslessly.
+
+TEST(DifferentialOracle, ColumnsRoundTripBitExact) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 9'000'000};
+    const auto config = log_config_for(rng);
+    const auto log = pt::generate_request_log(rng, config);
+    const auto columns = trace::RequestColumns::from_records(log);
+    ASSERT_EQ(columns.size(), log.size()) << "seed " << seed;
+    const auto back = columns.to_records();
+    ASSERT_EQ(back.size(), log.size()) << "seed " << seed;
+    if (!log.empty()) {
+      EXPECT_EQ(std::memcmp(back.data(), log.data(),
+                            log.size() * sizeof(trace::RequestRecord)),
+                0)
+          << "seed " << seed;
+    }
+    // view()/record() agree with the owning container row-for-row.
+    const auto view = columns.view();
+    ASSERT_EQ(view.size(), log.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      EXPECT_EQ(view.arrival_us[i], log[i].arrival.micros()) << "seed " << seed;
+      EXPECT_EQ(view.departure_us[i], log[i].departure.micros())
+          << "seed " << seed;
+      EXPECT_EQ(view.server[i], log[i].server) << "seed " << seed;
+      EXPECT_EQ(view.class_id[i], log[i].class_id) << "seed " << seed;
+      EXPECT_EQ(view.txn[i], log[i].txn) << "seed " << seed;
+    }
+  }
+}
+
+TEST(DifferentialOracle, LoadColumnsBitExact) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 10'000'000};
+    const auto config = log_config_for(rng);
+    const auto spec = pt::grid_for(config);
+    const auto log = pt::generate_request_log(rng, config);
+    const auto columns = trace::RequestColumns::from_records(log);
+    EXPECT_TRUE(series_equal(core::compute_load(columns.view(), spec),
+                             pt::oracle_load(log, spec)))
+        << "seed " << seed;
+  }
+}
+
+TEST(DifferentialOracle, ThroughputColumnsBitExact) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 11'000'000};
+    const auto config = log_config_for(rng);
+    const auto spec = pt::grid_for(config);
+    const auto log = pt::generate_request_log(rng, config);
+    const auto columns = trace::RequestColumns::from_records(log);
+    const auto table = pt::generate_service_table(rng, config.classes);
+    const auto options = pt::generate_throughput_options(rng);
+    EXPECT_TRUE(series_equal(
+        core::compute_throughput(columns.view(), spec, table, options),
+        pt::oracle_throughput(log, spec, table, options)))
+        << "seed " << seed;
+  }
+}
+
+TEST(DifferentialOracle, FusedSweepColumnsBitExact) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 12'000'000};
+    const auto config = log_config_for(rng);
+    const auto spec = pt::grid_for(config);
+    const auto log = pt::generate_request_log(rng, config);
+    const auto columns = trace::RequestColumns::from_records(log);
+    const auto table = pt::generate_service_table(rng, config.classes);
+    const auto options = pt::generate_throughput_options(rng);
+    const auto fused =
+        core::compute_load_throughput(columns.view(), spec, table, options);
+    EXPECT_TRUE(series_equal(fused.load, pt::oracle_load(log, spec)))
+        << "seed " << seed;
+    EXPECT_TRUE(series_equal(fused.throughput,
+                             pt::oracle_throughput(log, spec, table, options)))
+        << "seed " << seed;
+    // Convert -> sweep must equal sweeping the rows directly (the AoS<->SoA
+    // round-trip property over the same adversarial generators).
+    const auto aos = core::compute_load_throughput(log, spec, table, options);
+    EXPECT_TRUE(series_equal(fused.load, aos.load)) << "seed " << seed;
+    EXPECT_TRUE(series_equal(fused.throughput, aos.throughput))
+        << "seed " << seed;
+  }
+}
+
+TEST(DifferentialOracle, DetectBottlenecksColumnsBitExact) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 13'000'000};
+    const auto config = log_config_for(rng);
+    const auto spec = pt::grid_for(config);
+    const auto log = pt::generate_request_log(rng, config);
+    const auto columns = trace::RequestColumns::from_records(log);
+    const auto table = pt::generate_service_table(rng, config.classes);
+    expect_detection_equal(core::detect_bottlenecks(columns.view(), spec, table),
+                           pt::oracle_detect(log, spec, table), seed);
+  }
+}
+
+TEST(DifferentialOracle, CsvParserColumnsBitExact) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 14'000'000};
+    const auto text = pt::generate_csv_text(rng);
+    const auto want = pt::oracle_parse_csv(text);
+    const int shards = 1 + static_cast<int>(rng.uniform_index(8));
+    const auto got = trace::parse_request_log_csv_columns(text, shards);
+    EXPECT_EQ(got.ok, want.ok) << "seed " << seed;
+    EXPECT_EQ(got.skipped_lines, want.skipped_lines) << "seed " << seed;
+    EXPECT_EQ(got.first_bad_line, want.first_bad_line) << "seed " << seed;
+    EXPECT_EQ(got.first_bad_text, want.first_bad_text) << "seed " << seed;
+    const auto rows = got.records.to_records();
+    ASSERT_EQ(rows.size(), want.records.size()) << "seed " << seed;
+    if (!rows.empty()) {
+      EXPECT_EQ(std::memcmp(rows.data(), want.records.data(),
+                            rows.size() * sizeof(trace::RequestRecord)),
+                0)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(DifferentialOracle, TbdrDecodeColumnsBitExact) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 15'000'000};
+    const auto config = log_config_for(rng);
+    const auto log = pt::generate_request_log(rng, config);
+    std::string bytes = trace::encode_request_log_bin(log);
+    // Same corruption mix as the row-decoder cases: the columnar decoder
+    // validates through the identical header check and must report the
+    // identical diagnostics.
+    if (rng.bernoulli(0.5) && !bytes.empty()) {
+      switch (rng.uniform_index(3)) {
+        case 0:
+          bytes.resize(rng.uniform_index(bytes.size()));
+          break;
+        case 1:
+          bytes[rng.uniform_index(bytes.size())] ^=
+              static_cast<char>(1 + rng.uniform_index(255));
+          break;
+        default:
+          bytes.append("extra");
+          break;
+      }
+    }
+    const auto got = trace::decode_request_log_bin_columns(bytes);
+    const auto want = pt::oracle_decode_request_log_bin(bytes);
+    EXPECT_EQ(got.ok, want.ok) << "seed " << seed;
+    EXPECT_EQ(got.error, want.error) << "seed " << seed;
+    EXPECT_EQ(got.error_offset, want.error_offset) << "seed " << seed;
+    EXPECT_EQ(got.error_record, want.error_record) << "seed " << seed;
+    EXPECT_EQ(got.header_count, want.header_count) << "seed " << seed;
+    EXPECT_EQ(got.input_size, want.input_size) << "seed " << seed;
+    const auto rows = got.records.to_records();
+    ASSERT_EQ(rows.size(), want.records.size()) << "seed " << seed;
+    if (!rows.empty()) {
+      EXPECT_EQ(std::memcmp(rows.data(), want.records.data(),
+                            rows.size() * sizeof(trace::RequestRecord)),
                 0)
           << "seed " << seed;
     }

@@ -1,0 +1,149 @@
+// Unit tests for the columnar request-log container (trace/request_columns.h):
+// the equal-length invariant across every mutator, lossless AoS<->SoA
+// conversion, and view/subview row addressing. The adversarial round-trip
+// coverage lives in tests/oracle (ColumnsRoundTripBitExact); these pin the
+// container semantics directly.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "trace/request_columns.h"
+#include "trace/records.h"
+
+namespace tbd::trace {
+namespace {
+
+RequestRecord make_record(ServerIndex server, ClassId cls, std::int64_t arrival,
+                          std::int64_t departure, TxnId txn) {
+  RequestRecord r;
+  r.server = server;
+  r.class_id = cls;
+  r.arrival = TimePoint::from_micros(arrival);
+  r.departure = TimePoint::from_micros(departure);
+  r.txn = txn;
+  return r;
+}
+
+RequestLog sample_log() {
+  return {make_record(0, 1, 1'000, 2'500, 42),
+          make_record(1, 0, -500, 0, 43),
+          make_record(2, 7, 0, 1, 44),
+          make_record(0, 3, 10'000, 10'000, 45)};
+}
+
+void expect_same_rows(const RequestColumns& columns, const RequestLog& log) {
+  ASSERT_EQ(columns.size(), log.size());
+  ASSERT_EQ(columns.arrival_us.size(), log.size());
+  ASSERT_EQ(columns.departure_us.size(), log.size());
+  ASSERT_EQ(columns.server.size(), log.size());
+  ASSERT_EQ(columns.class_id.size(), log.size());
+  ASSERT_EQ(columns.txn.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(columns.arrival_us[i], log[i].arrival.micros()) << "row " << i;
+    EXPECT_EQ(columns.departure_us[i], log[i].departure.micros()) << "row " << i;
+    EXPECT_EQ(columns.server[i], log[i].server) << "row " << i;
+    EXPECT_EQ(columns.class_id[i], log[i].class_id) << "row " << i;
+    EXPECT_EQ(columns.txn[i], log[i].txn) << "row " << i;
+  }
+}
+
+TEST(RequestColumns, StartsEmpty) {
+  RequestColumns columns;
+  EXPECT_TRUE(columns.empty());
+  EXPECT_EQ(columns.size(), 0u);
+  EXPECT_TRUE(columns.view().empty());
+  EXPECT_TRUE(columns.to_records().empty());
+}
+
+TEST(RequestColumns, PushBackScattersFields) {
+  const auto log = sample_log();
+  RequestColumns columns;
+  for (const auto& r : log) columns.push_back(r);
+  expect_same_rows(columns, log);
+}
+
+TEST(RequestColumns, FromRecordsToRecordsRoundTrips) {
+  const auto log = sample_log();
+  const auto columns = RequestColumns::from_records(log);
+  expect_same_rows(columns, log);
+  const auto back = columns.to_records();
+  ASSERT_EQ(back.size(), log.size());
+  EXPECT_EQ(std::memcmp(back.data(), log.data(),
+                        log.size() * sizeof(RequestRecord)),
+            0);
+}
+
+TEST(RequestColumns, RecordGathersRow) {
+  const auto log = sample_log();
+  const auto columns = RequestColumns::from_records(log);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const auto r = columns.record(i);
+    EXPECT_EQ(std::memcmp(&r, &log[i], sizeof(RequestRecord)), 0) << "row " << i;
+  }
+}
+
+TEST(RequestColumns, AppendSpanConcatenates) {
+  const auto log = sample_log();
+  RequestColumns columns = RequestColumns::from_records(log);
+  columns.append(std::span<const RequestRecord>{log});
+  ASSERT_EQ(columns.size(), 2 * log.size());
+  auto doubled = log;
+  doubled.insert(doubled.end(), log.begin(), log.end());
+  expect_same_rows(columns, doubled);
+}
+
+TEST(RequestColumns, AppendViewConcatenatesColumnWise) {
+  const auto log = sample_log();
+  const auto other = RequestColumns::from_records(log);
+  RequestColumns columns;
+  columns.append(other.view());
+  columns.append(other.view());
+  auto doubled = log;
+  doubled.insert(doubled.end(), log.begin(), log.end());
+  expect_same_rows(columns, doubled);
+}
+
+TEST(RequestColumns, ResizeAndClearKeepColumnsAligned) {
+  RequestColumns columns = RequestColumns::from_records(sample_log());
+  columns.resize(2);
+  EXPECT_EQ(columns.size(), 2u);
+  EXPECT_EQ(columns.txn.size(), 2u);
+  columns.resize(5);
+  EXPECT_EQ(columns.size(), 5u);
+  EXPECT_EQ(columns.arrival_us[4], 0);
+  EXPECT_EQ(columns.txn[4], 0u);
+  columns.clear();
+  EXPECT_TRUE(columns.empty());
+  EXPECT_TRUE(columns.class_id.empty());
+}
+
+TEST(RequestColumns, SubviewAddressesRows) {
+  const auto log = sample_log();
+  const auto columns = RequestColumns::from_records(log);
+  const auto sub = columns.view().subview(1, 2);
+  ASSERT_EQ(sub.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto r = sub.record(i);
+    EXPECT_EQ(std::memcmp(&r, &log[i + 1], sizeof(RequestRecord)), 0)
+        << "row " << i;
+  }
+}
+
+TEST(RequestColumns, EqualityComparesAllColumns) {
+  const auto a = RequestColumns::from_records(sample_log());
+  auto b = a;
+  EXPECT_EQ(a, b);
+  b.txn[0] ^= 1;
+  EXPECT_NE(a, b);
+}
+
+TEST(RequestColumns, ImplicitViewConversion) {
+  const auto columns = RequestColumns::from_records(sample_log());
+  const RequestColumnsView view = columns;  // operator RequestColumnsView
+  EXPECT_EQ(view.size(), columns.size());
+  EXPECT_EQ(view.arrival_us.data(), columns.arrival_us.data());
+}
+
+}  // namespace
+}  // namespace tbd::trace

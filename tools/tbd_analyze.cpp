@@ -11,6 +11,12 @@
 // merged; analysis runs per server index found in the data.
 //
 // Options:
+//   --layout L        record layout for the analysis core: "soa" (columnar,
+//                     default — loaders decode straight into RequestColumns
+//                     and every sweep streams columns) or "aos" (row
+//                     records). Reports are byte-identical either way; the
+//                     flag exists for the equivalence gate in
+//                     scripts/tier1.sh and for benchmarking.
 //   --width MS        analysis interval in milliseconds (default 50)
 //   --auto-width      pick the interval length automatically (Sec III-D
 //                     future work; overrides --width)
@@ -59,6 +65,7 @@ using namespace tbd;
 namespace {
 
 struct Options {
+  bool layout_soa = true;  // --layout soa|aos
   double width_ms = 50.0;
   bool auto_width = false;
   double calib_seconds = 0.0;  // 0 = whole log
@@ -76,8 +83,8 @@ struct Options {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: tbd_analyze [--width MS] [--auto-width] "
-               "[--calib-seconds S]\n"
+               "usage: tbd_analyze [--layout soa|aos] [--width MS] "
+               "[--auto-width] [--calib-seconds S]\n"
                "                   [--scatter] [--episodes N] [--csv PREFIX]\n"
                "                   [--trace-out FILE] [--metrics-out FILE] "
                "[--prom-out FILE]\n"
@@ -92,7 +99,18 @@ bool parse(int argc, char** argv, Options& opt) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (arg == "--width") {
+    if (arg == "--layout") {
+      const char* v = next();
+      if (!v) return false;
+      if (std::strcmp(v, "soa") == 0) {
+        opt.layout_soa = true;
+      } else if (std::strcmp(v, "aos") == 0) {
+        opt.layout_soa = false;
+      } else {
+        std::fprintf(stderr, "unknown layout: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--width") {
       const char* v = next();
       if (!v) return false;
       opt.width_ms = std::atof(v);
@@ -148,97 +166,96 @@ bool parse(int argc, char** argv, Options& opt) {
   return !opt.files.empty() && opt.width_ms > 0.0;
 }
 
-}  // namespace
+struct ServerAnalysis {
+  core::IntervalSpec spec;
+  core::DetectionResult detection;
+  std::string auto_width_note;
+};
 
-int main(int argc, char** argv) {
-  Options opt;
-  if (!parse(argc, argv, opt)) {
-    usage();
-    return 2;
-  }
-  if (!opt.trace_out.empty()) obs::Tracer::global().enable();
-  auto& registry = obs::Registry::global();
+// ---- layout adapters --------------------------------------------------------
+// The AoS and SoA pipelines differ only in how records are iterated and
+// filtered; everything downstream of these helpers is shared, and the
+// analysis entry points they feed are bit-identical across layouts
+// (src/core/sweep_detail.h), so both --layout values print the same report.
 
-  // ---- load & split by server -----------------------------------------------
-  const bool flight =
-      !opt.timeline_out.empty() || !opt.attribution_out.empty();
-  std::map<trace::ServerIndex, trace::RequestLog> by_server;
-  trace::RequestLog merged;  // kept only for the flight recorder
-  TimePoint t_min = TimePoint::max();
-  TimePoint t_max;
-  {
-    TBD_SPAN("analyze.load_logs");
-    for (const auto& path : opt.files) {
-      const auto loaded = trace::load_request_log(path);
-      if (!loaded.ok) {
-        std::fprintf(stderr, "error: cannot read %s: %s\n", path.c_str(),
-                     loaded.error.c_str());
-        return 1;
-      }
-      if (loaded.first_bad_line != 0) {
-        std::fprintf(stderr, "warning: %s:%zu: first malformed line: %s\n",
-                     path.c_str(), loaded.first_bad_line,
-                     loaded.first_bad_text.c_str());
-      }
-      std::printf("loaded %zu records from %s (%zu lines skipped)\n",
-                  loaded.records.size(), path.c_str(), loaded.skipped_lines);
-      registry.counter("tbd_analyze_records_total").add(loaded.records.size());
-      registry.counter("tbd_analyze_skipped_lines_total")
-          .add(loaded.skipped_lines);
-      registry.counter("tbd_analyze_files_total").inc();
-      for (const auto& r : loaded.records) {
-        by_server[r.server].push_back(r);
-        t_min = std::min(t_min, r.arrival);
-        t_max = std::max(t_max, r.departure);
-      }
-      if (flight) {
-        merged.insert(merged.end(), loaded.records.begin(),
-                      loaded.records.end());
-      }
-    }
+void append_by_server(const trace::RequestLog& records,
+                      std::map<trace::ServerIndex, trace::RequestLog>& by_server,
+                      TimePoint& t_min, TimePoint& t_max) {
+  for (const auto& r : records) {
+    by_server[r.server].push_back(r);
+    t_min = std::min(t_min, r.arrival);
+    t_max = std::max(t_max, r.departure);
   }
-  if (by_server.empty()) {
-    std::fprintf(stderr, "error: no records\n");
-    return 1;
-  }
-  registry.gauge("tbd_analyze_servers").set(static_cast<double>(by_server.size()));
+}
 
-  // ---- analyze per server -----------------------------------------------------
-  // Each server's calibration + (optional) width selection + detection is
-  // independent of the others — fan the whole pipeline out across the pool,
-  // then report serially in server order. Auto-width notices are collected
-  // as strings so the output stays deterministic.
-  std::vector<const trace::RequestLog*> logs;
-  std::vector<std::string> names;
-  for (const auto& [server, log] : by_server) {
-    logs.push_back(&log);
-    names.push_back("server" + std::to_string(server));
+void append_by_server(
+    const trace::RequestColumns& columns,
+    std::map<trace::ServerIndex, trace::RequestColumns>& by_server,
+    TimePoint& t_min, TimePoint& t_max) {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    const auto r = columns.record(i);
+    by_server[r.server].push_back(r);
+    t_min = std::min(t_min, r.arrival);
+    t_max = std::max(t_max, r.departure);
   }
-  struct ServerAnalysis {
-    core::IntervalSpec spec;
-    core::DetectionResult detection;
-    std::string auto_width_note;
-  };
+}
+
+void append_merged(trace::RequestLog& merged, const trace::RequestLog& records) {
+  merged.insert(merged.end(), records.begin(), records.end());
+}
+
+void append_merged(trace::RequestLog& merged,
+                   const trace::RequestColumns& columns) {
+  const auto rows = columns.to_records();
+  merged.insert(merged.end(), rows.begin(), rows.end());
+}
+
+// Records departing before `cutoff`, in log order (the calibration prefix).
+trace::RequestLog filter_calibration(const trace::RequestLog& log,
+                                     TimePoint cutoff) {
+  trace::RequestLog calib = log;
+  calib.erase(std::remove_if(calib.begin(), calib.end(),
+                             [&](const trace::RequestRecord& r) {
+                               return r.departure >= cutoff;
+                             }),
+              calib.end());
+  return calib;
+}
+
+trace::RequestColumns filter_calibration(const trace::RequestColumns& log,
+                                         TimePoint cutoff) {
+  trace::RequestColumns calib;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (log.departure_us[i] < cutoff.micros()) calib.push_back(log.record(i));
+  }
+  return calib;
+}
+
+// Per-server calibration + (optional) width selection + detection, fanned out
+// across the pool. `Log` is trace::RequestLog or trace::RequestColumns; the
+// core entry points take either via their span/view overloads.
+template <typename Log>
+std::vector<ServerAnalysis> analyze_servers(
+    const std::vector<const Log*>& logs, const std::vector<std::string>& names,
+    const Options& opt, TimePoint t_min, TimePoint t_max) {
   std::vector<ServerAnalysis> analyses(logs.size());
   shared_pool().parallel_for_indexed(logs.size(), [&](std::size_t s) {
     TBD_SPAN("analyze.server");
-    const auto& log = *logs[s];
-    // Service times from the calibration prefix (low quantile masks queueing).
-    trace::RequestLog calib = log;
+    const Log& log = *logs[s];
+    // Service times from the calibration prefix (low quantile masks
+    // queueing); an empty prefix falls back to the whole log.
+    const Log* calib = &log;
+    Log filtered;
     if (opt.calib_seconds > 0.0) {
       const TimePoint cutoff =
           t_min + Duration::from_seconds_f(opt.calib_seconds);
-      calib.erase(std::remove_if(calib.begin(), calib.end(),
-                                 [&](const trace::RequestRecord& r) {
-                                   return r.departure >= cutoff;
-                                 }),
-                  calib.end());
-      if (calib.empty()) calib = log;
+      filtered = filter_calibration(log, cutoff);
+      if (!filtered.empty()) calib = &filtered;
     }
     core::ServiceTimeTable table;
     {
       TBD_SPAN("analyze.calibrate");
-      table = core::estimate_service_times(calib);
+      table = core::estimate_service_times(*calib);
     }
 
     Duration width = Duration::from_millis_f(opt.width_ms);
@@ -258,6 +275,93 @@ int main(int argc, char** argv) {
     analyses[s].detection =
         core::detect_bottlenecks(log, analyses[s].spec, table);
   });
+  return analyses;
+}
+
+// Load + split + analyze for one layout. Returns false on a fatal input
+// error (the caller exits 1).
+template <typename Log, typename LoadFn>
+bool load_and_analyze(const Options& opt, bool flight, LoadFn load_fn,
+                      trace::RequestLog& merged,
+                      std::vector<std::string>& names,
+                      std::vector<ServerAnalysis>& analyses,
+                      obs::Registry& registry) {
+  std::map<trace::ServerIndex, Log> by_server;
+  TimePoint t_min = TimePoint::max();
+  TimePoint t_max;
+  {
+    TBD_SPAN("analyze.load_logs");
+    for (const auto& path : opt.files) {
+      const auto loaded = load_fn(path);
+      if (!loaded.ok) {
+        std::fprintf(stderr, "error: cannot read %s: %s\n", path.c_str(),
+                     loaded.error.c_str());
+        return false;
+      }
+      if (loaded.first_bad_line != 0) {
+        std::fprintf(stderr, "warning: %s:%zu: first malformed line: %s\n",
+                     path.c_str(), loaded.first_bad_line,
+                     loaded.first_bad_text.c_str());
+      }
+      std::printf("loaded %zu records from %s (%zu lines skipped)\n",
+                  loaded.records.size(), path.c_str(), loaded.skipped_lines);
+      registry.counter("tbd_analyze_records_total").add(loaded.records.size());
+      registry.counter("tbd_analyze_skipped_lines_total")
+          .add(loaded.skipped_lines);
+      registry.counter("tbd_analyze_files_total").inc();
+      append_by_server(loaded.records, by_server, t_min, t_max);
+      if (flight) append_merged(merged, loaded.records);
+    }
+  }
+  if (by_server.empty()) {
+    std::fprintf(stderr, "error: no records\n");
+    return false;
+  }
+  registry.gauge("tbd_analyze_servers")
+      .set(static_cast<double>(by_server.size()));
+
+  std::vector<const Log*> logs;
+  for (const auto& [server, log] : by_server) {
+    logs.push_back(&log);
+    names.push_back("server" + std::to_string(server));
+  }
+  analyses = analyze_servers(logs, names, opt, t_min, t_max);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+  if (!opt.trace_out.empty()) obs::Tracer::global().enable();
+  auto& registry = obs::Registry::global();
+
+  // ---- load, split by server, analyze ---------------------------------------
+  // Auto-width notices are collected as strings inside analyze_servers so
+  // the output stays deterministic; reporting below runs serially in server
+  // order either way.
+  const bool flight =
+      !opt.timeline_out.empty() || !opt.attribution_out.empty();
+  trace::RequestLog merged;  // kept only for the flight recorder
+  std::vector<std::string> names;
+  std::vector<ServerAnalysis> analyses;
+  const bool loaded_ok =
+      opt.layout_soa
+          ? load_and_analyze<trace::RequestColumns>(
+                opt, flight,
+                [](const std::string& p) {
+                  return trace::load_request_log_columns(p);
+                },
+                merged, names, analyses, registry)
+          : load_and_analyze<trace::RequestLog>(
+                opt, flight,
+                [](const std::string& p) { return trace::load_request_log(p); },
+                merged, names, analyses, registry);
+  if (!loaded_ok) return 1;
 
   // Report block is braced so its span closes before the trace is exported.
   {
@@ -347,6 +451,7 @@ int main(int argc, char** argv) {
     if (!opt.metrics_out.empty()) {
       obs::RunInfo info;
       info.tool = "tbd_analyze";
+      info.config.emplace_back("layout", opt.layout_soa ? "soa" : "aos");
       info.config.emplace_back("width_ms", std::to_string(opt.width_ms));
       info.config.emplace_back("auto_width", opt.auto_width ? "true" : "false");
       info.config.emplace_back("calib_seconds",
