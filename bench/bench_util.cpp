@@ -179,13 +179,14 @@ void BenchSummary::finish() {
   // the LAST build that touched it, which is what cross-PR trajectory
   // comparison keys on (schema_version 2 introduced the header; 3 added the
   // "ingest" stage; 4 added the "correctness" harness wall-times; 5 added
-  // the columnar SoA ingest and sweep metrics).
+  // the columnar SoA ingest and sweep metrics; 6 added the "streaming"
+  // live-telemetry overhead stage).
   entries.erase("schema_version");
   entries.erase("git");
 
   std::ofstream out{path, std::ios::trunc};
   out << "{\n";
-  out << "  \"schema_version\": 5,\n";
+  out << "  \"schema_version\": 6,\n";
   out << "  \"git\": \"" << obs::git_describe() << "\",\n";
   for (auto it = entries.begin(); it != entries.end(); ++it) {
     out << "  \"" << it->first << "\": " << it->second;

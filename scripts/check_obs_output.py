@@ -5,6 +5,8 @@ Usage:
     check_obs_output.py TRACE.json MANIFEST.json
     check_obs_output.py --timeline TIMELINE.json [--require-crossing]
     check_obs_output.py --attribution ATTRIBUTION.ndjson
+    check_obs_output.py --events EVENTS.ndjson
+    check_obs_output.py --scrape URL
 
 Modes compose; each named file is validated and the script exits non-zero
 with a message on the first violation.
@@ -28,12 +30,25 @@ with a message on the first violation.
   line, known band names, per-band transaction counts summing to the total,
   latency fractions within [0, 1], and per-server microsecond splits that
   never exceed their band's summed latency.
+
+* --events: the live-telemetry event log written by `tbd_watch
+  --events-out` — schema-1 meta record at seq 0, every subsequent line one
+  of interval_sealed / episode_open / episode_close with its documented
+  fields, and seq strictly monotonic from 1 (the determinism contract:
+  any gap or reorder means two emitters raced on the log).
+
+* --scrape: fetch URL (a live `tbd_watch --listen` /metrics endpoint or a
+  `--prom-out` file via file://) and parse it as Prometheus text
+  exposition — legal metric/label names, escaped label values, one TYPE
+  line per family, and at least one per-stream `tbd_stream_*` series
+  carrying a stream="..." label.
 """
 import argparse
 import bisect
 import json
 import re
 import sys
+import urllib.request
 
 # Every stage of the tbd_analyze pipeline must appear in the trace: loading,
 # per-server analysis (calibration + the detector's internal stages), and
@@ -63,6 +78,39 @@ MANIFEST_KEYS = {
 LANE_RE = re.compile(r"^server (\d+)( ·\d+)?$")
 EPISODE_TRACK_RE = re.compile(r"^server (\d+) episodes$")
 BAND_RE = re.compile(r"^p(\d+(\.\d+)?|max)$")
+
+# Field contract for each event-log record kind (src/obs/event_log.cpp).
+EVENT_FIELDS = {
+    "interval_sealed": {
+        "stream": str,
+        "index": int,
+        "t_us": int,
+        "load": (int, float),
+        "tput": (int, float),
+        "state": str,
+    },
+    "episode_open": {"stream": str, "index": int, "t_us": int},
+    "episode_close": {
+        "stream": str,
+        "start_us": int,
+        "duration_us": int,
+        "peak_load": (int, float),
+        "freeze": bool,
+    },
+}
+INTERVAL_STATES = {"idle", "normal", "congested", "frozen"}
+
+# Prometheus text exposition grammar (src/obs/metrics.cpp sanitizers).
+PROM_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+PROM_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+PROM_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})? (?P<value>\S+)$"
+)
+# One label pair inside the braces: value escapes are \\ \" \n only.
+PROM_PAIR_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\["\\n])*)"(?:,|$)'
+)
 
 
 def fail(msg):
@@ -281,12 +329,139 @@ def check_attribution(path):
     return len(bands)
 
 
+def check_events(path):
+    with open(path) as f:
+        raw = [line.rstrip("\n") for line in f if line.strip()]
+    if not raw:
+        fail(f"{path}: empty event log")
+    try:
+        lines = [json.loads(line) for line in raw]
+    except json.JSONDecodeError as err:
+        fail(f"{path}: malformed NDJSON line: {err}")
+    meta = lines[0]
+    if meta.get("type") != "meta":
+        fail(f"{path}: first record is not 'meta': {meta}")
+    if meta.get("seq") != 0:
+        fail(f"{path}: meta record seq {meta.get('seq')} != 0")
+    if meta.get("schema_version") != 1:
+        fail(f"{path}: schema_version {meta.get('schema_version')} != 1")
+
+    expected_seq = 1
+    kinds = {}
+    open_streams = set()
+    for rec in lines[1:]:
+        kind = rec.get("type")
+        fields = EVENT_FIELDS.get(kind)
+        if fields is None:
+            fail(f"{path}: unknown event type: {rec}")
+        if rec.get("seq") != expected_seq:
+            fail(f"{path}: seq {rec.get('seq')} != expected {expected_seq} "
+                 f"(monotonicity broken): {rec}")
+        expected_seq += 1
+        for field, kind_ok in fields.items():
+            if field not in rec:
+                fail(f"{path}: {kind} missing '{field}': {rec}")
+            value = rec[field]
+            # bool is an int subclass; only 'freeze' may be one.
+            if isinstance(value, bool) and kind_ok is not bool:
+                fail(f"{path}: {kind}.{field} is bool, wants {kind_ok}: {rec}")
+            if not isinstance(value, kind_ok):
+                fail(f"{path}: {kind}.{field} has wrong type: {rec}")
+        extra = rec.keys() - fields.keys() - {"type", "seq"}
+        if extra:
+            fail(f"{path}: {kind} carries undocumented fields {extra}: {rec}")
+        if kind == "interval_sealed":
+            if rec["state"] not in INTERVAL_STATES:
+                fail(f"{path}: unknown interval state: {rec}")
+        elif kind == "episode_open":
+            if rec["stream"] in open_streams:
+                fail(f"{path}: episode_open while one is open: {rec}")
+            open_streams.add(rec["stream"])
+        elif kind == "episode_close":
+            if rec["stream"] not in open_streams:
+                fail(f"{path}: episode_close without a matching open: {rec}")
+            open_streams.discard(rec["stream"])
+            if rec["duration_us"] <= 0 or rec["peak_load"] < 0:
+                fail(f"{path}: degenerate episode: {rec}")
+        kinds[kind] = kinds.get(kind, 0) + 1
+    if not kinds.get("interval_sealed"):
+        fail(f"{path}: no interval_sealed events")
+    return expected_seq - 1, kinds
+
+
+def check_scrape(url):
+    if "://" not in url:
+        url = "file://" + url  # allow --prom-out files directly
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        text = resp.read().decode()
+    if not text.endswith("\n"):
+        fail(f"{url}: exposition does not end with a newline")
+    typed = set()
+    series = 0
+    stream_series = 0
+    last_family = None
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or parts[1] not in ("TYPE", "HELP"):
+                fail(f"{url}:{lineno}: malformed comment line: {line!r}")
+            if parts[1] == "TYPE":
+                if not PROM_NAME_RE.match(parts[2]):
+                    fail(f"{url}:{lineno}: bad metric name: {line!r}")
+                if parts[3] not in ("counter", "gauge", "histogram", "summary",
+                                    "untyped"):
+                    fail(f"{url}:{lineno}: bad metric type: {line!r}")
+                if parts[2] in typed:
+                    fail(f"{url}:{lineno}: duplicate TYPE for {parts[2]} "
+                         f"(families must be contiguous)")
+                typed.add(parts[2])
+                last_family = parts[2]
+            continue
+        m = PROM_SAMPLE_RE.match(line)
+        if not m:
+            fail(f"{url}:{lineno}: unparseable sample line: {line!r}")
+        name = m.group("name")
+        family_ok = last_family is not None and name.startswith(last_family)
+        if not family_ok:
+            fail(f"{url}:{lineno}: sample '{name}' outside its TYPE'd family "
+             f"(last TYPE: {last_family})")
+        labels_src = m.group("labels")
+        labels = {}
+        if labels_src is not None:
+            consumed = 0
+            for pair in PROM_PAIR_RE.finditer(labels_src):
+                if pair.start() != consumed:
+                    break
+                consumed = pair.end()
+                labels[pair.group("key")] = pair.group("value")
+            if consumed != len(labels_src):
+                fail(f"{url}:{lineno}: malformed label block: {line!r}")
+        try:
+            float(m.group("value"))
+        except ValueError:
+            fail(f"{url}:{lineno}: non-numeric sample value: {line!r}")
+        series += 1
+        if name.startswith("tbd_stream_") and "stream" in labels:
+            stream_series += 1
+    if series == 0:
+        fail(f"{url}: no sample lines")
+    if stream_series == 0:
+        fail(f"{url}: no per-stream tbd_stream_* series with a stream label")
+    return series, stream_series
+
+
 def main():
     parser = argparse.ArgumentParser(add_help=True)
     parser.add_argument("trace", nargs="?", help="tbd_analyze span trace JSON")
     parser.add_argument("manifest", nargs="?", help="run manifest JSON")
     parser.add_argument("--timeline", help="flight-recorder timeline JSON")
     parser.add_argument("--attribution", help="attribution NDJSON")
+    parser.add_argument("--events", help="tbd_watch event-log NDJSON")
+    parser.add_argument(
+        "--scrape", help="Prometheus exposition URL or file path"
+    )
     parser.add_argument(
         "--require-crossing",
         action="store_true",
@@ -295,7 +470,8 @@ def main():
     args = parser.parse_args()
     if bool(args.trace) != bool(args.manifest):
         parser.error("TRACE and MANIFEST must be given together")
-    if not args.trace and not args.timeline and not args.attribution:
+    if not any((args.trace, args.timeline, args.attribution, args.events,
+                args.scrape)):
         parser.error("nothing to check")
 
     checked = []
@@ -311,6 +487,15 @@ def main():
     if args.attribution:
         bands = check_attribution(args.attribution)
         checked.append(f"{args.attribution} ({bands} bands)")
+    if args.events:
+        count, kinds = check_events(args.events)
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        checked.append(f"{args.events} ({count} events: {summary})")
+    if args.scrape:
+        series, stream_series = check_scrape(args.scrape)
+        checked.append(
+            f"{args.scrape} ({series} series, {stream_series} per-stream)"
+        )
     print(f"check_obs_output: OK ({', '.join(checked)})")
 
 

@@ -120,6 +120,46 @@ TBD_THREADS=4 ./build/tools/tbd_analyze --width 50 \
   scripts/testdata/tiny_log.csv > "$obs_tmp/report_t4.txt"
 cmp "$obs_tmp/report_t1.txt" "$obs_tmp/report_t4.txt"
 
+echo "== tier-1: live-telemetry smoke =="
+# tbd_watch must replay the golden TBDR log into an event log byte-identical
+# to the checked-in golden (and to itself at any pool width), and its live
+# endpoints must serve a parseable Prometheus exposition with per-stream
+# labels plus the episode ring as JSON. An exit code of 3 would mean the
+# sealing lag dropped stragglers — impossible on this log with the default
+# 5 s lag, so plain set -e catches it.
+TBD_THREADS=1 ./build/tools/tbd_watch --width 50 --nstar 3 --speed max \
+  --events-out "$obs_tmp/events_t1.ndjson" "$obs_tmp/tiny.tbdr" >/dev/null
+TBD_THREADS=4 ./build/tools/tbd_watch --width 50 --nstar 3 --speed max \
+  --events-out "$obs_tmp/events_t4.ndjson" "$obs_tmp/tiny.tbdr" >/dev/null
+cmp "$obs_tmp/events_t1.ndjson" "$obs_tmp/events_t4.ndjson"
+cmp "$obs_tmp/events_t1.ndjson" scripts/testdata/tiny_log_events.golden.ndjson
+python3 scripts/check_obs_output.py --events "$obs_tmp/events_t1.ndjson"
+# Live scrape: port 0 lets the kernel pick; the tool prints the bound URL.
+./build/tools/tbd_watch --width 50 --nstar 3 --speed max \
+  --listen 127.0.0.1:0 --linger 10 \
+  "$obs_tmp/tiny.tbdr" > "$obs_tmp/watch_live.out" 2>&1 &
+watch_pid=$!
+watch_url=""
+for _ in $(seq 50); do
+  watch_url="$(grep -o 'http://[^ ]*' "$obs_tmp/watch_live.out" | head -1)" \
+    || true
+  [ -n "$watch_url" ] && break
+  sleep 0.1
+done
+[ -n "$watch_url" ] || { cat "$obs_tmp/watch_live.out" >&2; exit 1; }
+python3 scripts/check_obs_output.py --scrape "${watch_url}metrics"
+python3 - "$watch_url" <<'PY'
+import json, sys, urllib.request
+url = sys.argv[1]
+episodes = json.load(urllib.request.urlopen(url + "episodes", timeout=10))
+assert episodes["schema_version"] == 1, episodes
+assert len(episodes["episodes"]) >= 1, episodes
+assert urllib.request.urlopen(url + "healthz", timeout=10).read() == b"ok\n"
+print(f"live scrape: OK ({len(episodes['episodes'])} episodes)")
+PY
+kill "$watch_pid" 2>/dev/null || true
+wait "$watch_pid" 2>/dev/null || true
+
 echo "== tier-1: columnar equivalence =="
 # The columnar (SoA) pipeline is the default ingest-to-detector path; the
 # row (AoS) path stays as the reference. Reports from both layouts, over

@@ -115,6 +115,7 @@ void StreamingDetector::seal_up_to(std::size_t index) {
                   : IntervalState::kCongested;
     }
     ++emitted_;
+    ++sealed_by_state_[static_cast<std::size_t>(state)];
     const bool hot =
         state == IntervalState::kCongested || state == IntervalState::kFrozen;
     if (hot) ++congested_;
@@ -126,6 +127,7 @@ void StreamingDetector::seal_up_to(std::size_t index) {
         current_episode_ = Episode{};
         current_episode_->start =
             start_ + config_.width * static_cast<std::int64_t>(idx);
+        if (episode_open_cb_) episode_open_cb_(idx, current_episode_->start);
       }
       current_episode_->duration += config_.width;
       current_episode_->peak_load =
@@ -149,6 +151,7 @@ void StreamingDetector::reset(TimePoint start) {
   emitted_ = 0;
   congested_ = 0;
   dropped_ = 0;
+  sealed_by_state_.fill(0);
 }
 
 void StreamingDetector::finish() {

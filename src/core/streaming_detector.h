@@ -9,6 +9,7 @@
 // straggler that could still affect its load has been seen.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -40,6 +41,10 @@ class StreamingDetector {
                          IntervalState state)>;
   /// Fires when a congested run closes.
   using EpisodeCallback = std::function<void(const Episode&)>;
+  /// Fires when a congested run *opens* (its first hot interval seals) —
+  /// the live-alerting moment; EpisodeCallback only knows at close time.
+  using EpisodeOpenCallback =
+      std::function<void(std::size_t index, TimePoint start)>;
 
   /// `nstar` and `service_times` come from a calibration pass (batch
   /// detect_bottlenecks on a representative window).
@@ -48,6 +53,21 @@ class StreamingDetector {
 
   void on_interval(IntervalCallback cb) { interval_cb_ = std::move(cb); }
   void on_episode(EpisodeCallback cb) { episode_cb_ = std::move(cb); }
+  void on_episode_open(EpisodeOpenCallback cb) {
+    episode_open_cb_ = std::move(cb);
+  }
+
+  /// Chaining accessors for instrumentation wrappers (StreamingTelemetry
+  /// claims the callbacks and forwards to whatever was installed before).
+  [[nodiscard]] const IntervalCallback& interval_callback() const {
+    return interval_cb_;
+  }
+  [[nodiscard]] const EpisodeCallback& episode_callback() const {
+    return episode_cb_;
+  }
+  [[nodiscard]] const EpisodeOpenCallback& episode_open_callback() const {
+    return episode_open_cb_;
+  }
 
   /// Feeds one completed request (arrival/departure pair). Departures must
   /// be non-decreasing; out-of-order records within `lag` are fine,
@@ -77,6 +97,16 @@ class StreamingDetector {
   [[nodiscard]] std::size_t dropped_records() const { return dropped_; }
   [[nodiscard]] const std::vector<Episode>& episodes() const { return episodes_; }
 
+  /// Sealed-interval count per classification, indexed by IntervalState
+  /// (kIdle..kFrozen). Sums to intervals_emitted().
+  [[nodiscard]] const std::array<std::size_t, 4>& sealed_by_state() const {
+    return sealed_by_state_;
+  }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] TimePoint start() const { return start_; }
+  /// The frozen calibration this detector classifies against.
+  [[nodiscard]] const NStarResult& nstar() const { return nstar_; }
+
  private:
   struct Cell {
     double residence_us = 0.0;  // concurrency integral contribution
@@ -101,11 +131,13 @@ class StreamingDetector {
 
   IntervalCallback interval_cb_;
   EpisodeCallback episode_cb_;
+  EpisodeOpenCallback episode_open_cb_;
   std::optional<Episode> current_episode_;
   std::vector<Episode> episodes_;
   std::size_t emitted_ = 0;
   std::size_t congested_ = 0;
   std::size_t dropped_ = 0;
+  std::array<std::size_t, 4> sealed_by_state_{};
 };
 
 }  // namespace tbd::core

@@ -1,0 +1,113 @@
+#include "core/streaming_telemetry.h"
+
+#include <utility>
+
+namespace tbd::core {
+
+namespace {
+
+// Episode durations in ms: transient bottlenecks live in the 50 ms - few s
+// band (the paper's whole point); the top bucket catches sustained ones.
+const std::vector<double> kDurationBoundsMs = {50,   100,  250,   500,
+                                               1000, 2500, 5000,  10000};
+// Peak concurrent-request load during an episode.
+const std::vector<double> kPeakLoadBounds = {1, 2, 4, 8, 16, 32, 64, 128};
+
+}  // namespace
+
+StreamingTelemetry::StreamingTelemetry(StreamingDetector& detector,
+                                       Options options,
+                                       obs::Registry& registry,
+                                       obs::EventLog* events)
+    : detector_{detector},
+      options_{std::move(options)},
+      events_{events},
+      records_total_{registry.counter("tbd_stream_records_total",
+                                      {{"stream", options_.stream}})},
+      dropped_total_{registry.counter("tbd_stream_dropped_records_total",
+                                      {{"stream", options_.stream}})},
+      episode_opens_total_{registry.counter("tbd_stream_episode_opens_total",
+                                            {{"stream", options_.stream}})},
+      episode_closes_total_{registry.counter(
+          "tbd_stream_episode_closes_total", {{"stream", options_.stream}})},
+      load_{registry.gauge("tbd_stream_load", {{"stream", options_.stream}})},
+      tput_{registry.gauge("tbd_stream_throughput",
+                           {{"stream", options_.stream}})},
+      nstar_{registry.gauge("tbd_stream_nstar", {{"stream", options_.stream}})},
+      tpmax_{registry.gauge("tbd_stream_tpmax", {{"stream", options_.stream}})},
+      episode_duration_ms_{registry.histogram(
+          "tbd_stream_episode_duration_ms", {{"stream", options_.stream}},
+          kDurationBoundsMs)},
+      episode_peak_load_{registry.histogram("tbd_stream_episode_peak_load",
+                                            {{"stream", options_.stream}},
+                                            kPeakLoadBounds)} {
+  for (std::size_t s = 0; s < intervals_total_.size(); ++s) {
+    intervals_total_[s] = &registry.counter(
+        "tbd_stream_intervals_total",
+        {{"stream", options_.stream},
+         {"state", to_string(static_cast<IntervalState>(s))}});
+  }
+  sync();
+
+  // Claim the callbacks, chaining whatever was installed before us. The
+  // detector fires seals strictly in interval order on the pushing thread,
+  // so event-log sequence numbers are deterministic for a given replay.
+  const TimePoint grid_start = detector_.start();
+  const Duration width = detector_.config().width;
+
+  auto prev_interval = detector_.interval_callback();
+  detector_.on_interval([this, prev_interval = std::move(prev_interval),
+                         grid_start, width](std::size_t index, double load,
+                                            double tput, IntervalState state) {
+    load_.set(load);
+    tput_.set(tput);
+    intervals_total_[static_cast<std::size_t>(state)]->inc();
+    if (events_ != nullptr) {
+      const TimePoint t = grid_start + width * static_cast<std::int64_t>(index);
+      events_->interval_sealed(options_.stream, index, t.micros(), load, tput,
+                               to_string(state));
+    }
+    if (prev_interval) prev_interval(index, load, tput, state);
+  });
+
+  auto prev_open = detector_.episode_open_callback();
+  detector_.on_episode_open([this, prev_open = std::move(prev_open)](
+                                std::size_t index, TimePoint start) {
+    episode_opens_total_.inc();
+    if (events_ != nullptr) {
+      events_->episode_open(options_.stream, index, start.micros());
+    }
+    if (prev_open) prev_open(index, start);
+  });
+
+  auto prev_close = detector_.episode_callback();
+  detector_.on_episode(
+      [this, prev_close = std::move(prev_close)](const Episode& episode) {
+        episode_closes_total_.inc();
+        episode_duration_ms_.observe(episode.duration.seconds_f() * 1e3);
+        episode_peak_load_.observe(episode.peak_load);
+        if (events_ != nullptr) {
+          events_->episode_close(options_.stream, episode.start.micros(),
+                                 episode.duration.micros(), episode.peak_load,
+                                 episode.contains_freeze);
+        }
+        if (prev_close) prev_close(episode);
+      });
+}
+
+void StreamingTelemetry::add_records(std::uint64_t n) {
+  records_total_.add(n);
+}
+
+void StreamingTelemetry::sync() {
+  const auto dropped =
+      static_cast<std::uint64_t>(detector_.dropped_records());
+  if (dropped > dropped_synced_) {
+    dropped_total_.add(dropped - dropped_synced_);
+    dropped_synced_ = dropped;
+  }
+  nstar_.set(detector_.nstar().n_star);
+  tpmax_.set(detector_.nstar().tp_max);
+}
+
+}  // namespace tbd::core

@@ -1,0 +1,80 @@
+// Wires one StreamingDetector into the live telemetry plane: labeled
+// metrics in an obs::Registry and NDJSON records in an obs::EventLog.
+//
+// The obs layer deliberately knows nothing about core types (it depends
+// only on util), so this adapter lives in core: it claims the detector's
+// callbacks — chaining to whatever the caller had installed — and
+// translates every seal/open/close into
+//
+//   gauges    tbd_stream_load / tbd_stream_throughput   (current interval)
+//             tbd_stream_nstar / tbd_stream_tpmax       (frozen calibration)
+//   counters  tbd_stream_records_total
+//             tbd_stream_dropped_records_total
+//             tbd_stream_intervals_total{state=...}     (one per IntervalState)
+//             tbd_stream_episode_opens_total / _closes_total
+//   histos    tbd_stream_episode_duration_ms
+//             tbd_stream_episode_peak_load
+//
+// all carrying {stream="<name>"} so one registry serves every monitored
+// stream. Metric references are resolved once at construction; the
+// per-interval hot path never takes the registry mutex.
+//
+// The detector does not count pushed records itself and its dropped-record
+// count is a plain member, so the caller reports both: add_records() after
+// each push_batch, sync() to fold the dropped delta into the counter
+// (tbd_watch calls sync() once per chunk and at exit).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/streaming_detector.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+
+namespace tbd::core {
+
+class StreamingTelemetry {
+ public:
+  struct Options {
+    /// Label value for every metric and the "stream" field of every event.
+    std::string stream;
+  };
+
+  /// Claims `detector`'s callbacks (previous ones keep firing, after the
+  /// telemetry). `events` may be null: metrics only. Both `detector` and
+  /// the sinks must outlive this object.
+  StreamingTelemetry(StreamingDetector& detector, Options options,
+                     obs::Registry& registry, obs::EventLog* events);
+
+  StreamingTelemetry(const StreamingTelemetry&) = delete;
+  StreamingTelemetry& operator=(const StreamingTelemetry&) = delete;
+
+  /// Counts records handed to push/push_batch (caller-reported).
+  void add_records(std::uint64_t n);
+  /// Folds the detector's dropped-record count into the registry counter
+  /// (delta since the last sync) and refreshes the calibration gauges.
+  void sync();
+
+ private:
+  StreamingDetector& detector_;
+  Options options_;
+  obs::EventLog* events_;
+
+  obs::Counter& records_total_;
+  obs::Counter& dropped_total_;
+  obs::Counter& episode_opens_total_;
+  obs::Counter& episode_closes_total_;
+  std::array<obs::Counter*, 4> intervals_total_{};  // per IntervalState
+  obs::Gauge& load_;
+  obs::Gauge& tput_;
+  obs::Gauge& nstar_;
+  obs::Gauge& tpmax_;
+  obs::Histogram& episode_duration_ms_;
+  obs::Histogram& episode_peak_load_;
+
+  std::uint64_t dropped_synced_ = 0;
+};
+
+}  // namespace tbd::core

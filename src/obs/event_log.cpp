@@ -1,0 +1,147 @@
+#include "obs/event_log.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace tbd::obs {
+
+namespace {
+
+// Shorthands: the event log shares the metrics exporters' bit-exact number
+// rendering and JSON escaping so goldens pin one formatting policy.
+std::string num(double v) { return detail::format_number(v); }
+std::string str(std::string_view s) {
+  return "\"" + detail::json_escape(s) + "\"";
+}
+
+}  // namespace
+
+EventLog::EventLog(
+    std::ostream* out, Options options,
+    const std::vector<std::pair<std::string, std::string>>& meta)
+    : out_{out}, options_{options} {
+  std::string body = "\"type\":\"meta\",\"seq\":0,\"schema_version\":" +
+                     std::to_string(kEventLogSchemaVersion);
+  for (const auto& [key, value] : meta) {
+    body += "," + str(key) + ":" + str(value);
+  }
+  const std::scoped_lock lock(mutex_);
+  write_line("{" + body + "}", nullptr);
+}
+
+std::uint64_t EventLog::interval_sealed(std::string_view stream,
+                                        std::uint64_t index, std::int64_t t_us,
+                                        double load, double tput,
+                                        std::string_view state) {
+  // The per-interval hot path: one buffer, appended in place.
+  std::string body;
+  body.reserve(128 + stream.size());
+  body += "\"type\":\"interval_sealed\",\"stream\":\"";
+  body += detail::json_escape(stream);
+  body += "\",\"index\":";
+  body += std::to_string(index);
+  body += ",\"t_us\":";
+  body += std::to_string(t_us);
+  body += ",\"load\":";
+  detail::append_number(body, load);
+  body += ",\"tput\":";
+  detail::append_number(body, tput);
+  body += ",\"state\":\"";
+  body += detail::json_escape(state);
+  body += '"';
+  return emit(body, nullptr);
+}
+
+std::uint64_t EventLog::episode_open(std::string_view stream,
+                                     std::uint64_t index, std::int64_t t_us) {
+  return emit("\"type\":\"episode_open\",\"stream\":" + str(stream) +
+                  ",\"index\":" + std::to_string(index) +
+                  ",\"t_us\":" + std::to_string(t_us),
+              nullptr);
+}
+
+std::uint64_t EventLog::episode_close(std::string_view stream,
+                                      std::int64_t start_us,
+                                      std::int64_t duration_us,
+                                      double peak_load, bool contains_freeze) {
+  // The /episodes ring stores the same fields minus type/seq, so the JSON
+  // document is self-contained per episode.
+  const std::string fields =
+      "\"stream\":" + str(stream) + ",\"start_us\":" +
+      std::to_string(start_us) + ",\"duration_us\":" +
+      std::to_string(duration_us) + ",\"peak_load\":" + num(peak_load) +
+      ",\"freeze\":" + (contains_freeze ? "true" : "false");
+  const std::string episode_obj = "{" + fields + "}";
+  return emit("\"type\":\"episode_close\"," + fields, &episode_obj);
+}
+
+std::uint64_t EventLog::events_emitted() const {
+  const std::scoped_lock lock(mutex_);
+  return seq_;
+}
+
+std::vector<std::string> EventLog::recent() const {
+  const std::scoped_lock lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::string EventLog::episodes_json() const {
+  const std::scoped_lock lock(mutex_);
+  std::string out = "{\"schema_version\":" +
+                    std::to_string(kEventLogSchemaVersion) + ",\"episodes\":[";
+  bool first = true;
+  for (const auto& e : episode_ring_) {
+    if (!first) out += ",";
+    first = false;
+    out += e;
+  }
+  out += "]}";
+  return out;
+}
+
+void EventLog::flush() {
+  const std::scoped_lock lock(mutex_);
+  if (out_ != nullptr) out_->flush();
+}
+
+std::uint64_t EventLog::emit(const std::string& body,
+                             const std::string* episode_obj) {
+  const std::scoped_lock lock(mutex_);
+  ++seq_;
+  // Builds the line with its seq stamped after the type, keeping field
+  // order fixed across all event kinds: {"type":...,"seq":N,...}. One
+  // buffer, appended in place — this path runs per sealed interval.
+  const auto type_end = body.find(',');
+  std::string line;
+  line.reserve(body.size() + 32);
+  line += '{';
+  line.append(body, 0, type_end);
+  line += ",\"seq\":";
+  line += std::to_string(seq_);
+  line.append(body, type_end, std::string::npos);
+  line += '}';
+  write_line(std::move(line), episode_obj);
+  return seq_;
+}
+
+void EventLog::write_line(std::string line, const std::string* episode_obj) {
+  if (out_ != nullptr) {
+    *out_ << line << '\n';
+    if (options_.flush_per_event) out_->flush();
+  }
+  // seq_ is still 0 while the constructor writes the meta record; the
+  // recent-event ring holds events only (matching events_emitted()).
+  if (options_.ring_capacity > 0 && seq_ > 0) {
+    ring_.push_back(std::move(line));
+    while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+  }
+  if (episode_obj != nullptr && options_.episode_ring_capacity > 0) {
+    episode_ring_.push_back(*episode_obj);
+    while (episode_ring_.size() > options_.episode_ring_capacity) {
+      episode_ring_.pop_front();
+    }
+  }
+}
+
+}  // namespace tbd::obs

@@ -1,0 +1,102 @@
+// Live detection event log: a schema-versioned, bounded NDJSON sink for the
+// streaming detector's state transitions.
+//
+// The batch pipeline reports after the run; a monitor must *journal* as it
+// goes. EventLog appends one JSON object per line for each of three event
+// kinds — interval_sealed, episode_open, episode_close — stamped with a
+// monotonic sequence number, and optionally mirrors the tail into two
+// bounded in-memory rings: the raw recent-event ring (debugging, tests) and
+// the closed-episode ring that backs the exposition server's /episodes
+// endpoint. Memory is bounded regardless of stream length; the NDJSON file
+// just streams.
+//
+// Determinism contract: all numeric fields are rendered with fixed formats
+// (%.17g for doubles, which round-trips bit-exactly), and callers emit
+// events in replay order, so the byte stream is identical at any
+// TBD_THREADS — scripts/tier1.sh diffs two runs and a checked-in golden.
+// Writes are mutex-guarded so a scrape thread can read the rings while the
+// replay thread appends.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tbd::obs {
+
+/// Version stamped into the leading meta record; bump on any field change.
+inline constexpr int kEventLogSchemaVersion = 1;
+
+/// Namespace-scope so it can be a default argument (a nested struct's
+/// member initializers are unusable before the enclosing class completes).
+struct EventLogOptions {
+  /// Recent-event lines kept in memory (0 disables the ring).
+  std::size_t ring_capacity = 1024;
+  /// Closed episodes kept for episodes_json() (the /episodes ring).
+  std::size_t episode_ring_capacity = 64;
+  /// Flush the stream after every event ("flush-on-seal"): a crash loses
+  /// at most the event being written, and a tail -f sees seals live.
+  bool flush_per_event = true;
+};
+
+class EventLog {
+ public:
+  using Options = EventLogOptions;
+
+  /// `out` may be null: events then only populate the in-memory rings
+  /// (tbd_watch does this when --events-out is not given but --listen is).
+  /// The meta record — {"type":"meta","seq":0,"schema_version":N, ...} — is
+  /// written immediately; `meta` pairs are appended to it as string fields.
+  explicit EventLog(
+      std::ostream* out, Options options = Options(),
+      const std::vector<std::pair<std::string, std::string>>& meta = {});
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Each emitter returns the event's sequence number (meta is seq 0;
+  /// events count from 1). `state` is the sealed interval's classification
+  /// ("idle" | "normal" | "congested" | "frozen"); `t_us` is the interval's
+  /// (or episode's) absolute start on the trace clock.
+  std::uint64_t interval_sealed(std::string_view stream, std::uint64_t index,
+                                std::int64_t t_us, double load, double tput,
+                                std::string_view state);
+  std::uint64_t episode_open(std::string_view stream, std::uint64_t index,
+                             std::int64_t t_us);
+  std::uint64_t episode_close(std::string_view stream, std::int64_t start_us,
+                              std::int64_t duration_us, double peak_load,
+                              bool contains_freeze);
+
+  /// Events emitted so far (excluding the meta record).
+  [[nodiscard]] std::uint64_t events_emitted() const;
+  /// Copy of the bounded recent-event ring, oldest first (NDJSON lines
+  /// without the trailing newline).
+  [[nodiscard]] std::vector<std::string> recent() const;
+  /// JSON document for the /episodes endpoint:
+  /// {"schema_version":N,"episodes":[{...last K closed episodes...}]}.
+  [[nodiscard]] std::string episodes_json() const;
+  void flush();
+
+ private:
+  /// Stamps the next seq into `body` (after its "type" field) and appends
+  /// the line under the lock.
+  std::uint64_t emit(const std::string& body, const std::string* episode_obj);
+  /// Writes one finished line: NDJSON stream, recent ring, episode ring.
+  /// Takes the line by value and moves it into the ring — the emit path
+  /// runs per sealed interval and must not copy. Caller holds mutex_.
+  void write_line(std::string line, const std::string* episode_obj);
+
+  mutable std::mutex mutex_;
+  std::ostream* out_;
+  Options options_;
+  std::uint64_t seq_ = 0;
+  std::deque<std::string> ring_;
+  std::deque<std::string> episode_ring_;
+};
+
+}  // namespace tbd::obs

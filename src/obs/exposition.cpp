@@ -1,0 +1,164 @@
+#include "obs/exposition.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tbd::obs {
+
+namespace {
+
+// Reads until the end of the request head (\r\n\r\n) or the client stops
+// sending; bodies are never expected (GET only).
+std::string read_request_head(int fd) {
+  std::string head;
+  char buf[2048];
+  while (head.size() < 16 * 1024) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 2000) <= 0) break;  // idle/hostile client: give up
+    const auto n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<std::size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos) break;
+    if (head.find("\n\n") != std::string::npos) break;  // lenient: bare LF
+  }
+  return head;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const auto n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                          MSG_NOSIGNAL
+#else
+                          0
+#endif
+    );
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string make_response(const std::string& status,
+                          const std::string& content_type,
+                          const std::string& body) {
+  return "HTTP/1.1 " + status + "\r\nContent-Type: " + content_type +
+         "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n" + body;
+}
+
+}  // namespace
+
+ExpositionServer::ExpositionServer(Options options)
+    : options_{std::move(options)} {}
+
+ExpositionServer::~ExpositionServer() { stop(); }
+
+void ExpositionServer::handle(std::string path, std::string content_type,
+                              Handler handler) {
+  routes_.push_back(
+      {std::move(path), std::move(content_type), std::move(handler)});
+}
+
+bool ExpositionServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    error_ = "bad listen host: " + options_.host;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    error_ = std::string("bind/listen ") + options_.host + ":" +
+             std::to_string(options_.port) + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void ExpositionServer::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ExpositionServer::serve_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Short poll timeout bounds how long stop() waits for the join.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    serve_one(client);
+    ::close(client);
+  }
+}
+
+void ExpositionServer::serve_one(int client_fd) {
+  const std::string head = read_request_head(client_fd);
+  // Request line: METHOD SP PATH SP VERSION.
+  const auto sp1 = head.find(' ');
+  const auto sp2 = sp1 == std::string::npos ? std::string::npos
+                                            : head.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) {
+    send_all(client_fd,
+             make_response("400 Bad Request", "text/plain", "bad request\n"));
+    return;
+  }
+  const std::string method = head.substr(0, sp1);
+  std::string path = head.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const auto q = path.find('?'); q != std::string::npos) {
+    path.resize(q);  // handlers take no parameters; drop the query string
+  }
+  if (method != "GET" && method != "HEAD") {
+    send_all(client_fd, make_response("405 Method Not Allowed", "text/plain",
+                                      "GET only\n"));
+    return;
+  }
+  for (const auto& route : routes_) {
+    if (route.path != path) continue;
+    const std::string body = route.handler();
+    std::string response =
+        make_response("200 OK", route.content_type, body);
+    if (method == "HEAD") {
+      response.resize(response.size() - body.size());
+    }
+    send_all(client_fd, response);
+    return;
+  }
+  send_all(client_fd,
+           make_response("404 Not Found", "text/plain", "not found\n"));
+}
+
+}  // namespace tbd::obs

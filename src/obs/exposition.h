@@ -1,0 +1,82 @@
+// Minimal dependency-free scrape endpoint: a blocking HTTP/1.1 server just
+// big enough for Prometheus and a human with curl.
+//
+// Scope is deliberately tiny — GET only, one request per connection
+// (Connection: close), responses rendered by registered handlers at request
+// time. That is exactly the access pattern of a scraper hitting /metrics
+// every few seconds, and it keeps the implementation at "plain POSIX
+// sockets + poll", no third-party HTTP stack. The accept loop runs on one
+// background thread; handlers must therefore be thread-safe against the
+// replay thread (Registry and EventLog both are).
+//
+// Standard routes wired by tbd_watch:
+//   /metrics  -> Registry::to_prometheus()   (text/plain; version=0.0.4)
+//   /healthz  -> "ok"                        (text/plain)
+//   /episodes -> EventLog::episodes_json()   (application/json)
+//
+// Binding port 0 lets the OS pick a free port (tests, tier1.sh); port()
+// reports the actual one after start().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tbd::obs {
+
+/// Namespace-scope so it can be a default argument (a nested struct's
+/// member initializers are unusable before the enclosing class completes).
+struct ExpositionOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = OS-assigned; see ExpositionServer::port().
+};
+
+class ExpositionServer {
+ public:
+  /// Produces a response body; called on the server thread per request.
+  using Handler = std::function<std::string()>;
+
+  using Options = ExpositionOptions;
+
+  explicit ExpositionServer(Options options = Options());
+  ~ExpositionServer();
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// Registers `handler` for exact-match GET `path` (query string ignored).
+  /// Must be called before start().
+  void handle(std::string path, std::string content_type, Handler handler);
+
+  /// Binds + listens + spawns the accept thread. Returns false (and sets
+  /// error()) if the socket can't be bound.
+  [[nodiscard]] bool start();
+  /// Actual bound port (valid after a successful start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  /// Stops accepting, closes the socket, joins the thread. Idempotent.
+  void stop();
+
+ private:
+  struct Route {
+    std::string path;
+    std::string content_type;
+    Handler handler;
+  };
+
+  void serve_loop();
+  void serve_one(int client_fd);
+
+  Options options_;
+  std::vector<Route> routes_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string error_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace tbd::obs

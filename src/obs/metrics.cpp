@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <charconv>
 #include <cstdio>
 
 namespace tbd::obs {
@@ -22,16 +23,127 @@ void atomic_add(std::atomic<double>& target, double delta) {
   }
 }
 
-namespace {
+void append_number(std::string& out, double v) {
+  // to_chars(general, 17) is specified to render "as if by %.17g" but skips
+  // the locale and varargs machinery — it sits on the event log's per-seal
+  // path, where the snprintf version dominated the line cost. The fallback
+  // keeps the exact same bytes if the buffer ever proves too small.
+  char buf[64];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::general, 17);
+  if (ec != std::errc{}) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+    return;
+  }
+  out.append(buf, ptr);
+}
 
 std::string format_number(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
+  std::string out;
+  append_number(out, v);
+  return out;
+}
+
+// JSON string escaping for export keys/values: the rendered label block
+// carries '"' and '\' characters that must not break the manifest JSON.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Splices extra labels (e.g. le="...") into an already-rendered block:
+// "" + le -> {le}, {a="b"} + le -> {a="b",le}.
+std::string with_label(const std::string& block, const std::string& extra) {
+  if (block.empty()) return "{" + extra + "}";
+  return block.substr(0, block.size() - 1) + "," + extra + "}";
 }
 
 }  // namespace
 }  // namespace detail
+
+std::string sanitize_metric_name(std::string_view name) {
+  if (name.empty()) return "_";
+  std::string out;
+  out.reserve(name.size() + 1);
+  const auto valid = [](char c, bool first) {
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    return alpha || c == '_' || c == ':' || (digit && !first);
+  };
+  if (name[0] >= '0' && name[0] <= '9') out += '_';
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    out += valid(name[i], out.empty()) ? name[i] : '_';
+  }
+  return out;
+}
+
+std::string sanitize_label_name(std::string_view name) {
+  if (name.empty()) return "_";
+  std::string out;
+  out.reserve(name.size() + 1);
+  const auto valid = [](char c, bool first) {
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    return alpha || c == '_' || (digit && !first);
+  };
+  if (name[0] >= '0' && name[0] <= '9') out += '_';
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    out += valid(name[i], out.empty()) ? name[i] : '_';
+  }
+  return out;
+}
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  Labels canonical;
+  canonical.reserve(labels.size());
+  for (const auto& [k, v] : labels) {
+    canonical.emplace_back(sanitize_label_name(k), escape_label_value(v));
+  }
+  std::sort(canonical.begin(), canonical.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < canonical.size(); ++i) {
+    if (i) out += ",";
+    out += canonical[i].first + "=\"" + canonical[i].second + "\"";
+  }
+  out += "}";
+  return out;
+}
 
 // ---- Counter ----------------------------------------------------------------
 
@@ -109,23 +221,34 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(const std::string& name) {
+  return counter(name, {});
+}
+
+Gauge& Registry::gauge(const std::string& name) { return gauge(name, {}); }
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  return histogram(name, {}, std::move(bounds));
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
   const std::scoped_lock lock(mutex_);
-  auto& slot = counters_[name];
+  auto& slot = counters_[sanitize_metric_name(name)][render_labels(labels)];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
-Gauge& Registry::gauge(const std::string& name) {
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
   const std::scoped_lock lock(mutex_);
-  auto& slot = gauges_[name];
+  auto& slot = gauges_[sanitize_metric_name(name)][render_labels(labels)];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
-Histogram& Registry::histogram(const std::string& name,
+Histogram& Registry::histogram(const std::string& name, const Labels& labels,
                                std::vector<double> bounds) {
   const std::scoped_lock lock(mutex_);
-  auto& slot = histograms_[name];
+  auto& slot = histograms_[sanitize_metric_name(name)][render_labels(labels)];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
 }
@@ -134,36 +257,44 @@ std::string Registry::to_json() const {
   const std::scoped_lock lock(mutex_);
   std::string out = "{\"counters\": {";
   bool first = true;
-  for (const auto& [name, c] : counters_) {
-    if (!first) out += ", ";
-    first = false;
-    out += "\"" + name + "\": " + std::to_string(c->value());
+  for (const auto& [name, series] : counters_) {
+    for (const auto& [labels, c] : series) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + detail::json_escape(name + labels) +
+             "\": " + std::to_string(c->value());
+    }
   }
   out += "}, \"gauges\": {";
   first = true;
-  for (const auto& [name, g] : gauges_) {
-    if (!first) out += ", ";
-    first = false;
-    out += "\"" + name + "\": " + detail::format_number(g->value());
+  for (const auto& [name, series] : gauges_) {
+    for (const auto& [labels, g] : series) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + detail::json_escape(name + labels) +
+             "\": " + detail::format_number(g->value());
+    }
   }
   out += "}, \"histograms\": {";
   first = true;
-  for (const auto& [name, h] : histograms_) {
-    if (!first) out += ", ";
-    first = false;
-    const auto snap = h->snapshot();
-    out += "\"" + name + "\": {\"bounds\": [";
-    for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
-      if (b) out += ", ";
-      out += detail::format_number(snap.bounds[b]);
+  for (const auto& [name, series] : histograms_) {
+    for (const auto& [labels, h] : series) {
+      if (!first) out += ", ";
+      first = false;
+      const auto snap = h->snapshot();
+      out += "\"" + detail::json_escape(name + labels) + "\": {\"bounds\": [";
+      for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
+        if (b) out += ", ";
+        out += detail::format_number(snap.bounds[b]);
+      }
+      out += "], \"counts\": [";
+      for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+        if (b) out += ", ";
+        out += std::to_string(snap.counts[b]);
+      }
+      out += "], \"count\": " + std::to_string(snap.count) +
+             ", \"sum\": " + detail::format_number(snap.sum) + "}";
     }
-    out += "], \"counts\": [";
-    for (std::size_t b = 0; b < snap.counts.size(); ++b) {
-      if (b) out += ", ";
-      out += std::to_string(snap.counts[b]);
-    }
-    out += "], \"count\": " + std::to_string(snap.count) +
-           ", \"sum\": " + detail::format_number(snap.sum) + "}";
   }
   out += "}}";
   return out;
@@ -172,35 +303,51 @@ std::string Registry::to_json() const {
 std::string Registry::to_prometheus() const {
   const std::scoped_lock lock(mutex_);
   std::string out;
-  for (const auto& [name, c] : counters_) {
+  for (const auto& [name, series] : counters_) {
     out += "# TYPE " + name + " counter\n";
-    out += name + " " + std::to_string(c->value()) + "\n";
-  }
-  for (const auto& [name, g] : gauges_) {
-    out += "# TYPE " + name + " gauge\n";
-    out += name + " " + detail::format_number(g->value()) + "\n";
-  }
-  for (const auto& [name, h] : histograms_) {
-    const auto snap = h->snapshot();
-    out += "# TYPE " + name + " histogram\n";
-    std::uint64_t cumulative = 0;
-    for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
-      cumulative += snap.counts[b];
-      out += name + "_bucket{le=\"" + detail::format_number(snap.bounds[b]) +
-             "\"} " + std::to_string(cumulative) + "\n";
+    for (const auto& [labels, c] : series) {
+      out += name + labels + " " + std::to_string(c->value()) + "\n";
     }
-    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) + "\n";
-    out += name + "_sum " + detail::format_number(snap.sum) + "\n";
-    out += name + "_count " + std::to_string(snap.count) + "\n";
+  }
+  for (const auto& [name, series] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    for (const auto& [labels, g] : series) {
+      out += name + labels + " " + detail::format_number(g->value()) + "\n";
+    }
+  }
+  for (const auto& [name, series] : histograms_) {
+    out += "# TYPE " + name + " histogram\n";
+    for (const auto& [labels, h] : series) {
+      const auto snap = h->snapshot();
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
+        cumulative += snap.counts[b];
+        out += name + "_bucket" +
+               detail::with_label(labels, "le=\"" +
+                                              detail::format_number(
+                                                  snap.bounds[b]) +
+                                              "\"") +
+               " " + std::to_string(cumulative) + "\n";
+      }
+      out += name + "_bucket" + detail::with_label(labels, "le=\"+Inf\"") +
+             " " + std::to_string(snap.count) + "\n";
+      out += name + "_sum" + labels + " " + detail::format_number(snap.sum) +
+             "\n";
+      out += name + "_count" + labels + " " + std::to_string(snap.count) +
+             "\n";
+    }
   }
   return out;
 }
 
 void Registry::reset() {
   const std::scoped_lock lock(mutex_);
-  for (auto& [name, c] : counters_) c->reset();
-  for (auto& [name, g] : gauges_) g->reset();
-  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, series] : counters_)
+    for (auto& [labels, c] : series) c->reset();
+  for (auto& [name, series] : gauges_)
+    for (auto& [labels, g] : series) g->reset();
+  for (auto& [name, series] : histograms_)
+    for (auto& [labels, h] : series) h->reset();
 }
 
 double snapshot_quantile(const Histogram::Snapshot& snap, double q) {

@@ -9,14 +9,18 @@
 //    a relaxed atomic add — no locks, no shared cache line in the common
 //    case. Shards are summed only on snapshot/export.
 //  * Gauge is a single atomic double (set / add / update_max).
-//  * Registry maps names to metrics; the name lookup takes a mutex, so hot
-//    paths resolve the reference once and keep it. Exported as a JSON object
-//    (embedded in run manifests) and as a one-shot Prometheus-style text
-//    dump.
+//  * Registry maps names to metric *families*; a family holds one series
+//    per label set (`{stream="server0"}`), so a single registry can carry
+//    thousands of monitored streams. The name lookup takes a mutex, so hot
+//    paths resolve the reference once and keep it. Exported as a JSON
+//    object (embedded in run manifests) and as a one-shot Prometheus-style
+//    text dump with one TYPE comment per family and one line per series.
 //
 // Naming convention (see docs/observability.md): tbd_<area>_<what>[_<unit>],
 // counters end in _total, e.g. tbd_engine_events_total,
-// tbd_pool_queue_wait_us_total.
+// tbd_pool_queue_wait_us_total. Names are sanitized to the Prometheus
+// grammar on first lookup and label values are escaped on exposition, so a
+// hostile stream name cannot corrupt the scrape text.
 #pragma once
 
 #include <array>
@@ -26,6 +30,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace tbd::obs {
@@ -42,7 +48,41 @@ inline constexpr std::size_t kStripes = 16;
 /// fetch_add for atomic<double> via CAS (portable; fetch_add on double is
 /// C++20 but not lock-free everywhere).
 void atomic_add(std::atomic<double>& target, double delta);
+
+/// %.17g rendering — round-trips doubles bit-exactly, shared by the JSON /
+/// Prometheus exports and the NDJSON event log.
+[[nodiscard]] std::string format_number(double v);
+
+/// Same rendering appended in place — the event log's per-seal path avoids
+/// the temporary string.
+void append_number(std::string& out, double v);
+
+/// JSON string-content escaping (quotes, backslashes, control chars).
+[[nodiscard]] std::string json_escape(std::string_view s);
 }  // namespace detail
+
+/// One metric's label set: (name, value) pairs. Canonicalized on registry
+/// lookup — label names sanitized, pairs sorted by name — so insertion order
+/// never creates duplicate series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Sanitizes a metric name to the Prometheus grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid character becomes '_', a leading
+/// digit gains a '_' prefix, and an empty name becomes "_". Distinct raw
+/// names can collapse onto one sanitized family; callers wanting separate
+/// series must differ in valid characters.
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
+/// Same, for label names ([a-zA-Z_][a-zA-Z0-9_]*; no ':').
+[[nodiscard]] std::string sanitize_label_name(std::string_view name);
+
+/// Escapes a label value for text exposition: '\' -> "\\", '"' -> "\"",
+/// newline -> "\n" (the three escapes the Prometheus text format defines).
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+/// Canonical rendered label block: "" for no labels, else
+/// {name="escaped value",...} with pairs sorted by sanitized name.
+[[nodiscard]] std::string render_labels(const Labels& labels);
 
 /// Monotonic event count. add() is wait-free (relaxed fetch_add on a
 /// thread-striped shard); value() sums the shards.
@@ -118,16 +158,27 @@ class Registry {
   /// Process-wide registry used by the built-in instrumentation.
   [[nodiscard]] static Registry& global();
 
+  /// The unlabeled series of the family `name`.
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   /// Creates the histogram on first use; later calls with the same name
   /// return the existing instance (bounds are ignored then).
   Histogram& histogram(const std::string& name, std::vector<double> bounds);
 
+  /// Labeled series: one instance per canonical label set within the
+  /// family. `counter("x", {{"stream","a"}})` and `counter("x")` are
+  /// distinct series of the same family and share one TYPE line on
+  /// exposition.
+  Counter& counter(const std::string& name, const Labels& labels);
+  Gauge& gauge(const std::string& name, const Labels& labels);
+  Histogram& histogram(const std::string& name, const Labels& labels,
+                       std::vector<double> bounds);
+
   /// JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Labeled series appear under "name{label=\"value\",...}" keys.
   [[nodiscard]] std::string to_json() const;
   /// One-shot Prometheus text exposition (TYPE comments + cumulative
-  /// histogram buckets).
+  /// histogram buckets; label values escaped per the text format).
   [[nodiscard]] std::string to_prometheus() const;
 
   /// Zeroes every metric's value. References stay valid (metrics are never
@@ -135,10 +186,14 @@ class Registry {
   void reset();
 
  private:
+  /// name -> (rendered label block -> series); "" is the unlabeled series.
+  template <typename M>
+  using FamilyMap = std::map<std::string, std::map<std::string, std::unique_ptr<M>>>;
+
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  FamilyMap<Counter> counters_;
+  FamilyMap<Gauge> gauges_;
+  FamilyMap<Histogram> histograms_;
 };
 
 /// Quantile estimate from bucketed counts: `q` in [0, 1] (clamped), linearly

@@ -1,0 +1,170 @@
+#include "core/streaming_telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/streaming_detector.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+
+namespace tbd::core {
+namespace {
+
+using namespace tbd::literals;
+
+trace::RequestRecord rec(std::int64_t a, std::int64_t d, trace::ClassId c = 0) {
+  trace::RequestRecord r;
+  r.server = 0;
+  r.class_id = c;
+  r.arrival = TimePoint::from_micros(a);
+  r.departure = TimePoint::from_micros(d);
+  return r;
+}
+
+NStarResult nstar(double n, double tp) {
+  NStarResult r;
+  r.n_star = n;
+  r.tp_max = tp;
+  r.converged = true;
+  return r;
+}
+
+StreamingDetector::Config config50() {
+  StreamingDetector::Config cfg;
+  cfg.width = 50_ms;
+  cfg.lag = 200_ms;
+  return cfg;
+}
+
+// One burst above N* inside an otherwise steady stream (same shape as the
+// detector tests): 20 concurrent requests in [100, 200)ms, then trickle.
+void feed_burst(StreamingDetector& stream) {
+  for (int i = 0; i < 20; ++i) stream.push(rec(100'000, 200'000 + i));
+  for (std::int64_t t = 200'000; t < 800'000; t += 10'000) {
+    stream.push(rec(t, t + 1000));
+  }
+  stream.finish();
+}
+
+TEST(StreamingTelemetryTest, PopulatesLabeledMetrics) {
+  obs::Registry registry;
+  StreamingDetector stream{TimePoint::origin(), config50(), nstar(5, 1e6),
+                           ServiceTimeTable{{1000.0}}};
+  StreamingTelemetry telemetry{stream, {"server0"}, registry, nullptr};
+  feed_burst(stream);
+  telemetry.add_records(80);
+  telemetry.sync();
+
+  const obs::Labels labels{{"stream", "server0"}};
+  EXPECT_EQ(registry.counter("tbd_stream_records_total", labels).value(), 80u);
+  EXPECT_EQ(registry.counter("tbd_stream_episode_opens_total", labels).value(),
+            1u);
+  EXPECT_EQ(
+      registry.counter("tbd_stream_episode_closes_total", labels).value(), 1u);
+  // Per-state sealed counters mirror the detector's own tallies.
+  const auto& by_state = stream.sealed_by_state();
+  const char* states[] = {"idle", "normal", "congested", "frozen"};
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < 4; ++s) {
+    obs::Labels sl = labels;
+    sl.emplace_back("state", states[s]);
+    const auto count =
+        registry.counter("tbd_stream_intervals_total", sl).value();
+    EXPECT_EQ(count, by_state[s]) << states[s];
+    total += count;
+  }
+  EXPECT_EQ(total, stream.intervals_emitted());
+  // The burst's intervals hold 20 requests but complete none (departures
+  // land after them), so they classify frozen, not congested.
+  EXPECT_EQ(by_state[static_cast<std::size_t>(IntervalState::kFrozen)], 2u);
+
+  // Calibration gauges carry the frozen N*/TPmax.
+  EXPECT_DOUBLE_EQ(registry.gauge("tbd_stream_nstar", labels).value(), 5.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("tbd_stream_tpmax", labels).value(), 1e6);
+  // Episode histograms saw the one close: 100ms duration, peak ~20.
+  const auto dur = registry
+                       .histogram("tbd_stream_episode_duration_ms", labels,
+                                  {1.0})  // bounds ignored on reuse
+                       .snapshot();
+  EXPECT_EQ(dur.count, 1u);
+  EXPECT_NEAR(dur.sum, 100.0, 1e-9);
+  const auto peak =
+      registry.histogram("tbd_stream_episode_peak_load", labels, {1.0})
+          .snapshot();
+  EXPECT_EQ(peak.count, 1u);
+  EXPECT_NEAR(peak.sum, 20.0, 0.1);
+}
+
+TEST(StreamingTelemetryTest, EmitsEventsInSealOrder) {
+  obs::Registry registry;
+  std::ostringstream out;
+  obs::EventLog events{&out};
+  StreamingDetector stream{TimePoint::origin(), config50(), nstar(5, 1e6),
+                           ServiceTimeTable{{1000.0}}};
+  StreamingTelemetry telemetry{stream, {"server0"}, registry, &events};
+  feed_burst(stream);
+
+  const std::string text = out.str();
+  // The burst occupies intervals 2-3 ([100,200)ms): open at index 2, close
+  // with the episode's absolute start and 100ms duration.
+  EXPECT_NE(text.find("\"type\":\"episode_open\",\"seq\":"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"stream\":\"server0\",\"index\":2,\"t_us\":100000}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"start_us\":100000,\"duration_us\":100000"),
+            std::string::npos)
+      << text;
+  // interval_sealed t_us advances on the 50ms grid.
+  EXPECT_NE(text.find("\"index\":0,\"t_us\":0,"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"index\":1,\"t_us\":50000,"), std::string::npos)
+      << text;
+  EXPECT_EQ(events.events_emitted(),
+            static_cast<std::uint64_t>(stream.intervals_emitted()) + 2);
+}
+
+TEST(StreamingTelemetryTest, ChainsPreviouslyInstalledCallbacks) {
+  obs::Registry registry;
+  StreamingDetector stream{TimePoint::origin(), config50(), nstar(5, 1e6),
+                           ServiceTimeTable{{1000.0}}};
+  std::size_t user_intervals = 0;
+  std::vector<Episode> user_episodes;
+  std::size_t user_opens = 0;
+  stream.on_interval(
+      [&](std::size_t, double, double, IntervalState) { ++user_intervals; });
+  stream.on_episode([&](const Episode& e) { user_episodes.push_back(e); });
+  stream.on_episode_open([&](std::size_t, TimePoint) { ++user_opens; });
+
+  StreamingTelemetry telemetry{stream, {"server0"}, registry, nullptr};
+  feed_burst(stream);
+
+  EXPECT_EQ(user_intervals, stream.intervals_emitted());
+  EXPECT_EQ(user_episodes.size(), 1u);
+  EXPECT_EQ(user_opens, 1u);
+}
+
+TEST(StreamingTelemetryTest, SyncFoldsDroppedDelta) {
+  obs::Registry registry;
+  StreamingDetector stream{TimePoint::origin(), config50(), nstar(5, 1e6),
+                           ServiceTimeTable{{1000.0}}};
+  StreamingTelemetry telemetry{stream, {"server0"}, registry, nullptr};
+  stream.push(rec(0, 500'000));
+  stream.push(rec(0, 100, 0));        // fine
+  stream.push(rec(600'000, 599'000)); // departure < arrival: dropped
+  telemetry.sync();
+  const obs::Labels labels{{"stream", "server0"}};
+  EXPECT_EQ(
+      registry.counter("tbd_stream_dropped_records_total", labels).value(),
+      stream.dropped_records());
+  EXPECT_GE(stream.dropped_records(), 1u);
+  telemetry.sync();  // idempotent: no double count
+  EXPECT_EQ(
+      registry.counter("tbd_stream_dropped_records_total", labels).value(),
+      stream.dropped_records());
+}
+
+}  // namespace
+}  // namespace tbd::core

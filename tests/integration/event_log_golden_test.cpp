@@ -1,0 +1,180 @@
+// Golden-file test pinning the live-telemetry event log on the checked-in
+// tier-1 smoke log, plus the load-bearing equivalence behind it: the
+// streaming detector's episode stream must equal batch detect_bottlenecks
+// on the same calibration, bit for bit. The NDJSON is fully deterministic
+// (fixed grid, %.17g doubles, monotonic seq, single replay thread), so any
+// byte drift is a schema change — regenerate with:
+//
+//   ./build/tools/tbd_watch --width 50 --nstar 3 --speed max
+//     --events-out scripts/testdata/tiny_log_events.golden.ndjson
+//     scripts/testdata/tiny_log.csv        (one command line)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/streaming_detector.h"
+#include "core/streaming_telemetry.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "trace/log_io.h"
+
+namespace tbd {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path};
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+constexpr const char* kTestData = TBD_SOURCE_DIR "/scripts/testdata/";
+constexpr double kNStarOverride = 3.0;  // same knobs as the tier-1 smoke
+
+struct WatchRun {
+  std::string events;                        // full NDJSON, meta included
+  std::vector<std::vector<core::Episode>> streaming_episodes;  // per server
+  std::vector<std::vector<core::Episode>> batch_episodes;
+};
+
+// The tbd_watch pipeline, in-process: merge, departure-order replay, one
+// calibrated StreamingDetector + StreamingTelemetry per server, shared
+// EventLog. Mirrors tools/tbd_watch.cpp so the golden pins the tool too.
+WatchRun run_watch() {
+  const auto loaded =
+      trace::load_request_log(std::string(kTestData) + "tiny_log.csv");
+  EXPECT_TRUE(loaded.ok);
+  EXPECT_EQ(loaded.records.size(), 72u);
+
+  std::map<trace::ServerIndex, trace::RequestLog> by_server;
+  trace::RequestLog merged = loaded.records;
+  TimePoint t_min = TimePoint::max();
+  TimePoint t_max;
+  for (const auto& r : merged) {
+    by_server[r.server].push_back(r);
+    t_min = std::min(t_min, r.arrival);
+    t_max = std::max(t_max, r.departure);
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const trace::RequestRecord& a,
+                      const trace::RequestRecord& b) {
+                     return a.departure < b.departure;
+                   });
+
+  WatchRun run;
+  std::ostringstream out;
+  obs::EventLog events{&out,
+                       obs::EventLog::Options(),
+                       {{"tool", "tbd_watch"},
+                        {"width_ms", "50"},
+                        {"lag_ms", "5000"},
+                        {"speed", "max"}}};
+  obs::Registry registry;
+
+  const Duration width = Duration::millis(50);
+  const auto spec = core::IntervalSpec::over(t_min, t_max, width);
+  struct Stream {
+    std::unique_ptr<core::StreamingDetector> detector;
+    std::unique_ptr<core::StreamingTelemetry> telemetry;
+  };
+  std::map<trace::ServerIndex, Stream> streams;
+  for (const auto& [server, log] : by_server) {
+    const auto table = core::estimate_service_times(log);
+    auto detection = core::detect_bottlenecks(log, spec, table);
+    detection.nstar.n_star = kNStarOverride;
+    detection.nstar.converged = true;
+
+    // Batch truth on the same calibration: reclassify against the frozen
+    // N*/TPmax and re-extract episodes (the flight recorder's carry-over
+    // convention).
+    const auto states = core::classify_intervals(
+        detection.load, detection.throughput, detection.nstar, {});
+    run.batch_episodes.push_back(
+        core::extract_episodes(states, detection.load, spec));
+
+    Stream s;
+    core::StreamingDetector::Config config;
+    config.width = width;
+    config.lag = Duration::millis(5000);
+    s.detector = std::make_unique<core::StreamingDetector>(
+        t_min, config, detection.nstar, table);
+    s.telemetry = std::make_unique<core::StreamingTelemetry>(
+        *s.detector,
+        core::StreamingTelemetry::Options{"server" + std::to_string(server)},
+        registry, &events);
+    streams.emplace(server, std::move(s));
+  }
+
+  for (const auto& r : merged) streams.at(r.server).detector->push(r);
+  for (auto& [server, s] : streams) {
+    s.detector->finish();
+    s.telemetry->sync();
+    run.streaming_episodes.push_back(s.detector->episodes());
+  }
+  run.events = out.str();
+  return run;
+}
+
+bool episodes_bitwise_equal(const std::vector<core::Episode>& a,
+                            const std::vector<core::Episode>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].start.micros() != b[i].start.micros()) return false;
+    if (a[i].duration.micros() != b[i].duration.micros()) return false;
+    if (std::bit_cast<std::uint64_t>(a[i].peak_load) !=
+        std::bit_cast<std::uint64_t>(b[i].peak_load)) {
+      return false;
+    }
+    if (a[i].contains_freeze != b[i].contains_freeze) return false;
+  }
+  return true;
+}
+
+TEST(EventLogGoldenTest, EventLogMatchesGolden) {
+  const std::string golden =
+      slurp(std::string(kTestData) + "tiny_log_events.golden.ndjson");
+  EXPECT_EQ(run_watch().events, golden);
+}
+
+TEST(EventLogGoldenTest, StreamingEpisodesEqualBatchBitwise) {
+  const auto run = run_watch();
+  ASSERT_EQ(run.streaming_episodes.size(), run.batch_episodes.size());
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < run.streaming_episodes.size(); ++s) {
+    EXPECT_TRUE(episodes_bitwise_equal(run.streaming_episodes[s],
+                                       run.batch_episodes[s]))
+        << "server " << s;
+    total += run.streaming_episodes[s].size();
+  }
+  EXPECT_GE(total, 1u);  // the tiny log's burst must register
+}
+
+TEST(EventLogGoldenTest, EpisodeCloseEventsMatchBatchEpisodes) {
+  // Every batch episode appears as an episode_close line with the same
+  // microsecond fields — the acceptance criterion's byte-level contract.
+  const auto run = run_watch();
+  for (std::size_t s = 0; s < run.batch_episodes.size(); ++s) {
+    for (const auto& e : run.batch_episodes[s]) {
+      char expect[256];
+      std::snprintf(expect, sizeof expect,
+                    "\"stream\":\"server%zu\",\"start_us\":%lld,"
+                    "\"duration_us\":%lld",
+                    s, static_cast<long long>(e.start.micros()),
+                    static_cast<long long>(e.duration.micros()));
+      EXPECT_NE(run.events.find(expect), std::string::npos) << expect;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tbd

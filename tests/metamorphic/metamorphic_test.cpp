@@ -17,14 +17,19 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <span>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/detector.h"
 #include "core/fused_sweep.h"
 #include "core/streaming_detector.h"
+#include "core/streaming_telemetry.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "testing/generators.h"
 #include "testing/oracles.h"
 #include "trace/log_io.h"
@@ -358,6 +363,125 @@ TEST(Metamorphic, StreamingInterleavedPushBatchResetMatchesBatchSweep) {
       EXPECT_EQ(std::bit_cast<std::uint64_t>(out.tput[k]),
                 std::bit_cast<std::uint64_t>(batch.throughput[k]))
           << "seed " << seed << " interval " << k;
+    }
+  }
+}
+
+// The NDJSON event log is a *replayable* record of the detection: parsing
+// the interval_sealed lines back (strtod inverts the %.17g rendering
+// bit-exactly) and re-running classification/episode extraction over the
+// parsed series must reconstruct the same episode list the batch pipeline
+// computes on the same calibration — and the episode_close lines must carry
+// exactly the episodes the detector reported.
+TEST(Metamorphic, EventLogReplayReconstructsBatchEpisodes) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 60'000'000};
+    auto config = base_config(rng);
+    config.origin_us = 0;
+    config.p_outside = 0.0;  // streaming drops pre-start arrivals' history
+    config.p_spanning = 0.0;
+    const auto spec = pt::grid_for(config);
+    auto log = pt::generate_request_log(rng, config);
+    std::sort(log.begin(), log.end(),
+              [](const trace::RequestRecord& a, const trace::RequestRecord& b) {
+                return a.departure < b.departure;
+              });
+    const auto table = pt::generate_service_table(rng, config.classes);
+
+    core::StreamingDetector::Config stream_config;
+    stream_config.width = spec.width;
+    stream_config.lag = Duration::seconds(30);
+    core::NStarResult nstar;
+    nstar.n_star = rng.uniform(0.5, 8.0);
+    nstar.tp_max = rng.uniform(100.0, 5000.0);
+    nstar.converged = true;
+
+    core::StreamingDetector stream{spec.start, stream_config, nstar, table};
+    obs::Registry registry;
+    std::ostringstream text_out;
+    obs::EventLog events{&text_out};
+    core::StreamingTelemetry telemetry{stream, {"s0"}, registry, &events};
+    stream.push_batch(log);
+    stream.finish();
+
+    // Parse the event text back into per-interval series + closed episodes.
+    const auto field = [](const std::string& line, const char* key) {
+      const auto pos = line.find(key);
+      EXPECT_NE(pos, std::string::npos) << key << " in " << line;
+      return line.c_str() + pos + std::strlen(key);
+    };
+    std::vector<double> load, tput;
+    std::vector<core::IntervalState> states;
+    std::vector<core::Episode> closed;
+    std::istringstream lines{text_out.str()};
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.find("\"type\":\"interval_sealed\"") != std::string::npos) {
+        load.push_back(std::strtod(field(line, "\"load\":"), nullptr));
+        tput.push_back(std::strtod(field(line, "\"tput\":"), nullptr));
+        const char* s = field(line, "\"state\":\"");
+        if (std::strncmp(s, "idle", 4) == 0) {
+          states.push_back(core::IntervalState::kIdle);
+        } else if (std::strncmp(s, "normal", 6) == 0) {
+          states.push_back(core::IntervalState::kNormal);
+        } else if (std::strncmp(s, "congested", 9) == 0) {
+          states.push_back(core::IntervalState::kCongested);
+        } else {
+          states.push_back(core::IntervalState::kFrozen);
+        }
+      } else if (line.find("\"type\":\"episode_close\"") !=
+                 std::string::npos) {
+        core::Episode e;
+        e.start = TimePoint::from_micros(
+            std::strtoll(field(line, "\"start_us\":"), nullptr, 10));
+        e.duration = Duration::micros(
+            std::strtoll(field(line, "\"duration_us\":"), nullptr, 10));
+        e.peak_load = std::strtod(field(line, "\"peak_load\":"), nullptr);
+        e.contains_freeze =
+            std::strncmp(field(line, "\"freeze\":"), "true", 4) == 0;
+        closed.push_back(e);
+      }
+    }
+    ASSERT_EQ(load.size(), stream.intervals_emitted()) << "seed " << seed;
+
+    // (1) The close events are exactly the detector's episode list.
+    const auto& direct = stream.episodes();
+    ASSERT_EQ(closed.size(), direct.size()) << "seed " << seed;
+    for (std::size_t e = 0; e < closed.size(); ++e) {
+      EXPECT_EQ(closed[e].start.micros(), direct[e].start.micros());
+      EXPECT_EQ(closed[e].duration.micros(), direct[e].duration.micros());
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(closed[e].peak_load),
+                std::bit_cast<std::uint64_t>(direct[e].peak_load))
+          << "seed " << seed;
+      EXPECT_EQ(closed[e].contains_freeze, direct[e].contains_freeze);
+    }
+
+    // (2) Re-running the batch classify/extract stages over the parsed
+    // series reproduces the same episodes as batch detection on the same
+    // calibration (over the common sealed prefix; the grid tail past the
+    // last departure is exactly empty either way).
+    const auto batch = core::compute_load_throughput(log, spec, table);
+    const auto batch_states =
+        core::classify_intervals(batch.load, batch.throughput, nstar, {});
+    const std::size_t common = std::min(load.size(), batch.load.size());
+    auto common_spec = spec;
+    common_spec.count = common;
+    const auto replayed = core::extract_episodes(
+        std::span{states}.first(common), std::span{load}.first(common),
+        common_spec);
+    const auto batch_episodes = core::extract_episodes(
+        std::span{batch_states}.first(common),
+        std::span{batch.load}.first(common), common_spec);
+    ASSERT_EQ(replayed.size(), batch_episodes.size()) << "seed " << seed;
+    for (std::size_t e = 0; e < replayed.size(); ++e) {
+      EXPECT_EQ(replayed[e].start.micros(), batch_episodes[e].start.micros());
+      EXPECT_EQ(replayed[e].duration.micros(),
+                batch_episodes[e].duration.micros());
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(replayed[e].peak_load),
+                std::bit_cast<std::uint64_t>(batch_episodes[e].peak_load))
+          << "seed " << seed;
+      EXPECT_EQ(replayed[e].contains_freeze,
+                batch_episodes[e].contains_freeze);
     }
   }
 }

@@ -1,0 +1,103 @@
+#include "obs/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tbd::obs {
+namespace {
+
+TEST(EventLog, MetaRecordLeadsTheStream) {
+  std::ostringstream out;
+  EventLog log{&out, {}, {{"tool", "test"}, {"width_ms", "50"}}};
+  EXPECT_EQ(out.str(),
+            "{\"type\":\"meta\",\"seq\":0,\"schema_version\":1,"
+            "\"tool\":\"test\",\"width_ms\":\"50\"}\n");
+  EXPECT_EQ(log.events_emitted(), 0u);
+}
+
+TEST(EventLog, EmitsGoldenLinesWithMonotonicSeq) {
+  std::ostringstream out;
+  EventLog log{&out};
+  EXPECT_EQ(log.interval_sealed("server0", 3, 150000, 0.25, 40.0, "normal"),
+            1u);
+  EXPECT_EQ(log.episode_open("server0", 4, 200000), 2u);
+  EXPECT_EQ(log.episode_close("server0", 200000, 100000, 9.5, true), 3u);
+  EXPECT_EQ(log.events_emitted(), 3u);
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("{\"type\":\"interval_sealed\",\"seq\":1,"
+                      "\"stream\":\"server0\",\"index\":3,\"t_us\":150000,"
+                      "\"load\":0.25,\"tput\":40,\"state\":\"normal\"}\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("{\"type\":\"episode_open\",\"seq\":2,"
+                      "\"stream\":\"server0\",\"index\":4,\"t_us\":200000}\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("{\"type\":\"episode_close\",\"seq\":3,"
+                      "\"stream\":\"server0\",\"start_us\":200000,"
+                      "\"duration_us\":100000,\"peak_load\":9.5,"
+                      "\"freeze\":true}\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(EventLog, NullStreamStillFillsRings) {
+  EventLog log{nullptr};
+  log.interval_sealed("s", 0, 0, 1.0, 2.0, "normal");
+  log.episode_close("s", 0, 50000, 4.0, false);
+  EXPECT_EQ(log.events_emitted(), 2u);
+  EXPECT_EQ(log.recent().size(), 2u);
+  EXPECT_EQ(log.episodes_json(),
+            "{\"schema_version\":1,\"episodes\":[{\"stream\":\"s\","
+            "\"start_us\":0,\"duration_us\":50000,\"peak_load\":4,"
+            "\"freeze\":false}]}");
+}
+
+TEST(EventLog, RingsAreBounded) {
+  EventLog::Options options;
+  options.ring_capacity = 4;
+  options.episode_ring_capacity = 2;
+  EventLog log{nullptr, options};
+  for (int i = 0; i < 10; ++i) {
+    log.episode_close("s", i * 1000, 1000, static_cast<double>(i), false);
+  }
+  EXPECT_EQ(log.events_emitted(), 10u);
+  const auto recent = log.recent();
+  ASSERT_EQ(recent.size(), 4u);
+  // Oldest-first; the newest event (seq 10) is last.
+  EXPECT_NE(recent.back().find("\"seq\":10"), std::string::npos);
+  EXPECT_NE(recent.front().find("\"seq\":7"), std::string::npos);
+  // Episode ring keeps only the last 2 closes.
+  const auto episodes = log.episodes_json();
+  EXPECT_EQ(episodes.find("\"start_us\":7000"), std::string::npos);
+  EXPECT_NE(episodes.find("\"start_us\":8000"), std::string::npos);
+  EXPECT_NE(episodes.find("\"start_us\":9000"), std::string::npos);
+}
+
+TEST(EventLog, StreamNamesAreJsonEscaped) {
+  std::ostringstream out;
+  EventLog log{&out};
+  log.episode_open("we\"ird\\name\n", 0, 0);
+  EXPECT_NE(out.str().find("\"stream\":\"we\\\"ird\\\\name\\n\""),
+            std::string::npos)
+      << out.str();
+}
+
+TEST(EventLog, DoublesRoundTripThroughTheText) {
+  std::ostringstream out;
+  EventLog log{&out};
+  const double load = 0.1 + 0.2;  // classic non-representable sum
+  log.interval_sealed("s", 0, 0, load, 1e-17, "normal");
+  const std::string text = out.str();
+  const auto pos = text.find("\"load\":");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(std::strtod(text.c_str() + pos + 7, nullptr), load);
+}
+
+}  // namespace
+}  // namespace tbd::obs

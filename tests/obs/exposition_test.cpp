@@ -1,0 +1,110 @@
+#include "obs/exposition.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace tbd::obs {
+namespace {
+
+// Minimal HTTP client: one request, reads until the server closes.
+std::string http_get(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  EXPECT_GT(::send(fd, request.data(), request.size(), 0), 0);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const auto n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ExpositionServer, ServesRegisteredRoutes) {
+  ExpositionServer server;  // 127.0.0.1, OS-assigned port
+  server.handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
+  server.handle("/metrics", "text/plain; version=0.0.4",
+                [] { return std::string("tbd_up 1\n"); });
+  ASSERT_TRUE(server.start()) << server.error();
+  ASSERT_NE(server.port(), 0);
+
+  const auto health =
+      http_get(server.port(), "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("Content-Length: 3"), std::string::npos) << health;
+  EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos) << health;
+
+  // Query strings are ignored for routing (Prometheus adds none, humans do).
+  const auto metrics = http_get(
+      server.port(), "GET /metrics?debug=1 HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(metrics.find("tbd_up 1"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+
+  const auto missing =
+      http_get(server.port(), "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(missing.find("404 Not Found"), std::string::npos) << missing;
+
+  const auto post =
+      http_get(server.port(), "POST /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(post.find("405 Method Not Allowed"), std::string::npos) << post;
+
+  server.stop();
+}
+
+TEST(ExpositionServer, HandlersSeeLiveState) {
+  Registry registry;
+  ExpositionServer server;
+  server.handle("/metrics", "text/plain",
+                [&registry] { return registry.to_prometheus(); });
+  ASSERT_TRUE(server.start()) << server.error();
+
+  registry.counter("tbd_live_total", {{"stream", "server0"}}).add(3);
+  const auto scrape =
+      http_get(server.port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(scrape.find("tbd_live_total{stream=\"server0\"} 3"),
+            std::string::npos)
+      << scrape;
+  server.stop();
+}
+
+TEST(ExpositionServer, StopIsIdempotentAndRestartable) {
+  {
+    ExpositionServer server;
+    server.handle("/healthz", "text/plain", [] { return std::string("ok"); });
+    ASSERT_TRUE(server.start());
+    server.stop();
+    server.stop();
+  }
+  // A second server can bind immediately (SO_REUSEADDR, ephemeral port).
+  ExpositionServer server2;
+  server2.handle("/healthz", "text/plain", [] { return std::string("ok"); });
+  ASSERT_TRUE(server2.start());
+  server2.stop();
+}
+
+TEST(ExpositionServer, RejectsBadHost) {
+  ExpositionServer::Options options;
+  options.host = "not-an-ip";
+  ExpositionServer server{options};
+  EXPECT_FALSE(server.start());
+  EXPECT_FALSE(server.error().empty());
+}
+
+}  // namespace
+}  // namespace tbd::obs

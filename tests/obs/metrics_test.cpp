@@ -150,6 +150,120 @@ TEST(RegistryTest, ResetZeroesButKeepsReferences) {
   EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
 }
 
+// ---- labeled families -------------------------------------------------------
+
+TEST(LabelsTest, LabeledSeriesAreDistinctPerLabelSet) {
+  Registry reg;
+  Counter& a = reg.counter("tbd_x_total", {{"stream", "server0"}});
+  Counter& b = reg.counter("tbd_x_total", {{"stream", "server1"}});
+  Counter& plain = reg.counter("tbd_x_total");
+  EXPECT_NE(&a, &b);
+  EXPECT_NE(&a, &plain);
+  // Same canonical label set -> same instance, regardless of pair order.
+  Counter& a2 = reg.counter("tbd_x_total", {{"stream", "server0"}});
+  EXPECT_EQ(&a, &a2);
+  Gauge& g1 = reg.gauge("g", {{"b", "2"}, {"a", "1"}});
+  Gauge& g2 = reg.gauge("g", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(LabelsTest, PrometheusEmitsOneTypeLinePerFamily) {
+  Registry reg;
+  reg.counter("tbd_x_total", {{"stream", "server0"}}).add(1);
+  reg.counter("tbd_x_total", {{"stream", "server1"}}).add(2);
+  const std::string prom = reg.to_prometheus();
+  // Exactly one TYPE comment for the family, then one line per series.
+  EXPECT_EQ(prom.find("# TYPE tbd_x_total counter"),
+            prom.rfind("# TYPE tbd_x_total counter"));
+  EXPECT_NE(prom.find("tbd_x_total{stream=\"server0\"} 1\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("tbd_x_total{stream=\"server1\"} 2\n"),
+            std::string::npos)
+      << prom;
+}
+
+TEST(LabelsTest, LabeledHistogramSplicesLeIntoTheBlock) {
+  Registry reg;
+  auto& h = reg.histogram("lat", {{"stream", "s0"}}, {1.0});
+  h.observe(0.5);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("lat_bucket{stream=\"s0\",le=\"1\"} 1\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("lat_bucket{stream=\"s0\",le=\"+Inf\"} 1\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("lat_sum{stream=\"s0\"} 0.5\n"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("lat_count{stream=\"s0\"} 1\n"), std::string::npos)
+      << prom;
+}
+
+TEST(LabelsTest, JsonKeysCarryEscapedLabelBlocks) {
+  Registry reg;
+  reg.counter("tbd_x_total", {{"stream", "server0"}}).add(5);
+  const std::string json = reg.to_json();
+  // The rendered block's quotes are JSON-escaped inside the key.
+  EXPECT_NE(json.find("\"tbd_x_total{stream=\\\"server0\\\"}\": 5"),
+            std::string::npos)
+      << json;
+}
+
+// ---- exposition edge cases (satellite: escaping + sanitization) -------------
+
+TEST(ExpositionEscapingTest, LabelValuesEscapeBackslashQuoteNewline) {
+  EXPECT_EQ(escape_label_value(R"(a\b)"), R"(a\\b)");
+  EXPECT_EQ(escape_label_value("say \"hi\""), R"(say \"hi\")");
+  EXPECT_EQ(escape_label_value("line1\nline2"), R"(line1\nline2)");
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+}
+
+TEST(ExpositionEscapingTest, HostileLabelValueCannotBreakScrapeText) {
+  Registry reg;
+  reg.counter("tbd_x_total", {{"stream", "evil\"} 999\nfake_metric 1"}})
+      .add(1);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(
+      prom.find(
+          "tbd_x_total{stream=\"evil\\\"} 999\\nfake_metric 1\"} 1\n"),
+      std::string::npos)
+      << prom;
+  // The injected line must NOT appear unescaped at line start.
+  EXPECT_EQ(prom.find("\nfake_metric 1\n"), std::string::npos) << prom;
+}
+
+TEST(SanitizeTest, MetricNames) {
+  EXPECT_EQ(sanitize_metric_name("tbd_ok_total"), "tbd_ok_total");
+  EXPECT_EQ(sanitize_metric_name("ns:sub_total"), "ns:sub_total");
+  EXPECT_EQ(sanitize_metric_name("bad-name.with spaces"),
+            "bad_name_with_spaces");
+  EXPECT_EQ(sanitize_metric_name("9starts_with_digit"),
+            "_9starts_with_digit");
+  EXPECT_EQ(sanitize_metric_name(""), "_");
+}
+
+TEST(SanitizeTest, LabelNamesDisallowColon) {
+  EXPECT_EQ(sanitize_label_name("stream"), "stream");
+  EXPECT_EQ(sanitize_label_name("ns:label"), "ns_label");
+  EXPECT_EQ(sanitize_label_name("0digit"), "_0digit");
+  EXPECT_EQ(sanitize_label_name(""), "_");
+}
+
+TEST(SanitizeTest, RegistrySanitizesOnLookup) {
+  Registry reg;
+  reg.counter("bad name!", {{"bad label", "v"}}).add(1);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("bad_name_{bad_label=\"v\"} 1\n"), std::string::npos)
+      << prom;
+}
+
+TEST(SanitizeTest, RenderLabelsSortsAndEscapes) {
+  EXPECT_EQ(render_labels({}), "");
+  EXPECT_EQ(render_labels({{"b", "2"}, {"a", "1"}}), "{a=\"1\",b=\"2\"}");
+  EXPECT_EQ(render_labels({{"k", "a\"b"}}), "{k=\"a\\\"b\"}");
+}
+
 TEST(SnapshotQuantileTest, EmptySnapshotIsZero) {
   Histogram h{{1.0, 2.0}};
   EXPECT_DOUBLE_EQ(snapshot_quantile(h.snapshot(), 0.5), 0.0);

@@ -1,0 +1,385 @@
+// tbd_watch: live transient-bottleneck monitor over a replayed request log.
+//
+// Where tbd_analyze is the batch analyzer (load everything, sweep, report),
+// tbd_watch behaves like the production monitor ROADMAP item 1 calls for:
+// it calibrates N*/TPmax and per-class service times per server, then
+// replays the log in departure order through one core::StreamingDetector
+// per server, emitting telemetry *as intervals seal*:
+//
+//   * labeled metrics ({stream="serverN"}) in the global obs registry,
+//   * an NDJSON event log (interval_sealed / episode_open / episode_close),
+//   * a live HTTP endpoint (/metrics, /healthz, /episodes) while replaying.
+//
+// Usage:
+//   tbd_watch [options] LOG.csv [LOG2.tbdr ...]
+//
+// Options:
+//   --width MS        analysis interval in milliseconds (default 50)
+//   --lag MS          sealing lag: an interval is sealed once a departure
+//                     lands this far past its end (default 5000; must
+//                     exceed the longest request residence or stragglers
+//                     are dropped — see docs/observability.md)
+//   --calib-seconds S estimate service times from the first S seconds
+//                     (default: whole log, masked at the 20th percentile)
+//   --nstar N         classify against this congestion point instead of the
+//                     per-server estimate (TPmax stays estimated)
+//   --speed S         replay pacing: "max" (as fast as possible, default),
+//                     "trace" (wall-clock speed of the trace), or "Nx"
+//                     (e.g. "4x", "0.25x")
+//   --events-out FILE write the NDJSON event log to FILE
+//   --listen H:P      serve /metrics, /healthz, /episodes during the replay
+//                     (port 0 = OS-assigned; the bound port is printed as
+//                     "listening http://H:P/")
+//   --linger S        keep serving S seconds after the replay ends
+//   --prom-out FILE   write a final Prometheus snapshot (headless runs)
+//
+// Exit summary (stdout) reports per-stream record/drop/interval/episode
+// counts; a nonzero drop count means --lag is too small for this trace.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/streaming_detector.h"
+#include "core/streaming_telemetry.h"
+#include "obs/event_log.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "trace/log_io.h"
+
+using namespace tbd;
+
+namespace {
+
+struct Options {
+  double width_ms = 50.0;
+  double lag_ms = 5000.0;
+  double calib_seconds = 0.0;  // 0 = whole log
+  double nstar = 0.0;          // 0 = per-server estimate
+  double speed = 0.0;          // 0 = max
+  std::string speed_text = "max";
+  std::string events_out;
+  std::string listen;  // host:port, empty = no server
+  double linger_seconds = 0.0;
+  std::string prom_out;
+  std::vector<std::string> files;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: tbd_watch [--width MS] [--lag MS] [--calib-seconds S] "
+               "[--nstar N]\n"
+               "                 [--speed max|trace|Nx] [--events-out FILE]\n"
+               "                 [--listen HOST:PORT] [--linger S] "
+               "[--prom-out FILE]\n"
+               "                 LOG.csv [...]\n");
+}
+
+bool parse_speed(const std::string& text, double& speed) {
+  if (text == "max") {
+    speed = 0.0;
+    return true;
+  }
+  if (text == "trace") {
+    speed = 1.0;
+    return true;
+  }
+  if (text.size() > 1 && text.back() == 'x') {
+    char* end = nullptr;
+    speed = std::strtod(text.c_str(), &end);
+    return end == text.c_str() + text.size() - 1 && speed > 0.0;
+  }
+  return false;
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--width") {
+      const char* v = next();
+      if (!v) return false;
+      opt.width_ms = std::atof(v);
+    } else if (arg == "--lag") {
+      const char* v = next();
+      if (!v) return false;
+      opt.lag_ms = std::atof(v);
+    } else if (arg == "--calib-seconds") {
+      const char* v = next();
+      if (!v) return false;
+      opt.calib_seconds = std::atof(v);
+    } else if (arg == "--nstar") {
+      const char* v = next();
+      if (!v) return false;
+      opt.nstar = std::atof(v);
+    } else if (arg == "--speed") {
+      const char* v = next();
+      if (!v) return false;
+      opt.speed_text = v;
+      if (!parse_speed(opt.speed_text, opt.speed)) {
+        std::fprintf(stderr, "bad --speed (want max, trace, or Nx): %s\n", v);
+        return false;
+      }
+    } else if (arg == "--events-out") {
+      const char* v = next();
+      if (!v) return false;
+      opt.events_out = v;
+    } else if (arg == "--listen") {
+      const char* v = next();
+      if (!v) return false;
+      opt.listen = v;
+    } else if (arg == "--linger") {
+      const char* v = next();
+      if (!v) return false;
+      opt.linger_seconds = std::atof(v);
+    } else if (arg == "--prom-out") {
+      const char* v = next();
+      if (!v) return false;
+      opt.prom_out = v;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    } else {
+      opt.files.push_back(arg);
+    }
+  }
+  return !opt.files.empty() && opt.width_ms > 0.0 && opt.lag_ms > 0.0;
+}
+
+/// One monitored stream: a server's detector plus its telemetry binding.
+struct Stream {
+  std::string name;
+  std::unique_ptr<core::StreamingDetector> detector;
+  std::unique_ptr<core::StreamingTelemetry> telemetry;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+
+  // ---- load & merge ---------------------------------------------------------
+  std::map<trace::ServerIndex, trace::RequestLog> by_server;
+  trace::RequestLog merged;
+  TimePoint t_min = TimePoint::max();
+  TimePoint t_max;
+  for (const auto& path : opt.files) {
+    const auto loaded = trace::load_request_log(path);
+    if (!loaded.ok) {
+      std::fprintf(stderr, "error: cannot read %s: %s\n", path.c_str(),
+                   loaded.error.c_str());
+      return 1;
+    }
+    std::printf("loaded %zu records from %s (%zu lines skipped)\n",
+                loaded.records.size(), path.c_str(), loaded.skipped_lines);
+    for (const auto& r : loaded.records) {
+      by_server[r.server].push_back(r);
+      merged.push_back(r);
+      t_min = std::min(t_min, r.arrival);
+      t_max = std::max(t_max, r.departure);
+    }
+  }
+  if (merged.empty()) {
+    std::fprintf(stderr, "error: no records\n");
+    return 1;
+  }
+
+  // The replay is a passive tap: records arrive in departure order across
+  // all streams. Stable sort keeps file order for equal departures, so the
+  // event log is deterministic for a given input set.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const trace::RequestRecord& a,
+                      const trace::RequestRecord& b) {
+                     return a.departure < b.departure;
+                   });
+
+  // ---- event sink -----------------------------------------------------------
+  std::ofstream events_file;
+  if (!opt.events_out.empty()) {
+    events_file.open(opt.events_out, std::ios::trunc);
+    if (!events_file) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.events_out.c_str());
+      return 1;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", opt.width_ms);
+  const std::string width_text = buf;
+  std::snprintf(buf, sizeof buf, "%g", opt.lag_ms);
+  const std::string lag_text = buf;
+  obs::EventLog events{
+      events_file.is_open() ? &events_file : nullptr,
+      obs::EventLog::Options(),
+      {{"tool", "tbd_watch"},
+       {"width_ms", width_text},
+       {"lag_ms", lag_text},
+       {"speed", opt.speed_text}}};
+
+  // ---- calibration-then-classify -------------------------------------------
+  // Same flow as the batch tools: per-class service times from the
+  // calibration prefix, then one batch detection pass to freeze N*/TPmax
+  // (with --nstar, the estimate's congestion point is overridden but TPmax
+  // is kept — the flight recorder's carry-over convention). The streaming
+  // grid starts at the batch grid's origin, so sealed intervals line up
+  // bit-for-bit with the batch sweep.
+  auto& registry = obs::Registry::global();
+  const Duration width = Duration::from_millis_f(opt.width_ms);
+  std::vector<Stream> streams;
+  for (auto& [server, log] : by_server) {
+    trace::RequestLog calib = log;
+    if (opt.calib_seconds > 0.0) {
+      const TimePoint cutoff =
+          t_min + Duration::from_seconds_f(opt.calib_seconds);
+      calib.erase(std::remove_if(calib.begin(), calib.end(),
+                                 [&](const trace::RequestRecord& r) {
+                                   return r.departure >= cutoff;
+                                 }),
+                  calib.end());
+      if (calib.empty()) calib = log;
+    }
+    const auto table = core::estimate_service_times(calib);
+    const auto spec = core::IntervalSpec::over(t_min, t_max, width);
+    auto detection = core::detect_bottlenecks(log, spec, table);
+    if (opt.nstar > 0.0) {
+      detection.nstar.n_star = opt.nstar;
+      detection.nstar.converged = true;
+    }
+
+    Stream s;
+    s.name = "server" + std::to_string(server);
+    core::StreamingDetector::Config config;
+    config.width = width;
+    config.lag = Duration::from_millis_f(opt.lag_ms);
+    s.detector = std::make_unique<core::StreamingDetector>(
+        t_min, config, detection.nstar, table);
+    s.telemetry = std::make_unique<core::StreamingTelemetry>(
+        *s.detector, core::StreamingTelemetry::Options{s.name}, registry,
+        &events);
+    std::printf("%s: %zu records, N*=%.3f TPmax=%.3f%s\n", s.name.c_str(),
+                log.size(), detection.nstar.n_star, detection.nstar.tp_max,
+                opt.nstar > 0.0 ? " (N* overridden)" : "");
+    streams.push_back(std::move(s));
+  }
+
+  std::map<trace::ServerIndex, std::size_t> stream_index;
+  {
+    std::size_t i = 0;
+    for (const auto& [server, log] : by_server) stream_index[server] = i++;
+  }
+
+  // ---- scrape endpoint ------------------------------------------------------
+  std::unique_ptr<obs::ExpositionServer> server;
+  if (!opt.listen.empty()) {
+    const auto colon = opt.listen.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "bad --listen (want HOST:PORT): %s\n",
+                   opt.listen.c_str());
+      return 2;
+    }
+    obs::ExpositionServer::Options so;
+    so.host = opt.listen.substr(0, colon);
+    so.port = static_cast<std::uint16_t>(
+        std::atoi(opt.listen.c_str() + colon + 1));
+    server = std::make_unique<obs::ExpositionServer>(so);
+    server->handle("/metrics", "text/plain; version=0.0.4",
+                   [&registry] { return registry.to_prometheus(); });
+    server->handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
+    server->handle("/episodes", "application/json",
+                   [&events] { return events.episodes_json(); });
+    if (!server->start()) {
+      std::fprintf(stderr, "error: %s\n", server->error().c_str());
+      return 1;
+    }
+    std::printf("listening http://%s:%u/\n", so.host.c_str(),
+                static_cast<unsigned>(server->port()));
+    std::fflush(stdout);
+  }
+
+  // ---- replay ---------------------------------------------------------------
+  const auto wall_start = std::chrono::steady_clock::now();
+  constexpr std::size_t kChunk = 256;
+  for (std::size_t base = 0; base < merged.size(); base += kChunk) {
+    const std::size_t end = std::min(merged.size(), base + kChunk);
+    if (opt.speed > 0.0) {
+      // Pace on the chunk's first departure: sleep until the trace clock,
+      // scaled by --speed, catches up with the wall clock.
+      const double trace_s =
+          (merged[base].departure - t_min).seconds_f() / opt.speed;
+      const auto target =
+          wall_start + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(trace_s));
+      std::this_thread::sleep_until(target);
+    }
+    for (std::size_t i = base; i < end; ++i) {
+      Stream& s = streams[stream_index[merged[i].server]];
+      s.detector->push(merged[i]);
+      s.telemetry->add_records(1);
+    }
+    for (auto& s : streams) s.telemetry->sync();
+  }
+  for (auto& s : streams) {
+    s.detector->finish();
+    s.telemetry->sync();
+  }
+  events.flush();
+
+  // ---- exit summary ---------------------------------------------------------
+  std::size_t total_dropped = 0;
+  for (const auto& s : streams) {
+    const auto& by_state = s.detector->sealed_by_state();
+    std::printf(
+        "%s: intervals=%zu (idle=%zu normal=%zu congested=%zu frozen=%zu) "
+        "episodes=%zu dropped=%zu\n",
+        s.name.c_str(), s.detector->intervals_emitted(), by_state[0],
+        by_state[1], by_state[2], by_state[3], s.detector->episodes().size(),
+        s.detector->dropped_records());
+    total_dropped += s.detector->dropped_records();
+  }
+  std::printf("events=%llu\n",
+              static_cast<unsigned long long>(events.events_emitted()));
+  if (total_dropped > 0) {
+    std::fprintf(stderr,
+                 "warning: %zu record(s) dropped as too old — increase --lag "
+                 "beyond the longest request residence\n",
+                 total_dropped);
+  }
+  std::fflush(stdout);
+
+  if (!opt.prom_out.empty()) {
+    std::ofstream prom{opt.prom_out, std::ios::trunc};
+    prom << registry.to_prometheus();
+    if (!prom) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.prom_out.c_str());
+      return 1;
+    }
+  }
+
+  if (server && opt.linger_seconds > 0.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(opt.linger_seconds));
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  if (server) server->stop();
+  return total_dropped > 0 ? 3 : 0;
+}
