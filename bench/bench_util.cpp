@@ -180,13 +180,14 @@ void BenchSummary::finish() {
   // comparison keys on (schema_version 2 introduced the header; 3 added the
   // "ingest" stage; 4 added the "correctness" harness wall-times; 5 added
   // the columnar SoA ingest and sweep metrics; 6 added the "streaming"
-  // live-telemetry overhead stage).
+  // live-telemetry overhead stage; 7 added the streaming profiler arm —
+  // push_profiled_records_per_s / profiler_overhead_pct / profiler_samples).
   entries.erase("schema_version");
   entries.erase("git");
 
   std::ofstream out{path, std::ios::trunc};
   out << "{\n";
-  out << "  \"schema_version\": 6,\n";
+  out << "  \"schema_version\": 7,\n";
   out << "  \"git\": \"" << obs::git_describe() << "\",\n";
   for (auto it = entries.begin(); it != entries.end(); ++it) {
     out << "  \"" << it->first << "\": " << it->second;

@@ -8,11 +8,14 @@
 // that flag only compiles out span scopes, and a detector with no telemetry
 // attached touches nothing else in the obs layer.
 //
-// Three arms over the same synthetic single-server stream:
+// Four arms over the same synthetic single-server stream:
 //
 //   * bare       — StreamingDetector alone (the TBD_OBS=OFF equivalent)
 //   * metrics    — + StreamingTelemetry into a labeled Registry
 //   * events     — + the NDJSON EventLog sink on top of the metrics
+//   * profiled   — bare detector with the sampling profiler live at 97 Hz
+//                  (CPU mode), the self-observability tax; gated in-binary
+//                  at < 1% so a handler regression fails the bench
 //
 // Every arm is gated on bitwise-identical episodes and per-state seal
 // counts against the bare reference before any number is reported. Results
@@ -34,6 +37,7 @@
 #include "core/streaming_telemetry.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "trace/records.h"
 #include "util/rng.h"
 #include "util/time.h"
@@ -168,10 +172,14 @@ int main(int argc, char** argv) {
   StreamResult bare_result;
   StreamResult metrics_result;
   StreamResult events_result;
+  StreamResult profiled_result;
   std::size_t events_emitted = 0;
+  std::uint64_t profiler_samples = 0;
+  bool profiler_available = true;
   double t_bare = std::numeric_limits<double>::infinity();
   double t_metrics = t_bare;
   double t_events = t_bare;
+  double t_profiled = t_bare;
   for (int rep = 0; rep < kReps; ++rep) {
     t_bare = std::min(t_bare, best_of(1, [&] {
       core::StreamingDetector stream{t_min, config, nstar, table};
@@ -201,10 +209,28 @@ int main(int argc, char** argv) {
       events_result = harvest(stream);
       events_emitted = events.events_emitted();
     }));
+    // Profiler arm: arm/disarm sit outside the timed region — the cost
+    // being measured is the 97 Hz signal + ring-write tax on the hot loop.
+    // Under TBD_OBS=OFF start() fails and the arm degrades to re-measuring
+    // bare (the gate then passes trivially, which is also the truth).
+    {
+      auto& profiler = obs::Profiler::global();
+      if (!profiler.start(obs::ProfilerOptions())) profiler_available = false;
+      t_profiled = std::min(t_profiled, best_of(1, [&] {
+        core::StreamingDetector stream{t_min, config, nstar, table};
+        replay(stream);
+        profiled_result = harvest(stream);
+      }));
+      if (profiler.running()) {
+        profiler.stop();
+        profiler_samples += profiler.samples();
+      }
+    }
   }
 
   if (!results_equal(bare_result, metrics_result) ||
-      !results_equal(bare_result, events_result)) {
+      !results_equal(bare_result, events_result) ||
+      !results_equal(bare_result, profiled_result)) {
     std::fprintf(stderr, "error: telemetry changed the detection — not "
                          "benchmarking a correct implementation\n");
     return 1;
@@ -218,6 +244,7 @@ int main(int argc, char** argv) {
   const double nn = static_cast<double>(n);
   const double metrics_pct = (t_metrics / t_bare - 1.0) * 100.0;
   const double events_pct = (t_events / t_bare - 1.0) * 100.0;
+  const double profiled_pct = (t_profiled / t_bare - 1.0) * 100.0;
   std::printf("  bare:    %.3fs (%.2fM rec/s, %.1f ns/record)\n", t_bare,
               nn / t_bare / 1e6, t_bare / nn * 1e9);
   std::printf("  metrics: %.3fs (%.2fM rec/s)  %+.2f%%\n", t_metrics,
@@ -226,17 +253,35 @@ int main(int argc, char** argv) {
               "%zu intervals, %zu episodes)\n",
               t_events, nn / t_events / 1e6, events_pct, events_emitted,
               bare_result.intervals, bare_result.episodes.size());
+  std::printf("  profiled: %.3fs (%.2fM rec/s)  %+.2f%%  (%llu samples%s)\n",
+              t_profiled, nn / t_profiled / 1e6, profiled_pct,
+              static_cast<unsigned long long>(profiler_samples),
+              profiler_available ? "" : ", profiler unavailable");
   benchx::print_expectation("telemetry overhead on push_batch", "< 5%",
                             std::to_string(metrics_pct) + "%");
   benchx::print_expectation("telemetry + event log overhead", "< 5%",
                             std::to_string(events_pct) + "%");
+  benchx::print_expectation("profiler overhead at 97 Hz", "< 1%",
+                            std::to_string(profiled_pct) + "%");
+
+  // In-binary gate: the self-observability budget from the start. Minima
+  // over interleaved reps make this robust to one-sided scheduling noise.
+  if (profiler_available && profiled_pct >= 1.0) {
+    std::fprintf(stderr,
+                 "error: profiler overhead %.2f%% breaks the 1%% budget\n",
+                 profiled_pct);
+    return 1;
+  }
 
   summary.set("push_bare_records_per_s", nn / t_bare);
   summary.set("push_bare_ns_per_record", t_bare / nn * 1e9);
   summary.set("push_metrics_records_per_s", nn / t_metrics);
   summary.set("push_events_records_per_s", nn / t_events);
+  summary.set("push_profiled_records_per_s", nn / t_profiled);
   summary.set("telemetry_overhead_pct", metrics_pct);
   summary.set("telemetry_events_overhead_pct", events_pct);
+  summary.set("profiler_overhead_pct", profiled_pct);
+  summary.set("profiler_samples", static_cast<double>(profiler_samples));
   summary.set("intervals", static_cast<double>(bare_result.intervals));
   summary.set("episodes", static_cast<double>(bare_result.episodes.size()));
 

@@ -7,6 +7,9 @@ Usage:
     check_obs_output.py --attribution ATTRIBUTION.ndjson
     check_obs_output.py --events EVENTS.ndjson
     check_obs_output.py --scrape URL
+    check_obs_output.py --statusz URL
+    check_obs_output.py --threadz URL
+    check_obs_output.py --profile PROFILE.folded
 
 Modes compose; each named file is validated and the script exits non-zero
 with a message on the first violation.
@@ -42,6 +45,20 @@ with a message on the first violation.
   exposition — legal metric/label names, escaped label values, one TYPE
   line per family, and at least one per-stream `tbd_stream_*` series
   carrying a stream="..." label.
+
+* --statusz: fetch a live /statusz document — schema-1, tool identity,
+  git/pid/uptime, the process-stats block, the profiler block, and (when
+  the "streams" source is registered, as tbd_watch does) a per-stream
+  freshness list whose seal_lag_us is never negative.
+
+* --threadz: fetch a live /threadz document — schema-1, pool.workers has
+  exactly pool.threads entries, every worker carries the documented slot
+  fields, and the slow-task leaderboard is sorted longest-first.
+
+* --profile: a folded-stack profile written by `--profile-out` — every
+  line is "thread;frame;...;frame N" (the count split on the LAST space:
+  demangled C++ frames contain spaces), counts are positive integers, and
+  lines are sorted and unique (the fold_stacks determinism contract).
 """
 import argparse
 import bisect
@@ -389,11 +406,109 @@ def check_events(path):
     return expected_seq - 1, kinds
 
 
-def check_scrape(url):
+def fetch(url):
     if "://" not in url:
-        url = "file://" + url  # allow --prom-out files directly
+        url = "file://" + url  # allow files directly
     with urllib.request.urlopen(url, timeout=10) as resp:
-        text = resp.read().decode()
+        return resp.read().decode()
+
+
+def check_statusz(url):
+    try:
+        doc = json.loads(fetch(url))
+    except json.JSONDecodeError as err:
+        fail(f"{url}: statusz is not valid JSON: {err}")
+    if doc.get("schema_version") != 1:
+        fail(f"{url}: schema_version {doc.get('schema_version')} != 1")
+    for key in ("tool", "git", "pid", "uptime_seconds", "process", "profiler"):
+        if key not in doc:
+            fail(f"{url}: statusz missing '{key}'")
+    if not doc["tool"] or not doc["git"]:
+        fail(f"{url}: empty tool/git identity")
+    if doc["pid"] <= 0 or doc["uptime_seconds"] < 0:
+        fail(f"{url}: implausible pid/uptime: {doc['pid']}/{doc['uptime_seconds']}")
+    process = doc["process"]
+    for key in ("rss_bytes", "max_rss_bytes", "cpu_user_seconds",
+                "cpu_system_seconds", "threads", "open_fds"):
+        if key not in process:
+            fail(f"{url}: process stats missing '{key}'")
+    if process["rss_bytes"] <= 0 or process["threads"] < 1:
+        fail(f"{url}: implausible process stats: {process}")
+    profiler = doc["profiler"]
+    for key in ("running", "mode", "hz", "samples", "dropped", "duration_us"):
+        if key not in profiler:
+            fail(f"{url}: profiler block missing '{key}'")
+    streams = doc.get("streams")
+    if streams is not None:
+        if not isinstance(streams, list) or not streams:
+            fail(f"{url}: streams source present but not a non-empty list")
+        for entry in streams:
+            for key in ("stream", "records", "ingest_watermark_us",
+                        "sealed_through_us", "seal_lag_us", "open_intervals"):
+                if key not in entry:
+                    fail(f"{url}: stream entry missing '{key}': {entry}")
+            if entry["seal_lag_us"] < 0:
+                fail(f"{url}: negative seal_lag_us: {entry}")
+    return doc["tool"], len(streams) if streams else 0
+
+
+def check_threadz(url):
+    try:
+        doc = json.loads(fetch(url))
+    except json.JSONDecodeError as err:
+        fail(f"{url}: threadz is not valid JSON: {err}")
+    if doc.get("schema_version") != 1:
+        fail(f"{url}: schema_version {doc.get('schema_version')} != 1")
+    for key in ("watchdog_running", "stalls_detected", "pool", "slow_tasks"):
+        if key not in doc:
+            fail(f"{url}: threadz missing '{key}'")
+    pool = doc["pool"]
+    workers = pool.get("workers")
+    if not isinstance(workers, list) or len(workers) != pool.get("threads"):
+        fail(f"{url}: pool.workers length != pool.threads: {pool}")
+    for i, worker in enumerate(workers):
+        for key in ("slot", "name", "running", "stalled", "task_index",
+                    "task_elapsed_us", "tasks", "busy_us"):
+            if key not in worker:
+                fail(f"{url}: worker missing '{key}': {worker}")
+        if worker["slot"] != i or not worker["name"]:
+            fail(f"{url}: worker slot/name inconsistent at {i}: {worker}")
+    slow = doc["slow_tasks"]
+    for prev, cur in zip(slow, slow[1:]):
+        if prev["duration_us"] < cur["duration_us"]:
+            fail(f"{url}: slow_tasks not sorted longest-first: {slow}")
+    return pool.get("threads"), doc["stalls_detected"]
+
+
+def check_profile(path):
+    with open(path) as f:
+        lines = f.read().splitlines()
+    if not lines:
+        fail(f"{path}: empty folded profile")
+    total = 0
+    prev = None
+    for lineno, line in enumerate(lines, 1):
+        # Split on the LAST space: demangled C++ frames contain spaces
+        # ("tbd::f(int, int)"), so anything naive mis-parses the count.
+        cut = line.rfind(" ")
+        if cut <= 0:
+            fail(f"{path}:{lineno}: no count on folded line: {line!r}")
+        stack, count_text = line[:cut], line[cut + 1:]
+        if not count_text.isdigit() or int(count_text) < 1:
+            fail(f"{path}:{lineno}: bad sample count: {line!r}")
+        if ";" not in stack:
+            fail(f"{path}:{lineno}: no thread;frame separator: {line!r}")
+        if any(not part for part in stack.split(";")):
+            fail(f"{path}:{lineno}: empty frame in stack: {line!r}")
+        if prev is not None and stack <= prev:
+            fail(f"{path}:{lineno}: folded lines not sorted+unique: {line!r}")
+        prev = stack
+        total += int(count_text)
+    return len(lines), total
+
+
+def check_scrape(url):
+    text = fetch(url)
     if not text.endswith("\n"):
         fail(f"{url}: exposition does not end with a newline")
     typed = set()
@@ -462,6 +577,9 @@ def main():
     parser.add_argument(
         "--scrape", help="Prometheus exposition URL or file path"
     )
+    parser.add_argument("--statusz", help="/statusz URL or file path")
+    parser.add_argument("--threadz", help="/threadz URL or file path")
+    parser.add_argument("--profile", help="folded-stack profile file")
     parser.add_argument(
         "--require-crossing",
         action="store_true",
@@ -471,7 +589,7 @@ def main():
     if bool(args.trace) != bool(args.manifest):
         parser.error("TRACE and MANIFEST must be given together")
     if not any((args.trace, args.timeline, args.attribution, args.events,
-                args.scrape)):
+                args.scrape, args.statusz, args.threadz, args.profile)):
         parser.error("nothing to check")
 
     checked = []
@@ -496,6 +614,15 @@ def main():
         checked.append(
             f"{args.scrape} ({series} series, {stream_series} per-stream)"
         )
+    if args.statusz:
+        tool, streams = check_statusz(args.statusz)
+        checked.append(f"{args.statusz} ({tool}, {streams} streams)")
+    if args.threadz:
+        threads, stalls = check_threadz(args.threadz)
+        checked.append(f"{args.threadz} ({threads} workers, {stalls} stalls)")
+    if args.profile:
+        stacks, samples = check_profile(args.profile)
+        checked.append(f"{args.profile} ({stacks} stacks, {samples} samples)")
     print(f"check_obs_output: OK ({', '.join(checked)})")
 
 

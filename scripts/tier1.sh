@@ -61,10 +61,17 @@ else
 fi
 
 echo "== tier-1: TBD_OBS=OFF build =="
-# The observability layer must compile out cleanly: spans become no-ops and
-# nothing downstream (flight recorder included) may notice.
+# The observability layer must compile out cleanly: spans become no-ops,
+# the profiler becomes a stub, and nothing downstream (flight recorder
+# included) may notice.
 cmake -B build-obsoff -S . -DTBD_OBS=OFF >/dev/null
-cmake --build build-obsoff -j "$(nproc)" --target tbd_timeline
+cmake --build build-obsoff -j "$(nproc)" --target tbd_timeline tbd_watch \
+  tbd_analyze
+# Compile-out proof: --profile-out on an OBS=OFF binary must degrade to a
+# "compiled out" warning, not a profile and not a failure.
+./build-obsoff/tools/tbd_watch --width 50 --nstar 3 --speed max \
+  --profile-out /dev/null scripts/testdata/tiny_log.csv 2>&1 >/dev/null \
+  | grep -q "compiled out"
 
 echo "== tier-1: observability smoke =="
 obs_tmp="$(mktemp -d)"
@@ -135,8 +142,14 @@ cmp "$obs_tmp/events_t1.ndjson" "$obs_tmp/events_t4.ndjson"
 cmp "$obs_tmp/events_t1.ndjson" scripts/testdata/tiny_log_events.golden.ndjson
 python3 scripts/check_obs_output.py --events "$obs_tmp/events_t1.ndjson"
 # Live scrape: port 0 lets the kernel pick; the tool prints the bound URL.
+# Wall-mode profiling covers the replay and the linger window (the replay
+# is milliseconds; only wall mode sees the mostly-idle serving threads),
+# and the folded profile is written at natural exit — so this run is
+# waited on, never killed.
 ./build/tools/tbd_watch --width 50 --nstar 3 --speed max \
-  --listen 127.0.0.1:0 --linger 10 \
+  --listen 127.0.0.1:0 --linger 8 \
+  --profile-out "$obs_tmp/watch.folded" --profile-mode wall --profile-hz 251 \
+  --stall-ms 30000 \
   "$obs_tmp/tiny.tbdr" > "$obs_tmp/watch_live.out" 2>&1 &
 watch_pid=$!
 watch_url=""
@@ -147,7 +160,8 @@ for _ in $(seq 50); do
   sleep 0.1
 done
 [ -n "$watch_url" ] || { cat "$obs_tmp/watch_live.out" >&2; exit 1; }
-python3 scripts/check_obs_output.py --scrape "${watch_url}metrics"
+python3 scripts/check_obs_output.py --scrape "${watch_url}metrics" \
+  --statusz "${watch_url}statusz" --threadz "${watch_url}threadz"
 python3 - "$watch_url" <<'PY'
 import json, sys, urllib.request
 url = sys.argv[1]
@@ -155,10 +169,22 @@ episodes = json.load(urllib.request.urlopen(url + "episodes", timeout=10))
 assert episodes["schema_version"] == 1, episodes
 assert len(episodes["episodes"]) >= 1, episodes
 assert urllib.request.urlopen(url + "healthz", timeout=10).read() == b"ok\n"
-print(f"live scrape: OK ({len(episodes['episodes'])} episodes)")
+profilez = json.load(urllib.request.urlopen(url + "profilez", timeout=10))
+assert profilez["schema_version"] == 1, profilez
+assert profilez["running"] and profilez["mode"] == "wall", profilez
+print(f"live scrape: OK ({len(episodes['episodes'])} episodes, "
+      f"{profilez['samples']} profile samples)")
 PY
-kill "$watch_pid" 2>/dev/null || true
-wait "$watch_pid" 2>/dev/null || true
+wait "$watch_pid"  # natural exit (status 0) writes the folded profile
+python3 scripts/check_obs_output.py --profile "$obs_tmp/watch.folded"
+
+echo "== tier-1: profiler overhead gate =="
+# bench_streaming exits nonzero if the 97 Hz profiler arm costs >= 1% on
+# push_batch. Run from the temp dir so the checked-in bench_out/ summary is
+# not rewritten by a gate run.
+cmake --build build -j "$(nproc)" --target bench_streaming
+mkdir -p "$obs_tmp/bench_out"
+(cd "$obs_tmp" && "$OLDPWD/build/bench/bench_streaming" >/dev/null)
 
 echo "== tier-1: columnar equivalence =="
 # The columnar (SoA) pipeline is the default ingest-to-detector path; the

@@ -107,6 +107,23 @@ class StreamingDetector {
   /// The frozen calibration this detector classifies against.
   [[nodiscard]] const NStarResult& nstar() const { return nstar_; }
 
+  // Freshness accessors (the self-observability surface): how far the
+  // stream has been ingested and how far behind sealing is running.
+
+  /// Ingest watermark: latest departure timestamp pushed so far.
+  [[nodiscard]] TimePoint high_water() const { return high_water_; }
+  /// Everything strictly before this instant is sealed and classified —
+  /// grid start plus width x (lowest unsealed interval index). finish()
+  /// can push this past high_water() (the tail interval seals whole).
+  [[nodiscard]] TimePoint sealed_through() const {
+    return start_ + config_.width * static_cast<std::int64_t>(first_open_);
+  }
+  /// Interval cells currently buffered awaiting their seal; bounds the
+  /// detector's transient memory and, x width, its reporting latency.
+  [[nodiscard]] std::size_t open_intervals() const {
+    return open_cells_.size();
+  }
+
  private:
   struct Cell {
     double residence_us = 0.0;  // concurrency integral contribution

@@ -35,6 +35,14 @@ StreamingTelemetry::StreamingTelemetry(StreamingDetector& detector,
                            {{"stream", options_.stream}})},
       nstar_{registry.gauge("tbd_stream_nstar", {{"stream", options_.stream}})},
       tpmax_{registry.gauge("tbd_stream_tpmax", {{"stream", options_.stream}})},
+      ingest_watermark_us_{registry.gauge("tbd_stream_ingest_watermark_us",
+                                          {{"stream", options_.stream}})},
+      sealed_through_us_{registry.gauge("tbd_stream_sealed_through_us",
+                                        {{"stream", options_.stream}})},
+      seal_lag_us_{registry.gauge("tbd_stream_seal_lag_us",
+                                  {{"stream", options_.stream}})},
+      open_intervals_{registry.gauge("tbd_stream_open_intervals",
+                                     {{"stream", options_.stream}})},
       episode_duration_ms_{registry.histogram(
           "tbd_stream_episode_duration_ms", {{"stream", options_.stream}},
           kDurationBoundsMs)},
@@ -108,6 +116,51 @@ void StreamingTelemetry::sync() {
   }
   nstar_.set(detector_.nstar().n_star);
   tpmax_.set(detector_.nstar().tp_max);
+
+  // Freshness: how far ingest has reached, how far sealing trails it. Lag
+  // is clamped at 0 because finish() seals the tail interval whole, which
+  // legitimately pushes the sealed horizon past the last departure.
+  const std::int64_t watermark_us = detector_.high_water().micros();
+  const std::int64_t sealed_us = detector_.sealed_through().micros();
+  ingest_watermark_us_.set(static_cast<double>(watermark_us));
+  sealed_through_us_.set(static_cast<double>(sealed_us));
+  seal_lag_us_.set(static_cast<double>(
+      watermark_us > sealed_us ? watermark_us - sealed_us : 0));
+  open_intervals_.set(static_cast<double>(detector_.open_intervals()));
+}
+
+std::string StreamingTelemetry::status_json() const {
+  const std::int64_t watermark_us = detector_.high_water().micros();
+  const std::int64_t sealed_us = detector_.sealed_through().micros();
+  const std::int64_t lag_us =
+      watermark_us > sealed_us ? watermark_us - sealed_us : 0;
+  std::string out;
+  out.reserve(256);
+  out += "{\"stream\":\"";
+  out += obs::detail::json_escape(options_.stream);
+  out += "\",\"records\":";
+  out += std::to_string(records_total_.value());
+  out += ",\"dropped\":";
+  out += std::to_string(static_cast<std::uint64_t>(
+      detector_.dropped_records()));
+  out += ",\"intervals\":";
+  out += std::to_string(detector_.intervals_emitted());
+  out += ",\"episodes\":";
+  out += std::to_string(detector_.episodes().size());
+  out += ",\"ingest_watermark_us\":";
+  out += std::to_string(watermark_us);
+  out += ",\"sealed_through_us\":";
+  out += std::to_string(sealed_us);
+  out += ",\"seal_lag_us\":";
+  out += std::to_string(lag_us);
+  out += ",\"open_intervals\":";
+  out += std::to_string(detector_.open_intervals());
+  out += ",\"nstar\":";
+  obs::detail::append_number(out, detector_.nstar().n_star);
+  out += ",\"tpmax\":";
+  obs::detail::append_number(out, detector_.nstar().tp_max);
+  out += "}";
+  return out;
 }
 
 }  // namespace tbd::core

@@ -14,6 +14,10 @@
 //             tbd_stream_episode_opens_total / _closes_total
 //   histos    tbd_stream_episode_duration_ms
 //             tbd_stream_episode_peak_load
+//   gauges    tbd_stream_ingest_watermark_us            (freshness: latest
+//             tbd_stream_sealed_through_us               departure, sealed
+//             tbd_stream_seal_lag_us                     horizon, and the
+//             tbd_stream_open_intervals                  gap between them)
 //
 // all carrying {stream="<name>"} so one registry serves every monitored
 // stream. Metric references are resolved once at construction; the
@@ -54,8 +58,14 @@ class StreamingTelemetry {
   /// Counts records handed to push/push_batch (caller-reported).
   void add_records(std::uint64_t n);
   /// Folds the detector's dropped-record count into the registry counter
-  /// (delta since the last sync) and refreshes the calibration gauges.
+  /// (delta since the last sync) and refreshes the calibration and
+  /// freshness gauges (watermark, sealed-through, seal lag, open cells).
   void sync();
+
+  /// One JSON object for the /statusz stream table: identity, counters,
+  /// and the freshness fields as of the last sync(). seal_lag_us is
+  /// clamped at 0 (finish() seals past the watermark).
+  [[nodiscard]] std::string status_json() const;
 
  private:
   StreamingDetector& detector_;
@@ -71,6 +81,10 @@ class StreamingTelemetry {
   obs::Gauge& tput_;
   obs::Gauge& nstar_;
   obs::Gauge& tpmax_;
+  obs::Gauge& ingest_watermark_us_;
+  obs::Gauge& sealed_through_us_;
+  obs::Gauge& seal_lag_us_;
+  obs::Gauge& open_intervals_;
   obs::Histogram& episode_duration_ms_;
   obs::Histogram& episode_peak_load_;
 

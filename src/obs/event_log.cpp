@@ -1,5 +1,6 @@
 #include "obs/event_log.h"
 
+#include <chrono>
 #include <string>
 
 #include "obs/metrics.h"
@@ -17,10 +18,24 @@ std::string str(std::string_view s) {
 
 }  // namespace
 
+namespace {
+
+// Journal write+flush latency in µs: per-event flushes are page-cache
+// writes normally; the top buckets catch a blocking filesystem.
+const std::vector<double> kFlushBoundsUs = {5,   10,   25,   50,
+                                            100, 1000, 5000, 50000};
+
+}  // namespace
+
 EventLog::EventLog(
     std::ostream* out, Options options,
     const std::vector<std::pair<std::string, std::string>>& meta)
     : out_{out}, options_{options} {
+  if (options_.registry != nullptr) {
+    flush_us_ = &options_.registry->histogram("tbd_event_log_flush_us",
+                                              kFlushBoundsUs);
+    bytes_total_ = &options_.registry->counter("tbd_event_log_bytes_total");
+  }
   std::string body = "\"type\":\"meta\",\"seq\":0,\"schema_version\":" +
                      std::to_string(kEventLogSchemaVersion);
   for (const auto& [key, value] : meta) {
@@ -127,8 +142,23 @@ std::uint64_t EventLog::emit(const std::string& body,
 
 void EventLog::write_line(std::string line, const std::string* episode_obj) {
   if (out_ != nullptr) {
-    *out_ << line << '\n';
-    if (options_.flush_per_event) out_->flush();
+    if (flush_us_ != nullptr) {
+      // Self-timed write: the registry opt-in pays two clock reads per
+      // event; without it this is the historic clock-free path.
+      const auto t0 = std::chrono::steady_clock::now();
+      *out_ << line << '\n';
+      if (options_.flush_per_event) out_->flush();
+      flush_us_->observe(
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count()) /
+          1e3);
+      bytes_total_->add(line.size() + 1);
+    } else {
+      *out_ << line << '\n';
+      if (options_.flush_per_event) out_->flush();
+    }
   }
   // seq_ is still 0 while the constructor writes the meta record; the
   // recent-event ring holds events only (matching events_emitted()).

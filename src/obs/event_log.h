@@ -29,6 +29,10 @@
 
 namespace tbd::obs {
 
+class Registry;
+class Histogram;
+class Counter;
+
 /// Version stamped into the leading meta record; bump on any field change.
 inline constexpr int kEventLogSchemaVersion = 1;
 
@@ -42,6 +46,11 @@ struct EventLogOptions {
   /// Flush the stream after every event ("flush-on-seal"): a crash loses
   /// at most the event being written, and a tail -f sees seals live.
   bool flush_per_event = true;
+  /// When set, the journal reports on itself: per-event write+flush latency
+  /// lands in the tbd_event_log_flush_us histogram and bytes written in the
+  /// tbd_event_log_bytes_total counter. Null keeps the historic
+  /// clock-free write path (and the byte-identical goldens cost nothing).
+  Registry* registry = nullptr;
 };
 
 class EventLog {
@@ -94,6 +103,8 @@ class EventLog {
   mutable std::mutex mutex_;
   std::ostream* out_;
   Options options_;
+  Histogram* flush_us_ = nullptr;     // set iff options_.registry
+  Counter* bytes_total_ = nullptr;    // set iff options_.registry
   std::uint64_t seq_ = 0;
   std::deque<std::string> ring_;
   std::deque<std::string> episode_ring_;

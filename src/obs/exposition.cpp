@@ -13,20 +13,36 @@ namespace tbd::obs {
 
 namespace {
 
-// Reads until the end of the request head (\r\n\r\n) or the client stops
-// sending; bodies are never expected (GET only).
-std::string read_request_head(int fd) {
-  std::string head;
+// Caps that bound a hostile client: the whole head and the request line
+// itself. Anything larger draws 431, not a silent close.
+constexpr std::size_t kMaxHeadBytes = 16 * 1024;
+constexpr std::size_t kMaxRequestLineBytes = 8 * 1024;
+
+struct RequestHead {
+  std::string data;
+  bool complete = false;  // saw the end-of-head terminator
+  bool overflow = false;  // hit kMaxHeadBytes without a terminator
+};
+
+// Reads until the end of the request head (\r\n\r\n), the size cap, or the
+// client stops sending; bodies are never expected (GET only). Partial
+// sends are fine — the loop keeps reading until a terminator or EOF.
+RequestHead read_request_head(int fd) {
+  RequestHead head;
   char buf[2048];
-  while (head.size() < 16 * 1024) {
+  while (head.data.size() < kMaxHeadBytes) {
     pollfd pfd{fd, POLLIN, 0};
     if (::poll(&pfd, 1, 2000) <= 0) break;  // idle/hostile client: give up
     const auto n = ::recv(fd, buf, sizeof buf, 0);
     if (n <= 0) break;
-    head.append(buf, static_cast<std::size_t>(n));
-    if (head.find("\r\n\r\n") != std::string::npos) break;
-    if (head.find("\n\n") != std::string::npos) break;  // lenient: bare LF
+    head.data.append(buf, static_cast<std::size_t>(n));
+    if (head.data.find("\r\n\r\n") != std::string::npos ||
+        head.data.find("\n\n") != std::string::npos) {  // lenient: bare LF
+      head.complete = true;
+      break;
+    }
   }
+  head.overflow = !head.complete && head.data.size() >= kMaxHeadBytes;
   return head;
 }
 
@@ -126,18 +142,44 @@ void ExpositionServer::serve_loop() {
 }
 
 void ExpositionServer::serve_one(int client_fd) {
-  const std::string head = read_request_head(client_fd);
+  const RequestHead head = read_request_head(client_fd);
+  // A connection that sent nothing gets nothing back (port scanners,
+  // health probes that only test connect()). Everything else is answered.
+  if (head.data.empty()) return;
+  if (head.overflow) {
+    send_all(client_fd,
+             make_response("431 Request Header Fields Too Large",
+                           "text/plain", "request head too large\n"));
+    return;
+  }
+  const auto eol = head.data.find_first_of("\r\n");
+  const std::string line =
+      head.data.substr(0, eol == std::string::npos ? head.data.size() : eol);
+  if (line.size() > kMaxRequestLineBytes) {
+    send_all(client_fd,
+             make_response("431 Request Header Fields Too Large",
+                           "text/plain", "request line too long\n"));
+    return;
+  }
+  if (!head.complete) {
+    // Bytes arrived but the head never terminated (client hung up or went
+    // idle mid-request): tell it what went wrong instead of just closing.
+    send_all(client_fd, make_response("400 Bad Request", "text/plain",
+                                      "incomplete request\n"));
+    return;
+  }
   // Request line: METHOD SP PATH SP VERSION.
-  const auto sp1 = head.find(' ');
+  const auto sp1 = line.find(' ');
   const auto sp2 = sp1 == std::string::npos ? std::string::npos
-                                            : head.find(' ', sp1 + 1);
-  if (sp2 == std::string::npos) {
+                                            : line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
     send_all(client_fd,
              make_response("400 Bad Request", "text/plain", "bad request\n"));
     return;
   }
-  const std::string method = head.substr(0, sp1);
-  std::string path = head.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
   if (const auto q = path.find('?'); q != std::string::npos) {
     path.resize(q);  // handlers take no parameters; drop the query string
   }

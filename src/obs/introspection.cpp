@@ -1,0 +1,113 @@
+#include "obs/introspection.h"
+
+#include <unistd.h>
+
+#include "obs/exposition.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/process_stats.h"
+#include "obs/profiler.h"
+#include "util/thread_pool.h"
+
+namespace tbd::obs {
+
+namespace {
+
+std::string str(const std::string& s) {
+  return "\"" + detail::json_escape(s) + "\"";
+}
+
+std::string bool_json(bool v) { return v ? "true" : "false"; }
+
+}  // namespace
+
+Introspection::Introspection(Options options) : options_{std::move(options)} {}
+
+void Introspection::add_status_source(std::string key,
+                                      std::function<std::string()> source) {
+  sources_.emplace_back(std::move(key), std::move(source));
+}
+
+std::string Introspection::statusz_json() const {
+  const ProcessStats process = sample_process_stats();
+  auto& profiler = Profiler::global();
+
+  std::string out = "{\"schema_version\":" +
+                    std::to_string(kIntrospectionSchemaVersion) +
+                    ",\"tool\":" + str(options_.tool) +
+                    ",\"git\":" + str(git_describe()) +
+                    ",\"pid\":" + std::to_string(::getpid()) +
+                    ",\"threads\":" +
+                    std::to_string(ThreadPool::default_thread_count()) +
+                    ",\"uptime_seconds\":";
+  detail::append_number(out, process.uptime_seconds);
+  for (const auto& [key, value] : options_.info) {
+    out += "," + str(key) + ":" + str(value);
+  }
+  out += ",\"process\":{\"rss_bytes\":" + std::to_string(process.rss_bytes) +
+         ",\"max_rss_bytes\":" + std::to_string(process.max_rss_bytes) +
+         ",\"cpu_user_seconds\":";
+  detail::append_number(out, process.cpu_user_seconds);
+  out += ",\"cpu_system_seconds\":";
+  detail::append_number(out, process.cpu_system_seconds);
+  out += ",\"threads\":" + std::to_string(process.threads) +
+         ",\"open_fds\":" + std::to_string(process.open_fds) + "}";
+  out += ",\"profiler\":{\"running\":" + bool_json(profiler.running()) +
+         ",\"mode\":" + str(to_string(profiler.options().mode)) +
+         ",\"hz\":" + std::to_string(profiler.options().hz) +
+         ",\"samples\":" + std::to_string(profiler.samples()) +
+         ",\"dropped\":" + std::to_string(profiler.dropped()) +
+         ",\"duration_us\":" + std::to_string(profiler.duration_us()) + "}";
+  for (const auto& [key, source] : sources_) {
+    out += "," + str(key) + ":" + source();
+  }
+  out += "}";
+  return out;
+}
+
+std::string Introspection::threadz_json() const {
+  auto& pool = shared_pool();
+  std::string out = "{\"schema_version\":" +
+                    std::to_string(kIntrospectionSchemaVersion) +
+                    ",\"watchdog_running\":" +
+                    bool_json(pool.watchdog_running()) +
+                    ",\"stalls_detected\":" +
+                    std::to_string(pool.stalls_detected()) + ",\"pool\":{" +
+                    "\"threads\":" + std::to_string(pool.size()) +
+                    ",\"workers\":[";
+  bool first = true;
+  for (const auto& info : pool.thread_info()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"slot\":" + std::to_string(info.slot) +
+           ",\"name\":" + str(info.name) +
+           ",\"running\":" + bool_json(info.running) +
+           ",\"stalled\":" + bool_json(info.stalled) +
+           ",\"task_index\":" + std::to_string(info.task_index) +
+           ",\"task_elapsed_us\":" + std::to_string(info.task_elapsed_us) +
+           ",\"tasks\":" + std::to_string(info.tasks) +
+           ",\"busy_us\":" + std::to_string(info.busy_us) + "}";
+  }
+  out += "]},\"slow_tasks\":[";
+  first = true;
+  for (const auto& slow : pool.slow_tasks()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"duration_us\":" + std::to_string(slow.duration_us) +
+           ",\"slot\":" + std::to_string(slow.slot) +
+           ",\"task_index\":" + std::to_string(slow.task_index) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void Introspection::wire(ExpositionServer& server) {
+  server.handle("/statusz", "application/json",
+                [this] { return statusz_json(); });
+  server.handle("/threadz", "application/json",
+                [this] { return threadz_json(); });
+  server.handle("/profilez", "application/json",
+                [] { return Profiler::global().json(); });
+}
+
+}  // namespace tbd::obs

@@ -1,0 +1,66 @@
+// Introspection surface: the /statusz + /threadz + /profilez endpoints.
+//
+// /statusz — one JSON document answering "what is this process and is it
+//   healthy": tool identity, git describe, pid, uptime, process stats
+//   (RSS/CPU/fds), profiler state, plus any number of caller-registered
+//   status sources (tbd_watch registers "streams" — the per-stream
+//   freshness table from StreamingTelemetry::status_json()).
+// /threadz — the shared pool's execution slots (heartbeat state, stall
+//   flags, per-slot task counts) plus the watchdog's stall total and the
+//   slow-task leaderboard.
+// /profilez — the sampling profiler's latest JSON document (live when the
+//   profiler is running: drains the rings on request).
+//
+// The obs layer depends only on util, so this module can read ThreadPool
+// and the Profiler but knows nothing about streams — that context arrives
+// through add_status_source. Responses are rebuilt per request; these are
+// debugging endpoints, not hot paths.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tbd::obs {
+
+class ExpositionServer;
+
+/// Version stamped into /statusz and /threadz; bump on field changes.
+inline constexpr int kIntrospectionSchemaVersion = 1;
+
+class Introspection {
+ public:
+  struct Options {
+    /// Identity reported by /statusz ("tbd_watch", "tbd_serve", ...).
+    std::string tool;
+    /// Extra fixed key/value pairs for /statusz (config flags, file names).
+    std::vector<std::pair<std::string, std::string>> info;
+  };
+
+  explicit Introspection(Options options);
+
+  Introspection(const Introspection&) = delete;
+  Introspection& operator=(const Introspection&) = delete;
+
+  /// Registers a named /statusz section. `source` must return a valid JSON
+  /// value (object, array, or scalar) and is invoked on every request from
+  /// the serving thread — it must be thread-safe against the process's own
+  /// work. Registration order is emission order.
+  void add_status_source(std::string key, std::function<std::string()> source);
+
+  /// Registers /statusz, /threadz, and /profilez on `server`. Call before
+  /// server.start(); `this` must outlive the server.
+  void wire(ExpositionServer& server);
+
+  /// The /statusz document (also usable without a server, e.g. in tests).
+  [[nodiscard]] std::string statusz_json() const;
+  /// The /threadz document.
+  [[nodiscard]] std::string threadz_json() const;
+
+ private:
+  Options options_;
+  std::vector<std::pair<std::string, std::function<std::string()>>> sources_;
+};
+
+}  // namespace tbd::obs

@@ -50,6 +50,26 @@ void publish_pool_stats(Registry& registry) {
   }
 }
 
+void publish_pool_gauges(Registry& registry) {
+  const auto stats = shared_pool().stats();
+  registry.gauge("tbd_pool_jobs").set(static_cast<double>(stats.jobs));
+  registry.gauge("tbd_pool_tasks").set(static_cast<double>(stats.tasks));
+  registry.gauge("tbd_pool_tasks_inline")
+      .set(static_cast<double>(stats.tasks_inline));
+  registry.gauge("tbd_pool_busy_us").set(static_cast<double>(stats.busy_us));
+  registry.gauge("tbd_pool_queue_wait_us")
+      .set(static_cast<double>(stats.queue_wait_us));
+  registry.gauge("tbd_pool_threads").set(shared_pool().size());
+  registry.gauge("tbd_pool_stalls")
+      .set(static_cast<double>(shared_pool().stalls_detected()));
+  for (std::size_t w = 0; w < stats.worker_busy_us.size(); ++w) {
+    registry
+        .gauge("tbd_pool_worker_busy_us_live",
+               {{"worker", std::to_string(w)}})
+        .set(static_cast<double>(stats.worker_busy_us[w]));
+  }
+}
+
 std::string run_manifest_json(const RunInfo& info, const Registry& registry,
                               const Tracer& tracer) {
   std::string out = "{\n";

@@ -33,6 +33,12 @@ struct RunInfo {
 /// before exporting — the pool accumulates from process start.
 void publish_pool_stats(Registry& registry);
 
+/// Live-scrape variant of publish_pool_stats: the same pool numbers as
+/// gauges with set() semantics, safe to call on every /metrics request
+/// (the counter rollup above double-counts if called twice). Also carries
+/// the watchdog's stall count as tbd_pool_stalls.
+void publish_pool_gauges(Registry& registry);
+
 /// The manifest document. Includes `registry`'s full JSON snapshot and the
 /// rollup of `tracer`'s collected spans (empty object when tracing is off).
 [[nodiscard]] std::string run_manifest_json(const RunInfo& info,

@@ -1,0 +1,138 @@
+#include "obs/process_stats.h"
+
+#include <dirent.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace tbd::obs {
+
+namespace {
+
+double timeval_seconds(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) / 1e6;
+}
+
+/// Seconds since boot at which this process started (clock ticks in field
+/// 22 of /proc/self/stat, after the parenthesized comm which may itself
+/// contain spaces — hence the rfind(')')).
+double process_start_after_boot_seconds() {
+  std::FILE* f = std::fopen("/proc/self/stat", "r");
+  if (f == nullptr) return -1.0;
+  char buf[1024] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  if (n == 0) return -1.0;
+  const char* after_comm = std::strrchr(buf, ')');
+  if (after_comm == nullptr) return -1.0;
+  // after ')' the next token is field 3 (state); starttime is field 22.
+  long long starttime_ticks = 0;
+  int field = 2;
+  const char* p = after_comm + 1;
+  while (*p != '\0' && field < 22) {
+    while (*p == ' ') ++p;
+    if (++field == 22) {
+      starttime_ticks = std::strtoll(p, nullptr, 10);
+      break;
+    }
+    while (*p != '\0' && *p != ' ') ++p;
+  }
+  const long ticks_per_sec = ::sysconf(_SC_CLK_TCK);
+  if (field != 22 || ticks_per_sec <= 0) return -1.0;
+  return static_cast<double>(starttime_ticks) /
+         static_cast<double>(ticks_per_sec);
+}
+
+double boot_uptime_seconds() {
+  std::FILE* f = std::fopen("/proc/uptime", "r");
+  if (f == nullptr) return -1.0;
+  double up = -1.0;
+  if (std::fscanf(f, "%lf", &up) != 1) up = -1.0;
+  std::fclose(f);
+  return up;
+}
+
+std::int64_t count_open_fds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  std::int64_t n = 0;
+  while (const dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') ++n;
+  }
+  ::closedir(dir);
+  // The directory handle itself is one of the entries counted.
+  return n > 0 ? n - 1 : 0;
+}
+
+}  // namespace
+
+ProcessStats sample_process_stats() {
+  ProcessStats stats;
+
+  rusage usage{};
+  if (::getrusage(RUSAGE_SELF, &usage) == 0) {
+    stats.cpu_user_seconds = timeval_seconds(usage.ru_utime);
+    stats.cpu_system_seconds = timeval_seconds(usage.ru_stime);
+    stats.max_rss_bytes = static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+  }
+
+  // Current RSS from statm (pages), threads from status.
+  if (std::FILE* f = std::fopen("/proc/self/statm", "r")) {
+    long long size_pages = 0;
+    long long rss_pages = 0;
+    if (std::fscanf(f, "%lld %lld", &size_pages, &rss_pages) == 2) {
+      const long page = ::sysconf(_SC_PAGESIZE);
+      if (page > 0 && rss_pages > 0) {
+        stats.rss_bytes =
+            static_cast<std::uint64_t>(rss_pages) *
+            static_cast<std::uint64_t>(page);
+      }
+    }
+    std::fclose(f);
+  }
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      if (std::strncmp(line, "Threads:", 8) == 0) {
+        stats.threads = std::strtoll(line + 8, nullptr, 10);
+        break;
+      }
+    }
+    std::fclose(f);
+  }
+  stats.open_fds = count_open_fds();
+
+  const double boot_up = boot_uptime_seconds();
+  const double start_after_boot = process_start_after_boot_seconds();
+  if (boot_up >= 0.0 && start_after_boot >= 0.0 &&
+      boot_up >= start_after_boot) {
+    stats.uptime_seconds = boot_up - start_after_boot;
+  }
+  return stats;
+}
+
+void publish_process_stats(Registry& registry, const ProcessStats& stats) {
+  registry.gauge("tbd_process_rss_bytes")
+      .set(static_cast<double>(stats.rss_bytes));
+  registry.gauge("tbd_process_max_rss_bytes")
+      .set(static_cast<double>(stats.max_rss_bytes));
+  registry.gauge("tbd_process_cpu_user_seconds").set(stats.cpu_user_seconds);
+  registry.gauge("tbd_process_cpu_system_seconds")
+      .set(stats.cpu_system_seconds);
+  registry.gauge("tbd_process_uptime_seconds").set(stats.uptime_seconds);
+  registry.gauge("tbd_process_threads")
+      .set(static_cast<double>(stats.threads));
+  registry.gauge("tbd_process_open_fds")
+      .set(static_cast<double>(stats.open_fds));
+}
+
+void publish_process_stats(Registry& registry) {
+  publish_process_stats(registry, sample_process_stats());
+}
+
+}  // namespace tbd::obs

@@ -1,0 +1,34 @@
+// Process-level self-stats: the watcher measuring itself. One sample() call
+// reads getrusage + /proc (Linux; fields degrade to zero elsewhere) and one
+// publish call projects the sample onto `tbd_process_*` gauges, so a scrape
+// of a live tool also covers the tool. Gauges use set() semantics —
+// republishing every scrape is safe, unlike the once-only counter rollups
+// in obs/manifest.
+#pragma once
+
+#include <cstdint>
+
+namespace tbd::obs {
+
+class Registry;
+
+struct ProcessStats {
+  std::uint64_t rss_bytes = 0;        ///< resident set, bytes
+  double cpu_user_seconds = 0.0;      ///< getrusage ru_utime
+  double cpu_system_seconds = 0.0;    ///< getrusage ru_stime
+  double uptime_seconds = 0.0;        ///< wall time since process start
+  std::int64_t threads = 0;           ///< live threads (/proc/self/status)
+  std::int64_t open_fds = 0;          ///< open descriptors (/proc/self/fd)
+  std::uint64_t max_rss_bytes = 0;    ///< peak RSS (ru_maxrss)
+};
+
+/// Samples the current process. Cheap (a few /proc reads); fine per scrape.
+[[nodiscard]] ProcessStats sample_process_stats();
+
+/// Sets the `tbd_process_*` gauges from a sample. Call per scrape.
+void publish_process_stats(Registry& registry, const ProcessStats& stats);
+
+/// sample + publish in one step.
+void publish_process_stats(Registry& registry);
+
+}  // namespace tbd::obs

@@ -1,0 +1,640 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/metrics.h"
+
+namespace tbd::obs {
+
+namespace {
+
+// Fold-format safety: frames are joined with ';' and the count is split off
+// the last ' ', so those separators cannot appear inside a frame.
+std::string sanitize_frame(std::string name) {
+  if (name.empty()) return "?";
+  for (char& c : name) {
+    if (c == ';' || c == '\n' || c == '\r') c = ',';
+    if (c == ' ') c = ' ';  // spaces are legal; keep them
+  }
+  while (!name.empty() && name.front() == ' ') name.erase(name.begin());
+  while (!name.empty() && name.back() == ' ') name.pop_back();
+  return name.empty() ? "?" : name;
+}
+
+}  // namespace
+
+const char* to_string(ProfilerOptions::Mode mode) {
+  return mode == ProfilerOptions::Mode::kCpu ? "cpu" : "wall";
+}
+
+std::string fold_stacks(const std::vector<ProfileStack>& stacks) {
+  // Merge duplicate stacks (the same thread name can own two rings after a
+  // thread exits and a new one claims a fresh ring), then emit sorted.
+  std::map<std::string, std::uint64_t> folded;
+  for (const auto& stack : stacks) {
+    std::string line = sanitize_frame(stack.thread);
+    for (const auto& frame : stack.frames) {
+      line += ';';
+      line += sanitize_frame(frame);
+    }
+    folded[line] += stack.count;
+  }
+  std::string out;
+  for (const auto& [line, count] : folded) {
+    out += line;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tbd::obs
+
+#ifdef TBD_OBS_DISABLED
+
+namespace tbd::obs {
+
+std::string Profiler::json() {
+  return "{\"schema_version\":" + std::to_string(kProfileSchemaVersion) +
+         ",\"status\":\"disabled\",\"running\":false,\"samples\":0}";
+}
+
+}  // namespace tbd::obs
+
+#else  // TBD_OBS_DISABLED
+
+#include <cxxabi.h>
+#include <dirent.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace tbd::obs {
+
+namespace {
+
+/// Hard cap on captured stack depth; deeper stacks are truncated at the
+/// leaf end (the roots survive, which is what flamegraphs aggregate on).
+constexpr int kMaxFrames = 48;
+
+struct Sample {
+  std::uint16_t nframes = 0;
+  void* frames[kMaxFrames];
+};
+
+/// Single-producer (the sampled thread, from its signal handler) /
+/// single-consumer (the collector) bounded ring. The producer drops when
+/// full — a profiler must shed load, never block a sampled thread.
+struct Ring {
+  std::vector<Sample> slots;
+  std::atomic<std::uint64_t> head{0};  // next slot the producer writes
+  std::atomic<std::uint64_t> tail{0};  // next slot the consumer reads
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint32_t> tid{0};  // kernel tid, stored at claim
+  std::string name;                   // resolved lazily by the collector
+};
+
+std::uint32_t current_tid() {
+  return static_cast<std::uint32_t>(::syscall(SYS_gettid));
+}
+
+/// /proc comm name for a thread of this process ("tid<N>" fallback).
+std::string thread_comm(std::uint32_t tid) {
+  char path[64];
+  std::snprintf(path, sizeof path, "/proc/self/task/%u/comm", tid);
+  std::string name;
+  if (std::FILE* f = std::fopen(path, "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof buf, f) != nullptr) {
+      name = buf;
+      while (!name.empty() && (name.back() == '\n' || name.back() == '\r')) {
+        name.pop_back();
+      }
+    }
+    std::fclose(f);
+  }
+  return name.empty() ? "tid" + std::to_string(tid) : name;
+}
+
+}  // namespace
+
+struct Profiler::Impl {
+  Options options;
+  std::atomic<bool> active{false};
+
+  // Rings are pre-allocated at first start() and never freed: a straggler
+  // SIGPROF delivered after stop() finds quiesced but valid memory. A
+  // thread claims a ring with its first sample and keeps it for life.
+  std::vector<std::unique_ptr<Ring>> rings;
+  std::atomic<std::size_t> claims{0};
+  std::atomic<std::uint64_t> unassigned_drops{0};
+
+  // Collector state: per-ring aggregation of raw stacks, symbolized only
+  // on render. Guarded by agg_mutex (collector thread + readers).
+  std::mutex agg_mutex;
+  std::vector<std::map<std::vector<void*>, std::uint64_t>> agg;
+  std::vector<std::uint64_t> agg_samples;  // per ring
+  std::uint64_t total_samples = 0;
+
+  std::mutex state_mutex;  // serializes start()/stop()
+  std::thread collector;
+  std::thread wall_sampler;
+  std::mutex wake_mutex;
+  std::condition_variable wake_cv;
+  bool shutdown = false;
+
+  struct sigaction previous_action {};
+  std::chrono::steady_clock::time_point started_at{};
+  std::atomic<std::uint64_t> session_us{0};  // frozen at stop()
+  std::uint32_t collector_tid = 0;
+  std::uint32_t sampler_tid = 0;
+
+  void handle_signal();
+  void collector_loop();
+  void wall_loop();
+  void drain_locked();
+  std::uint64_t ring_dropped() const;
+};
+
+namespace {
+
+std::atomic<Profiler::Impl*> g_impl{nullptr};
+thread_local Ring* tls_ring = nullptr;
+
+}  // namespace
+
+// extern "C" with external linkage so dladdr resolves the exact name and
+// render-time frame stripping can identify (and drop) the handler frames.
+extern "C" void tbd_profiler_signal_handler(int, siginfo_t*, void*) {
+  const int saved_errno = errno;
+  if (Profiler::Impl* impl = g_impl.load(std::memory_order_acquire)) {
+    impl->handle_signal();
+  }
+  errno = saved_errno;
+}
+
+void Profiler::Impl::handle_signal() {
+  // Async-signal-safe: relaxed/acquire-release atomics, a TLS pointer, and
+  // backtrace() (warmed up in start() so libgcc is already loaded).
+  if (!active.load(std::memory_order_relaxed)) return;
+  Ring* ring = tls_ring;
+  if (ring == nullptr) {
+    const std::size_t i = claims.fetch_add(1, std::memory_order_relaxed);
+    if (i >= rings.size()) {
+      unassigned_drops.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ring = rings[i].get();
+    ring->tid.store(current_tid(), std::memory_order_relaxed);
+    tls_ring = ring;
+  }
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  if (head - ring->tail.load(std::memory_order_acquire) >=
+      ring->slots.size()) {
+    ring->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Sample& s = ring->slots[head % ring->slots.size()];
+  const int n = ::backtrace(s.frames, kMaxFrames);
+  s.nframes = n > 0 ? static_cast<std::uint16_t>(n) : 0;
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+void Profiler::Impl::drain_locked() {
+  const std::size_t claimed = std::min(
+      claims.load(std::memory_order_acquire), rings.size());
+  for (std::size_t r = 0; r < claimed; ++r) {
+    Ring& ring = *rings[r];
+    const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+    std::uint64_t tail = ring.tail.load(std::memory_order_relaxed);
+    for (; tail != head; ++tail) {
+      const Sample& s = ring.slots[tail % ring.slots.size()];
+      std::vector<void*> key(s.frames, s.frames + s.nframes);
+      ++agg[r][key];
+      ++agg_samples[r];
+      ++total_samples;
+    }
+    ring.tail.store(tail, std::memory_order_release);
+    if (ring.name.empty()) {
+      const std::uint32_t tid = ring.tid.load(std::memory_order_relaxed);
+      if (tid != 0) ring.name = thread_comm(tid);
+    }
+  }
+}
+
+void Profiler::Impl::collector_loop() {
+  collector_tid = current_tid();
+  // Keep SIGPROF off the bookkeeping threads: in CPU mode the kernel then
+  // delivers the process-directed signal to a real worker instead.
+  sigset_t block;
+  sigemptyset(&block);
+  sigaddset(&block, SIGPROF);
+  pthread_sigmask(SIG_BLOCK, &block, nullptr);
+
+  std::unique_lock lock(wake_mutex);
+  while (!shutdown) {
+    wake_cv.wait_for(lock, std::chrono::milliseconds(200));
+    const std::scoped_lock agg_lock(agg_mutex);
+    drain_locked();
+  }
+}
+
+void Profiler::Impl::wall_loop() {
+  sampler_tid = current_tid();
+  sigset_t block;
+  sigemptyset(&block);
+  sigaddset(&block, SIGPROF);
+  pthread_sigmask(SIG_BLOCK, &block, nullptr);
+
+  const auto period =
+      std::chrono::nanoseconds(1'000'000'000LL / std::max(1, options.hz));
+  const pid_t pid = ::getpid();
+  std::vector<std::uint32_t> tids;
+  auto refresh_deadline = std::chrono::steady_clock::now();
+  auto next_tick = std::chrono::steady_clock::now() + period;
+  std::unique_lock lock(wake_mutex);
+  while (!shutdown) {
+    if (wake_cv.wait_until(lock, next_tick, [this] { return shutdown; })) {
+      break;
+    }
+    next_tick += period;
+    lock.unlock();
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= refresh_deadline) {
+      // Enumerating /proc/self/task covers every thread with no
+      // registration; refreshed every 250ms, not per tick.
+      tids.clear();
+      if (DIR* dir = ::opendir("/proc/self/task")) {
+        while (const dirent* entry = ::readdir(dir)) {
+          const long tid = std::strtol(entry->d_name, nullptr, 10);
+          if (tid > 0) tids.push_back(static_cast<std::uint32_t>(tid));
+        }
+        ::closedir(dir);
+      }
+      refresh_deadline = now + std::chrono::milliseconds(250);
+    }
+    for (const std::uint32_t tid : tids) {
+      if (tid == sampler_tid || tid == collector_tid) continue;
+      ::syscall(SYS_tgkill, pid, tid, SIGPROF);
+    }
+    lock.lock();
+  }
+}
+
+std::uint64_t Profiler::Impl::ring_dropped() const {
+  std::uint64_t total = unassigned_drops.load(std::memory_order_relaxed);
+  for (const auto& ring : rings) {
+    total += ring->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Profiler& Profiler::global() {
+  static Profiler p;
+  return p;
+}
+
+bool Profiler::start(const Options& options) {
+  if (impl_ == nullptr) {
+    impl_ = new Impl();  // intentionally immortal; see class comment
+  }
+  const std::scoped_lock state(impl_->state_mutex);
+  if (impl_->active.load(std::memory_order_relaxed)) {
+    error_ = "profiler already running";
+    return false;
+  }
+  if (options.hz < 1 || options.hz > 10'000) {
+    error_ = "profiler hz out of range [1, 10000]";
+    return false;
+  }
+  impl_->options = options;
+  if (impl_->rings.empty()) {
+    // Ring geometry is a first-start decision: rings are immortal (the
+    // stale-signal guarantee) so they cannot be resized later.
+    const std::size_t threads = std::max<std::size_t>(1, options.max_threads);
+    const std::size_t capacity =
+        std::max<std::size_t>(64, options.ring_capacity);
+    for (std::size_t i = 0; i < threads; ++i) {
+      auto ring = std::make_unique<Ring>();
+      ring->slots.resize(capacity);
+      impl_->rings.push_back(std::move(ring));
+    }
+  }
+  {
+    const std::scoped_lock agg_lock(impl_->agg_mutex);
+    impl_->agg.assign(impl_->rings.size(), {});
+    impl_->agg_samples.assign(impl_->rings.size(), 0);
+    impl_->total_samples = 0;
+    impl_->unassigned_drops.store(0, std::memory_order_relaxed);
+    for (auto& ring : impl_->rings) {
+      // Drop any stale pre-start backlog rather than attributing it to the
+      // new session.
+      ring->tail.store(ring->head.load(std::memory_order_acquire),
+                       std::memory_order_release);
+      ring->dropped.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // Warm up the unwinder on this (non-signal) thread: glibc's backtrace
+  // dlopens libgcc on first use, which must never happen inside a handler.
+  void* warmup[4];
+  ::backtrace(warmup, 4);
+
+  struct sigaction action {};
+  action.sa_sigaction = tbd_profiler_signal_handler;
+  action.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&action.sa_mask);
+  if (::sigaction(SIGPROF, &action, &impl_->previous_action) != 0) {
+    error_ = std::string("sigaction(SIGPROF): ") + std::strerror(errno);
+    return false;
+  }
+
+  impl_->shutdown = false;
+  impl_->started_at = std::chrono::steady_clock::now();
+  impl_->session_us.store(0, std::memory_order_relaxed);
+  g_impl.store(impl_, std::memory_order_release);
+  impl_->active.store(true, std::memory_order_release);
+  impl_->collector = std::thread([this] { impl_->collector_loop(); });
+
+  if (options.mode == Options::Mode::kWall) {
+    impl_->wall_sampler = std::thread([this] { impl_->wall_loop(); });
+  } else {
+    itimerval timer{};
+    timer.it_interval.tv_sec = 0;
+    timer.it_interval.tv_usec =
+        static_cast<suseconds_t>(std::max(1L, 1'000'000L / options.hz));
+    timer.it_value = timer.it_interval;
+    if (::setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+      error_ = std::string("setitimer(ITIMER_PROF): ") + std::strerror(errno);
+      impl_->active.store(false, std::memory_order_release);
+      {
+        const std::scoped_lock wake(impl_->wake_mutex);
+        impl_->shutdown = true;
+      }
+      impl_->wake_cv.notify_all();
+      impl_->collector.join();
+      ::sigaction(SIGPROF, &impl_->previous_action, nullptr);
+      return false;
+    }
+  }
+  error_.clear();
+  return true;
+}
+
+void Profiler::stop() {
+  if (impl_ == nullptr) return;
+  const std::scoped_lock state(impl_->state_mutex);
+  if (!impl_->active.load(std::memory_order_relaxed)) return;
+
+  impl_->session_us.store(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - impl_->started_at)
+              .count()),
+      std::memory_order_relaxed);
+  impl_->active.store(false, std::memory_order_release);
+  if (impl_->options.mode == Options::Mode::kCpu) {
+    itimerval off{};
+    ::setitimer(ITIMER_PROF, &off, nullptr);
+  }
+  {
+    const std::scoped_lock wake(impl_->wake_mutex);
+    impl_->shutdown = true;
+  }
+  impl_->wake_cv.notify_all();
+  if (impl_->wall_sampler.joinable()) impl_->wall_sampler.join();
+  if (impl_->collector.joinable()) impl_->collector.join();
+  ::sigaction(SIGPROF, &impl_->previous_action, nullptr);
+  // An in-flight handler that passed the active check before the store is
+  // finishing against immortal rings; give it a beat before the final
+  // drain so its sample lands in this session's aggregate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const std::scoped_lock agg_lock(impl_->agg_mutex);
+  impl_->drain_locked();
+}
+
+bool Profiler::running() const {
+  return impl_ != nullptr && impl_->active.load(std::memory_order_relaxed);
+}
+
+Profiler::Options Profiler::options() const {
+  return impl_ != nullptr ? impl_->options : Options();
+}
+
+std::uint64_t Profiler::samples() {
+  if (impl_ == nullptr) return 0;
+  const std::scoped_lock agg_lock(impl_->agg_mutex);
+  impl_->drain_locked();
+  return impl_->total_samples;
+}
+
+std::uint64_t Profiler::dropped() {
+  if (impl_ == nullptr) return 0;
+  const std::scoped_lock agg_lock(impl_->agg_mutex);
+  return impl_->ring_dropped();
+}
+
+std::uint64_t Profiler::duration_us() const {
+  if (impl_ == nullptr) return 0;
+  if (impl_->active.load(std::memory_order_relaxed)) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - impl_->started_at)
+            .count());
+  }
+  return impl_->session_us.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+/// dladdr + demangle, cached per PC. The handler frames and the signal
+/// trampoline are identified by name and stripped by the caller.
+class SymbolCache {
+ public:
+  const std::string& resolve(void* pc) {
+    auto it = cache_.find(pc);
+    if (it != cache_.end()) return it->second;
+    std::string name;
+    Dl_info info{};
+    if (::dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+      int status = 0;
+      char* demangled =
+          abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+      name = status == 0 && demangled != nullptr ? demangled : info.dli_sname;
+      std::free(demangled);
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "0x%zx",
+                    reinterpret_cast<std::size_t>(pc));
+      name = buf;
+    }
+    return cache_.emplace(pc, std::move(name)).first->second;
+  }
+
+ private:
+  std::map<void*, std::string> cache_;
+};
+
+bool is_unresolved(const std::string& name) {
+  return name.size() > 2 && name[0] == '0' && name[1] == 'x';
+}
+
+bool is_profiler_frame(const std::string& name) {
+  return name == "tbd_profiler_signal_handler" || name == "__restore_rt" ||
+         name.find("profiler_signal") != std::string::npos ||
+         name.find("Profiler::Impl::handle_signal") != std::string::npos;
+}
+
+}  // namespace
+
+std::vector<ProfileStack> Profiler::collect() {
+  if (impl_ == nullptr) return {};
+  const std::scoped_lock agg_lock(impl_->agg_mutex);
+  impl_->drain_locked();
+  SymbolCache symbols;
+  std::vector<ProfileStack> out;
+  for (std::size_t r = 0; r < impl_->agg.size(); ++r) {
+    if (impl_->agg[r].empty()) continue;
+    const std::string thread =
+        impl_->rings[r]->name.empty()
+            ? "tid" +
+                  std::to_string(
+                      impl_->rings[r]->tid.load(std::memory_order_relaxed))
+            : impl_->rings[r]->name;
+    for (const auto& [raw, count] : impl_->agg[r]) {
+      ProfileStack stack;
+      stack.thread = thread;
+      stack.count = count;
+      // Raw frames are leaf-first and start inside the signal machinery;
+      // strip those, then reverse so the fold reads root -> leaf.
+      std::size_t begin = 0;
+      // Sanitizer builds interpose on backtrace(), leaving unsymbolized
+      // interceptor frames leafward of the handler. Skip a leading
+      // unresolved run only when a profiler frame follows it, so a bare
+      // hex leaf of a real stack is never eaten.
+      std::size_t probe = 0;
+      while (probe < raw.size() &&
+             is_unresolved(symbols.resolve(raw[probe]))) {
+        ++probe;
+      }
+      if (probe < raw.size() &&
+          is_profiler_frame(symbols.resolve(raw[probe]))) {
+        begin = probe;
+      }
+      while (begin < raw.size() &&
+             is_profiler_frame(symbols.resolve(raw[begin]))) {
+        ++begin;
+      }
+      // The sigreturn trampoline follows the handler frames and often has
+      // no dynamic symbol; drop it too when we stripped handler frames.
+      if (begin > 0 && begin < raw.size() &&
+          is_unresolved(symbols.resolve(raw[begin]))) {
+        ++begin;
+      }
+      for (std::size_t i = raw.size(); i > begin; --i) {
+        stack.frames.push_back(symbols.resolve(raw[i - 1]));
+      }
+      if (stack.frames.empty()) stack.frames.push_back("?");
+      out.push_back(std::move(stack));
+    }
+  }
+  return out;
+}
+
+std::vector<ProfileThreadCount> Profiler::thread_samples() {
+  if (impl_ == nullptr) return {};
+  const std::scoped_lock agg_lock(impl_->agg_mutex);
+  impl_->drain_locked();
+  std::map<std::string, std::uint64_t> by_thread;
+  for (std::size_t r = 0; r < impl_->agg_samples.size(); ++r) {
+    if (impl_->agg_samples[r] == 0) continue;
+    const std::string thread =
+        impl_->rings[r]->name.empty()
+            ? "tid" +
+                  std::to_string(
+                      impl_->rings[r]->tid.load(std::memory_order_relaxed))
+            : impl_->rings[r]->name;
+    by_thread[thread] += impl_->agg_samples[r];
+  }
+  std::vector<ProfileThreadCount> out;
+  for (const auto& [thread, count] : by_thread) out.push_back({thread, count});
+  return out;
+}
+
+std::string Profiler::folded() { return fold_stacks(collect()); }
+
+std::string Profiler::json() {
+  const bool was_running = running();
+  const auto stacks = collect();
+  const auto threads = thread_samples();
+  std::uint64_t total = 0;
+  for (const auto& t : threads) total += t.samples;
+
+  std::string out = "{\"schema_version\":" +
+                    std::to_string(kProfileSchemaVersion) + ",\"mode\":\"" +
+                    to_string(options().mode) +
+                    "\",\"hz\":" + std::to_string(options().hz) +
+                    ",\"running\":" + (was_running ? "true" : "false") +
+                    ",\"duration_us\":" + std::to_string(duration_us()) +
+                    ",\"samples\":" + std::to_string(total) +
+                    ",\"dropped\":" + std::to_string(dropped()) +
+                    ",\"threads\":[";
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    if (i) out += ',';
+    out += "{\"thread\":\"" + detail::json_escape(threads[i].thread) +
+           "\",\"samples\":" + std::to_string(threads[i].samples) + "}";
+  }
+  out += "],\"stacks\":[";
+  // Render from the folded form so JSON and folded output agree on merge
+  // order and the document is deterministic for a given aggregate.
+  const std::string folded_text = fold_stacks(stacks);
+  bool first = true;
+  std::size_t at = 0;
+  while (at < folded_text.size()) {
+    const std::size_t eol = folded_text.find('\n', at);
+    const std::string line = folded_text.substr(at, eol - at);
+    at = eol + 1;
+    const std::size_t count_sep = line.rfind(' ');
+    if (count_sep == std::string::npos) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"stack\":[";
+    std::size_t frame_at = 0;
+    bool first_frame = true;
+    while (frame_at <= count_sep) {
+      std::size_t frame_end = line.find(';', frame_at);
+      if (frame_end == std::string::npos || frame_end > count_sep) {
+        frame_end = count_sep;
+      }
+      if (!first_frame) out += ',';
+      first_frame = false;
+      out += '"' +
+             detail::json_escape(line.substr(frame_at, frame_end - frame_at)) +
+             '"';
+      frame_at = frame_end + 1;
+    }
+    out += "],\"count\":" + line.substr(count_sep + 1) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace tbd::obs
+
+#endif  // TBD_OBS_DISABLED

@@ -1,0 +1,166 @@
+// In-process sampling profiler: the pipeline watching its own hot paths.
+//
+// A timer (CPU mode: ITIMER_PROF, so samples land on whichever thread is
+// burning cycles) or a dedicated sampler thread (wall mode: every thread in
+// /proc/self/task gets a signal each tick, so blocked threads are sampled
+// too) delivers SIGPROF; the async-signal-safe handler captures a raw
+// backtrace into the receiving thread's lock-free SPSC sample ring. A
+// low-frequency collector thread drains the rings into a per-stack
+// aggregate, so memory stays O(unique stacks) however long the profile
+// runs. Symbolization (dladdr + demangle) happens only at render time —
+// never on the sampled thread.
+//
+// Output is flamegraph-ready folded stacks ("thread;frame;...;leaf count",
+// one line per unique stack, sorted) and a schema-versioned JSON document
+// (the /profilez endpoint). At the default 97 Hz (prime, so sampling never
+// locks step with periodic work) the cost on a saturated analysis thread is
+// well under 1% — gated by bench_streaming's profiler arm.
+//
+// Threading contract: start()/stop()/collect()/folded()/json() may be
+// called from any thread, serialized internally; the handler itself never
+// takes a lock. Rings are claimed lazily by the first sample a thread
+// receives and are never freed while the process lives, so a straggler
+// signal after stop() can never touch freed memory.
+//
+// Under -DTBD_OBS=OFF the whole subsystem compiles out: Profiler becomes an
+// inline stub whose start() fails with "compiled out", and no signal
+// handler, timer, or thread ever exists.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tbd::obs {
+
+/// Version stamped into the JSON profile document; bump on field changes.
+inline constexpr int kProfileSchemaVersion = 1;
+
+struct ProfilerOptions {
+  enum class Mode {
+    kCpu,   ///< ITIMER_PROF: samples threads in proportion to CPU burned.
+    kWall,  ///< sampler thread signals every live thread each tick.
+  };
+  Mode mode = Mode::kCpu;
+  /// Sampling frequency. Prime by default so the sampler never phase-locks
+  /// with 10ms/50ms periodic work.
+  int hz = 97;
+  /// Per-thread sample rings pre-allocated at first start(); threads beyond
+  /// this count have their samples dropped (and counted).
+  std::size_t max_threads = 32;
+  /// Samples buffered per ring between collector drains (the collector
+  /// wakes several times a second; 512 covers seconds of backlog at 97 Hz).
+  std::size_t ring_capacity = 512;
+};
+
+[[nodiscard]] const char* to_string(ProfilerOptions::Mode mode);
+
+/// One unique call stack with its sample count. Frames are symbolized,
+/// root-first, and never contain ';' or a leading/trailing space (fold
+/// format safety); the thread name is carried separately.
+struct ProfileStack {
+  std::string thread;
+  std::vector<std::string> frames;
+  std::uint64_t count = 0;
+};
+
+/// Per-thread sample totals (cheap: no symbolization).
+struct ProfileThreadCount {
+  std::string thread;
+  std::uint64_t samples = 0;
+};
+
+/// Folds stacks into collapsed flamegraph lines: "thread;root;...;leaf N",
+/// merged across duplicate stacks, sorted lexicographically. Pure — the
+/// deterministic-structure contract is golden-tested on synthetic input.
+[[nodiscard]] std::string fold_stacks(const std::vector<ProfileStack>& stacks);
+
+#ifdef TBD_OBS_DISABLED
+
+/// Stub: API-compatible, never starts, so tools carry --profile-out
+/// unconditionally and a TBD_OBS=OFF build degrades to a warning.
+class Profiler {
+ public:
+  using Options = ProfilerOptions;
+
+  [[nodiscard]] static Profiler& global() {
+    static Profiler p;
+    return p;
+  }
+  bool start(const Options& = Options()) { return false; }
+  void stop() {}
+  [[nodiscard]] bool running() const { return false; }
+  [[nodiscard]] const std::string& error() const {
+    static const std::string e = "profiler compiled out (TBD_OBS=OFF)";
+    return e;
+  }
+  [[nodiscard]] Options options() const { return Options(); }
+  [[nodiscard]] std::uint64_t samples() { return 0; }
+  [[nodiscard]] std::uint64_t dropped() { return 0; }
+  [[nodiscard]] std::uint64_t duration_us() const { return 0; }
+  [[nodiscard]] std::vector<ProfileStack> collect() { return {}; }
+  [[nodiscard]] std::vector<ProfileThreadCount> thread_samples() { return {}; }
+  [[nodiscard]] std::string folded() { return std::string(); }
+  [[nodiscard]] std::string json();
+};
+
+#else
+
+class Profiler {
+ public:
+  using Options = ProfilerOptions;
+
+  /// Process-wide instance: SIGPROF has one handler per process, so there
+  /// is exactly one profiler.
+  [[nodiscard]] static Profiler& global();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Arms the timer/sampler and begins collecting. Returns false (and sets
+  /// error()) if already running or the timer can't be armed. Ring
+  /// geometry (max_threads, ring_capacity) is fixed by the first start()
+  /// of the process; later starts reuse the same rings.
+  [[nodiscard]] bool start(const Options& options = Options());
+  /// Disarms, drains every ring, and joins the helper threads. Aggregated
+  /// samples are kept for collect()/folded()/json() until the next start().
+  void stop();
+
+  [[nodiscard]] bool running() const;
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] Options options() const;
+
+  /// Aggregated sample count so far (drains the rings first; callable
+  /// while running — the /profilez endpoint does).
+  [[nodiscard]] std::uint64_t samples();
+  /// Samples lost to ring overflow or to more than max_threads threads.
+  [[nodiscard]] std::uint64_t dropped();
+  /// Wall time spent profiling: up to now while running, else the length
+  /// of the last session.
+  [[nodiscard]] std::uint64_t duration_us() const;
+
+  /// Symbolized unique stacks, aggregated since the last start().
+  [[nodiscard]] std::vector<ProfileStack> collect();
+  /// Per-thread totals without symbolization (the /threadz table).
+  [[nodiscard]] std::vector<ProfileThreadCount> thread_samples();
+  /// fold_stacks(collect()).
+  [[nodiscard]] std::string folded();
+  /// JSON profile document (schema kProfileSchemaVersion): meta + per-thread
+  /// totals + symbolized stacks. Serves /profilez.
+  [[nodiscard]] std::string json();
+
+  /// Internal state, public only so the extern "C" signal entry point can
+  /// reach it; not part of the supported API.
+  struct Impl;
+
+ private:
+  Profiler() = default;
+
+  Impl* impl_ = nullptr;  // allocated at first start(), never freed
+  std::string error_;
+};
+
+#endif  // TBD_OBS_DISABLED
+
+}  // namespace tbd::obs

@@ -1,8 +1,13 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <string>
+
+#ifdef __linux__
+#include <pthread.h>
+#endif
 
 namespace tbd {
 
@@ -37,19 +42,35 @@ ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) threads = default_thread_count();
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   stats_.worker_busy_us.assign(static_cast<std::size_t>(threads), 0);
+  heartbeats_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    heartbeats_.push_back(std::make_unique<Heartbeat>());
+  }
   for (int t = 1; t < threads; ++t) {
     workers_.emplace_back(
         [this, t] { worker_loop(static_cast<std::size_t>(t)); });
+#ifdef __linux__
+    const std::string name = "tbd-pool-" + std::to_string(t);
+    pthread_setname_np(workers_.back().native_handle(), name.c_str());
+#endif
   }
 }
 
 ThreadPool::~ThreadPool() {
+  stop_watchdog();
   {
     const std::scoped_lock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+std::uint64_t ThreadPool::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
 }
 
 void ThreadPool::run_job_share(Job& job, std::unique_lock<std::mutex>& lock,
@@ -60,6 +81,19 @@ void ThreadPool::run_job_share(Job& job, std::unique_lock<std::mutex>& lock,
     const std::size_t i = job.next++;
     lock.unlock();
     const auto t0 = std::chrono::steady_clock::now();
+    const bool watched = watchdog_on_.load(std::memory_order_relaxed);
+    if (watched) {
+      // Reuses the t0 read the pool already pays for; +1 keeps a task that
+      // starts exactly at the epoch distinguishable from "idle".
+      Heartbeat& hb = *heartbeats_[slot];
+      hb.task_index.store(i, std::memory_order_relaxed);
+      hb.task_start_us.store(
+          1 + static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      t0 - epoch_)
+                      .count()),
+          std::memory_order_release);
+    }
     std::exception_ptr err;
     try {
       (*job.fn)(i);
@@ -67,10 +101,16 @@ void ThreadPool::run_job_share(Job& job, std::unique_lock<std::mutex>& lock,
       err = std::current_exception();
     }
     const std::uint64_t busy = elapsed_us(t0);
+    if (watched) {
+      Heartbeat& hb = *heartbeats_[slot];
+      hb.task_start_us.store(0, std::memory_order_release);
+      hb.tasks_done.fetch_add(1, std::memory_order_relaxed);
+    }
     lock.lock();
     ++stats_.tasks;
     stats_.busy_us += busy;
     stats_.worker_busy_us[slot] += busy;
+    if (watched) record_slow_task_locked(busy, slot, i);
     if (err && !job.error) job.error = err;
     if (++job.done == job.n) done_cv_.notify_all();
   }
@@ -92,9 +132,40 @@ void ThreadPool::parallel_for_indexed(
     std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1 || tls_active_pool == this) {
-    // Serial fast path: counted but not timed, so TBD_THREADS=1 stays
-    // byte-for-byte the historic serial execution with no clock reads.
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    if (!watchdog_on_.load(std::memory_order_relaxed)) {
+      // Serial fast path: counted but not timed, so TBD_THREADS=1 stays
+      // byte-for-byte the historic serial execution with no clock reads.
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      const std::scoped_lock lock(mutex_);
+      stats_.tasks_inline += n;
+      return;
+    }
+    // Watched serial path: same heartbeat protocol as the workers, stamped
+    // on the caller slot (0) so a hung inline task is just as visible.
+    Heartbeat& hb = *heartbeats_[0];
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      hb.task_index.store(i, std::memory_order_relaxed);
+      hb.task_start_us.store(
+          1 + static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      t0 - epoch_)
+                      .count()),
+          std::memory_order_release);
+      try {
+        fn(i);
+      } catch (...) {
+        hb.task_start_us.store(0, std::memory_order_release);
+        const std::scoped_lock lock(mutex_);
+        stats_.tasks_inline += i + 1;
+        throw;
+      }
+      const std::uint64_t busy = elapsed_us(t0);
+      hb.task_start_us.store(0, std::memory_order_release);
+      hb.tasks_done.fetch_add(1, std::memory_order_relaxed);
+      const std::scoped_lock lock(mutex_);
+      record_slow_task_locked(busy, 0, i);
+    }
     const std::scoped_lock lock(mutex_);
     stats_.tasks_inline += n;
     return;
@@ -123,6 +194,144 @@ void ThreadPool::parallel_for_indexed(
 ThreadPool::Stats ThreadPool::stats() const {
   const std::scoped_lock lock(mutex_);
   return stats_;
+}
+
+void ThreadPool::record_slow_task_locked(std::uint64_t duration_us,
+                                         std::size_t slot,
+                                         std::size_t task_index) {
+  constexpr std::size_t kTopK = 8;
+  if (slow_tasks_.size() >= kTopK &&
+      duration_us <= slow_tasks_.back().duration_us) {
+    return;
+  }
+  const SlowTask entry{duration_us, slot, task_index};
+  const auto at = std::upper_bound(
+      slow_tasks_.begin(), slow_tasks_.end(), entry,
+      [](const SlowTask& a, const SlowTask& b) {
+        return a.duration_us > b.duration_us;
+      });
+  slow_tasks_.insert(at, entry);
+  if (slow_tasks_.size() > kTopK) slow_tasks_.pop_back();
+}
+
+void ThreadPool::start_watchdog(WatchdogOptions options) {
+  stop_watchdog();  // re-arming replaces the options and restarts cleanly
+  {
+    const std::scoped_lock lock(wd_mutex_);
+    watchdog_options_ = std::move(options);
+    if (watchdog_options_.deadline_us == 0) {
+      watchdog_options_.deadline_us = 1;
+    }
+    wd_stop_ = false;
+  }
+  watchdog_on_.store(true, std::memory_order_release);
+  watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+#ifdef __linux__
+  pthread_setname_np(watchdog_thread_.native_handle(), "tbd-watchdog");
+#endif
+}
+
+void ThreadPool::stop_watchdog() {
+  if (!watchdog_thread_.joinable()) return;
+  {
+    const std::scoped_lock lock(wd_mutex_);
+    wd_stop_ = true;
+  }
+  wd_cv_.notify_all();
+  watchdog_thread_.join();
+  watchdog_on_.store(false, std::memory_order_release);
+}
+
+bool ThreadPool::watchdog_running() const {
+  return watchdog_on_.load(std::memory_order_acquire);
+}
+
+std::uint64_t ThreadPool::stalls_detected() const {
+  return stalls_detected_.load(std::memory_order_relaxed);
+}
+
+void ThreadPool::watchdog_loop() {
+  std::uint64_t deadline_us = 0;
+  {
+    const std::scoped_lock lock(wd_mutex_);
+    deadline_us = watchdog_options_.deadline_us;
+  }
+  // Poll at deadline/4 so a stall is reported within one deadline period of
+  // becoming reportable (clamped to keep very short test deadlines honest
+  // and very long production deadlines from polling too rarely).
+  const auto poll = std::chrono::microseconds(
+      std::min<std::uint64_t>(1'000'000,
+                              std::max<std::uint64_t>(1'000, deadline_us / 4)));
+  // One latch per slot, keyed on the stalled task's start stamp: each
+  // stalled task fires once, and a fresh task on the same slot re-arms.
+  std::vector<std::uint64_t> latched(heartbeats_.size(), 0);
+  std::unique_lock lock(wd_mutex_);
+  while (!wd_stop_) {
+    if (wd_cv_.wait_for(lock, poll, [this] { return wd_stop_; })) break;
+    const std::uint64_t now = now_us();
+    for (std::size_t slot = 0; slot < heartbeats_.size(); ++slot) {
+      const std::uint64_t start =
+          heartbeats_[slot]->task_start_us.load(std::memory_order_acquire);
+      if (start == 0 || latched[slot] == start) continue;
+      const std::uint64_t elapsed = now > (start - 1) ? now - (start - 1) : 0;
+      if (elapsed < deadline_us) continue;
+      latched[slot] = start;
+      stalls_detected_.fetch_add(1, std::memory_order_relaxed);
+      if (watchdog_options_.on_stall) {
+        StallInfo info;
+        info.slot = slot;
+        info.thread_name =
+            slot == 0 ? "caller" : "tbd-pool-" + std::to_string(slot);
+        info.task_index =
+            heartbeats_[slot]->task_index.load(std::memory_order_relaxed);
+        info.elapsed_us = elapsed;
+        info.deadline_us = deadline_us;
+        // The callback may log or start a profile burst; keep the lock so
+        // stop_watchdog() can't tear options down underneath it, but the
+        // callback must not call back into this pool.
+        watchdog_options_.on_stall(info);
+      }
+    }
+  }
+}
+
+std::vector<ThreadPool::ThreadInfo> ThreadPool::thread_info() const {
+  std::uint64_t deadline_us = 0;
+  {
+    const std::scoped_lock lock(wd_mutex_);
+    deadline_us = watchdog_options_.deadline_us;
+  }
+  const std::uint64_t now = now_us();
+  std::vector<ThreadInfo> out;
+  out.reserve(heartbeats_.size());
+  std::vector<std::uint64_t> busy;
+  {
+    const std::scoped_lock lock(mutex_);
+    busy = stats_.worker_busy_us;
+  }
+  for (std::size_t slot = 0; slot < heartbeats_.size(); ++slot) {
+    const Heartbeat& hb = *heartbeats_[slot];
+    ThreadInfo info;
+    info.slot = slot;
+    info.name = slot == 0 ? "caller" : "tbd-pool-" + std::to_string(slot);
+    const std::uint64_t start =
+        hb.task_start_us.load(std::memory_order_acquire);
+    info.running = start != 0;
+    if (info.running) {
+      info.task_elapsed_us = now > (start - 1) ? now - (start - 1) : 0;
+      info.task_index = hb.task_index.load(std::memory_order_relaxed);
+      info.stalled = deadline_us > 0 && info.task_elapsed_us >= deadline_us;
+    }
+    info.tasks = hb.tasks_done.load(std::memory_order_relaxed);
+    info.busy_us = slot < busy.size() ? busy[slot] : 0;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::vector<ThreadPool::SlowTask> ThreadPool::slow_tasks() const {
+  const std::scoped_lock lock(mutex_);
+  return slow_tasks_;
 }
 
 ThreadPool& shared_pool() {

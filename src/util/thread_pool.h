@@ -13,12 +13,16 @@
 // the pre-pool serial path, with no worker threads started at all.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -64,6 +68,67 @@ class ThreadPool {
   };
   [[nodiscard]] Stats stats() const;
 
+  // --- Watchdog: liveness monitoring for the execution slots. -------------
+  //
+  // When armed, every task start/finish stamps a per-slot heartbeat (two
+  // relaxed atomic stores next to the clock reads the pool already does),
+  // and a monitor thread wakes at deadline/4 to flag any slot whose current
+  // task has run past the deadline. Each stalled task fires on_stall exactly
+  // once (latched on the task's start stamp, so a *new* stalled task on the
+  // same slot fires again). When the watchdog is off the pool runs the
+  // historic code paths untouched — the serial inline path in particular
+  // stays clock-free.
+
+  /// A slot whose current task exceeded the deadline. Passed to on_stall
+  /// from the monitor thread; the callback must not re-enter the pool.
+  struct StallInfo {
+    std::size_t slot = 0;        ///< 0 = participating caller, 1.. = workers
+    std::string thread_name;     ///< "caller" or "tbd-pool-<slot>"
+    std::size_t task_index = 0;  ///< fn(i) index the slot is stuck in
+    std::uint64_t elapsed_us = 0;
+    std::uint64_t deadline_us = 0;
+  };
+
+  struct WatchdogOptions {
+    /// A task running longer than this is reported as stalled.
+    std::uint64_t deadline_us = 30'000'000;
+    /// Invoked once per stalled task from the monitor thread (never under
+    /// the pool lock). Typical action: log + bump a metric + profile burst.
+    std::function<void(const StallInfo&)> on_stall;
+  };
+
+  /// Point-in-time view of one execution slot (the /threadz table).
+  struct ThreadInfo {
+    std::size_t slot = 0;
+    std::string name;
+    bool running = false;             ///< currently inside fn(i)
+    bool stalled = false;             ///< running && past the deadline
+    std::size_t task_index = 0;       ///< meaningful when running
+    std::uint64_t task_elapsed_us = 0;  ///< 0 when idle
+    std::uint64_t tasks = 0;            ///< completed on this slot
+    std::uint64_t busy_us = 0;          ///< summed task wall time
+  };
+
+  /// Longest tasks observed while the watchdog was armed (top-8, longest
+  /// first) — the "what was slow recently" complement to live stalls.
+  struct SlowTask {
+    std::uint64_t duration_us = 0;
+    std::size_t slot = 0;
+    std::size_t task_index = 0;
+  };
+
+  /// Arms the watchdog (idempotent: re-arming replaces the options).
+  void start_watchdog(WatchdogOptions options);
+  /// Disarms and joins the monitor thread. Also called by the destructor.
+  void stop_watchdog();
+  [[nodiscard]] bool watchdog_running() const;
+  /// Stalled tasks detected since the watchdog was first armed.
+  [[nodiscard]] std::uint64_t stalls_detected() const;
+  /// One entry per execution slot, slot order. Callable any time; heartbeat
+  /// fields are live only while the watchdog is armed.
+  [[nodiscard]] std::vector<ThreadInfo> thread_info() const;
+  [[nodiscard]] std::vector<SlowTask> slow_tasks() const;
+
  private:
   struct Job {
     std::size_t n = 0;
@@ -73,9 +138,22 @@ class ThreadPool {
     std::exception_ptr error;
   };
 
+  /// Per-slot liveness stamp, written lock-free from the task path and read
+  /// by the monitor/thread_info. task_start_us is 1 + microseconds since
+  /// epoch_ (0 means idle) so "idle" needs no separate flag.
+  struct alignas(64) Heartbeat {
+    std::atomic<std::uint64_t> task_start_us{0};
+    std::atomic<std::size_t> task_index{0};
+    std::atomic<std::uint64_t> tasks_done{0};
+  };
+
   void worker_loop(std::size_t slot);
   void run_job_share(Job& job, std::unique_lock<std::mutex>& lock,
                      std::size_t slot);
+  void watchdog_loop();
+  void record_slow_task_locked(std::uint64_t duration_us, std::size_t slot,
+                               std::size_t task_index);
+  [[nodiscard]] std::uint64_t now_us() const;
 
   std::vector<std::thread> workers_;
   Stats stats_;  // guarded by mutex_
@@ -85,6 +163,21 @@ class ThreadPool {
   Job* job_ = nullptr;               // current job, null when idle
   std::uint64_t job_gen_ = 0;        // bumped per job so workers never miss one
   bool stop_ = false;
+
+  // Watchdog state. Heartbeats are sized in the constructor and never
+  // resized; watchdog_on_ gates all heartbeat stamping so the disarmed pool
+  // is bit-identical to the pre-watchdog pool.
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  std::vector<std::unique_ptr<Heartbeat>> heartbeats_;
+  std::atomic<bool> watchdog_on_{false};
+  std::atomic<std::uint64_t> stalls_detected_{0};
+  WatchdogOptions watchdog_options_;  // guarded by wd_mutex_
+  std::vector<SlowTask> slow_tasks_;  // guarded by mutex_, longest first
+  std::thread watchdog_thread_;
+  mutable std::mutex wd_mutex_;
+  std::condition_variable wd_cv_;
+  bool wd_stop_ = false;
 };
 
 /// Process-wide pool sized by default_thread_count(); created on first use.

@@ -166,5 +166,59 @@ TEST(StreamingTelemetryTest, SyncFoldsDroppedDelta) {
       stream.dropped_records());
 }
 
+TEST(StreamingTelemetryTest, FreshnessGaugesTrackWatermarkAndSealLag) {
+  obs::Registry registry;
+  StreamingDetector stream{TimePoint::origin(), config50(), nstar(5, 1e6),
+                           ServiceTimeTable{{1000.0}}};
+  StreamingTelemetry telemetry{stream, {"server0"}, registry, nullptr};
+  const obs::Labels labels{{"stream", "server0"}};
+
+  // Watermark at 430ms with lag 200ms / width 50ms: intervals seal once
+  // end + lag <= watermark, so [0,200)ms is sealed and the rest is open.
+  stream.push(rec(0, 1000));
+  stream.push(rec(400'000, 430'000));
+  telemetry.sync();
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("tbd_stream_ingest_watermark_us", labels).value(),
+      430'000.0);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("tbd_stream_sealed_through_us", labels).value(),
+      200'000.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("tbd_stream_seal_lag_us", labels).value(),
+                   230'000.0);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("tbd_stream_open_intervals", labels).value(),
+      static_cast<double>(stream.open_intervals()));
+  EXPECT_GT(stream.open_intervals(), 0u);
+
+  // finish() seals the tail whole: lag clamps to 0, nothing stays open.
+  stream.finish();
+  telemetry.sync();
+  EXPECT_DOUBLE_EQ(registry.gauge("tbd_stream_seal_lag_us", labels).value(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("tbd_stream_open_intervals", labels).value(), 0.0);
+  EXPECT_GE(stream.sealed_through().micros(), stream.high_water().micros());
+}
+
+TEST(StreamingTelemetryTest, StatusJsonCarriesTheFreshnessTable) {
+  obs::Registry registry;
+  StreamingDetector stream{TimePoint::origin(), config50(), nstar(5, 1e6),
+                           ServiceTimeTable{{1000.0}}};
+  StreamingTelemetry telemetry{stream, {"server0"}, registry, nullptr};
+  feed_burst(stream);
+  telemetry.add_records(80);
+  telemetry.sync();
+
+  const std::string json = telemetry.status_json();
+  EXPECT_NE(json.find("\"stream\":\"server0\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"records\":80"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"episodes\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"seal_lag_us\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ingest_watermark_us\":"), std::string::npos);
+  EXPECT_NE(json.find("\"open_intervals\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"nstar\":5"), std::string::npos) << json;
+}
+
 }  // namespace
 }  // namespace tbd::core

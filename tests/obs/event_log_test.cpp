@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -86,6 +88,36 @@ TEST(EventLog, StreamNamesAreJsonEscaped) {
   EXPECT_NE(out.str().find("\"stream\":\"we\\\"ird\\\\name\\n\""),
             std::string::npos)
       << out.str();
+}
+
+TEST(EventLog, RegistryOptInReportsFlushLatencyAndBytes) {
+  Registry registry;
+  std::ostringstream out;
+  EventLogOptions options;
+  options.registry = &registry;
+  EventLog log{&out, options, {{"tool", "test"}}};
+  log.interval_sealed("s", 0, 0, 1.0, 2.0, "normal");
+  log.episode_open("s", 0, 0);
+
+  // Every written line (meta included) is timed and its bytes counted.
+  const auto flushes =
+      registry.histogram("tbd_event_log_flush_us", {1.0}).snapshot();
+  EXPECT_EQ(flushes.count, 3u);
+  EXPECT_EQ(registry.counter("tbd_event_log_bytes_total").value(),
+            out.str().size());
+}
+
+TEST(EventLog, NoRegistryKeepsTheBytesIdentical) {
+  std::ostringstream plain;
+  std::ostringstream timed;
+  Registry registry;
+  EventLogOptions options;
+  options.registry = &registry;
+  EventLog a{&plain};
+  EventLog b{&timed, options};
+  a.interval_sealed("s", 1, 50, 0.5, 9.0, "idle");
+  b.interval_sealed("s", 1, 50, 0.5, 9.0, "idle");
+  EXPECT_EQ(plain.str(), timed.str());
 }
 
 TEST(EventLog, DoublesRoundTripThroughTheText) {

@@ -6,7 +6,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 
 #include "obs/metrics.h"
 
@@ -96,6 +98,147 @@ TEST(ExpositionServer, StopIsIdempotentAndRestartable) {
   server2.handle("/healthz", "text/plain", [] { return std::string("ok"); });
   ASSERT_TRUE(server2.start());
   server2.stop();
+}
+
+// Hardening clients: each sends raw bytes in a controlled way and reads
+// whatever the server answers (empty string = the server just closed).
+
+int hardening_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  return fd;
+}
+
+std::string hardening_read_all(int fd) {
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const auto n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+void hardening_send(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const auto n = ::send(fd, data.data() + off, data.size() - off, 0);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+ExpositionServer::Options loopback() { return {}; }
+
+TEST(ExpositionServer, PartialSendsStillParseToTheRoute) {
+  ExpositionServer server{loopback()};
+  server.handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
+  ASSERT_TRUE(server.start());
+  const int fd = hardening_connect(server.port());
+  // The request trickles in across three sends; the read loop must keep
+  // collecting until the head terminator arrives.
+  hardening_send(fd, "GET /hea");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  hardening_send(fd, "lthz HTTP/1.1\r\nHost");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  hardening_send(fd, ": x\r\n\r\n");
+  const std::string response = hardening_read_all(fd);
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("ok\n"), std::string::npos);
+  server.stop();
+}
+
+TEST(ExpositionServer, TruncatedRequestGets400NotSilence) {
+  ExpositionServer server{loopback()};
+  server.handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
+  ASSERT_TRUE(server.start());
+  const int fd = hardening_connect(server.port());
+  hardening_send(fd, "GET /healthz HTTP/1.1\r\nHost: x");  // no terminator
+  ::shutdown(fd, SHUT_WR);                                 // client gives up
+  const std::string response = hardening_read_all(fd);
+  EXPECT_NE(response.find("HTTP/1.1 400 Bad Request"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("incomplete request"), std::string::npos);
+  server.stop();
+}
+
+TEST(ExpositionServer, GarbageRequestLineGets400) {
+  ExpositionServer server{loopback()};
+  server.handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
+  ASSERT_TRUE(server.start());
+  const int fd = hardening_connect(server.port());
+  hardening_send(fd, "\x01\x02garbage without structure\r\n\r\n");
+  const std::string response = hardening_read_all(fd);
+  EXPECT_NE(response.find("HTTP/1.1 400 Bad Request"), std::string::npos)
+      << response;
+  server.stop();
+}
+
+TEST(ExpositionServer, NonHttpVersionGets400) {
+  ExpositionServer server{loopback()};
+  server.handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
+  ASSERT_TRUE(server.start());
+  const int fd = hardening_connect(server.port());
+  hardening_send(fd, "GET /healthz SPDY/3\r\n\r\n");
+  const std::string response = hardening_read_all(fd);
+  EXPECT_NE(response.find("HTTP/1.1 400 Bad Request"), std::string::npos)
+      << response;
+  server.stop();
+}
+
+TEST(ExpositionServer, OversizedRequestLineGets431) {
+  ExpositionServer server{loopback()};
+  server.handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
+  ASSERT_TRUE(server.start());
+  const int fd = hardening_connect(server.port());
+  hardening_send(fd,
+                 "GET /" + std::string(9000, 'a') + " HTTP/1.1\r\n\r\n");
+  const std::string response = hardening_read_all(fd);
+  EXPECT_NE(response.find("431 Request Header Fields Too Large"),
+            std::string::npos)
+      << response;
+  EXPECT_NE(response.find("request line too long"), std::string::npos);
+  server.stop();
+}
+
+TEST(ExpositionServer, OversizedHeadGets431) {
+  ExpositionServer server{loopback()};
+  server.handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
+  ASSERT_TRUE(server.start());
+  const int fd = hardening_connect(server.port());
+  // A valid request line followed by 20KB of headers with no terminator:
+  // the 16KB head cap must answer 431, never hang or silently close.
+  std::string request = "GET /healthz HTTP/1.1\r\n";
+  while (request.size() < 20 * 1024) {
+    request += "X-Padding: " + std::string(1000, 'p') + "\r\n";
+  }
+  hardening_send(fd, request);
+  const std::string response = hardening_read_all(fd);
+  EXPECT_NE(response.find("431 Request Header Fields Too Large"),
+            std::string::npos)
+      << response;
+  EXPECT_NE(response.find("request head too large"), std::string::npos);
+  server.stop();
+}
+
+TEST(ExpositionServer, EmptyConnectionClosesSilently) {
+  ExpositionServer server{loopback()};
+  server.handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
+  ASSERT_TRUE(server.start());
+  const int fd = hardening_connect(server.port());
+  ::shutdown(fd, SHUT_WR);  // connect-only probe: no bytes sent
+  const std::string response = hardening_read_all(fd);
+  EXPECT_TRUE(response.empty()) << response;
+  server.stop();
 }
 
 TEST(ExpositionServer, RejectsBadHost) {

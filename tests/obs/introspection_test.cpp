@@ -1,0 +1,119 @@
+// Introspection surface tests: the documents themselves (statusz/threadz
+// field presence, custom status sources) and the wired endpoints over a
+// real socket.
+#include "obs/introspection.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "obs/exposition.h"
+#include "util/thread_pool.h"
+
+namespace tbd::obs {
+namespace {
+
+std::string introspection_http_get(std::uint16_t port,
+                                   const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  EXPECT_GT(::send(fd, request.data(), request.size(), 0), 0);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const auto n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(IntrospectionTest, StatuszCarriesIdentityProcessAndProfiler) {
+  Introspection intro{{"test_tool", {{"mode", "replay"}}}};
+  const std::string json = intro.statusz_json();
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tool\":\"test_tool\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"git\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"uptime_seconds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\":\"replay\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"process\":{\"rss_bytes\":"), std::string::npos);
+  EXPECT_NE(json.find("\"open_fds\":"), std::string::npos);
+  EXPECT_NE(json.find("\"profiler\":{\"running\":"), std::string::npos);
+}
+
+TEST(IntrospectionTest, StatusSourcesEmitInRegistrationOrder) {
+  Introspection intro{{"test_tool", {}}};
+  intro.add_status_source("streams", [] {
+    return std::string("[{\"stream\":\"s0\",\"seal_lag_us\":0}]");
+  });
+  intro.add_status_source("extra", [] { return std::string("42"); });
+  const std::string json = intro.statusz_json();
+  const auto streams_at = json.find("\"streams\":[{\"stream\":\"s0\"");
+  const auto extra_at = json.find("\"extra\":42");
+  ASSERT_NE(streams_at, std::string::npos) << json;
+  ASSERT_NE(extra_at, std::string::npos) << json;
+  EXPECT_LT(streams_at, extra_at);
+}
+
+TEST(IntrospectionTest, ThreadzListsEveryPoolSlot) {
+  // Touch the shared pool so its slots exist regardless of test order.
+  shared_pool().parallel_for_indexed(4, [](std::size_t) {});
+  Introspection intro{{"test_tool", {}}};
+  const std::string json = intro.threadz_json();
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"watchdog_running\":"), std::string::npos);
+  EXPECT_NE(json.find("\"stalls_detected\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pool\":{\"threads\":" +
+                      std::to_string(shared_pool().size())),
+            std::string::npos)
+      << json;
+  // One worker object per execution slot, slot 0 first.
+  EXPECT_NE(json.find("{\"slot\":0,\"name\":\"caller\""), std::string::npos)
+      << json;
+  std::size_t entries = 0;
+  for (std::size_t at = json.find("{\"slot\":"); at != std::string::npos;
+       at = json.find("{\"slot\":", at + 1)) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, static_cast<std::size_t>(shared_pool().size()));
+  EXPECT_NE(json.find("\"slow_tasks\":["), std::string::npos);
+}
+
+TEST(IntrospectionTest, WiredEndpointsServeOverHttp) {
+  Introspection intro{{"test_tool", {}}};
+  ExpositionServer server;
+  intro.wire(server);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  const auto statusz = introspection_http_get(
+      server.port(), "GET /statusz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(statusz.find("HTTP/1.1 200 OK"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("application/json"), std::string::npos);
+  EXPECT_NE(statusz.find("\"tool\":\"test_tool\""), std::string::npos);
+
+  const auto threadz = introspection_http_get(
+      server.port(), "GET /threadz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(threadz.find("\"pool\":{"), std::string::npos) << threadz;
+
+  const auto profilez = introspection_http_get(
+      server.port(), "GET /profilez HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(profilez.find("\"schema_version\":1"), std::string::npos)
+      << profilez;
+  server.stop();
+}
+
+}  // namespace
+}  // namespace tbd::obs

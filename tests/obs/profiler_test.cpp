@@ -1,0 +1,173 @@
+// Profiler tests: the fold format is pinned by a golden on synthetic input
+// (deterministic structure — counts from a live run are inherently noisy,
+// so live tests assert invariants, never exact stacks).
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tbd::obs {
+namespace {
+
+TEST(FoldStacksTest, GoldenStructure) {
+  std::vector<ProfileStack> stacks;
+  stacks.push_back({"worker-1", {"main", "pool", "sweep"}, 7});
+  stacks.push_back({"main", {"main", "parse"}, 3});
+  stacks.push_back({"worker-1", {"main", "pool", "idle"}, 2});
+  // Duplicate thread+frames must merge.
+  stacks.push_back({"worker-1", {"main", "pool", "sweep"}, 5});
+  EXPECT_EQ(fold_stacks(stacks),
+            "main;main;parse 3\n"
+            "worker-1;main;pool;idle 2\n"
+            "worker-1;main;pool;sweep 12\n");
+}
+
+TEST(FoldStacksTest, SanitizesSeparatorsOutOfFrames) {
+  std::vector<ProfileStack> stacks;
+  stacks.push_back({"thr;a", {" lead", "semi;colon", "line\nbreak"}, 1});
+  const std::string folded = fold_stacks(stacks);
+  EXPECT_EQ(folded, "thr,a;lead;semi,colon;line,break 1\n");
+  // Every folded line must rsplit cleanly on its final space.
+  const auto sep = folded.rfind(' ');
+  ASSERT_NE(sep, std::string::npos);
+  EXPECT_EQ(folded.substr(sep + 1), "1\n");
+}
+
+TEST(FoldStacksTest, EmptyInputFoldsToEmpty) {
+  EXPECT_EQ(fold_stacks({}), "");
+}
+
+#ifndef TBD_OBS_DISABLED
+
+// Burns CPU so ITIMER_PROF has something to charge against. Marked noinline
+// so the busy loop stays an identifiable frame.
+__attribute__((noinline)) double spin_for_ms(int ms) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  double acc = 0.0;
+  while (std::chrono::steady_clock::now() < until) {
+    for (int i = 1; i < 1000; ++i) acc += 1.0 / static_cast<double>(i);
+  }
+  return acc;
+}
+
+TEST(ProfilerTest, CpuModeCapturesBusyThread) {
+  auto& profiler = Profiler::global();
+  ProfilerOptions options;
+  options.mode = ProfilerOptions::Mode::kCpu;
+  options.hz = 997;  // fast so the test stays short
+  ASSERT_TRUE(profiler.start(options)) << profiler.error();
+  EXPECT_TRUE(profiler.running());
+  EXPECT_FALSE(profiler.start(options));  // double start rejected
+  EXPECT_EQ(profiler.error(), "profiler already running");
+
+  volatile double sink = spin_for_ms(400);
+  (void)sink;
+  profiler.stop();
+  EXPECT_FALSE(profiler.running());
+
+  EXPECT_GT(profiler.samples(), 0u);
+  EXPECT_GT(profiler.duration_us(), 300'000u);
+
+  const std::string folded = profiler.folded();
+  ASSERT_FALSE(folded.empty());
+  // Structural invariants of every folded line: "thread;f;...;f N".
+  std::size_t at = 0;
+  while (at < folded.size()) {
+    const std::size_t eol = folded.find('\n', at);
+    ASSERT_NE(eol, std::string::npos);
+    const std::string line = folded.substr(at, eol - at);
+    at = eol + 1;
+    const std::size_t sep = line.rfind(' ');
+    ASSERT_NE(sep, std::string::npos) << line;
+    EXPECT_GT(std::stoull(line.substr(sep + 1)), 0u) << line;
+    EXPECT_NE(line.find(';'), std::string::npos) << line;
+  }
+
+  const std::string json = profiler.json();
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\":\"cpu\""), std::string::npos);
+  EXPECT_NE(json.find("\"running\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"stacks\":["), std::string::npos);
+}
+
+TEST(ProfilerTest, WallModeSamplesSleepingThreads) {
+  std::atomic<bool> done{false};
+  std::thread sleeper([&done] {
+    while (!done.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  pthread_setname_np(sleeper.native_handle(), "tbd-sleeper");
+
+  auto& profiler = Profiler::global();
+  ProfilerOptions options;
+  options.mode = ProfilerOptions::Mode::kWall;
+  options.hz = 251;
+  ASSERT_TRUE(profiler.start(options)) << profiler.error();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  profiler.stop();
+  done.store(true);
+  sleeper.join();
+
+  // Wall mode signals every thread per tick: the blocked-in-sleep helper
+  // and this (mostly sleeping) main thread must both appear, and CPU-time
+  // sampling could never have caught either.
+  const auto threads = profiler.thread_samples();
+  EXPECT_GE(threads.size(), 2u) << profiler.folded();
+  std::uint64_t total = 0;
+  std::uint64_t sleeper_samples = 0;
+  for (const auto& t : threads) {
+    total += t.samples;
+    if (t.thread == "tbd-sleeper") sleeper_samples = t.samples;
+  }
+  EXPECT_GT(total, 20u);
+  EXPECT_GT(sleeper_samples, 10u) << profiler.folded();
+  // The handler/trampoline frames are stripped from rendered stacks.
+  EXPECT_EQ(profiler.folded().find("signal_handler"), std::string::npos)
+      << profiler.folded();
+  EXPECT_EQ(profiler.folded().find("handle_signal"), std::string::npos)
+      << profiler.folded();
+}
+
+TEST(ProfilerTest, RestartStartsAFreshSession) {
+  auto& profiler = Profiler::global();
+  ProfilerOptions options;
+  options.mode = ProfilerOptions::Mode::kCpu;
+  options.hz = 997;
+  ASSERT_TRUE(profiler.start(options)) << profiler.error();
+  volatile double sink = spin_for_ms(150);
+  profiler.stop();
+  const std::uint64_t first = profiler.samples();
+
+  ASSERT_TRUE(profiler.start(options)) << profiler.error();
+  sink = spin_for_ms(50);
+  (void)sink;
+  profiler.stop();
+  // A restart clears the aggregate rather than accumulating forever.
+  EXPECT_LT(profiler.samples(), first + 200);
+  EXPECT_GT(profiler.samples(), 0u);
+}
+
+#else  // TBD_OBS_DISABLED
+
+TEST(ProfilerTest, CompiledOutStubNeverStarts) {
+  auto& profiler = Profiler::global();
+  EXPECT_FALSE(profiler.start());
+  EXPECT_FALSE(profiler.running());
+  EXPECT_EQ(profiler.error(), "profiler compiled out (TBD_OBS=OFF)");
+  EXPECT_EQ(profiler.samples(), 0u);
+  EXPECT_EQ(profiler.folded(), "");
+  EXPECT_NE(profiler.json().find("\"status\":\"disabled\""),
+            std::string::npos);
+}
+
+#endif  // TBD_OBS_DISABLED
+
+}  // namespace
+}  // namespace tbd::obs

@@ -1,0 +1,256 @@
+// Watchdog tests: a deliberately-stalled pool task must trip the stall
+// latch within one deadline period of becoming reportable, thread_info()
+// must show the offending slot, and — just as important — a disarmed
+// watchdog must leave the pool's historic clock-free paths untouched.
+//
+// Registered via tbd_add_threaded_suite, so every test runs at
+// TBD_THREADS=1 (watched serial inline path, caller slot 0) and
+// TBD_THREADS=4 (watched worker path).
+#include "util/thread_pool.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exposition.h"
+#include "obs/introspection.h"
+
+namespace tbd {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+TEST(WatchdogTest, StalledTaskDetectedWithinDeadlinePeriod) {
+  ThreadPool pool;
+  constexpr std::uint64_t kDeadlineUs = 250'000;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<ThreadPool::StallInfo> stalls;
+  const auto t_start = Clock::now();
+  std::atomic<std::int64_t> first_fire_us{-1};
+
+  ThreadPool::WatchdogOptions options;
+  options.deadline_us = kDeadlineUs;
+  options.on_stall = [&](const ThreadPool::StallInfo& info) {
+    const auto latency = std::chrono::duration_cast<std::chrono::microseconds>(
+                             Clock::now() - t_start)
+                             .count();
+    std::int64_t expected = -1;
+    first_fire_us.compare_exchange_strong(expected, latency);
+    const std::scoped_lock lock(mutex);
+    stalls.push_back(info);
+    cv.notify_all();
+  };
+  pool.start_watchdog(options);
+
+  std::atomic<bool> fired_while_running{false};
+  pool.parallel_for_indexed(1, [&](std::size_t) {
+    std::unique_lock lock(mutex);
+    // The stall must fire while the task is still in flight.
+    fired_while_running = cv.wait_for(lock, std::chrono::milliseconds(1500),
+                                      [&] { return !stalls.empty(); });
+  });
+  pool.stop_watchdog();
+
+  ASSERT_TRUE(fired_while_running.load());
+  EXPECT_GE(pool.stalls_detected(), 1u);
+  // Reportable at t_start + deadline; the monitor polls at deadline/4, so
+  // 3x deadline is a generous bound for "within one deadline period".
+  EXPECT_LE(first_fire_us.load(),
+            static_cast<std::int64_t>(3 * kDeadlineUs));
+  const std::scoped_lock lock(mutex);
+  ASSERT_FALSE(stalls.empty());
+  EXPECT_GE(stalls[0].elapsed_us, kDeadlineUs);
+  EXPECT_EQ(stalls[0].deadline_us, kDeadlineUs);
+  EXPECT_EQ(stalls[0].task_index, 0u);
+  EXPECT_FALSE(stalls[0].thread_name.empty());
+}
+
+TEST(WatchdogTest, ThreadInfoShowsTheOffendingSlot) {
+  ThreadPool pool;
+  ThreadPool::WatchdogOptions options;
+  options.deadline_us = 100'000;
+  pool.start_watchdog(options);
+
+  std::atomic<bool> release{false};
+  std::atomic<bool> saw_stalled_slot{false};
+  std::thread prober([&] {
+    // Poll thread_info() until the stuck task shows up as stalled.
+    for (int tries = 0; tries < 200 && !saw_stalled_slot; ++tries) {
+      for (const auto& info : pool.thread_info()) {
+        if (info.running && info.stalled) {
+          EXPECT_GE(info.task_elapsed_us, 100'000u);
+          EXPECT_FALSE(info.name.empty());
+          saw_stalled_slot = true;
+        }
+      }
+      sleep_ms(10);
+    }
+    release = true;
+  });
+  pool.parallel_for_indexed(1, [&](std::size_t) {
+    while (!release) sleep_ms(5);
+  });
+  prober.join();
+  pool.stop_watchdog();
+
+  EXPECT_TRUE(saw_stalled_slot.load());
+  // Quiesced: nothing running, and the completed task was counted.
+  std::uint64_t done = 0;
+  for (const auto& info : pool.thread_info()) {
+    EXPECT_FALSE(info.running);
+    EXPECT_FALSE(info.stalled);
+    done += info.tasks;
+  }
+  EXPECT_EQ(done, 1u);
+}
+
+TEST(WatchdogTest, SlowTasksKeepsLongestFirstTopK) {
+  ThreadPool pool;
+  ThreadPool::WatchdogOptions options;
+  options.deadline_us = 60'000'000;  // nothing stalls; we want durations only
+  pool.start_watchdog(options);
+
+  // 12 tasks, duration growing with index: the top-8 must be the longest 8.
+  pool.parallel_for_indexed(12, [&](std::size_t i) {
+    sleep_ms(static_cast<int>(1 + i * 2));
+  });
+  pool.stop_watchdog();
+
+  const auto slow = pool.slow_tasks();
+  ASSERT_EQ(slow.size(), 8u);
+  for (std::size_t i = 1; i < slow.size(); ++i) {
+    EXPECT_GE(slow[i - 1].duration_us, slow[i].duration_us);
+  }
+  // The longest task (index 11, ~23ms) must have made the board.
+  EXPECT_EQ(slow[0].task_index, 11u);
+  EXPECT_EQ(pool.stalls_detected(), 0u);
+}
+
+TEST(WatchdogTest, FastTasksNeverFalseStall) {
+  ThreadPool pool;
+  std::atomic<std::uint64_t> fired{0};
+  ThreadPool::WatchdogOptions options;
+  options.deadline_us = 500'000;
+  options.on_stall = [&](const ThreadPool::StallInfo&) { ++fired; };
+  pool.start_watchdog(options);
+
+  std::atomic<std::uint64_t> sum{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for_indexed(64, [&](std::size_t i) { sum += i; });
+  }
+  sleep_ms(200);  // give the monitor a few polls over idle heartbeats
+  pool.stop_watchdog();
+
+  EXPECT_EQ(pool.stalls_detected(), 0u);
+  EXPECT_EQ(fired.load(), 0u);
+  EXPECT_EQ(sum.load(), 5u * (64u * 63u) / 2u);
+}
+
+TEST(WatchdogTest, DisarmedPoolStampsNoHeartbeats) {
+  ThreadPool pool;
+  pool.parallel_for_indexed(16, [](std::size_t) {});
+  // Without the watchdog armed the task path must not touch heartbeats —
+  // that pins the clock-free serial fast path staying on its historic code.
+  for (const auto& info : pool.thread_info()) {
+    EXPECT_FALSE(info.running);
+    EXPECT_EQ(info.tasks, 0u);
+  }
+  EXPECT_EQ(pool.stalls_detected(), 0u);
+  EXPECT_TRUE(pool.slow_tasks().empty());
+  EXPECT_FALSE(pool.watchdog_running());
+}
+
+std::string watchdog_http_get(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  EXPECT_GT(::send(fd, request.data(), request.size(), 0), 0);
+  std::string response;
+  char buf[8192];
+  for (;;) {
+    const auto n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(WatchdogTest, ThreadzShowsTheStalledThreadOverHttp) {
+  // End to end: a hung task on the *shared* pool (what /threadz reports)
+  // must surface as "stalled":true in a live scrape, at any TBD_THREADS.
+  obs::Introspection intro{{"watchdog_test", {}}};
+  obs::ExpositionServer server;
+  intro.wire(server);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  ThreadPool::WatchdogOptions options;
+  options.deadline_us = 100'000;
+  shared_pool().start_watchdog(options);
+
+  std::atomic<bool> release{false};
+  std::thread stuck([&] {
+    shared_pool().parallel_for_indexed(1, [&](std::size_t) {
+      while (!release) sleep_ms(5);
+    });
+  });
+
+  bool saw_stalled = false;
+  std::string last;
+  for (int tries = 0; tries < 200 && !saw_stalled; ++tries) {
+    last = watchdog_http_get(server.port(),
+                             "GET /threadz HTTP/1.1\r\nHost: x\r\n\r\n");
+    saw_stalled = last.find("\"stalled\":true") != std::string::npos;
+    if (!saw_stalled) sleep_ms(10);
+  }
+  release = true;
+  stuck.join();
+  shared_pool().stop_watchdog();
+  server.stop();
+
+  EXPECT_TRUE(saw_stalled) << last;
+  EXPECT_NE(last.find("\"running\":true"), std::string::npos) << last;
+  EXPECT_GE(shared_pool().stalls_detected(), 1u);
+}
+
+TEST(WatchdogTest, RearmReplacesOptionsAndKeepsCounting) {
+  ThreadPool pool;
+  ThreadPool::WatchdogOptions options;
+  options.deadline_us = 100'000;
+  pool.start_watchdog(options);
+  EXPECT_TRUE(pool.watchdog_running());
+  pool.parallel_for_indexed(1, [&](std::size_t) { sleep_ms(250); });
+  const std::uint64_t first = pool.stalls_detected();
+  EXPECT_GE(first, 1u);
+
+  options.deadline_us = 50'000;
+  pool.start_watchdog(options);  // re-arm with a tighter deadline
+  pool.parallel_for_indexed(1, [&](std::size_t) { sleep_ms(150); });
+  pool.stop_watchdog();
+  EXPECT_GT(pool.stalls_detected(), first);
+}
+
+}  // namespace
+}  // namespace tbd

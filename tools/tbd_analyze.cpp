@@ -38,6 +38,9 @@
 //   --attribution-out FILE  write per-band critical-path attribution NDJSON
 //   --nstar N         classify flight-recorder intervals against this
 //                     congestion point instead of the per-server estimate
+//   --profile-out FILE  sample the analysis (CPU mode) and write folded
+//                     stacks (flamegraph-ready) to FILE at exit
+//   --profile-hz N    sampling frequency for --profile-out (default 97)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +58,7 @@
 #include "core/system_report.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/span.h"
 #include "trace/log_io.h"
 #include "util/csv.h"
@@ -78,6 +82,8 @@ struct Options {
   std::string timeline_out;
   std::string attribution_out;
   double nstar = 0.0;  // 0 = per-server estimate
+  std::string profile_out;
+  int profile_hz = 97;
   std::vector<std::string> files;
 };
 
@@ -90,7 +96,8 @@ void usage() {
                "[--prom-out FILE]\n"
                "                   [--timeline-out FILE] "
                "[--attribution-out FILE] [--nstar N]\n"
-               "                   LOG.csv [...]\n");
+               "                   [--profile-out FILE] [--profile-hz N] "
+               "LOG.csv [...]\n");
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -154,6 +161,14 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return false;
       opt.nstar = std::atof(v);
+    } else if (arg == "--profile-out") {
+      const char* v = next();
+      if (!v) return false;
+      opt.profile_out = v;
+    } else if (arg == "--profile-hz") {
+      const char* v = next();
+      if (!v) return false;
+      opt.profile_hz = std::atoi(v);
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -340,6 +355,18 @@ int main(int argc, char** argv) {
   if (!opt.trace_out.empty()) obs::Tracer::global().enable();
   auto& registry = obs::Registry::global();
 
+  // The analysis is CPU-bound end to end, so CPU mode is the right default;
+  // a failed start (e.g. the TBD_OBS=OFF stub) degrades to a warning.
+  auto& profiler = obs::Profiler::global();
+  if (!opt.profile_out.empty()) {
+    obs::ProfilerOptions po;
+    po.hz = opt.profile_hz;
+    if (!profiler.start(po)) {
+      std::fprintf(stderr, "warning: profiler not started: %s\n",
+                   profiler.error().c_str());
+    }
+  }
+
   // ---- load, split by server, analyze ---------------------------------------
   // Auto-width notices are collected as strings inside analyze_servers so
   // the output stays deterministic; reporting below runs serially in server
@@ -479,6 +506,20 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+  }
+
+  if (!opt.profile_out.empty() && profiler.running()) {
+    profiler.stop();
+    std::ofstream pf{opt.profile_out, std::ios::trunc};
+    pf << profiler.folded();
+    if (!pf) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.profile_out.c_str());
+      return 1;
+    }
+    std::printf("profile: %llu samples, %llu dropped -> %s\n",
+                static_cast<unsigned long long>(profiler.samples()),
+                static_cast<unsigned long long>(profiler.dropped()),
+                opt.profile_out.c_str());
   }
   return 0;
 }

@@ -8,7 +8,11 @@
 //
 //   * labeled metrics ({stream="serverN"}) in the global obs registry,
 //   * an NDJSON event log (interval_sealed / episode_open / episode_close),
-//   * a live HTTP endpoint (/metrics, /healthz, /episodes) while replaying.
+//   * a live HTTP endpoint (/metrics, /healthz, /episodes) while replaying,
+//   * self-observability: /statusz (identity + process stats + per-stream
+//     freshness), /threadz (pool slots + stalls), /profilez (sampling
+//     profiler), tbd_process_*/tbd_pool_* gauges refreshed per scrape, a
+//     pool stall watchdog, and --profile-out folded-stack capture.
 //
 // Usage:
 //   tbd_watch [options] LOG.csv [LOG2.tbdr ...]
@@ -32,6 +36,15 @@
 //                     "listening http://H:P/")
 //   --linger S        keep serving S seconds after the replay ends
 //   --prom-out FILE   write a final Prometheus snapshot (headless runs)
+//   --profile-out F   sample this process while it runs and write folded
+//                     stacks (flamegraph-ready) to F at exit
+//   --profile-hz N    sampling frequency (default 97 — prime, so it never
+//                     phase-locks with periodic work)
+//   --profile-mode M  "cpu" (time on-CPU code) or "wall" (every thread each
+//                     tick, so blocked threads show too; default cpu)
+//   --stall-ms MS     pool watchdog deadline: a task running longer is
+//                     reported (log + tbd_pool_stalls_total metric;
+//                     default 30000, 0 disables)
 //
 // Exit summary (stdout) reports per-stream record/drop/interval/episode
 // counts; a nonzero drop count means --lag is too small for this trace.
@@ -52,8 +65,13 @@
 #include "core/streaming_telemetry.h"
 #include "obs/event_log.h"
 #include "obs/exposition.h"
+#include "obs/introspection.h"
 #include "obs/metrics.h"
+#include "obs/process_stats.h"
+#include "obs/profiler.h"
+#include "obs/manifest.h"
 #include "trace/log_io.h"
+#include "util/thread_pool.h"
 
 using namespace tbd;
 
@@ -70,6 +88,10 @@ struct Options {
   std::string listen;  // host:port, empty = no server
   double linger_seconds = 0.0;
   std::string prom_out;
+  std::string profile_out;
+  int profile_hz = 97;
+  std::string profile_mode = "cpu";
+  double stall_ms = 30'000.0;
   std::vector<std::string> files;
 };
 
@@ -80,7 +102,9 @@ void usage() {
                "                 [--speed max|trace|Nx] [--events-out FILE]\n"
                "                 [--listen HOST:PORT] [--linger S] "
                "[--prom-out FILE]\n"
-               "                 LOG.csv [...]\n");
+               "                 [--profile-out FILE] [--profile-hz N] "
+               "[--profile-mode cpu|wall]\n"
+               "                 [--stall-ms MS] LOG.csv [...]\n");
 }
 
 bool parse_speed(const std::string& text, double& speed) {
@@ -146,6 +170,26 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return false;
       opt.prom_out = v;
+    } else if (arg == "--profile-out") {
+      const char* v = next();
+      if (!v) return false;
+      opt.profile_out = v;
+    } else if (arg == "--profile-hz") {
+      const char* v = next();
+      if (!v) return false;
+      opt.profile_hz = std::atoi(v);
+    } else if (arg == "--profile-mode") {
+      const char* v = next();
+      if (!v) return false;
+      opt.profile_mode = v;
+      if (opt.profile_mode != "cpu" && opt.profile_mode != "wall") {
+        std::fprintf(stderr, "bad --profile-mode (want cpu or wall): %s\n", v);
+        return false;
+      }
+    } else if (arg == "--stall-ms") {
+      const char* v = next();
+      if (!v) return false;
+      opt.stall_ms = std::atof(v);
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -172,6 +216,37 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, opt)) {
     usage();
     return 2;
+  }
+
+  // ---- self-observability ---------------------------------------------------
+  // Profiler and watchdog arm before any heavy work, so calibration and the
+  // batch detection pass show up in the profile and are stall-covered too.
+  // A failed profiler start (e.g. TBD_OBS=OFF stub) degrades to a warning.
+  auto& profiler = obs::Profiler::global();
+  if (!opt.profile_out.empty()) {
+    obs::ProfilerOptions po;
+    po.mode = opt.profile_mode == "wall" ? obs::ProfilerOptions::Mode::kWall
+                                         : obs::ProfilerOptions::Mode::kCpu;
+    po.hz = opt.profile_hz;
+    if (!profiler.start(po)) {
+      std::fprintf(stderr, "warning: profiler not started: %s\n",
+                   profiler.error().c_str());
+    }
+  }
+  if (opt.stall_ms > 0.0) {
+    ThreadPool::WatchdogOptions wd;
+    wd.deadline_us = static_cast<std::uint64_t>(opt.stall_ms * 1000.0);
+    wd.on_stall = [](const ThreadPool::StallInfo& info) {
+      std::fprintf(stderr,
+                   "warning: pool task stalled: slot=%zu (%s) task=%llu "
+                   "running %.1fs (deadline %.1fs)\n",
+                   info.slot, info.thread_name.c_str(),
+                   static_cast<unsigned long long>(info.task_index),
+                   static_cast<double>(info.elapsed_us) / 1e6,
+                   static_cast<double>(info.deadline_us) / 1e6);
+      obs::Registry::global().counter("tbd_pool_stalls_total").add(1);
+    };
+    shared_pool().start_watchdog(wd);
   }
 
   // ---- load & merge ---------------------------------------------------------
@@ -223,9 +298,13 @@ int main(int argc, char** argv) {
   const std::string width_text = buf;
   std::snprintf(buf, sizeof buf, "%g", opt.lag_ms);
   const std::string lag_text = buf;
+  obs::EventLog::Options event_options;
+  // Self-timed flushes: tbd_event_log_flush_us / tbd_event_log_bytes_total
+  // land in the same registry the scrape endpoint serves.
+  event_options.registry = &obs::Registry::global();
   obs::EventLog events{
       events_file.is_open() ? &events_file : nullptr,
-      obs::EventLog::Options(),
+      event_options,
       {{"tool", "tbd_watch"},
        {"width_ms", width_text},
        {"lag_ms", lag_text},
@@ -284,6 +363,23 @@ int main(int argc, char** argv) {
   }
 
   // ---- scrape endpoint ------------------------------------------------------
+  // Introspection outlives the server (declared first): its handlers are
+  // invoked from the serving thread until server->stop() returns.
+  obs::Introspection intro{{"tbd_watch",
+                            {{"width_ms", width_text},
+                             {"lag_ms", lag_text},
+                             {"speed", opt.speed_text}}}};
+  intro.add_status_source("streams", [&streams] {
+    // Best-effort snapshot: the replay thread is mutating the detectors
+    // while this reads their counters, which is fine for a status page.
+    std::string out = "[";
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (i > 0) out += ',';
+      out += streams[i].telemetry->status_json();
+    }
+    out += ']';
+    return out;
+  });
   std::unique_ptr<obs::ExpositionServer> server;
   if (!opt.listen.empty()) {
     const auto colon = opt.listen.rfind(':');
@@ -297,8 +393,19 @@ int main(int argc, char** argv) {
     so.port = static_cast<std::uint16_t>(
         std::atoi(opt.listen.c_str() + colon + 1));
     server = std::make_unique<obs::ExpositionServer>(so);
+    const double open_streams = static_cast<double>(streams.size());
     server->handle("/metrics", "text/plain; version=0.0.4",
-                   [&registry] { return registry.to_prometheus(); });
+                   [&registry, open_streams] {
+                     // Process and pool gauges refresh per scrape — set
+                     // semantics, so repeating is safe (publish_pool_stats'
+                     // counters are not; see obs/manifest.h).
+                     obs::publish_process_stats(registry);
+                     obs::publish_pool_gauges(registry);
+                     registry.gauge("tbd_process_open_streams")
+                         .set(open_streams);
+                     return registry.to_prometheus();
+                   });
+    intro.wire(*server);
     server->handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
     server->handle("/episodes", "application/json",
                    [&events] { return events.episodes_json(); });
@@ -363,6 +470,10 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
 
   if (!opt.prom_out.empty()) {
+    obs::publish_process_stats(registry);
+    obs::publish_pool_gauges(registry);
+    registry.gauge("tbd_process_open_streams")
+        .set(static_cast<double>(streams.size()));
     std::ofstream prom{opt.prom_out, std::ios::trunc};
     prom << registry.to_prometheus();
     if (!prom) {
@@ -380,6 +491,23 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
   }
+  // The profile covers the linger window too (in wall mode that is where
+  // the idle serving thread shows up), so stop and write only now.
+  if (!opt.profile_out.empty() && profiler.running()) {
+    profiler.stop();
+    std::ofstream pf{opt.profile_out, std::ios::trunc};
+    pf << profiler.folded();
+    if (!pf) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.profile_out.c_str());
+      return 1;
+    }
+    std::printf("profile: %llu samples, %llu dropped -> %s\n",
+                static_cast<unsigned long long>(profiler.samples()),
+                static_cast<unsigned long long>(profiler.dropped()),
+                opt.profile_out.c_str());
+    std::fflush(stdout);
+  }
+  shared_pool().stop_watchdog();
   if (server) server->stop();
   return total_dropped > 0 ? 3 : 0;
 }
