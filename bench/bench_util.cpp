@@ -181,13 +181,15 @@ void BenchSummary::finish() {
   // "ingest" stage; 4 added the "correctness" harness wall-times; 5 added
   // the columnar SoA ingest and sweep metrics; 6 added the "streaming"
   // live-telemetry overhead stage; 7 added the streaming profiler arm —
-  // push_profiled_records_per_s / profiler_overhead_pct / profiler_samples).
+  // push_profiled_records_per_s / profiler_overhead_pct / profiler_samples;
+  // 8 added the TBDR v2 segment-log arms — v2 size/compression ratio plus
+  // warm and cold load throughput for v1 and v2).
   entries.erase("schema_version");
   entries.erase("git");
 
   std::ofstream out{path, std::ios::trunc};
   out << "{\n";
-  out << "  \"schema_version\": 7,\n";
+  out << "  \"schema_version\": 8,\n";
   out << "  \"git\": \"" << obs::git_describe() << "\",\n";
   for (auto it = entries.begin(); it != entries.end(); ++it) {
     out << "  \"" << it->first << "\": " << it->second;

@@ -56,7 +56,7 @@ void print_expectation(const std::string& what, const std::string& paper,
 /// count, plus any set() metrics — into bench_out/bench_summary.json keyed
 /// by `bench_name`. Entries of other benches in the file are preserved, so
 /// running the whole suite accumulates one summary object. The file carries
-/// a "schema_version" (currently 7) and the "git" describe of the writing
+/// a "schema_version" (currently 8) and the "git" describe of the writing
 /// build, so trajectories across PRs are attributable to commits.
 class BenchSummary {
  public:

@@ -1,0 +1,84 @@
+// Structure-aware fuzz target for the TBDR v2 segmented decoder.
+//
+// Unlike v1 the format is not bijective (a non-canonical but well-formed
+// tag choice still decodes), so the invariants are differential and
+// metamorphic instead of re-encode-equals-input:
+//
+//  * the parallel segment decoder must match the sequential naive oracle
+//    (testing/oracles.h) on the FULL result contract — records, ok,
+//    error/warning strings, error_offset, error_segment, segments,
+//    input_size — in both strict and recover-tail modes;
+//  * recover-tail may only ever extend a strict failure into an ok prefix,
+//    never change an ok strict decode;
+//  * whatever decodes must survive a canonical re-encode round trip.
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "fuzz_check.h"
+#include "testing/oracles.h"
+#include "trace/request_columns.h"
+#include "trace/segment_log.h"
+
+namespace {
+
+void check_against_oracle(std::string_view bytes, tbd::trace::DecodeMode mode) {
+  const auto got = tbd::trace::decode_request_log_v2(bytes, mode);
+  const auto want = tbd::pt::oracle_decode_request_log_v2(bytes, mode);
+  TBD_FUZZ_CHECK(got.ok == want.ok);
+  TBD_FUZZ_CHECK(got.error == want.error);
+  TBD_FUZZ_CHECK(got.warning == want.warning);
+  TBD_FUZZ_CHECK(got.error_offset == want.error_offset);
+  TBD_FUZZ_CHECK(got.error_segment == want.error_segment);
+  TBD_FUZZ_CHECK(got.segments == want.segments);
+  TBD_FUZZ_CHECK(got.input_size == want.input_size);
+  const auto rows = got.records.to_records();
+  const auto want_rows = want.records.to_records();
+  TBD_FUZZ_CHECK(rows.size() == want_rows.size());
+  TBD_FUZZ_CHECK(tbd::fuzz::bytes_equal(
+      rows.data(), want_rows.data(),
+      rows.size() * sizeof(tbd::trace::RequestRecord)));
+
+  if (got.ok) {
+    // Canonical re-encode of whatever decoded must round-trip bit for bit.
+    const std::string reencoded =
+        tbd::trace::encode_request_log_v2(got.records.view());
+    const auto again = tbd::trace::decode_request_log_v2(
+        reencoded, tbd::trace::DecodeMode::kStrict);
+    TBD_FUZZ_CHECK(again.ok);
+    const auto again_rows = again.records.to_records();
+    TBD_FUZZ_CHECK(again_rows.size() == rows.size());
+    TBD_FUZZ_CHECK(tbd::fuzz::bytes_equal(
+        again_rows.data(), rows.data(),
+        rows.size() * sizeof(tbd::trace::RequestRecord)));
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes{reinterpret_cast<const char*>(data), size};
+
+  check_against_oracle(bytes, tbd::trace::DecodeMode::kStrict);
+  check_against_oracle(bytes, tbd::trace::DecodeMode::kRecoverTail);
+
+  // Mode relation: strict ok implies recover-tail returns the identical
+  // records; a strict failure may at most become a recovered prefix.
+  const auto strict = tbd::trace::decode_request_log_v2(
+      bytes, tbd::trace::DecodeMode::kStrict);
+  const auto recover = tbd::trace::decode_request_log_v2(
+      bytes, tbd::trace::DecodeMode::kRecoverTail);
+  if (strict.ok) {
+    TBD_FUZZ_CHECK(recover.ok);
+    TBD_FUZZ_CHECK(recover.warning.empty());
+    TBD_FUZZ_CHECK(recover.records.size() == strict.records.size());
+  } else if (recover.ok) {
+    // A recovered decode always names the dropped tail.
+    TBD_FUZZ_CHECK(!recover.warning.empty());
+    TBD_FUZZ_CHECK(strict.records.empty());
+  }
+  return 0;
+}

@@ -52,7 +52,8 @@ python3 scripts/check_corpus.py
 if cmake -B build-fuzz -S . -DTBD_FUZZ=ON \
       -DTBD_SANITIZE=address+undefined >/dev/null \
     && cmake --build build-fuzz -j "$(nproc)" \
-        --target fuzz_csv_replay fuzz_tbdr_replay fuzz_capture_replay \
+        --target fuzz_csv_replay fuzz_tbdr_replay fuzz_tbdr2_replay \
+        fuzz_capture_replay \
         differential_oracle_test metamorphic_test; then
   ctest --test-dir build-fuzz --output-on-failure \
     -R 'corpus_replay_|differential_oracle_test|metamorphic_test'
@@ -114,11 +115,27 @@ echo "== tier-1: ingestion smoke =="
 ./build/tools/tbd_convert scripts/testdata/tiny_log.csv \
   "$obs_tmp/tiny_canonical.csv" >/dev/null
 cmp "$obs_tmp/tiny_roundtrip.csv" "$obs_tmp/tiny_canonical.csv"
+# Same gates for the segmented v2 format: CSV -> v2 -> CSV byte-identical,
+# and a v1 -> v2 -> v1 binary round-trip (v1 is bijective, so equal v1 bytes
+# prove v2 lost nothing).
+./build/tools/tbd_convert scripts/testdata/tiny_log.csv \
+  "$obs_tmp/tiny.tbd2" >/dev/null
+./build/tools/tbd_convert "$obs_tmp/tiny.tbd2" \
+  "$obs_tmp/tiny_v2_roundtrip.csv" >/dev/null
+cmp "$obs_tmp/tiny_v2_roundtrip.csv" "$obs_tmp/tiny_canonical.csv"
+./build/tools/tbd_convert "$obs_tmp/tiny.tbdr" "$obs_tmp/tiny_v1v2.tbd2" \
+  >/dev/null
+./build/tools/tbd_convert "$obs_tmp/tiny_v1v2.tbd2" \
+  "$obs_tmp/tiny_v1v2v1.tbdr" >/dev/null
+cmp "$obs_tmp/tiny.tbdr" "$obs_tmp/tiny_v1v2v1.tbdr"
 ./build/tools/tbd_analyze --width 50 scripts/testdata/tiny_log.csv \
   | grep -v '^loaded ' > "$obs_tmp/report_csv.txt"
 ./build/tools/tbd_analyze --width 50 "$obs_tmp/tiny.tbdr" \
   | grep -v '^loaded ' > "$obs_tmp/report_bin.txt"
 cmp "$obs_tmp/report_csv.txt" "$obs_tmp/report_bin.txt"
+./build/tools/tbd_analyze --width 50 "$obs_tmp/tiny.tbd2" \
+  | grep -v '^loaded ' > "$obs_tmp/report_v2.txt"
+cmp "$obs_tmp/report_csv.txt" "$obs_tmp/report_v2.txt"
 # The sharded CSV loader must be order-preserving: identical analysis at any
 # thread count.
 TBD_THREADS=1 ./build/tools/tbd_analyze --width 50 \
@@ -177,6 +194,39 @@ print(f"live scrape: OK ({len(episodes['episodes'])} episodes, "
 PY
 wait "$watch_pid"  # natural exit (status 0) writes the folded profile
 python3 scripts/check_obs_output.py --profile "$obs_tmp/watch.folded"
+
+echo "== tier-1: crash-recovery smoke =="
+# The flight-recorder capture path: tbd_watch mirrors the live replay into a
+# TBDR v2 segment log (small segments so the tiny log spans several). A
+# crash mid-write is simulated by truncating the tail — the decoder must
+# recover every sealed segment, warn about the dropped tail, and the
+# recovered prefix must analyze identically at any pool width.
+./build/tools/tbd_watch --width 50 --nstar 3 --speed max \
+  --record-out "$obs_tmp/capture.tbd2" --record-segment 16 \
+  "$obs_tmp/tiny.tbdr" >/dev/null
+# The intact capture holds the same records as the source log. The recorder
+# mirrors the replay's departure-ordered merge while the source CSV keeps
+# its input order, so compare the sorted record sets, not raw bytes.
+./build/tools/tbd_convert "$obs_tmp/capture.tbd2" \
+  "$obs_tmp/capture_rt.csv" >/dev/null
+tail -n +2 "$obs_tmp/capture_rt.csv" | sort > "$obs_tmp/capture_sorted.csv"
+tail -n +2 "$obs_tmp/tiny_canonical.csv" | sort \
+  | cmp - "$obs_tmp/capture_sorted.csv"
+# Kill -9 mid-segment: chop 10 bytes off the tail. 77 records at 16 per
+# segment = 4 sealed segments + a 13-record tail; the cut lands inside the
+# tail's payload, so exactly 64 records must survive.
+capture_bytes=$(wc -c < "$obs_tmp/capture.tbd2")
+head -c "$((capture_bytes - 10))" "$obs_tmp/capture.tbd2" \
+  > "$obs_tmp/capture_cut.tbd2"
+TBD_THREADS=1 ./build/tools/tbd_analyze --width 50 \
+  "$obs_tmp/capture_cut.tbd2" > "$obs_tmp/recover_t1.txt" \
+  2> "$obs_tmp/recover_warn.txt"
+TBD_THREADS=4 ./build/tools/tbd_analyze --width 50 \
+  "$obs_tmp/capture_cut.tbd2" > "$obs_tmp/recover_t4.txt" 2>/dev/null
+cmp "$obs_tmp/recover_t1.txt" "$obs_tmp/recover_t4.txt"
+grep -q 'recovered 4 sealed segments; dropped tail:' \
+  "$obs_tmp/recover_warn.txt"
+grep -q '^loaded 64 records ' "$obs_tmp/recover_t1.txt"
 
 echo "== tier-1: profiler overhead gate =="
 # bench_streaming exits nonzero if the 97 Hz profiler arm costs >= 1% on

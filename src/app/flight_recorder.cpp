@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/timeline.h"
+#include "trace/segment_log.h"
 
 namespace tbd::app {
 
@@ -226,6 +227,29 @@ int emit_flight_outputs(const FlightRecord& rec, const FlightOutputs& out,
     std::fprintf(stderr, "error: cannot write %s\n",
                  out.attribution_csv.c_str());
     return 1;
+  }
+  if (!out.record_log.empty()) {
+    // Archive the flight's input records as a TBDR v2 segment log: re-merge
+    // the per-server logs into the departure order records.h requires, so
+    // the archive round-trips through every loader.
+    trace::RequestLog merged;
+    std::size_t total = 0;
+    for (const ServerFlight& sf : rec.servers) total += sf.log.size();
+    merged.reserve(total);
+    for (const ServerFlight& sf : rec.servers) {
+      merged.insert(merged.end(), sf.log.begin(), sf.log.end());
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const trace::RequestRecord& a,
+                        const trace::RequestRecord& b) {
+                       return a.departure < b.departure;
+                     });
+    if (!trace::save_request_log_v2(out.record_log, merged)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.record_log.c_str());
+      return 1;
+    }
+    std::printf("record log: %zu records -> %s\n", merged.size(),
+                out.record_log.c_str());
   }
   if (!out.trace.empty() || !out.manifest.empty()) {
     auto& registry = obs::Registry::global();

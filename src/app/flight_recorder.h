@@ -70,6 +70,7 @@ struct FlightOutputs {
   std::string timeline;         // Perfetto/Chrome timeline JSON
   std::string attribution;      // attribution NDJSON
   std::string attribution_csv;  // attribution CSV
+  std::string record_log;       // analyzed records, TBDR v2 segment log
   std::string trace;            // pipeline span trace (wall clock)
   std::string manifest;         // run manifest
 };

@@ -638,4 +638,285 @@ trace::RequestLogReadResult oracle_decode_request_log_bin(
   return result;
 }
 
+namespace {
+
+// ---- naive TBDR v2 helpers --------------------------------------------------
+
+/// CRC-32C one bit at a time — the polynomial's definition, no tables.
+std::uint32_t naive_crc32c(const char* data, std::size_t size) {
+  constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc ^= static_cast<unsigned char>(data[i]);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+  }
+  return ~crc;
+}
+
+std::uint64_t naive_u64(std::string_view bytes, std::size_t off,
+                        std::size_t width) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(bytes[off + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::int64_t naive_unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// LEB128 by definition: per-byte end checks, at most 10 bytes, a
+/// continuation bit on the 10th byte is malformed. Returns false on
+/// malformed input. (Matches wire::get_varint, including its acceptance of
+/// terminating overlong encodings whose high bits fall off.)
+bool naive_varint(std::string_view bytes, std::size_t& pos, std::size_t end,
+                  std::uint64_t& out) {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 70; shift += 7) {
+    if (pos >= end) return false;
+    const std::uint64_t b = static_cast<unsigned char>(bytes[pos++]);
+    v |= (b & 0x7F) << shift;
+    if (b < 0x80) {
+      out = v;
+      return true;
+    }
+  }
+  return false;  // continuation bit on the 10th byte
+}
+
+/// One column block (tag byte + data) decoded to raw wire values.
+bool naive_column(std::string_view bytes, std::size_t& pos, std::size_t end,
+                  std::size_t n, std::vector<std::uint64_t>& out) {
+  out.clear();
+  if (pos >= end) return false;
+  const auto tag = static_cast<std::uint8_t>(bytes[pos++]);
+  if (tag == 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t v;
+      if (!naive_varint(bytes, pos, end, v)) return false;
+      out.push_back(v);
+    }
+    return true;
+  }
+  if (tag != 1 && tag != 2 && tag != 4 && tag != 8) return false;
+  if ((end - pos) / tag < n) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(naive_u64(bytes, pos, tag));
+    pos += tag;
+  }
+  return true;
+}
+
+/// One segment payload decoded to five column vectors; false = corrupt.
+bool naive_segment_payload(std::string_view bytes, std::size_t payload_off,
+                           std::size_t payload_bytes, std::size_t n,
+                           std::vector<std::int64_t>& arrival,
+                           std::vector<std::int64_t>& departure,
+                           std::vector<trace::ServerIndex>& server,
+                           std::vector<trace::ClassId>& class_id,
+                           std::vector<trace::TxnId>& txn) {
+  std::size_t pos = payload_off;
+  const std::size_t end = payload_off + payload_bytes;
+  std::vector<std::uint64_t> raw;
+  // departure: zigzag seed, zigzag first-delta seed, then delta-of-delta.
+  {
+    std::uint64_t seed;
+    if (!naive_varint(bytes, pos, end, seed)) return false;
+    std::uint64_t prev = static_cast<std::uint64_t>(naive_unzigzag(seed));
+    departure.push_back(static_cast<std::int64_t>(prev));
+    std::uint64_t delta = 0;
+    if (n >= 2) {
+      if (!naive_varint(bytes, pos, end, seed)) return false;
+      delta = static_cast<std::uint64_t>(naive_unzigzag(seed));
+      prev += delta;
+      departure.push_back(static_cast<std::int64_t>(prev));
+    }
+    if (!naive_column(bytes, pos, end, n >= 2 ? n - 2 : 0, raw)) return false;
+    for (const std::uint64_t v : raw) {
+      delta += static_cast<std::uint64_t>(naive_unzigzag(v));
+      prev += delta;
+      departure.push_back(static_cast<std::int64_t>(prev));
+    }
+  }
+  // arrival: departure minus zigzagged residence.
+  if (!naive_column(bytes, pos, end, n, raw)) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto residence = static_cast<std::uint64_t>(naive_unzigzag(raw[i]));
+    arrival.push_back(static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(departure[departure.size() - n + i]) -
+        residence));
+  }
+  // server + class_id: plain values, both must fit 32 bits.
+  if (!naive_column(bytes, pos, end, n, raw)) return false;
+  std::uint64_t wide = 0;
+  for (const std::uint64_t v : raw) {
+    wide |= v;
+    server.push_back(static_cast<trace::ServerIndex>(v));
+  }
+  if (!naive_column(bytes, pos, end, n, raw)) return false;
+  for (const std::uint64_t v : raw) {
+    wide |= v;
+    class_id.push_back(static_cast<trace::ClassId>(v));
+  }
+  if ((wide >> 32) != 0) return false;
+  // txn: raw seed, then zigzagged deltas.
+  {
+    std::uint64_t prev;
+    if (!naive_varint(bytes, pos, end, prev)) return false;
+    txn.push_back(prev);
+    if (!naive_column(bytes, pos, end, n - 1, raw)) return false;
+    for (const std::uint64_t v : raw) {
+      prev += static_cast<std::uint64_t>(naive_unzigzag(v));
+      txn.push_back(prev);
+    }
+  }
+  return pos == end;  // the payload must hold nothing else
+}
+
+std::string naive_recovery_warning(std::uint64_t sealed,
+                                   const std::string& error,
+                                   std::size_t error_offset,
+                                   std::uint64_t error_segment) {
+  std::string w = "recovered " + std::to_string(sealed) + " sealed segment";
+  if (sealed != 1) w += 's';
+  w += "; dropped tail: " + error + " at byte offset " +
+       std::to_string(error_offset) + ", segment " +
+       std::to_string(error_segment);
+  return w;
+}
+
+}  // namespace
+
+trace::SegmentLogReadResult oracle_decode_request_log_v2(
+    std::string_view bytes, trace::DecodeMode mode) {
+  constexpr std::size_t kFileHeaderSize = 8;
+  constexpr std::size_t kSegHeaderSize = 40;
+  trace::SegmentLogReadResult result;
+  result.input_size = bytes.size();
+
+  // ---- file header ----
+  if (bytes.size() < kFileHeaderSize) {
+    result.error = "truncated header";
+    result.error_offset = bytes.size();
+    return result;
+  }
+  if (bytes.substr(0, 4) != "TBDR") {
+    result.error = "bad magic";
+    result.error_offset = 0;
+    return result;
+  }
+  if (naive_u64(bytes, 4, 4) != 2) {
+    result.error = "unsupported version";
+    result.error_offset = 4;
+    return result;
+  }
+
+  // ---- sequential segment walk: validate header, decode payload ----
+  std::vector<std::int64_t> arrival, departure;
+  std::vector<trace::ServerIndex> server;
+  std::vector<trace::ClassId> class_id;
+  std::vector<trace::TxnId> txn;
+  std::uint64_t sealed = 0;
+  std::string tail_error;  // non-empty = scan stopped before file end
+  std::size_t tail_offset = 0;
+  std::size_t pos = kFileHeaderSize;
+  while (pos < bytes.size()) {
+    // Header validation, in the documented order.
+    if (bytes.size() - pos < kSegHeaderSize) {
+      tail_error = "truncated segment header";
+      tail_offset = pos;
+      break;
+    }
+    if (bytes.substr(pos, 4) != "TSEG") {
+      tail_error = "bad segment magic";
+      tail_offset = pos;
+      break;
+    }
+    const std::uint64_t count = naive_u64(bytes, pos + 4, 4);
+    const std::uint64_t payload_bytes = naive_u64(bytes, pos + 8, 8);
+    const std::uint64_t payload_crc = naive_u64(bytes, pos + 32, 4);
+    const std::uint64_t header_crc = naive_u64(bytes, pos + 36, 4);
+    if (naive_crc32c(bytes.data() + pos, kSegHeaderSize - 4) != header_crc) {
+      tail_error = "bad segment header checksum";
+      tail_offset = pos + kSegHeaderSize - 4;
+      break;
+    }
+    if (count == 0 ? payload_bytes != 0 : payload_bytes < 5 + count * 5) {
+      tail_error = "segment record count disagrees with payload size";
+      tail_offset = pos + 4;
+      break;
+    }
+    if (payload_bytes > bytes.size() - pos - kSegHeaderSize) {
+      tail_error = "truncated segment payload";
+      tail_offset = pos + kSegHeaderSize;
+      break;
+    }
+    const std::size_t payload_off = pos + kSegHeaderSize;
+    // Payload validation: CRC first, then the structural decode. A bad
+    // payload is fatal unless it is the file's final segment and the mode
+    // recovers.
+    std::string seg_error;
+    std::size_t seg_error_offset = 0;
+    if (naive_crc32c(bytes.data() + payload_off,
+                     static_cast<std::size_t>(payload_bytes)) != payload_crc) {
+      seg_error = "bad segment payload checksum";
+      seg_error_offset = pos + 32;
+    } else if (count != 0) {
+      const std::size_t before = arrival.size();
+      if (!naive_segment_payload(bytes, payload_off,
+                                 static_cast<std::size_t>(payload_bytes),
+                                 static_cast<std::size_t>(count), arrival,
+                                 departure, server, class_id, txn)) {
+        seg_error = "corrupt segment payload";
+        seg_error_offset = payload_off;
+        arrival.resize(before);
+        departure.resize(before);
+        server.resize(before);
+        class_id.resize(before);
+        txn.resize(before);
+      }
+    }
+    if (!seg_error.empty()) {
+      const bool is_last = payload_off + payload_bytes == bytes.size();
+      if (mode == trace::DecodeMode::kStrict || !is_last) {
+        result.error = std::move(seg_error);
+        result.error_offset = seg_error_offset;
+        result.error_segment = sealed;
+        return result;
+      }
+      result.warning = naive_recovery_warning(sealed, seg_error,
+                                              seg_error_offset, sealed);
+      result.error_offset = seg_error_offset;
+      result.error_segment = sealed;
+      break;
+    }
+    ++sealed;
+    pos = payload_off + static_cast<std::size_t>(payload_bytes);
+  }
+  if (!tail_error.empty()) {
+    result.error_offset = tail_offset;
+    result.error_segment = sealed;
+    if (mode == trace::DecodeMode::kStrict) {
+      result.error = std::move(tail_error);
+      return result;
+    }
+    result.warning =
+        naive_recovery_warning(sealed, tail_error, tail_offset, sealed);
+  }
+
+  result.records.arrival_us.assign(arrival.begin(), arrival.end());
+  result.records.departure_us.assign(departure.begin(), departure.end());
+  result.records.server.assign(server.begin(), server.end());
+  result.records.class_id.assign(class_id.begin(), class_id.end());
+  result.records.txn.assign(txn.begin(), txn.end());
+  result.ok = true;
+  result.segments = sealed;
+  return result;
+}
+
 }  // namespace tbd::pt

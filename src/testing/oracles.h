@@ -36,6 +36,7 @@
 #include "trace/log_io.h"
 #include "trace/records.h"
 #include "trace/request_log_file.h"
+#include "trace/segment_log.h"
 #include "trace/txn_tree.h"
 
 namespace tbd::pt {
@@ -99,5 +100,16 @@ namespace tbd::pt {
 /// path of load_request_log_bin.
 [[nodiscard]] trace::RequestLogReadResult oracle_decode_request_log_bin(
     std::string_view bytes);
+
+/// TBDR v2 decode by definition (segment_log.h): one sequential pass,
+/// byte-wise reads, a bit-at-a-time CRC-32C, per-value varint loops, and
+/// columns materialized through plain std::vector appends — none of the
+/// optimized decoder's machinery (no slicing-by-8/SSE4.2 CRC, no segment
+/// fan-out, no fused sinks, no uninitialized resize). Replicates the full
+/// result contract bit for bit: records, ok, error/warning strings,
+/// error_offset, error_segment, segments, input_size.
+[[nodiscard]] trace::SegmentLogReadResult oracle_decode_request_log_v2(
+    std::string_view bytes,
+    trace::DecodeMode mode = trace::DecodeMode::kRecoverTail);
 
 }  // namespace tbd::pt

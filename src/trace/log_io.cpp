@@ -9,11 +9,13 @@
 #include <fstream>
 #include <string_view>
 #include <thread>
+#include <type_traits>
 
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "trace/mapped_file.h"
 #include "trace/request_log_file.h"
+#include "trace/segment_log.h"
 #include "util/thread_pool.h"
 
 namespace tbd::trace {
@@ -438,6 +440,33 @@ std::string fold_bin_error(std::string error, const BinResult& bin) {
          std::to_string(bin.input_size);
 }
 
+// The v2 twin: segment coordinates instead of record coordinates.
+std::string fold_v2_error(std::string error, const SegmentLogReadResult& v2) {
+  return std::move(error) + " at byte offset " +
+         std::to_string(v2.error_offset) + ", segment " +
+         std::to_string(v2.error_segment) + ", file size " +
+         std::to_string(v2.input_size);
+}
+
+// Maps a v2 decode into the front-door result shape. v2's recovery warning
+// already carries its own coordinates, so it passes through verbatim.
+template <typename Result>
+Result from_v2(SegmentLogReadResult v2) {
+  Result result;
+  result.ok = v2.ok;
+  result.error = std::move(v2.error);
+  result.warning = std::move(v2.warning);
+  if (!result.ok && v2.input_size > 0) {
+    result.error = fold_v2_error(std::move(result.error), v2);
+  }
+  if constexpr (std::is_same_v<Result, ColumnarLogIoResult>) {
+    result.records = std::move(v2.records);
+  } else {
+    result.records = v2.records.to_records();
+  }
+  return result;
+}
+
 }  // namespace
 
 LogIoResult load_request_log_csv_sharded(const std::string& path, int shards) {
@@ -451,6 +480,9 @@ ColumnarLogIoResult load_request_log_csv_sharded_columns(
 
 LogIoResult load_request_log(const std::string& path) {
   if (sniff_request_log_bin(path)) {
+    if (sniff_request_log_version(path) == kRequestLogV2Version) {
+      return from_v2<LogIoResult>(load_request_log_v2(path));
+    }
     auto bin = load_request_log_bin(path);
     LogIoResult result;
     result.ok = bin.ok;
@@ -466,6 +498,9 @@ LogIoResult load_request_log(const std::string& path) {
 
 ColumnarLogIoResult load_request_log_columns(const std::string& path) {
   if (sniff_request_log_bin(path)) {
+    if (sniff_request_log_version(path) == kRequestLogV2Version) {
+      return from_v2<ColumnarLogIoResult>(load_request_log_v2(path));
+    }
     auto bin = load_request_log_bin_columns(path);
     ColumnarLogIoResult result;
     result.ok = bin.ok;

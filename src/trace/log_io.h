@@ -37,6 +37,11 @@ struct LogIoResult {
   std::size_t skipped_lines = 0;  // malformed or comment lines
   bool ok = false;                // file opened and at least parsed
   std::string error;              // why ok is false (empty when ok)
+  /// Non-fatal diagnostics from a load that still succeeded: today this is
+  /// TBDR v2 crash recovery ("recovered N sealed segments; dropped tail:
+  /// ..."), where a truncated tail costs at most one unsealed segment
+  /// (segment_log.h). Empty otherwise; tools print it to stderr.
+  std::string warning;
   /// 1-based number of the first malformed line (comment lines and a
   /// recognized "server,..." header are not malformed); 0 = none.
   std::size_t first_bad_line = 0;
@@ -75,6 +80,7 @@ struct ColumnarLogIoResult {
   std::size_t skipped_lines = 0;
   bool ok = false;
   std::string error;
+  std::string warning;  // non-fatal diagnostics; see LogIoResult::warning
   std::size_t first_bad_line = 0;
   std::string first_bad_text;
 };

@@ -1,5 +1,9 @@
 #include "trace/request_columns.h"
 
+#include <type_traits>
+
+#include "trace/mapped_file.h"
+
 namespace tbd::trace {
 
 void RequestColumns::reserve(std::size_t n) {
@@ -11,11 +15,48 @@ void RequestColumns::reserve(std::size_t n) {
 }
 
 void RequestColumns::resize(std::size_t n) {
+  // Value-insert explicitly: the columns' DefaultInitAllocator makes plain
+  // resize(n) leave grown elements uninitialized, and resize() promises
+  // zero-fill.
+  arrival_us.resize(n, 0);
+  departure_us.resize(n, 0);
+  server.resize(n, 0);
+  class_id.resize(n, 0);
+  txn.resize(n, 0);
+}
+
+void RequestColumns::resize_for_overwrite(std::size_t n) {
+  reserve(n);
+  const auto prepare = [n](auto& column) {
+    using T = typename std::remove_reference_t<decltype(column)>::value_type;
+    advise_huge_pages(column.data(), n * sizeof(T));
+  };
+  prepare(arrival_us);
+  prepare(departure_us);
+  prepare(server);
+  prepare(class_id);
+  prepare(txn);
+  // Default-insert (uninitialized for these trivial element types): every
+  // caller overwrites the rows it sized, so the only writes these columns
+  // see before first read are the decoder's own.
   arrival_us.resize(n);
   departure_us.resize(n);
   server.resize(n);
   class_id.resize(n);
   txn.resize(n);
+}
+
+void RequestColumns::resize_prefaulted(std::size_t n) {
+  resize_for_overwrite(n);
+  const auto prepare = [n](auto& column) {
+    using T = typename std::remove_reference_t<decltype(column)>::value_type;
+    populate_pages_for_write(column.data(), n * sizeof(T));
+  };
+  prepare(arrival_us);
+  prepare(departure_us);
+  prepare(server);
+  prepare(class_id);
+  prepare(txn);
 }
 
 void RequestColumns::clear() {

@@ -19,12 +19,52 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "trace/records.h"
 
 namespace tbd::trace {
+
+namespace detail {
+
+/// std::allocator that default-initializes on default-insertion — for the
+/// trivial column element types this leaves resize-grown memory
+/// uninitialized instead of zero-filling it. The bulk decoders overwrite
+/// every row they size, so the value-init memset is a pure extra pass over
+/// the output (a third of the loaders' write traffic at 32 B/record);
+/// RequestColumns::resize keeps the zero-fill contract by value-inserting
+/// explicitly, and only resize_prefaulted exposes the uninitialized path.
+template <typename T>
+class DefaultInitAllocator : public std::allocator<T> {
+ public:
+  using std::allocator<T>::allocator;
+
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+
+  template <typename U>
+  void construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace detail
+
+/// Column storage: std::vector in every observable way (same layout,
+/// iterators, data()/size()), except that default-insertion leaves trivial
+/// elements uninitialized (see DefaultInitAllocator).
+template <typename T>
+using ColumnVector = std::vector<T, detail::DefaultInitAllocator<T>>;
 
 /// Non-owning view over one request log in columnar layout. All spans have
 /// equal length.
@@ -64,17 +104,34 @@ struct RequestColumnsView {
 /// vectors are public so loaders can decode straight into them; every
 /// mutator here keeps the equal-length invariant.
 struct RequestColumns {
-  std::vector<std::int64_t> arrival_us;
-  std::vector<std::int64_t> departure_us;
-  std::vector<ServerIndex> server;
-  std::vector<ClassId> class_id;
-  std::vector<TxnId> txn;
+  ColumnVector<std::int64_t> arrival_us;
+  ColumnVector<std::int64_t> departure_us;
+  ColumnVector<ServerIndex> server;
+  ColumnVector<ClassId> class_id;
+  ColumnVector<TxnId> txn;
 
   [[nodiscard]] std::size_t size() const { return arrival_us.size(); }
   [[nodiscard]] bool empty() const { return arrival_us.empty(); }
 
   void reserve(std::size_t n);
+  /// Grown rows are zero-filled, exactly like std::vector::resize.
   void resize(std::size_t n);
+  /// resize(n) for bulk decoders that overwrite every row: reserves first,
+  /// asks the kernel for huge pages (mapped_file.h), then sizes the vectors
+  /// WITHOUT faulting or zero-filling a single page. Grown rows are
+  /// UNINITIALIZED and their pages not yet materialized; the caller must
+  /// overwrite every row it sized. Parallel decoders pair this with
+  /// populate_pages_for_write on each worker's own output slice just before
+  /// writing it: the kernel's unavoidable zeroing of fresh pages then
+  /// happens on a cache-sized slice that the decode overwrites while it is
+  /// still hot, so DRAM sees one write-back of final data instead of a
+  /// zero pass plus a read-for-ownership plus a write-back.
+  void resize_for_overwrite(std::size_t n);
+  /// resize_for_overwrite(n) plus one batched pre-fault of all five columns
+  /// (populate_pages_for_write). For sequential decoders with no natural
+  /// slice structure: still saves the zero-fill memset of resize() and the
+  /// ~2x cost of demand-faulting page by page.
+  void resize_prefaulted(std::size_t n);
   void clear();
 
   void push_back(const RequestRecord& r);

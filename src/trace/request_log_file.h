@@ -90,4 +90,12 @@ struct RequestColumnsReadResult {
 /// True when `path` exists and begins with the "TBDR" magic.
 [[nodiscard]] bool sniff_request_log_bin(const std::string& path);
 
+/// Format version of a "TBDR"-magic file: 0 when the file is missing or the
+/// magic does not match; otherwise the header's u32 version field (1 when the
+/// version bytes themselves are truncated, so such stubs still route to the
+/// v1 decoder and get its "truncated header" diagnostics). The front doors
+/// dispatch on this: 2 -> segment_log.h, anything else -> the v1 decoder,
+/// which reports "unsupported version" for versions it does not know.
+[[nodiscard]] std::uint32_t sniff_request_log_version(const std::string& path);
+
 }  // namespace tbd::trace

@@ -1,0 +1,697 @@
+#include "trace/segment_log.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "trace/mapped_file.h"
+#include "trace/wire.h"
+#include "util/thread_pool.h"
+
+namespace tbd::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'B', 'D', 'R'};
+constexpr char kSegMagic[4] = {'T', 'S', 'E', 'G'};
+constexpr std::size_t kFileHeaderSize = 4 + 4;
+constexpr std::size_t kSegHeaderSize = 4 + 4 + 8 + 8 + 8 + 4 + 4;
+/// Bytes of the frame header covered by header_crc32c (everything before it).
+constexpr std::size_t kSegHeaderCrcBytes = kSegHeaderSize - 4;
+constexpr std::size_t kColumnCount = 5;
+/// Every record contributes at least one byte to each of the five columns
+/// (narrowest fixed width / shortest varint), and each column block carries
+/// one tag byte, so a frame header claiming
+/// payload_bytes < kColumnCount + 5 * count is structurally impossible —
+/// rejected during the scan, before any allocation.
+constexpr std::uint64_t kMinBytesPerRecord = kColumnCount;
+/// Worst-case encoded record: 10-byte varints (or 8-byte fixed) in all five
+/// columns. Sizes the encoder's staging buffer (plus the five tag bytes).
+constexpr std::size_t kMaxBytesPerRecord = kColumnCount * wire::kMaxVarintBytes;
+/// Chain seeds carried as plain varints outside the packed blocks: the
+/// departure column's first value and first delta, and the txn column's
+/// first id. Each replaces one packed value, so the per-record worst case
+/// is unchanged; the staging buffer just reserves their varint ceiling.
+constexpr std::size_t kChainSeedCount = 3;
+
+/// Column-block encoding tag: the fixed byte width of each value, or
+/// kTagVarint for an LEB128 varint stream. Any other tag byte is corrupt.
+enum : std::uint8_t {
+  kTagVarint = 0,
+  kTagFixed1 = 1,
+  kTagFixed2 = 2,
+  kTagFixed4 = 4,
+  kTagFixed8 = 8,
+};
+
+// Little-endian scribblers; portable regardless of host endianness.
+template <typename T>
+void put(char*& p, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    *p++ = static_cast<char>((static_cast<std::uint64_t>(value) >> (8 * i)) & 0xFF);
+  }
+}
+
+template <typename T>
+T take(const char*& p) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(*p++)) << (8 * i);
+  }
+  return static_cast<T>(v);
+}
+
+std::size_t clamp_segment_records(std::size_t requested) {
+  return std::clamp<std::size_t>(requested, 1, 0xFFFFFFFFu);
+}
+
+/// Appends one column block (tag byte + data) for values[0..n) to `p`.
+/// Picks the smallest fixed byte width that holds every value, falling back
+/// to a varint stream only when that is MORE than 2x smaller. Fixed-width
+/// blocks decode branchlessly (and vectorized); a mixed-length varint
+/// stream costs a data-dependent branch per value, which on a 5M-record
+/// load measures ~10 ms — worth paying only when the byte savings dwarf it
+/// (cold I/O reads back the saved bytes at ~2 GB/s, so byte-for-byte a
+/// varint needs to save well over half the block to win).
+char* encode_column(const std::uint64_t* values, std::size_t n, char* p) {
+  std::uint64_t all_bits = 0;
+  std::uint64_t varint_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    all_bits |= values[i];
+    varint_total += wire::varint_size(values[i]);
+  }
+  std::uint8_t width = kTagFixed8;
+  if (all_bits <= 0xFF) {
+    width = kTagFixed1;
+  } else if (all_bits <= 0xFFFF) {
+    width = kTagFixed2;
+  } else if (all_bits <= 0xFFFFFFFFu) {
+    width = kTagFixed4;
+  }
+  if (varint_total * 2 < static_cast<std::uint64_t>(n) * width) {
+    *p++ = static_cast<char>(kTagVarint);
+    for (std::size_t i = 0; i < n; ++i) {
+      p = wire::put_varint_raw(p, values[i]);
+    }
+    return p;
+  }
+  *p++ = static_cast<char>(width);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t v = values[i];
+    for (std::size_t b = 0; b < width; ++b) {
+      *p++ = static_cast<char>(v & 0xFF);
+      v >>= 8;
+    }
+  }
+  return p;
+}
+
+/// Appends one sealed segment (frame header + payload) for the non-empty
+/// rows of `seg` to `out`; `scratch` is the caller's reusable payload
+/// staging buffer (sized for the worst case, never shrunk). The transformed
+/// (zigzag/delta) values are staged per column so the size-planning pass and
+/// the emit pass in encode_column read the same numbers.
+void encode_segment(const RequestColumnsView& seg, std::string& scratch,
+                    std::string& out) {
+  const std::size_t n = seg.size();
+  if (scratch.size() <
+      n * kMaxBytesPerRecord + kColumnCount + kChainSeedCount * wire::kMaxVarintBytes) {
+    scratch.resize(n * kMaxBytesPerRecord + kColumnCount +
+                   kChainSeedCount * wire::kMaxVarintBytes);
+  }
+  std::vector<std::uint64_t> values(n);
+  std::uint64_t* vals = values.data();
+  char* p = scratch.data();
+  std::int64_t min_arrival = seg.arrival_us[0];
+  std::int64_t max_departure = seg.departure_us[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    max_departure = std::max(max_departure, seg.departure_us[i]);
+    min_arrival = std::min(min_arrival, seg.arrival_us[i]);
+  }
+  {  // departure: chain seeds, then delta-of-delta zigzag for rows >= 2.
+     // The seeds ride outside the packed block so the absolute first
+     // timestamp (epoch microseconds in real captures) and the first delta
+     // cannot poison the width choice for the whole column of small
+     // second-order deltas.
+    p = wire::put_varint_raw(p, wire::zigzag_encode(seg.departure_us[0]));
+    std::size_t m = 0;
+    if (n >= 2) {
+      std::uint64_t prev = static_cast<std::uint64_t>(seg.departure_us[1]);
+      std::uint64_t prev_delta =
+          prev - static_cast<std::uint64_t>(seg.departure_us[0]);
+      p = wire::put_varint_raw(
+          p, wire::zigzag_encode(static_cast<std::int64_t>(prev_delta)));
+      for (std::size_t i = 2; i < n; ++i) {
+        const auto cur = static_cast<std::uint64_t>(seg.departure_us[i]);
+        const std::uint64_t delta = cur - prev;
+        vals[m++] =
+            wire::zigzag_encode(static_cast<std::int64_t>(delta - prev_delta));
+        prev_delta = delta;
+        prev = cur;
+      }
+    }
+    p = encode_column(vals, m, p);
+  }
+  {  // arrival: residence time (departure - arrival), zigzag
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t residence =
+          static_cast<std::uint64_t>(seg.departure_us[i]) -
+          static_cast<std::uint64_t>(seg.arrival_us[i]);
+      vals[i] = wire::zigzag_encode(static_cast<std::int64_t>(residence));
+    }
+    p = encode_column(vals, n, p);
+  }
+  for (std::size_t i = 0; i < n; ++i) vals[i] = seg.server[i];
+  p = encode_column(vals, n, p);
+  for (std::size_t i = 0; i < n; ++i) vals[i] = seg.class_id[i];
+  p = encode_column(vals, n, p);
+  {  // txn: raw seed, then delta zigzag for rows >= 1 (the first id is an
+     // arbitrary-magnitude value; the deltas of a departure-ordered log are
+     // small).
+    p = wire::put_varint_raw(p, seg.txn[0]);
+    std::uint64_t prev = seg.txn[0];
+    std::size_t m = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      vals[m++] = wire::zigzag_encode(static_cast<std::int64_t>(seg.txn[i] - prev));
+      prev = seg.txn[i];
+    }
+    p = encode_column(vals, m, p);
+  }
+  const auto payload_bytes = static_cast<std::size_t>(p - scratch.data());
+
+  char header[kSegHeaderSize];
+  char* h = header;
+  std::memcpy(h, kSegMagic, 4);
+  h += 4;
+  put<std::uint32_t>(h, static_cast<std::uint32_t>(n));
+  put<std::uint64_t>(h, payload_bytes);
+  put<std::int64_t>(h, min_arrival);
+  put<std::int64_t>(h, max_departure);
+  put<std::uint32_t>(h, wire::crc32c(scratch.data(), payload_bytes));
+  put<std::uint32_t>(h, wire::crc32c(header, kSegHeaderCrcBytes));
+  out.append(header, kSegHeaderSize);
+  out.append(scratch.data(), payload_bytes);
+}
+
+void append_file_header(std::string& out) {
+  out.append(kMagic, 4);
+  char version[4];
+  char* p = version;
+  put<std::uint32_t>(p, kRequestLogV2Version);
+  out.append(version, 4);
+}
+
+// ---- decoding ---------------------------------------------------------------
+
+/// One sealed segment located by the header scan.
+struct SegmentRef {
+  std::size_t header_off = 0;
+  std::size_t payload_off = 0;
+  std::size_t payload_bytes = 0;
+  std::uint32_t count = 0;
+  std::uint32_t payload_crc = 0;
+  std::size_t out_off = 0;  ///< prefix sum of counts: first output row
+};
+
+/// Sequential walk of the frame headers. Stops at the first invalid byte;
+/// `error` empty means the file ended exactly on a segment boundary.
+struct ScanOutcome {
+  std::vector<SegmentRef> segments;
+  std::uint64_t total_records = 0;
+  bool file_header_ok = false;
+  std::string error;
+  std::size_t error_offset = 0;
+};
+
+ScanOutcome scan_segments(std::string_view bytes) {
+  ScanOutcome scan;
+  if (bytes.size() < kFileHeaderSize) {
+    scan.error = "truncated header";
+    scan.error_offset = bytes.size();
+    return scan;
+  }
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    scan.error = "bad magic";
+    scan.error_offset = 0;
+    return scan;
+  }
+  const char* v = bytes.data() + 4;
+  if (take<std::uint32_t>(v) != kRequestLogV2Version) {
+    scan.error = "unsupported version";
+    scan.error_offset = 4;
+    return scan;
+  }
+  scan.file_header_ok = true;
+
+  std::size_t pos = kFileHeaderSize;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kSegHeaderSize) {
+      scan.error = "truncated segment header";
+      scan.error_offset = pos;
+      return scan;
+    }
+    const char* h = bytes.data() + pos;
+    if (std::memcmp(h, kSegMagic, 4) != 0) {
+      scan.error = "bad segment magic";
+      scan.error_offset = pos;
+      return scan;
+    }
+    const char* f = h + 4;
+    const auto count = take<std::uint32_t>(f);
+    const auto payload_bytes = take<std::uint64_t>(f);
+    f += 16;  // min/max timestamps: advisory index fields, not validated
+    const auto payload_crc = take<std::uint32_t>(f);
+    const auto header_crc = take<std::uint32_t>(f);
+    if (wire::crc32c(h, kSegHeaderCrcBytes) != header_crc) {
+      scan.error = "bad segment header checksum";
+      scan.error_offset = pos + kSegHeaderCrcBytes;
+      return scan;
+    }
+    // The count/size sanity check runs before the payload is even located,
+    // so a corrupt (but checksummed-in-the-clear) header can neither
+    // over-allocate nor over-read. count is 32-bit, so the multiply below
+    // cannot overflow the u64 comparison.
+    if (count == 0 ? payload_bytes != 0
+                   : payload_bytes <
+                         kColumnCount + count * kMinBytesPerRecord) {
+      scan.error = "segment record count disagrees with payload size";
+      scan.error_offset = pos + 4;
+      return scan;
+    }
+    if (payload_bytes > bytes.size() - pos - kSegHeaderSize) {
+      scan.error = "truncated segment payload";
+      scan.error_offset = pos + kSegHeaderSize;
+      return scan;
+    }
+    SegmentRef seg;
+    seg.header_off = pos;
+    seg.payload_off = pos + kSegHeaderSize;
+    seg.payload_bytes = static_cast<std::size_t>(payload_bytes);
+    seg.count = count;
+    seg.payload_crc = payload_crc;
+    seg.out_off = static_cast<std::size_t>(scan.total_records);
+    scan.segments.push_back(seg);
+    scan.total_records += count;
+    pos = seg.payload_off + seg.payload_bytes;
+  }
+  return scan;
+}
+
+/// Little-endian load of W bytes, zero-extended. The byte-OR shape is
+/// endian-portable; on little-endian hosts the compiler folds it into a
+/// single load, so unpack_fixed's loops stay auto-vectorizable.
+template <std::size_t W>
+inline std::uint64_t load_le(const char* q) {
+  std::uint64_t v = 0;
+  for (std::size_t b = 0; b < W; ++b) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(q[b]))
+         << (8 * b);
+  }
+  return v;
+}
+
+/// Streams `n` raw varint values through sink(i, value). Returns the
+/// position after the last varint, or nullptr on a malformed or overrunning
+/// varint. Runs unchecked until within kMaxVarintBytes of `pend`.
+template <typename Sink>
+const char* for_varints(const char* p, const char* pend, std::size_t n,
+                        Sink&& sink) {
+  std::size_t i = 0;
+  const char* safe_end =
+      (static_cast<std::size_t>(pend - p) > wire::kMaxVarintBytes)
+          ? pend - wire::kMaxVarintBytes
+          : p;
+  for (; i < n && p < safe_end; ++i) {
+    std::uint64_t v;
+    p = wire::get_varint_unchecked(p, v);
+    if (p == nullptr) return nullptr;
+    sink(i, v);
+  }
+  for (; i < n; ++i) {
+    std::uint64_t v;
+    p = wire::get_varint(p, pend, v);
+    if (p == nullptr) return nullptr;
+    sink(i, v);
+  }
+  return p;
+}
+
+/// Streams one fixed-width block of `n` W-byte little-endian values through
+/// sink(i, value). The sink returns void and the loop carries no per-value
+/// branch of any kind, so pure sinks (plain stores, the arrival transform)
+/// auto-vectorize and chain sinks run at the latency of their own adds —
+/// this is why the encoder prefers fixed widths: mixed-length varint
+/// streams cost a data-dependent branch per value, which mispredicts on
+/// exactly the near-uniform small deltas real logs produce.
+template <std::size_t W, typename Sink>
+void for_fixed(const char* p, std::size_t n, Sink&& sink) {
+  for (std::size_t i = 0; i < n; ++i) sink(i, load_le<W>(p + i * W));
+}
+
+/// Streams one column block (tag byte + data) of raw wire values through
+/// sink(i, value), fusing the column transform into the single decode pass
+/// (every value is touched exactly once; the only second read of any byte
+/// is the CRC pass, which stays cache-hot at segment granularity). Returns
+/// the position after the block, or nullptr when the block is structurally
+/// invalid (unknown tag, data past the payload end, malformed varint).
+/// Sinks must accept values up to 64 bits and defer any range validation —
+/// see the caller's accumulated-OR overflow checks for the 32-bit columns.
+template <typename Sink>
+const char* for_column(const char* p, const char* pend, std::size_t n,
+                       Sink&& sink) {
+  if (p >= pend) return nullptr;
+  const auto tag = static_cast<std::uint8_t>(*p++);
+  if (tag == kTagVarint) return for_varints(p, pend, n, sink);
+  if (tag != kTagFixed1 && tag != kTagFixed2 && tag != kTagFixed4 &&
+      tag != kTagFixed8) {
+    return nullptr;
+  }
+  if (static_cast<std::size_t>(pend - p) / tag < n) return nullptr;
+  switch (tag) {
+    case kTagFixed1:
+      for_fixed<1>(p, n, sink);
+      break;
+    case kTagFixed2:
+      for_fixed<2>(p, n, sink);
+      break;
+    case kTagFixed4:
+      for_fixed<4>(p, n, sink);
+      break;
+    default:
+      for_fixed<8>(p, n, sink);
+      break;
+  }
+  return p + n * tag;
+}
+
+enum : std::uint8_t {
+  kSegOk = 0,
+  kSegCorruptPayload = 1,
+  kSegBadPayloadCrc = 2,
+};
+
+/// Decodes one segment's payload into rows [out_off, out_off + count) of
+/// `cols`. Runs on the pool; segments own disjoint row ranges, so the result
+/// is identical at any thread count.
+///
+/// Two deliberate cache games here. First, the worker populates each output
+/// column slice (populate_pages_for_write) immediately before writing it:
+/// the kernel's unavoidable zeroing of fresh anon pages then lands on a
+/// ~0.5 MB slice the decode overwrites while it is still cache-hot, so DRAM
+/// sees one write-back of final data per output byte instead of a zero
+/// pass, a read-for-ownership, and a write-back (pre-faulting all columns
+/// up front measures ~25 ms extra on a 5M-record load). Second, every
+/// column transform is fused into its single decode pass via for_column's
+/// void sinks — the payload bytes are read once by the CRC (which warms
+/// them) and once by the decode, and every output value is stored once.
+std::uint8_t decode_segment_payload(std::string_view bytes,
+                                    const SegmentRef& seg,
+                                    RequestColumns& cols) {
+  const char* pay = bytes.data() + seg.payload_off;
+  if (wire::crc32c(pay, seg.payload_bytes) != seg.payload_crc) {
+    return kSegBadPayloadCrc;
+  }
+  const char* p = pay;
+  const char* pend = pay + seg.payload_bytes;
+  const std::size_t n = seg.count;
+  if (n == 0) return kSegOk;  // scan enforced an empty payload
+  std::int64_t* dep = cols.departure_us.data() + seg.out_off;
+  std::int64_t* arr = cols.arrival_us.data() + seg.out_off;
+  ServerIndex* server = cols.server.data() + seg.out_off;
+  ClassId* class_id = cols.class_id.data() + seg.out_off;
+  TxnId* txn = cols.txn.data() + seg.out_off;
+
+  {  // departure: chain seeds, then invert the delta-of-delta chain
+    populate_pages_for_write(dep, n * sizeof(*dep));
+    std::uint64_t seed;
+    p = wire::get_varint(p, pend, seed);
+    if (p == nullptr) return kSegCorruptPayload;
+    std::uint64_t prev = static_cast<std::uint64_t>(wire::zigzag_decode(seed));
+    dep[0] = static_cast<std::int64_t>(prev);
+    std::uint64_t delta = 0;
+    if (n >= 2) {
+      p = wire::get_varint(p, pend, seed);
+      if (p == nullptr) return kSegCorruptPayload;
+      delta = static_cast<std::uint64_t>(wire::zigzag_decode(seed));
+      prev += delta;
+      dep[1] = static_cast<std::int64_t>(prev);
+    }
+    std::int64_t* dep2 = dep + 2;
+    p = for_column(p, pend, n >= 2 ? n - 2 : 0,
+                   [&](std::size_t i, std::uint64_t v) {
+                     delta += static_cast<std::uint64_t>(wire::zigzag_decode(v));
+                     prev += delta;
+                     dep2[i] = static_cast<std::int64_t>(prev);
+                   });
+    if (p == nullptr) return kSegCorruptPayload;
+  }
+  {  // arrival: departure minus residence (pure, vectorizes)
+    populate_pages_for_write(arr, n * sizeof(*arr));
+    p = for_column(p, pend, n, [&](std::size_t i, std::uint64_t v) {
+      const auto residence =
+          static_cast<std::uint64_t>(wire::zigzag_decode(v));
+      arr[i] = static_cast<std::int64_t>(static_cast<std::uint64_t>(dep[i]) -
+                                         residence);
+    });
+    if (p == nullptr) return kSegCorruptPayload;
+  }
+  {  // server + class_id: plain values, but must fit 32 bits. The overflow
+     // test is one check of an accumulated OR, not a branch per value —
+     // only encodings that can carry more than 32 bits (varint, fixed8)
+     // even pay the accumulation.
+    std::uint64_t wide = 0;
+    populate_pages_for_write(server, n * sizeof(*server));
+    p = for_column(p, pend, n, [&](std::size_t i, std::uint64_t v) {
+      wide |= v;
+      server[i] = static_cast<ServerIndex>(v);
+    });
+    if (p == nullptr) return kSegCorruptPayload;
+    populate_pages_for_write(class_id, n * sizeof(*class_id));
+    p = for_column(p, pend, n, [&](std::size_t i, std::uint64_t v) {
+      wide |= v;
+      class_id[i] = static_cast<ClassId>(v);
+    });
+    if (p == nullptr || (wide >> 32) != 0) return kSegCorruptPayload;
+  }
+  {  // txn: raw seed, then invert the delta chain
+    populate_pages_for_write(txn, n * sizeof(*txn));
+    std::uint64_t prev;
+    p = wire::get_varint(p, pend, prev);
+    if (p == nullptr) return kSegCorruptPayload;
+    txn[0] = prev;
+    TxnId* txn1 = txn + 1;
+    p = for_column(p, pend, n - 1, [&](std::size_t i, std::uint64_t v) {
+      prev += static_cast<std::uint64_t>(wire::zigzag_decode(v));
+      txn1[i] = prev;
+    });
+    if (p == nullptr) return kSegCorruptPayload;
+  }
+  // Every column decoded; the payload must hold nothing else.
+  if (p != pend) return kSegCorruptPayload;
+  return kSegOk;
+}
+
+std::string recovery_warning(std::uint64_t sealed, const std::string& error,
+                             std::size_t error_offset,
+                             std::uint64_t error_segment) {
+  std::string w = "recovered " + std::to_string(sealed) + " sealed segment";
+  if (sealed != 1) w += 's';
+  w += "; dropped tail: " + error + " at byte offset " +
+       std::to_string(error_offset) + ", segment " +
+       std::to_string(error_segment);
+  return w;
+}
+
+}  // namespace
+
+std::string encode_request_log_v2(const RequestColumnsView& records,
+                                  const SegmentLogOptions& options) {
+  TBD_SPAN("ingest.seg_encode");
+  const std::size_t cap = clamp_segment_records(options.segment_records);
+  const std::size_t n = records.size();
+  std::string out;
+  const std::size_t segments = (n + cap - 1) / cap;
+  out.reserve(kFileHeaderSize + segments * kSegHeaderSize + n * 12);
+  append_file_header(out);
+  std::string scratch;
+  for (std::size_t offset = 0; offset < n; offset += cap) {
+    const std::size_t take_n = std::min(cap, n - offset);
+    encode_segment(records.subview(offset, take_n), scratch, out);
+  }
+  return out;
+}
+
+std::string encode_request_log_v2(const RequestLog& records,
+                                  const SegmentLogOptions& options) {
+  return encode_request_log_v2(RequestColumns::from_records(records).view(),
+                               options);
+}
+
+bool save_request_log_v2(const std::string& path, const RequestLog& records,
+                         const SegmentLogOptions& options) {
+  TBD_SPAN("ingest.seg_save");
+  const std::string bytes = encode_request_log_v2(records, options);
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out.is_open()) return false;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+SegmentLogReadResult decode_request_log_v2(std::string_view bytes,
+                                           DecodeMode mode) {
+  SegmentLogReadResult result;
+  result.input_size = bytes.size();
+
+  ScanOutcome scan = scan_segments(bytes);
+  if (!scan.file_header_ok) {
+    result.error = std::move(scan.error);
+    result.error_offset = scan.error_offset;
+    return result;
+  }
+  bool tail_dropped = false;
+  if (!scan.error.empty()) {
+    result.error_offset = scan.error_offset;
+    result.error_segment = scan.segments.size();
+    if (mode == DecodeMode::kStrict) {
+      result.error = std::move(scan.error);
+      return result;
+    }
+    tail_dropped = true;
+  }
+
+  const auto& segments = scan.segments;
+  {
+    TBD_SPAN("ingest.seg_decode");
+    // Sized but not faulted: each worker populates its own segment's output
+    // slices right before writing them (see decode_segment_payload).
+    result.records.resize_for_overwrite(
+        static_cast<std::size_t>(scan.total_records));
+    std::vector<std::uint8_t> seg_error(segments.size(), kSegOk);
+    if (!segments.empty()) {
+      shared_pool().parallel_for_indexed(segments.size(), [&](std::size_t i) {
+        seg_error[i] = decode_segment_payload(bytes, segments[i], result.records);
+      });
+    }
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      if (seg_error[i] == kSegOk) continue;
+      const bool bad_crc = seg_error[i] == kSegBadPayloadCrc;
+      const std::string error =
+          bad_crc ? "bad segment payload checksum" : "corrupt segment payload";
+      const std::size_t offset =
+          bad_crc ? segments[i].header_off + 32 : segments[i].payload_off;
+      // Only the file's final segment is ever droppable (the crash-recovery
+      // case); a bad payload anywhere else — or on top of an already-dropped
+      // tail — is corruption, not truncation.
+      if (mode == DecodeMode::kStrict || tail_dropped ||
+          i + 1 != segments.size()) {
+        result.records.clear();
+        result.error = error;
+        result.error_offset = offset;
+        result.error_segment = i;
+        result.warning.clear();
+        return result;
+      }
+      result.records.resize(segments[i].out_off);
+      result.warning = recovery_warning(i, error, offset, i);
+      result.error_offset = offset;
+      result.error_segment = i;
+      result.ok = true;
+      result.segments = i;
+      obs::Registry::global()
+          .counter("ingest_seg_records_total")
+          .add(result.records.size());
+      return result;
+    }
+  }
+  result.ok = true;
+  result.segments = segments.size();
+  if (tail_dropped) {
+    result.warning =
+        recovery_warning(segments.size(), scan.error, scan.error_offset,
+                         segments.size());
+  }
+  obs::Registry::global()
+      .counter("ingest_seg_records_total")
+      .add(result.records.size());
+  return result;
+}
+
+SegmentLogReadResult load_request_log_v2(const std::string& path,
+                                         DecodeMode mode) {
+  MappedFile file;
+  {
+    TBD_SPAN("ingest.seg_read");
+    file = MappedFile::open(path);
+  }
+  if (!file.ok()) {
+    SegmentLogReadResult result;
+    result.error = "cannot open file";
+    return result;
+  }
+  if (file.empty()) return decode_request_log_v2(std::string_view{}, mode);
+  return decode_request_log_v2(std::string_view{file.data(), file.size()},
+                               mode);
+}
+
+// ---- SegmentLogWriter -------------------------------------------------------
+
+bool SegmentLogWriter::open(const std::string& path,
+                            const SegmentLogOptions& options) {
+  close();
+  options_ = options;
+  options_.segment_records = clamp_segment_records(options.segment_records);
+  pending_.clear();
+  records_ = 0;
+  segments_ = 0;
+  bytes_ = 0;
+  failed_ = false;
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_.is_open()) {
+    failed_ = true;
+    return false;
+  }
+  frame_.clear();
+  append_file_header(frame_);
+  out_.write(frame_.data(), static_cast<std::streamsize>(frame_.size()));
+  out_.flush();
+  bytes_ = frame_.size();
+  if (!out_) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+void SegmentLogWriter::append(const RequestRecord& r) {
+  pending_.push_back(r);
+  if (pending_.size() >= options_.segment_records) seal();
+}
+
+void SegmentLogWriter::seal() {
+  if (pending_.empty() || !out_.is_open()) return;
+  frame_.clear();
+  encode_segment(pending_.view(), scratch_, frame_);
+  out_.write(frame_.data(), static_cast<std::streamsize>(frame_.size()));
+  out_.flush();
+  if (!out_) failed_ = true;
+  bytes_ += frame_.size();
+  records_ += pending_.size();
+  ++segments_;
+  pending_.clear();
+}
+
+bool SegmentLogWriter::close() {
+  if (out_.is_open()) {
+    seal();
+    out_.close();
+    if (!out_) failed_ = true;
+  }
+  return !failed_;
+}
+
+}  // namespace tbd::trace

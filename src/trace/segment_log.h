@@ -1,0 +1,191 @@
+// TBDR v2: segmented, delta-compressed binary request logs.
+//
+// TBDR v1 (request_log_file.h) is a single blob — one header whose record
+// count must match the file size exactly, then fixed 32-byte rows. That
+// shape is hostile to two production needs: an always-on flight recorder
+// (a crash while appending invalidates the whole file) and parallel replay
+// (one count, one stream, no independently decodable units). v2 replaces
+// the blob with fixed-capacity sealed segments, modeled on segmented
+// write-ahead logs with per-segment parallel recovery:
+//
+//   file header: "TBDR" u32-version(2)                          (8 bytes)
+//   segment, repeated:
+//     frame header (40 bytes, little-endian):
+//       u32 "TSEG"  u32 record_count  u64 payload_bytes
+//       i64 min_arrival_us  i64 max_departure_us
+//       u32 payload_crc32c  u32 header_crc32c
+//     payload: five column blocks, in this order
+//       departure_us  seeds: varint zigzag(dep[0]), varint zigzag(dep[1] -
+//                     dep[0]) when n >= 2; then a packed block of
+//                     zigzag(delta-of-delta) for rows >= 2       (wire.h)
+//       arrival_us    packed block of (departure - arrival), i.e. the
+//                     residence time, zigzagged (all n rows, no seed)
+//       server        packed block of plain values (must fit 32 bits)
+//       class_id      packed block of plain values (must fit 32 bits)
+//       txn           seed: varint txn[0] (raw); then a packed block of
+//                     zigzag(delta) for rows >= 1
+//
+// A packed block is one tag byte then the data: tag 0 = LEB128 varint
+// stream; tags 1/2/4/8 = fixed little-endian words of that byte width (any
+// other tag is corrupt). The encoder picks the smallest fixed width that
+// fits every value in the block and switches to varints only when their
+// total is MORE than 2x smaller — fixed words decode branch-free and
+// vectorize, so mild varint savings are not worth the decode cost. Chain
+// seeds live OUTSIDE the block so one absolute value (an epoch timestamp,
+// a large first txn id) cannot force the whole block wide.
+//
+// The delta-of-delta chain rides on DEPARTURE because request logs are
+// emitted in departure order (records.h): on such logs the second
+// differences are near zero, residence times are small positive values,
+// and server/class ids are tiny — ~9-10 bytes per record against v1's
+// fixed 32. Out-of-order logs still encode correctly (the chains are exact
+// under any input), just larger. An empty (record_count == 0) segment has
+// an empty payload and decodes fine.
+//
+// Delta chains reset at every segment boundary, so each segment decodes
+// independently: the loader walks the (checksummed) frame headers once to
+// build a segment index, then fans the payloads out across the shared pool
+// straight into RequestColumns — record order is preserved exactly, and the
+// result is byte-identical at any TBD_THREADS. All delta arithmetic is
+// mod-2^64 (wire.h), so the encoding is lossless for any record values.
+// On real request logs the payload runs ~7-10 bytes/record vs v1's fixed
+// 32, which is the point: both this host's loaders are page-materialization
+// bound, so fewer bytes is the remaining ingest lever (docs/file-formats.md).
+//
+// Crash safety: SegmentLogWriter appends and seals one segment at a time
+// and flushes after each seal. A writer killed mid-segment leaves a
+// truncated tail; DecodeMode::kRecoverTail (the front-door default) then
+// recovers every sealed segment and reports the dropped tail in `warning`
+// ("recovered N sealed segments; ..."), losing at most the one unsealed
+// segment. DecodeMode::kStrict instead fails with the same coordinates —
+// the mode for converters and integrity checks. Corruption in a NON-final
+// segment is never skipped: headers are individually checksummed and every
+// payload must pass its CRC and decode to exactly record_count values in
+// exactly payload_bytes, so damage is localized to a segment and reported
+// with its index and byte offset.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "trace/records.h"
+#include "trace/request_columns.h"
+
+namespace tbd::trace {
+
+/// Version stamped in the file header ("TBDR" magic is shared with v1; the
+/// version field selects the layout — see sniff_request_log_version).
+inline constexpr std::uint32_t kRequestLogV2Version = 2;
+
+/// Records per sealed segment (the last segment of a file may hold fewer).
+/// 64Ki records ≈ 0.4-0.7 MB encoded: large enough that frame headers are
+/// noise (<0.1%), small enough that a pool of segments load-balances and a
+/// lost unsealed tail is bounded.
+inline constexpr std::size_t kDefaultSegmentRecords = std::size_t{1} << 16;
+
+struct SegmentLogOptions {
+  /// Capacity of each sealed segment, clamped to [1, 2^32-1] records.
+  std::size_t segment_records = kDefaultSegmentRecords;
+};
+
+enum class DecodeMode {
+  /// Any invalid byte fails the whole decode (converters, fuzzing, tests).
+  kStrict,
+  /// A truncated or corrupt FINAL segment is dropped and reported via
+  /// `warning`; the sealed prefix loads normally. Invalid non-final
+  /// segments still fail. This is the front-door and crash-recovery mode.
+  kRecoverTail,
+};
+
+/// Decode result. Diagnostics mirror RequestLogReadResult where they
+/// overlap; `error_segment` locates the failing segment (0-based), and
+/// `segments` counts the sealed segments actually decoded into `records`.
+struct SegmentLogReadResult {
+  RequestColumns records;
+  bool ok = false;
+  /// Stable short code ("truncated segment payload", ...); empty when ok.
+  std::string error;
+  /// kRecoverTail only: non-empty when a tail was dropped —
+  /// "recovered N sealed segments; <error> at byte offset X, segment K".
+  std::string warning;
+  /// Byte offset of the validation failure (see each error's site); also
+  /// set when `warning` reports a dropped tail. 0 otherwise.
+  std::size_t error_offset = 0;
+  /// 0-based index of the segment that failed validation (valid only when
+  /// error or warning is non-empty).
+  std::uint64_t error_segment = 0;
+  /// Sealed segments decoded into `records`.
+  std::uint64_t segments = 0;
+  /// Total input size in bytes (0 only when the file could not be opened).
+  std::size_t input_size = 0;
+};
+
+/// The exact byte string save_request_log_v2 writes, in memory.
+[[nodiscard]] std::string encode_request_log_v2(
+    const RequestColumnsView& records, const SegmentLogOptions& options = {});
+[[nodiscard]] std::string encode_request_log_v2(
+    const RequestLog& records, const SegmentLogOptions& options = {});
+
+/// Writes the records as a v2 segment log; returns false on I/O failure.
+bool save_request_log_v2(const std::string& path, const RequestLog& records,
+                         const SegmentLogOptions& options = {});
+
+/// Decodes a v2 byte buffer into columns. Header validation (frame magic,
+/// header CRC, payload bounds, count-vs-payload-size) happens in one
+/// sequential scan BEFORE any allocation; payload decode + payload CRC then
+/// fan out per segment across the shared pool.
+[[nodiscard]] SegmentLogReadResult decode_request_log_v2(
+    std::string_view bytes, DecodeMode mode = DecodeMode::kRecoverTail);
+
+/// Maps the file and decodes it.
+[[nodiscard]] SegmentLogReadResult load_request_log_v2(
+    const std::string& path, DecodeMode mode = DecodeMode::kRecoverTail);
+
+/// Incremental segmented writer: the durable substrate for always-on
+/// capture (tbd_watch --record-out, flight-recorder --record-out). Appended
+/// records accumulate in memory until the segment capacity is reached, then
+/// the segment is encoded, written, and flushed as one unit. If the process
+/// dies mid-segment, the file recovers to the last seal (kRecoverTail).
+class SegmentLogWriter {
+ public:
+  SegmentLogWriter() = default;
+  ~SegmentLogWriter() { close(); }
+  SegmentLogWriter(const SegmentLogWriter&) = delete;
+  SegmentLogWriter& operator=(const SegmentLogWriter&) = delete;
+
+  /// Truncates `path` and writes the file header. False on I/O failure.
+  [[nodiscard]] bool open(const std::string& path,
+                          const SegmentLogOptions& options = {});
+
+  /// Buffers one record, sealing a segment when the capacity fills.
+  void append(const RequestRecord& r);
+
+  /// Seals the buffered records (if any) into a segment now, regardless of
+  /// fill level. Called automatically at capacity and by close().
+  void seal();
+
+  /// Seals the tail and closes the file. Returns false if any write failed
+  /// (sticky: a mid-stream write error also surfaces here). Idempotent.
+  bool close();
+
+  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+  [[nodiscard]] std::uint64_t segments_sealed() const { return segments_; }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
+
+ private:
+  std::ofstream out_;
+  SegmentLogOptions options_;
+  RequestColumns pending_;
+  std::string scratch_;  // reused payload staging buffer
+  std::string frame_;    // reused header+payload buffer written per seal
+  std::uint64_t records_ = 0;
+  std::uint64_t segments_ = 0;
+  std::uint64_t bytes_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace tbd::trace

@@ -1,0 +1,207 @@
+// Internal: byte-level primitives for the TBDR v2 segment codec.
+//
+// Everything here is defined on uint64_t with wrap-around (mod 2^64)
+// arithmetic, so delta and delta-of-delta chains are lossless for ANY input
+// sequence — including adversarial timestamps near the int64 limits — and
+// the decoder inverts them with plain wrapping adds. LEB128 varints carry
+// the values; zigzag folds signed deltas into small unsigned ones first.
+//
+// The decode fast path reads one byte and falls through for the ~90% of
+// production values that fit 7 bits; the continuation loop caps at 10 bytes
+// (ceil(64/7)) and reports malformed input by returning nullptr, so a
+// corrupt stream can never read past `end` or spin.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tbd::trace::wire {
+
+/// Zigzag fold: small-magnitude signed values (either sign) become small
+/// unsigned ones (0, -1, 1, -2, ... -> 0, 1, 2, 3, ...).
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Appends the LEB128 encoding of `v` (1..10 bytes).
+inline void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// put_varint into a raw buffer the caller sized for the worst case
+/// (kMaxVarintBytes per value); returns the position after the encoding.
+/// This is the segment encoder's staging-buffer path — no capacity checks.
+[[nodiscard]] inline char* put_varint_raw(char* p, std::uint64_t v) {
+  while (v >= 0x80) {
+    *p++ = static_cast<char>(v | 0x80);
+    v >>= 7;
+  }
+  *p++ = static_cast<char>(v);
+  return p;
+}
+
+/// Longest LEB128 encoding of a uint64 (ceil(64 / 7)).
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// Bytes put_varint would append for `v`.
+[[nodiscard]] constexpr std::size_t varint_size(std::uint64_t v) {
+  // ceil(bit_width / 7), branchlessly: the encoder's size-planning pass
+  // calls this once per value, so a shift loop would put a data-dependent
+  // branch in an otherwise vectorizable reduction.
+  return (static_cast<std::size_t>(std::bit_width(v | 1)) + 6) / 7;
+}
+
+/// Decodes one varint at `p`; returns the position after it, or nullptr when
+/// the encoding runs past `end` or past the 10-byte limit. The single-byte
+/// case is the branch the column loops are tuned around.
+[[nodiscard]] inline const char* get_varint(const char* p, const char* end,
+                                            std::uint64_t& out) {
+  if (p >= end) return nullptr;
+  std::uint64_t b = static_cast<unsigned char>(*p++);
+  if (b < 0x80) {
+    out = b;
+    return p;
+  }
+  std::uint64_t v = b & 0x7F;
+  unsigned shift = 7;
+  while (shift < 70) {
+    if (p >= end) return nullptr;
+    b = static_cast<unsigned char>(*p++);
+    v |= (b & 0x7F) << shift;
+    if (b < 0x80) {
+      out = v;
+      return p;
+    }
+    shift += 7;
+  }
+  return nullptr;  // continuation bit on the 10th byte: malformed
+}
+
+/// get_varint without the per-byte end check: reads at most kMaxVarintBytes,
+/// so it is safe whenever the caller proved that many bytes remain. Still
+/// returns nullptr on a malformed (over-long) encoding. The column decode
+/// loops run on this until they get within kMaxVarintBytes of the payload
+/// end, then finish with the checked form.
+[[nodiscard]] inline const char* get_varint_unchecked(const char* p,
+                                                     std::uint64_t& out) {
+  std::uint64_t b = static_cast<unsigned char>(*p++);
+  if (b < 0x80) {
+    out = b;
+    return p;
+  }
+  std::uint64_t v = b & 0x7F;
+  unsigned shift = 7;
+  do {
+    b = static_cast<unsigned char>(*p++);
+    v |= (b & 0x7F) << shift;
+    shift += 7;
+  } while (b >= 0x80 && shift < 70);
+  if (b >= 0x80) return nullptr;  // continuation bit on the 10th byte
+  out = v;
+  return p;
+}
+
+// ---- CRC-32C (Castagnoli) ---------------------------------------------------
+// Slicing-by-8 table CRC: ~8 bytes per lookup round, no ISA extensions, fast
+// enough that checksumming a segment costs a small fraction of decoding it.
+// The tables are built once, lazily, and are immutable afterwards.
+
+namespace detail {
+
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+
+  Crc32cTables() {
+    constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t s = 1; s < 8; ++s) {
+        crc = (crc >> 8) ^ t[0][crc & 0xFF];
+        t[s][i] = crc;
+      }
+    }
+  }
+};
+
+inline const Crc32cTables& crc32c_tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+[[nodiscard]] inline std::uint32_t crc32c_sw(const void* data, std::size_t size,
+                                             std::uint32_t seed) {
+  const auto& t = crc32c_tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  while (size >= 8) {
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                    static_cast<std::uint32_t>(p[1]) << 8 |
+                                    static_cast<std::uint32_t>(p[2]) << 16 |
+                                    static_cast<std::uint32_t>(p[3]) << 24);
+    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+          t[4][lo >> 24] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
+  }
+  return ~crc;
+}
+
+#if defined(__x86_64__) && (defined(__clang__) || defined(__GNUC__))
+#define TBD_TRACE_CRC32C_HW 1
+/// SSE4.2 CRC32 instruction path (same reflected Castagnoli polynomial as
+/// the tables, so the two are interchangeable bit for bit). Compiled with a
+/// per-function target override and selected at runtime, so the binary still
+/// runs on pre-Nehalem CPUs.
+__attribute__((target("sse4.2"))) [[nodiscard]] inline std::uint32_t
+crc32c_hw(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t crc = static_cast<std::uint32_t>(~seed);
+  while (size >= 8) {
+    std::uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    crc = __builtin_ia32_crc32di(crc, chunk);
+    p += 8;
+    size -= 8;
+  }
+  auto crc32 = static_cast<std::uint32_t>(crc);
+  while (size-- > 0) {
+    crc32 = __builtin_ia32_crc32qi(crc32, *p++);
+  }
+  return ~crc32;
+}
+#endif
+
+}  // namespace detail
+
+[[nodiscard]] inline std::uint32_t crc32c(const void* data, std::size_t size,
+                                          std::uint32_t seed = 0) {
+#ifdef TBD_TRACE_CRC32C_HW
+  static const bool have_hw = __builtin_cpu_supports("sse4.2");
+  if (have_hw) return detail::crc32c_hw(data, size, seed);
+#endif
+  return detail::crc32c_sw(data, size, seed);
+}
+
+}  // namespace tbd::trace::wire

@@ -1,4 +1,4 @@
-// Pins the bench_summary.json format (schema_version 7): header scalars,
+// Pins the bench_summary.json format (schema_version 8): header scalars,
 // per-bench entry merging, and BenchArgs flag parsing. Compiles
 // bench/bench_util.cpp directly into this binary (the bench helpers are not
 // a library target).
@@ -45,7 +45,7 @@ TEST_F(BenchSummaryTest, WritesSchemaHeaderAndEntry) {
     summary.set("metric", 1.5);
   }  // destructor writes
   const std::string text = read_file(summary_path());
-  EXPECT_NE(text.find("\"schema_version\": 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"schema_version\": 8"), std::string::npos) << text;
   EXPECT_NE(text.find("\"git\": \""), std::string::npos) << text;
   EXPECT_NE(text.find("\"unit_bench\": {"), std::string::npos) << text;
   EXPECT_NE(text.find("\"metric\": 1.5"), std::string::npos) << text;

@@ -26,6 +26,7 @@
 #include "trace/log_io.h"
 #include "trace/request_columns.h"
 #include "trace/request_log_file.h"
+#include "trace/segment_log.h"
 #include "trace/txn_tree.h"
 #include "util/rng.h"
 
@@ -501,6 +502,73 @@ TEST(DifferentialOracle, TbdrDecodeColumnsBitExact) {
                 0)
           << "seed " << seed;
     }
+  }
+}
+
+// ---- TBDR v2 (segmented, delta-compressed) ----------------------------------
+// The parallel segment decoder against the sequential naive oracle: full
+// result contract (records, ok, error/warning strings, error_offset,
+// error_segment, segments, input_size) in BOTH decode modes, over valid and
+// corrupted inputs. Segment capacity varies per case so single-segment,
+// multi-segment, and exact-boundary files all occur.
+
+void expect_v2_equal(const trace::SegmentLogReadResult& got,
+                     const trace::SegmentLogReadResult& want,
+                     std::uint64_t seed, const char* mode) {
+  EXPECT_EQ(got.ok, want.ok) << "seed " << seed << " " << mode;
+  EXPECT_EQ(got.error, want.error) << "seed " << seed << " " << mode;
+  EXPECT_EQ(got.warning, want.warning) << "seed " << seed << " " << mode;
+  EXPECT_EQ(got.error_offset, want.error_offset) << "seed " << seed << " "
+                                                 << mode;
+  EXPECT_EQ(got.error_segment, want.error_segment)
+      << "seed " << seed << " " << mode;
+  EXPECT_EQ(got.segments, want.segments) << "seed " << seed << " " << mode;
+  EXPECT_EQ(got.input_size, want.input_size) << "seed " << seed << " " << mode;
+  const auto rows = got.records.to_records();
+  const auto want_rows = want.records.to_records();
+  ASSERT_EQ(rows.size(), want_rows.size()) << "seed " << seed << " " << mode;
+  if (!rows.empty()) {
+    EXPECT_EQ(std::memcmp(rows.data(), want_rows.data(),
+                          rows.size() * sizeof(trace::RequestRecord)),
+              0)
+        << "seed " << seed << " " << mode;
+  }
+}
+
+TEST(DifferentialOracle, Tbdr2DecodeBitExact) {
+  for (std::uint64_t seed = 0; seed < kCases; ++seed) {
+    Rng rng{seed + 16'000'000};
+    const auto config = log_config_for(rng);
+    const auto log = pt::generate_request_log(rng, config);
+    trace::SegmentLogOptions options;
+    options.segment_records = 1 + rng.uniform_index(64);
+    std::string bytes = trace::encode_request_log_v2(log, options);
+    // Half the cases are corrupted: truncate (the crash-recovery shape),
+    // flip a byte (CRC and structural-validation branches), or append junk
+    // (trailing garbage after the last sealed segment).
+    if (rng.bernoulli(0.5) && !bytes.empty()) {
+      switch (rng.uniform_index(3)) {
+        case 0:
+          bytes.resize(rng.uniform_index(bytes.size()));
+          break;
+        case 1:
+          bytes[rng.uniform_index(bytes.size())] ^=
+              static_cast<char>(1 + rng.uniform_index(255));
+          break;
+        default:
+          bytes.append("extra");
+          break;
+      }
+    }
+    expect_v2_equal(
+        trace::decode_request_log_v2(bytes, trace::DecodeMode::kStrict),
+        pt::oracle_decode_request_log_v2(bytes, trace::DecodeMode::kStrict),
+        seed, "strict");
+    expect_v2_equal(
+        trace::decode_request_log_v2(bytes, trace::DecodeMode::kRecoverTail),
+        pt::oracle_decode_request_log_v2(bytes,
+                                         trace::DecodeMode::kRecoverTail),
+        seed, "recover");
   }
 }
 

@@ -313,6 +313,10 @@ bool load_and_analyze(const Options& opt, bool flight, LoadFn load_fn,
                      loaded.error.c_str());
         return false;
       }
+      if (!loaded.warning.empty()) {
+        std::fprintf(stderr, "warning: %s: %s\n", path.c_str(),
+                     loaded.warning.c_str());
+      }
       if (loaded.first_bad_line != 0) {
         std::fprintf(stderr, "warning: %s:%zu: first malformed line: %s\n",
                      path.c_str(), loaded.first_bad_line,

@@ -1,20 +1,28 @@
-// tbd_convert: request-log format conversion (CSV <-> "TBDR" binary).
+// tbd_convert: request-log format conversion (CSV <-> "TBDR" v1 <-> v2).
 //
 // Usage:
-//   tbd_convert IN OUT
+//   tbd_convert [--strict] IN OUT
 //
-// The input encoding is auto-detected (TBDR magic, else CSV via the sharded
-// zero-copy parser). The output encoding follows OUT's extension: `.tbdr`
-// writes the binary format, anything else writes canonical CSV (header +
-// one line per record). Converting CSV -> CSV canonicalizes the file:
-// comments, malformed lines, and extra columns are dropped, numbers are
-// re-rendered — so csv -> tbdr -> csv round-trips byte-identically with a
+// The input encoding is auto-detected (TBDR magic + version, else CSV via
+// the sharded zero-copy parser). The output encoding follows OUT's
+// extension: `.tbdr` writes TBDR v1, `.tbd2` writes the segmented v2 format
+// (segment_log.h), anything else writes canonical CSV (header + one line
+// per record). Converting CSV -> CSV canonicalizes the file: comments,
+// malformed lines, and extra columns are dropped, numbers are re-rendered —
+// so csv -> tbdr -> tbd2 -> csv round-trips byte-identically with a
 // canonical source.
+//
+// A truncated v2 input (writer killed mid-segment) recovers its sealed
+// prefix by default, with the dropped tail reported on stderr; --strict
+// instead fails the conversion on any invalid byte, which is the right mode
+// when the input is supposed to be complete.
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "trace/log_io.h"
 #include "trace/request_log_file.h"
+#include "trace/segment_log.h"
 
 using namespace tbd;
 
@@ -28,20 +36,46 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: tbd_convert IN OUT\n"
-                         "  OUT ending in .tbdr selects the binary request-log"
-                         " format; anything else CSV\n");
+  bool strict = false;
+  int arg = 1;
+  if (arg < argc && std::strcmp(argv[arg], "--strict") == 0) {
+    strict = true;
+    ++arg;
+  }
+  if (argc - arg != 2) {
+    std::fprintf(stderr,
+                 "usage: tbd_convert [--strict] IN OUT\n"
+                 "  OUT ending in .tbdr selects TBDR v1, .tbd2 the segmented"
+                 " v2 format; anything else CSV\n"
+                 "  --strict: fail on a truncated/corrupt v2 input instead of"
+                 " recovering the sealed prefix\n");
     return 2;
   }
-  const std::string in_path = argv[1];
-  const std::string out_path = argv[2];
+  const std::string in_path = argv[arg];
+  const std::string out_path = argv[arg + 1];
 
-  const auto loaded = trace::load_request_log(in_path);
+  trace::LogIoResult loaded;
+  if (strict && trace::sniff_request_log_version(in_path) ==
+                    trace::kRequestLogV2Version) {
+    auto v2 = trace::load_request_log_v2(in_path, trace::DecodeMode::kStrict);
+    loaded.ok = v2.ok;
+    loaded.error = std::move(v2.error);
+    if (!loaded.ok && v2.input_size > 0) {
+      loaded.error += " at byte offset " + std::to_string(v2.error_offset) +
+                      ", segment " + std::to_string(v2.error_segment);
+    }
+    loaded.records = v2.records.to_records();
+  } else {
+    loaded = trace::load_request_log(in_path);
+  }
   if (!loaded.ok) {
     std::fprintf(stderr, "error: cannot read %s: %s\n", in_path.c_str(),
                  loaded.error.c_str());
     return 1;
+  }
+  if (!loaded.warning.empty()) {
+    std::fprintf(stderr, "warning: %s: %s\n", in_path.c_str(),
+                 loaded.warning.c_str());
   }
   if (loaded.first_bad_line != 0) {
     std::fprintf(stderr, "warning: %s:%zu: first malformed line: %s\n",
@@ -49,16 +83,23 @@ int main(int argc, char** argv) {
                  loaded.first_bad_text.c_str());
   }
 
-  const bool binary = ends_with(out_path, ".tbdr");
-  const bool ok = binary
-                      ? trace::save_request_log_bin(out_path, loaded.records)
-                      : trace::save_request_log_csv(out_path, loaded.records);
+  const char* format = "CSV";
+  bool ok;
+  if (ends_with(out_path, ".tbd2")) {
+    format = "TBDR v2";
+    ok = trace::save_request_log_v2(out_path, loaded.records);
+  } else if (ends_with(out_path, ".tbdr")) {
+    format = "TBDR v1";
+    ok = trace::save_request_log_bin(out_path, loaded.records);
+  } else {
+    ok = trace::save_request_log_csv(out_path, loaded.records);
+  }
   if (!ok) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;
   }
   std::printf("converted %zu records to %s %s (%zu input lines skipped)\n",
-              loaded.records.size(), binary ? "binary" : "CSV",
-              out_path.c_str(), loaded.skipped_lines);
+              loaded.records.size(), format, out_path.c_str(),
+              loaded.skipped_lines);
   return 0;
 }

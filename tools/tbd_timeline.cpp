@@ -23,6 +23,9 @@
 //   --timeline-out FILE   write the combined Perfetto/Chrome timeline JSON
 //   --attribution-out FILE  write per-band critical-path attribution NDJSON
 //   --attribution-csv FILE  same attribution as CSV
+//   --record-out FILE     write the analyzed records as a TBDR v2 segment
+//                         log (trace/segment_log.h) — the compact archival
+//                         form of the flight record's input
 //   --trace-out FILE      write the pipeline's own span trace (wall clock)
 //   --metrics-out FILE    write the run manifest (config, metrics, spans)
 #include <cstdio>
@@ -55,6 +58,7 @@ struct Options {
   std::string timeline_out;
   std::string attribution_out;
   std::string attribution_csv;
+  std::string record_out;
   std::string trace_out;
   std::string metrics_out;
   std::vector<std::string> files;
@@ -69,7 +73,8 @@ void usage() {
                "                    [--timeline-out FILE] "
                "[--attribution-out FILE]\n"
                "                    [--attribution-csv FILE] "
-               "[--trace-out FILE]\n"
+               "[--record-out FILE.tbd2]\n"
+               "                    [--trace-out FILE]\n"
                "                    [--metrics-out FILE] [LOG.csv ...]\n");
 }
 
@@ -118,6 +123,10 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return false;
       opt.attribution_csv = v;
+    } else if (arg == "--record-out") {
+      const char* v = next();
+      if (!v) return false;
+      opt.record_out = v;
     } else if (arg == "--trace-out") {
       const char* v = next();
       if (!v) return false;
@@ -144,6 +153,7 @@ app::FlightOutputs outputs_of(const Options& opt) {
   out.timeline = opt.timeline_out;
   out.attribution = opt.attribution_out;
   out.attribution_csv = opt.attribution_csv;
+  out.record_log = opt.record_out;
   out.trace = opt.trace_out;
   out.manifest = opt.metrics_out;
   return out;
@@ -191,6 +201,10 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: cannot read %s: %s\n", path.c_str(),
                      loaded.error.c_str());
         return 1;
+      }
+      if (!loaded.warning.empty()) {
+        std::fprintf(stderr, "warning: %s: %s\n", path.c_str(),
+                     loaded.warning.c_str());
       }
       if (loaded.first_bad_line != 0) {
         std::fprintf(stderr, "warning: %s:%zu: first malformed line: %s\n",

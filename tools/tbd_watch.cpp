@@ -31,6 +31,12 @@
 //                     "trace" (wall-clock speed of the trace), or "Nx"
 //                     (e.g. "4x", "0.25x")
 //   --events-out FILE write the NDJSON event log to FILE
+//   --record-out FILE mirror the replayed records (departure order) into a
+//                     TBDR v2 segment log as they stream — the flight-
+//                     recorder capture path. Segments flush as they seal,
+//                     so killing the process mid-segment loses at most one
+//                     unsealed segment (segment_log.h)
+//   --record-segment N  records per sealed segment (default 65536)
 //   --listen H:P      serve /metrics, /healthz, /episodes during the replay
 //                     (port 0 = OS-assigned; the bound port is printed as
 //                     "listening http://H:P/")
@@ -71,6 +77,7 @@
 #include "obs/profiler.h"
 #include "obs/manifest.h"
 #include "trace/log_io.h"
+#include "trace/segment_log.h"
 #include "util/thread_pool.h"
 
 using namespace tbd;
@@ -85,6 +92,8 @@ struct Options {
   double speed = 0.0;          // 0 = max
   std::string speed_text = "max";
   std::string events_out;
+  std::string record_out;
+  std::size_t record_segment = trace::kDefaultSegmentRecords;
   std::string listen;  // host:port, empty = no server
   double linger_seconds = 0.0;
   std::string prom_out;
@@ -100,6 +109,7 @@ void usage() {
                "usage: tbd_watch [--width MS] [--lag MS] [--calib-seconds S] "
                "[--nstar N]\n"
                "                 [--speed max|trace|Nx] [--events-out FILE]\n"
+               "                 [--record-out FILE.tbd2] [--record-segment N]\n"
                "                 [--listen HOST:PORT] [--linger S] "
                "[--prom-out FILE]\n"
                "                 [--profile-out FILE] [--profile-hz N] "
@@ -158,6 +168,18 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return false;
       opt.events_out = v;
+    } else if (arg == "--record-out") {
+      const char* v = next();
+      if (!v) return false;
+      opt.record_out = v;
+    } else if (arg == "--record-segment") {
+      const char* v = next();
+      if (!v) return false;
+      opt.record_segment = static_cast<std::size_t>(std::atoll(v));
+      if (opt.record_segment == 0) {
+        std::fprintf(stderr, "bad --record-segment (want >= 1): %s\n", v);
+        return false;
+      }
     } else if (arg == "--listen") {
       const char* v = next();
       if (!v) return false;
@@ -260,6 +282,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: cannot read %s: %s\n", path.c_str(),
                    loaded.error.c_str());
       return 1;
+    }
+    if (!loaded.warning.empty()) {
+      std::fprintf(stderr, "warning: %s: %s\n", path.c_str(),
+                   loaded.warning.c_str());
     }
     std::printf("loaded %zu records from %s (%zu lines skipped)\n",
                 loaded.records.size(), path.c_str(), loaded.skipped_lines);
@@ -418,6 +444,20 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
+  // ---- record log -----------------------------------------------------------
+  // The capture mirror writes each record as it is replayed, exactly like a
+  // live tap would: segments seal and flush incrementally, so the file on
+  // disk is always recoverable up to the last seal.
+  trace::SegmentLogWriter recorder;
+  if (!opt.record_out.empty()) {
+    trace::SegmentLogOptions rec_options;
+    rec_options.segment_records = opt.record_segment;
+    if (!recorder.open(opt.record_out, rec_options)) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.record_out.c_str());
+      return 1;
+    }
+  }
+
   // ---- replay ---------------------------------------------------------------
   const auto wall_start = std::chrono::steady_clock::now();
   constexpr std::size_t kChunk = 256;
@@ -435,6 +475,7 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_until(target);
     }
     for (std::size_t i = base; i < end; ++i) {
+      if (recorder.is_open()) recorder.append(merged[i]);
       Stream& s = streams[stream_index[merged[i].server]];
       s.detector->push(merged[i]);
       s.telemetry->add_records(1);
@@ -446,6 +487,18 @@ int main(int argc, char** argv) {
     s.telemetry->sync();
   }
   events.flush();
+  if (!opt.record_out.empty()) {
+    const bool rec_ok = recorder.close();
+    std::printf("recorded %llu records in %llu segments -> %s\n",
+                static_cast<unsigned long long>(recorder.records_written()),
+                static_cast<unsigned long long>(recorder.segments_sealed()),
+                opt.record_out.c_str());
+    if (!rec_ok) {
+      std::fprintf(stderr, "error: write failed on %s\n",
+                   opt.record_out.c_str());
+      return 1;
+    }
+  }
 
   // ---- exit summary ---------------------------------------------------------
   std::size_t total_dropped = 0;
