@@ -54,9 +54,17 @@ if cmake -B build-fuzz -S . -DTBD_FUZZ=ON \
     && cmake --build build-fuzz -j "$(nproc)" \
         --target fuzz_csv_replay fuzz_tbdr_replay fuzz_tbdr2_replay \
         fuzz_capture_replay \
-        differential_oracle_test metamorphic_test; then
+        differential_oracle_test metamorphic_test \
+        serve_test serve_equivalence_test; then
   ctest --test-dir build-fuzz --output-on-failure \
     -R 'corpus_replay_|differential_oracle_test|metamorphic_test'
+  # The serve daemon's protocol-torture, back-pressure, and byte-equivalence
+  # suites rerun instrumented: hostile frames and mid-frame disconnects are
+  # exactly where a lifetime bug in the ingest/pump handoff would hide.
+  TBD_THREADS=4 ./build-fuzz/tests/serve_test
+  for threads in 1 4; do
+    TBD_THREADS=$threads ./build-fuzz/tests/serve_equivalence_test
+  done
 else
   echo "warning: ASan/UBSan build unavailable; skipped correctness-harness stage" >&2
 fi
@@ -194,6 +202,88 @@ print(f"live scrape: OK ({len(episodes['episodes'])} episodes, "
 PY
 wait "$watch_pid"  # natural exit (status 0) writes the folded profile
 python3 scripts/check_obs_output.py --profile "$obs_tmp/watch.folded"
+
+echo "== tier-1: serve smoke =="
+# The live daemon must reproduce the tbd_watch golden byte-for-byte: tbd_send
+# runs tbd_watch's calibration pass, tbd_serve runs the same detectors, and
+# one connection is one ordered strand — so the shared journal is
+# byte-identical to the checked-in golden at any pool width. The meta
+# overrides make the journal's leading record match the tbd_watch one.
+for threads in 1 4; do
+  TBD_THREADS=$threads ./build/tools/tbd_serve --listen 127.0.0.1:0 \
+    --no-http --events-out "$obs_tmp/serve_events_t$threads.ndjson" \
+    --events-meta tool=tbd_watch --events-meta width_ms=50 \
+    --events-meta lag_ms=5000 --events-meta speed=max \
+    > "$obs_tmp/serve_t$threads.out" 2>&1 &
+  serve_pid=$!
+  serve_port=""
+  for _ in $(seq 50); do
+    serve_port="$(grep -o 'tcp://[^ ]*' "$obs_tmp/serve_t$threads.out" \
+      | sed 's#.*:##; s#/##')" || true
+    [ -n "$serve_port" ] && break
+    sleep 0.1
+  done
+  [ -n "$serve_port" ] || { cat "$obs_tmp/serve_t$threads.out" >&2; exit 1; }
+  ./build/tools/tbd_send --connect "127.0.0.1:$serve_port" --width 50 \
+    --nstar 3 scripts/testdata/tiny_log.csv >/dev/null
+  kill -TERM "$serve_pid"
+  wait "$serve_pid"
+  cmp "$obs_tmp/serve_events_t$threads.ndjson" \
+    scripts/testdata/tiny_log_events.golden.ndjson
+done
+# Two senders replaying concurrently into one live daemon: the shared journal
+# interleaves by arrival order, but each stream's private journal is owned by
+# one connection — so the per-stream files must be byte-identical between
+# TBD_THREADS=1 and =4 no matter how the senders raced. The live endpoints
+# must serve labeled metrics, the stream table, and the episode ring.
+for threads in 1 4; do
+  mkdir -p "$obs_tmp/serve_streams_t$threads"
+  TBD_THREADS=$threads ./build/tools/tbd_serve --listen 127.0.0.1:0 \
+    --http 127.0.0.1:0 --events-dir "$obs_tmp/serve_streams_t$threads" \
+    > "$obs_tmp/serve_live_t$threads.out" 2>&1 &
+  serve_pid=$!
+  serve_port=""
+  serve_url=""
+  for _ in $(seq 50); do
+    serve_port="$(grep -o 'tcp://[^ ]*' "$obs_tmp/serve_live_t$threads.out" \
+      | sed 's#.*:##; s#/##')" || true
+    serve_url="$(grep -o 'http://[^ ]*' \
+      "$obs_tmp/serve_live_t$threads.out" | head -1)" || true
+    [ -n "$serve_port" ] && [ -n "$serve_url" ] && break
+    sleep 0.1
+  done
+  [ -n "$serve_port" ] && [ -n "$serve_url" ] \
+    || { cat "$obs_tmp/serve_live_t$threads.out" >&2; exit 1; }
+  ./build/tools/tbd_send --connect "127.0.0.1:$serve_port" --width 50 \
+    --nstar 3 scripts/testdata/tiny_log.csv >/dev/null &
+  send_a=$!
+  ./build/tools/tbd_send --connect "127.0.0.1:$serve_port" --width 50 \
+    --nstar 3 --stream-prefix alt scripts/testdata/tiny_log.csv >/dev/null &
+  send_b=$!
+  wait "$send_a" "$send_b"
+  python3 scripts/check_obs_output.py --scrape "${serve_url}metrics" \
+    --statusz "${serve_url}statusz"
+  python3 - "$serve_url" <<'PY'
+import json, sys, urllib.request
+url = sys.argv[1]
+episodes = json.load(urllib.request.urlopen(url + "episodes", timeout=10))
+assert episodes["schema_version"] == 1, episodes
+assert len(episodes["episodes"]) >= 2, episodes  # one per replayed copy
+statusz = json.loads(urllib.request.urlopen(url + "statusz", timeout=10).read())
+serve = statusz["serve"]
+assert serve["streams_total"] == 4, serve
+assert serve["protocol_errors"] == 0, serve
+assert all(q["dropped"] == 0 for q in serve["queues"]), serve
+print(f"serve scrape: OK ({len(episodes['episodes'])} episodes, "
+      f"{serve['streams_total']} streams)")
+PY
+  kill -TERM "$serve_pid"
+  wait "$serve_pid"
+done
+for stream in server0 server1 alt0 alt1; do
+  cmp "$obs_tmp/serve_streams_t1/$stream.ndjson" \
+    "$obs_tmp/serve_streams_t4/$stream.ndjson"
+done
 
 echo "== tier-1: crash-recovery smoke =="
 # The flight-recorder capture path: tbd_watch mirrors the live replay into a

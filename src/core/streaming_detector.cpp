@@ -154,10 +154,15 @@ void StreamingDetector::reset(TimePoint start) {
   sealed_by_state_.fill(0);
 }
 
+std::size_t StreamingDetector::seal_idle() {
+  if (high_water_ <= start_) return 0;
+  const std::size_t before = first_open_;
+  seal_up_to(cell_index(high_water_) + 1);
+  return first_open_ - before;
+}
+
 void StreamingDetector::finish() {
-  if (high_water_ > start_) {
-    seal_up_to(cell_index(high_water_) + 1);
-  }
+  seal_idle();
   if (current_episode_) {
     episodes_.push_back(*current_episode_);
     if (episode_cb_) episode_cb_(episodes_.back());

@@ -86,6 +86,16 @@ class StreamingDetector {
   /// Seals everything up to the high-water mark (end of stream).
   void finish();
 
+  /// Idle-seal: seals every started interval up to and including the one
+  /// holding the high-water mark, releasing the open-cell memory of a
+  /// stream that stopped sending, but — unlike finish() — leaves the
+  /// current episode open: the stream may resume, and a hot run must not
+  /// be split by a mere transmission gap. Returns the number of intervals
+  /// sealed. Records older than the new sealed horizon are dropped (and
+  /// counted) if they arrive later; seal_idle() followed by finish() is
+  /// byte-equivalent to finish() alone.
+  std::size_t seal_idle();
+
   /// Rewinds to analyze a new stream starting at `start`: open cells,
   /// episodes, and all counters are cleared; the calibration (N*, TPmax,
   /// service times, work unit) and registered callbacks are kept. A reset

@@ -18,10 +18,12 @@ const std::vector<double> kPeakLoadBounds = {1, 2, 4, 8, 16, 32, 64, 128};
 StreamingTelemetry::StreamingTelemetry(StreamingDetector& detector,
                                        Options options,
                                        obs::Registry& registry,
-                                       obs::EventLog* events)
+                                       obs::EventLog* events,
+                                       obs::EventLog* mirror)
     : detector_{detector},
       options_{std::move(options)},
       events_{events},
+      mirror_{mirror},
       records_total_{registry.counter("tbd_stream_records_total",
                                       {{"stream", options_.stream}})},
       dropped_total_{registry.counter("tbd_stream_dropped_records_total",
@@ -70,9 +72,13 @@ StreamingTelemetry::StreamingTelemetry(StreamingDetector& detector,
     load_.set(load);
     tput_.set(tput);
     intervals_total_[static_cast<std::size_t>(state)]->inc();
+    const TimePoint t = grid_start + width * static_cast<std::int64_t>(index);
     if (events_ != nullptr) {
-      const TimePoint t = grid_start + width * static_cast<std::int64_t>(index);
       events_->interval_sealed(options_.stream, index, t.micros(), load, tput,
+                               to_string(state));
+    }
+    if (mirror_ != nullptr) {
+      mirror_->interval_sealed(options_.stream, index, t.micros(), load, tput,
                                to_string(state));
     }
     if (prev_interval) prev_interval(index, load, tput, state);
@@ -85,6 +91,9 @@ StreamingTelemetry::StreamingTelemetry(StreamingDetector& detector,
     if (events_ != nullptr) {
       events_->episode_open(options_.stream, index, start.micros());
     }
+    if (mirror_ != nullptr) {
+      mirror_->episode_open(options_.stream, index, start.micros());
+    }
     if (prev_open) prev_open(index, start);
   });
 
@@ -96,6 +105,11 @@ StreamingTelemetry::StreamingTelemetry(StreamingDetector& detector,
         episode_peak_load_.observe(episode.peak_load);
         if (events_ != nullptr) {
           events_->episode_close(options_.stream, episode.start.micros(),
+                                 episode.duration.micros(), episode.peak_load,
+                                 episode.contains_freeze);
+        }
+        if (mirror_ != nullptr) {
+          mirror_->episode_close(options_.stream, episode.start.micros(),
                                  episode.duration.micros(), episode.peak_load,
                                  episode.contains_freeze);
         }

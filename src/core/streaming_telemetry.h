@@ -47,10 +47,15 @@ class StreamingTelemetry {
   };
 
   /// Claims `detector`'s callbacks (previous ones keep firing, after the
-  /// telemetry). `events` may be null: metrics only. Both `detector` and
-  /// the sinks must outlive this object.
+  /// telemetry). `events` may be null: metrics only. `mirror` is a second,
+  /// optional event sink receiving the same events after `events` — a
+  /// multi-tenant daemon points `events` at the shared journal (global
+  /// sequence, backs /episodes) and `mirror` at the stream's private log
+  /// (per-stream sequence, deterministic regardless of how other streams
+  /// interleave). Both `detector` and the sinks must outlive this object.
   StreamingTelemetry(StreamingDetector& detector, Options options,
-                     obs::Registry& registry, obs::EventLog* events);
+                     obs::Registry& registry, obs::EventLog* events,
+                     obs::EventLog* mirror = nullptr);
 
   StreamingTelemetry(const StreamingTelemetry&) = delete;
   StreamingTelemetry& operator=(const StreamingTelemetry&) = delete;
@@ -71,6 +76,7 @@ class StreamingTelemetry {
   StreamingDetector& detector_;
   Options options_;
   obs::EventLog* events_;
+  obs::EventLog* mirror_;
 
   obs::Counter& records_total_;
   obs::Counter& dropped_total_;

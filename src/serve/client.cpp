@@ -1,0 +1,153 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tbd::serve {
+
+SendClient::~SendClient() { close(); }
+
+bool SendClient::connect(const std::string& host, std::uint16_t port) {
+  close();
+  error_.clear();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    error_ = "bad host: " + host;
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    error_ = "connect " + host + ":" + std::to_string(port) + ": " +
+             std::strerror(errno);
+    close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return true;
+}
+
+bool SendClient::send_hello(std::uint16_t stream, const HelloConfig& config) {
+  return send_all(encode_hello(stream, config));
+}
+
+bool SendClient::send_records(std::uint16_t stream,
+                              std::span<const trace::RequestRecord> records) {
+  return send_all(encode_raw_records(stream, records));
+}
+
+bool SendClient::send_encoded(std::uint16_t stream, std::string_view bytes) {
+  return send_all(encode_encoded_log(stream, bytes));
+}
+
+bool SendClient::send_heartbeat() { return send_all(encode_heartbeat()); }
+
+bool SendClient::send_bye(std::uint16_t stream) {
+  return send_all(encode_bye(stream));
+}
+
+bool SendClient::send_all(std::string_view bytes) {
+  if (fd_ < 0) {
+    if (error_.empty()) error_ = "not connected";
+    return false;
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // The daemon closed on us — pick up the ERROR frame it sent first.
+    drain_errors(false);
+    if (error_.empty()) {
+      error_ = std::string("send: ") + std::strerror(errno);
+    }
+    close();
+    return false;
+  }
+  return true;
+}
+
+void SendClient::drain_errors(bool blocking) {
+  if (fd_ < 0) return;
+  char buf[4096];
+  for (;;) {
+    if (!blocking) {
+      pollfd p{fd_, POLLIN, 0};
+      if (::poll(&p, 1, 0) <= 0) return;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // EOF or error: nothing more to learn
+    parser_.feed(std::string_view{buf, static_cast<std::size_t>(n)});
+    for (;;) {
+      auto result = parser_.next();
+      if (result.status == FrameParser::Status::kNeedMore) return;
+      if (result.status == FrameParser::Status::kError) {
+        if (error_.empty()) {
+          error_ = "garbled reply from server: " + result.error;
+        }
+        return;
+      }
+      if (result.header.type == FrameType::kError && error_.empty()) {
+        error_ = std::string(result.payload);
+      }
+    }
+  }
+}
+
+bool SendClient::finish() {
+  if (fd_ < 0) return error_.empty();
+  ::shutdown(fd_, SHUT_WR);
+  // Drain until the daemon closes; an ERROR frame anywhere in the tail
+  // means some frame was rejected.
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    parser_.feed(std::string_view{buf, static_cast<std::size_t>(n)});
+    for (;;) {
+      auto result = parser_.next();
+      if (result.status == FrameParser::Status::kNeedMore) break;
+      if (result.status == FrameParser::Status::kError) {
+        if (error_.empty()) {
+          error_ = "garbled reply from server: " + result.error;
+        }
+        break;
+      }
+      if (result.header.type == FrameType::kError && error_.empty()) {
+        error_ = std::string(result.payload);
+      }
+    }
+  }
+  close();
+  return error_.empty();
+}
+
+void SendClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace tbd::serve

@@ -1,0 +1,69 @@
+// SendClient: the blocking-socket side of the tbd_serve frame protocol.
+//
+// One client = one TCP connection multiplexing any number of streams (the
+// protocol's stream handles are caller-chosen). Sends are plain blocking
+// write()s, so TCP flow control is the back-pressure path: when the daemon
+// pauses reading a connection whose stream crossed its high-water mark, the
+// client's send() naturally stalls until the pump drains it.
+//
+// finish() half-closes the connection (SHUT_WR) and then reads until EOF —
+// if the daemon rejected anything, the ERROR frame it sent before closing
+// is captured in error(). tbd_send and the equivalence tests both key off
+// that.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "serve/frame.h"
+#include "trace/records.h"
+
+namespace tbd::serve {
+
+class SendClient {
+ public:
+  SendClient() = default;
+  ~SendClient();
+  SendClient(const SendClient&) = delete;
+  SendClient& operator=(const SendClient&) = delete;
+
+  /// Connects to the daemon's ingest listener. False (and error()) on
+  /// failure.
+  [[nodiscard]] bool connect(const std::string& host, std::uint16_t port);
+
+  /// Frame senders; each returns false (and sets error()) if the daemon
+  /// closed the connection — the ERROR frame it sent, if any, is drained
+  /// into error().
+  [[nodiscard]] bool send_hello(std::uint16_t stream,
+                                const HelloConfig& config);
+  [[nodiscard]] bool send_records(std::uint16_t stream,
+                                  std::span<const trace::RequestRecord> records);
+  [[nodiscard]] bool send_encoded(std::uint16_t stream,
+                                  std::string_view bytes);
+  [[nodiscard]] bool send_heartbeat();
+  [[nodiscard]] bool send_bye(std::uint16_t stream);
+
+  /// Half-closes the write side and drains the read side until the daemon
+  /// closes too. Returns false if an ERROR frame arrived (message in
+  /// error()); the daemon has fully processed every accepted frame — BYE
+  /// included — by the time this returns.
+  [[nodiscard]] bool finish();
+
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  [[nodiscard]] bool send_all(std::string_view bytes);
+  /// Reads whatever the daemon already sent (nonblocking peek) and records
+  /// an ERROR frame's message; used to surface rejects promptly.
+  void drain_errors(bool blocking);
+
+  int fd_ = -1;
+  FrameParser parser_;
+  std::string error_;
+};
+
+}  // namespace tbd::serve

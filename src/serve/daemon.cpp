@@ -1,0 +1,943 @@
+#include "serve/daemon.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#include "obs/manifest.h"
+#include "obs/process_stats.h"
+#include "trace/request_log_file.h"
+#include "util/thread_pool.h"
+
+namespace tbd::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string format_ms(std::int64_t us) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", static_cast<double>(us) / 1000.0);
+  return buf;
+}
+
+/// Best-effort short write on a nonblocking socket (ERROR frames are tiny;
+/// if the peer's window is full after 200 ms it was not reading anyway).
+void send_best_effort(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  int budget_ms = 200;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) && budget_ms > 0) {
+      pollfd p{fd, POLLOUT, 0};
+      ::poll(&p, 1, 50);
+      budget_ms -= 50;
+      continue;
+    }
+    return;
+  }
+}
+
+}  // namespace
+
+struct ServeDaemon::Stream {
+  std::string name;
+  std::unique_ptr<core::StreamingDetector> detector;
+  std::unique_ptr<core::StreamingTelemetry> telemetry;
+  std::ofstream events_file;
+  std::unique_ptr<obs::EventLog> events;  // per-stream journal (events_dir)
+  trace::SegmentLogWriter recorder;
+  std::int64_t idle_seal_us = 0;
+
+  // Bookkeeping guarded by the daemon mutex unless noted.
+  std::uint64_t records = 0;  // written by the pump strand only
+  std::size_t queued_bytes = 0;
+  std::size_t peak_queued_bytes = 0;
+  std::uint64_t pauses = 0;
+  bool finished = false;
+  Clock::time_point last_data = Clock::now();   // pump strand only
+  Clock::time_point last_alive = Clock::now();  // guarded by mutex_
+};
+
+struct ServeDaemon::WorkItem {
+  enum class Kind { kData, kFinish } kind = Kind::kData;
+  Stream* stream = nullptr;
+  std::uint8_t format = 0;
+  std::string payload;
+  std::size_t bytes = 0;
+};
+
+struct ServeDaemon::Connection {
+  int fd = -1;  // -1 once closed; only the ingest thread touches sockets
+  FrameParser parser;
+  std::unordered_map<std::uint16_t, Stream*> streams;
+  std::set<std::uint16_t> byed;
+  std::deque<WorkItem> work;  // guarded by mutex_
+  bool in_flight = false;     // a pump round holds this conn's items
+  bool paused = false;        // guarded by mutex_
+  bool saw_frame = false;
+  std::atomic<bool> failed{false};
+  std::string pending_error;  // guarded by mutex_; set by pump, sent by ingest
+};
+
+ServeDaemon::ServeDaemon(DaemonOptions options)
+    : options_{std::move(options)},
+      registry_{options_.registry != nullptr ? options_.registry
+                                             : &obs::Registry::global()} {
+  if (!options_.events_path.empty()) {
+    events_file_.open(options_.events_path, std::ios::trunc);
+  }
+  obs::EventLog::Options event_options;
+  event_options.registry = registry_;
+  auto meta = options_.events_meta;
+  if (meta.empty()) meta = {{"tool", "tbd_serve"}};
+  events_ = std::make_unique<obs::EventLog>(
+      events_file_.is_open() ? &events_file_ : nullptr, event_options, meta);
+}
+
+ServeDaemon::~ServeDaemon() { stop(); }
+
+bool ServeDaemon::start() {
+  if (!options_.events_path.empty() && !events_file_.is_open()) {
+    error_ = "cannot write " + options_.events_path;
+    return false;
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    error_ = "bad ingest host: " + options_.host;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    error_ = std::string("bind/listen ") + options_.host + ":" +
+             std::to_string(options_.port) + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  ingest_port_ = ntohs(bound.sin_port);
+
+  if (::pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    error_ = std::string("pipe2: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  if (options_.expose_http) {
+    obs::Introspection::Options io;
+    io.tool = "tbd_serve";
+    io.info = {{"queue_hwm_bytes",
+                std::to_string(options_.queue_high_water_bytes)},
+               {"idle_seal_ms", format_ms(options_.default_idle_seal_us)},
+               {"evict_idle_ms", format_ms(options_.evict_idle_us)}};
+    intro_ = std::make_unique<obs::Introspection>(std::move(io));
+    intro_->add_status_source("streams", [this] {
+      // Best-effort snapshot, like tbd_watch: the pump strand may be
+      // mutating a detector while its counters are read.
+      std::lock_guard lock{mutex_};
+      std::string out = "[";
+      for (std::size_t i = 0; i < streams_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += streams_[i]->telemetry->status_json();
+      }
+      out += ']';
+      return out;
+    });
+    intro_->add_status_source("serve",
+                              [this] { return serve_status_json(); });
+
+    obs::ExpositionServer::Options ho;
+    ho.host = options_.http_host;
+    ho.port = options_.http_port;
+    http_ = std::make_unique<obs::ExpositionServer>(ho);
+    http_->handle("/metrics", "text/plain; version=0.0.4", [this] {
+      obs::publish_process_stats(*registry_);
+      obs::publish_pool_gauges(*registry_);
+      std::size_t active = 0;
+      std::size_t open_conns = 0;
+      std::size_t queued = 0;
+      {
+        std::lock_guard lock{mutex_};
+        active = active_.size();
+        for (const auto& c : connections_) open_conns += c->fd >= 0 ? 1 : 0;
+        for (const auto& s : streams_) queued += s->queued_bytes;
+      }
+      registry_->gauge("tbd_process_open_streams")
+          .set(static_cast<double>(active));
+      registry_->gauge("tbd_serve_streams_active")
+          .set(static_cast<double>(active));
+      registry_->gauge("tbd_serve_connections")
+          .set(static_cast<double>(open_conns));
+      registry_->gauge("tbd_serve_queued_bytes")
+          .set(static_cast<double>(queued));
+      return registry_->to_prometheus();
+    });
+    intro_->wire(*http_);
+    http_->handle("/healthz", "text/plain",
+                  [] { return std::string("ok\n"); });
+    http_->handle("/episodes", "application/json",
+                  [this] { return events_->episodes_json(); });
+    if (!http_->start()) {
+      error_ = http_->error();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+  }
+
+  ingest_thread_ = std::thread([this] { ingest_loop(); });
+  pump_thread_ = std::thread([this] { pump_loop(); });
+  return true;
+}
+
+std::uint16_t ServeDaemon::http_port() const {
+  return http_ ? http_->port() : 0;
+}
+
+void ServeDaemon::wake_ingest() {
+  if (wake_pipe_[1] >= 0) {
+    const char b = 'w';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  }
+}
+
+// --------------------------------------------------------------------------
+// ingest thread
+// --------------------------------------------------------------------------
+
+void ServeDaemon::ingest_loop() {
+  const auto stop_requested = [this] {
+    return stopping_.load(std::memory_order_acquire);
+  };
+  Clock::time_point grace_deadline{};
+
+  for (;;) {
+    // Snapshot pollable connections and act on pump-reported failures.
+    std::vector<std::shared_ptr<Connection>> polled;
+    std::vector<std::shared_ptr<Connection>> failing;
+    {
+      std::lock_guard lock{mutex_};
+      for (const auto& conn : connections_) {
+        if (conn->fd < 0) continue;
+        if (!conn->pending_error.empty() || conn->failed.load()) {
+          failing.push_back(conn);
+        } else if (!conn->paused) {
+          polled.push_back(conn);
+        }
+      }
+    }
+    for (const auto& conn : failing) {
+      std::string message;
+      {
+        std::lock_guard lock{mutex_};
+        message = conn->pending_error;
+        conn->pending_error.clear();
+        ++protocol_errors_;  // pump-detected decode failures count too
+      }
+      registry_->counter("tbd_serve_protocol_errors_total").add(1);
+      if (!message.empty()) send_best_effort(conn->fd, encode_error(message));
+      close_connection(conn);
+    }
+
+    const bool stopping_now = stop_requested();
+    if (stopping_now && listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      grace_deadline =
+          Clock::now() + std::chrono::microseconds(static_cast<std::int64_t>(
+                             options_.drain_grace_s * 1e6));
+    }
+    if (stopping_now) {
+      bool any_open = false;
+      {
+        std::lock_guard lock{mutex_};
+        for (const auto& conn : connections_) any_open |= conn->fd >= 0;
+      }
+      if (!any_open) break;
+      if (Clock::now() >= grace_deadline) {
+        // Grace expired: force-close what is left (their parsed frames are
+        // already queued; unread socket bytes are abandoned).
+        std::vector<std::shared_ptr<Connection>> open;
+        {
+          std::lock_guard lock{mutex_};
+          for (const auto& conn : connections_) {
+            if (conn->fd >= 0) open.push_back(conn);
+          }
+        }
+        for (const auto& conn : open) close_connection(conn);
+        break;
+      }
+    }
+
+    std::vector<pollfd> fds;
+    fds.reserve(polled.size() + 2);
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    if (listen_fd_ >= 0) fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    const std::size_t conn_base = fds.size();
+    for (const auto& conn : polled) {
+      fds.push_back(pollfd{conn->fd, POLLIN, 0});
+    }
+    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100);
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char buf[256];
+      while (::read(wake_pipe_[0], buf, sizeof buf) > 0) {
+      }
+    }
+    if (listen_fd_ >= 0 && fds.size() > 1 && fds[1].fd == listen_fd_ &&
+        (fds[1].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd =
+            ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) break;
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        std::lock_guard lock{mutex_};
+        connections_.push_back(conn);
+        ++connections_accepted_;
+        registry_->counter("tbd_serve_connections_total").add(1);
+      }
+    }
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      const auto& conn = polled[i];
+      const short revents = fds[conn_base + i].revents;
+      if (conn->fd < 0) continue;  // closed earlier this iteration
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        handle_readable(conn);
+      }
+    }
+  }
+
+  {
+    std::lock_guard lock{mutex_};
+    ingest_done_ = true;
+  }
+  pump_cv_.notify_all();
+}
+
+void ServeDaemon::handle_readable(const std::shared_ptr<Connection>& conn) {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      conn->parser.feed(std::string_view{buf, static_cast<std::size_t>(n)});
+      for (;;) {
+        auto result = conn->parser.next();
+        if (result.status == FrameParser::Status::kNeedMore) break;
+        if (result.status == FrameParser::Status::kError) {
+          fail_connection(conn, result.error);
+          return;
+        }
+        handle_frame(conn, result.header, std::move(result.payload));
+        if (conn->fd < 0) return;  // a frame-level error closed it
+      }
+      bool paused_now;
+      {
+        std::lock_guard lock{mutex_};
+        paused_now = conn->paused;
+      }
+      // Stop reading a paused connection: the kernel buffer fills and TCP
+      // pushes back on the sender. The bytes already fed are accounted.
+      if (paused_now) return;
+      if (static_cast<std::size_t>(n) < sizeof buf) return;  // likely drained
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    // EOF or hard error.
+    if (n == 0 && conn->parser.mid_frame()) {
+      std::lock_guard lock{mutex_};
+      ++protocol_errors_;
+      registry_->counter("tbd_serve_protocol_errors_total").add(1);
+    }
+    close_connection(conn);
+    return;
+  }
+}
+
+void ServeDaemon::handle_frame(const std::shared_ptr<Connection>& conn,
+                               const FrameHeader& header,
+                               std::string payload) {
+  {
+    std::lock_guard lock{mutex_};
+    ++frames_received_;
+  }
+  registry_->counter("tbd_serve_frames_total").add(1);
+  conn->saw_frame = true;
+
+  switch (header.type) {
+    case FrameType::kHello: {
+      const std::string err = handle_hello(conn, header, payload);
+      if (!err.empty()) fail_connection(conn, err);
+      return;
+    }
+    case FrameType::kData: {
+      Stream* stream = nullptr;
+      {
+        const auto it = conn->streams.find(header.stream);
+        if (it == conn->streams.end()) {
+          fail_connection(conn,
+                          "unknown stream handle (DATA before HELLO?)");
+          return;
+        }
+        stream = it->second;
+      }
+      if (conn->byed.count(header.stream) != 0) {
+        fail_connection(conn, "DATA after BYE on stream " + stream->name);
+        return;
+      }
+      const std::size_t bytes = payload.size();
+      bool pause = false;
+      {
+        std::lock_guard lock{mutex_};
+        if (stream->finished) {
+          // Evicted (or finished) while the client kept sending.
+          ++protocol_errors_;
+          registry_->counter("tbd_serve_protocol_errors_total").add(1);
+        }
+        WorkItem item;
+        item.kind = WorkItem::Kind::kData;
+        item.stream = stream;
+        item.format = header.format;
+        item.payload = std::move(payload);
+        item.bytes = bytes;
+        conn->work.push_back(std::move(item));
+        stream->queued_bytes += bytes;
+        stream->peak_queued_bytes =
+            std::max(stream->peak_queued_bytes, stream->queued_bytes);
+        stream->last_alive = Clock::now();
+        data_bytes_received_ += bytes;
+        if (!conn->paused &&
+            stream->queued_bytes > options_.queue_high_water_bytes) {
+          conn->paused = true;
+          pause = true;
+          ++backpressure_pauses_;
+          ++stream->pauses;
+        }
+      }
+      registry_->counter("tbd_serve_data_bytes_total").add(bytes);
+      if (pause) {
+        registry_->counter("tbd_serve_backpressure_pauses_total").add(1);
+      }
+      pump_cv_.notify_one();
+      return;
+    }
+    case FrameType::kHeartbeat: {
+      std::lock_guard lock{mutex_};
+      const auto now = Clock::now();
+      for (auto& [handle, stream] : conn->streams) stream->last_alive = now;
+      return;
+    }
+    case FrameType::kBye: {
+      const auto it = conn->streams.find(header.stream);
+      if (it == conn->streams.end()) {
+        fail_connection(conn, "BYE for unknown stream handle");
+        return;
+      }
+      if (!conn->byed.insert(header.stream).second) {
+        fail_connection(conn, "duplicate BYE on stream " + it->second->name);
+        return;
+      }
+      std::lock_guard lock{mutex_};
+      WorkItem item;
+      item.kind = WorkItem::Kind::kFinish;
+      item.stream = it->second;
+      conn->work.push_back(std::move(item));
+      pump_cv_.notify_one();
+      return;
+    }
+    case FrameType::kError:
+      fail_connection(conn, "unexpected ERROR frame from client");
+      return;
+  }
+}
+
+std::string ServeDaemon::handle_hello(const std::shared_ptr<Connection>& conn,
+                                      const FrameHeader& header,
+                                      const std::string& payload) {
+  HelloConfig config;
+  std::string err = decode_hello(payload, config);
+  if (!err.empty()) return err;
+  if (conn->streams.count(header.stream) != 0) {
+    return "duplicate stream handle " + std::to_string(header.stream);
+  }
+  Stream* stream = nullptr;
+  {
+    std::lock_guard lock{mutex_};
+    if (active_.count(config.name) != 0) {
+      ++protocol_errors_;
+      registry_->counter("tbd_serve_protocol_errors_total").add(1);
+      return "duplicate stream id: " + config.name;
+    }
+  }
+  err = make_stream(config, &stream);
+  if (!err.empty()) return err;
+  conn->streams.emplace(header.stream, stream);
+  return {};
+}
+
+std::string ServeDaemon::make_stream(const HelloConfig& config, Stream** out) {
+  auto stream = std::make_unique<Stream>();
+  stream->name = config.name;
+  stream->idle_seal_us = config.idle_seal_us > 0
+                             ? config.idle_seal_us
+                             : options_.default_idle_seal_us;
+
+  core::StreamingDetector::Config dc;
+  dc.width = Duration::micros(config.width_us);
+  dc.lag = Duration::micros(config.lag_us);
+  dc.detector.idle_load = config.idle_load;
+  dc.detector.poi_tput_frac = config.poi_tput_frac;
+  dc.detector.throughput.work_unit_us = config.work_unit_us;
+  core::NStarResult nstar;
+  nstar.n_star = config.nstar;
+  nstar.tp_max = config.tpmax;
+  nstar.converged = true;
+  core::ServiceTimeTable table;
+  for (const auto& [class_id, service] : config.service_us) {
+    table.set(class_id, service);
+  }
+  stream->detector = std::make_unique<core::StreamingDetector>(
+      TimePoint::from_micros(config.start_us), dc, nstar, table);
+
+  if (!options_.events_dir.empty()) {
+    const std::string path =
+        options_.events_dir + "/" + config.name + ".ndjson";
+    stream->events_file.open(path, std::ios::trunc);
+    if (!stream->events_file) return "cannot write stream journal " + path;
+    obs::EventLog::Options eo;
+    eo.registry = registry_;
+    const std::vector<std::pair<std::string, std::string>> meta = {
+        {"tool", "tbd_serve"},
+        {"stream", config.name},
+        {"width_ms", format_ms(config.width_us)},
+        {"lag_ms", format_ms(config.lag_us)}};
+    stream->events =
+        std::make_unique<obs::EventLog>(&stream->events_file, eo, meta);
+  }
+  if (!options_.record_dir.empty()) {
+    const std::string path =
+        options_.record_dir + "/" + config.name + ".tbd2";
+    trace::SegmentLogOptions ro;
+    ro.segment_records = options_.record_segment_records;
+    if (!stream->recorder.open(path, ro)) {
+      return "cannot write stream mirror " + path;
+    }
+  }
+  stream->telemetry = std::make_unique<core::StreamingTelemetry>(
+      *stream->detector, core::StreamingTelemetry::Options{config.name},
+      *registry_, events_.get(), stream->events.get());
+
+  std::lock_guard lock{mutex_};
+  *out = stream.get();
+  active_.emplace(stream->name, stream.get());
+  streams_.push_back(std::move(stream));
+  return {};
+}
+
+void ServeDaemon::fail_connection(const std::shared_ptr<Connection>& conn,
+                                  const std::string& message) {
+  {
+    std::lock_guard lock{mutex_};
+    ++protocol_errors_;
+  }
+  registry_->counter("tbd_serve_protocol_errors_total").add(1);
+  if (conn->fd >= 0) send_best_effort(conn->fd, encode_error(message));
+  close_connection(conn);
+}
+
+void ServeDaemon::close_connection(const std::shared_ptr<Connection>& conn) {
+  if (conn->fd >= 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+  {
+    std::lock_guard lock{mutex_};
+    // Finish every stream the connection still owns, after any data already
+    // queued for it (FIFO order preserves the stream's event sequence).
+    for (auto& [handle, stream] : conn->streams) {
+      if (conn->byed.count(handle) != 0) continue;
+      WorkItem item;
+      item.kind = WorkItem::Kind::kFinish;
+      item.stream = stream;
+      conn->work.push_back(std::move(item));
+    }
+    conn->streams.clear();
+  }
+  pump_cv_.notify_one();
+}
+
+// --------------------------------------------------------------------------
+// pump thread
+// --------------------------------------------------------------------------
+
+void ServeDaemon::pump_loop() {
+  const auto tick = std::chrono::microseconds(
+      static_cast<std::int64_t>(options_.tick_ms * 1000.0));
+  std::unique_lock lock{mutex_};
+  for (;;) {
+    pump_cv_.wait_for(lock, tick, [this] {
+      if (ingest_done_) return true;
+      for (const auto& conn : connections_) {
+        if (!conn->work.empty()) return true;
+      }
+      return false;
+    });
+
+    // Gather the round: move every connection's pending items out. Each
+    // connection is one strand — its items run in order on one pool task.
+    std::vector<std::shared_ptr<Connection>> round;
+    std::vector<std::deque<WorkItem>> batches;
+    for (const auto& conn : connections_) {
+      if (conn->work.empty()) continue;
+      round.push_back(conn);
+      batches.push_back(std::move(conn->work));
+      conn->work.clear();
+      conn->in_flight = true;
+    }
+
+    if (!round.empty()) {
+      lock.unlock();
+      shared_pool().parallel_for_indexed(round.size(), [&](std::size_t i) {
+        drain_connection(*round[i], batches[i]);
+      });
+      lock.lock();
+      // Release the processed bytes and resume drained connections.
+      for (std::size_t i = 0; i < round.size(); ++i) {
+        round[i]->in_flight = false;
+        for (const auto& item : batches[i]) {
+          if (item.bytes > 0) {
+            item.stream->queued_bytes -=
+                std::min(item.stream->queued_bytes, item.bytes);
+          }
+        }
+        auto& conn = *round[i];
+        if (conn.paused && conn.fd >= 0) {
+          std::size_t worst = 0;
+          for (const auto& [handle, stream] : conn.streams) {
+            worst = std::max(worst, stream->queued_bytes);
+          }
+          if (worst <= options_.queue_high_water_bytes / 2) {
+            conn.paused = false;
+            wake_ingest();
+          }
+        }
+      }
+    }
+
+    // Clocks: idle-seal and eviction deadlines (outside the round; the pump
+    // is the only detector mutator, so no strand can race these).
+    if (options_.default_idle_seal_us > 0 || options_.evict_idle_us > 0 ||
+        [this] {
+          for (const auto& s : streams_) {
+            if (s->idle_seal_us > 0) return true;
+          }
+          return false;
+        }()) {
+      lock.unlock();
+      run_clocks();
+      lock.lock();
+    }
+
+    // Drop connections that are closed and fully drained.
+    connections_.erase(
+        std::remove_if(connections_.begin(), connections_.end(),
+                       [](const std::shared_ptr<Connection>& c) {
+                         return c->fd < 0 && c->work.empty();
+                       }),
+        connections_.end());
+
+    if (ingest_done_) {
+      bool pending = false;
+      for (const auto& conn : connections_) pending |= !conn->work.empty();
+      if (!pending) break;
+    }
+  }
+  lock.unlock();
+  events_->flush();
+}
+
+void ServeDaemon::drain_connection(Connection& conn,
+                                   std::deque<WorkItem>& items) {
+  for (auto& item : items) {
+    Stream& stream = *item.stream;
+    if (item.kind == WorkItem::Kind::kFinish) {
+      finish_stream(stream);
+      continue;
+    }
+    if (conn.failed.load(std::memory_order_relaxed)) continue;
+    if (stream.finished) continue;  // evicted with data still queued
+    if (options_.drain_hook) options_.drain_hook(stream.name);
+
+    trace::RequestColumns cols;
+    std::string err;
+    if (item.format == static_cast<std::uint8_t>(DataFormat::kRawRecords)) {
+      err = decode_raw_records(item.payload, cols);
+    } else if (item.payload.size() >= 8 &&
+               std::memcmp(item.payload.data(), "TBDR", 4) == 0) {
+      std::uint32_t version = 0;
+      std::memcpy(&version, item.payload.data() + 4, 4);
+      if (version == trace::kRequestLogV2Version) {
+        auto decoded = trace::decode_request_log_v2(item.payload,
+                                                    trace::DecodeMode::kStrict);
+        if (!decoded.ok) {
+          err = "bad data: " + decoded.error;
+        } else {
+          cols = std::move(decoded.records);
+        }
+      } else {
+        auto decoded = trace::decode_request_log_bin_columns(item.payload);
+        if (!decoded.ok) {
+          err = "bad data: " + decoded.error;
+        } else {
+          cols = std::move(decoded.records);
+        }
+      }
+    } else {
+      err = "bad data: encoded payload without TBDR magic";
+    }
+    if (!err.empty()) {
+      conn.failed.store(true, std::memory_order_relaxed);
+      {
+        std::lock_guard lock{mutex_};
+        if (conn.pending_error.empty()) conn.pending_error = err;
+      }
+      wake_ingest();
+      continue;
+    }
+
+    stream.detector->push_batch(cols.view());
+    stream.telemetry->add_records(cols.size());
+    stream.records += cols.size();
+    if (stream.recorder.is_open()) {
+      const auto view = cols.view();
+      for (std::size_t i = 0; i < view.size(); ++i) {
+        stream.recorder.append(view.record(i));
+      }
+    }
+    stream.last_data = Clock::now();
+    stream.telemetry->sync();
+  }
+}
+
+void ServeDaemon::finish_stream(Stream& stream) {
+  if (stream.finished) return;
+  stream.detector->finish();
+  stream.telemetry->sync();
+  if (stream.events) stream.events->flush();
+  if (stream.recorder.is_open()) {
+    if (!stream.recorder.close()) {
+      std::fprintf(stderr, "tbd_serve: write failed on mirror for %s\n",
+                   stream.name.c_str());
+    }
+  }
+  std::lock_guard lock{mutex_};
+  stream.finished = true;
+  active_.erase(stream.name);
+}
+
+void ServeDaemon::run_clocks() {
+  const auto now = Clock::now();
+  std::vector<Stream*> to_seal;
+  std::vector<Stream*> to_evict;
+  {
+    std::lock_guard lock{mutex_};
+    for (const auto& s : streams_) {
+      if (s->finished || s->queued_bytes > 0) continue;
+      const auto data_idle_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              now - s->last_data)
+              .count();
+      const auto alive_idle_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              now - s->last_alive)
+              .count();
+      if (options_.evict_idle_us > 0 &&
+          alive_idle_us >= options_.evict_idle_us &&
+          data_idle_us >= options_.evict_idle_us) {
+        to_evict.push_back(s.get());
+        continue;
+      }
+      if (s->idle_seal_us > 0 && data_idle_us >= s->idle_seal_us &&
+          s->detector->open_intervals() > 0) {
+        to_seal.push_back(s.get());
+      }
+    }
+  }
+  for (Stream* s : to_seal) {
+    const std::size_t sealed = s->detector->seal_idle();
+    s->telemetry->sync();
+    if (sealed > 0) {
+      std::lock_guard lock{mutex_};
+      ++idle_seals_;
+    }
+    registry_->counter("tbd_serve_idle_seals_total").add(1);
+  }
+  for (Stream* s : to_evict) {
+    finish_stream(*s);
+    {
+      std::lock_guard lock{mutex_};
+      ++evicted_streams_;
+    }
+    registry_->counter("tbd_serve_evicted_streams_total").add(1);
+  }
+}
+
+// --------------------------------------------------------------------------
+// lifecycle + observation
+// --------------------------------------------------------------------------
+
+void ServeDaemon::stop() {
+  if (!ingest_thread_.joinable() && !pump_thread_.joinable()) {
+    if (http_) http_->stop();
+    return;
+  }
+  stopping_.store(true, std::memory_order_release);
+  wake_ingest();
+  pump_cv_.notify_all();
+  if (ingest_thread_.joinable()) ingest_thread_.join();
+  pump_cv_.notify_all();
+  if (pump_thread_.joinable()) pump_thread_.join();
+  if (http_) http_->stop();
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (events_file_.is_open()) events_file_.close();
+}
+
+std::vector<StreamSummary> ServeDaemon::stream_summaries() const {
+  std::lock_guard lock{mutex_};
+  std::vector<StreamSummary> out;
+  out.reserve(streams_.size());
+  for (const auto& s : streams_) {
+    StreamSummary summary;
+    summary.name = s->name;
+    summary.records = s->records;
+    summary.dropped = s->detector->dropped_records();
+    summary.intervals = s->detector->intervals_emitted();
+    summary.sealed_by_state = s->detector->sealed_by_state();
+    summary.episodes = s->detector->episodes();
+    summary.open_intervals = s->detector->open_intervals();
+    summary.queued_bytes = s->queued_bytes;
+    summary.peak_queued_bytes = s->peak_queued_bytes;
+    summary.pauses = s->pauses;
+    summary.finished = s->finished;
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+std::uint64_t ServeDaemon::connections_accepted() const {
+  std::lock_guard lock{mutex_};
+  return connections_accepted_;
+}
+std::uint64_t ServeDaemon::protocol_errors() const {
+  std::lock_guard lock{mutex_};
+  return protocol_errors_;
+}
+std::uint64_t ServeDaemon::backpressure_pauses() const {
+  std::lock_guard lock{mutex_};
+  return backpressure_pauses_;
+}
+std::uint64_t ServeDaemon::idle_seals() const {
+  std::lock_guard lock{mutex_};
+  return idle_seals_;
+}
+std::uint64_t ServeDaemon::evicted_streams() const {
+  std::lock_guard lock{mutex_};
+  return evicted_streams_;
+}
+std::uint64_t ServeDaemon::frames_received() const {
+  std::lock_guard lock{mutex_};
+  return frames_received_;
+}
+
+std::string ServeDaemon::serve_status_json() const {
+  std::lock_guard lock{mutex_};
+  std::size_t open_conns = 0;
+  for (const auto& c : connections_) open_conns += c->fd >= 0 ? 1 : 0;
+  std::string out;
+  out.reserve(512);
+  out += "{\"connections\":" + std::to_string(open_conns);
+  out += ",\"connections_total\":" + std::to_string(connections_accepted_);
+  out += ",\"streams_active\":" + std::to_string(active_.size());
+  out += ",\"streams_total\":" + std::to_string(streams_.size());
+  out += ",\"frames_total\":" + std::to_string(frames_received_);
+  out += ",\"data_bytes_total\":" + std::to_string(data_bytes_received_);
+  out += ",\"protocol_errors\":" + std::to_string(protocol_errors_);
+  out += ",\"backpressure_pauses\":" + std::to_string(backpressure_pauses_);
+  out += ",\"idle_seals\":" + std::to_string(idle_seals_);
+  out += ",\"evicted_streams\":" + std::to_string(evicted_streams_);
+  out += ",\"queue_hwm_bytes\":" +
+         std::to_string(options_.queue_high_water_bytes);
+  out += ",\"queues\":[";
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const auto& s = *streams_[i];
+    if (i > 0) out += ',';
+    out += "{\"stream\":\"" + obs::detail::json_escape(s.name) + "\"";
+    out += ",\"queued_bytes\":" + std::to_string(s.queued_bytes);
+    out += ",\"peak_queued_bytes\":" + std::to_string(s.peak_queued_bytes);
+    out += ",\"deferred_reads\":" + std::to_string(s.pauses);
+    out += ",\"dropped\":" + std::to_string(s.detector->dropped_records());
+    out += std::string(",\"finished\":") + (s.finished ? "true" : "false");
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool ServeDaemon::wait_idle(double timeout_s) const {
+  const auto deadline =
+      Clock::now() + std::chrono::microseconds(
+                         static_cast<std::int64_t>(timeout_s * 1e6));
+  for (;;) {
+    {
+      std::lock_guard lock{mutex_};
+      bool busy = false;
+      for (const auto& conn : connections_) {
+        busy |= conn->fd >= 0 || !conn->work.empty() || conn->in_flight;
+      }
+      if (!busy) return true;
+    }
+    if (Clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace tbd::serve

@@ -1,0 +1,225 @@
+// ServeDaemon: the multi-tenant online detection service behind tbd_serve.
+//
+// Architecture (two threads plus the shared pool and the HTTP thread):
+//
+//   ingest thread   one poll() loop over the listen socket, a self-pipe,
+//                   and every connection (the obs/exposition pattern, but
+//                   long-lived). It parses frames incrementally, handles
+//                   HELLO/BYE/HEARTBEAT inline, and enqueues DATA payloads
+//                   onto the owning connection's FIFO. All socket I/O —
+//                   accept, read, ERROR replies, close — happens here.
+//   pump thread     bulk-synchronous rounds: snapshot every connection
+//                   with queued work, fan one task per connection out on
+//                   shared_pool() (the per-stream sharding), each task
+//                   draining its connection's items IN ORDER into the
+//                   stream's StreamingDetector + StreamingTelemetry +
+//                   SegmentLogWriter. Between rounds it runs the clocks:
+//                   idle-seal deadlines, idle-stream eviction, and
+//                   back-pressure resume.
+//
+// Because one connection's frames are always drained sequentially, a
+// single-connection replay produces a byte-identical event log at any
+// TBD_THREADS — the equivalence tests and the tier-1 golden rely on this.
+// Across connections the shared journal interleaves by arrival (wall
+// clock); the per-stream logs under events_dir stay deterministic because
+// each stream is owned by exactly one connection.
+//
+// Back-pressure: every stream accounts the payload bytes queued (and in
+// flight) for it; crossing queue_high_water_bytes pauses *reading* the
+// owning connection's socket — TCP then pushes back on the sender — until
+// the pump drains the stream below half the mark. Memory per connection is
+// therefore bounded by HWM + one read chunk + one frame, never by how fast
+// the sender can write.
+//
+// Shutdown (stop(), the SIGTERM path): stop accepting, let live
+// connections finish sending (bounded by drain_grace), drain every queue,
+// finish every stream, sync telemetry, flush the event logs, close the
+// mirrors, then stop the HTTP server. Nothing already acknowledged by the
+// kernel is dropped.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/streaming_detector.h"
+#include "core/streaming_telemetry.h"
+#include "obs/event_log.h"
+#include "obs/exposition.h"
+#include "obs/introspection.h"
+#include "obs/metrics.h"
+#include "serve/frame.h"
+#include "trace/segment_log.h"
+
+namespace tbd::serve {
+
+struct DaemonOptions {
+  /// Ingest listener. Port 0 = OS-assigned (see ingest_port()).
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  /// Exposition endpoint (/metrics /healthz /episodes /statusz /threadz
+  /// /profilez). Port 0 = OS-assigned; expose_http = false disables it.
+  bool expose_http = true;
+  std::string http_host = "127.0.0.1";
+  std::uint16_t http_port = 0;
+
+  /// Back-pressure high-water mark: queued + in-flight DATA bytes per
+  /// stream before its connection stops being read.
+  std::size_t queue_high_water_bytes = 8u << 20;
+  /// Default idle-seal deadline for streams whose HELLO left it 0: with no
+  /// new data for this long, the stream is sealed to its watermark
+  /// (StreamingDetector::seal_idle). 0 = never.
+  std::int64_t default_idle_seal_us = 0;
+  /// Evict (finish + release the name of) a stream with no data AND no
+  /// heartbeat for this long. 0 = never.
+  std::int64_t evict_idle_us = 0;
+  /// How long stop() waits for live connections to reach EOF before
+  /// force-closing them.
+  double drain_grace_s = 5.0;
+  /// Pump wake-up tick (drives idle-seal/eviction clocks).
+  double tick_ms = 20.0;
+
+  /// Shared NDJSON journal path ("" = in-memory rings only; /episodes is
+  /// served either way).
+  std::string events_path;
+  /// Per-stream NDJSON journals, one DIR/<stream>.ndjson each ("" = off).
+  std::string events_dir;
+  /// Per-stream durable TBDR v2 mirrors, one DIR/<stream>.tbd2 each.
+  std::string record_dir;
+  std::size_t record_segment_records = trace::kDefaultSegmentRecords;
+  /// Meta pairs for the shared journal's leading record. Empty = the
+  /// default {tool: tbd_serve}. tier1.sh overrides this to reproduce the
+  /// tbd_watch golden byte-for-byte.
+  std::vector<std::pair<std::string, std::string>> events_meta;
+
+  /// Metrics registry (null = obs::Registry::global()). Tests inject a
+  /// fresh one so labeled series don't accumulate across daemons.
+  obs::Registry* registry = nullptr;
+
+  /// Test seam: invoked on the drain strand before each DATA payload is
+  /// decoded (the back-pressure test throttles one stream with it).
+  std::function<void(const std::string& stream)> drain_hook;
+};
+
+/// Post-hoc view of one stream for tests and the tool's exit summary.
+struct StreamSummary {
+  std::string name;
+  std::uint64_t records = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t intervals = 0;
+  std::array<std::size_t, 4> sealed_by_state{};
+  std::vector<core::Episode> episodes;
+  std::size_t open_intervals = 0;
+  std::size_t queued_bytes = 0;
+  std::size_t peak_queued_bytes = 0;
+  std::uint64_t pauses = 0;
+  bool finished = false;
+};
+
+class ServeDaemon {
+ public:
+  explicit ServeDaemon(DaemonOptions options);
+  ~ServeDaemon();
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Binds both listeners and spawns the ingest + pump threads. False (and
+  /// error()) if a socket can't be bound.
+  [[nodiscard]] bool start();
+  /// Graceful shutdown; see the header comment. Idempotent.
+  void stop();
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  [[nodiscard]] std::uint16_t ingest_port() const { return ingest_port_; }
+  [[nodiscard]] std::uint16_t http_port() const;
+
+  // --- observation (tests, exit summary) --------------------------------
+  [[nodiscard]] std::vector<StreamSummary> stream_summaries() const;
+  [[nodiscard]] std::uint64_t connections_accepted() const;
+  [[nodiscard]] std::uint64_t protocol_errors() const;
+  [[nodiscard]] std::uint64_t backpressure_pauses() const;
+  [[nodiscard]] std::uint64_t idle_seals() const;
+  [[nodiscard]] std::uint64_t evicted_streams() const;
+  [[nodiscard]] std::uint64_t frames_received() const;
+  /// The "serve" /statusz section (connections, queues, error counters).
+  [[nodiscard]] std::string serve_status_json() const;
+  /// Blocks until no connection is open and every queue is drained, or the
+  /// timeout elapses. Tests call this after closing their sockets.
+  [[nodiscard]] bool wait_idle(double timeout_s) const;
+
+ private:
+  struct Stream;
+  struct WorkItem;
+  struct Connection;
+
+  // ingest thread
+  void ingest_loop();
+  void handle_readable(const std::shared_ptr<Connection>& conn);
+  void handle_frame(const std::shared_ptr<Connection>& conn,
+                    const FrameHeader& header, std::string payload);
+  std::string handle_hello(const std::shared_ptr<Connection>& conn,
+                           const FrameHeader& header,
+                           const std::string& payload);
+  void fail_connection(const std::shared_ptr<Connection>& conn,
+                       const std::string& message);
+  void close_connection(const std::shared_ptr<Connection>& conn);
+  void wake_ingest();
+
+  // pump thread
+  void pump_loop();
+  void drain_connection(Connection& conn, std::deque<WorkItem>& items);
+  void finish_stream(Stream& stream);
+  void run_clocks();
+
+  [[nodiscard]] std::string make_stream(const HelloConfig& config,
+                                        Stream** out);
+
+  DaemonOptions options_;
+  obs::Registry* registry_ = nullptr;
+  std::string error_;
+
+  std::ofstream events_file_;
+  std::unique_ptr<obs::EventLog> events_;
+  std::unique_ptr<obs::Introspection> intro_;
+  std::unique_ptr<obs::ExpositionServer> http_;
+
+  int listen_fd_ = -1;
+  std::uint16_t ingest_port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::thread ingest_thread_;
+  std::thread pump_thread_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable pump_cv_;
+  std::atomic<bool> stopping_{false};
+  bool ingest_done_ = false;  // guarded by mutex_
+
+  // Streams are created on HELLO and never destroyed before the daemon —
+  // WorkItems hold raw Stream*, summaries outlive eviction.
+  std::vector<std::unique_ptr<Stream>> streams_;           // guarded by mutex_
+  std::unordered_map<std::string, Stream*> active_;        // guarded by mutex_
+  std::vector<std::shared_ptr<Connection>> connections_;   // guarded by mutex_
+
+  // Counters (guarded by mutex_; mirrored into registry counters).
+  std::uint64_t connections_accepted_ = 0;
+  std::uint64_t protocol_errors_ = 0;
+  std::uint64_t backpressure_pauses_ = 0;
+  std::uint64_t idle_seals_ = 0;
+  std::uint64_t evicted_streams_ = 0;
+  std::uint64_t frames_received_ = 0;
+  std::uint64_t data_bytes_received_ = 0;
+};
+
+}  // namespace tbd::serve

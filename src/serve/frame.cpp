@@ -1,0 +1,322 @@
+#include "serve/frame.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace tbd::serve {
+
+namespace {
+
+// Little-endian wire primitives. memcpy-based so they are well-defined on
+// any alignment; the build targets little-endian hosts (as do the TBDR
+// codecs), so the copies compile to plain loads/stores.
+template <typename T>
+void put(std::string& out, T v) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  out.append(bytes, sizeof(T));
+}
+
+template <typename T>
+T get(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+/// Cursor over a payload; all reads bounds-checked.
+struct Reader {
+  const char* p;
+  std::size_t left;
+
+  template <typename T>
+  bool read(T& v) {
+    if (left < sizeof(T)) return false;
+    v = get<T>(p);
+    p += sizeof(T);
+    left -= sizeof(T);
+    return true;
+  }
+
+  bool read_bytes(std::string& out, std::size_t n) {
+    if (left < n) return false;
+    out.assign(p, n);
+    p += n;
+    left -= n;
+    return true;
+  }
+};
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == ':' ||
+         c == '-';
+}
+
+std::uint32_t max_payload_for(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return kMaxHelloPayload;
+    case FrameType::kData:
+      return kMaxDataPayload;
+    default:
+      return kMaxControlPayload;
+  }
+}
+
+}  // namespace
+
+void append_frame(std::string& out, const FrameHeader& header,
+                  std::string_view payload) {
+  put<std::uint16_t>(out, kFrameMagic);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(header.type));
+  put<std::uint8_t>(out, header.format);
+  put<std::uint16_t>(out, header.stream);
+  put<std::uint16_t>(out, 0);  // reserved
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+}
+
+std::string encode_hello(std::uint16_t stream, const HelloConfig& config) {
+  std::string payload;
+  payload.reserve(96 + config.name.size() + 12 * config.service_us.size());
+  put<std::uint32_t>(payload, kProtocolVersion);
+  put<std::uint32_t>(payload, 0);  // flags, reserved
+  put<std::int64_t>(payload, config.start_us);
+  put<std::int64_t>(payload, config.width_us);
+  put<std::int64_t>(payload, config.lag_us);
+  put<std::int64_t>(payload, config.idle_seal_us);
+  put<double>(payload, config.nstar);
+  put<double>(payload, config.tpmax);
+  put<double>(payload, config.work_unit_us);
+  put<double>(payload, config.idle_load);
+  put<double>(payload, config.poi_tput_frac);
+  put<std::uint16_t>(payload, static_cast<std::uint16_t>(config.name.size()));
+  payload.append(config.name);
+  put<std::uint16_t>(payload,
+                     static_cast<std::uint16_t>(config.service_us.size()));
+  for (const auto& [class_id, service] : config.service_us) {
+    put<std::uint32_t>(payload, class_id);
+    put<double>(payload, service);
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  append_frame(out, FrameHeader{FrameType::kHello, 0, stream, 0}, payload);
+  return out;
+}
+
+std::string encode_raw_records(std::uint16_t stream,
+                               std::span<const trace::RequestRecord> records) {
+  std::string payload;
+  payload.reserve(records.size() * kRawRecordBytes);
+  for (const auto& r : records) {
+    put<std::uint32_t>(payload, r.server);
+    put<std::uint32_t>(payload, r.class_id);
+    put<std::int64_t>(payload, r.arrival.micros());
+    put<std::int64_t>(payload, r.departure.micros());
+    put<std::uint64_t>(payload, r.txn);
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  append_frame(out,
+               FrameHeader{FrameType::kData,
+                           static_cast<std::uint8_t>(DataFormat::kRawRecords),
+                           stream, 0},
+               payload);
+  return out;
+}
+
+std::string encode_encoded_log(std::uint16_t stream, std::string_view bytes) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + bytes.size());
+  append_frame(out,
+               FrameHeader{FrameType::kData,
+                           static_cast<std::uint8_t>(DataFormat::kEncodedLog),
+                           stream, 0},
+               bytes);
+  return out;
+}
+
+std::string encode_heartbeat() {
+  std::string out;
+  append_frame(out, FrameHeader{FrameType::kHeartbeat, 0, 0, 0}, {});
+  return out;
+}
+
+std::string encode_bye(std::uint16_t stream) {
+  std::string out;
+  append_frame(out, FrameHeader{FrameType::kBye, 0, stream, 0}, {});
+  return out;
+}
+
+std::string encode_error(std::string_view message) {
+  std::string out;
+  if (message.size() > kMaxControlPayload) {
+    message = message.substr(0, kMaxControlPayload);
+  }
+  append_frame(out, FrameHeader{FrameType::kError, 0, 0, 0}, message);
+  return out;
+}
+
+std::string decode_hello(std::string_view payload, HelloConfig& out) {
+  Reader r{payload.data(), payload.size()};
+  std::uint32_t version = 0;
+  std::uint32_t flags = 0;
+  if (!r.read(version)) return "bad hello: truncated payload";
+  if (version != kProtocolVersion) {
+    return "bad hello: unsupported protocol version";
+  }
+  if (!r.read(flags)) return "bad hello: truncated payload";
+  if (flags != 0) return "bad hello: unsupported flags";
+  std::uint16_t name_len = 0;
+  std::uint16_t class_count = 0;
+  if (!r.read(out.start_us) || !r.read(out.width_us) || !r.read(out.lag_us) ||
+      !r.read(out.idle_seal_us) || !r.read(out.nstar) || !r.read(out.tpmax) ||
+      !r.read(out.work_unit_us) || !r.read(out.idle_load) ||
+      !r.read(out.poi_tput_frac) || !r.read(name_len)) {
+    return "bad hello: truncated payload";
+  }
+  if (name_len == 0 || name_len > kMaxStreamName) {
+    return "bad hello: stream name length out of range";
+  }
+  if (!r.read_bytes(out.name, name_len)) return "bad hello: truncated name";
+  for (char c : out.name) {
+    if (!valid_name_char(c)) {
+      return "bad hello: stream name has characters outside [A-Za-z0-9_.:-]";
+    }
+  }
+  if (!r.read(class_count)) return "bad hello: truncated payload";
+  if (class_count > kMaxServiceClasses) {
+    return "bad hello: too many service classes";
+  }
+  out.service_us.clear();
+  out.service_us.reserve(class_count);
+  for (std::uint16_t i = 0; i < class_count; ++i) {
+    std::uint32_t class_id = 0;
+    double service = 0.0;
+    if (!r.read(class_id) || !r.read(service)) {
+      return "bad hello: truncated service table";
+    }
+    if (class_id >= (1u << 20)) return "bad hello: class id too large";
+    if (!std::isfinite(service) || service < 0.0) {
+      return "bad hello: service time not finite and non-negative";
+    }
+    out.service_us.emplace_back(class_id, service);
+  }
+  if (r.left != 0) return "bad hello: trailing bytes";
+
+  if (out.width_us <= 0) return "bad hello: width_us must be positive";
+  if (out.lag_us <= 0) return "bad hello: lag_us must be positive";
+  if (out.idle_seal_us < 0) return "bad hello: negative idle_seal_us";
+  if (!std::isfinite(out.nstar) || out.nstar <= 0.0) {
+    return "bad hello: nstar must be positive";
+  }
+  if (!std::isfinite(out.tpmax) || out.tpmax < 0.0) {
+    return "bad hello: tpmax must be non-negative";
+  }
+  if (!std::isfinite(out.work_unit_us) || out.work_unit_us < 0.0) {
+    return "bad hello: work_unit_us must be non-negative";
+  }
+  if (!std::isfinite(out.idle_load) || out.idle_load < 0.0) {
+    return "bad hello: idle_load must be non-negative";
+  }
+  if (!std::isfinite(out.poi_tput_frac) || out.poi_tput_frac < 0.0) {
+    return "bad hello: poi_tput_frac must be non-negative";
+  }
+  if (out.work_unit_us == 0.0) {
+    // The detector derives its work unit from the smallest positive class
+    // service time; without either, it would divide by zero.
+    bool any_positive = false;
+    for (const auto& [class_id, service] : out.service_us) {
+      any_positive |= service > 0.0;
+    }
+    if (!any_positive) {
+      return "bad hello: need work_unit_us or a positive service time";
+    }
+  }
+  return {};
+}
+
+std::string decode_raw_records(std::string_view payload,
+                               trace::RequestColumns& out) {
+  if (payload.size() % kRawRecordBytes != 0) {
+    return "bad data: payload not a whole number of 32-byte records";
+  }
+  const std::size_t n = payload.size() / kRawRecordBytes;
+  out.reserve(out.size() + n);
+  const char* p = payload.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    out.server.push_back(get<std::uint32_t>(p));
+    out.class_id.push_back(get<std::uint32_t>(p + 4));
+    out.arrival_us.push_back(get<std::int64_t>(p + 8));
+    out.departure_us.push_back(get<std::int64_t>(p + 16));
+    out.txn.push_back(get<std::uint64_t>(p + 24));
+    p += kRawRecordBytes;
+  }
+  return {};
+}
+
+void FrameParser::feed(std::string_view bytes) {
+  if (failed_) return;
+  // Compact the consumed prefix before it can grow without bound.
+  if (pos_ > 0 && (pos_ >= buffer_.size() || pos_ > (64u << 10))) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+FrameParser::Result FrameParser::next() {
+  Result result;
+  if (failed_) {
+    result.status = Status::kError;
+    result.error = "parser already failed";
+    return result;
+  }
+  if (buffer_.size() - pos_ < kFrameHeaderBytes) return result;
+
+  const char* h = buffer_.data() + pos_;
+  const auto magic = get<std::uint16_t>(h);
+  const auto type_byte = get<std::uint8_t>(h + 2);
+  const auto format = get<std::uint8_t>(h + 3);
+  const auto stream = get<std::uint16_t>(h + 4);
+  const auto reserved = get<std::uint16_t>(h + 6);
+  const auto length = get<std::uint32_t>(h + 8);
+
+  auto fail = [&](std::string message) {
+    failed_ = true;
+    result.status = Status::kError;
+    result.error = std::move(message);
+    return result;
+  };
+  if (magic != kFrameMagic) return fail("bad frame magic");
+  if (type_byte < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type_byte > static_cast<std::uint8_t>(FrameType::kError)) {
+    return fail("bad frame type");
+  }
+  const auto type = static_cast<FrameType>(type_byte);
+  if (reserved != 0) return fail("bad frame: nonzero reserved field");
+  if (type == FrameType::kData) {
+    if (format > static_cast<std::uint8_t>(DataFormat::kEncodedLog)) {
+      return fail("bad data format");
+    }
+  } else if (format != 0) {
+    return fail("bad frame: nonzero format on non-DATA frame");
+  }
+  if (length > max_payload_for(type)) {
+    return fail("oversized frame length");
+  }
+  if (buffer_.size() - pos_ < kFrameHeaderBytes + length) return result;
+
+  result.status = Status::kFrame;
+  result.header = FrameHeader{type, format, stream, length};
+  result.payload.assign(buffer_, pos_ + kFrameHeaderBytes, length);
+  pos_ += kFrameHeaderBytes + length;
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  }
+  return result;
+}
+
+}  // namespace tbd::serve

@@ -1,0 +1,176 @@
+// tbd_serve wire protocol: length-prefixed frames over one TCP connection.
+//
+// A connection multiplexes any number of streams (monitored servers). The
+// client opens each with a HELLO carrying the stream's identity and its
+// frozen calibration — grid start, interval width, sealing lag, N*, TPmax,
+// and the per-class service-time table — then ships completed requests in
+// DATA frames, in departure order per stream. The daemon never calibrates:
+// calibration is the sender's job (tbd_send runs the same batch pass as
+// tbd_watch), which keeps the server stateless about history and makes a
+// replay bit-reproducible.
+//
+// Frame layout (all integers little-endian):
+//
+//   header (12 bytes):
+//     u16 magic     0x4654 ("TF" on the wire)
+//     u8  type      1 HELLO, 2 DATA, 3 HEARTBEAT, 4 BYE, 5 ERROR
+//     u8  format    DATA only: 0 = raw rows, 1 = encoded TBDR log; else 0
+//     u16 stream    connection-scoped handle (HELLO binds it, DATA/BYE use
+//                   it; 0 for HEARTBEAT/ERROR)
+//     u16 reserved  must be 0
+//     u32 length    payload bytes that follow
+//   payload (length bytes)
+//
+// Payloads:
+//   HELLO   (client->server) see encode_hello below: protocol version, the
+//           detector grid + calibration scalars, the stream name, and the
+//           per-class service table. Caps: 64 KiB payload, 128-byte name,
+//           4096 classes.
+//   DATA    (client->server) format 0: packed 32-byte rows exactly as TBDR
+//           v1 writes them (u32 server, u32 class_id, i64 arrival_us,
+//           i64 departure_us, u64 txn) — no header, count = length / 32.
+//           format 1: one complete TBDR byte stream (v1 blob or v2 segment
+//           log), decoded strictly. Cap: 16 MiB payload.
+//   HEARTBEAT (client->server) empty; refreshes the connection's idle clock
+//           so quiet-but-alive streams are not evicted.
+//   BYE     (client->server) empty; finishes the stream (seals the tail,
+//           closes its episode) and releases its name for reuse.
+//   ERROR   (server->client) UTF-8 text; sent once before the server closes
+//           a connection it is rejecting. Errors are per-connection: other
+//           connections and their streams are untouched.
+//
+// The parser below is incremental and allocation-bounded: nothing larger
+// than one validated frame is ever buffered, and a bogus length prefix is
+// rejected from the 12 header bytes alone.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "trace/records.h"
+#include "trace/request_columns.h"
+
+namespace tbd::serve {
+
+inline constexpr std::uint16_t kFrameMagic = 0x4654;  // "TF" little-endian
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Per-type payload caps; a length prefix above the cap is a protocol error
+/// before any payload is read (no allocation from attacker-chosen lengths).
+inline constexpr std::uint32_t kMaxDataPayload = 16u << 20;
+inline constexpr std::uint32_t kMaxHelloPayload = 64u << 10;
+inline constexpr std::uint32_t kMaxControlPayload = 4u << 10;
+
+inline constexpr std::size_t kMaxStreamName = 128;
+inline constexpr std::size_t kMaxServiceClasses = 4096;
+/// One packed DATA-format-0 row (mirrors the TBDR v1 record layout).
+inline constexpr std::size_t kRawRecordBytes = 32;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kData = 2,
+  kHeartbeat = 3,
+  kBye = 4,
+  kError = 5,
+};
+
+enum class DataFormat : std::uint8_t {
+  kRawRecords = 0,  ///< packed 32-byte rows, count = length / 32
+  kEncodedLog = 1,  ///< a complete TBDR v1 or v2 byte stream
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::kHello;
+  std::uint8_t format = 0;
+  std::uint16_t stream = 0;
+  std::uint32_t length = 0;
+};
+
+/// Everything a HELLO carries: the stream identity plus the frozen
+/// calibration a StreamingDetector needs. The name must be 1..128 chars of
+/// [A-Za-z0-9_.:-] — safe as a metric label, a JSON string, and a file stem
+/// (the daemon derives per-stream event-log and mirror paths from it).
+struct HelloConfig {
+  std::string name;
+  std::int64_t start_us = 0;        ///< detector grid origin (trace clock)
+  std::int64_t width_us = 50'000;   ///< interval width, > 0
+  std::int64_t lag_us = 5'000'000;  ///< sealing lag, > 0
+  /// Idle-seal deadline: with no new data for this long (wall clock), the
+  /// daemon seals the stream to its watermark (StreamingDetector::seal_idle)
+  /// to cap open-interval memory. 0 = use the daemon default.
+  std::int64_t idle_seal_us = 0;
+  double nstar = 0.0;          ///< frozen congestion point, > 0
+  double tpmax = 0.0;          ///< frozen saturation throughput, >= 0
+  double work_unit_us = 0.0;   ///< 0 = smallest positive class service time
+  double idle_load = 0.05;     ///< DetectorConfig::idle_load
+  double poi_tput_frac = 0.05; ///< DetectorConfig::poi_tput_frac
+  /// Per-class service times in microseconds (class id, service). Class ids
+  /// must be < 2^20; at least one positive service time is required unless
+  /// work_unit_us > 0.
+  std::vector<std::pair<trace::ClassId, double>> service_us;
+};
+
+/// Appends header + payload to `out` (the encoding primitive everything
+/// below and the tests' hand-rolled malformed frames build on).
+void append_frame(std::string& out, const FrameHeader& header,
+                  std::string_view payload);
+
+[[nodiscard]] std::string encode_hello(std::uint16_t stream,
+                                       const HelloConfig& config);
+[[nodiscard]] std::string encode_raw_records(
+    std::uint16_t stream, std::span<const trace::RequestRecord> records);
+/// Wraps an already-encoded TBDR v1/v2 byte stream as a DATA frame.
+[[nodiscard]] std::string encode_encoded_log(std::uint16_t stream,
+                                             std::string_view bytes);
+[[nodiscard]] std::string encode_heartbeat();
+[[nodiscard]] std::string encode_bye(std::uint16_t stream);
+[[nodiscard]] std::string encode_error(std::string_view message);
+
+/// Decodes a HELLO payload into `out`. Returns an empty string on success,
+/// a stable error message ("bad hello: ...") otherwise.
+[[nodiscard]] std::string decode_hello(std::string_view payload,
+                                       HelloConfig& out);
+
+/// Decodes a DATA-format-0 payload, appending rows to `out` in order.
+/// Returns an empty string on success ("bad data: ..." otherwise).
+[[nodiscard]] std::string decode_raw_records(std::string_view payload,
+                                             trace::RequestColumns& out);
+
+/// Incremental frame scanner: feed() raw socket bytes, then call next()
+/// until it reports kNeedMore. Validation (magic, type, reserved field,
+/// per-type length cap) happens from the 12 header bytes, so a hostile
+/// length prefix can neither over-allocate nor stall the connection. After
+/// the first kError the parser stays failed — the caller must drop the
+/// connection (the stream cannot be resynchronized).
+class FrameParser {
+ public:
+  enum class Status { kNeedMore, kFrame, kError };
+
+  struct Result {
+    Status status = Status::kNeedMore;
+    FrameHeader header;
+    std::string payload;  ///< valid when status == kFrame
+    std::string error;    ///< valid when status == kError
+  };
+
+  void feed(std::string_view bytes);
+  [[nodiscard]] Result next();
+
+  /// True when a frame prefix (header or partial payload) is buffered — an
+  /// EOF now is a mid-frame disconnect, not a clean close.
+  [[nodiscard]] bool mid_frame() const { return pos_ < buffer_.size(); }
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size() - pos_; }
+  [[nodiscard]] bool failed() const { return failed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t pos_ = 0;  // consumed prefix of buffer_
+  bool failed_ = false;
+};
+
+}  // namespace tbd::serve

@@ -273,5 +273,107 @@ TEST(StreamingDetectorTest, ResetAllowsRewindingTime) {
   EXPECT_GT(stream.intervals_emitted(), 0u);
 }
 
+// --- seal_idle(): the daemon's idle-seal deadline uses this to release a
+// silent stream's open cells without splitting an in-progress episode. ---
+
+TEST(StreamingDetectorTest, SealIdleSealsToWatermarkAndReleasesCells) {
+  StreamingDetector stream{TimePoint::origin(), config50(), nstar(5, 2000),
+                           ServiceTimeTable{{1000.0}}};
+  for (std::int64_t t = 0; t < 500'000; t += 1000) {
+    stream.push(rec(t, t + 800));
+  }
+  // lag = 200ms holds the last four 50ms intervals open.
+  ASSERT_GT(stream.open_intervals(), 0u);
+  const std::size_t sealed = stream.seal_idle();
+  EXPECT_GT(sealed, 0u);
+  EXPECT_EQ(stream.open_intervals(), 0u);
+  // Watermark interval inclusive: the sealed horizon passed the last
+  // departure.
+  EXPECT_GE(stream.sealed_through().micros(), stream.high_water().micros());
+  EXPECT_EQ(stream.seal_idle(), 0u);  // idempotent once drained
+}
+
+TEST(StreamingDetectorTest, SealIdleKeepsEpisodeOpenAcrossGap) {
+  // A congested burst, an idle-seal mid-silence, then the burst resumes:
+  // the episode must close once, spanning the gap, exactly as if the
+  // records had streamed without the idle-seal.
+  // The resumed records arrive at 200ms — past the horizon the idle-seal
+  // froze (watermark 199.019ms -> intervals [0,200) sealed) — so their
+  // residence lands only in still-open cells and the two runs stay
+  // comparable interval by interval.
+  const ServiceTimeTable table{{1000.0}};
+  auto feed = [&](StreamingDetector& stream, bool idle_seal_between) {
+    for (int i = 0; i < 20; ++i) {
+      stream.push(rec(100'000, 199'000 + i));
+    }
+    if (idle_seal_between) {
+      stream.seal_idle();
+      EXPECT_EQ(stream.open_intervals(), 0u);
+    }
+    for (int i = 0; i < 20; ++i) {
+      stream.push(rec(200'000, 299'000 + i));
+    }
+    for (std::int64_t t = 300'000; t < 900'000; t += 10'000) {
+      stream.push(rec(t, t + 1000));
+    }
+    stream.finish();
+  };
+
+  StreamingDetector plain{TimePoint::origin(), config50(), nstar(5, 1e6),
+                          table};
+  Emitted plain_out;
+  record_into(plain, plain_out);
+  feed(plain, false);
+
+  StreamingDetector sealed{TimePoint::origin(), config50(), nstar(5, 1e6),
+                           table};
+  Emitted sealed_out;
+  record_into(sealed, sealed_out);
+  feed(sealed, true);
+
+  ASSERT_EQ(plain_out.episodes.size(), 1u);
+  ASSERT_EQ(sealed_out.episodes.size(), 1u);
+  EXPECT_EQ(sealed_out.episodes[0].start.micros(),
+            plain_out.episodes[0].start.micros());
+  EXPECT_EQ(sealed_out.episodes[0].duration.micros(),
+            plain_out.episodes[0].duration.micros());
+  EXPECT_TRUE(sealed_out.loads == plain_out.loads);
+  EXPECT_EQ(sealed_out.states, plain_out.states);
+}
+
+TEST(StreamingDetectorTest, SealIdleThenFinishMatchesFinishAlone) {
+  const ServiceTimeTable table{{1000.0}};
+  const auto records = burst_stream(0);
+
+  StreamingDetector direct{TimePoint::origin(), config50(), nstar(5, 1e6),
+                           table};
+  Emitted direct_out;
+  record_into(direct, direct_out);
+  direct.push_batch(records);
+  direct.finish();
+
+  StreamingDetector pre_sealed{TimePoint::origin(), config50(), nstar(5, 1e6),
+                               table};
+  Emitted pre_out;
+  record_into(pre_sealed, pre_out);
+  pre_sealed.push_batch(records);
+  pre_sealed.seal_idle();
+  pre_sealed.finish();
+
+  EXPECT_TRUE(pre_out.loads == direct_out.loads);
+  EXPECT_EQ(pre_out.states, direct_out.states);
+  ASSERT_EQ(pre_out.episodes.size(), direct_out.episodes.size());
+  EXPECT_EQ(pre_sealed.intervals_emitted(), direct.intervals_emitted());
+  EXPECT_EQ(pre_sealed.sealed_by_state(), direct.sealed_by_state());
+}
+
+TEST(StreamingDetectorTest, SealIdleOnEmptyDetectorIsNoOp) {
+  StreamingDetector stream{TimePoint::origin(), config50(), nstar(5, 1000),
+                           ServiceTimeTable{{1000.0}}};
+  EXPECT_EQ(stream.seal_idle(), 0u);
+  EXPECT_EQ(stream.intervals_emitted(), 0u);
+  EXPECT_EQ(stream.open_intervals(), 0u);
+}
+
 }  // namespace
 }  // namespace tbd::core

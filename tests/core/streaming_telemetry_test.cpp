@@ -220,5 +220,53 @@ TEST(StreamingTelemetryTest, StatusJsonCarriesTheFreshnessTable) {
   EXPECT_NE(json.find("\"nstar\":5"), std::string::npos) << json;
 }
 
+TEST(StreamingTelemetryTest, MirrorReceivesEveryEventWithItsOwnSequence) {
+  // The daemon points `events` at the shared journal and `mirror` at the
+  // stream's private log: same events in both, but the mirror numbers them
+  // from its own seq 0 — deterministic however other streams interleave.
+  obs::Registry registry;
+  std::ostringstream shared_out;
+  std::ostringstream mirror_out;
+  obs::EventLog shared{&shared_out};
+  // Unrelated traffic bumps the shared journal's sequence before our
+  // stream says anything.
+  shared.interval_sealed("other", 0, 0, 1.0, 2.0, "normal");
+  obs::EventLog mirror{&mirror_out};
+
+  StreamingDetector stream{TimePoint::origin(), config50(), nstar(5, 1e6),
+                           ServiceTimeTable{{1000.0}}};
+  StreamingTelemetry telemetry{stream, {"server0"}, registry, &shared,
+                               &mirror};
+  feed_burst(stream);
+
+  const std::string shared_text = shared_out.str();
+  const std::string mirror_text = mirror_out.str();
+  // Both sinks saw the full event stream for server0...
+  for (const char* needle :
+       {"\"type\":\"episode_open\"", "\"type\":\"episode_close\"",
+        "\"stream\":\"server0\",\"index\":2,\"t_us\":100000}",
+        "\"start_us\":100000,\"duration_us\":100000"}) {
+    EXPECT_NE(shared_text.find(needle), std::string::npos) << needle;
+    EXPECT_NE(mirror_text.find(needle), std::string::npos) << needle;
+  }
+  // ...and the mirror's numbering starts at seq 1 even though the shared
+  // journal is already past it.
+  EXPECT_NE(mirror_text.find("\"type\":\"interval_sealed\",\"seq\":1,"),
+            std::string::npos)
+      << mirror_text;
+  EXPECT_EQ(shared_text.find("\"type\":\"interval_sealed\",\"seq\":1,"
+                             "\"stream\":\"server0\""),
+            std::string::npos)
+      << "shared seq 1 should belong to the other stream";
+  EXPECT_EQ(mirror.events_emitted(), shared.events_emitted() - 1);
+
+  // A null mirror stays a no-op (the tbd_watch configuration).
+  StreamingDetector plain{TimePoint::origin(), config50(), nstar(5, 1e6),
+                          ServiceTimeTable{{1000.0}}};
+  StreamingTelemetry no_mirror{plain, {"server1"}, registry, nullptr, nullptr};
+  feed_burst(plain);
+  EXPECT_EQ(plain.intervals_emitted(), stream.intervals_emitted());
+}
+
 }  // namespace
 }  // namespace tbd::core

@@ -1,0 +1,229 @@
+// Back-pressure soak: one firehose stream whose drain is artificially slow
+// must hit its queue high-water mark and get its *connection* paused — while
+// trickle streams on other connections keep ingesting and sealing on time.
+// The mark bounds queued bytes; nothing is dropped; the stall surfaces in
+// serve_status_json (the /statusz "serve" section).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/frame.h"
+
+namespace tbd::serve {
+namespace {
+
+constexpr std::size_t kHighWater = 64 * 1024;
+constexpr std::size_t kFirehoseFrames = 600;
+constexpr std::size_t kFirehoseBatch = 128;  // 4 KiB per DATA frame
+constexpr std::size_t kTrickleBatches = 40;
+constexpr std::size_t kTrickleBatch = 4;
+
+HelloConfig hello_named(const std::string& name) {
+  HelloConfig h;
+  h.name = name;
+  h.start_us = 0;
+  h.width_us = 50'000;
+  h.lag_us = 200'000;
+  h.nstar = 5.0;
+  h.tpmax = 1e6;
+  h.service_us = {{0, 1000.0}};
+  return h;
+}
+
+trace::RequestRecord rec(std::int64_t a, std::int64_t d) {
+  trace::RequestRecord r;
+  r.server = 0;
+  r.class_id = 0;
+  r.arrival = TimePoint::from_micros(a);
+  r.departure = TimePoint::from_micros(d);
+  return r;
+}
+
+bool eventually(const std::function<bool()>& pred, double timeout_s = 10.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+StreamSummary summary_of(const ServeDaemon& daemon, const std::string& name) {
+  for (const auto& s : daemon.stream_summaries()) {
+    if (s.name == name) return s;
+  }
+  return {};
+}
+
+TEST(ServeBackpressureTest, FirehoseIsCappedWhileTricklesKeepSealing) {
+  obs::Registry registry;
+  DaemonOptions options;
+  options.expose_http = false;
+  options.tick_ms = 2.0;
+  options.registry = &registry;
+  options.queue_high_water_bytes = kHighWater;
+  // The throttle: draining a firehose frame costs ~1.5 ms, so the socket
+  // outruns the pump and the queue must fill. Trickle frames drain free.
+  options.drain_hook = [](const std::string& stream) {
+    if (stream == "firehose") {
+      std::this_thread::sleep_for(std::chrono::microseconds(1500));
+    }
+  };
+  ServeDaemon daemon{options};
+  ASSERT_TRUE(daemon.start()) << daemon.error();
+
+  // Firehose: one connection blasting 600 x 4 KiB frames as fast as the
+  // kernel accepts them. SendClient's blocking send() IS the back-pressure
+  // path — when the daemon pauses the connection, this thread stalls.
+  std::atomic<bool> firehose_done{false};
+  std::thread firehose{[&] {
+    SendClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", daemon.ingest_port()));
+    ASSERT_TRUE(client.send_hello(0, hello_named("firehose")));
+    std::vector<trace::RequestRecord> batch;
+    std::int64_t t = 0;
+    for (std::size_t f = 0; f < kFirehoseFrames; ++f) {
+      batch.clear();
+      for (std::size_t i = 0; i < kFirehoseBatch; ++i) {
+        batch.push_back(rec(t, t + 1000));
+        t += 100;
+      }
+      ASSERT_TRUE(client.send_records(0, batch)) << client.error();
+    }
+    ASSERT_TRUE(client.send_bye(0));
+    ASSERT_TRUE(client.finish()) << client.error();
+    firehose_done.store(true);
+  }};
+
+  // Trickles: four more connections, each pacing small batches for ~400 ms.
+  std::vector<std::thread> trickles;
+  for (int n = 0; n < 4; ++n) {
+    trickles.emplace_back([&, n] {
+      SendClient client;
+      ASSERT_TRUE(client.connect("127.0.0.1", daemon.ingest_port()));
+      const std::string name = "trickle" + std::to_string(n);
+      ASSERT_TRUE(client.send_hello(0, hello_named(name)));
+      std::int64_t t = 0;
+      for (std::size_t b = 0; b < kTrickleBatches; ++b) {
+        std::vector<trace::RequestRecord> batch;
+        for (std::size_t i = 0; i < kTrickleBatch; ++i) {
+          batch.push_back(rec(t, t + 1000));
+          t += 10'000;  // 10 ms of trace time per record
+        }
+        ASSERT_TRUE(client.send_records(0, batch)) << client.error();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      ASSERT_TRUE(client.send_bye(0));
+      ASSERT_TRUE(client.finish()) << client.error();
+    });
+  }
+
+  // The firehose must hit the mark while it is still sending.
+  EXPECT_TRUE(eventually([&] { return daemon.backpressure_pauses() >= 1; }))
+      << "firehose never hit the high-water mark";
+
+  // While the firehose is stalled, trickle streams keep ingesting AND keep
+  // sealing — their detectors are not starved by the hot stream.
+  if (!firehose_done.load()) {
+    const auto before = summary_of(daemon, "trickle0");
+    EXPECT_TRUE(eventually([&] {
+      if (firehose_done.load()) return true;  // flood ended; soak point moot
+      const auto now = summary_of(daemon, "trickle0");
+      return now.records > before.records && now.intervals > before.intervals;
+    }))
+        << "trickle starved while the firehose was paused";
+  }
+
+  firehose.join();
+  for (auto& t : trickles) t.join();
+  ASSERT_TRUE(daemon.wait_idle(20.0));
+
+  // Nothing lost, nothing dropped, everything finished.
+  const auto fh = summary_of(daemon, "firehose");
+  EXPECT_TRUE(fh.finished);
+  EXPECT_EQ(fh.records, kFirehoseFrames * kFirehoseBatch);
+  EXPECT_EQ(fh.dropped, 0u);
+  for (int n = 0; n < 4; ++n) {
+    const auto tr = summary_of(daemon, "trickle" + std::to_string(n));
+    EXPECT_TRUE(tr.finished) << tr.name;
+    EXPECT_EQ(tr.records, kTrickleBatches * kTrickleBatch) << tr.name;
+    EXPECT_EQ(tr.dropped, 0u) << tr.name;
+    EXPECT_GT(tr.intervals, 0u) << tr.name;
+    EXPECT_EQ(tr.pauses, 0u) << tr.name;  // only the firehose was deferred
+  }
+
+  // The mark really caps per-stream queued bytes: the peak may overshoot by
+  // at most one read chunk (64 KiB) of already-received frames.
+  EXPECT_GE(fh.pauses, 1u);
+  EXPECT_LE(fh.peak_queued_bytes, kHighWater + 128 * 1024);
+  EXPECT_GE(daemon.backpressure_pauses(), fh.pauses);
+
+  // The stall is visible in /statusz's "serve" section.
+  const std::string status = daemon.serve_status_json();
+  EXPECT_NE(status.find("\"queue_hwm_bytes\":" + std::to_string(kHighWater)),
+            std::string::npos)
+      << status;
+  EXPECT_NE(status.find("\"deferred_reads\":"), std::string::npos) << status;
+  EXPECT_NE(status.find("\"backpressure_pauses\":"), std::string::npos)
+      << status;
+  daemon.stop();
+}
+
+TEST(ServeBackpressureTest, PausedConnectionResumesBelowHalfMark) {
+  // A single paused connection must resume (and complete) once the pump
+  // drains it below HWM/2 — no wedged sockets, no timeout.
+  obs::Registry registry;
+  DaemonOptions options;
+  options.expose_http = false;
+  options.tick_ms = 2.0;
+  options.registry = &registry;
+  options.queue_high_water_bytes = 16 * 1024;
+  std::atomic<int> throttled{40};  // first 40 frames drain slowly, then free
+  options.drain_hook = [&](const std::string&) {
+    if (throttled.fetch_sub(1) > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  };
+  ServeDaemon daemon{options};
+  ASSERT_TRUE(daemon.start()) << daemon.error();
+
+  SendClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", daemon.ingest_port()));
+  ASSERT_TRUE(client.send_hello(0, hello_named("bursty")));
+  std::int64_t t = 0;
+  for (std::size_t f = 0; f < 200; ++f) {
+    std::vector<trace::RequestRecord> batch;
+    for (std::size_t i = 0; i < 64; ++i) {
+      batch.push_back(rec(t, t + 1000));
+      t += 100;
+    }
+    ASSERT_TRUE(client.send_records(0, batch)) << client.error();
+  }
+  ASSERT_TRUE(client.send_bye(0));
+  ASSERT_TRUE(client.finish()) << client.error();
+  ASSERT_TRUE(daemon.wait_idle(20.0));
+
+  const auto s = summary_of(daemon, "bursty");
+  EXPECT_TRUE(s.finished);
+  EXPECT_EQ(s.records, 200u * 64u);
+  EXPECT_EQ(s.dropped, 0u);
+  EXPECT_GE(daemon.backpressure_pauses(), 1u);
+  EXPECT_EQ(s.queued_bytes, 0u);  // fully drained
+  daemon.stop();
+}
+
+}  // namespace
+}  // namespace tbd::serve

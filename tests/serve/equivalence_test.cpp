@@ -1,0 +1,395 @@
+// The serve path must not change a single byte of the analysis: replaying a
+// log through SendClient -> ServeDaemon has to produce exactly the event
+// stream, episodes, and durable mirror that the same pushes produce
+// in-process — and batch detect_bottlenecks on the same calibration. The
+// binary registers twice in ctest (TBD_THREADS=1 and =4): the daemon drains
+// DATA on the shared pool, so equality at both counts pins the
+// one-connection-one-strand determinism contract.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <utility>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/streaming_detector.h"
+#include "core/streaming_telemetry.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/frame.h"
+#include "trace/log_io.h"
+#include "trace/request_log_file.h"
+#include "trace/segment_log.h"
+
+namespace tbd::serve {
+namespace {
+
+constexpr const char* kTestData = TBD_SOURCE_DIR "/scripts/testdata/";
+constexpr double kNStarOverride = 3.0;  // same knob as the tier-1 smoke
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path};
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string format_ms(std::int64_t us) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", static_cast<double>(us) / 1000.0);
+  return buf;
+}
+
+/// A fresh scratch directory per test run — the t1 and t4 registrations of
+/// this binary may execute concurrently under ctest -j.
+struct Scratch {
+  std::string root;
+  Scratch() {
+    std::string tmpl = ::testing::TempDir() + "serve_equiv_XXXXXX";
+    std::vector<char> buf{tmpl.begin(), tmpl.end()};
+    buf.push_back('\0');
+    root = ::mkdtemp(buf.data());
+    EXPECT_FALSE(root.empty());
+    ::mkdir((root + "/events").c_str(), 0755);
+    ::mkdir((root + "/records").c_str(), 0755);
+  }
+  [[nodiscard]] std::string path(const std::string& leaf) const {
+    return root + "/" + leaf;
+  }
+};
+
+/// The tbd_send calibration pass on tiny_log.csv, shared by every test:
+/// per-server logs, the merged departure-order replay, and one frozen
+/// HelloConfig per server.
+struct Workload {
+  std::map<trace::ServerIndex, trace::RequestLog> by_server;
+  trace::RequestLog merged;
+  TimePoint t_min = TimePoint::max();
+  TimePoint t_max;
+  std::vector<HelloConfig> hellos;                      // handle == index
+  std::vector<std::vector<core::Episode>> batch_episodes;  // same order
+
+  Workload() {
+    const auto loaded =
+        trace::load_request_log(std::string(kTestData) + "tiny_log.csv");
+    EXPECT_TRUE(loaded.ok) << loaded.error;
+    merged = loaded.records;
+    for (const auto& r : merged) {
+      by_server[r.server].push_back(r);
+      t_min = std::min(t_min, r.arrival);
+      t_max = std::max(t_max, r.departure);
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const trace::RequestRecord& a,
+                        const trace::RequestRecord& b) {
+                       return a.departure < b.departure;
+                     });
+
+    const Duration width = Duration::millis(50);
+    const auto spec = core::IntervalSpec::over(t_min, t_max, width);
+    for (const auto& [server, log] : by_server) {
+      const auto table = core::estimate_service_times(log);
+      auto detection = core::detect_bottlenecks(log, spec, table);
+      detection.nstar.n_star = kNStarOverride;
+      detection.nstar.converged = true;
+
+      const auto states = core::classify_intervals(
+          detection.load, detection.throughput, detection.nstar, {});
+      batch_episodes.push_back(
+          core::extract_episodes(states, detection.load, spec));
+
+      HelloConfig hello;
+      hello.name = "server" + std::to_string(server);
+      hello.start_us = t_min.micros();
+      hello.width_us = width.micros();
+      hello.lag_us = 5'000'000;
+      hello.nstar = detection.nstar.n_star;
+      hello.tpmax = detection.nstar.tp_max;
+      hello.work_unit_us = 0.0;
+      for (trace::ClassId c = 0; c < table.classes(); ++c) {
+        hello.service_us.emplace_back(c, table.service_us(c));
+      }
+      hellos.push_back(std::move(hello));
+    }
+  }
+
+  /// The replay as tbd_send frames it: maximal same-server runs of the
+  /// merged departure order, capped at `batch` records per DATA frame.
+  [[nodiscard]] std::vector<std::pair<std::uint16_t, trace::RequestLog>> runs(
+      std::size_t batch) const {
+    std::vector<std::uint16_t> handle_of;
+    for (const auto& [server, log] : by_server) {
+      if (server >= handle_of.size()) handle_of.resize(server + 1, 0);
+      handle_of[server] = static_cast<std::uint16_t>(
+          std::distance(by_server.begin(), by_server.find(server)));
+    }
+    std::vector<std::pair<std::uint16_t, trace::RequestLog>> out;
+    for (const auto& r : merged) {
+      const std::uint16_t handle = handle_of[r.server];
+      if (out.empty() || out.back().first != handle ||
+          out.back().second.size() >= batch) {
+        out.emplace_back(handle, trace::RequestLog{});
+      }
+      out.back().second.push_back(r);
+    }
+    return out;
+  }
+};
+
+/// What the daemon must reproduce: the same HELLO configs and push batches
+/// run straight into StreamingDetector + StreamingTelemetry, single thread.
+struct Reference {
+  std::string shared_events;
+  std::vector<std::string> mirror_events;               // per handle
+  std::vector<std::vector<core::Episode>> episodes;     // per handle
+
+  Reference(const Workload& wl, std::size_t batch) {
+    obs::Registry registry;
+    std::ostringstream shared_out;
+    obs::EventLog::Options eo;
+    eo.registry = &registry;
+    const std::vector<std::pair<std::string, std::string>> shared_meta = {
+        {"tool", "tbd_serve"}};
+    obs::EventLog shared{&shared_out, eo, shared_meta};
+
+    // Replicates ServeDaemon::make_stream from the same HelloConfig.
+    struct Stream {
+      std::unique_ptr<std::ostringstream> mirror_out;
+      std::unique_ptr<obs::EventLog> mirror;
+      std::unique_ptr<core::StreamingDetector> detector;
+      std::unique_ptr<core::StreamingTelemetry> telemetry;
+    };
+    std::vector<Stream> streams;
+    for (const auto& hello : wl.hellos) {
+      Stream s;
+      core::StreamingDetector::Config dc;
+      dc.width = Duration::micros(hello.width_us);
+      dc.lag = Duration::micros(hello.lag_us);
+      dc.detector.idle_load = hello.idle_load;
+      dc.detector.poi_tput_frac = hello.poi_tput_frac;
+      dc.detector.throughput.work_unit_us = hello.work_unit_us;
+      core::NStarResult nstar;
+      nstar.n_star = hello.nstar;
+      nstar.tp_max = hello.tpmax;
+      nstar.converged = true;
+      core::ServiceTimeTable table;
+      for (const auto& [class_id, service] : hello.service_us) {
+        table.set(class_id, service);
+      }
+      s.detector = std::make_unique<core::StreamingDetector>(
+          TimePoint::from_micros(hello.start_us), dc, nstar, table);
+      s.mirror_out = std::make_unique<std::ostringstream>();
+      const std::vector<std::pair<std::string, std::string>> mirror_meta = {
+          {"tool", "tbd_serve"},
+          {"stream", hello.name},
+          {"width_ms", format_ms(hello.width_us)},
+          {"lag_ms", format_ms(hello.lag_us)}};
+      s.mirror = std::make_unique<obs::EventLog>(s.mirror_out.get(), eo,
+                                                 mirror_meta);
+      s.telemetry = std::make_unique<core::StreamingTelemetry>(
+          *s.detector, core::StreamingTelemetry::Options{hello.name},
+          registry, &shared, s.mirror.get());
+      streams.push_back(std::move(s));
+    }
+
+    for (const auto& [handle, records] : wl.runs(batch)) {
+      auto& s = streams[handle];
+      s.detector->push_batch(records);
+      s.telemetry->add_records(records.size());
+      s.telemetry->sync();
+    }
+    for (auto& s : streams) {  // BYE in handle order
+      s.detector->finish();
+      s.telemetry->sync();
+      episodes.push_back(s.detector->episodes());
+      mirror_events.push_back(s.mirror_out->str());
+    }
+    shared_events = shared_out.str();
+  }
+};
+
+bool episodes_bitwise_equal(const std::vector<core::Episode>& a,
+                            const std::vector<core::Episode>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].start.micros() != b[i].start.micros()) return false;
+    if (a[i].duration.micros() != b[i].duration.micros()) return false;
+    if (std::bit_cast<std::uint64_t>(a[i].peak_load) !=
+        std::bit_cast<std::uint64_t>(b[i].peak_load)) {
+      return false;
+    }
+    if (a[i].contains_freeze != b[i].contains_freeze) return false;
+  }
+  return true;
+}
+
+enum class Wire { kRaw, kV1, kV2 };
+
+/// Replays the workload into a fresh daemon over one connection and returns
+/// its summaries in handle order. The daemon journals to scratch.
+std::vector<StreamSummary> replay(const Workload& wl, const Scratch& scratch,
+                                  obs::Registry& registry, std::size_t batch,
+                                  Wire wire, bool mirror_records) {
+  DaemonOptions options;
+  options.expose_http = false;
+  options.tick_ms = 2.0;
+  options.registry = &registry;
+  options.events_path = scratch.path("events.ndjson");
+  options.events_dir = scratch.path("events");
+  if (mirror_records) options.record_dir = scratch.path("records");
+  ServeDaemon daemon{options};
+  EXPECT_TRUE(daemon.start()) << daemon.error();
+
+  SendClient client;
+  EXPECT_TRUE(client.connect("127.0.0.1", daemon.ingest_port()));
+  for (std::size_t h = 0; h < wl.hellos.size(); ++h) {
+    EXPECT_TRUE(client.send_hello(static_cast<std::uint16_t>(h),
+                                  wl.hellos[h]))
+        << client.error();
+  }
+  for (const auto& [handle, records] : wl.runs(batch)) {
+    bool ok = false;
+    switch (wire) {
+      case Wire::kRaw:
+        ok = client.send_records(handle, records);
+        break;
+      case Wire::kV1:
+        ok = client.send_encoded(handle,
+                                 trace::encode_request_log_bin(records));
+        break;
+      case Wire::kV2:
+        ok = client.send_encoded(handle,
+                                 trace::encode_request_log_v2(records));
+        break;
+    }
+    EXPECT_TRUE(ok) << client.error();
+  }
+  for (std::size_t h = 0; h < wl.hellos.size(); ++h) {
+    EXPECT_TRUE(client.send_bye(static_cast<std::uint16_t>(h)))
+        << client.error();
+  }
+  EXPECT_TRUE(client.finish()) << client.error();
+  EXPECT_TRUE(daemon.wait_idle(10.0));
+  auto summaries = daemon.stream_summaries();
+  daemon.stop();
+  EXPECT_EQ(daemon.protocol_errors(), 0u);
+  return summaries;
+}
+
+TEST(ServeEquivalenceTest, DaemonReplayMatchesDirectReferenceByteForByte) {
+  const Workload wl;
+  ASSERT_EQ(wl.hellos.size(), 2u);
+  const std::size_t batch = 8;  // many small DATA frames
+  const Reference ref{wl, batch};
+
+  Scratch scratch;
+  obs::Registry registry;
+  const auto summaries =
+      replay(wl, scratch, registry, batch, Wire::kRaw, /*mirror_records=*/true);
+
+  // Shared journal: byte-identical to the in-process reference.
+  EXPECT_EQ(slurp(scratch.path("events.ndjson")), ref.shared_events);
+
+  // Per-stream mirrors: byte-identical too (and independent of how other
+  // streams would interleave on other connections).
+  ASSERT_EQ(summaries.size(), wl.hellos.size());
+  std::size_t total_episodes = 0;
+  for (std::size_t h = 0; h < summaries.size(); ++h) {
+    const auto& s = summaries[h];
+    EXPECT_EQ(s.name, wl.hellos[h].name);
+    EXPECT_TRUE(s.finished);
+    EXPECT_EQ(s.dropped, 0u);
+    EXPECT_EQ(slurp(scratch.path("events/" + s.name + ".ndjson")),
+              ref.mirror_events[h]);
+
+    // Episodes: streaming == reference == batch detect_bottlenecks, bitwise.
+    EXPECT_TRUE(episodes_bitwise_equal(s.episodes, ref.episodes[h]))
+        << s.name;
+    EXPECT_TRUE(episodes_bitwise_equal(s.episodes, wl.batch_episodes[h]))
+        << s.name;
+    total_episodes += s.episodes.size();
+  }
+  EXPECT_GE(total_episodes, 1u);  // the tiny log's burst must register
+
+  // Durable mirror: decoding each stream's .tbd2 returns exactly the rows
+  // pushed for it, in push order.
+  for (std::size_t h = 0; h < summaries.size(); ++h) {
+    const auto decoded = trace::load_request_log_v2(
+        scratch.path("records/" + summaries[h].name + ".tbd2"),
+        trace::DecodeMode::kStrict);
+    ASSERT_TRUE(decoded.ok) << decoded.error;
+    trace::RequestLog expect;
+    for (const auto& [handle, records] : wl.runs(batch)) {
+      if (handle != h) continue;
+      expect.insert(expect.end(), records.begin(), records.end());
+    }
+    ASSERT_EQ(decoded.records.size(), expect.size());
+    const auto view = decoded.records.view();
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      const auto r = view.record(i);
+      EXPECT_EQ(r.server, expect[i].server);
+      EXPECT_EQ(r.class_id, expect[i].class_id);
+      EXPECT_EQ(r.arrival.micros(), expect[i].arrival.micros());
+      EXPECT_EQ(r.departure.micros(), expect[i].departure.micros());
+      EXPECT_EQ(r.txn, expect[i].txn);
+    }
+  }
+}
+
+TEST(ServeEquivalenceTest, EncodedWireFormatsMatchRawByteForByte) {
+  // The same runs shipped as raw rows, TBDR v1 blobs, and TBDR v2 segment
+  // logs must be indistinguishable downstream: identical shared journal
+  // bytes, identical episodes.
+  const Workload wl;
+  const std::size_t batch = 16;
+  const Reference ref{wl, batch};
+
+  for (const Wire wire : {Wire::kRaw, Wire::kV1, Wire::kV2}) {
+    Scratch scratch;
+    obs::Registry registry;
+    const auto summaries = replay(wl, scratch, registry, batch, wire,
+                                  /*mirror_records=*/false);
+    EXPECT_EQ(slurp(scratch.path("events.ndjson")), ref.shared_events)
+        << "wire format " << static_cast<int>(wire);
+    ASSERT_EQ(summaries.size(), ref.episodes.size());
+    for (std::size_t h = 0; h < summaries.size(); ++h) {
+      EXPECT_TRUE(
+          episodes_bitwise_equal(summaries[h].episodes, ref.episodes[h]))
+          << "wire format " << static_cast<int>(wire) << " stream "
+          << summaries[h].name;
+    }
+  }
+}
+
+TEST(ServeEquivalenceTest, BatchSizeDoesNotChangeTheBytes) {
+  // Framing is transport, not analysis: 1-record frames and one giant frame
+  // produce the same journal as the 8-record reference.
+  const Workload wl;
+  const Reference ref{wl, 8};
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{100000}}) {
+    Scratch scratch;
+    obs::Registry registry;
+    (void)replay(wl, scratch, registry, batch, Wire::kRaw,
+                 /*mirror_records=*/false);
+    EXPECT_EQ(slurp(scratch.path("events.ndjson")), ref.shared_events)
+        << "batch " << batch;
+  }
+}
+
+}  // namespace
+}  // namespace tbd::serve

@@ -1,0 +1,281 @@
+#include "serve/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tbd::serve {
+namespace {
+
+trace::RequestRecord rec(std::int64_t a, std::int64_t d,
+                         trace::ClassId c = 0) {
+  trace::RequestRecord r;
+  r.server = 7;
+  r.class_id = c;
+  r.arrival = TimePoint::from_micros(a);
+  r.departure = TimePoint::from_micros(d);
+  r.txn = 42;
+  return r;
+}
+
+HelloConfig sample_hello() {
+  HelloConfig h;
+  h.name = "server0";
+  h.start_us = 1'000'000;
+  h.width_us = 50'000;
+  h.lag_us = 5'000'000;
+  h.idle_seal_us = 2'000'000;
+  h.nstar = 3.5;
+  h.tpmax = 40.25;
+  h.work_unit_us = 0.0;
+  h.idle_load = 0.05;
+  h.poi_tput_frac = 0.05;
+  h.service_us = {{0, 1000.0}, {3, 0.0}, {5, 2500.5}};
+  return h;
+}
+
+/// Parse exactly one frame out of `bytes` (must contain exactly one).
+FrameParser::Result parse_one(const std::string& bytes) {
+  FrameParser parser;
+  parser.feed(bytes);
+  auto result = parser.next();
+  EXPECT_EQ(parser.buffered(), 0u);
+  return result;
+}
+
+TEST(FrameCodecTest, HelloRoundTripsEveryField) {
+  const HelloConfig in = sample_hello();
+  const std::string bytes = encode_hello(9, in);
+  const auto result = parse_one(bytes);
+  ASSERT_EQ(result.status, FrameParser::Status::kFrame);
+  EXPECT_EQ(result.header.type, FrameType::kHello);
+  EXPECT_EQ(result.header.stream, 9);
+
+  HelloConfig out;
+  ASSERT_EQ(decode_hello(result.payload, out), "");
+  EXPECT_EQ(out.name, in.name);
+  EXPECT_EQ(out.start_us, in.start_us);
+  EXPECT_EQ(out.width_us, in.width_us);
+  EXPECT_EQ(out.lag_us, in.lag_us);
+  EXPECT_EQ(out.idle_seal_us, in.idle_seal_us);
+  // Doubles cross the wire as raw bit patterns: exact equality.
+  EXPECT_EQ(out.nstar, in.nstar);
+  EXPECT_EQ(out.tpmax, in.tpmax);
+  EXPECT_EQ(out.work_unit_us, in.work_unit_us);
+  EXPECT_EQ(out.idle_load, in.idle_load);
+  EXPECT_EQ(out.poi_tput_frac, in.poi_tput_frac);
+  EXPECT_EQ(out.service_us, in.service_us);
+}
+
+TEST(FrameCodecTest, RawRecordsRoundTrip) {
+  std::vector<trace::RequestRecord> records = {rec(10, 20, 1), rec(15, 35, 2),
+                                               rec(20, 50)};
+  const std::string bytes = encode_raw_records(3, records);
+  const auto result = parse_one(bytes);
+  ASSERT_EQ(result.status, FrameParser::Status::kFrame);
+  EXPECT_EQ(result.header.type, FrameType::kData);
+  EXPECT_EQ(result.header.format,
+            static_cast<std::uint8_t>(DataFormat::kRawRecords));
+  EXPECT_EQ(result.payload.size(), records.size() * kRawRecordBytes);
+
+  trace::RequestColumns cols;
+  ASSERT_EQ(decode_raw_records(result.payload, cols), "");
+  ASSERT_EQ(cols.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(cols.server[i], records[i].server);
+    EXPECT_EQ(cols.class_id[i], records[i].class_id);
+    EXPECT_EQ(cols.arrival_us[i], records[i].arrival.micros());
+    EXPECT_EQ(cols.departure_us[i], records[i].departure.micros());
+    EXPECT_EQ(cols.txn[i], records[i].txn);
+  }
+}
+
+TEST(FrameCodecTest, ControlFramesRoundTrip) {
+  auto hb = parse_one(encode_heartbeat());
+  ASSERT_EQ(hb.status, FrameParser::Status::kFrame);
+  EXPECT_EQ(hb.header.type, FrameType::kHeartbeat);
+  EXPECT_TRUE(hb.payload.empty());
+
+  auto bye = parse_one(encode_bye(12));
+  ASSERT_EQ(bye.status, FrameParser::Status::kFrame);
+  EXPECT_EQ(bye.header.type, FrameType::kBye);
+  EXPECT_EQ(bye.header.stream, 12);
+
+  auto err = parse_one(encode_error("duplicate stream id: server0"));
+  ASSERT_EQ(err.status, FrameParser::Status::kFrame);
+  EXPECT_EQ(err.header.type, FrameType::kError);
+  EXPECT_EQ(err.payload, "duplicate stream id: server0");
+}
+
+TEST(FrameParserTest, ReassemblesFramesFedByteByByte) {
+  std::string bytes = encode_hello(1, sample_hello());
+  bytes += encode_raw_records(1, std::vector<trace::RequestRecord>{rec(1, 2)});
+  bytes += encode_bye(1);
+
+  FrameParser parser;
+  std::vector<FrameType> seen;
+  for (char c : bytes) {
+    parser.feed(std::string_view{&c, 1});
+    for (;;) {
+      auto result = parser.next();
+      if (result.status != FrameParser::Status::kFrame) {
+        ASSERT_EQ(result.status, FrameParser::Status::kNeedMore);
+        break;
+      }
+      seen.push_back(result.header.type);
+    }
+  }
+  EXPECT_EQ(seen, (std::vector<FrameType>{FrameType::kHello, FrameType::kData,
+                                          FrameType::kBye}));
+  EXPECT_FALSE(parser.mid_frame());
+}
+
+TEST(FrameParserTest, MidFrameReportsPartialBuffer) {
+  const std::string bytes = encode_bye(1);
+  FrameParser parser;
+  parser.feed(std::string_view{bytes.data(), bytes.size() - 1});
+  EXPECT_EQ(parser.next().status, FrameParser::Status::kNeedMore);
+  EXPECT_TRUE(parser.mid_frame());
+  parser.feed(std::string_view{bytes.data() + bytes.size() - 1, 1});
+  EXPECT_EQ(parser.next().status, FrameParser::Status::kFrame);
+  EXPECT_FALSE(parser.mid_frame());
+}
+
+TEST(FrameParserTest, RejectsBadMagicAndStaysFailed) {
+  FrameParser parser;
+  parser.feed("GET / HTTP/1.1\r\n");
+  auto result = parser.next();
+  ASSERT_EQ(result.status, FrameParser::Status::kError);
+  EXPECT_EQ(result.error, "bad frame magic");
+  EXPECT_TRUE(parser.failed());
+  // No resynchronization: valid bytes after the error are still rejected.
+  parser.feed(encode_heartbeat());
+  EXPECT_EQ(parser.next().status, FrameParser::Status::kError);
+}
+
+TEST(FrameParserTest, RejectsOversizedLengthFromHeaderAlone) {
+  // A DATA header claiming 1 GiB must fail before any payload arrives.
+  std::string header;
+  header.push_back(static_cast<char>(0x54));  // magic lo
+  header.push_back(static_cast<char>(0x46));  // magic hi
+  header.push_back(2);                        // DATA
+  header.push_back(0);                        // format raw
+  header.append(2, '\0');                     // stream
+  header.append(2, '\0');                     // reserved
+  const std::uint32_t huge = 1u << 30;
+  header.append(reinterpret_cast<const char*>(&huge), 4);
+
+  FrameParser parser;
+  parser.feed(header);
+  auto result = parser.next();
+  ASSERT_EQ(result.status, FrameParser::Status::kError);
+  EXPECT_EQ(result.error, "oversized frame length");
+}
+
+TEST(FrameParserTest, ControlFramesHaveTighterCapThanData) {
+  // 1 MiB is fine for DATA but far beyond the 4 KiB control cap.
+  auto header_with = [](std::uint8_t type, std::uint32_t length) {
+    std::string h;
+    h.push_back(static_cast<char>(0x54));
+    h.push_back(static_cast<char>(0x46));
+    h.push_back(static_cast<char>(type));
+    h.push_back(0);
+    h.append(4, '\0');
+    h.append(reinterpret_cast<const char*>(&length), 4);
+    return h;
+  };
+  FrameParser data_parser;
+  data_parser.feed(header_with(2, 1u << 20));
+  EXPECT_EQ(data_parser.next().status, FrameParser::Status::kNeedMore);
+
+  FrameParser bye_parser;
+  bye_parser.feed(header_with(4, 1u << 20));
+  EXPECT_EQ(bye_parser.next().status, FrameParser::Status::kError);
+}
+
+TEST(FrameParserTest, RejectsUnknownTypeReservedBitsAndBadFormat) {
+  auto make = [](std::uint8_t type, std::uint8_t format,
+                 std::uint16_t reserved) {
+    std::string h;
+    h.push_back(static_cast<char>(0x54));
+    h.push_back(static_cast<char>(0x46));
+    h.push_back(static_cast<char>(type));
+    h.push_back(static_cast<char>(format));
+    h.append(2, '\0');  // stream
+    h.append(reinterpret_cast<const char*>(&reserved), 2);
+    h.append(4, '\0');  // length 0
+    return h;
+  };
+  FrameParser p1;
+  p1.feed(make(9, 0, 0));
+  EXPECT_EQ(p1.next().error, "bad frame type");
+  FrameParser p2;
+  p2.feed(make(2, 7, 0));
+  EXPECT_EQ(p2.next().error, "bad data format");
+  FrameParser p3;
+  p3.feed(make(3, 0, 0xBEEF));
+  EXPECT_EQ(p3.next().error, "bad frame: nonzero reserved field");
+  FrameParser p4;
+  p4.feed(make(3, 1, 0));
+  EXPECT_EQ(p4.next().error, "bad frame: nonzero format on non-DATA frame");
+}
+
+TEST(HelloDecodeTest, RejectsMalformedPayloads) {
+  const HelloConfig good = sample_hello();
+  HelloConfig out;
+
+  // Truncation at every byte boundary fails cleanly.
+  const std::string full = encode_hello(0, good);
+  const std::string payload = full.substr(kFrameHeaderBytes);
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    HelloConfig t;
+    EXPECT_NE(decode_hello(payload.substr(0, cut), t), "") << "cut=" << cut;
+  }
+  EXPECT_EQ(decode_hello(payload, out), "");
+
+  auto reject = [&](auto mutate, const std::string& want) {
+    HelloConfig h = sample_hello();
+    mutate(h);
+    HelloConfig parsed;
+    const std::string p = encode_hello(0, h).substr(kFrameHeaderBytes);
+    EXPECT_EQ(decode_hello(p, parsed), want);
+  };
+  reject([](HelloConfig& h) { h.name = "bad name"; },
+         "bad hello: stream name has characters outside [A-Za-z0-9_.:-]");
+  reject([](HelloConfig& h) { h.name = "../../etc/passwd"; },
+         "bad hello: stream name has characters outside [A-Za-z0-9_.:-]");
+  reject([](HelloConfig& h) { h.name.clear(); },
+         "bad hello: stream name length out of range");
+  reject([](HelloConfig& h) { h.width_us = 0; },
+         "bad hello: width_us must be positive");
+  reject([](HelloConfig& h) { h.lag_us = -1; },
+         "bad hello: lag_us must be positive");
+  reject([](HelloConfig& h) { h.nstar = 0.0; },
+         "bad hello: nstar must be positive");
+  reject([](HelloConfig& h) { h.service_us = {{1u << 20, 100.0}}; },
+         "bad hello: class id too large");
+  reject(
+      [](HelloConfig& h) {
+        h.work_unit_us = 0.0;
+        h.service_us = {{0, 0.0}};
+      },
+      "bad hello: need work_unit_us or a positive service time");
+
+  // Trailing garbage after a valid payload is rejected too.
+  EXPECT_EQ(decode_hello(payload + "x", out), "bad hello: trailing bytes");
+}
+
+TEST(DataDecodeTest, RejectsRaggedRawPayload) {
+  trace::RequestColumns cols;
+  EXPECT_EQ(decode_raw_records(std::string(31, 'x'), cols),
+            "bad data: payload not a whole number of 32-byte records");
+  EXPECT_EQ(decode_raw_records(std::string(33, 'x'), cols),
+            "bad data: payload not a whole number of 32-byte records");
+  EXPECT_EQ(decode_raw_records("", cols), "");
+  EXPECT_EQ(cols.size(), 0u);
+}
+
+}  // namespace
+}  // namespace tbd::serve

@@ -1,0 +1,447 @@
+// Protocol torture tests: every malformed or hostile input a connection can
+// produce must end as a clean per-connection error — an ERROR frame, a
+// closed socket, a bumped counter — while every OTHER connection and its
+// streams keep working undisturbed.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/frame.h"
+
+namespace tbd::serve {
+namespace {
+
+HelloConfig hello_named(const std::string& name) {
+  HelloConfig h;
+  h.name = name;
+  h.start_us = 0;
+  h.width_us = 50'000;
+  h.lag_us = 200'000;
+  h.nstar = 5.0;
+  h.tpmax = 1e6;
+  h.service_us = {{0, 1000.0}};
+  return h;
+}
+
+trace::RequestRecord rec(std::int64_t a, std::int64_t d) {
+  trace::RequestRecord r;
+  r.server = 0;
+  r.class_id = 0;
+  r.arrival = TimePoint::from_micros(a);
+  r.departure = TimePoint::from_micros(d);
+  return r;
+}
+
+/// A raw blocking socket to the daemon — for bytes SendClient refuses to
+/// produce.
+class RawConn {
+ public:
+  explicit RawConn(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof addr) == 0;
+  }
+  ~RawConn() { close(); }
+
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  void send_bytes(std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return;  // peer closed mid-write: fine for torture input
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Reads until EOF; returns everything the daemon sent.
+  std::string drain() {
+    std::string out;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+
+  /// The message of the first ERROR frame in `bytes` ("" if none).
+  static std::string error_in(const std::string& bytes) {
+    FrameParser parser;
+    parser.feed(bytes);
+    for (;;) {
+      auto result = parser.next();
+      if (result.status != FrameParser::Status::kFrame) return "";
+      if (result.header.type == FrameType::kError) {
+        return std::string(result.payload);
+      }
+    }
+  }
+
+  /// Half-close: tells the daemon we are done sending, so it processes the
+  /// tail and closes — after which drain() returns.
+  void half_close() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+  }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+/// Daemon fixture: fresh registry, no HTTP, fast pump tick.
+struct DaemonFixture {
+  obs::Registry registry;
+  DaemonOptions options;
+  std::unique_ptr<ServeDaemon> daemon;
+
+  explicit DaemonFixture(
+      const std::function<void(DaemonOptions&)>& tweak = {}) {
+    options.expose_http = false;
+    options.tick_ms = 2.0;
+    options.drain_grace_s = 2.0;
+    options.registry = &registry;
+    if (tweak) tweak(options);
+    daemon = std::make_unique<ServeDaemon>(options);
+    EXPECT_TRUE(daemon->start()) << daemon->error();
+  }
+
+  /// Spins until `pred` holds (the ingest/pump threads run on their own
+  /// clocks) or the deadline passes.
+  bool eventually(const std::function<bool()>& pred, double timeout_s = 5.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_s));
+    while (!pred()) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+  }
+};
+
+/// Runs a well-formed replay on `survivor` while the torture happens, then
+/// asserts it completed untouched.
+void assert_survivor_clean(ServeDaemon& daemon, SendClient& survivor,
+                           std::uint16_t handle) {
+  std::vector<trace::RequestRecord> tail;
+  for (std::int64_t t = 0; t < 500'000; t += 10'000) {
+    tail.push_back(rec(t, t + 1000));
+  }
+  ASSERT_TRUE(survivor.send_records(handle, tail)) << survivor.error();
+  ASSERT_TRUE(survivor.send_bye(handle)) << survivor.error();
+  ASSERT_TRUE(survivor.finish()) << survivor.error();
+  ASSERT_TRUE(daemon.wait_idle(5.0));
+  bool found = false;
+  for (const auto& s : daemon.stream_summaries()) {
+    if (s.name != "survivor") continue;
+    found = true;
+    EXPECT_EQ(s.records, tail.size());
+    EXPECT_EQ(s.dropped, 0u);
+    EXPECT_TRUE(s.finished);
+    EXPECT_GT(s.intervals, 0u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ServeTortureTest, GarbageBeforeHelloGetsErrorFrameAndClose) {
+  DaemonFixture fx;
+  SendClient survivor;
+  ASSERT_TRUE(survivor.connect("127.0.0.1", fx.daemon->ingest_port()));
+  ASSERT_TRUE(survivor.send_hello(0, hello_named("survivor")));
+
+  RawConn bad{fx.daemon->ingest_port()};
+  ASSERT_TRUE(bad.connected());
+  bad.send_bytes("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  const std::string reply = bad.drain();  // daemon closes after the ERROR
+  EXPECT_EQ(RawConn::error_in(reply), "bad frame magic");
+  EXPECT_GE(fx.daemon->protocol_errors(), 1u);
+
+  assert_survivor_clean(*fx.daemon, survivor, 0);
+}
+
+TEST(ServeTortureTest, OversizedLengthPrefixRejectedFromHeader) {
+  DaemonFixture fx;
+  RawConn bad{fx.daemon->ingest_port()};
+  ASSERT_TRUE(bad.connected());
+  std::string header;
+  header.push_back(static_cast<char>(0x54));
+  header.push_back(static_cast<char>(0x46));
+  header.push_back(2);  // DATA
+  header.push_back(0);
+  header.append(4, '\0');
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  header.append(reinterpret_cast<const char*>(&huge), 4);
+  bad.send_bytes(header);
+  EXPECT_EQ(RawConn::error_in(bad.drain()), "oversized frame length");
+  EXPECT_TRUE(fx.eventually([&] { return fx.daemon->protocol_errors() >= 1; }));
+}
+
+TEST(ServeTortureTest, TruncatedFrameThenDisconnectCountsMidFrameError) {
+  DaemonFixture fx;
+  {
+    RawConn bad{fx.daemon->ingest_port()};
+    ASSERT_TRUE(bad.connected());
+    const std::string frame = encode_hello(0, hello_named("halfway"));
+    bad.send_bytes(frame.substr(0, frame.size() / 2));
+    // Disconnect mid-frame.
+  }
+  EXPECT_TRUE(fx.eventually([&] { return fx.daemon->protocol_errors() >= 1; }));
+  // The half-sent HELLO never created a stream.
+  EXPECT_TRUE(fx.daemon->stream_summaries().empty());
+}
+
+TEST(ServeTortureTest, MidFrameDisconnectStillFinishesEarlierStreams) {
+  DaemonFixture fx;
+  {
+    RawConn conn{fx.daemon->ingest_port()};
+    ASSERT_TRUE(conn.connected());
+    conn.send_bytes(encode_hello(0, hello_named("abandoned")));
+    std::vector<trace::RequestRecord> records;
+    for (std::int64_t t = 0; t < 300'000; t += 10'000) {
+      records.push_back(rec(t, t + 1000));
+    }
+    conn.send_bytes(encode_raw_records(0, records));
+    conn.send_bytes(encode_heartbeat().substr(0, 5));  // half a header
+  }
+  // The records that made it through are processed and the stream is
+  // finish()ed despite the dirty close.
+  EXPECT_TRUE(fx.eventually([&] {
+    for (const auto& s : fx.daemon->stream_summaries()) {
+      if (s.name == "abandoned" && s.finished && s.records == 30) return true;
+    }
+    return false;
+  }));
+  EXPECT_GE(fx.daemon->protocol_errors(), 1u);
+}
+
+TEST(ServeTortureTest, DuplicateStreamIdAcrossConnectionsRejectsSecond) {
+  DaemonFixture fx;
+  SendClient survivor;
+  ASSERT_TRUE(survivor.connect("127.0.0.1", fx.daemon->ingest_port()));
+  ASSERT_TRUE(survivor.send_hello(0, hello_named("survivor")));
+
+  RawConn dup{fx.daemon->ingest_port()};
+  ASSERT_TRUE(dup.connected());
+  dup.send_bytes(encode_hello(0, hello_named("survivor")));
+  EXPECT_EQ(RawConn::error_in(dup.drain()),
+            "duplicate stream id: survivor");
+
+  // The name's owner is untouched and still works.
+  assert_survivor_clean(*fx.daemon, survivor, 0);
+}
+
+TEST(ServeTortureTest, DuplicateHandleOnOneConnectionRejected) {
+  DaemonFixture fx;
+  RawConn conn{fx.daemon->ingest_port()};
+  ASSERT_TRUE(conn.connected());
+  conn.send_bytes(encode_hello(3, hello_named("a")));
+  conn.send_bytes(encode_hello(3, hello_named("b")));
+  EXPECT_EQ(RawConn::error_in(conn.drain()), "duplicate stream handle 3");
+}
+
+TEST(ServeTortureTest, DataBeforeHelloRejected) {
+  DaemonFixture fx;
+  RawConn conn{fx.daemon->ingest_port()};
+  ASSERT_TRUE(conn.connected());
+  conn.send_bytes(
+      encode_raw_records(0, std::vector<trace::RequestRecord>{rec(0, 10)}));
+  EXPECT_EQ(RawConn::error_in(conn.drain()),
+            "unknown stream handle (DATA before HELLO?)");
+}
+
+TEST(ServeTortureTest, BadHelloPayloadRejectedWithStableMessage) {
+  DaemonFixture fx;
+  RawConn conn{fx.daemon->ingest_port()};
+  ASSERT_TRUE(conn.connected());
+  HelloConfig h = hello_named("ok");
+  h.name = "../escape";
+  conn.send_bytes(encode_hello(0, h));
+  EXPECT_EQ(RawConn::error_in(conn.drain()),
+            "bad hello: stream name has characters outside [A-Za-z0-9_.:-]");
+}
+
+TEST(ServeTortureTest, CorruptDataPayloadFailsOnPumpWithoutHurtingOthers) {
+  DaemonFixture fx;
+  SendClient survivor;
+  ASSERT_TRUE(survivor.connect("127.0.0.1", fx.daemon->ingest_port()));
+  ASSERT_TRUE(survivor.send_hello(0, hello_named("survivor")));
+
+  RawConn bad{fx.daemon->ingest_port()};
+  ASSERT_TRUE(bad.connected());
+  bad.send_bytes(encode_hello(0, hello_named("corrupt")));
+  // format=1 (encoded log) with garbage bytes: the frame parses fine, the
+  // decode fails on the pump strand, and the error routes back through the
+  // ingest thread as an ERROR frame.
+  bad.send_bytes(encode_encoded_log(0, "this is not a TBDR stream"));
+  EXPECT_EQ(RawConn::error_in(bad.drain()),
+            "bad data: encoded payload without TBDR magic");
+  EXPECT_TRUE(fx.eventually([&] { return fx.daemon->protocol_errors() >= 1; }));
+
+  assert_survivor_clean(*fx.daemon, survivor, 0);
+}
+
+TEST(ServeTortureTest, ByeTwiceAndDataAfterByeRejected) {
+  DaemonFixture fx;
+  {
+    RawConn conn{fx.daemon->ingest_port()};
+    ASSERT_TRUE(conn.connected());
+    conn.send_bytes(encode_hello(0, hello_named("once")));
+    conn.send_bytes(encode_bye(0));
+    conn.send_bytes(encode_bye(0));
+    EXPECT_EQ(RawConn::error_in(conn.drain()), "duplicate BYE on stream once");
+  }
+  RawConn conn{fx.daemon->ingest_port()};
+  ASSERT_TRUE(conn.connected());
+  conn.send_bytes(encode_hello(0, hello_named("late")));
+  conn.send_bytes(encode_bye(0));
+  conn.send_bytes(
+      encode_raw_records(0, std::vector<trace::RequestRecord>{rec(0, 10)}));
+  EXPECT_EQ(RawConn::error_in(conn.drain()), "DATA after BYE on stream late");
+}
+
+TEST(ServeTortureTest, InterleavedSlowWritersBothComplete) {
+  // Two connections dribbling bytes one at a time from separate threads:
+  // the poll loop must reassemble both frame streams without confusing the
+  // parsers or stalling on either.
+  DaemonFixture fx;
+  auto slow_replay = [&](const std::string& name) {
+    RawConn conn{fx.daemon->ingest_port()};
+    ASSERT_TRUE(conn.connected());
+    std::string bytes = encode_hello(0, hello_named(name));
+    std::vector<trace::RequestRecord> records;
+    for (std::int64_t t = 0; t < 400'000; t += 10'000) {
+      records.push_back(rec(t, t + 1000));
+    }
+    bytes += encode_raw_records(0, records);
+    bytes += encode_bye(0);
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      conn.send_bytes(std::string_view{bytes.data() + i, 1});
+      if (i % 64 == 0) std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    conn.half_close();  // clean EOF after our BYE
+    conn.drain();       // wait for the daemon to process the tail and close
+  };
+  std::thread t1{slow_replay, "slow_a"};
+  std::thread t2{slow_replay, "slow_b"};
+  t1.join();
+  t2.join();
+  ASSERT_TRUE(fx.daemon->wait_idle(5.0));
+  std::size_t finished = 0;
+  for (const auto& s : fx.daemon->stream_summaries()) {
+    EXPECT_TRUE(s.finished) << s.name;
+    EXPECT_EQ(s.records, 40u) << s.name;
+    EXPECT_EQ(s.dropped, 0u) << s.name;
+    ++finished;
+  }
+  EXPECT_EQ(finished, 2u);
+  EXPECT_EQ(fx.daemon->protocol_errors(), 0u);
+}
+
+TEST(ServeTortureTest, IdleSealDeadlineSealsSilentStreamWithoutFinishing) {
+  DaemonFixture fx{[](DaemonOptions& o) {
+    o.default_idle_seal_us = 50'000;  // 50ms of wall-clock silence
+  }};
+  SendClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", fx.daemon->ingest_port()));
+  HelloConfig h = hello_named("quiet");
+  h.lag_us = 60'000'000;  // a huge lag: nothing seals on its own
+  ASSERT_TRUE(client.send_hello(0, h));
+  std::vector<trace::RequestRecord> records;
+  for (std::int64_t t = 0; t < 300'000; t += 10'000) {
+    records.push_back(rec(t, t + 1000));
+  }
+  ASSERT_TRUE(client.send_records(0, records));
+
+  // ... then silence. The idle-seal clock must fire, seal the open cells,
+  // and leave the stream alive (not finished).
+  EXPECT_TRUE(fx.eventually([&] { return fx.daemon->idle_seals() >= 1; }));
+  EXPECT_TRUE(fx.eventually([&] {
+    for (const auto& s : fx.daemon->stream_summaries()) {
+      if (s.name == "quiet") return s.open_intervals == 0 && !s.finished;
+    }
+    return false;
+  }));
+  ASSERT_TRUE(client.send_bye(0));
+  ASSERT_TRUE(client.finish()) << client.error();
+  ASSERT_TRUE(fx.daemon->wait_idle(5.0));
+  for (const auto& s : fx.daemon->stream_summaries()) {
+    if (s.name == "quiet") {
+      EXPECT_TRUE(s.finished);
+      EXPECT_EQ(s.records, records.size());
+    }
+  }
+}
+
+TEST(ServeTortureTest, IdleStreamEvictedAndNameReleased) {
+  DaemonFixture fx{[](DaemonOptions& o) { o.evict_idle_us = 50'000; }};
+  SendClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", fx.daemon->ingest_port()));
+  ASSERT_TRUE(client.send_hello(0, hello_named("ghost")));
+  ASSERT_TRUE(client.send_records(
+      0, std::vector<trace::RequestRecord>{rec(0, 1000)}));
+
+  EXPECT_TRUE(fx.eventually([&] { return fx.daemon->evicted_streams() >= 1; }));
+  // The evicted name can be claimed again on a new connection.
+  SendClient reuse;
+  ASSERT_TRUE(reuse.connect("127.0.0.1", fx.daemon->ingest_port()));
+  ASSERT_TRUE(reuse.send_hello(0, hello_named("ghost")));
+  ASSERT_TRUE(reuse.send_bye(0));
+  EXPECT_TRUE(reuse.finish()) << reuse.error();
+}
+
+TEST(ServeTortureTest, HeartbeatDefersEvictionButNotIdleSeal) {
+  DaemonFixture fx{[](DaemonOptions& o) {
+    o.evict_idle_us = 150'000;
+    o.default_idle_seal_us = 40'000;
+  }};
+  SendClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", fx.daemon->ingest_port()));
+  HelloConfig h = hello_named("beating");
+  h.lag_us = 60'000'000;
+  ASSERT_TRUE(client.send_hello(0, h));
+  ASSERT_TRUE(client.send_records(
+      0, std::vector<trace::RequestRecord>{rec(0, 100'000)}));
+
+  // Heartbeat for ~400ms: eviction must not fire, the idle-seal must.
+  for (int i = 0; i < 20; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(client.send_heartbeat());
+  }
+  EXPECT_EQ(fx.daemon->evicted_streams(), 0u);
+  EXPECT_GE(fx.daemon->idle_seals(), 1u);
+  ASSERT_TRUE(client.send_bye(0));
+  EXPECT_TRUE(client.finish()) << client.error();
+}
+
+}  // namespace
+}  // namespace tbd::serve

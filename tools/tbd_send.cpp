@@ -1,0 +1,352 @@
+// tbd_send: replay a recorded request log into a tbd_serve daemon.
+//
+// The sender owns calibration, exactly like tbd_watch: it estimates
+// per-class service times from a calibration prefix, runs one batch
+// detection pass per server to freeze N*/TPmax, then opens one stream per
+// server over a single connection and ships the merged log in departure
+// order as DATA frames. Because one connection is one ordered strand on
+// the daemon side, a tbd_send replay produces the same event log bytes as
+// tbd_watch over the same input — the tier-1 gate compares them.
+//
+// Usage:
+//   tbd_send --connect HOST:PORT [options] LOG.csv [LOG2.tbdr ...]
+//
+// Options:
+//   --connect H:P     the daemon's ingest listener (required)
+//   --width MS        analysis interval in milliseconds (default 50)
+//   --lag MS          sealing lag in milliseconds (default 5000)
+//   --calib-seconds S estimate service times from the first S seconds
+//                     (default: whole log)
+//   --nstar N         override the estimated congestion point (TPmax kept)
+//   --speed S         pacing: "max" (default), "trace", or "Nx"
+//   --batch N         max records per DATA frame (default 256)
+//   --format F        "raw" packed rows (default), "v1" TBDR blobs, or
+//                     "v2" TBDR segment logs per frame
+//   --stream-prefix P stream names are P + server index (default "server")
+//   --idle-seal-ms MS ask the daemon to idle-seal this stream after MS of
+//                     silence (0 = daemon default)
+//   --heartbeat-s S   send a heartbeat when S seconds pass between frames
+//                     while pacing (0 = off)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/detector.h"
+#include "serve/client.h"
+#include "serve/frame.h"
+#include "trace/log_io.h"
+#include "trace/request_log_file.h"
+#include "trace/segment_log.h"
+
+using namespace tbd;
+
+namespace {
+
+struct Options {
+  std::string connect;
+  double width_ms = 50.0;
+  double lag_ms = 5000.0;
+  double calib_seconds = 0.0;
+  double nstar = 0.0;
+  double speed = 0.0;  // 0 = max
+  std::size_t batch = 256;
+  std::string format = "raw";
+  std::string stream_prefix = "server";
+  double idle_seal_ms = 0.0;
+  double heartbeat_s = 0.0;
+  std::vector<std::string> files;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: tbd_send --connect HOST:PORT [--width MS] [--lag MS]\n"
+               "                [--calib-seconds S] [--nstar N] "
+               "[--speed max|trace|Nx]\n"
+               "                [--batch N] [--format raw|v1|v2]\n"
+               "                [--stream-prefix P] [--idle-seal-ms MS]\n"
+               "                [--heartbeat-s S] LOG.csv [...]\n");
+}
+
+bool parse_speed(const std::string& text, double& speed) {
+  if (text == "max") {
+    speed = 0.0;
+    return true;
+  }
+  if (text == "trace") {
+    speed = 1.0;
+    return true;
+  }
+  if (text.size() > 1 && text.back() == 'x') {
+    char* end = nullptr;
+    speed = std::strtod(text.c_str(), &end);
+    return end == text.c_str() + text.size() - 1 && speed > 0.0;
+  }
+  return false;
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--connect") {
+      const char* v = next();
+      if (!v) return false;
+      opt.connect = v;
+    } else if (arg == "--width") {
+      const char* v = next();
+      if (!v) return false;
+      opt.width_ms = std::atof(v);
+    } else if (arg == "--lag") {
+      const char* v = next();
+      if (!v) return false;
+      opt.lag_ms = std::atof(v);
+    } else if (arg == "--calib-seconds") {
+      const char* v = next();
+      if (!v) return false;
+      opt.calib_seconds = std::atof(v);
+    } else if (arg == "--nstar") {
+      const char* v = next();
+      if (!v) return false;
+      opt.nstar = std::atof(v);
+    } else if (arg == "--speed") {
+      const char* v = next();
+      if (!v) return false;
+      if (!parse_speed(v, opt.speed)) {
+        std::fprintf(stderr, "bad --speed (want max, trace, or Nx): %s\n", v);
+        return false;
+      }
+    } else if (arg == "--batch") {
+      const char* v = next();
+      if (!v) return false;
+      opt.batch = static_cast<std::size_t>(std::atoll(v));
+      if (opt.batch == 0) return false;
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (!v) return false;
+      opt.format = v;
+      if (opt.format != "raw" && opt.format != "v1" && opt.format != "v2") {
+        std::fprintf(stderr, "bad --format (want raw, v1, or v2): %s\n", v);
+        return false;
+      }
+    } else if (arg == "--stream-prefix") {
+      const char* v = next();
+      if (!v) return false;
+      opt.stream_prefix = v;
+    } else if (arg == "--idle-seal-ms") {
+      const char* v = next();
+      if (!v) return false;
+      opt.idle_seal_ms = std::atof(v);
+    } else if (arg == "--heartbeat-s") {
+      const char* v = next();
+      if (!v) return false;
+      opt.heartbeat_s = std::atof(v);
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    } else {
+      opt.files.push_back(arg);
+    }
+  }
+  return !opt.connect.empty() && !opt.files.empty() && opt.width_ms > 0.0 &&
+         opt.lag_ms > 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+  const auto colon = opt.connect.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "bad --connect (want HOST:PORT): %s\n",
+                 opt.connect.c_str());
+    return 2;
+  }
+  const std::string host = opt.connect.substr(0, colon);
+  const auto port =
+      static_cast<std::uint16_t>(std::atoi(opt.connect.c_str() + colon + 1));
+
+  // ---- load & merge (same flow as tbd_watch) --------------------------------
+  std::map<trace::ServerIndex, trace::RequestLog> by_server;
+  trace::RequestLog merged;
+  TimePoint t_min = TimePoint::max();
+  TimePoint t_max;
+  for (const auto& path : opt.files) {
+    const auto loaded = trace::load_request_log(path);
+    if (!loaded.ok) {
+      std::fprintf(stderr, "error: cannot read %s: %s\n", path.c_str(),
+                   loaded.error.c_str());
+      return 1;
+    }
+    if (!loaded.warning.empty()) {
+      std::fprintf(stderr, "warning: %s: %s\n", path.c_str(),
+                   loaded.warning.c_str());
+    }
+    std::printf("loaded %zu records from %s (%zu lines skipped)\n",
+                loaded.records.size(), path.c_str(), loaded.skipped_lines);
+    for (const auto& r : loaded.records) {
+      by_server[r.server].push_back(r);
+      merged.push_back(r);
+      t_min = std::min(t_min, r.arrival);
+      t_max = std::max(t_max, r.departure);
+    }
+  }
+  if (merged.empty()) {
+    std::fprintf(stderr, "error: no records\n");
+    return 1;
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const trace::RequestRecord& a,
+                      const trace::RequestRecord& b) {
+                     return a.departure < b.departure;
+                   });
+
+  // ---- calibrate, then HELLO per server -------------------------------------
+  const Duration width = Duration::from_millis_f(opt.width_ms);
+  serve::SendClient client;
+  if (!client.connect(host, port)) {
+    std::fprintf(stderr, "error: %s\n", client.error().c_str());
+    return 1;
+  }
+  std::map<trace::ServerIndex, std::uint16_t> handle_of;
+  std::uint16_t next_handle = 0;
+  for (auto& [server, log] : by_server) {
+    trace::RequestLog calib = log;
+    if (opt.calib_seconds > 0.0) {
+      const TimePoint cutoff =
+          t_min + Duration::from_seconds_f(opt.calib_seconds);
+      calib.erase(std::remove_if(calib.begin(), calib.end(),
+                                 [&](const trace::RequestRecord& r) {
+                                   return r.departure >= cutoff;
+                                 }),
+                  calib.end());
+      if (calib.empty()) calib = log;
+    }
+    const auto table = core::estimate_service_times(calib);
+    const auto spec = core::IntervalSpec::over(t_min, t_max, width);
+    auto detection = core::detect_bottlenecks(log, spec, table);
+    if (opt.nstar > 0.0) {
+      detection.nstar.n_star = opt.nstar;
+      detection.nstar.converged = true;
+    }
+    if (table.classes() > serve::kMaxServiceClasses) {
+      std::fprintf(stderr, "error: %zu service classes exceeds protocol cap\n",
+                   table.classes());
+      return 1;
+    }
+
+    serve::HelloConfig hello;
+    hello.name = opt.stream_prefix + std::to_string(server);
+    hello.start_us = t_min.micros();
+    hello.width_us = width.micros();
+    hello.lag_us = Duration::from_millis_f(opt.lag_ms).micros();
+    hello.idle_seal_us =
+        static_cast<std::int64_t>(opt.idle_seal_ms * 1000.0);
+    hello.nstar = detection.nstar.n_star;
+    hello.tpmax = detection.nstar.tp_max;
+    // Ship the whole table (zeros included) so the daemon's detector derives
+    // the identical work unit from the same smallest positive service time.
+    const core::DetectorConfig defaults;
+    hello.work_unit_us = 0.0;
+    hello.idle_load = defaults.idle_load;
+    hello.poi_tput_frac = defaults.poi_tput_frac;
+    for (std::size_t c = 0; c < table.classes(); ++c) {
+      hello.service_us.emplace_back(static_cast<trace::ClassId>(c),
+                                    table.service_us(c));
+    }
+    const std::uint16_t handle = next_handle++;
+    handle_of[server] = handle;
+    if (!client.send_hello(handle, hello)) {
+      std::fprintf(stderr, "error: %s\n", client.error().c_str());
+      return 1;
+    }
+    std::printf("%s: %zu records, N*=%.3f TPmax=%.3f%s\n", hello.name.c_str(),
+                log.size(), detection.nstar.n_star, detection.nstar.tp_max,
+                opt.nstar > 0.0 ? " (N* overridden)" : "");
+  }
+
+  // ---- replay: departure-order runs of one server, capped at --batch --------
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto last_heartbeat = wall_start;
+  std::uint64_t frames = 0;
+  for (std::size_t base = 0; base < merged.size();) {
+    std::size_t end = base + 1;
+    while (end < merged.size() && end - base < opt.batch &&
+           merged[end].server == merged[base].server) {
+      ++end;
+    }
+    if (opt.speed > 0.0) {
+      const double trace_s =
+          (merged[base].departure - t_min).seconds_f() / opt.speed;
+      const auto target =
+          wall_start + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(trace_s));
+      std::this_thread::sleep_until(target);
+      if (opt.heartbeat_s > 0.0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (std::chrono::duration<double>(now - last_heartbeat).count() >=
+            opt.heartbeat_s) {
+          if (!client.send_heartbeat()) {
+            std::fprintf(stderr, "error: %s\n", client.error().c_str());
+            return 1;
+          }
+          last_heartbeat = now;
+        }
+      }
+    }
+    const std::uint16_t handle = handle_of[merged[base].server];
+    bool sent;
+    if (opt.format == "raw") {
+      sent = client.send_records(
+          handle, std::span<const trace::RequestRecord>(&merged[base],
+                                                        end - base));
+    } else {
+      const trace::RequestLog chunk(merged.begin() + base,
+                                    merged.begin() + end);
+      const std::string bytes = opt.format == "v1"
+                                    ? trace::encode_request_log_bin(chunk)
+                                    : trace::encode_request_log_v2(chunk);
+      sent = client.send_encoded(handle, bytes);
+    }
+    if (!sent) {
+      std::fprintf(stderr, "error: %s\n", client.error().c_str());
+      return 1;
+    }
+    ++frames;
+    base = end;
+  }
+
+  // BYE each stream in HELLO order, then half-close and wait for the daemon
+  // to process everything (it closes once our queues are drained).
+  for (const auto& [server, handle] : handle_of) {
+    if (!client.send_bye(handle)) {
+      std::fprintf(stderr, "error: %s\n", client.error().c_str());
+      return 1;
+    }
+  }
+  if (!client.finish()) {
+    std::fprintf(stderr, "error: server rejected the replay: %s\n",
+                 client.error().c_str());
+    return 1;
+  }
+  std::printf("sent %zu records in %llu frames across %zu streams to %s\n",
+              merged.size(), static_cast<unsigned long long>(frames),
+              by_server.size(), opt.connect.c_str());
+  return 0;
+}

@@ -1,0 +1,279 @@
+// tbd_serve: the online multi-tenant bottleneck-detection daemon.
+//
+// Where tbd_watch replays one recorded log in-process, tbd_serve accepts
+// request streams over TCP — any number of senders, each multiplexing any
+// number of monitored servers over one connection (see serve/frame.h for
+// the wire protocol and docs/serving.md for the full spec) — and runs one
+// StreamingDetector + StreamingTelemetry pair per stream, sharded onto the
+// shared thread pool. Episodes and labeled metrics are live on the same
+// exposition surface tbd_watch serves: /metrics, /healthz, /episodes,
+// /statusz (with per-stream freshness and queue depths), /threadz,
+// /profilez.
+//
+// Usage:
+//   tbd_serve [options]
+//
+// Options:
+//   --listen H:P      ingest listener (default 127.0.0.1:0; the bound port
+//                     is printed as "ingest tcp://H:P/")
+//   --http H:P        exposition endpoint (default 127.0.0.1:0, printed as
+//                     "listening http://H:P/"); --no-http disables it
+//   --events-out FILE shared NDJSON journal, all streams interleaved by
+//                     arrival
+//   --events-dir DIR  per-stream NDJSON journals, DIR/<stream>.ndjson each
+//                     (deterministic per stream regardless of interleaving)
+//   --events-meta K=V override the shared journal's meta record (repeat
+//                     for several pairs; default {tool: tbd_serve})
+//   --record-dir DIR  mirror each stream's records into a durable TBDR v2
+//                     segment log DIR/<stream>.tbd2 as they arrive
+//   --record-segment N  records per sealed mirror segment (default 65536)
+//   --queue-hwm BYTES back-pressure high-water mark per stream: above this
+//                     many queued bytes the owning connection is not read
+//                     until the pump drains it (default 8388608)
+//   --idle-seal-ms MS default idle-seal deadline: a stream silent this long
+//                     is sealed to its watermark, capping open-interval
+//                     memory (0 = never; HELLO can override per stream)
+//   --evict-idle-s S  finish + evict a stream with no data and no heartbeat
+//                     for S seconds (0 = never)
+//   --grace-s S       how long SIGTERM waits for connections to finish
+//                     sending before force-closing (default 5)
+//   --stall-ms MS     pool watchdog deadline (default 30000, 0 disables)
+//
+// SIGTERM/SIGINT shut down cleanly: stop accepting, drain what was sent,
+// finish every stream, flush the event logs, close the mirrors.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/daemon.h"
+#include "util/thread_pool.h"
+
+using namespace tbd;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+struct Options {
+  std::string listen = "127.0.0.1:0";
+  std::string http = "127.0.0.1:0";
+  bool no_http = false;
+  std::string events_out;
+  std::string events_dir;
+  std::vector<std::pair<std::string, std::string>> events_meta;
+  std::string record_dir;
+  std::size_t record_segment = trace::kDefaultSegmentRecords;
+  std::size_t queue_hwm = 8u << 20;
+  double idle_seal_ms = 0.0;
+  double evict_idle_s = 0.0;
+  double grace_s = 5.0;
+  double stall_ms = 30'000.0;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: tbd_serve [--listen HOST:PORT] [--http HOST:PORT | --no-http]\n"
+      "                 [--events-out FILE] [--events-dir DIR] "
+      "[--events-meta K=V ...]\n"
+      "                 [--record-dir DIR] [--record-segment N]\n"
+      "                 [--queue-hwm BYTES] [--idle-seal-ms MS] "
+      "[--evict-idle-s S]\n"
+      "                 [--grace-s S] [--stall-ms MS]\n");
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--listen") {
+      const char* v = next();
+      if (!v) return false;
+      opt.listen = v;
+    } else if (arg == "--http") {
+      const char* v = next();
+      if (!v) return false;
+      opt.http = v;
+    } else if (arg == "--no-http") {
+      opt.no_http = true;
+    } else if (arg == "--events-out") {
+      const char* v = next();
+      if (!v) return false;
+      opt.events_out = v;
+    } else if (arg == "--events-dir") {
+      const char* v = next();
+      if (!v) return false;
+      opt.events_dir = v;
+    } else if (arg == "--events-meta") {
+      const char* v = next();
+      if (!v) return false;
+      const char* eq = std::strchr(v, '=');
+      if (!eq) {
+        std::fprintf(stderr, "bad --events-meta (want KEY=VALUE): %s\n", v);
+        return false;
+      }
+      opt.events_meta.emplace_back(std::string(v, eq), std::string(eq + 1));
+    } else if (arg == "--record-dir") {
+      const char* v = next();
+      if (!v) return false;
+      opt.record_dir = v;
+    } else if (arg == "--record-segment") {
+      const char* v = next();
+      if (!v) return false;
+      opt.record_segment = static_cast<std::size_t>(std::atoll(v));
+      if (opt.record_segment == 0) return false;
+    } else if (arg == "--queue-hwm") {
+      const char* v = next();
+      if (!v) return false;
+      opt.queue_hwm = static_cast<std::size_t>(std::atoll(v));
+      if (opt.queue_hwm == 0) return false;
+    } else if (arg == "--idle-seal-ms") {
+      const char* v = next();
+      if (!v) return false;
+      opt.idle_seal_ms = std::atof(v);
+    } else if (arg == "--evict-idle-s") {
+      const char* v = next();
+      if (!v) return false;
+      opt.evict_idle_s = std::atof(v);
+    } else if (arg == "--grace-s") {
+      const char* v = next();
+      if (!v) return false;
+      opt.grace_s = std::atof(v);
+    } else if (arg == "--stall-ms") {
+      const char* v = next();
+      if (!v) return false;
+      opt.stall_ms = std::atof(v);
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool split_host_port(const std::string& text, std::string& host,
+                     std::uint16_t& port) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string::npos) return false;
+  host = text.substr(0, colon);
+  port = static_cast<std::uint16_t>(std::atoi(text.c_str() + colon + 1));
+  return !host.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+
+  serve::DaemonOptions dopt;
+  if (!split_host_port(opt.listen, dopt.host, dopt.port)) {
+    std::fprintf(stderr, "bad --listen (want HOST:PORT): %s\n",
+                 opt.listen.c_str());
+    return 2;
+  }
+  dopt.expose_http = !opt.no_http;
+  if (dopt.expose_http &&
+      !split_host_port(opt.http, dopt.http_host, dopt.http_port)) {
+    std::fprintf(stderr, "bad --http (want HOST:PORT): %s\n",
+                 opt.http.c_str());
+    return 2;
+  }
+  dopt.events_path = opt.events_out;
+  dopt.events_dir = opt.events_dir;
+  dopt.events_meta = opt.events_meta;
+  dopt.record_dir = opt.record_dir;
+  dopt.record_segment_records = opt.record_segment;
+  dopt.queue_high_water_bytes = opt.queue_hwm;
+  dopt.default_idle_seal_us =
+      static_cast<std::int64_t>(opt.idle_seal_ms * 1000.0);
+  dopt.evict_idle_us = static_cast<std::int64_t>(opt.evict_idle_s * 1e6);
+  dopt.drain_grace_s = opt.grace_s;
+
+  if (opt.stall_ms > 0.0) {
+    ThreadPool::WatchdogOptions wd;
+    wd.deadline_us = static_cast<std::uint64_t>(opt.stall_ms * 1000.0);
+    wd.on_stall = [](const ThreadPool::StallInfo& info) {
+      std::fprintf(stderr,
+                   "warning: pool task stalled: slot=%zu (%s) task=%llu "
+                   "running %.1fs (deadline %.1fs)\n",
+                   info.slot, info.thread_name.c_str(),
+                   static_cast<unsigned long long>(info.task_index),
+                   static_cast<double>(info.elapsed_us) / 1e6,
+                   static_cast<double>(info.deadline_us) / 1e6);
+      obs::Registry::global().counter("tbd_pool_stalls_total").add(1);
+    };
+    shared_pool().start_watchdog(wd);
+  }
+
+  serve::ServeDaemon daemon{std::move(dopt)};
+  if (!daemon.start()) {
+    std::fprintf(stderr, "error: %s\n", daemon.error().c_str());
+    return 1;
+  }
+  std::printf("ingest tcp://%s:%u/\n",
+              opt.listen.substr(0, opt.listen.rfind(':')).c_str(),
+              static_cast<unsigned>(daemon.ingest_port()));
+  if (!opt.no_http) {
+    std::printf("listening http://%s:%u/\n",
+                opt.http.substr(0, opt.http.rfind(':')).c_str(),
+                static_cast<unsigned>(daemon.http_port()));
+  }
+  std::fflush(stdout);
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("shutting down (grace %.1fs)\n", opt.grace_s);
+  std::fflush(stdout);
+  daemon.stop();
+
+  // ---- exit summary (same shape as tbd_watch's) -----------------------------
+  std::size_t total_dropped = 0;
+  for (const auto& s : daemon.stream_summaries()) {
+    std::printf(
+        "%s: records=%llu intervals=%llu (idle=%zu normal=%zu congested=%zu "
+        "frozen=%zu) episodes=%zu dropped=%llu deferred_reads=%llu\n",
+        s.name.c_str(), static_cast<unsigned long long>(s.records),
+        static_cast<unsigned long long>(s.intervals), s.sealed_by_state[0],
+        s.sealed_by_state[1], s.sealed_by_state[2], s.sealed_by_state[3],
+        s.episodes.size(), static_cast<unsigned long long>(s.dropped),
+        static_cast<unsigned long long>(s.pauses));
+    total_dropped += s.dropped;
+  }
+  std::printf(
+      "connections=%llu frames=%llu protocol_errors=%llu "
+      "backpressure_pauses=%llu idle_seals=%llu evicted=%llu\n",
+      static_cast<unsigned long long>(daemon.connections_accepted()),
+      static_cast<unsigned long long>(daemon.frames_received()),
+      static_cast<unsigned long long>(daemon.protocol_errors()),
+      static_cast<unsigned long long>(daemon.backpressure_pauses()),
+      static_cast<unsigned long long>(daemon.idle_seals()),
+      static_cast<unsigned long long>(daemon.evicted_streams()));
+  if (total_dropped > 0) {
+    std::fprintf(stderr,
+                 "warning: %zu record(s) dropped as too old — senders should "
+                 "increase --lag beyond the longest request residence\n",
+                 total_dropped);
+  }
+  shared_pool().stop_watchdog();
+  return 0;
+}
